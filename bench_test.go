@@ -1,0 +1,205 @@
+package flash
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its experiment at Small scale and reports the
+// paper's headline quantity as custom metrics, so `go test -bench=.`
+// doubles as the reproduction harness (cmd/flashbench prints the full
+// rows/series). See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/exps"
+)
+
+// BenchmarkTable3 runs the three systems on each Table 3 setting and
+// reports Flash's speedup over the baselines (time and predicate
+// operations).
+func BenchmarkTable3(b *testing.B) {
+	for _, s := range exps.AllSettings {
+		s := s
+		b.Run(string(s), func(b *testing.B) {
+			var row exps.Table3Row
+			for i := 0; i < b.N; i++ {
+				row = exps.RunTable3(s, exps.Small, 1, 15*time.Second)
+			}
+			b.ReportMetric(float64(row.Flash.Time.Microseconds()), "flash-µs")
+			b.ReportMetric(row.Speedup(row.DeltaNet), "x-vs-deltanet")
+			b.ReportMetric(row.Speedup(row.APKeep), "x-vs-apkeep")
+			b.ReportMetric(float64(row.Flash.Ops), "flash-predops")
+			b.ReportMetric(float64(row.DeltaNet.Ops), "deltanet-ops")
+			b.ReportMetric(float64(row.APKeep.Ops), "apkeep-predops")
+		})
+	}
+}
+
+// BenchmarkFig6Storm measures the complex-forwarding storm settings
+// without subspace partitioning (the baseline evaluation of §5.2).
+func BenchmarkFig6Storm(b *testing.B) {
+	for _, s := range []exps.Setting{exps.LNetECMP, exps.LNetSMR} {
+		s := s
+		b.Run(string(s), func(b *testing.B) {
+			var r exps.Fig6Result
+			for i := 0; i < b.N; i++ {
+				r = exps.RunFig6(s, exps.Small, 15*time.Second)
+			}
+			b.ReportMetric(float64(r.Flash.Time.Microseconds()), "flash-µs")
+			b.ReportMetric(float64(r.DeltaNet.Time)/float64(r.Flash.Time), "x-vs-deltanet")
+			b.ReportMetric(float64(r.APKeep.Time)/float64(r.Flash.Time), "x-vs-apkeep")
+		})
+	}
+}
+
+// BenchmarkFig7BlockSize sweeps the block size threshold (normalized
+// model update speed vs BST/FIB-scale).
+func BenchmarkFig7BlockSize(b *testing.B) {
+	for _, f := range []float64{0.01, 0.04, 0.2, 1.0} {
+		f := f
+		b.Run(fmt.Sprintf("bst-%.3f", f), func(b *testing.B) {
+			var pts []exps.Fig7Point
+			for i := 0; i < b.N; i++ {
+				pts = exps.RunFig7(exps.I2Trace, exps.Small, []float64{f})
+			}
+			b.ReportMetric(pts[0].Normalized, "normalized-speed")
+		})
+	}
+}
+
+// BenchmarkFig8Consistency runs the PUV/BUV/CE2D comparison; the headline
+// is transient (false) loop reports — CE2D must report none.
+func BenchmarkFig8Consistency(b *testing.B) {
+	var r exps.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = exps.RunFig8()
+	}
+	if r.CE2DLoops != 0 {
+		b.Fatalf("CE2D reported %d transient loops", r.CE2DLoops)
+	}
+	b.ReportMetric(float64(r.PUVTransient), "puv-transient-loops")
+	b.ReportMetric(float64(r.BUVTransient), "buv-transient-loops")
+	b.ReportMetric(float64(r.CE2DLoops), "ce2d-transient-loops")
+}
+
+// BenchmarkFig9LongTail reports the fraction of buggy-loop trials CE2D
+// settles within one virtual second (baseline: 60 s dampening).
+func BenchmarkFig9LongTail(b *testing.B) {
+	var cdf exps.CDF
+	for i := 0; i < b.N; i++ {
+		cdf = exps.RunFig9OpenR(25, 7)
+	}
+	b.ReportMetric(cdf.Fraction(exps.Second), "frac-within-1s")
+	b.ReportMetric(cdf.Fraction(60*exps.Second), "frac-within-60s")
+}
+
+// BenchmarkFig10Dampened sweeps the number of dampened switches.
+func BenchmarkFig10Dampened(b *testing.B) {
+	for _, d := range []int{1, 3, 5, 7} {
+		d := d
+		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			var cdf exps.CDF
+			for i := 0; i < b.N; i++ {
+				cdf = exps.RunFig10Trace(25, d, int64(d))
+			}
+			b.ReportMetric(cdf.Fraction(800_000), "frac-within-800ms")
+		})
+	}
+}
+
+// BenchmarkFig11Breakdown reports the model-construction phase breakdown
+// on the I2-trace setting.
+func BenchmarkFig11Breakdown(b *testing.B) {
+	var r exps.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r = exps.RunFig11(exps.Small)
+	}
+	b.ReportMetric(float64(r.FlashMap.Microseconds()), "flash-map-µs")
+	b.ReportMetric(float64(r.FlashReduce.Microseconds()), "flash-reduce-µs")
+	b.ReportMetric(float64(r.FlashApply.Microseconds()), "flash-apply-µs")
+	b.ReportMetric(float64(r.APKeepMap)/float64(r.FlashMap), "map-x-vs-apkeep")
+	b.ReportMetric(float64(r.APKeepApply)/float64(r.FlashApply), "apply-x-vs-apkeep")
+	b.ReportMetric(float64(r.PerUpdApply)/float64(r.FlashApply), "apply-x-vs-perupdate")
+}
+
+// BenchmarkFig12Reachability reports DGQ vs MT verification times for the
+// all-pair ToR-to-ToR reachability check (Figure 12 / Figure 18).
+func BenchmarkFig12Reachability(b *testing.B) {
+	var r exps.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = exps.RunFig12(exps.Small)
+	}
+	b.ReportMetric(float64(exps.Quantile(r.DGQ, 0.99).Nanoseconds()), "dgq-p99-ns")
+	b.ReportMetric(float64(exps.Quantile(r.MT, 0.99).Nanoseconds()), "mt-p99-ns")
+	b.ReportMetric(float64(exps.Quantile(r.MT, 0.99))/float64(exps.Quantile(r.DGQ, 0.99)), "p99-improvement-x")
+}
+
+// BenchmarkFig14UpdateBurst measures the Appendix A burst generation.
+func BenchmarkFig14UpdateBurst(b *testing.B) {
+	var r exps.Fig14Series
+	for i := 0; i < b.N; i++ {
+		r = exps.RunFig14(256)
+	}
+	b.ReportMetric(float64(r.Burst1), "burst1-updates")
+	b.ReportMetric(float64(r.Burst2), "burst2-updates")
+}
+
+// BenchmarkFig15PodAdd checks the pod-add closed forms against the
+// paper's table (they must match exactly) and times the count model.
+func BenchmarkFig15PodAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exps.RunFig15()
+		if rows[0].Rules != 160 || rows[0].Deltas != 56 {
+			b.Fatal("Figure 15 row mismatch")
+		}
+	}
+}
+
+// BenchmarkModelConstruction is the core microbench: Fast IMT block
+// processing of a full fabric FIB (the unit of Table 3's Flash column).
+func BenchmarkModelConstruction(b *testing.B) {
+	for _, s := range []exps.Setting{exps.LNetAPSP, exps.LNetECMP, exps.LNetSMR} {
+		s := s
+		b.Run(string(s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := exps.Build(s, exps.Small)
+				res, _ := exps.RunFlash(w, w.InsertSequence(), bdd.True, 0, false)
+				b.ReportMetric(float64(res.ECs), "classes")
+			}
+		})
+	}
+}
+
+// BenchmarkPerUpdateAblation quantifies what MR2 aggregation buys:
+// identical input, per-update vs block processing.
+func BenchmarkPerUpdateAblation(b *testing.B) {
+	b.Run("per-update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := exps.Build(exps.LNetECMP, exps.Small)
+			exps.RunFlash(w, w.InsertSequence(), bdd.True, 0, true)
+		}
+	})
+	b.Run("block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := exps.Build(exps.LNetECMP, exps.Small)
+			exps.RunFlash(w, w.InsertSequence(), bdd.True, 0, false)
+		}
+	})
+}
+
+// BenchmarkSubspacePartition is the §3.4 ablation: the same storm with
+// and without input-space partitioning.
+func BenchmarkSubspacePartition(b *testing.B) {
+	for _, nsub := range []int{1, 4} {
+		nsub := nsub
+		b.Run(map[int]string{1: "none", 4: "4-subspaces"}[nsub], func(b *testing.B) {
+			var row exps.Table3Row
+			for i := 0; i < b.N; i++ {
+				row = exps.RunTable3(exps.LNetSMR, exps.Small, nsub, 15*time.Second)
+			}
+			b.ReportMetric(float64(row.Flash.Time.Microseconds()), "flash-µs")
+		})
+	}
+}

@@ -1,0 +1,128 @@
+// Command flashd runs a Flash verification server: device agents connect
+// over TCP (the wire protocol) and stream epoch-tagged FIB updates;
+// deterministic early-detection results are printed as they fire.
+//
+// Example — verify loop freedom and a waypoint requirement on Internet2:
+//
+//	flashd -listen :7001 -topo internet2 -layout dst:16 \
+//	    -loops \
+//	    -reach "wp:seat .* [chic|kans] .* newy:seat:newy"
+//
+// The -reach flag's format is name:expr:sources:dest with sources
+// comma-separated; it may repeat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	flash "repro"
+	"repro/internal/cli"
+	"repro/internal/wire"
+)
+
+type reachFlags []flash.CheckSpec
+
+func (r *reachFlags) String() string { return fmt.Sprintf("%d checks", len(*r)) }
+
+func (r *reachFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("want name:expr:src1,src2:dest, got %q", v)
+	}
+	*r = append(*r, flash.CheckSpec{
+		Name:    parts[0],
+		Kind:    flash.CheckReach,
+		Expr:    parts[1],
+		Sources: strings.Split(parts[2], ","),
+		Dest:    parts[3],
+	})
+	return nil
+}
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7001", "address to accept agent connections on")
+		topoSpec   = flag.String("topo", "internet2", "topology (internet2|stanford|airtel|fabric:p,t,a,s)")
+		layoutSpec = flag.String("layout", "dst:16", "header layout (name:bits,...)")
+		loops      = flag.Bool("loops", true, "verify loop freedom")
+		subspaces  = flag.Int("subspaces", 1, "subspace partition count (power of two)")
+		replay     = flag.String("replay", "", "one-shot mode: verify a snapshot file and exit")
+	)
+	var reaches reachFlags
+	flag.Var(&reaches, "reach", "reachability check name:expr:sources:dest (repeatable)")
+	flag.Parse()
+
+	g, err := cli.ParseTopo(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	layout, err := cli.ParseLayout(*layoutSpec)
+	if err != nil {
+		fatal(err)
+	}
+	checks := []flash.CheckSpec(reaches)
+	if *loops {
+		checks = append(checks, flash.CheckSpec{Name: "loop-freedom", Kind: flash.CheckLoopFree})
+	}
+	if len(checks) == 0 {
+		fatal(fmt.Errorf("flashd: no checks configured"))
+	}
+	sys, err := flash.NewSystem(flash.Config{
+		Topo: g, Layout: layout, Subspaces: *subspaces, Checks: checks,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *replay != "" {
+		msgs, err := wire.LoadSnapshot(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		n := 0
+		for _, m := range msgs {
+			results, err := sys.Feed(m)
+			if err != nil {
+				fatal(err)
+			}
+			for _, r := range results {
+				fmt.Println(r)
+				n++
+			}
+		}
+		fmt.Printf("flashd: one-shot verification of %d device FIBs: %d results in %s\n",
+			len(msgs), n, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := flash.NewServer(l, sys, func(r flash.Result) {
+		fmt.Println(r)
+	})
+	fmt.Printf("flashd: verifying %d checks on %q (%d nodes, %d subspaces) at %s\n",
+		len(checks), *topoSpec, g.N(), max(1, *subspaces), l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("flashd: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

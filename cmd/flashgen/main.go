@@ -1,0 +1,142 @@
+// Command flashgen generates the paper's evaluation workloads and either
+// summarizes them or streams them to a flashd server as a fleet of device
+// agents (one TCP connection per device, one epoch-tagged message each).
+//
+// Examples:
+//
+//	flashgen -setting LNet-apsp -scale small            # print a summary
+//	flashgen -setting I2-trace -addr localhost:7001     # stream to flashd
+//	flashgen -setting I2-trace -addr localhost:7001 -dampen 2
+//
+// -dampen D delays the last D devices' messages to the end of the stream,
+// reproducing the long-tail arrivals of §5.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	flash "repro"
+	"repro/internal/exps"
+	"repro/internal/fib"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		setting = flag.String("setting", "LNet-apsp", "workload setting (Table 2 name)")
+		scale   = flag.String("scale", "small", "workload scale (tiny|small|medium|large)")
+		addr    = flag.String("addr", "", "flashd address to stream to (empty = summarize only)")
+		out     = flag.String("out", "", "write the FIBs as a snapshot file (for flashd -replay)")
+		epoch   = flag.String("epoch", "epoch-0", "epoch tag for the streamed FIBs")
+		dampen  = flag.Int("dampen", 0, "number of long-tail (last-arriving) devices")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	w := exps.Build(exps.Setting(*setting), sc)
+	fmt.Printf("%s: %d nodes, %d links, %d rules, %d prefixes\n",
+		w.Name, w.Topo.N(), w.Topo.NumLinks(), w.NumRules(), len(w.Prefixes))
+
+	if *out != "" {
+		msgs := make([]wire.Msg, 0, len(w.Blocks))
+		for _, b := range w.Blocks {
+			m, err := wire.FromFib(b.Device, *epoch, b.Updates)
+			if err != nil {
+				fatal(err)
+			}
+			msgs = append(msgs, m)
+		}
+		if err := wire.SaveSnapshot(*out, msgs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d device FIBs to %s\n", len(msgs), *out)
+		return
+	}
+
+	if *addr == "" {
+		perDev := make(map[fib.DeviceID]int)
+		for _, b := range w.Blocks {
+			perDev[b.Device] = len(b.Updates)
+		}
+		min, max := 1<<30, 0
+		for _, n := range perDev {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		fmt.Printf("per-device rules: min=%d max=%d\n", min, max)
+		return
+	}
+
+	// Stream: one agent per device; dampened devices send last.
+	blocks := w.Blocks
+	n := len(blocks)
+	if *dampen < 0 || *dampen >= n {
+		fatal(fmt.Errorf("flashgen: dampen must be in [0,%d)", n))
+	}
+	send := func(b fib.Block) error {
+		ag, err := flash.DialAgent(*addr)
+		if err != nil {
+			return err
+		}
+		defer ag.Close()
+		m, err := wire.FromFib(b.Device, *epoch, b.Updates)
+		if err != nil {
+			return err
+		}
+		return ag.Send(m)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	early := blocks[:n-*dampen]
+	for _, b := range early {
+		wg.Add(1)
+		go func(b fib.Block) {
+			defer wg.Done()
+			errs <- send(b)
+		}(b)
+	}
+	wg.Wait()
+	for _, b := range blocks[n-*dampen:] {
+		errs <- send(b)
+	}
+	close(errs)
+	sent := 0
+	for err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+		sent++
+	}
+	fmt.Printf("streamed %d device FIBs to %s (epoch %s, %d dampened)\n",
+		sent, *addr, *epoch, *dampen)
+}
+
+func parseScale(s string) (exps.Scale, error) {
+	switch s {
+	case "tiny":
+		return exps.Tiny, nil
+	case "small":
+		return exps.Small, nil
+	case "medium":
+		return exps.Medium, nil
+	case "large":
+		return exps.Large, nil
+	default:
+		return 0, fmt.Errorf("flashgen: unknown scale %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

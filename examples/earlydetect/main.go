@@ -1,0 +1,76 @@
+// Early detection under long-tail arrivals: the paper's §5.3 scenario.
+//
+// An Internet2 control plane reconverges after a link failure; one router
+// is "buggy" and installs a forwarding loop, and another is dampened —
+// its updates take 60 (virtual) seconds to arrive. A verifier that waits
+// for complete information cannot answer for a minute; Flash's CE2D
+// reports the loop consistently within milliseconds, from the partial
+// data plane.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/ce2d"
+	"repro/internal/hs"
+	"repro/internal/openr"
+	"repro/internal/topo"
+)
+
+func main() {
+	g := topo.Internet2()
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+	owners := make([]topo.NodeID, g.N())
+	for i := range owners {
+		owners[i] = topo.NodeID(i)
+	}
+
+	opts := openr.DefaultOptions()
+	buggy := g.MustByName("kans")
+	dampened := g.MustByName("seat")
+	opts.Buggy = map[topo.NodeID]bool{buggy: true}
+	opts.SendDelay = func(n topo.NodeID) openr.Time {
+		if n == dampened {
+			return 60_000_000 // 60 s dampening
+		}
+		return 0
+	}
+	sim := openr.New(g, space, owners, opts)
+
+	disp := ce2d.NewDispatcher(func(e ce2d.Epoch) *ce2d.Verifier {
+		return ce2d.NewVerifier(ce2d.Config{
+			Topo:   g,
+			Engine: space.E,
+			Checks: []ce2d.Check{{
+				Name: "loop-freedom", Kind: ce2d.CheckLoopFree, Space: bdd.True,
+				CanExit: func(topo.NodeID) bool { return true },
+			}},
+		})
+	})
+
+	fmt.Printf("buggy router: %s, dampened router: %s (60s send delay)\n",
+		g.Node(buggy).Name, g.Node(dampened).Name)
+	fmt.Println("failing link chic—atla at t=10ms ...")
+	sim.FailLink(10_000, g.MustByName("chic"), g.MustByName("atla"))
+	sim.Run(120_000_000)
+
+	for _, m := range sim.Messages() {
+		evs, err := disp.Receive(m.Msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range evs {
+			at := time.Duration(m.At) * time.Microsecond
+			if ev.Event.Loop == ce2d.LoopFound {
+				fmt.Printf("t=%-10v CE2D: forwarding LOOP in epoch %.8s — %v before the dampened router reported\n",
+					at, ev.Epoch, 60*time.Second-at)
+				return
+			}
+			fmt.Printf("t=%-10v CE2D: %v for epoch %.8s\n", at, ev.Event.Loop, ev.Epoch)
+		}
+	}
+	fmt.Println("no loop detected")
+}

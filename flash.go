@@ -1,0 +1,609 @@
+// Package flash is a Go implementation of Flash (SIGCOMM 2022): fast,
+// consistent data plane verification for large-scale network settings.
+//
+// Flash combines two techniques:
+//
+//   - Fast inverse model transformation (Fast IMT / MR2): blocks of native
+//     FIB rule updates are decomposed into atomic conflict-free
+//     overwrites, aggregated by action and by predicate, and applied to an
+//     equivalence-class inverse model in one cross product — orders of
+//     magnitude faster than per-update processing under update storms.
+//   - Consistent, efficient early detection (CE2D): updates are tagged
+//     with epochs identifying the network state they were computed from;
+//     per-epoch verifiers detect violations (unreachable requirements,
+//     forwarding loops) from partial information, without waiting for
+//     long-tail stragglers and without reporting transient errors.
+//
+// The two entry points mirror the paper's two deployment modes:
+//
+//   - ModelBuilder is the throughput-oriented offline/bootstrap path: it
+//     partitions the header space into subspaces, runs one Fast IMT
+//     transformer per subspace in parallel, and answers model queries
+//     (Table 3 / Figure 6 of the paper).
+//   - System is the online path: a CE2D dispatcher plus per-epoch,
+//     per-subspace verifiers fed by epoch-tagged agent messages, over TCP
+//     (package wire) or in process (Figure 1 of the paper).
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure.
+package flash
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bdd"
+	"repro/internal/ce2d"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/imt"
+	"repro/internal/pat"
+	"repro/internal/reach"
+	"repro/internal/spec"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// Re-exported core types, so that library users interact with a single
+// import path.
+type (
+	// Action is a forwarding action (fib.Forward, fib.Drop, fib.None).
+	Action = fib.Action
+	// DeviceID identifies a device/switch.
+	DeviceID = fib.DeviceID
+	// Update is a native rule update in symbolic (wire) form.
+	Update = wire.Update
+	// Rule is a symbolic forwarding rule.
+	Rule = wire.Rule
+	// Msg is an epoch-tagged update block.
+	Msg = wire.Msg
+	// MatchDesc describes a rule match symbolically.
+	MatchDesc = fib.MatchDesc
+	// FieldMatch is one field constraint of a MatchDesc.
+	FieldMatch = fib.FieldMatch
+	// Graph is a network topology.
+	Graph = topo.Graph
+	// Layout declares the packet header fields.
+	Layout = hs.Layout
+	// Verdict is a reachability check outcome.
+	Verdict = reach.Verdict
+	// LoopResult is a loop check outcome.
+	LoopResult = ce2d.LoopResult
+)
+
+// Re-exported constants.
+const (
+	Drop = fib.Drop
+	None = fib.None
+
+	VerdictUnknown     = reach.Unknown
+	VerdictSatisfied   = reach.Satisfied
+	VerdictUnsatisfied = reach.Unsatisfied
+
+	LoopUnknown = ce2d.LoopUnknown
+	LoopFound   = ce2d.LoopFound
+	LoopFree    = ce2d.LoopFree
+)
+
+// Forward returns the action "forward to device d". Devices beyond the
+// topology's node count denote delivery (hosts / external ports).
+func Forward(d DeviceID) Action { return fib.Forward(d) }
+
+// CheckKind selects what a CheckSpec verifies.
+type CheckKind uint8
+
+// Check kinds.
+const (
+	// CheckReach verifies a path regular expression requirement. An
+	// expression of the form "cover P" automatically becomes a coverage
+	// check.
+	CheckReach CheckKind = iota
+	// CheckLoopFree verifies loop freedom.
+	CheckLoopFree
+	// CheckAnycast verifies that exactly one of Dests is reached.
+	CheckAnycast
+	// CheckMulticast verifies that all of Dests are reached.
+	CheckMulticast
+	// CheckCoverage verifies that every path matching Expr exists.
+	CheckCoverage
+)
+
+// CheckSpec declares one verification requirement symbolically, so it can
+// be compiled into every subspace verifier's own BDD engine.
+type CheckSpec struct {
+	Name string
+	Kind CheckKind
+	// Space restricts the packet space (nil = all packets).
+	Space MatchDesc
+	// Expr is the path regular expression (CheckReach); see package spec
+	// for the grammar, e.g. "S .* [W|Y] .* D".
+	Expr string
+	// Sources are the entry devices by node name (CheckReach).
+	Sources []string
+	// Dest names the destination-owner device matched by the '>' hop and
+	// required for delivery (CheckReach, CheckCoverage). Empty means any
+	// device may deliver.
+	Dest string
+	// Dests name the destination group (CheckAnycast, CheckMulticast).
+	Dests []string
+	// ExitNodes names devices that can deliver packets while
+	// unsynchronized (CheckLoopFree); nil means all (conservative).
+	ExitNodes []string
+}
+
+// Result is one deterministic early-detection result.
+type Result struct {
+	Subspace int
+	Epoch    string
+	Check    string
+	// Witness is one concrete header (field values in layout order) from
+	// the equivalence class the result applies to.
+	Witness []uint64
+	Verdict Verdict    // CheckReach results
+	Loop    LoopResult // CheckLoopFree results
+}
+
+func (r Result) String() string {
+	out := fmt.Sprintf("[%s] check %q subspace %d witness %v: ", r.Epoch, r.Check, r.Subspace, r.Witness)
+	if r.Loop != ce2d.LoopUnknown {
+		return out + r.Loop.String()
+	}
+	return out + r.Verdict.String()
+}
+
+// Config configures a System or ModelBuilder.
+type Config struct {
+	Topo   *Graph
+	Layout *Layout
+	// Subspaces partitions the destination field's space into this many
+	// prefix subspaces, each verified by its own engine (§3.4). Must be
+	// a power of two; 0 or 1 disables partitioning.
+	Subspaces int
+	// SubspaceField is the field partitioned (default "dst").
+	SubspaceField string
+	// Checks are the requirements verified by a System (ignored by
+	// ModelBuilder).
+	Checks []CheckSpec
+	// PerUpdate forces per-update processing (the APKeep-style special
+	// case; used by the ablation benchmarks).
+	PerUpdate bool
+	// Succ optionally restricts the potential-path successor sets used by
+	// reachability checks (e.g. to directed links, as in the paper's
+	// Figure 3): a tighter set yields earlier detection, any superset of
+	// the real forwarding stays consistent. Nil uses the topology's
+	// undirected adjacency.
+	Succ func(DeviceID) []DeviceID
+}
+
+func (c *Config) subspacePreds(s *hs.Space) []bdd.Ref {
+	n := c.Subspaces
+	if n <= 1 {
+		return []bdd.Ref{bdd.True}
+	}
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	if 1<<uint(bits) != n {
+		panic(fmt.Sprintf("flash: subspace count %d is not a power of two", n))
+	}
+	field := c.SubspaceField
+	if field == "" {
+		field = "dst"
+	}
+	width := c.Layout.FieldBits(field)
+	out := make([]bdd.Ref, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.Prefix(field, uint64(i)<<uint(width-bits), bits)
+	}
+	return out
+}
+
+// ---- ModelBuilder: offline / bootstrap model construction ----
+
+// ModelBuilder maintains the inverse model of a data plane with Fast IMT,
+// partitioned across parallel subspace workers.
+type ModelBuilder struct {
+	cfg     Config
+	workers []*mbWorker
+}
+
+type mbWorker struct {
+	mu        sync.Mutex
+	space     *hs.Space
+	universe  bdd.Ref
+	transform *imt.Transformer
+}
+
+// NewModelBuilder creates a builder per the configuration.
+func NewModelBuilder(cfg Config) *ModelBuilder {
+	b := &ModelBuilder{cfg: cfg}
+	probe := hs.NewSpace(cfg.Layout)
+	preds := cfg.subspacePreds(probe)
+	for i := range preds {
+		space := hs.NewSpace(cfg.Layout)
+		universe := cfg.subspacePreds(space)[i]
+		w := &mbWorker{
+			space:     space,
+			universe:  universe,
+			transform: imt.NewTransformer(space.E, pat.NewStore(), universe),
+		}
+		w.transform.PerUpdate = cfg.PerUpdate
+		b.workers = append(b.workers, w)
+	}
+	return b
+}
+
+// NumSubspaces reports the number of parallel subspace workers.
+func (b *ModelBuilder) NumSubspaces() int { return len(b.workers) }
+
+// ApplyBlock feeds one batch of per-device symbolic update blocks to all
+// subspace workers in parallel. Every rule must carry a symbolic match
+// descriptor; rules whose match does not intersect a worker's subspace
+// are skipped there.
+func (b *ModelBuilder) ApplyBlock(blocks []DeviceBlock) error {
+	errs := make([]error, len(b.workers))
+	var wg sync.WaitGroup
+	for i, w := range b.workers {
+		wg.Add(1)
+		go func(i int, w *mbWorker) {
+			defer wg.Done()
+			errs[i] = w.apply(blocks)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeviceBlock is a block of symbolic updates for one device.
+type DeviceBlock struct {
+	Device  DeviceID
+	Updates []Update
+}
+
+func (w *mbWorker) apply(blocks []DeviceBlock) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	compiled := make([]fib.Block, 0, len(blocks))
+	for _, db := range blocks {
+		fb := fib.Block{Device: db.Device}
+		for _, u := range db.Updates {
+			match := w.space.E.And(w.space.Compile(u.Rule.Desc), w.universe)
+			if match == bdd.False {
+				continue
+			}
+			fb.Updates = append(fb.Updates, fib.Update{
+				Op: u.Op,
+				Rule: fib.Rule{
+					ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
+					Match: match, Desc: u.Rule.Desc,
+				},
+			})
+		}
+		if len(fb.Updates) > 0 {
+			compiled = append(compiled, fb)
+		}
+	}
+	return w.transform.ApplyBlock(compiled)
+}
+
+// Compact rebuilds every subspace worker onto a fresh BDD engine from
+// the symbolic descriptors of its installed rules, releasing all dead
+// predicate nodes. Long-running verifiers call this between update storms
+// to bound memory (the engine itself never garbage-collects; canonical
+// hash-consed nodes are only released by rotation). Every installed rule
+// must carry a symbolic descriptor.
+func (b *ModelBuilder) Compact() error {
+	for _, w := range b.workers {
+		if err := w.compact(b.cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *mbWorker) compact(cfg Config) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	space := hs.NewSpace(cfg.Layout)
+	var universe bdd.Ref = bdd.True
+	if cfg.Subspaces > 1 {
+		// Recompute this worker's subspace predicate on the new engine.
+		preds := cfg.subspacePreds(space)
+		for i, p := range cfg.subspacePreds(w.space) {
+			if p == w.universe {
+				universe = preds[i]
+				break
+			}
+		}
+	}
+	tr := imt.NewTransformer(space.E, pat.NewStore(), universe)
+	tr.PerUpdate = cfg.PerUpdate
+	var blocks []fib.Block
+	for _, dev := range w.transform.Devices() {
+		blk := fib.Block{Device: dev}
+		for _, r := range w.transform.Table(dev).Rules() {
+			if r.Desc == nil {
+				return fmt.Errorf("flash: device %d rule %d has no descriptor; cannot compact", dev, r.ID)
+			}
+			nr := r
+			nr.Match = space.E.And(space.Compile(r.Desc), universe)
+			if nr.Match == bdd.False {
+				continue
+			}
+			blk.Updates = append(blk.Updates, fib.Update{Op: fib.Insert, Rule: nr})
+		}
+		if len(blk.Updates) > 0 {
+			blocks = append(blocks, blk)
+		}
+	}
+	if err := tr.ApplyBlock(blocks); err != nil {
+		return err
+	}
+	w.space = space
+	w.universe = universe
+	w.transform = tr
+	return nil
+}
+
+// ECs reports the total number of equivalence classes across subspaces.
+func (b *ModelBuilder) ECs() int {
+	n := 0
+	for _, w := range b.workers {
+		n += w.transform.Model().Len()
+	}
+	return n
+}
+
+// Stats merges the Fast IMT cost breakdown across subspace workers.
+func (b *ModelBuilder) Stats() imt.Stats {
+	var out imt.Stats
+	for _, w := range b.workers {
+		s := w.transform.Stats()
+		out.MapTime += s.MapTime
+		out.ReduceTime += s.ReduceTime
+		out.ApplyTime += s.ApplyTime
+		out.Blocks += s.Blocks
+		out.Updates += s.Updates
+		out.Atomic += s.Atomic
+		out.Aggregated += s.Aggregated
+	}
+	return out
+}
+
+// PredicateOps sums the BDD predicate-operation counters across workers
+// (the "# Predicate Operations" of Table 3).
+func (b *ModelBuilder) PredicateOps() uint64 {
+	var n uint64
+	for _, w := range b.workers {
+		n += w.space.E.Ops()
+	}
+	return n
+}
+
+// MemoryProxy reports live BDD nodes plus PAT nodes across workers, the
+// structural memory footprint of the model.
+func (b *ModelBuilder) MemoryProxy() int {
+	n := 0
+	for _, w := range b.workers {
+		n += w.space.E.NumNodes() + w.transform.Store.NumNodes()
+	}
+	return n
+}
+
+// ActionAt returns the forwarding action device dev applies to the given
+// header, answering point queries against the inverse model.
+func (b *ModelBuilder) ActionAt(dev DeviceID, header []uint64) (Action, error) {
+	for _, w := range b.workers {
+		asg := w.space.Assignment(header)
+		if !w.space.E.Eval(w.universe, asg) {
+			continue
+		}
+		vec, ok := w.transform.Model().Lookup(w.space.E, asg)
+		if !ok {
+			return None, fmt.Errorf("flash: header %v not covered", header)
+		}
+		return w.transform.Store.Get(vec, dev), nil
+	}
+	return None, fmt.Errorf("flash: header %v outside every subspace", header)
+}
+
+// ---- System: online CE2D verification ----
+
+// System is the online Flash deployment of Figure 1: per-subspace workers
+// each running a CE2D dispatcher that manages per-epoch verifiers.
+type System struct {
+	cfg     Config
+	workers []*sysWorker
+}
+
+type sysWorker struct {
+	mu       sync.Mutex
+	idx      int
+	space    *hs.Space
+	universe bdd.Ref
+	disp     *ce2d.Dispatcher
+}
+
+// NewSystem builds a System; checks are compiled per subspace.
+func NewSystem(cfg Config) (*System, error) {
+	s := &System{cfg: cfg}
+	probe := hs.NewSpace(cfg.Layout)
+	preds := cfg.subspacePreds(probe)
+	for i := range preds {
+		space := hs.NewSpace(cfg.Layout)
+		universe := cfg.subspacePreds(space)[i]
+		checks, err := compileChecks(cfg, space)
+		if err != nil {
+			return nil, err
+		}
+		w := &sysWorker{idx: i, space: space, universe: universe}
+		w.disp = ce2d.NewDispatcher(func(ce2d.Epoch) *ce2d.Verifier {
+			return ce2d.NewVerifier(ce2d.Config{
+				Topo:     cfg.Topo,
+				Engine:   space.E,
+				Universe: universe,
+				Checks:   checks,
+				Succ:     cfg.Succ,
+			})
+		})
+		s.workers = append(s.workers, w)
+	}
+	return s, nil
+}
+
+func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
+	var out []ce2d.Check
+	for _, cs := range cfg.Checks {
+		c := ce2d.Check{Name: cs.Name, Space: space.Compile(cs.Space)}
+		switch cs.Kind {
+		case CheckReach, CheckAnycast, CheckMulticast, CheckCoverage:
+			switch cs.Kind {
+			case CheckReach:
+				c.Kind = ce2d.CheckReach
+			case CheckAnycast:
+				c.Kind = ce2d.CheckAnycast
+			case CheckMulticast:
+				c.Kind = ce2d.CheckMulticast
+			case CheckCoverage:
+				c.Kind = ce2d.CheckCoverage
+			}
+			expr, err := spec.Parse(cs.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("flash: check %q: %w", cs.Name, err)
+			}
+			c.Expr = expr
+			for _, name := range cs.Sources {
+				id, ok := cfg.Topo.ByName(name)
+				if !ok {
+					return nil, fmt.Errorf("flash: check %q: unknown source %q", cs.Name, name)
+				}
+				c.Sources = append(c.Sources, id)
+			}
+			for _, name := range cs.Dests {
+				id, ok := cfg.Topo.ByName(name)
+				if !ok {
+					return nil, fmt.Errorf("flash: check %q: unknown dest %q", cs.Name, name)
+				}
+				c.Dests = append(c.Dests, id)
+			}
+			if (cs.Kind == CheckAnycast || cs.Kind == CheckMulticast) && len(c.Dests) == 0 {
+				return nil, fmt.Errorf("flash: check %q: %v needs Dests", cs.Name, cs.Kind)
+			}
+			if cs.Dest != "" {
+				dst, ok := cfg.Topo.ByName(cs.Dest)
+				if !ok {
+					return nil, fmt.Errorf("flash: check %q: unknown dest %q", cs.Name, cs.Dest)
+				}
+				c.IsDest = func(n topo.NodeID) bool { return n == dst }
+			} else {
+				c.IsDest = func(topo.NodeID) bool { return true }
+			}
+		case CheckLoopFree:
+			c.Kind = ce2d.CheckLoopFree
+			if len(cs.ExitNodes) > 0 {
+				exits := make(map[topo.NodeID]bool, len(cs.ExitNodes))
+				for _, name := range cs.ExitNodes {
+					id, ok := cfg.Topo.ByName(name)
+					if !ok {
+						return nil, fmt.Errorf("flash: check %q: unknown exit node %q", cs.Name, name)
+					}
+					exits[id] = true
+				}
+				c.CanExit = func(n topo.NodeID) bool { return exits[n] }
+			}
+		default:
+			return nil, fmt.Errorf("flash: check %q: unknown kind %d", cs.Name, cs.Kind)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Feed delivers one epoch-tagged agent message to every subspace worker
+// (in parallel) and returns the deterministic results it triggered.
+func (s *System) Feed(m Msg) ([]Result, error) {
+	results := make([][]Result, len(s.workers))
+	errs := make([]error, len(s.workers))
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		wg.Add(1)
+		go func(i int, w *sysWorker) {
+			defer wg.Done()
+			results[i], errs[i] = w.feed(m)
+		}(i, w)
+	}
+	wg.Wait()
+	var out []Result
+	for i := range s.workers {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Subspace < out[j].Subspace })
+	return out, nil
+}
+
+func (w *sysWorker) feed(m Msg) ([]Result, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var ups []fib.Update
+	for _, u := range m.Updates {
+		match := w.space.E.And(w.space.Compile(u.Rule.Desc), w.universe)
+		if match == bdd.False {
+			continue
+		}
+		ups = append(ups, fib.Update{
+			Op: u.Op,
+			Rule: fib.Rule{
+				ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
+				Match: match, Desc: u.Rule.Desc,
+			},
+		})
+	}
+	evs, err := w.disp.Receive(ce2d.Msg{Device: m.Device, Epoch: ce2d.Epoch(m.Epoch), Updates: ups})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(evs))
+	for _, te := range evs {
+		r := Result{
+			Subspace: w.idx,
+			Epoch:    string(te.Epoch),
+			Check:    te.Event.Check,
+			Verdict:  te.Event.Verdict,
+			Loop:     te.Event.Loop,
+		}
+		if asg := w.space.E.AnySat(te.Event.Class); asg != nil {
+			r.Witness = headerFromAssignment(w.space, asg)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// headerFromAssignment reconstructs per-field values from a BDD
+// assignment.
+func headerFromAssignment(s *hs.Space, asg []bool) []uint64 {
+	out := make([]uint64, len(s.Layout.Fields()))
+	bit := 0
+	for fi, f := range s.Layout.Fields() {
+		var v uint64
+		for b := 0; b < f.Bits; b++ {
+			v <<= 1
+			if asg[bit] {
+				v |= 1
+			}
+			bit++
+		}
+		out[fi] = v
+	}
+	return out
+}

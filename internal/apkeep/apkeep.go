@@ -1,0 +1,290 @@
+// Package apkeep implements the APKeep* baseline: our reimplementation of
+// APKeep (Zhang et al., NSDI'20) following its pseudocode, as §5.1 of the
+// Flash paper describes. APKeep maintains the same equivalence-class
+// inverse model as Flash, but processes native rule updates one at a time
+// — the special case the Flash paper identifies in §3.1 ("the APKeep work
+// is solving the special case where each update has only one rule").
+//
+// For each update it computes the update's effective-predicate change by
+// consulting the overlapping rules on the device (found through a prefix
+// trie, APKeep's PPM element structure), and immediately applies a
+// single-device overwrite to the EC table. With K updates against tables
+// of T rules this costs O(K·T) predicate operations and K cross products,
+// versus Fast IMT's O(T+K) operations and one aggregated cross product —
+// the gap Figures 6 and 11 measure.
+package apkeep
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/imt"
+	"repro/internal/pat"
+	"repro/internal/trie"
+)
+
+// Stats mirrors imt.Stats for the phases APKeep* has: computing the
+// per-update overwrite (Map) and applying it (Apply); there is no
+// aggregation phase.
+type Stats struct {
+	MapTime   time.Duration
+	ApplyTime time.Duration
+	Updates   int
+}
+
+// Total is the total model update time.
+func (s Stats) Total() time.Duration { return s.MapTime + s.ApplyTime }
+
+// Verifier is one APKeep* instance.
+type Verifier struct {
+	E     *bdd.Engine
+	Store *pat.Store
+
+	primaryField string
+	primaryBits  int
+
+	tables map[fib.DeviceID]*fib.Table
+	tries  map[fib.DeviceID]*trie.Trie[int64]
+	rules  map[fib.DeviceID]map[int64]fib.Rule
+	model  *imt.Model
+	stats  Stats
+
+	// LinearScan disables the prefix-trie candidate filter and scans the
+	// whole table for overlaps — the §3.4 "fast look-up for overlapped
+	// rules" ablation.
+	LinearScan bool
+}
+
+// New creates an APKeep* verifier. primaryField/primaryBits name the
+// header field its rule tries index (the destination field in every
+// workload of the paper); universe restricts the model to a subspace.
+func New(e *bdd.Engine, store *pat.Store, universe bdd.Ref, primaryField string, primaryBits int) *Verifier {
+	return &Verifier{
+		E:            e,
+		Store:        store,
+		primaryField: primaryField,
+		primaryBits:  primaryBits,
+		tables:       make(map[fib.DeviceID]*fib.Table),
+		tries:        make(map[fib.DeviceID]*trie.Trie[int64]),
+		rules:        make(map[fib.DeviceID]map[int64]fib.Rule),
+		model:        imt.NewModel(universe),
+	}
+}
+
+// Model returns the maintained inverse model.
+func (v *Verifier) Model() *imt.Model { return v.model }
+
+// Stats returns the accumulated phase breakdown.
+func (v *Verifier) Stats() Stats { return v.stats }
+
+// ResetStats zeroes the phase breakdown.
+func (v *Verifier) ResetStats() { v.stats = Stats{} }
+
+// Table returns the device's table, creating state on first use.
+func (v *Verifier) Table(dev fib.DeviceID) *fib.Table {
+	tb, ok := v.tables[dev]
+	if !ok {
+		tb = fib.NewTable()
+		v.tables[dev] = tb
+		v.tries[dev] = trie.New[int64](v.primaryBits)
+		v.rules[dev] = make(map[int64]fib.Rule)
+	}
+	return tb
+}
+
+// Apply processes one native update (per-update semantics).
+func (v *Verifier) Apply(dev fib.DeviceID, u fib.Update) error {
+	v.stats.Updates++
+	if u.Op == fib.Insert {
+		return v.insert(dev, u.Rule)
+	}
+	return v.delete(dev, u.Rule)
+}
+
+// ApplyBlock processes a block update-by-update (APKeep has no block
+// path; this is a convenience for driving both systems with one workload).
+func (v *Verifier) ApplyBlock(blocks []fib.Block) error {
+	for _, b := range blocks {
+		for _, u := range b.Updates {
+			if err := v.Apply(b.Device, u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// overlapping returns the device's rules whose matches overlap r's,
+// using the prefix trie as a candidate filter and exact BDD overlap as
+// the final test. r itself (by ID) is excluded.
+func (v *Verifier) overlapping(dev fib.DeviceID, r fib.Rule) []fib.Rule {
+	if v.LinearScan {
+		out := make([]fib.Rule, 0, 8)
+		for _, cand := range v.tables[dev].Rules() {
+			if cand.ID == r.ID {
+				continue
+			}
+			if v.E.Overlaps(cand.Match, r.Match) {
+				out = append(out, cand)
+			}
+		}
+		return out
+	}
+	val, plen, ok := r.Desc.PrimaryPrefix(v.primaryField)
+	if !ok {
+		val, plen = 0, 0
+	}
+	ids := v.tries[dev].Overlapping(val, plen, nil)
+	out := make([]fib.Rule, 0, len(ids))
+	for _, id := range ids {
+		if id == r.ID {
+			continue
+		}
+		cand := v.rules[dev][id]
+		if v.E.Overlaps(cand.Match, r.Match) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func (v *Verifier) indexInsert(dev fib.DeviceID, r fib.Rule) {
+	val, plen, ok := r.Desc.PrimaryPrefix(v.primaryField)
+	if !ok {
+		val, plen = 0, 0
+	}
+	v.tries[dev].Insert(val, plen, r.ID)
+	v.rules[dev][r.ID] = r
+}
+
+func (v *Verifier) indexDelete(dev fib.DeviceID, r fib.Rule) {
+	val, plen, ok := r.Desc.PrimaryPrefix(v.primaryField)
+	if !ok {
+		val, plen = 0, 0
+	}
+	v.tries[dev].Delete(val, plen, r.ID)
+	delete(v.rules[dev], r.ID)
+}
+
+// effective computes r's effective predicate against the device's current
+// table: match ∧ ¬(∨ of higher-priority overlapping matches).
+func (v *Verifier) effective(dev fib.DeviceID, r fib.Rule) bdd.Ref {
+	higher := bdd.False
+	for _, o := range v.overlapping(dev, r) {
+		if o.Pri > r.Pri || (o.Pri == r.Pri && o.ID < r.ID) {
+			higher = v.E.Or(higher, o.Match)
+		}
+	}
+	return v.E.Diff(r.Match, higher)
+}
+
+func (v *Verifier) insert(dev fib.DeviceID, r fib.Rule) error {
+	tb := v.Table(dev)
+	if _, dup := v.rules[dev][r.ID]; dup {
+		return fmt.Errorf("apkeep: duplicate rule %d on device %d", r.ID, dev)
+	}
+	start := time.Now()
+	eff := v.effective(dev, r)
+	tb.Insert(r)
+	v.indexInsert(dev, r)
+	v.stats.MapTime += time.Since(start)
+
+	if eff == bdd.False {
+		return nil
+	}
+	start = time.Now()
+	v.model.Apply(v.E, v.Store, []imt.Overwrite{
+		{Pred: eff, Delta: v.Store.Set(pat.Empty, dev, r.Action)},
+	})
+	v.stats.ApplyTime += time.Since(start)
+	return nil
+}
+
+func (v *Verifier) delete(dev fib.DeviceID, r fib.Rule) error {
+	v.Table(dev)
+	stored, ok := v.rules[dev][r.ID]
+	if !ok {
+		return fmt.Errorf("apkeep: delete of missing rule %d on device %d", r.ID, dev)
+	}
+	start := time.Now()
+	eff := v.effective(dev, stored)
+	// The freed space falls to the lower-priority overlapping rules in
+	// priority order.
+	lower := make([]fib.Rule, 0, 8)
+	for _, o := range v.overlapping(dev, stored) {
+		if o.Pri < stored.Pri || (o.Pri == stored.Pri && o.ID > stored.ID) {
+			lower = append(lower, o)
+		}
+	}
+	sortRules(lower)
+	if !v.tables[dev].Delete(stored.Pri, stored.ID) {
+		return fmt.Errorf("apkeep: table/index out of sync for rule %d", r.ID)
+	}
+	v.indexDelete(dev, stored)
+
+	var ows []imt.Overwrite
+	rem := eff
+	for _, o := range lower {
+		if rem == bdd.False {
+			break
+		}
+		part := v.E.And(rem, o.Match)
+		if part == bdd.False {
+			continue
+		}
+		ows = append(ows, imt.Overwrite{Pred: part, Delta: v.Store.Set(pat.Empty, dev, o.Action)})
+		rem = v.E.Diff(rem, o.Match)
+	}
+	v.stats.MapTime += time.Since(start)
+
+	start = time.Now()
+	v.model.Apply(v.E, v.Store, ows)
+	if rem != bdd.False {
+		// No remaining rule covers this space: clear the device's action.
+		v.clear(dev, rem)
+	}
+	v.stats.ApplyTime += time.Since(start)
+	return nil
+}
+
+// clear removes device dev's coordinate from every class intersecting pred.
+func (v *Verifier) clear(dev fib.DeviceID, pred bdd.Ref) {
+	type move struct {
+		vec   pat.Ref
+		inter bdd.Ref
+		rem   bdd.Ref
+	}
+	var moves []move
+	for vec, p := range v.model.ECs {
+		inter := v.E.And(p, pred)
+		if inter == bdd.False {
+			continue
+		}
+		moves = append(moves, move{vec, inter, v.E.Diff(p, pred)})
+	}
+	for _, m := range moves {
+		if m.rem == bdd.False {
+			delete(v.model.ECs, m.vec)
+		} else {
+			v.model.ECs[m.vec] = m.rem
+		}
+	}
+	for _, m := range moves {
+		nv := v.Store.Set(m.vec, dev, fib.None)
+		if old, ok := v.model.ECs[nv]; ok {
+			v.model.ECs[nv] = v.E.Or(old, m.inter)
+		} else {
+			v.model.ECs[nv] = m.inter
+		}
+	}
+}
+
+func sortRules(rs []fib.Rule) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Less(rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

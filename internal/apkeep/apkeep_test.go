@@ -1,0 +1,256 @@
+package apkeep
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/imt"
+	"repro/internal/pat"
+)
+
+func newRig() (*hs.Space, *pat.Store, *Verifier) {
+	s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+	ps := pat.NewStore()
+	return s, ps, New(s.E, ps, bdd.True, "dst", 8)
+}
+
+func prefixRule(s *hs.Space, id int64, pri int32, val uint64, plen int, a fib.Action) fib.Rule {
+	desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: val, Len: plen}}
+	return fib.Rule{ID: id, Pri: pri, Action: a, Desc: desc, Match: s.Compile(desc)}
+}
+
+func TestInsertDeleteBehavior(t *testing.T) {
+	s, ps, v := newRig()
+	d := fib.DeviceID(0)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(v.Apply(d, fib.Update{Op: fib.Insert, Rule: prefixRule(s, 1, 0, 0, 0, fib.Drop)}))
+	must(v.Apply(d, fib.Update{Op: fib.Insert, Rule: prefixRule(s, 2, 5, 0xA0, 4, fib.Forward(1))}))
+	must(v.Apply(d, fib.Update{Op: fib.Insert, Rule: prefixRule(s, 3, 7, 0xA8, 6, fib.Forward(2))}))
+	if err := v.Model().Validate(v.E); err != nil {
+		t.Fatal(err)
+	}
+	check := func(h uint64, want fib.Action) {
+		t.Helper()
+		vec, ok := v.Model().Lookup(v.E, s.Assignment(hs.Header{h}))
+		if !ok {
+			t.Fatalf("header %#x uncovered", h)
+		}
+		if got := ps.Get(vec, d); got != want {
+			t.Errorf("header %#x → %v, want %v", h, got, want)
+		}
+	}
+	check(0xA9, fib.Forward(2))
+	check(0xA0, fib.Forward(1))
+	check(0x00, fib.Drop)
+	must(v.Apply(d, fib.Update{Op: fib.Delete, Rule: prefixRule(s, 3, 7, 0xA8, 6, fib.Forward(2))}))
+	if err := v.Model().Validate(v.E); err != nil {
+		t.Fatal(err)
+	}
+	check(0xA9, fib.Forward(1))
+	// Deleting the default exposes uncovered space → cleared coordinate.
+	must(v.Apply(d, fib.Update{Op: fib.Delete, Rule: prefixRule(s, 1, 0, 0, 0, fib.Drop)}))
+	if err := v.Model().Validate(v.E); err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := v.Model().Lookup(v.E, s.Assignment(hs.Header{0x00}))
+	if got := ps.Get(vec, d); got != fib.None {
+		t.Errorf("uncovered header has action %v, want none", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _, v := newRig()
+	d := fib.DeviceID(0)
+	r := prefixRule(s, 1, 1, 0, 0, fib.Drop)
+	if err := v.Apply(d, fib.Update{Op: fib.Insert, Rule: r}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Apply(d, fib.Update{Op: fib.Insert, Rule: r}); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if err := v.Apply(d, fib.Update{Op: fib.Delete, Rule: prefixRule(s, 9, 1, 0, 0, fib.Drop)}); err == nil {
+		t.Error("missing delete accepted")
+	}
+}
+
+// TestAgreesWithFastIMT drives APKeep* and the Fast IMT transformer with
+// identical random update sequences and requires identical inverse models.
+func TestAgreesWithFastIMT(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		ap := New(s.E, ps, bdd.True, "dst", 8)
+		tr := imt.NewTransformer(s.E, ps, bdd.True)
+
+		nextID := int64(1)
+		type live struct {
+			dev fib.DeviceID
+			r   fib.Rule
+		}
+		var rules []live
+		// Every table needs a permanent lowest-priority default rule
+		// (footnote 4 of the paper; Algorithm 1's merge relies on it).
+		for dev := fib.DeviceID(0); dev < 4; dev++ {
+			def := prefixRule(s, nextID, -1, 0, 0, fib.Drop)
+			nextID++
+			if err := ap.Apply(dev, fib.Update{Op: fib.Insert, Rule: def}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.ApplyBlock([]fib.Block{{Device: dev, Updates: []fib.Update{{Op: fib.Insert, Rule: def}}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for step := 0; step < 150; step++ {
+			dev := fib.DeviceID(rng.Intn(4))
+			var u fib.Update
+			if rng.Intn(4) > 0 || len(rules) == 0 {
+				var desc fib.MatchDesc
+				if rng.Intn(5) == 0 {
+					desc = fib.MatchDesc{{Field: "dst", Kind: fib.MatchTernary,
+						Value: uint64(rng.Intn(256)), Mask: uint64(rng.Intn(16))}}
+				} else {
+					desc = fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix,
+						Value: uint64(rng.Intn(256)), Len: rng.Intn(9)}}
+				}
+				r := fib.Rule{ID: nextID, Pri: int32(rng.Intn(8)), Desc: desc,
+					Match: s.Compile(desc), Action: fib.Forward(fib.DeviceID(rng.Intn(6)))}
+				nextID++
+				u = fib.Update{Op: fib.Insert, Rule: r}
+				rules = append(rules, live{dev, r})
+			} else {
+				i := rng.Intn(len(rules))
+				l := rules[i]
+				rules = append(rules[:i], rules[i+1:]...)
+				dev = l.dev
+				u = fib.Update{Op: fib.Delete, Rule: l.r}
+			}
+			if err := ap.Apply(dev, u); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.ApplyBlock([]fib.Block{{Device: dev, Updates: []fib.Update{u}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		am, fm := ap.Model(), tr.Model()
+		if err := am.Validate(s.E); err != nil {
+			t.Fatalf("trial %d: apkeep model invalid: %v", trial, err)
+		}
+		if am.Len() != fm.Len() {
+			t.Fatalf("trial %d: apkeep %d classes, imt %d", trial, am.Len(), fm.Len())
+		}
+		for vec, p := range fm.ECs {
+			if am.ECs[vec] != p {
+				t.Fatalf("trial %d: class predicate mismatch for %s", trial, ps.String(vec))
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, _, v := newRig()
+	d := fib.DeviceID(0)
+	if err := v.Apply(d, fib.Update{Op: fib.Insert, Rule: prefixRule(s, 1, 0, 0, 0, fib.Drop)}); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Stats()
+	if st.Updates != 1 || st.Total() <= 0 {
+		t.Errorf("stats not recorded: %+v", st)
+	}
+	v.ResetStats()
+	if v.Stats().Updates != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestApplyBlockConvenience(t *testing.T) {
+	s, _, v := newRig()
+	err := v.ApplyBlock([]fib.Block{
+		{Device: 0, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: prefixRule(s, 1, 0, 0, 0, fib.Drop)},
+			{Op: fib.Insert, Rule: prefixRule(s, 2, 3, 0x40, 2, fib.Forward(1))},
+		}},
+		{Device: 1, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: prefixRule(s, 3, 0, 0, 0, fib.Drop)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Model().Len() != 2 {
+		t.Errorf("model has %d classes, want 2", v.Model().Len())
+	}
+	if err := v.Model().Validate(v.E); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearScanAgrees: the trie is only a candidate filter — disabling
+// it must not change any result (§3.4 ablation correctness).
+func TestLinearScanAgrees(t *testing.T) {
+	s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+	ps := pat.NewStore()
+	fast := New(s.E, ps, bdd.True, "dst", 8)
+	slow := New(s.E, ps, bdd.True, "dst", 8)
+	slow.LinearScan = true
+	rng := rand.New(rand.NewSource(777))
+	nextID := int64(1)
+	for step := 0; step < 120; step++ {
+		dev := fib.DeviceID(rng.Intn(3))
+		r := prefixRule(s, nextID, int32(rng.Intn(6)), uint64(rng.Intn(256)), rng.Intn(9),
+			fib.Forward(fib.DeviceID(rng.Intn(4))))
+		nextID++
+		for _, v := range []*Verifier{fast, slow} {
+			if err := v.Apply(dev, fib.Update{Op: fib.Insert, Rule: r}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fm, sm := fast.Model(), slow.Model()
+	if fm.Len() != sm.Len() {
+		t.Fatalf("trie %d classes, linear %d", fm.Len(), sm.Len())
+	}
+	for vec, p := range fm.ECs {
+		if sm.ECs[vec] != p {
+			t.Fatal("trie and linear-scan models differ")
+		}
+	}
+}
+
+func BenchmarkOverlapLookup(b *testing.B) {
+	build := func(linear bool) *Verifier {
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+		v := New(s.E, pat.NewStore(), bdd.True, "dst", 16)
+		v.LinearScan = linear
+		rng := rand.New(rand.NewSource(5))
+		for id := int64(1); id <= 400; id++ {
+			desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix,
+				Value: uint64(rng.Intn(1 << 16)), Len: 4 + rng.Intn(12)}}
+			r := fib.Rule{ID: id, Pri: int32(rng.Intn(8)), Desc: desc,
+				Match: s.Compile(desc), Action: fib.Drop}
+			if err := v.Apply(0, fib.Update{Op: fib.Insert, Rule: r}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return v
+	}
+	for _, mode := range []string{"trie", "linear"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			v := build(mode == "linear")
+			probe := v.rules[0][200]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.overlapping(0, probe)
+			}
+		})
+	}
+}

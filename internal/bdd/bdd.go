@@ -1,0 +1,379 @@
+// Package bdd implements a reduced ordered binary decision diagram (ROBDD)
+// engine used as the predicate representation for header spaces.
+//
+// The paper's reference implementation uses the JDD library; Go has no
+// mature BDD library, so this package provides one from scratch. It is a
+// classic slice-backed ROBDD with a unique table (hash consing) and an
+// ITE-based apply with a computed cache. Because nodes are hash-consed,
+// two predicates are logically equivalent if and only if their Refs are
+// equal, which the inverse-model code relies on for O(1) predicate
+// comparison (Reduce II in the paper aggregates overwrites by predicate).
+//
+// The engine counts "predicate operations" exactly as §3.3 of the paper
+// defines them: one conjunction (∧), disjunction (∨) or negation (¬)
+// invocation counts as one operation regardless of internal node visits.
+// This makes the "# Predicate Operations" column of Table 3 reproducible.
+//
+// Engines are not safe for concurrent use; Flash gives each subspace
+// verifier its own Engine, mirroring the paper's per-verifier JDD instance.
+package bdd
+
+import "fmt"
+
+// Ref is a reference to a BDD node. The terminals are the constants False
+// and True; all other Refs index into the owning Engine's node store.
+// The zero value is False, so zero-valued predicates are valid ("empty
+// header space").
+type Ref int32
+
+// Terminal nodes. They are identical for every Engine.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// node is an internal decision node: if variable level is 0 take lo, else hi.
+type node struct {
+	level int32 // variable index; smaller level = closer to the root
+	lo    Ref
+	hi    Ref
+}
+
+// cacheKey identifies a memoized ITE computation.
+type cacheKey struct {
+	f, g, h Ref
+}
+
+// Engine owns a universe of BDD nodes over a fixed number of Boolean
+// variables. Variable i is tested before variable j whenever i < j.
+type Engine struct {
+	nvars  int
+	nodes  []node
+	unique map[uint64]Ref
+	cache  map[cacheKey]Ref
+	ops    uint64 // user-level predicate operations (∧, ∨, ¬)
+}
+
+// New returns an Engine over nvars Boolean variables. nvars must be
+// positive and at most 32767 so that levels fit the node encoding.
+func New(nvars int) *Engine {
+	if nvars <= 0 || nvars > 1<<15-1 {
+		panic(fmt.Sprintf("bdd: invalid variable count %d", nvars))
+	}
+	e := &Engine{
+		nvars:  nvars,
+		nodes:  make([]node, 2, 1024),
+		unique: make(map[uint64]Ref, 1024),
+		cache:  make(map[cacheKey]Ref, 1024),
+	}
+	// Terminals occupy slots 0 and 1 with a sentinel level below all
+	// variables so cofactor logic never descends into them.
+	e.nodes[False] = node{level: int32(nvars), lo: False, hi: False}
+	e.nodes[True] = node{level: int32(nvars), lo: True, hi: True}
+	return e
+}
+
+// NumVars reports the number of Boolean variables in the engine's universe.
+func (e *Engine) NumVars() int { return e.nvars }
+
+// NumNodes reports the number of live decision nodes, including terminals.
+// It is the engine's memory-footprint proxy used by the benchmarks.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// Ops reports the cumulative number of user-level predicate operations
+// (conjunction, disjunction, negation) performed so far, as counted in
+// §3.3 of the paper.
+func (e *Engine) Ops() uint64 { return e.ops }
+
+// ResetOps zeroes the predicate-operation counter.
+func (e *Engine) ResetOps() { e.ops = 0 }
+
+// mk returns the canonical node (level, lo, hi), creating it if needed.
+func (e *Engine) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := uint64(level)<<48 | uint64(uint32(lo))<<24 | uint64(uint32(hi))
+	if r, ok := e.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(e.nodes))
+	e.nodes = append(e.nodes, node{level: level, lo: lo, hi: hi})
+	e.unique[key] = r
+	return r
+}
+
+// Var returns the predicate that is true exactly when variable i is 1.
+func (e *Engine) Var(i int) Ref {
+	if i < 0 || i >= e.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, e.nvars))
+	}
+	return e.mk(int32(i), False, True)
+}
+
+// NVar returns the predicate that is true exactly when variable i is 0.
+func (e *Engine) NVar(i int) Ref {
+	if i < 0 || i >= e.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, e.nvars))
+	}
+	return e.mk(int32(i), True, False)
+}
+
+// ite computes if-then-else(f, g, h) = (f ∧ g) ∨ (¬f ∧ h).
+func (e *Engine) ite(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := cacheKey{f, g, h}
+	if r, ok := e.cache[key]; ok {
+		return r
+	}
+	nf, ng, nh := e.nodes[f], e.nodes[g], e.nodes[h]
+	top := nf.level
+	if ng.level < top {
+		top = ng.level
+	}
+	if nh.level < top {
+		top = nh.level
+	}
+	f0, f1 := cofactor(nf, f, top)
+	g0, g1 := cofactor(ng, g, top)
+	h0, h1 := cofactor(nh, h, top)
+	lo := e.ite(f0, g0, h0)
+	hi := e.ite(f1, g1, h1)
+	r := e.mk(top, lo, hi)
+	e.cache[key] = r
+	return r
+}
+
+// cofactor returns the (lo, hi) cofactors of node n (with Ref r) with
+// respect to the variable at level top.
+func cofactor(n node, r Ref, top int32) (lo, hi Ref) {
+	if n.level == top {
+		return n.lo, n.hi
+	}
+	return r, r
+}
+
+// And returns a ∧ b and counts one predicate operation.
+func (e *Engine) And(a, b Ref) Ref {
+	e.ops++
+	return e.ite(a, b, False)
+}
+
+// Or returns a ∨ b and counts one predicate operation.
+func (e *Engine) Or(a, b Ref) Ref {
+	e.ops++
+	return e.ite(a, True, b)
+}
+
+// Not returns ¬a and counts one predicate operation.
+func (e *Engine) Not(a Ref) Ref {
+	e.ops++
+	return e.ite(a, False, True)
+}
+
+// Diff returns a ∧ ¬b. It counts as two predicate operations (a negation
+// and a conjunction), matching how the paper's pseudocode composes it.
+func (e *Engine) Diff(a, b Ref) Ref {
+	e.ops += 2
+	return e.ite(b, False, a)
+}
+
+// Xor returns a ⊕ b, counted as one operation.
+func (e *Engine) Xor(a, b Ref) Ref {
+	e.ops++
+	return e.ite(a, e.ite(b, False, True), b)
+}
+
+// Implies reports whether a ⇒ b holds for all assignments, i.e. a ∧ ¬b = ∅.
+// It performs one (counted) predicate operation.
+func (e *Engine) Implies(a, b Ref) bool {
+	e.ops++
+	return e.ite(a, b, True) == True
+}
+
+// Overlaps reports whether a ∧ b is non-empty. One counted operation.
+func (e *Engine) Overlaps(a, b Ref) bool {
+	e.ops++
+	return e.ite(a, b, False) != False
+}
+
+// AndN folds And over all arguments; AndN() = True.
+func (e *Engine) AndN(refs ...Ref) Ref {
+	r := True
+	for _, x := range refs {
+		r = e.And(r, x)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// OrN folds Or over all arguments; OrN() = False.
+func (e *Engine) OrN(refs ...Ref) Ref {
+	r := False
+	for _, x := range refs {
+		r = e.Or(r, x)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// Cube returns the conjunction of literals for the variables in vars,
+// where bits selects the polarity of each (bit i of bits corresponds to
+// vars[i]). vars must be strictly increasing so the cube can be built
+// bottom-up in canonical order. Cube does not count predicate operations:
+// it is the primitive used to construct match predicates, not a
+// model-update operation.
+func (e *Engine) Cube(vars []int, bits uint64) Ref {
+	r := True
+	for i := len(vars) - 1; i >= 0; i-- {
+		v := vars[i]
+		if v < 0 || v >= e.nvars {
+			panic(fmt.Sprintf("bdd: variable %d out of range", v))
+		}
+		if i+1 < len(vars) && vars[i+1] <= v {
+			panic("bdd: Cube variables must be strictly increasing")
+		}
+		if bits&(1<<uint(i)) != 0 {
+			r = e.mk(int32(v), False, r)
+		} else {
+			r = e.mk(int32(v), r, False)
+		}
+	}
+	return r
+}
+
+// Eval evaluates predicate r under the given assignment (assignment[i] is
+// the value of variable i). Used by tests to cross-check algebra.
+func (e *Engine) Eval(r Ref, assignment []bool) bool {
+	for r != True && r != False {
+		n := e.nodes[r]
+		if assignment[n.level] {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// SatCount returns the number of satisfying assignments of r over the full
+// variable universe, as a float64 (exact for < 2^53).
+func (e *Engine) SatCount(r Ref) float64 {
+	memo := make(map[Ref]float64)
+	var count func(r Ref, level int32) float64
+	count = func(r Ref, level int32) float64 {
+		if r == False {
+			return 0
+		}
+		n := e.nodes[r]
+		var sub float64
+		if r == True {
+			sub = 1
+			n.level = int32(e.nvars)
+		} else if c, ok := memo[r]; ok {
+			sub = c
+		} else {
+			sub = count(n.lo, n.level+1) + count(n.hi, n.level+1)
+			memo[r] = sub
+		}
+		return sub * pow2(int(n.level)-int(level))
+	}
+	return count(r, 0)
+}
+
+func pow2(n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// AnySat returns one satisfying assignment of r, or nil if r is False.
+func (e *Engine) AnySat(r Ref) []bool {
+	if r == False {
+		return nil
+	}
+	a := make([]bool, e.nvars)
+	for r != True {
+		n := e.nodes[r]
+		if n.lo != False {
+			r = n.lo
+		} else {
+			a[n.level] = true
+			r = n.hi
+		}
+	}
+	return a
+}
+
+// Exists existentially quantifies the given variables out of r: the
+// result is true for an assignment iff some setting of the quantified
+// variables satisfies r. vars must be strictly increasing. Counts one
+// predicate operation per quantified variable (each is a disjunction of
+// cofactors). Used by the header-rewrite extension (a rewrite "field :=
+// v" maps predicate p to Exists(p, fieldBits) ∧ (field = v)).
+func (e *Engine) Exists(r Ref, vars []int) Ref {
+	if len(vars) == 0 {
+		return r
+	}
+	for i, v := range vars {
+		if v < 0 || v >= e.nvars {
+			panic(fmt.Sprintf("bdd: variable %d out of range", v))
+		}
+		if i > 0 && vars[i-1] >= v {
+			panic("bdd: Exists variables must be strictly increasing")
+		}
+	}
+	e.ops += uint64(len(vars))
+	memo := make(map[Ref]Ref)
+	var rec func(r Ref, vi int) Ref
+	rec = func(r Ref, vi int) Ref {
+		if vi >= len(vars) || r == True || r == False {
+			return r
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := e.nodes[r]
+		// Skip quantifier variables above this node's level.
+		for vi < len(vars) && int32(vars[vi]) < n.level {
+			vi++
+		}
+		var out Ref
+		switch {
+		case vi >= len(vars):
+			out = r
+		case int32(vars[vi]) == n.level:
+			lo := rec(n.lo, vi+1)
+			hi := rec(n.hi, vi+1)
+			out = e.ite(lo, True, hi) // lo ∨ hi
+		default:
+			out = e.mk(n.level, rec(n.lo, vi), rec(n.hi, vi))
+		}
+		memo[r] = out
+		return out
+	}
+	return rec(r, 0)
+}
+
+// ClearCache drops the computed-table cache (but keeps all nodes alive).
+// Long-running verifiers call this between large update blocks to bound
+// memory without invalidating outstanding Refs.
+func (e *Engine) ClearCache() {
+	e.cache = make(map[cacheKey]Ref, 1024)
+}

@@ -1,0 +1,155 @@
+package ce2d
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+)
+
+// Msg is one epoch-tagged FIB update message from a device agent.
+// Delivery between one agent and the dispatcher is serialized (in-order),
+// as §4.1 requires; there is no ordering constraint across devices.
+type Msg struct {
+	Device  fib.DeviceID
+	Epoch   Epoch
+	Updates []fib.Update
+}
+
+// TaggedEvent is a deterministic early-detection result together with the
+// epoch it is consistent with.
+type TaggedEvent struct {
+	Epoch Epoch
+	Event Event
+}
+
+// DispatcherStats counts verifier lifecycle activity.
+type DispatcherStats struct {
+	Messages         int
+	VerifiersCreated int
+	VerifiersStopped int
+}
+
+// Dispatcher implements the CE2D dispatcher of Figure 1: it tracks epoch
+// activity, manages the life cycle of per-epoch verifiers, and routes
+// device update queues to them (§4.1, "Dispatching Consistent FIB
+// Updates"). It is single-goroutine; the wire server serializes into it.
+type Dispatcher struct {
+	tracker *Tracker
+	factory func(Epoch) *Verifier
+
+	queues    map[fib.DeviceID][]Msg
+	verifiers map[Epoch]*Verifier
+	fed       map[Epoch]map[fib.DeviceID]int // per-verifier consumed queue prefix
+	stats     DispatcherStats
+}
+
+// NewDispatcher creates a dispatcher; factory builds a fresh verifier for
+// an epoch when it first becomes active.
+func NewDispatcher(factory func(Epoch) *Verifier) *Dispatcher {
+	return &Dispatcher{
+		tracker:   NewTracker(),
+		factory:   factory,
+		queues:    make(map[fib.DeviceID][]Msg),
+		verifiers: make(map[Epoch]*Verifier),
+		fed:       make(map[Epoch]map[fib.DeviceID]int),
+	}
+}
+
+// Tracker exposes the epoch tracker (read-only use).
+func (d *Dispatcher) Tracker() *Tracker { return d.tracker }
+
+// Stats returns lifecycle counters.
+func (d *Dispatcher) Stats() DispatcherStats { return d.stats }
+
+// Verifier returns the live verifier for an epoch, if any.
+func (d *Dispatcher) Verifier(e Epoch) (*Verifier, bool) {
+	v, ok := d.verifiers[e]
+	return v, ok
+}
+
+// Receive processes one message: queue it, update epoch activity, stop
+// superseded verifiers, and feed the active verifier. It returns any new
+// deterministic detection results.
+func (d *Dispatcher) Receive(m Msg) ([]TaggedEvent, error) {
+	d.stats.Messages++
+	d.queues[m.Device] = append(d.queues[m.Device], m)
+
+	isActive, deactivated := d.tracker.Observe(m.Device, m.Epoch)
+	for _, e := range deactivated {
+		if _, ok := d.verifiers[e]; ok {
+			delete(d.verifiers, e)
+			delete(d.fed, e)
+			d.stats.VerifiersStopped++
+		}
+	}
+	if !isActive {
+		// A newer epoch from this device already exists elsewhere; the
+		// updates stay queued for future verifiers' snapshots.
+		return nil, nil
+	}
+	v, events, err := d.ensureVerifier(m.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	more, err := d.feedDevice(m.Epoch, v, m.Device)
+	if err != nil {
+		return nil, err
+	}
+	return append(events, more...), nil
+}
+
+// ensureVerifier creates (and back-fills) the verifier for an active
+// epoch: every device's queued update history is replayed so the verifier
+// holds the freshest known FIB snapshot, and devices whose latest epoch
+// matches are marked synchronized. Detection results produced during the
+// back-fill are returned.
+func (d *Dispatcher) ensureVerifier(e Epoch) (*Verifier, []TaggedEvent, error) {
+	if v, ok := d.verifiers[e]; ok {
+		return v, nil, nil
+	}
+	v := d.factory(e)
+	d.verifiers[e] = v
+	d.fed[e] = make(map[fib.DeviceID]int)
+	d.stats.VerifiersCreated++
+	var events []TaggedEvent
+	for dev := range d.queues {
+		evs, err := d.feedDevice(e, v, dev)
+		if err != nil {
+			return nil, nil, err
+		}
+		events = append(events, evs...)
+	}
+	return v, events, nil
+}
+
+// feedDevice replays the device's unconsumed queue prefix into the
+// verifier and synchronizes the device if its latest epoch matches.
+func (d *Dispatcher) feedDevice(e Epoch, v *Verifier, dev fib.DeviceID) ([]TaggedEvent, error) {
+	q := d.queues[dev]
+	start := d.fed[e][dev]
+	if start >= len(q) {
+		return nil, nil
+	}
+	if v.synced[dev] {
+		return nil, fmt.Errorf("ce2d: device %d sent more updates after synchronizing epoch %s", dev, e)
+	}
+	for _, m := range q[start:] {
+		if err := v.ApplyUpdates(dev, m.Updates); err != nil {
+			return nil, err
+		}
+	}
+	d.fed[e][dev] = len(q)
+	last, _ := d.tracker.Last(dev)
+	if last != e {
+		return nil, nil
+	}
+	events, err := v.MarkSynchronized(dev)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TaggedEvent, 0, len(events))
+	for _, ev := range events {
+		out = append(out, TaggedEvent{Epoch: e, Event: ev})
+	}
+	return out, nil
+}

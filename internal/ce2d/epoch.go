@@ -1,0 +1,107 @@
+// Package ce2d implements Consistent, Efficient Early Detection (§4 of
+// the paper): epoch-based consistent model construction, early detection
+// of regular-expression requirement violations on decremental
+// verification graphs, and consistent early loop detection with hyper
+// node compression.
+package ce2d
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/fib"
+)
+
+// Epoch is an epoch tag: a unique identifier of a global network state
+// snapshot, computed by the device agent (e.g. a hash of the key/version
+// pairs of the link-state store, as in the paper's OpenR agent).
+type Epoch string
+
+// EpochOf computes an epoch tag from the (key, version) pairs of a
+// network-state store, the way the paper's OpenR agent does (an
+// order-independent hash over all entries).
+func EpochOf(state map[string]uint64) Epoch {
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%d;", k, state[k])
+	}
+	return Epoch(fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// Tracker maintains the most recent epoch tag per device and the set of
+// "active" epochs (those with no known succeeding epoch), implementing
+// the happens-before bookkeeping of §4.1: if a device reports t1 and
+// later t2, then t1 ≺ t2 and t1 can no longer be the converged state.
+type Tracker struct {
+	last     map[fib.DeviceID]Epoch
+	active   map[Epoch]bool
+	inactive map[Epoch]bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		last:     make(map[fib.DeviceID]Epoch),
+		active:   make(map[Epoch]bool),
+		inactive: make(map[Epoch]bool),
+	}
+}
+
+// Observe records that a device reported an epoch tag. It returns whether
+// the tag is (now) active, plus any epochs that this observation
+// deactivated (their verifiers should be stopped).
+func (t *Tracker) Observe(dev fib.DeviceID, tag Epoch) (isActive bool, deactivated []Epoch) {
+	if old, ok := t.last[dev]; ok && old != tag {
+		// old happens-before tag: old can no longer be converged.
+		if t.active[old] {
+			delete(t.active, old)
+			deactivated = append(deactivated, old)
+		}
+		t.inactive[old] = true
+	}
+	t.last[dev] = tag
+	if t.inactive[tag] {
+		return false, deactivated
+	}
+	t.active[tag] = true
+	return true, deactivated
+}
+
+// Active reports whether an epoch is currently a potential converged
+// state.
+func (t *Tracker) Active(tag Epoch) bool { return t.active[tag] }
+
+// ActiveEpochs returns the active set, sorted for determinism.
+func (t *Tracker) ActiveEpochs() []Epoch {
+	out := make([]Epoch, 0, len(t.active))
+	for e := range t.active {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Last returns the most recent tag observed from a device.
+func (t *Tracker) Last(dev fib.DeviceID) (Epoch, bool) {
+	e, ok := t.last[dev]
+	return e, ok
+}
+
+// SynchronizedDevices returns the devices whose most recent tag equals
+// the given epoch — the devices whose FIBs are consistent with it.
+func (t *Tracker) SynchronizedDevices(tag Epoch) []fib.DeviceID {
+	var out []fib.DeviceID
+	for d, e := range t.last {
+		if e == tag {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

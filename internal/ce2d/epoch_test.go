@@ -1,0 +1,103 @@
+package ce2d
+
+import (
+	"testing"
+
+	"repro/internal/fib"
+)
+
+func TestEpochOfDeterministicAndOrderFree(t *testing.T) {
+	a := EpochOf(map[string]uint64{"link1": 1, "link2": 0})
+	b := EpochOf(map[string]uint64{"link2": 0, "link1": 1})
+	if a != b {
+		t.Error("EpochOf depends on map order")
+	}
+	c := EpochOf(map[string]uint64{"link1": 2, "link2": 0})
+	if a == c {
+		t.Error("different states collide")
+	}
+	if len(a) != 16 {
+		t.Errorf("tag %q has unexpected length", a)
+	}
+}
+
+// TestTrackerPaperScenario replays the example of §4.1: failures of
+// (S,W) then (B,Y) with tags t1=[1,0], t2=[0,1], t3=[1,1].
+func TestTrackerPaperScenario(t *testing.T) {
+	tr := NewTracker()
+	const (
+		s fib.DeviceID = iota
+		a
+		b
+		e
+	)
+	t1 := Epoch("t1")
+	t2 := Epoch("t2")
+	t3 := Epoch("t3")
+
+	// T1: S reports t1; A and B report t2.
+	if act, _ := tr.Observe(s, t1); !act {
+		t.Fatal("t1 should be active")
+	}
+	if act, _ := tr.Observe(a, t2); !act {
+		t.Fatal("t2 should be active")
+	}
+	if act, _ := tr.Observe(b, t2); !act {
+		t.Fatal("t2 should stay active")
+	}
+	if !tr.Active(t1) || !tr.Active(t2) {
+		t.Fatal("both t1 and t2 are potential converged states at T1")
+	}
+
+	// T2: S, A, B report t3 — t1 and t2 become inactive.
+	act, deact := tr.Observe(s, t3)
+	if !act {
+		t.Fatal("t3 should be active")
+	}
+	if len(deact) != 1 || deact[0] != t1 {
+		t.Fatalf("observing t3 from S should deactivate t1, got %v", deact)
+	}
+	_, deact = tr.Observe(a, t3)
+	if len(deact) != 1 || deact[0] != t2 {
+		t.Fatalf("observing t3 from A should deactivate t2, got %v", deact)
+	}
+	if _, deact = tr.Observe(b, t3); len(deact) != 0 {
+		t.Fatalf("t2 already deactivated, got %v", deact)
+	}
+
+	// E still reports t2: t2 is known-stale, must NOT reactivate.
+	if act, _ := tr.Observe(e, t2); act {
+		t.Fatal("stale t2 must not become active again")
+	}
+	if tr.Active(t2) {
+		t.Fatal("t2 in active set")
+	}
+
+	// E finally reports t3.
+	if act, _ := tr.Observe(e, t3); !act {
+		t.Fatal("t3 should remain active")
+	}
+	devs := tr.SynchronizedDevices(t3)
+	if len(devs) != 4 {
+		t.Fatalf("synchronized devices for t3 = %v, want all 4", devs)
+	}
+	if got := tr.ActiveEpochs(); len(got) != 1 || got[0] != t3 {
+		t.Fatalf("active epochs = %v, want [t3]", got)
+	}
+}
+
+func TestTrackerRepeatedSameEpoch(t *testing.T) {
+	tr := NewTracker()
+	if act, deact := tr.Observe(1, "x"); !act || len(deact) != 0 {
+		t.Fatal("first observation wrong")
+	}
+	if act, deact := tr.Observe(1, "x"); !act || len(deact) != 0 {
+		t.Fatal("same-epoch repeat must be a harmless no-op")
+	}
+	if e, ok := tr.Last(1); !ok || e != "x" {
+		t.Fatal("Last wrong")
+	}
+	if _, ok := tr.Last(99); ok {
+		t.Fatal("Last of unseen device should be absent")
+	}
+}

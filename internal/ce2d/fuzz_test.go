@@ -1,0 +1,256 @@
+package ce2d
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/topo"
+)
+
+// TestDispatcherFuzzConsistency is the central CE2D correctness property
+// under adversarial message interleavings: two network states (epochs),
+// per-device in-order delivery but arbitrary cross-device interleaving.
+// Every deterministic loop report the dispatcher emits must match the
+// ground truth of the *final converged FIBs of that epoch* — transient
+// combinations must never leak — and once everything is delivered, the
+// final epoch must settle to its ground truth.
+func TestDispatcherFuzzConsistency(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(31000 + trial)))
+
+		// Random connected topology, 4..8 nodes.
+		n := 4 + rng.Intn(5)
+		g := topo.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a'+i)), topo.RoleSwitch, -1)
+		}
+		for i := 1; i < n; i++ {
+			g.AddLink(topo.NodeID(i), topo.NodeID(rng.Intn(i)))
+		}
+		for e := 0; e < n/2; e++ {
+			a, b := topo.NodeID(rng.Intn(n)), topo.NodeID(rng.Intn(n))
+			if a != b {
+				g.AddLink(a, b)
+			}
+		}
+		space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+
+		// Per-epoch per-device behavior: forward to a random neighbor,
+		// drop, or deliver.
+		type behavior struct{ action fib.Action }
+		randBehavior := func(dev topo.NodeID) behavior {
+			nbrs := g.Neighbors(dev)
+			switch r := rng.Intn(5); {
+			case r == 0:
+				return behavior{fib.Drop}
+			case r == 1:
+				return behavior{fib.Forward(topo.NodeID(n))} // deliver
+			default:
+				return behavior{fib.Forward(nbrs[rng.Intn(len(nbrs))])}
+			}
+		}
+		epochs := []Epoch{"e0", "e1"}
+		acts := make(map[Epoch][]behavior)
+		for _, e := range epochs {
+			bs := make([]behavior, n)
+			for d := 0; d < n; d++ {
+				bs[d] = randBehavior(topo.NodeID(d))
+			}
+			acts[e] = bs
+		}
+		// Ground truth: does epoch e's converged plane have a loop?
+		hasLoop := func(e Epoch) bool {
+			for start := 0; start < n; start++ {
+				cur := topo.NodeID(start)
+				for hops := 0; ; hops++ {
+					nh, ok := acts[e][cur].action.NextHop()
+					if !ok || nh >= topo.NodeID(n) {
+						break
+					}
+					cur = nh
+					if hops > n {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		truth := map[Epoch]bool{"e0": hasLoop("e0"), "e1": hasLoop("e1")}
+
+		// Build per-device message sequences: e0 installs a wildcard
+		// rule, e1 replaces it.
+		type devMsg struct {
+			dev topo.NodeID
+			msg Msg
+		}
+		var perDev [][]devMsg
+		for d := 0; d < n; d++ {
+			id0 := int64(2*d + 1)
+			id1 := int64(2*d + 2)
+			r0 := fib.Rule{ID: id0, Match: bdd.True, Pri: 0, Action: acts["e0"][d].action}
+			r1 := fib.Rule{ID: id1, Match: bdd.True, Pri: 0, Action: acts["e1"][d].action}
+			perDev = append(perDev, []devMsg{
+				{topo.NodeID(d), Msg{Device: fib.DeviceID(d), Epoch: "e0",
+					Updates: []fib.Update{{Op: fib.Insert, Rule: r0}}}},
+				{topo.NodeID(d), Msg{Device: fib.DeviceID(d), Epoch: "e1",
+					Updates: []fib.Update{{Op: fib.Delete, Rule: r0}, {Op: fib.Insert, Rule: r1}}}},
+			})
+		}
+		// Random global interleaving preserving per-device order.
+		var stream []devMsg
+		idx := make([]int, n)
+		remaining := 2 * n
+		for remaining > 0 {
+			d := rng.Intn(n)
+			if idx[d] < 2 {
+				stream = append(stream, perDev[d][idx[d]])
+				idx[d]++
+				remaining--
+			}
+		}
+
+		disp := NewDispatcher(func(Epoch) *Verifier {
+			return NewVerifier(Config{
+				Topo: g, Engine: space.E,
+				Checks: []Check{{Name: "loops", Kind: CheckLoopFree, Space: bdd.True,
+					CanExit: func(topo.NodeID) bool { return true }}},
+			})
+		})
+		finalVerdicts := map[Epoch]LoopResult{}
+		for _, dm := range stream {
+			evs, err := disp.Receive(dm.msg)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for _, ev := range evs {
+				if ev.Event.Loop == LoopFound && !truth[ev.Epoch] {
+					t.Fatalf("trial %d: false loop report for epoch %s", trial, ev.Epoch)
+				}
+				if ev.Event.Loop == LoopFree && truth[ev.Epoch] {
+					t.Fatalf("trial %d: false loop-free report for epoch %s", trial, ev.Epoch)
+				}
+				if ev.Event.Loop != LoopUnknown {
+					finalVerdicts[ev.Epoch] = ev.Event.Loop
+				}
+			}
+		}
+		// e1 is fully delivered: its verdict must exist and match truth.
+		want := LoopFree
+		if truth["e1"] {
+			want = LoopFound
+		}
+		if got := finalVerdicts["e1"]; got != want {
+			t.Fatalf("trial %d: e1 settled to %v, ground truth %v (loop=%v)",
+				trial, got, want, truth["e1"])
+		}
+	}
+}
+
+// TestVerifierSplitFuzz drives random two-class FIBs through a verifier
+// and checks per-class verdicts against per-class ground truth.
+func TestVerifierSplitFuzz(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(52000 + trial)))
+		n := 4 + rng.Intn(4)
+		g := topo.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a'+i)), topo.RoleSwitch, -1)
+		}
+		for i := 1; i < n; i++ {
+			g.AddLink(topo.NodeID(i), topo.NodeID(rng.Intn(i)))
+		}
+		space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		lower := space.Prefix("dst", 0x00, 1)
+
+		// Each device: distinct random actions for the lower and upper
+		// half of the header space.
+		mkAct := func(dev topo.NodeID) fib.Action {
+			nbrs := g.Neighbors(dev)
+			switch r := rng.Intn(5); {
+			case r == 0:
+				return fib.Drop
+			case r == 1:
+				return fib.Forward(topo.NodeID(n))
+			default:
+				return fib.Forward(nbrs[rng.Intn(len(nbrs))])
+			}
+		}
+		lo := make([]fib.Action, n)
+		hi := make([]fib.Action, n)
+		for d := 0; d < n; d++ {
+			lo[d], hi[d] = mkAct(topo.NodeID(d)), mkAct(topo.NodeID(d))
+		}
+		hasLoop := func(acts []fib.Action) bool {
+			for start := 0; start < n; start++ {
+				cur := topo.NodeID(start)
+				for hops := 0; ; hops++ {
+					nh, ok := acts[cur].NextHop()
+					if !ok || nh >= topo.NodeID(n) {
+						break
+					}
+					cur = nh
+					if hops > n {
+						return true
+					}
+				}
+			}
+			return false
+		}
+
+		v := NewVerifier(Config{
+			Topo: g, Engine: space.E,
+			Checks: []Check{{Name: "loops", Kind: CheckLoopFree, Space: bdd.True,
+				CanExit: func(topo.NodeID) bool { return true }}},
+		})
+		results := map[bdd.Ref]LoopResult{}
+		for _, d := range rng.Perm(n) {
+			dev := fib.DeviceID(d)
+			ups := []fib.Update{
+				{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: lower, Pri: 1, Action: lo[d]}},
+				{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: bdd.True, Pri: 0, Action: hi[d]}},
+			}
+			if err := v.ApplyUpdates(dev, ups); err != nil {
+				t.Fatal(err)
+			}
+			evs, err := v.MarkSynchronized(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range evs {
+				results[ev.Class] = ev.Loop
+			}
+		}
+		wantLo, wantHi := hasLoop(lo), hasLoop(hi)
+		upper := space.E.Not(lower)
+		check := func(class bdd.Ref, want bool, name string) {
+			t.Helper()
+			got, ok := results[class]
+			if want {
+				// A loop must be reported for this class (possibly for a
+				// sub-class; accept class-exact match here since devices
+				// use exactly two behaviors).
+				if ok && got == LoopFree {
+					t.Fatalf("trial %d: %s half reported loop-free, truth has loop", trial, name)
+				}
+				found := false
+				for cls, r := range results {
+					if r == LoopFound && space.E.Implies(cls, class) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: %s half loop never reported", trial, name)
+				}
+				return
+			}
+			if ok && got == LoopFound {
+				t.Fatalf("trial %d: %s half reported loop, truth loop-free", trial, name)
+			}
+		}
+		check(lower, wantLo, "lower")
+		check(upper, wantHi, "upper")
+	}
+}

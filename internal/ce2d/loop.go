@@ -1,0 +1,306 @@
+package ce2d
+
+import (
+	"fmt"
+
+	"repro/internal/reach"
+	"repro/internal/topo"
+)
+
+// LoopResult is the three-valued outcome of consistent early loop
+// detection for one equivalence class.
+type LoopResult uint8
+
+// Loop results.
+const (
+	// LoopUnknown: the synchronized information neither proves nor rules
+	// out a loop yet.
+	LoopUnknown LoopResult = iota
+	// LoopFound: a loop exists in every completion of the current state
+	// (either a cycle of synchronized devices, or — as in Figure 5(b) —
+	// a state where every potential next hop of the unsynchronized
+	// devices closes a cycle, assuming no unsynchronized drops).
+	LoopFound
+	// LoopFree: all devices are synchronized and no cycle exists.
+	LoopFree
+)
+
+func (r LoopResult) String() string {
+	switch r {
+	case LoopFound:
+		return "loop"
+	case LoopFree:
+		return "loop-free"
+	default:
+		return "unknown"
+	}
+}
+
+// LoopDetector performs consistent early loop detection (§4.3, Algorithm
+// 3) for one equivalence class: synchronized devices follow their actual
+// next hops; connected components of unsynchronized devices are
+// compressed into hyper nodes that may forward to any neighbor of the
+// component.
+type LoopDetector struct {
+	g       *topo.Graph
+	canExit func(topo.NodeID) bool
+	sync    map[topo.NodeID]reach.SyncState
+}
+
+// NewLoopDetector creates a detector over the topology with no devices
+// synchronized. canExit reports whether a device could deliver the
+// packet out of the network (external port / owned prefix) while still
+// unsynchronized — the "out" possibility of Figure 5(a). nil means every
+// device might deliver, the conservative default (never a false loop
+// report, but fewer early detections).
+func NewLoopDetector(g *topo.Graph, canExit func(topo.NodeID) bool) *LoopDetector {
+	if canExit == nil {
+		canExit = func(topo.NodeID) bool { return true }
+	}
+	return &LoopDetector{g: g, canExit: canExit, sync: make(map[topo.NodeID]reach.SyncState)}
+}
+
+// Clone deep-copies the detector (used when an equivalence class splits).
+func (ld *LoopDetector) Clone() *LoopDetector {
+	c := NewLoopDetector(ld.g, ld.canExit)
+	for k, v := range ld.sync {
+		c.sync[k] = v
+	}
+	return c
+}
+
+// NumSynchronized reports how many devices have synchronized.
+func (ld *LoopDetector) NumSynchronized() int { return len(ld.sync) }
+
+// Synchronize records a device's converged behavior for this class and
+// runs incremental detection: if no loop was detectable before, any new
+// deterministic loop must involve the newly synchronized device
+// (§4.3, "Incremental Detection").
+func (ld *LoopDetector) Synchronize(dev topo.NodeID, st reach.SyncState) (LoopResult, error) {
+	if old, ok := ld.sync[dev]; ok {
+		if !sameSyncState(old, st) {
+			return LoopUnknown, fmt.Errorf("ce2d: device %d re-synchronized with different behavior", dev)
+		}
+		return ld.check(dev), nil
+	}
+	ld.sync[dev] = st
+	return ld.check(dev), nil
+}
+
+func sameSyncState(a, b reach.SyncState) bool {
+	if a.Delivers != b.Delivers || len(a.NextHops) != len(b.NextHops) {
+		return false
+	}
+	m := make(map[topo.NodeID]bool, len(a.NextHops))
+	for _, x := range a.NextHops {
+		m[x] = true
+	}
+	for _, x := range b.NextHops {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// compressed is the hyper-compressed view built for one check.
+type compressed struct {
+	ld *LoopDetector
+	// comp maps each unsynchronized device to its component rep.
+	comp map[topo.NodeID]topo.NodeID
+	// size is the component size per representative.
+	size map[topo.NodeID]int
+	// hyperOut caches the outgoing device set per representative.
+	hyperOut map[topo.NodeID][]topo.NodeID
+	// exitable marks components with a member that could deliver.
+	exitable map[topo.NodeID]bool
+}
+
+// buildCompressed computes connected components of unsynchronized nodes.
+func (ld *LoopDetector) buildCompressed() *compressed {
+	c := &compressed{
+		ld:       ld,
+		comp:     make(map[topo.NodeID]topo.NodeID),
+		size:     make(map[topo.NodeID]int),
+		hyperOut: make(map[topo.NodeID][]topo.NodeID),
+		exitable: make(map[topo.NodeID]bool),
+	}
+	for _, n := range ld.g.Nodes() {
+		if _, synced := ld.sync[n.ID]; synced {
+			continue
+		}
+		if _, done := c.comp[n.ID]; done {
+			continue
+		}
+		// BFS the unsynchronized component from n.
+		rep := n.ID
+		queue := []topo.NodeID{n.ID}
+		c.comp[n.ID] = rep
+		var members []topo.NodeID
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			members = append(members, u)
+			for _, v := range ld.g.Neighbors(u) {
+				if _, synced := ld.sync[v]; synced {
+					continue
+				}
+				if _, done := c.comp[v]; !done {
+					c.comp[v] = rep
+					queue = append(queue, v)
+				}
+			}
+		}
+		c.size[rep] = len(members)
+		for _, m := range members {
+			if ld.canExit(m) {
+				c.exitable[rep] = true
+				break
+			}
+		}
+		// Out-edges of the hyper node: synchronized neighbors of any
+		// member (the hyper node may emit the packet anywhere on its
+		// border).
+		seen := map[topo.NodeID]bool{}
+		for _, m := range members {
+			for _, v := range ld.g.Neighbors(m) {
+				if _, synced := ld.sync[v]; synced && !seen[v] {
+					seen[v] = true
+					c.hyperOut[rep] = append(c.hyperOut[rep], v)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// id maps a device to its compressed-graph node.
+func (c *compressed) id(dev topo.NodeID) topo.NodeID {
+	if rep, ok := c.comp[dev]; ok {
+		return rep
+	}
+	return dev
+}
+
+// result bit set for Algorithm 3's potentialResults.
+type resultSet uint8
+
+const (
+	resLoop resultSet = 1 << iota
+	resNoLoop
+	resDeterministicLoop
+	// resApprox marks that the walk traversed a hyper node compressed
+	// from two or more devices. Such components make the compressed walk
+	// an over-approximation (re-entering the component at a different
+	// member may escape), so an all-branches-loop result is no longer a
+	// certainty and must stay Unknown. Single-device hyper nodes keep the
+	// walk exact: under fixed per-device choices, any revisit is a real
+	// loop.
+	resApprox
+)
+
+// check runs Algorithm 3 from the given start device.
+func (ld *LoopDetector) check(start topo.NodeID) LoopResult {
+	c := ld.buildCompressed()
+	onPath := make(map[topo.NodeID]bool)
+	res := c.detect(c.id(start), onPath, false, 0)
+	switch {
+	case res&resDeterministicLoop != 0:
+		return LoopFound
+	case res&resLoop != 0 && res&(resNoLoop|resApprox) == 0:
+		// Every completion loops (Figure 5(b)): report early. Only exact
+		// when no multi-device hyper node was compressed away.
+		return LoopFound
+	case res == resNoLoop && len(ld.sync) == ld.g.N():
+		// This walk is loop-free and everything is synchronized; confirm
+		// globally before declaring the class loop-free, since a cycle
+		// disjoint from this walk would not be on it.
+		return ld.CheckAll()
+	default:
+		return LoopUnknown
+	}
+}
+
+// detect explores the compressed graph. v is a compressed node
+// (synchronized device or hyper representative); onPath is the current
+// walk; hyper reports whether the walk has traversed a hyper node.
+func (c *compressed) detect(v topo.NodeID, onPath map[topo.NodeID]bool, hyper bool, depth int) resultSet {
+	if depth > 4*c.ld.g.N()+8 {
+		// Defensive bound; cannot trigger because walks revisit within
+		// |V| steps, but guards against future changes.
+		return resLoop
+	}
+	isHyper := false
+	if _, ok := c.size[v]; ok {
+		isHyper = true
+	}
+	if onPath[v] {
+		if hyper {
+			return resLoop // potential loop through a hyper node
+		}
+		return resDeterministicLoop // cycle of synchronized devices only
+	}
+	var res resultSet
+	var outs []topo.NodeID
+	if isHyper {
+		if c.size[v] >= 2 {
+			// Two or more mutually reachable unsynchronized devices can
+			// always loop among themselves — a possibility, and an
+			// over-approximation marker for certainty conclusions.
+			res |= resLoop | resApprox
+		}
+		if c.exitable[v] {
+			// Some member could deliver the packet out of the network
+			// (the "out" arrow of Figure 5(a)).
+			res |= resNoLoop
+		}
+		outs = c.hyperOut[v]
+		if len(outs) == 0 && c.size[v] < 2 {
+			// Isolated unsynchronized device with no synchronized
+			// neighbors: it can only deliver/drop externally.
+			return res | resNoLoop
+		}
+	} else {
+		st := c.ld.sync[v]
+		if st.Delivers && len(st.NextHops) == 0 {
+			return resNoLoop
+		}
+		if len(st.NextHops) == 0 {
+			return resNoLoop // drop terminates the walk
+		}
+		outs = st.NextHops
+	}
+	onPath[v] = true
+	for _, u := range outs {
+		res |= c.detect(c.id(u), onPath, hyper || isHyper, depth+1)
+		if res&resDeterministicLoop != 0 {
+			break
+		}
+	}
+	delete(onPath, v)
+	return res
+}
+
+// CheckAll runs detection from every synchronized device, returning the
+// strongest consistent result (used for whole-class queries rather than
+// incremental per-device checks).
+func (ld *LoopDetector) CheckAll() LoopResult {
+	c := ld.buildCompressed()
+	sawUnknown := false
+	for dev := range ld.sync {
+		onPath := make(map[topo.NodeID]bool)
+		res := c.detect(c.id(dev), onPath, false, 0)
+		switch {
+		case res&resDeterministicLoop != 0:
+			return LoopFound
+		case res&resLoop != 0 && res&(resNoLoop|resApprox) == 0:
+			return LoopFound
+		case res != resNoLoop:
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown && len(ld.sync) == ld.g.N() {
+		return LoopFree
+	}
+	return LoopUnknown
+}

@@ -1,0 +1,195 @@
+package ce2d
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/reach"
+	"repro/internal/topo"
+)
+
+// TestLoopDetectorVsBruteForce checks Algorithm 3's hyper-node
+// compression against ground truth: on small random graphs with a random
+// subset of devices synchronized, enumerate EVERY assignment of next hops
+// (or exits, where allowed) to the unsynchronized devices and compute
+// whether a loop {always, never, sometimes} occurs. The detector must
+// report:
+//
+//	LoopFound  ⇒ every completion loops (or a synchronized cycle exists);
+//	LoopFree   ⇒ no completion loops (only claimed at full sync);
+//	LoopUnknown⇒ anything.
+//
+// This is the soundness property of §4.3: early reports are consistent.
+func TestLoopDetectorVsBruteForce(t *testing.T) {
+	for trial := 0; trial < 150; trial++ {
+		rng := rand.New(rand.NewSource(int64(60000 + trial)))
+		n := 3 + rng.Intn(3) // 3..5 devices: enumeration stays tiny
+		g := topo.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a'+i)), topo.RoleSwitch, -1)
+		}
+		for i := 1; i < n; i++ {
+			g.AddLink(topo.NodeID(i), topo.NodeID(rng.Intn(i)))
+		}
+		for e := 0; e < rng.Intn(3); e++ {
+			a, b := topo.NodeID(rng.Intn(n)), topo.NodeID(rng.Intn(n))
+			if a != b {
+				g.AddLink(a, b)
+			}
+		}
+		// Random exit capability, then random sync behaviors consistent
+		// with it: canExit promises which devices may deliver, so a
+		// device synchronized as delivering must be exit-capable.
+		canExit := make([]bool, n)
+		for i := range canExit {
+			canExit[i] = rng.Intn(3) == 0
+		}
+		sync := map[topo.NodeID]reach.SyncState{}
+		for d := 0; d < n; d++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			nbrs := g.Neighbors(topo.NodeID(d))
+			if canExit[d] && rng.Intn(3) == 0 {
+				sync[topo.NodeID(d)] = reach.SyncState{Delivers: true}
+				continue
+			}
+			sync[topo.NodeID(d)] = reach.SyncState{
+				NextHops: []topo.NodeID{nbrs[rng.Intn(len(nbrs))]},
+			}
+		}
+		if len(sync) == 0 {
+			continue
+		}
+
+		// Ground truth: enumerate completions. Each unsynchronized device
+		// chooses a neighbor, or exits if it canExit.
+		var unsync []topo.NodeID
+		for d := 0; d < n; d++ {
+			if _, ok := sync[topo.NodeID(d)]; !ok {
+				unsync = append(unsync, topo.NodeID(d))
+			}
+		}
+		choicesOf := func(d topo.NodeID) []int {
+			// Index i < deg = neighbor i; i == deg = exit (if allowed).
+			deg := len(g.Neighbors(d))
+			c := make([]int, 0, deg+1)
+			for i := 0; i < deg; i++ {
+				c = append(c, i)
+			}
+			if canExit[d] {
+				c = append(c, deg)
+			}
+			return c
+		}
+		loopPossible, noloopPossible := false, false
+		var enumerate func(i int, assign map[topo.NodeID]int)
+		enumerate = func(i int, assign map[topo.NodeID]int) {
+			if loopPossible && noloopPossible {
+				return
+			}
+			if i == len(unsync) {
+				if completionLoops(g, sync, assign) {
+					loopPossible = true
+				} else {
+					noloopPossible = true
+				}
+				return
+			}
+			for _, c := range choicesOf(unsync[i]) {
+				assign[unsync[i]] = c
+				enumerate(i+1, assign)
+			}
+			delete(assign, unsync[i])
+		}
+		enumerate(0, map[topo.NodeID]int{})
+		if len(unsync) == 0 {
+			// Full sync: exactly one completion.
+		}
+
+		// Drive the detector with the same sync set.
+		ld := NewLoopDetector(g, func(d topo.NodeID) bool { return canExit[d] })
+		var res LoopResult
+		for d, st := range sync {
+			r, err := ld.Synchronize(d, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r == LoopFound {
+				res = LoopFound
+			} else if res != LoopFound {
+				res = r
+			}
+		}
+		switch res {
+		case LoopFound:
+			if !loopPossible {
+				t.Fatalf("trial %d: LoopFound but no completion loops", trial)
+			}
+			if noloopPossible && !syncOnlyCycle(g, sync) {
+				t.Fatalf("trial %d: LoopFound but a loop-free completion exists "+
+					"and no synchronized cycle", trial)
+			}
+		case LoopFree:
+			if loopPossible {
+				t.Fatalf("trial %d: LoopFree but a looping completion exists", trial)
+			}
+			if len(unsync) != 0 {
+				t.Fatalf("trial %d: LoopFree with %d unsynchronized devices", trial, len(unsync))
+			}
+		}
+	}
+}
+
+// completionLoops walks every start under a concrete assignment and
+// reports whether any walk cycles. Unsynchronized device d uses
+// assign[d]: neighbor index, or degree = exit.
+func completionLoops(g *topo.Graph, sync map[topo.NodeID]reach.SyncState, assign map[topo.NodeID]int) bool {
+	next := func(d topo.NodeID) (topo.NodeID, bool) {
+		if st, ok := sync[d]; ok {
+			if len(st.NextHops) == 0 {
+				return 0, false
+			}
+			return st.NextHops[0], true
+		}
+		nbrs := g.Neighbors(d)
+		c := assign[d]
+		if c >= len(nbrs) {
+			return 0, false // exits
+		}
+		return nbrs[c], true
+	}
+	for start := 0; start < g.N(); start++ {
+		cur := topo.NodeID(start)
+		for hops := 0; ; hops++ {
+			nh, ok := next(cur)
+			if !ok {
+				break
+			}
+			cur = nh
+			if hops > g.N() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// syncOnlyCycle reports whether the synchronized next-hop edges alone
+// contain a cycle (a deterministic loop regardless of completions).
+func syncOnlyCycle(g *topo.Graph, sync map[topo.NodeID]reach.SyncState) bool {
+	for start := range sync {
+		cur := start
+		for hops := 0; ; hops++ {
+			st, ok := sync[cur]
+			if !ok || len(st.NextHops) == 0 {
+				break
+			}
+			cur = st.NextHops[0]
+			if hops > g.N() {
+				return true
+			}
+		}
+	}
+	return false
+}

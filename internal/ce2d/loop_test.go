@@ -1,0 +1,211 @@
+package ce2d
+
+import (
+	"testing"
+
+	"repro/internal/reach"
+	"repro/internal/topo"
+)
+
+// figure5 builds the paper's Figure 5 graph: A—B, A—C, A—X, B—C(?), C—X,
+// B connects A and C per the drawing: edges A-B, B-C? The figure shows
+// A,B,C triangle-ish with X attached to A and C.
+func figure5() (*topo.Graph, map[string]topo.NodeID) {
+	g := topo.New()
+	ids := map[string]topo.NodeID{}
+	for _, n := range []string{"A", "B", "C", "X"} {
+		ids[n] = g.AddNode(n, topo.RoleSwitch, -1)
+	}
+	g.AddLink(ids["A"], ids["B"])
+	g.AddLink(ids["A"], ids["C"])
+	g.AddLink(ids["A"], ids["X"])
+	g.AddLink(ids["B"], ids["C"])
+	g.AddLink(ids["C"], ids["X"])
+	return g, ids
+}
+
+func fwd(to topo.NodeID) reach.SyncState {
+	return reach.SyncState{NextHops: []topo.NodeID{to}}
+}
+
+func TestDeterministicLoop(t *testing.T) {
+	g, ids := figure5()
+	ld := NewLoopDetector(g, nil)
+	if r, err := ld.Synchronize(ids["A"], fwd(ids["B"])); err != nil || r == LoopFound {
+		t.Fatalf("A: %v %v", r, err)
+	}
+	// B → A closes a synchronized 2-cycle.
+	r, err := ld.Synchronize(ids["B"], fwd(ids["A"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != LoopFound {
+		t.Fatalf("sync 2-cycle: %v, want loop", r)
+	}
+}
+
+// TestFigure5a: C and X unsynchronized form a hyper node; result must be
+// undetermined because the packet may exit via C&X or loop back.
+func TestFigure5a(t *testing.T) {
+	g, ids := figure5()
+	// Only C has an external port (the "out" arrow in the figure).
+	ld := NewLoopDetector(g, func(n topo.NodeID) bool { return n == ids["C"] })
+	if _, err := ld.Synchronize(ids["B"], fwd(ids["A"])); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ld.Synchronize(ids["A"], fwd(ids["C"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != LoopUnknown {
+		t.Fatalf("Figure 5(a): %v, want unknown", r)
+	}
+}
+
+// TestFigure5b: with C also synchronized (C→B), X's potential next hops
+// (A or C) both close a cycle, so a loop is certain unless X drops:
+// early-detected even though X never synchronizes.
+func TestFigure5b(t *testing.T) {
+	g, ids := figure5()
+	ld := NewLoopDetector(g, func(n topo.NodeID) bool { return n == ids["C"] })
+	if _, err := ld.Synchronize(ids["B"], fwd(ids["A"])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Synchronize(ids["C"], fwd(ids["B"])); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ld.Synchronize(ids["A"], fwd(ids["X"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != LoopFound {
+		t.Fatalf("Figure 5(b): %v, want loop (certain unless X drops)", r)
+	}
+}
+
+func TestLoopFreeRequiresFullSync(t *testing.T) {
+	g, ids := figure5()
+	ld := NewLoopDetector(g, nil)
+	if r, _ := ld.Synchronize(ids["A"], fwd(ids["X"])); r == LoopFree {
+		t.Fatal("cannot be loop-free with unsynchronized devices")
+	}
+	if _, err := ld.Synchronize(ids["B"], fwd(ids["A"])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Synchronize(ids["C"], fwd(ids["A"])); err != nil {
+		t.Fatal(err)
+	}
+	// X delivers: everything synchronized, no cycle.
+	r, err := ld.Synchronize(ids["X"], reach.SyncState{Delivers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != LoopFree {
+		t.Fatalf("fully synchronized acyclic plane: %v, want loop-free", r)
+	}
+	if ld.NumSynchronized() != 4 {
+		t.Fatal("NumSynchronized wrong")
+	}
+}
+
+func TestLoopFreeGlobalConfirmation(t *testing.T) {
+	// A disjoint synchronized cycle must prevent a LoopFree verdict even
+	// when the last walk checked is clean. (The cycle is reported the
+	// moment it closes, and CheckAll re-finds it.)
+	g := topo.New()
+	a := g.AddNode("a", topo.RoleSwitch, -1)
+	b := g.AddNode("b", topo.RoleSwitch, -1)
+	c := g.AddNode("c", topo.RoleSwitch, -1)
+	g.AddLink(a, b)
+	g.AddLink(b, c) // not used by forwarding
+	ld := NewLoopDetector(g, nil)
+	if _, err := ld.Synchronize(a, fwd(b)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ld.Synchronize(b, fwd(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != LoopFound {
+		t.Fatalf("2-cycle: %v", r)
+	}
+	// c syncs as delivering — its own walk is clean, but the class
+	// still has the a↔b loop.
+	r, err = ld.Synchronize(c, reach.SyncState{Delivers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != LoopFound {
+		t.Fatalf("after full sync: %v, want loop (a↔b persists)", r)
+	}
+}
+
+func TestIsolatedUnsyncNodeNoFalseLoop(t *testing.T) {
+	// a → b(delivers); x isolated and unsynchronized: no loop possible
+	// through a size-1 component with no synchronized neighbors.
+	g := topo.New()
+	a := g.AddNode("a", topo.RoleSwitch, -1)
+	b := g.AddNode("b", topo.RoleSwitch, -1)
+	g.AddNode("x", topo.RoleSwitch, -1)
+	g.AddLink(a, b)
+	ld := NewLoopDetector(g, nil)
+	if _, err := ld.Synchronize(a, fwd(b)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ld.Synchronize(b, reach.SyncState{Delivers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == LoopFound {
+		t.Fatalf("no loop exists, got %v", r)
+	}
+}
+
+func TestResyncConflict(t *testing.T) {
+	g, ids := figure5()
+	ld := NewLoopDetector(g, nil)
+	if _, err := ld.Synchronize(ids["A"], fwd(ids["B"])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Synchronize(ids["A"], fwd(ids["B"])); err != nil {
+		t.Fatal("identical re-sync must be accepted")
+	}
+	if _, err := ld.Synchronize(ids["A"], fwd(ids["C"])); err == nil {
+		t.Fatal("conflicting re-sync must error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, ids := figure5()
+	ld := NewLoopDetector(g, nil)
+	if _, err := ld.Synchronize(ids["A"], fwd(ids["B"])); err != nil {
+		t.Fatal(err)
+	}
+	c := ld.Clone()
+	if _, err := c.Synchronize(ids["B"], fwd(ids["A"])); err != nil {
+		t.Fatal(err)
+	}
+	if ld.NumSynchronized() != 1 || c.NumSynchronized() != 2 {
+		t.Fatal("Clone shares sync state")
+	}
+}
+
+func TestHyperNodePairCanLoop(t *testing.T) {
+	// Two adjacent unsynchronized nodes form a component that can always
+	// loop internally: a synchronized node forwarding into it must stay
+	// unknown (not no-loop).
+	g := topo.New()
+	a := g.AddNode("a", topo.RoleSwitch, -1)
+	x := g.AddNode("x", topo.RoleSwitch, -1)
+	y := g.AddNode("y", topo.RoleSwitch, -1)
+	g.AddLink(a, x)
+	g.AddLink(x, y)
+	ld := NewLoopDetector(g, nil)
+	r, err := ld.Synchronize(a, fwd(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != LoopUnknown {
+		t.Fatalf("forwarding into a loopable hyper node: %v, want unknown", r)
+	}
+}

@@ -1,0 +1,244 @@
+package ce2d
+
+import (
+	"fmt"
+
+	"repro/internal/reach"
+	"repro/internal/spec"
+	"repro/internal/topo"
+)
+
+// This file implements the Appendix D.2 extensions of the paper: early
+// detection for anycast, multicast, and coverage requirements.
+//
+//   - Anycast: of the K destination groups, exactly one must be
+//     reachable by a compliant path.
+//   - Multicast: all K destinations must be reachable.
+//   - Coverage: *all* paths matching the expression must exist ("all
+//     redundant shortest paths should be available"): every synchronized
+//     device must forward to every one of its successors in the
+//     verification graph.
+
+// MultiVerdict is the outcome of a multi-destination check.
+type MultiVerdict = reach.Verdict
+
+// MultiPath tracks one anycast or multicast requirement: one
+// verification graph per destination, with the combination rule of
+// Appendix D.2.
+type MultiPath struct {
+	anycast bool
+	graphs  []*reach.VGraph
+	// settled caches each graph's deterministic verdict.
+	verdicts []reach.Verdict
+}
+
+// NewAnycast builds an anycast requirement: packets from the sources must
+// reach exactly one of the destinations along a path matching expr.
+func NewAnycast(g *topo.Graph, expr *spec.Expr, sources, dests []topo.NodeID, succ func(topo.NodeID) []topo.NodeID) *MultiPath {
+	return newMultiPath(g, expr, sources, dests, succ, true)
+}
+
+// NewMulticast builds a multicast requirement: packets from the sources
+// must reach every destination along a path matching expr.
+func NewMulticast(g *topo.Graph, expr *spec.Expr, sources, dests []topo.NodeID, succ func(topo.NodeID) []topo.NodeID) *MultiPath {
+	return newMultiPath(g, expr, sources, dests, succ, false)
+}
+
+func newMultiPath(g *topo.Graph, expr *spec.Expr, sources, dests []topo.NodeID, succ func(topo.NodeID) []topo.NodeID, anycast bool) *MultiPath {
+	if succ == nil {
+		succ = g.Neighbors
+	}
+	m := &MultiPath{anycast: anycast}
+	for _, d := range dests {
+		d := d
+		vg := reach.NewVGraphEdges(g, expr, sources, func(n topo.NodeID) bool { return n == d }, succ)
+		m.graphs = append(m.graphs, vg)
+		m.verdicts = append(m.verdicts, reach.Unknown)
+	}
+	return m
+}
+
+// Clone deep-copies the multi-destination state (for EC splits).
+func (m *MultiPath) Clone() *MultiPath {
+	c := &MultiPath{anycast: m.anycast}
+	for _, vg := range m.graphs {
+		c.graphs = append(c.graphs, vg.Clone())
+	}
+	c.verdicts = append([]reach.Verdict(nil), m.verdicts...)
+	return c
+}
+
+// Synchronize records a device's converged behavior in every per-
+// destination graph.
+func (m *MultiPath) Synchronize(dev topo.NodeID, st reach.SyncState) error {
+	for i, vg := range m.graphs {
+		if m.verdicts[i] != reach.Unknown {
+			continue
+		}
+		if err := vg.Synchronize(dev, st); err != nil {
+			return fmt.Errorf("ce2d: dest %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Verdict combines the per-destination verdicts (Appendix D.2):
+//
+//	anycast:   exactly one satisfied and the rest unsatisfied ⇒ satisfied;
+//	           two satisfied, or all unsatisfied ⇒ unsatisfied (early);
+//	multicast: all satisfied ⇒ satisfied; any unsatisfied ⇒ unsatisfied.
+func (m *MultiPath) Verdict() reach.Verdict {
+	sat, unsat := 0, 0
+	for i, vg := range m.graphs {
+		if m.verdicts[i] == reach.Unknown {
+			m.verdicts[i] = vg.Verdict()
+		}
+		switch m.verdicts[i] {
+		case reach.Satisfied:
+			sat++
+		case reach.Unsatisfied:
+			unsat++
+		}
+	}
+	k := len(m.graphs)
+	if m.anycast {
+		switch {
+		case sat > 1 || unsat == k:
+			return reach.Unsatisfied
+		case sat == 1 && unsat == k-1:
+			return reach.Satisfied
+		default:
+			return reach.Unknown
+		}
+	}
+	switch {
+	case unsat > 0:
+		return reach.Unsatisfied
+	case sat == k:
+		return reach.Satisfied
+	default:
+		return reach.Unknown
+	}
+}
+
+// Coverage tracks a coverage requirement: every path matching the
+// expression must exist in the data plane. Each synchronized device must
+// forward to all of its successors in the verification graph; a missing
+// edge is an immediately consistent violation (the device will not
+// change within the epoch).
+type Coverage struct {
+	g    *topo.Graph
+	dfa  spec.Machine
+	succ func(topo.NodeID) []topo.NodeID
+	// required[dev] is the set of devices dev must forward to: the
+	// topology successors v of dev for which some live DFA state of dev
+	// steps to a live state via v.
+	required map[topo.NodeID][]topo.NodeID
+	synced   map[topo.NodeID]bool
+	violated bool
+}
+
+// NewCoverage builds a coverage requirement from the expression's product
+// with the topology: for every product node (dev, q) reachable from the
+// sources, dev must forward toward every product successor's device.
+func NewCoverage(g *topo.Graph, expr *spec.Expr, sources []topo.NodeID, isDest func(topo.NodeID) bool, succ func(topo.NodeID) []topo.NodeID) *Coverage {
+	if succ == nil {
+		succ = g.Neighbors
+	}
+	dfa := expr.CompileMachine(g, isDest)
+	c := &Coverage{
+		g: g, dfa: dfa, succ: succ,
+		required: make(map[topo.NodeID][]topo.NodeID),
+		synced:   make(map[topo.NodeID]bool),
+	}
+	// BFS the product space, collecting required forwarding edges.
+	type pnode struct {
+		dev topo.NodeID
+		q   int
+	}
+	seen := map[pnode]bool{}
+	var queue []pnode
+	for _, s := range sources {
+		if q := dfa.Step(dfa.Start(), s); q != spec.Dead {
+			n := pnode{s, q}
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	reqSet := map[topo.NodeID]map[topo.NodeID]bool{}
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		for _, v := range succ(n.dev) {
+			nq := dfa.Step(n.q, v)
+			if nq == spec.Dead {
+				continue
+			}
+			if reqSet[n.dev] == nil {
+				reqSet[n.dev] = map[topo.NodeID]bool{}
+			}
+			if !reqSet[n.dev][v] {
+				reqSet[n.dev][v] = true
+				c.required[n.dev] = append(c.required[n.dev], v)
+			}
+			nn := pnode{v, nq}
+			if !seen[nn] {
+				seen[nn] = true
+				queue = append(queue, nn)
+			}
+		}
+	}
+	return c
+}
+
+// Clone deep-copies the coverage state (for EC splits). The immutable
+// required map is shared.
+func (c *Coverage) Clone() *Coverage {
+	n := &Coverage{
+		g: c.g, dfa: c.dfa, succ: c.succ, required: c.required,
+		synced:   make(map[topo.NodeID]bool, len(c.synced)),
+		violated: c.violated,
+	}
+	for k, v := range c.synced {
+		n.synced[k] = v
+	}
+	return n
+}
+
+// Required returns the forwarding successors the requirement demands of a
+// device (for tests and diagnostics).
+func (c *Coverage) Required(dev topo.NodeID) []topo.NodeID { return c.required[dev] }
+
+// Synchronize checks the device against its required successor set.
+func (c *Coverage) Synchronize(dev topo.NodeID, st reach.SyncState) error {
+	if c.synced[dev] {
+		return nil
+	}
+	c.synced[dev] = true
+	have := make(map[topo.NodeID]bool, len(st.NextHops))
+	for _, nh := range st.NextHops {
+		have[nh] = true
+	}
+	for _, want := range c.required[dev] {
+		if !have[want] {
+			c.violated = true
+		}
+	}
+	return nil
+}
+
+// Verdict reports the coverage result: unsatisfied as soon as any
+// synchronized device misses a required edge; satisfied when every
+// device carrying requirements has synchronized cleanly.
+func (c *Coverage) Verdict() reach.Verdict {
+	if c.violated {
+		return reach.Unsatisfied
+	}
+	for dev := range c.required {
+		if !c.synced[dev] {
+			return reach.Unknown
+		}
+	}
+	return reach.Satisfied
+}

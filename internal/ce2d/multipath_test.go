@@ -1,0 +1,227 @@
+package ce2d
+
+import (
+	"testing"
+
+	"repro/internal/reach"
+	"repro/internal/spec"
+	"repro/internal/topo"
+)
+
+// diamond builds s — {m1, m2} — {d1, d2}: two branch points to two
+// possible destinations.
+func diamond() (*topo.Graph, map[string]topo.NodeID) {
+	g := topo.New()
+	ids := map[string]topo.NodeID{}
+	for _, n := range []string{"s", "m1", "m2", "d1", "d2"} {
+		ids[n] = g.AddNode(n, topo.RoleSwitch, -1)
+	}
+	g.AddLink(ids["s"], ids["m1"])
+	g.AddLink(ids["s"], ids["m2"])
+	g.AddLink(ids["m1"], ids["d1"])
+	g.AddLink(ids["m2"], ids["d2"])
+	return g, ids
+}
+
+func TestAnycastExactlyOne(t *testing.T) {
+	g, ids := diamond()
+	expr := spec.MustParse("s .* >")
+	m := NewAnycast(g, expr, []topo.NodeID{ids["s"]}, []topo.NodeID{ids["d1"], ids["d2"]}, nil)
+	if v := m.Verdict(); v != reach.Unknown {
+		t.Fatalf("initial: %v", v)
+	}
+	// s → m1 only: the d2 branch dies.
+	if err := m.Synchronize(ids["s"], fwd(ids["m1"])); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Verdict(); v != reach.Unknown {
+		t.Fatalf("after s: %v", v)
+	}
+	if err := m.Synchronize(ids["m1"], fwd(ids["d1"])); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Synchronize(ids["d1"], reach.SyncState{Delivers: true}); err != nil {
+		t.Fatal(err)
+	}
+	// d1 satisfied, d2 unsatisfied (s bypasses m2) → anycast satisfied.
+	if v := m.Verdict(); v != reach.Satisfied {
+		t.Fatalf("anycast: %v, want satisfied", v)
+	}
+}
+
+func TestAnycastBothReachableIsError(t *testing.T) {
+	// s with ECMP to both branches delivering at both dests: anycast
+	// violated (packet reaches two groups).
+	g, ids := diamond()
+	expr := spec.MustParse("s .* >")
+	m := NewAnycast(g, expr, []topo.NodeID{ids["s"]}, []topo.NodeID{ids["d1"], ids["d2"]}, nil)
+	sync := func(dev topo.NodeID, st reach.SyncState) {
+		t.Helper()
+		if err := m.Synchronize(dev, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sync(ids["s"], reach.SyncState{NextHops: []topo.NodeID{ids["m1"], ids["m2"]}})
+	sync(ids["m1"], fwd(ids["d1"]))
+	sync(ids["m2"], fwd(ids["d2"]))
+	sync(ids["d1"], reach.SyncState{Delivers: true})
+	sync(ids["d2"], reach.SyncState{Delivers: true})
+	if v := m.Verdict(); v != reach.Unsatisfied {
+		t.Fatalf("dual delivery: %v, want unsatisfied", v)
+	}
+}
+
+func TestAnycastNoneReachable(t *testing.T) {
+	g, ids := diamond()
+	expr := spec.MustParse("s .* >")
+	m := NewAnycast(g, expr, []topo.NodeID{ids["s"]}, []topo.NodeID{ids["d1"], ids["d2"]}, nil)
+	if err := m.Synchronize(ids["s"], reach.SyncState{}); err != nil { // drop
+		t.Fatal(err)
+	}
+	if v := m.Verdict(); v != reach.Unsatisfied {
+		t.Fatalf("drop at source: %v, want unsatisfied (early)", v)
+	}
+}
+
+func TestMulticastAllRequired(t *testing.T) {
+	g, ids := diamond()
+	expr := spec.MustParse("s .* >")
+	m := NewMulticast(g, expr, []topo.NodeID{ids["s"]}, []topo.NodeID{ids["d1"], ids["d2"]}, nil)
+	sync := func(dev topo.NodeID, st reach.SyncState) {
+		t.Helper()
+		if err := m.Synchronize(dev, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Multicast replication at s; both branches deliver.
+	sync(ids["s"], reach.SyncState{NextHops: []topo.NodeID{ids["m1"], ids["m2"]}})
+	sync(ids["m1"], fwd(ids["d1"]))
+	if v := m.Verdict(); v != reach.Unknown {
+		t.Fatalf("partial: %v", v)
+	}
+	sync(ids["m2"], fwd(ids["d2"]))
+	sync(ids["d1"], reach.SyncState{Delivers: true})
+	sync(ids["d2"], reach.SyncState{Delivers: true})
+	if v := m.Verdict(); v != reach.Satisfied {
+		t.Fatalf("full tree: %v, want satisfied", v)
+	}
+}
+
+func TestMulticastEarlyUnsatisfied(t *testing.T) {
+	g, ids := diamond()
+	expr := spec.MustParse("s .* >")
+	m := NewMulticast(g, expr, []topo.NodeID{ids["s"]}, []topo.NodeID{ids["d1"], ids["d2"]}, nil)
+	// s forwards only toward m1: d2 unreachable, multicast already dead.
+	if err := m.Synchronize(ids["s"], fwd(ids["m1"])); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Verdict(); v != reach.Unsatisfied {
+		t.Fatalf("single branch: %v, want unsatisfied (early)", v)
+	}
+}
+
+func TestCoverageAllShortestPaths(t *testing.T) {
+	// The Azure-style intent: "all redundant shortest paths should be
+	// available." Diamond s—{m1,m2}—t.
+	g := topo.New()
+	s := g.AddNode("s", topo.RoleSwitch, -1)
+	m1 := g.AddNode("m1", topo.RoleSwitch, -1)
+	m2 := g.AddNode("m2", topo.RoleSwitch, -1)
+	d := g.AddNode("t", topo.RoleSwitch, -1)
+	g.AddLink(s, m1)
+	g.AddLink(s, m2)
+	g.AddLink(m1, d)
+	g.AddLink(m2, d)
+	// Directed successor set = the shortest-path DAG toward t.
+	dag := map[topo.NodeID][]topo.NodeID{s: {m1, m2}, m1: {d}, m2: {d}}
+	succ := func(n topo.NodeID) []topo.NodeID { return dag[n] }
+	expr := spec.MustParse("s . t")
+
+	c := NewCoverage(g, expr, []topo.NodeID{s}, func(n topo.NodeID) bool { return n == d }, succ)
+	if got := len(c.Required(s)); got != 2 {
+		t.Fatalf("s must cover %d successors, want 2", got)
+	}
+	// s installs both ECMP branches: fine.
+	if err := c.Synchronize(s, reach.SyncState{NextHops: []topo.NodeID{m1, m2}}); err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Verdict(); v != reach.Unknown {
+		t.Fatalf("after s: %v", v)
+	}
+	if err := c.Synchronize(m1, fwd(d)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Synchronize(m2, fwd(d)); err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Verdict(); v != reach.Satisfied {
+		t.Fatalf("all covered: %v, want satisfied", v)
+	}
+
+	// A second instance where s drops one branch: early unsatisfied.
+	c2 := NewCoverage(g, expr, []topo.NodeID{s}, func(n topo.NodeID) bool { return n == d }, succ)
+	if err := c2.Synchronize(s, fwd(m1)); err != nil {
+		t.Fatal(err)
+	}
+	if v := c2.Verdict(); v != reach.Unsatisfied {
+		t.Fatalf("missing redundant path: %v, want unsatisfied (early)", v)
+	}
+}
+
+func TestVectorTrackerConvergence(t *testing.T) {
+	vt := NewVectorTracker()
+	vt.Start("withdraw-1", 2) // root sends 2 announcements
+
+	// Device 1 consumes one announcement, emits 1 further.
+	conv, err := vt.Observe(CausalMsg{Device: 1, Event: "withdraw-1", Consumed: 1, Emitted: 1})
+	if err != nil || conv {
+		t.Fatalf("conv=%v err=%v", conv, err)
+	}
+	// Device 2 consumes one, emits none.
+	conv, err = vt.Observe(CausalMsg{Device: 2, Event: "withdraw-1", Consumed: 1, Emitted: 0})
+	if err != nil || conv {
+		t.Fatalf("conv=%v err=%v", conv, err)
+	}
+	// Device 3 consumes the last in-flight announcement, emits none:
+	// converged.
+	conv, err = vt.Observe(CausalMsg{Device: 3, Event: "withdraw-1", Consumed: 1, Emitted: 0})
+	if err != nil || !conv {
+		t.Fatalf("conv=%v err=%v, want converged", conv, err)
+	}
+	if !vt.Converged("withdraw-1") {
+		t.Fatal("Converged() disagrees")
+	}
+	if vt.Participants("withdraw-1") != 3 {
+		t.Fatalf("participants = %d", vt.Participants("withdraw-1"))
+	}
+}
+
+func TestVectorTrackerErrors(t *testing.T) {
+	vt := NewVectorTracker()
+	vt.Start("e", 1)
+	if _, err := vt.Observe(CausalMsg{Device: 1, Event: "zzz", Consumed: 1}); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if _, err := vt.Observe(CausalMsg{Device: 1, Event: "e", Consumed: 0}); err == nil {
+		t.Error("zero consumption accepted")
+	}
+	if _, err := vt.Observe(CausalMsg{Device: 1, Event: "e", Consumed: 5}); err == nil {
+		t.Error("over-consumption accepted")
+	}
+	for _, f := range []func(){
+		func() { vt.Start("e", 1) },
+		func() { vt.Start("f", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if vt.Converged("unknown") {
+		t.Error("unknown event reported converged")
+	}
+}

@@ -1,0 +1,95 @@
+package ce2d
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+)
+
+// This file implements Appendix D.1: consistent model construction for
+// vector-based control planes (e.g. BGP), where there is no global state
+// snapshot to hash into an epoch tag. Instead, every FIB update carries
+// causal-relation information — what announcement triggered it and how
+// many announcements the device sent in response — and the dispatcher
+// runs a centralized version of the interdomain convergence-detection
+// algorithm the paper cites: an event has converged when every
+// announcement it transitively caused has been consumed and produced no
+// further announcements.
+
+// CausalMsg is one FIB update message from a vector-protocol device
+// agent.
+type CausalMsg struct {
+	Device fib.DeviceID
+	// Event identifies the root cause (e.g. the original route withdraw).
+	Event string
+	// Consumed is the number of announcements for Event this device
+	// consumed before computing this FIB update.
+	Consumed int
+	// Emitted is the number of announcements the device sent to peers
+	// immediately after this FIB update.
+	Emitted int
+	Updates []fib.Update
+}
+
+// VectorTracker decides when a vector-protocol event has converged: the
+// announcement balance (emitted minus consumed, seeded by the event's
+// initial announcements) returns to zero and no device still owes a
+// report.
+type VectorTracker struct {
+	// outstanding counts announcements in flight per event.
+	outstanding map[string]int
+	// seen records devices that reported for an event.
+	seen map[string]map[fib.DeviceID]bool
+}
+
+// NewVectorTracker returns an empty tracker.
+func NewVectorTracker() *VectorTracker {
+	return &VectorTracker{
+		outstanding: make(map[string]int),
+		seen:        make(map[string]map[fib.DeviceID]bool),
+	}
+}
+
+// Start registers a new root event with its initial announcement count
+// (e.g. a withdraw sent to n peers).
+func (t *VectorTracker) Start(event string, announcements int) {
+	if announcements <= 0 {
+		panic("ce2d: event must start with at least one announcement")
+	}
+	if _, dup := t.outstanding[event]; dup {
+		panic(fmt.Sprintf("ce2d: duplicate event %q", event))
+	}
+	t.outstanding[event] = announcements
+	t.seen[event] = make(map[fib.DeviceID]bool)
+}
+
+// Observe processes one causal message and reports whether the event is
+// now converged: every announcement consumed and none left in flight.
+func (t *VectorTracker) Observe(m CausalMsg) (converged bool, err error) {
+	bal, ok := t.outstanding[m.Event]
+	if !ok {
+		return false, fmt.Errorf("ce2d: message for unknown event %q", m.Event)
+	}
+	if m.Consumed <= 0 {
+		return false, fmt.Errorf("ce2d: device %d consumed nothing for event %q", m.Device, m.Event)
+	}
+	bal += m.Emitted - m.Consumed
+	if bal < 0 {
+		return false, fmt.Errorf("ce2d: event %q: more announcements consumed than sent", m.Event)
+	}
+	t.outstanding[m.Event] = bal
+	t.seen[m.Event][m.Device] = true
+	return bal == 0, nil
+}
+
+// Converged reports whether the event's announcement balance is zero.
+func (t *VectorTracker) Converged(event string) bool {
+	bal, ok := t.outstanding[event]
+	return ok && bal == 0
+}
+
+// Participants returns how many devices reported FIB changes for the
+// event — the devices whose updates belong in the event's model.
+func (t *VectorTracker) Participants(event string) int {
+	return len(t.seen[event])
+}

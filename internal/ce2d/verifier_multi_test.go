@@ -1,0 +1,176 @@
+package ce2d
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/reach"
+	"repro/internal/spec"
+	"repro/internal/topo"
+)
+
+// mrig is the multi-destination test rig: s — {m1, m2} — {d1, d2} over
+// an 8-bit dst space.
+type mrig struct {
+	g *topo.Graph
+	s *hs.Space
+}
+
+func multiRig() (*mrig, topo.NodeID, topo.NodeID, topo.NodeID, topo.NodeID, topo.NodeID) {
+	g := topo.New()
+	s := g.AddNode("s", topo.RoleSwitch, -1)
+	m1 := g.AddNode("m1", topo.RoleSwitch, -1)
+	m2 := g.AddNode("m2", topo.RoleSwitch, -1)
+	d1 := g.AddNode("d1", topo.RoleSwitch, -1)
+	d2 := g.AddNode("d2", topo.RoleSwitch, -1)
+	g.AddLink(s, m1)
+	g.AddLink(s, m2)
+	g.AddLink(m1, d1)
+	g.AddLink(m2, d2)
+	r := &mrig{g: g, s: hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))}
+	return r, s, m1, m2, d1, d2
+}
+
+func TestVerifierAnycastCheck(t *testing.T) {
+	r, s, m1, _, d1, d2 := multiRig()
+	v := NewVerifier(Config{
+		Topo:   r.g,
+		Engine: r.s.E,
+		Checks: []Check{{
+			Name: "anycast", Kind: CheckAnycast, Space: bdd.True,
+			Expr:    spec.MustParse("s .* >"),
+			Sources: []topo.NodeID{s},
+			Dests:   []topo.NodeID{d1, d2},
+		}},
+	})
+	deliver := fib.Forward(topo.NodeID(r.g.N()))
+	sync := func(dev topo.NodeID, act fib.Action, id int64) []Event {
+		t.Helper()
+		if err := v.ApplyUpdates(dev, insBlock(id, bdd.True, 0, act)); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := v.MarkSynchronized(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	if evs := sync(s, fib.Forward(m1), 1); len(evs) != 0 {
+		t.Fatalf("after s: %+v", evs)
+	}
+	if evs := sync(m1, fib.Forward(d1), 2); len(evs) != 0 {
+		t.Fatalf("after m1: %+v", evs)
+	}
+	evs := sync(d1, deliver, 3)
+	if len(evs) != 1 || evs[0].Verdict != reach.Satisfied {
+		t.Fatalf("anycast should settle satisfied: %+v", evs)
+	}
+}
+
+func TestVerifierMulticastCheckEarlyFail(t *testing.T) {
+	r, s, m1, _, d1, d2 := multiRig()
+	v := NewVerifier(Config{
+		Topo:   r.g,
+		Engine: r.s.E,
+		Checks: []Check{{
+			Name: "mcast", Kind: CheckMulticast, Space: bdd.True,
+			Expr:    spec.MustParse("s .* >"),
+			Sources: []topo.NodeID{s},
+			Dests:   []topo.NodeID{d1, d2},
+		}},
+	})
+	// s forwards only toward m1: d2's branch dies immediately.
+	if err := v.ApplyUpdates(s, insBlock(1, bdd.True, 0, fib.Forward(m1))); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := v.MarkSynchronized(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Verdict != reach.Unsatisfied {
+		t.Fatalf("multicast should fail early: %+v", evs)
+	}
+}
+
+func TestVerifierCoverageViaCoverKeyword(t *testing.T) {
+	// A CheckReach whose expression is "cover s . >" becomes a coverage
+	// check: s must keep BOTH one-hop branches alive.
+	r, s, m1, m2, _, _ := multiRig()
+	dag := map[topo.NodeID][]topo.NodeID{s: {m1, m2}}
+	v := NewVerifier(Config{
+		Topo:   r.g,
+		Engine: r.s.E,
+		Checks: []Check{{
+			Name: "cover", Kind: CheckReach, Space: bdd.True,
+			Expr:    spec.MustParse("cover s >"),
+			Sources: []topo.NodeID{s},
+			IsDest:  func(n topo.NodeID) bool { return n == m1 || n == m2 },
+		}},
+		Succ: func(n topo.NodeID) []topo.NodeID { return dag[n] },
+	})
+	// s installs a single branch: coverage violated immediately.
+	if err := v.ApplyUpdates(s, insBlock(1, bdd.True, 0, fib.Forward(m1))); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := v.MarkSynchronized(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Verdict != reach.Unsatisfied {
+		t.Fatalf("coverage violation not early-detected: %+v", evs)
+	}
+}
+
+func TestVerifierAnycastClassSplit(t *testing.T) {
+	// s splits the space: lower half via m1 (anycast OK), upper half
+	// dropped (anycast fails) — per-class verdicts must diverge.
+	r, s, m1, _, d1, d2 := multiRig()
+	lower := r.s.Prefix("dst", 0x00, 1)
+	v := NewVerifier(Config{
+		Topo:   r.g,
+		Engine: r.s.E,
+		Checks: []Check{{
+			Name: "anycast", Kind: CheckAnycast, Space: bdd.True,
+			Expr:    spec.MustParse("s .* >"),
+			Sources: []topo.NodeID{s},
+			Dests:   []topo.NodeID{d1, d2},
+		}},
+	})
+	err := v.ApplyUpdates(s, []fib.Update{
+		{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: lower, Pri: 1, Action: fib.Forward(m1)}},
+		{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: bdd.True, Pri: 0, Action: fib.Drop}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := v.MarkSynchronized(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper half: unsatisfied immediately (source drops, no dest ever
+	// reachable).
+	if len(evs) != 1 || evs[0].Verdict != reach.Unsatisfied || evs[0].Class != r.s.E.Not(lower) {
+		t.Fatalf("upper-half anycast failure not detected: %+v", evs)
+	}
+	// Complete the lower-half path.
+	deliver := fib.Forward(topo.NodeID(r.g.N()))
+	for _, step := range []struct {
+		dev topo.NodeID
+		act fib.Action
+		id  int64
+	}{{m1, fib.Forward(d1), 3}, {d1, deliver, 4}} {
+		if err := v.ApplyUpdates(step.dev, insBlock(step.id, bdd.True, 0, step.act)); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		evs, err = v.MarkSynchronized(step.dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(evs) != 1 || evs[0].Verdict != reach.Satisfied || evs[0].Class != lower {
+		t.Fatalf("lower-half anycast should settle satisfied: %+v", evs)
+	}
+}

@@ -1,0 +1,327 @@
+package ce2d
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/reach"
+	"repro/internal/spec"
+	"repro/internal/topo"
+)
+
+// rig is a 4-node line topology a-b-c-d with an 8-bit dst space.
+type rig struct {
+	g     *topo.Graph
+	s     *hs.Space
+	a, b  topo.NodeID
+	c, d  topo.NodeID
+	hostD fib.Action // delivery action at d (host beyond the fabric)
+}
+
+func newRig() *rig {
+	g := topo.New()
+	r := &rig{g: g, s: hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))}
+	r.a = g.AddNode("a", topo.RoleSwitch, -1)
+	r.b = g.AddNode("b", topo.RoleSwitch, -1)
+	r.c = g.AddNode("c", topo.RoleSwitch, -1)
+	r.d = g.AddNode("d", topo.RoleSwitch, -1)
+	g.AddLink(r.a, r.b)
+	g.AddLink(r.b, r.c)
+	g.AddLink(r.c, r.d)
+	r.hostD = fib.Forward(topo.NodeID(g.N())) // beyond fabric = delivery
+	return r
+}
+
+func (r *rig) verifier(checks ...Check) *Verifier {
+	return NewVerifier(Config{
+		Topo:     r.g,
+		Engine:   r.s.E,
+		Universe: bdd.True,
+		Checks:   checks,
+	})
+}
+
+func insBlock(id int64, match bdd.Ref, pri int32, a fib.Action) []fib.Update {
+	return []fib.Update{{Op: fib.Insert, Rule: fib.Rule{ID: id, Match: match, Pri: pri, Action: a}}}
+}
+
+func TestVerifierReachSatisfied(t *testing.T) {
+	r := newRig()
+	check := Check{
+		Name:    "a-reaches-d",
+		Kind:    CheckReach,
+		Space:   r.s.Prefix("dst", 0x10, 4),
+		Expr:    spec.MustParse("a .* d"),
+		Sources: []topo.NodeID{r.a},
+		IsDest:  func(n topo.NodeID) bool { return n == r.d },
+	}
+	v := r.verifier(check)
+	devices := []struct {
+		dev topo.NodeID
+		act fib.Action
+	}{
+		{r.a, fib.Forward(r.b)},
+		{r.b, fib.Forward(r.c)},
+		{r.c, fib.Forward(r.d)},
+		{r.d, r.hostD},
+	}
+	var all []Event
+	for i, dv := range devices {
+		if err := v.ApplyUpdates(dv.dev, insBlock(int64(i+1), bdd.True, 0, dv.act)); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := v.MarkSynchronized(dv.dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, evs...)
+		if i < len(devices)-1 && len(all) != 0 {
+			t.Fatalf("premature deterministic result after %d devices: %+v", i+1, all)
+		}
+	}
+	if len(all) != 1 || all[0].Verdict != reach.Satisfied {
+		t.Fatalf("events = %+v, want one satisfied", all)
+	}
+	if v.SynchronizedCount() != 4 {
+		t.Fatal("SynchronizedCount wrong")
+	}
+}
+
+func TestVerifierReachEarlyUnsatisfied(t *testing.T) {
+	r := newRig()
+	check := Check{
+		Name:    "a-reaches-d",
+		Kind:    CheckReach,
+		Space:   bdd.True,
+		Expr:    spec.MustParse("a .* d"),
+		Sources: []topo.NodeID{r.a},
+		IsDest:  func(n topo.NodeID) bool { return n == r.d },
+	}
+	v := r.verifier(check)
+	// b drops everything: path a..d impossible regardless of a, c, d.
+	if err := v.ApplyUpdates(r.b, insBlock(1, bdd.True, 0, fib.Drop)); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := v.MarkSynchronized(r.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Verdict != reach.Unsatisfied {
+		t.Fatalf("events = %+v, want early unsatisfied", evs)
+	}
+}
+
+// TestVerifierClassSplit: device b forwards half the space to c and drops
+// the other half → the check's class splits, with opposite verdicts.
+func TestVerifierClassSplit(t *testing.T) {
+	r := newRig()
+	check := Check{
+		Name:    "a-reaches-d",
+		Kind:    CheckReach,
+		Space:   bdd.True,
+		Expr:    spec.MustParse("a .* d"),
+		Sources: []topo.NodeID{r.a},
+		IsDest:  func(n topo.NodeID) bool { return n == r.d },
+	}
+	v := r.verifier(check)
+	lower := r.s.Prefix("dst", 0x00, 1)
+	sync := func(dev topo.NodeID, ups []fib.Update) []Event {
+		t.Helper()
+		if err := v.ApplyUpdates(dev, ups); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := v.MarkSynchronized(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	// b: lower half → c, upper half → drop.
+	evs := sync(r.b, []fib.Update{
+		{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: lower, Pri: 1, Action: fib.Forward(r.c)}},
+		{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: bdd.True, Pri: 0, Action: fib.Drop}},
+	})
+	// Upper half: unsatisfied immediately (b is a cut vertex).
+	if len(evs) != 1 || evs[0].Verdict != reach.Unsatisfied {
+		t.Fatalf("after b: %+v, want one unsatisfied class", evs)
+	}
+	if evs[0].Class != r.s.E.Not(lower) {
+		t.Errorf("unsatisfied class = %d, want upper half %d", evs[0].Class, r.s.E.Not(lower))
+	}
+	// Complete the lower-half path.
+	evs = sync(r.a, insBlock(3, bdd.True, 0, fib.Forward(r.b)))
+	if len(evs) != 0 {
+		t.Fatalf("after a: %+v", evs)
+	}
+	evs = sync(r.c, insBlock(4, bdd.True, 0, fib.Forward(r.d)))
+	if len(evs) != 0 {
+		t.Fatalf("after c: %+v", evs)
+	}
+	evs = sync(r.d, insBlock(5, bdd.True, 0, r.hostD))
+	if len(evs) != 1 || evs[0].Verdict != reach.Satisfied || evs[0].Class != lower {
+		t.Fatalf("after d: %+v, want satisfied for lower half", evs)
+	}
+}
+
+func TestVerifierLoopCheck(t *testing.T) {
+	r := newRig()
+	check := Check{
+		Name:    "loops",
+		Kind:    CheckLoopFree,
+		Space:   bdd.True,
+		CanExit: func(n topo.NodeID) bool { return n == r.d },
+	}
+	v := r.verifier(check)
+	sync := func(dev topo.NodeID, act fib.Action, id int64) []Event {
+		t.Helper()
+		if err := v.ApplyUpdates(dev, insBlock(id, bdd.True, 0, act)); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := v.MarkSynchronized(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	if evs := sync(r.b, fib.Forward(r.c), 1); len(evs) != 0 {
+		t.Fatalf("after b: %+v", evs)
+	}
+	// c → b closes a synchronized loop for the whole space.
+	evs := sync(r.c, fib.Forward(r.b), 2)
+	if len(evs) != 1 || evs[0].Loop != LoopFound {
+		t.Fatalf("after c: %+v, want loop", evs)
+	}
+}
+
+// TestDispatcherConsistency reproduces the essence of Figure 8: a
+// transient state (epoch e1) contains a loop, the converged state (e2)
+// does not. Per-update-style verification would report the transient
+// loop; the dispatcher must never emit a loop event because e1 is
+// superseded before its loop-closing device synchronizes.
+func TestDispatcherConsistency(t *testing.T) {
+	r := newRig()
+	mkVerifier := func(Epoch) *Verifier {
+		return r.verifier(Check{
+			Name:    "loops",
+			Kind:    CheckLoopFree,
+			Space:   bdd.True,
+			CanExit: func(n topo.NodeID) bool { return n == r.d },
+		})
+	}
+	d := NewDispatcher(mkVerifier)
+	recv := func(dev topo.NodeID, e Epoch, ups []fib.Update) []TaggedEvent {
+		t.Helper()
+		evs, err := d.Receive(Msg{Device: dev, Epoch: e, Updates: ups})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	// Epoch e1: b→c.
+	if evs := recv(r.b, "e1", insBlock(1, bdd.True, 0, fib.Forward(r.c))); len(evs) != 0 {
+		t.Fatalf("e1/b: %+v", evs)
+	}
+	// b recomputes for e2 with an unchanged FIB before c's e1 update
+	// arrives: e1 deactivated.
+	if evs := recv(r.b, "e2", nil); len(evs) != 0 {
+		t.Fatalf("e2/b: %+v", evs)
+	}
+	// c's stale e1 update (c→b, which would close the loop b→c→b under
+	// e1) arrives late: it must be queued, never verified — a
+	// per-update verifier would report this transient loop.
+	if evs := recv(r.c, "e1", insBlock(3, bdd.True, 0, fib.Forward(r.b))); len(evs) != 0 {
+		t.Fatalf("stale e1/c triggered events: %+v", evs)
+	}
+	if _, live := d.Verifier("e1"); live {
+		t.Fatal("e1 verifier should be stopped")
+	}
+	// c converges on e2 (c→d): no loop in e2.
+	if evs := recv(r.c, "e2", []fib.Update{
+		{Op: fib.Delete, Rule: fib.Rule{ID: 3, Pri: 0}},
+		{Op: fib.Insert, Rule: fib.Rule{ID: 4, Match: bdd.True, Pri: 0, Action: fib.Forward(r.d)}},
+	}); len(evs) != 0 {
+		t.Fatalf("e2/c: %+v", evs)
+	}
+	// a and d converge on e2; the class becomes loop-free only once the
+	// last device synchronizes.
+	if evs := recv(r.a, "e2", insBlock(5, bdd.True, 0, fib.Forward(r.b))); len(evs) != 0 {
+		t.Fatalf("e2/a: %+v", evs)
+	}
+	final := recv(r.d, "e2", insBlock(6, bdd.True, 0, r.hostD))
+	if len(final) != 1 || final[0].Event.Loop != LoopFree || final[0].Epoch != "e2" {
+		t.Fatalf("final events = %+v, want loop-free@e2", final)
+	}
+	st := d.Stats()
+	if st.VerifiersCreated != 2 || st.VerifiersStopped != 1 {
+		t.Fatalf("lifecycle stats = %+v", st)
+	}
+}
+
+func TestDispatcherBackfillOnLateVerifier(t *testing.T) {
+	// A verifier created for a later epoch must replay earlier queued
+	// updates so its FIB snapshot is complete.
+	r := newRig()
+	created := 0
+	mk := func(Epoch) *Verifier {
+		created++
+		return r.verifier(Check{
+			Name: "reach", Kind: CheckReach, Space: bdd.True,
+			Expr:    spec.MustParse("a .* d"),
+			Sources: []topo.NodeID{r.a},
+			IsDest:  func(n topo.NodeID) bool { return n == r.d },
+		})
+	}
+	d := NewDispatcher(mk)
+	// a, c, d send e1 updates (a full working path except b).
+	for i, dev := range []topo.NodeID{r.a, r.c, r.d} {
+		act := fib.Forward(dev + 1)
+		if dev == r.d {
+			act = r.hostD
+		}
+		if _, err := d.Receive(Msg{Device: dev, Epoch: "e1",
+			Updates: insBlock(int64(i+1), bdd.True, 0, act)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a moves to e2 with the same FIB content (new rule id).
+	if _, err := d.Receive(Msg{Device: r.a, Epoch: "e2", Updates: []fib.Update{
+		{Op: fib.Delete, Rule: fib.Rule{ID: 1, Pri: 0}},
+		{Op: fib.Insert, Rule: fib.Rule{ID: 10, Match: bdd.True, Pri: 0, Action: fib.Forward(r.b)}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	v2, ok := d.Verifier("e2")
+	if !ok {
+		t.Fatal("no verifier for e2")
+	}
+	// The e2 verifier must have replayed c's and d's e1 updates into its
+	// snapshot (1 rule each) even though they are not synchronized.
+	if v2.Transformer().NumRules() != 3 {
+		t.Fatalf("e2 snapshot has %d rules, want 3", v2.Transformer().NumRules())
+	}
+	if v2.SynchronizedCount() != 1 {
+		t.Fatalf("e2 synchronized count = %d, want 1 (only a)", v2.SynchronizedCount())
+	}
+	// b finally reports e2 (b→c): then c and d report e2 unchanged FIBs —
+	// empty update blocks still synchronize them.
+	if _, err := d.Receive(Msg{Device: r.b, Epoch: "e2",
+		Updates: insBlock(20, bdd.True, 0, fib.Forward(r.c))}); err != nil {
+		t.Fatal(err)
+	}
+	var last []TaggedEvent
+	for _, dev := range []topo.NodeID{r.c, r.d} {
+		evs, err := d.Receive(Msg{Device: dev, Epoch: "e2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = append(last, evs...)
+	}
+	if len(last) != 1 || last[0].Event.Verdict != reach.Satisfied || last[0].Epoch != "e2" {
+		t.Fatalf("final events = %+v, want satisfied@e2", last)
+	}
+	if created != 2 {
+		t.Fatalf("verifiers created = %d, want 2", created)
+	}
+}

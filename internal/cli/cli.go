@@ -1,0 +1,69 @@
+// Package cli holds the topology/layout parsing shared by the command
+// line tools (flashd, flashgen).
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/hs"
+	"repro/internal/topo"
+)
+
+// ParseTopo resolves a topology specification:
+//
+//	internet2 | stanford | airtel | fabric:<pods>,<tors>,<aggs>,<spinePer>
+func ParseTopo(spec string) (*topo.Graph, error) {
+	switch {
+	case spec == "internet2":
+		return topo.Internet2(), nil
+	case spec == "stanford":
+		return topo.Stanford(), nil
+	case spec == "airtel":
+		return topo.Airtel(), nil
+	case strings.HasPrefix(spec, "fabric:"):
+		parts := strings.Split(strings.TrimPrefix(spec, "fabric:"), ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("cli: fabric spec needs pods,tors,aggs,spinePer")
+		}
+		vals := make([]int, 4)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("cli: bad fabric parameter %q", p)
+			}
+			vals[i] = v
+		}
+		return topo.Fabric(topo.FabricParams{
+			Pods: vals[0], TorsPerPod: vals[1], AggsPerPod: vals[2],
+			SpinePlanes: vals[2], SpinePer: vals[3],
+		}), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown topology %q", spec)
+	}
+}
+
+// ParseLayout resolves a layout specification: a comma-separated list of
+// name:bits fields, e.g. "dst:16" or "dst:12,src:8".
+func ParseLayout(spec string) (*hs.Layout, error) {
+	var fields []hs.Field
+	for _, part := range strings.Split(spec, ",") {
+		nv := strings.Split(strings.TrimSpace(part), ":")
+		if len(nv) != 2 {
+			return nil, fmt.Errorf("cli: layout field %q must be name:bits", part)
+		}
+		if nv[0] == "" {
+			return nil, fmt.Errorf("cli: empty field name in %q", part)
+		}
+		bits, err := strconv.Atoi(nv[1])
+		if err != nil || bits <= 0 || bits > 64 {
+			return nil, fmt.Errorf("cli: bad field width %q", nv[1])
+		}
+		fields = append(fields, hs.Field{Name: nv[0], Bits: bits})
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("cli: empty layout")
+	}
+	return hs.NewLayout(fields...), nil
+}

@@ -1,0 +1,45 @@
+package cli
+
+import "testing"
+
+func TestParseTopo(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int
+	}{
+		{"internet2", 9},
+		{"stanford", 16},
+		{"airtel", 68},
+		{"fabric:2,2,2,1", 2*1 + 2*(2+2)},
+	}
+	for _, c := range cases {
+		g, err := ParseTopo(c.spec)
+		if err != nil {
+			t.Errorf("ParseTopo(%q): %v", c.spec, err)
+			continue
+		}
+		if g.N() != c.nodes {
+			t.Errorf("ParseTopo(%q) has %d nodes, want %d", c.spec, g.N(), c.nodes)
+		}
+	}
+	for _, bad := range []string{"", "mars", "fabric:1,2", "fabric:a,b,c,d", "fabric:0,1,1,1"} {
+		if _, err := ParseTopo(bad); err == nil {
+			t.Errorf("ParseTopo(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	l, err := ParseLayout("dst:16,src:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.TotalBits() != 24 || l.FieldBits("src") != 8 {
+		t.Errorf("layout wrong: %d bits", l.TotalBits())
+	}
+	for _, bad := range []string{"", "dst", "dst:0", "dst:65", "dst:x", ":8"} {
+		if _, err := ParseLayout(bad); err == nil {
+			t.Errorf("ParseLayout(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package deltanet
+
+import (
+	"testing"
+
+	"repro/internal/fib"
+)
+
+// The representational asymmetry Table 3 exposes: prefix rules are one
+// interval each; suffix rules explode. Compare ns/op across the two.
+
+func BenchmarkInsertPrefixRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		v := New(lay8)
+		b.StartTimer()
+		for k := 0; k < 64; k++ {
+			r := prefixRule(int64(k+1), int32(k%7), uint64(k*4)&0xFF, 4+k%4, fib.Drop)
+			if err := v.Insert(fib.DeviceID(k%4), r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkInsertSuffixRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		v := New(lay8)
+		b.StartTimer()
+		for k := 0; k < 64; k++ {
+			r := fib.Rule{ID: int64(k + 1), Pri: int32(k % 7), Action: fib.Drop,
+				Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchTernary,
+					Value: uint64(k % 8), Mask: 0x07}}}
+			if err := v.Insert(fib.DeviceID(k%4), r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package deltanet implements the Delta-net* baseline: our reimplementation
+// of Delta-net (Horn, Kheradmand, Prasad — NSDI'17) following its
+// pseudocode, extended exactly as §5.1 of the Flash paper describes:
+// "Given that Delta-net represents each longest-prefix match as an
+// interval, we directly extend it to handle multi-field match and generic
+// ternary match by representing each match as multiple intervals."
+//
+// The header space is the integer line [0, 2^W) obtained by concatenating
+// the layout's fields; the line is partitioned into atoms delimited by the
+// boundaries of every installed rule interval. Each (device, atom) pair
+// carries the rules covering the atom ordered by priority, so the atom's
+// action is the first rule's. A prefix match contributes a single
+// interval; an M-field rectangle or a ternary/suffix match explodes into
+// many intervals — the representational weakness the LNet-ecmp and
+// LNet-smr settings expose in Table 3 and Figure 6.
+//
+// The package counts one "predicate operation" per (device, atom) rule
+// insertion, removal, or atom-split copy: the unit of header-space work,
+// playing the role BDD ∧/∨/¬ calls play for Flash and APKeep*.
+package deltanet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fib"
+	"repro/internal/hs"
+)
+
+// Interval is a half-open range [Lo, Hi) on the concatenated header line.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// IntervalsFor converts a symbolic match descriptor into the set of
+// intervals it covers on the concatenated header line of the layout.
+// Fields appear in layout order, earlier fields in higher-order bits
+// (matching package hs variable order). A nil constraint on a field is a
+// full wildcard.
+func IntervalsFor(layout *hs.Layout, d fib.MatchDesc) ([]Interval, error) {
+	byField := make(map[string]fib.FieldMatch, len(d))
+	for _, f := range d {
+		if _, dup := byField[f.Field]; dup {
+			return nil, fmt.Errorf("deltanet: duplicate constraint on field %q", f.Field)
+		}
+		byField[f.Field] = f
+	}
+	// Start with the whole (zero-width) line and refine field by field,
+	// most significant first. Runs are inclusive value ranges on the
+	// accumulated width. Appending a field turns each accumulated run
+	// [lo,hi] × field run [rlo,rhi] into either one contiguous run (when
+	// the field run is the full field range) or one run per value of the
+	// accumulated run — the multi-field interval explosion Delta-net*
+	// suffers on non-prefix rules.
+	const maxIntervals = 1 << 22
+	ivs := []Interval{{0, 0}}
+	for _, fd := range layout.Fields() {
+		w := fd.Bits
+		fm := maxVal(w)
+		constraint, present := byField[fd.Name]
+		runs, err := fieldRuns(constraint, w, present)
+		if err != nil {
+			return nil, fmt.Errorf("deltanet: field %q: %w", fd.Name, err)
+		}
+		var next []Interval
+		for _, iv := range ivs {
+			for _, r := range runs {
+				if r.Lo == 0 && r.Hi == fm {
+					next = append(next, Interval{iv.Lo << uint(w), iv.Hi<<uint(w) + fm})
+					continue
+				}
+				if span := iv.Hi - iv.Lo + 1; uint64(len(next))+span > maxIntervals {
+					return nil, fmt.Errorf("deltanet: rule expands past %d intervals", maxIntervals)
+				}
+				for v := iv.Lo; v <= iv.Hi; v++ {
+					next = append(next, Interval{v<<uint(w) + r.Lo, v<<uint(w) + r.Hi})
+				}
+			}
+		}
+		ivs = next
+	}
+	// Convert inclusive value runs to half-open intervals and merge
+	// adjacent runs.
+	out := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		out = append(out, Interval{iv.Lo, iv.Hi + 1})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	merged := out[:0]
+	for _, iv := range out {
+		if n := len(merged); n > 0 && merged[n-1].Hi >= iv.Lo {
+			if iv.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged, nil
+}
+
+// fieldRuns enumerates the inclusive value runs a single-field constraint
+// permits. present=false means wildcard.
+func fieldRuns(f fib.FieldMatch, width int, present bool) ([]Interval, error) {
+	full := Interval{0, maxVal(width)}
+	if !present {
+		return []Interval{full}, nil
+	}
+	switch f.Kind {
+	case fib.MatchPrefix:
+		if f.Len < 0 || f.Len > width {
+			return nil, fmt.Errorf("prefix length %d out of range", f.Len)
+		}
+		if f.Len == 0 {
+			return []Interval{full}, nil
+		}
+		span := uint64(1) << uint(width-f.Len)
+		top := f.Value >> uint(width-f.Len)
+		lo := top << uint(width-f.Len)
+		return []Interval{{lo, lo + span - 1}}, nil
+	case fib.MatchTernary:
+		// Enumerate the runs of values v with v & Mask == Value & Mask.
+		// Contiguous low wildcard bits form runs; every other wildcard
+		// bit doubles the run count.
+		mask := f.Mask & maskOf(width)
+		val := f.Value & mask
+		// Trailing wildcard bits give run length.
+		runLen := uint64(1)
+		bit := 0
+		for ; bit < width && mask&(1<<uint(bit)) == 0; bit++ {
+			runLen <<= 1
+		}
+		// Remaining wildcard positions (above `bit`) each double the count.
+		var freeBits []int
+		for i := bit; i < width; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				freeBits = append(freeBits, i)
+			}
+		}
+		if len(freeBits) > 24 {
+			return nil, fmt.Errorf("ternary expansion of 2^%d intervals is too large", len(freeBits))
+		}
+		n := 1 << uint(len(freeBits))
+		runs := make([]Interval, 0, n)
+		for m := 0; m < n; m++ {
+			v := val
+			for i, fb := range freeBits {
+				if m&(1<<uint(i)) != 0 {
+					v |= 1 << uint(fb)
+				}
+			}
+			runs = append(runs, Interval{v, v + runLen - 1})
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Lo < runs[j].Lo })
+		return runs, nil
+	default:
+		return nil, fmt.Errorf("unknown match kind %d", f.Kind)
+	}
+}
+
+func maxVal(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+func maskOf(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// ruleEntry is a rule occupying atoms on one device.
+type ruleEntry struct {
+	id     int64
+	pri    int32
+	action fib.Action
+}
+
+func (r ruleEntry) less(o ruleEntry) bool {
+	if r.pri != o.pri {
+		return r.pri > o.pri
+	}
+	return r.id < o.id
+}
+
+// Verifier is a Delta-net* instance over a header line of the layout's
+// total width.
+type Verifier struct {
+	layout *hs.Layout
+	width  int
+	limit  uint64
+
+	// boundaries is the sorted list of atom left edges; boundaries[0]==0.
+	// Atom i spans [boundaries[i], boundaries[i+1]) (last atom ends at
+	// limit).
+	boundaries []uint64
+	// occupancy[dev][atom] is the priority-ordered rule list.
+	occupancy map[fib.DeviceID][][]ruleEntry
+	// intervals remembers each installed rule's atoms' source intervals
+	// for deletion. Keyed by (dev, rule id).
+	intervals map[devRule][]Interval
+
+	ops       uint64
+	pairs     int
+	peakPairs int
+}
+
+type devRule struct {
+	dev fib.DeviceID
+	id  int64
+}
+
+// New creates a Delta-net* verifier for the layout's concatenated line.
+func New(layout *hs.Layout) *Verifier {
+	w := layout.TotalBits()
+	if w > 63 {
+		panic("deltanet: concatenated header line wider than 63 bits")
+	}
+	return &Verifier{
+		layout:     layout,
+		width:      w,
+		limit:      uint64(1) << uint(w),
+		boundaries: []uint64{0},
+		occupancy:  make(map[fib.DeviceID][][]ruleEntry),
+		intervals:  make(map[devRule][]Interval),
+	}
+}
+
+// Ops reports the cumulative header-space operation count (the package's
+// predicate-operation equivalent).
+func (v *Verifier) Ops() uint64 { return v.ops }
+
+// NumAtoms reports the current number of atoms.
+func (v *Verifier) NumAtoms() int { return len(v.boundaries) }
+
+// PairCount reports the current number of stored (device, atom, rule)
+// entries.
+func (v *Verifier) PairCount() int { return v.pairs }
+
+// PeakPairCount reports the high-water mark of stored entries —
+// Delta-net*'s memory proxy.
+func (v *Verifier) PeakPairCount() int { return v.peakPairs }
+
+func (v *Verifier) addPairs(n int) {
+	v.pairs += n
+	if v.pairs > v.peakPairs {
+		v.peakPairs = v.pairs
+	}
+}
+
+// atomIndex returns the index of the atom whose range contains x.
+func (v *Verifier) atomIndex(x uint64) int {
+	return sort.Search(len(v.boundaries), func(i int) bool { return v.boundaries[i] > x }) - 1
+}
+
+// ensureBoundary splits the atom containing x so that x becomes an atom
+// edge. Splitting copies every device's occupancy of the split atom — the
+// cost Delta-net pays on new boundaries.
+func (v *Verifier) ensureBoundary(x uint64) {
+	if x == 0 || x >= v.limit {
+		return
+	}
+	i := v.atomIndex(x)
+	if v.boundaries[i] == x {
+		return
+	}
+	// Insert boundary after i.
+	v.boundaries = append(v.boundaries, 0)
+	copy(v.boundaries[i+2:], v.boundaries[i+1:])
+	v.boundaries[i+1] = x
+	for dev, atoms := range v.occupancy {
+		atoms = append(atoms, nil)
+		copy(atoms[i+2:], atoms[i+1:])
+		atoms[i+1] = append([]ruleEntry(nil), atoms[i]...)
+		v.occupancy[dev] = atoms
+		v.ops += uint64(len(atoms[i])) // copy cost
+		v.addPairs(len(atoms[i]))
+	}
+}
+
+// deviceAtoms returns the device's per-atom occupancy, creating it at the
+// current atom count on first use. ensureBoundary keeps every existing
+// device in sync with splits, so an existing slice is always full-length.
+func (v *Verifier) deviceAtoms(dev fib.DeviceID) [][]ruleEntry {
+	atoms, ok := v.occupancy[dev]
+	if !ok {
+		atoms = make([][]ruleEntry, len(v.boundaries))
+		v.occupancy[dev] = atoms
+	}
+	return atoms
+}
+
+// Insert installs a rule on a device. The rule must carry a symbolic
+// descriptor (Desc); opaque rules are not representable as intervals.
+func (v *Verifier) Insert(dev fib.DeviceID, r fib.Rule) error {
+	key := devRule{dev, r.ID}
+	if _, dup := v.intervals[key]; dup {
+		return fmt.Errorf("deltanet: duplicate rule %d on device %d", r.ID, dev)
+	}
+	ivs, err := IntervalsFor(v.layout, r.Desc)
+	if err != nil {
+		return err
+	}
+	for _, iv := range ivs {
+		v.ensureBoundary(iv.Lo)
+		v.ensureBoundary(iv.Hi)
+	}
+	atoms := v.deviceAtoms(dev)
+	entry := ruleEntry{id: r.ID, pri: r.Pri, action: r.Action}
+	for _, iv := range ivs {
+		for i := v.atomIndex(iv.Lo); i < len(v.boundaries) && v.boundaries[i] < iv.Hi; i++ {
+			atoms[i] = insertSorted(atoms[i], entry)
+			v.ops++
+			v.addPairs(1)
+		}
+	}
+	v.intervals[key] = ivs
+	return nil
+}
+
+// Delete removes a rule previously installed with Insert.
+func (v *Verifier) Delete(dev fib.DeviceID, r fib.Rule) error {
+	key := devRule{dev, r.ID}
+	ivs, ok := v.intervals[key]
+	if !ok {
+		return fmt.Errorf("deltanet: delete of missing rule %d on device %d", r.ID, dev)
+	}
+	delete(v.intervals, key)
+	atoms := v.deviceAtoms(dev)
+	for _, iv := range ivs {
+		for i := v.atomIndex(iv.Lo); i < len(v.boundaries) && v.boundaries[i] < iv.Hi; i++ {
+			atoms[i] = removeByID(atoms[i], r.ID)
+			v.ops++
+			v.pairs--
+		}
+	}
+	return nil
+}
+
+// Apply processes one native update.
+func (v *Verifier) Apply(dev fib.DeviceID, u fib.Update) error {
+	if u.Op == fib.Insert {
+		return v.Insert(dev, u.Rule)
+	}
+	return v.Delete(dev, u.Rule)
+}
+
+func insertSorted(rules []ruleEntry, e ruleEntry) []ruleEntry {
+	i := sort.Search(len(rules), func(i int) bool { return !rules[i].less(e) })
+	rules = append(rules, ruleEntry{})
+	copy(rules[i+1:], rules[i:])
+	rules[i] = e
+	return rules
+}
+
+func removeByID(rules []ruleEntry, id int64) []ruleEntry {
+	for i, r := range rules {
+		if r.id == id {
+			return append(rules[:i], rules[i+1:]...)
+		}
+	}
+	return rules
+}
+
+// ActionAt returns the action device dev applies to the header point x
+// (the highest-priority rule covering x's atom).
+func (v *Verifier) ActionAt(dev fib.DeviceID, x uint64) fib.Action {
+	atoms, ok := v.occupancy[dev]
+	if !ok {
+		return fib.None
+	}
+	i := v.atomIndex(x)
+	if i >= len(atoms) || len(atoms[i]) == 0 {
+		return fib.None
+	}
+	return atoms[i][0].action
+}
+
+// ECCount groups atoms by their network-wide action vector and returns
+// the number of distinct behaviors — Delta-net*'s equivalence-class view,
+// used to cross-check against the BDD-based models.
+func (v *Verifier) ECCount() int {
+	devs := make([]fib.DeviceID, 0, len(v.occupancy))
+	for d := range v.occupancy {
+		devs = append(devs, d)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	type void struct{}
+	seen := make(map[string]void)
+	buf := make([]byte, 0, 8*len(devs))
+	for i := range v.boundaries {
+		buf = buf[:0]
+		for _, d := range devs {
+			a := fib.None
+			if atoms := v.occupancy[d]; i < len(atoms) && len(atoms[i]) > 0 {
+				a = atoms[i][0].action
+			}
+			buf = append(buf, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+		}
+		seen[string(buf)] = void{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,302 @@
+package deltanet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fib"
+	"repro/internal/hs"
+)
+
+var lay8 = hs.NewLayout(hs.Field{Name: "dst", Bits: 8})
+var laySD = hs.NewLayout(hs.Field{Name: "src", Bits: 4}, hs.Field{Name: "dst", Bits: 4})
+
+func prefixRule(id int64, pri int32, val uint64, plen int, a fib.Action) fib.Rule {
+	return fib.Rule{ID: id, Pri: pri, Action: a,
+		Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: val, Len: plen}}}
+}
+
+func TestIntervalsForPrefix(t *testing.T) {
+	ivs, err := IntervalsFor(lay8, fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: 0xA0, Len: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0] != (Interval{0xA0, 0xB0}) {
+		t.Errorf("prefix intervals = %v, want [{0xA0,0xB0}]", ivs)
+	}
+	// Wildcard
+	ivs, err = IntervalsFor(lay8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 256}) {
+		t.Errorf("wildcard intervals = %v", ivs)
+	}
+}
+
+func TestIntervalsForSuffixExplodes(t *testing.T) {
+	// Suffix match on the low 2 bits of an 8-bit field: 64 singleton runs.
+	ivs, err := IntervalsFor(lay8, fib.MatchDesc{{Field: "dst", Kind: fib.MatchTernary, Value: 0b01, Mask: 0b11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 64 {
+		t.Errorf("suffix /2 on 8 bits gave %d intervals, want 64", len(ivs))
+	}
+	for _, iv := range ivs {
+		if iv.Hi-iv.Lo != 1 || iv.Lo&0b11 != 0b01 {
+			t.Fatalf("bad suffix interval %v", iv)
+		}
+	}
+}
+
+func TestIntervalsForMultiField(t *testing.T) {
+	// src=0b01xx, dst=0b10xx on 4+4 bits: 4 src values × one dst run.
+	ivs, err := IntervalsFor(laySD, fib.MatchDesc{
+		{Field: "src", Kind: fib.MatchPrefix, Value: 0b0100, Len: 2},
+		{Field: "dst", Kind: fib.MatchPrefix, Value: 0b1000, Len: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 4 {
+		t.Fatalf("rectangle gave %d intervals, want 4", len(ivs))
+	}
+	// Each interval: src value v in 4..7, dst 8..11 → [v*16+8, v*16+12).
+	for i, iv := range ivs {
+		v := uint64(4 + i)
+		if iv.Lo != v*16+8 || iv.Hi != v*16+12 {
+			t.Errorf("interval %d = %v", i, iv)
+		}
+	}
+	// src-wildcard rectangle with full dst: single interval.
+	ivs, err = IntervalsFor(laySD, fib.MatchDesc{
+		{Field: "src", Kind: fib.MatchPrefix, Value: 0b0100, Len: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0] != (Interval{64, 128}) {
+		t.Errorf("contiguous rectangle = %v", ivs)
+	}
+}
+
+// intervalsCoverage brute-force checks IntervalsFor against the BDD
+// compilation of the same descriptor.
+func TestIntervalsForMatchesBDD(t *testing.T) {
+	s := hs.NewSpace(laySD)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		var d fib.MatchDesc
+		if rng.Intn(2) == 0 {
+			d = append(d, fib.FieldMatch{Field: "src", Kind: fib.MatchPrefix,
+				Value: uint64(rng.Intn(16)), Len: rng.Intn(5)})
+		}
+		switch rng.Intn(3) {
+		case 0:
+			d = append(d, fib.FieldMatch{Field: "dst", Kind: fib.MatchPrefix,
+				Value: uint64(rng.Intn(16)), Len: rng.Intn(5)})
+		case 1:
+			d = append(d, fib.FieldMatch{Field: "dst", Kind: fib.MatchTernary,
+				Value: uint64(rng.Intn(16)), Mask: uint64(rng.Intn(16))})
+		}
+		ivs, err := IntervalsFor(laySD, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := s.Compile(d)
+		covered := func(x uint64) bool {
+			for _, iv := range ivs {
+				if x >= iv.Lo && x < iv.Hi {
+					return true
+				}
+			}
+			return false
+		}
+		for x := uint64(0); x < 256; x++ {
+			h := hs.Header{x >> 4, x & 0xF}
+			if covered(x) != s.Contains(pred, h) {
+				t.Fatalf("trial %d: intervals and BDD disagree at %#x (desc %v)", trial, x, d)
+			}
+		}
+	}
+}
+
+func TestInsertDeleteLookup(t *testing.T) {
+	v := New(lay8)
+	d := fib.DeviceID(0)
+	if err := v.Insert(d, prefixRule(1, 0, 0, 0, fib.Drop)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Insert(d, prefixRule(2, 5, 0xA0, 4, fib.Forward(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Insert(d, prefixRule(3, 7, 0xA8, 6, fib.Forward(2))); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ActionAt(d, 0xA9); got != fib.Forward(2) {
+		t.Errorf("0xA9 → %v, want fwd(2)", got)
+	}
+	if got := v.ActionAt(d, 0xA0); got != fib.Forward(1) {
+		t.Errorf("0xA0 → %v, want fwd(1)", got)
+	}
+	if got := v.ActionAt(d, 0x00); got != fib.Drop {
+		t.Errorf("0x00 → %v, want drop", got)
+	}
+	if err := v.Delete(d, prefixRule(3, 7, 0xA8, 6, fib.Forward(2))); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ActionAt(d, 0xA9); got != fib.Forward(1) {
+		t.Errorf("after delete 0xA9 → %v, want fwd(1)", got)
+	}
+	// Errors
+	if err := v.Insert(d, prefixRule(1, 0, 0, 0, fib.Drop)); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if err := v.Delete(d, prefixRule(99, 0, 0, 0, fib.Drop)); err == nil {
+		t.Error("missing delete accepted")
+	}
+}
+
+func TestPriorityTieBreaksLikeTables(t *testing.T) {
+	v := New(lay8)
+	d := fib.DeviceID(0)
+	// Same priority, overlapping, same action (well-behaved): lookup must
+	// still be deterministic (lowest ID first).
+	a := fib.Forward(3)
+	if err := v.Insert(d, prefixRule(10, 4, 0x00, 1, a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Insert(d, prefixRule(11, 4, 0x00, 2, a)); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ActionAt(d, 0x01); got != a {
+		t.Errorf("tie lookup = %v, want %v", got, a)
+	}
+}
+
+func TestAtomSplitCopiesOccupancy(t *testing.T) {
+	v := New(lay8)
+	d := fib.DeviceID(0)
+	if err := v.Insert(d, prefixRule(1, 0, 0, 0, fib.Drop)); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumAtoms() != 1 {
+		t.Fatalf("atoms = %d, want 1", v.NumAtoms())
+	}
+	if err := v.Insert(d, prefixRule(2, 5, 0x80, 1, fib.Forward(1))); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumAtoms() != 2 {
+		t.Fatalf("atoms = %d, want 2", v.NumAtoms())
+	}
+	// The wildcard rule must still cover both atoms.
+	if got := v.ActionAt(d, 0x00); got != fib.Drop {
+		t.Errorf("low atom lost wildcard: %v", got)
+	}
+	if got := v.ActionAt(d, 0xFF); got != fib.Forward(1) {
+		t.Errorf("high atom = %v", got)
+	}
+	if v.PairCount() != 3 { // wildcard × 2 atoms + rule2 × 1 atom
+		t.Errorf("PairCount = %d, want 3", v.PairCount())
+	}
+}
+
+func TestECCount(t *testing.T) {
+	v := New(lay8)
+	for d := fib.DeviceID(0); d < 3; d++ {
+		if err := v.Insert(d, prefixRule(1, 0, 0, 0, fib.Drop)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.ECCount() != 1 {
+		t.Fatalf("uniform plane has %d ECs, want 1", v.ECCount())
+	}
+	if err := v.Insert(0, prefixRule(2, 5, 0xA0, 4, fib.Forward(1))); err != nil {
+		t.Fatal(err)
+	}
+	if v.ECCount() != 2 {
+		t.Errorf("ECs = %d, want 2", v.ECCount())
+	}
+}
+
+// TestCrossValidationAgainstTables randomly drives Delta-net* and plain
+// fib.Tables with the same rules and compares per-header behavior.
+func TestCrossValidationAgainstTables(t *testing.T) {
+	s := hs.NewSpace(lay8)
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		v := New(lay8)
+		tables := map[fib.DeviceID]*fib.Table{}
+		nextID := int64(1)
+		type live struct {
+			dev fib.DeviceID
+			r   fib.Rule
+		}
+		var rules []live
+		for step := 0; step < 120; step++ {
+			dev := fib.DeviceID(rng.Intn(3))
+			if tables[dev] == nil {
+				tables[dev] = fib.NewTable()
+			}
+			if rng.Intn(4) > 0 || len(rules) == 0 {
+				var desc fib.MatchDesc
+				if rng.Intn(4) == 0 {
+					desc = fib.MatchDesc{{Field: "dst", Kind: fib.MatchTernary,
+						Value: uint64(rng.Intn(256)), Mask: uint64(rng.Intn(8))}}
+				} else {
+					desc = fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix,
+						Value: uint64(rng.Intn(256)), Len: rng.Intn(9)}}
+				}
+				r := fib.Rule{ID: nextID, Pri: int32(rng.Intn(8)), Desc: desc,
+					Match:  s.Compile(desc),
+					Action: fib.Forward(fib.DeviceID(rng.Intn(5)))}
+				nextID++
+				if err := v.Insert(dev, r); err != nil {
+					t.Fatal(err)
+				}
+				tables[dev].Insert(r)
+				rules = append(rules, live{dev, r})
+			} else {
+				i := rng.Intn(len(rules))
+				l := rules[i]
+				rules = append(rules[:i], rules[i+1:]...)
+				if err := v.Delete(l.dev, l.r); err != nil {
+					t.Fatal(err)
+				}
+				if !tables[l.dev].Delete(l.r.Pri, l.r.ID) {
+					t.Fatal("table delete failed")
+				}
+			}
+		}
+		for x := uint64(0); x < 256; x++ {
+			asg := s.Assignment(hs.Header{x})
+			for dev, tb := range tables {
+				want := tb.Lookup(s.E, asg)
+				if got := v.ActionAt(dev, x); got != want {
+					t.Fatalf("trial %d: dev %d header %#x: deltanet %v, table %v",
+						trial, dev, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOpsCountGrowsWithNonPrefix(t *testing.T) {
+	// The whole point of the baseline: suffix rules must cost far more
+	// interval operations than prefix rules of similar coverage.
+	vPrefix := New(lay8)
+	vSuffix := New(lay8)
+	d := fib.DeviceID(0)
+	if err := vPrefix.Insert(d, prefixRule(1, 1, 0xA0, 4, fib.Drop)); err != nil {
+		t.Fatal(err)
+	}
+	suffix := fib.Rule{ID: 1, Pri: 1, Action: fib.Drop,
+		Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchTernary, Value: 0x05, Mask: 0x0F}}}
+	if err := vSuffix.Insert(d, suffix); err != nil {
+		t.Fatal(err)
+	}
+	if vSuffix.Ops() <= 4*vPrefix.Ops() {
+		t.Errorf("suffix ops (%d) should dwarf prefix ops (%d)", vSuffix.Ops(), vPrefix.Ops())
+	}
+}

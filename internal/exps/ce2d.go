@@ -1,0 +1,421 @@
+package exps
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/ce2d"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/imt"
+	"repro/internal/openr"
+	"repro/internal/pat"
+	"repro/internal/topo"
+)
+
+// Second is one second of virtual time.
+const Second = openr.Time(1_000_000)
+
+// i2Setup builds the Internet2 simulation substrate: every node owns a
+// prefix of a 16-bit destination space.
+func i2Setup(opts openr.Options) (*openr.Sim, *topo.Graph, *hs.Space) {
+	g := topo.Internet2()
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+	owners := make([]topo.NodeID, g.N())
+	for i := range owners {
+		owners[i] = topo.NodeID(i)
+	}
+	return openr.New(g, space, owners, opts), g, space
+}
+
+// Fig8Point is one event of the Figure 8 timeline.
+type Fig8Point struct {
+	At     openr.Time
+	Kind   string // "update" | "PUV" | "BUV" | "CE2D"
+	Device string // update points: reporting switch
+	Epoch  string
+	Loop   bool // verifier points: true = loop reported
+}
+
+// Fig8Result is the timeline of Figure 8: FIB update arrivals and the
+// deterministic reports of per-update verification (PUV), block-update
+// verification (BUV), and CE2D, under two consecutive link failures.
+type Fig8Result struct {
+	Points []Fig8Point
+	// TransientLoops counts false loop reports per strategy.
+	PUVTransient, BUVTransient, CE2DLoops int
+}
+
+// naiveLoopCheck detects forwarding loops in the *current* (possibly
+// inconsistent) FIB snapshot held by a transformer: for each destination
+// owner's representative header, follow next hops.
+func naiveLoopCheck(tr *imt.Transformer, space *hs.Space, g *topo.Graph, owners []topo.NodeID) bool {
+	width := space.Layout.FieldBits("dst")
+	plen := 1
+	for 1<<uint(plen) < len(owners) {
+		plen++
+	}
+	for i := range owners {
+		h := uint64(i) << uint(width-plen)
+		asg := space.Assignment(hs.Header{h})
+		// Follow next hops from every node.
+		for start := 0; start < g.N(); start++ {
+			cur := topo.NodeID(start)
+			seen := 0
+			for {
+				act := tr.Table(cur).Lookup(space.E, asg)
+				nh, ok := act.NextHop()
+				if !ok || nh >= topo.NodeID(g.N()) {
+					break
+				}
+				cur = nh
+				seen++
+				if seen > g.N() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// RunFig8 reproduces the Figure 8 run: two consecutive link failures
+// (chic—atla, then chic—kans) on Internet2 with a healthy control plane.
+// PUV and BUV verify the transient snapshot and report transient loops;
+// CE2D reports only epoch-consistent results.
+func RunFig8() Fig8Result {
+	var out Fig8Result
+	sim, g, space := i2Setup(openr.DefaultOptions())
+	sim.Run(0)
+	bootstrap := sim.Messages()
+	sim.FailLink(20_000, g.MustByName("chic"), g.MustByName("atla"))
+	sim.FailLink(60_000, g.MustByName("chic"), g.MustByName("kans"))
+	sim.Run(120 * Second)
+	msgs := sim.Messages()
+
+	owners := make([]topo.NodeID, g.N())
+	for i := range owners {
+		owners[i] = topo.NodeID(i)
+	}
+
+	// PUV / BUV state: one continuously-updated snapshot.
+	puv := imt.NewTransformer(space.E, pat.NewStore(), bdd.True)
+	puv.PerUpdate = true
+	// CE2D: full dispatcher.
+	disp := ce2d.NewDispatcher(func(ce2d.Epoch) *ce2d.Verifier {
+		return ce2d.NewVerifier(ce2d.Config{
+			Topo: g, Engine: space.E,
+			Checks: []ce2d.Check{{Name: "loops", Kind: ce2d.CheckLoopFree, Space: bdd.True,
+				CanExit: func(topo.NodeID) bool { return true }}},
+		})
+	})
+	feed := func(m openr.Msg, record bool) {
+		if record {
+			out.Points = append(out.Points, Fig8Point{
+				At: m.At, Kind: "update",
+				Device: g.Node(m.Msg.Device).Name, Epoch: string(m.Msg.Epoch),
+			})
+		}
+		// PUV: per update.
+		for _, u := range m.Msg.Updates {
+			if err := puv.ApplyBlock([]fib.Block{{Device: m.Msg.Device, Updates: []fib.Update{u}}}); err != nil {
+				panic(err)
+			}
+			if record && naiveLoopCheck(puv, space, g, owners) {
+				out.Points = append(out.Points, Fig8Point{At: m.At, Kind: "PUV", Loop: true})
+				out.PUVTransient++
+			}
+		}
+		// BUV: once per block, on the same snapshot.
+		if record && naiveLoopCheck(puv, space, g, owners) {
+			out.Points = append(out.Points, Fig8Point{At: m.At, Kind: "BUV", Loop: true})
+			out.BUVTransient++
+		}
+		evs, err := disp.Receive(m.Msg)
+		if err != nil {
+			panic(err)
+		}
+		if !record {
+			return
+		}
+		for _, ev := range evs {
+			loop := ev.Event.Loop == ce2d.LoopFound
+			out.Points = append(out.Points, Fig8Point{
+				At: m.At, Kind: "CE2D", Epoch: string(ev.Epoch), Loop: loop,
+			})
+			if loop {
+				out.CE2DLoops++
+			}
+		}
+	}
+	for _, m := range bootstrap {
+		feed(m, false)
+	}
+	for _, m := range msgs {
+		feed(m, true)
+	}
+	return out
+}
+
+// CDF is a sorted sample of detection times (virtual µs); -1 entries mean
+// the fallback (waiting for the dampened node).
+type CDF []openr.Time
+
+// Fraction reports the fraction of samples at or below t.
+func (c CDF) Fraction(t openr.Time) float64 {
+	n := 0
+	for _, v := range c {
+		if v >= 0 && v <= t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c))
+}
+
+// RunFig9OpenR runs the I2-OpenR/1buggy-loop-lt setting: 50 trials with a
+// buggy switch and one random dampened (60 s) switch; each sample is the
+// virtual time at which CE2D reports the loop, measured from the link
+// event.
+func RunFig9OpenR(trials int, seed int64) CDF {
+	rng := rand.New(rand.NewSource(seed))
+	var out CDF
+	for trial := 0; trial < trials; trial++ {
+		g := topo.Internet2()
+		opts := openr.DefaultOptions()
+		buggy := topo.NodeID(rng.Intn(g.N()))
+		dampened := topo.NodeID(rng.Intn(g.N()))
+		const eventAt = 10_000
+		opts.Buggy = map[topo.NodeID]bool{buggy: true}
+		opts.BuggyAfter = eventAt // the bootstrap state is correct
+		opts.SendDelay = func(n topo.NodeID) openr.Time {
+			if n == dampened {
+				return 60 * Second
+			}
+			return 0
+		}
+		space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+		owners := make([]topo.NodeID, g.N())
+		for i := range owners {
+			owners[i] = topo.NodeID(i)
+		}
+		sim := openr.New(g, space, owners, opts)
+		disp := ce2d.NewDispatcher(func(ce2d.Epoch) *ce2d.Verifier {
+			return ce2d.NewVerifier(ce2d.Config{
+				Topo: g, Engine: space.E,
+				Checks: []ce2d.Check{{Name: "loops", Kind: ce2d.CheckLoopFree, Space: bdd.True,
+					CanExit: func(topo.NodeID) bool { return true }}},
+			})
+		})
+		// Fail a random link to force reconvergence through the buggy SPF.
+		links := g.Links()
+		l := links[rng.Intn(len(links))]
+		sim.FailLink(eventAt, l[0], l[1])
+		sim.Run(120 * Second)
+
+		msgs := sim.Messages()
+		// Ground truth: the random failure must actually drive the buggy
+		// SPF into creating a loop; otherwise the trial has nothing to
+		// detect and is not a sample of the paper's setting — retry.
+		if !hasTwoCycle(msgs, g, buggy) {
+			trial--
+			continue
+		}
+		found := openr.Time(-1)
+		for _, m := range msgs {
+			evs, err := disp.Receive(m.Msg)
+			if err != nil {
+				panic(err)
+			}
+			for _, ev := range evs {
+				if ev.Event.Loop == ce2d.LoopFound && found < 0 {
+					found = m.At - eventAt
+				}
+			}
+		}
+		out = append(out, found)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hasTwoCycle inspects the final FIB state in an agent message stream for
+// a 2-cycle through the given device.
+func hasTwoCycle(msgs []openr.Msg, g *topo.Graph, dev topo.NodeID) bool {
+	final := make(map[fib.DeviceID]map[uint64]topo.NodeID)
+	for _, m := range msgs {
+		nh := final[m.Msg.Device]
+		if nh == nil {
+			nh = make(map[uint64]topo.NodeID)
+			final[m.Msg.Device] = nh
+		}
+		for _, u := range m.Msg.Updates {
+			key := u.Rule.Desc[0].Value
+			switch u.Op {
+			case fib.Delete:
+				delete(nh, key)
+			case fib.Insert:
+				if h, ok := u.Rule.Action.NextHop(); ok && h < topo.NodeID(g.N()) {
+					nh[key] = h
+				} else {
+					delete(nh, key)
+				}
+			}
+		}
+	}
+	for key, nh := range final[dev] {
+		if back, ok := final[nh][key]; ok && back == dev {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig14Series is the cumulative update-arrival series of Figure 14
+// (Appendix A): bursts triggered by an inter-domain link failure and an
+// intra-domain link recovery.
+type Fig14Series struct {
+	// Times and Counts form the cumulative distribution of update
+	// arrivals at the verifier (virtual time).
+	Times  []openr.Time
+	Counts []int
+	// Burst1 and Burst2 count the updates arriving within one second of
+	// each of the two events.
+	Burst1, Burst2 int
+}
+
+// RunFig14 reproduces the Appendix A update-storm analysis on the
+// Figure 13 topology: border routers A and B reach an external node that
+// owns `prefixes` prefixes; failing the A-side uplink triggers a burst
+// (all traffic shifts to B), then an intra-domain link recovery at C
+// triggers a second burst.
+func RunFig14(prefixes int) Fig14Series {
+	g := topo.New()
+	a := g.AddNode("A", topo.RoleSwitch, -1)
+	b := g.AddNode("B", topo.RoleSwitch, -1)
+	c := g.AddNode("C", topo.RoleSwitch, -1)
+	inet := g.AddNode("inet", topo.RoleSwitch, -1)
+	g.AddLink(a, inet)
+	g.AddLink(b, inet)
+	g.AddLink(a, b)
+	g.AddLink(a, c)
+	g.AddLink(c, b) // recovered later; failed at t=1µs below
+
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+	owners := make([]topo.NodeID, prefixes)
+	for i := range owners {
+		owners[i] = inet
+	}
+	sim := openr.New(g, space, owners, openr.DefaultOptions())
+	sim.FailLink(1, c, b) // pre-condition: C—B down initially
+	const event1 = 2 * Second
+	const event2 = 6 * Second
+	sim.FailLink(event1, a, inet) // inter-domain failure (Fig 13b)
+	sim.RestoreLink(event2, c, b) // intra-domain recovery (Fig 13c)
+	sim.Run(event2 + 30*Second)
+
+	var out Fig14Series
+	total := 0
+	for _, m := range sim.Messages() {
+		if m.At < event1-Second {
+			continue // bootstrap / pre-condition traffic
+		}
+		total += len(m.Msg.Updates)
+		out.Times = append(out.Times, m.At)
+		out.Counts = append(out.Counts, total)
+		if m.At >= event1 && m.At < event1+Second {
+			out.Burst1 += len(m.Msg.Updates)
+		}
+		if m.At >= event2 && m.At < event2+Second {
+			out.Burst2 += len(m.Msg.Updates)
+		}
+	}
+	return out
+}
+
+// RunFig10Trace runs the I2-trace-loop-lt setting for a given number of
+// dampened devices D: every node reports a converged FIB containing a
+// forwarding loop between two random adjacent devices; D random devices
+// are dampened by 60 s, the rest arrive uniformly within 800 ms. The
+// sample is when CE2D first reports the loop.
+func RunFig10Trace(trials, dampenedCount int, seed int64) CDF {
+	rng := rand.New(rand.NewSource(seed))
+	var out CDF
+	g := topo.Internet2()
+	for trial := 0; trial < trials; trial++ {
+		space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+		owners := make([]topo.NodeID, g.N())
+		for i := range owners {
+			owners[i] = topo.NodeID(i)
+		}
+		// Pick the loop pair: two adjacent devices pointing at each other
+		// for a victim destination owned by neither.
+		links := g.Links()
+		var a, b topo.NodeID
+		var victim int
+		for {
+			l := links[rng.Intn(len(links))]
+			a, b = l[0], l[1]
+			victim = rng.Intn(len(owners))
+			if owners[victim] != a && owners[victim] != b {
+				break
+			}
+		}
+		// Build each device's converged-but-buggy FIB.
+		sim := openr.New(g, space, owners, openr.DefaultOptions())
+		sim.Run(0)
+		msgs := sim.Messages()
+		for mi := range msgs {
+			dev := msgs[mi].Msg.Device
+			if dev != a && dev != b {
+				continue
+			}
+			other := a
+			if dev == a {
+				other = b
+			}
+			for ui, u := range msgs[mi].Msg.Updates {
+				if int(u.Rule.Desc[0].Value>>uint(16-4)) == victim {
+					msgs[mi].Msg.Updates[ui].Rule.Action = fib.Forward(other)
+				}
+			}
+		}
+		// Arrival times: D dampened at 60 s, others uniform in [0, 800ms].
+		perm := rng.Perm(g.N())
+		arrival := make([]openr.Time, g.N())
+		for i, p := range perm {
+			if i < dampenedCount {
+				arrival[p] = 60 * Second
+			} else {
+				arrival[p] = openr.Time(rng.Int63n(800_000))
+			}
+		}
+		for mi := range msgs {
+			msgs[mi].At = arrival[msgs[mi].Msg.Device]
+		}
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].At < msgs[j].At })
+
+		disp := ce2d.NewDispatcher(func(ce2d.Epoch) *ce2d.Verifier {
+			return ce2d.NewVerifier(ce2d.Config{
+				Topo: g, Engine: space.E,
+				Checks: []ce2d.Check{{Name: "loops", Kind: ce2d.CheckLoopFree, Space: bdd.True,
+					CanExit: func(topo.NodeID) bool { return true }}},
+			})
+		})
+		found := openr.Time(-1)
+		for _, m := range msgs {
+			evs, err := disp.Receive(m.Msg)
+			if err != nil {
+				panic(err)
+			}
+			for _, ev := range evs {
+				if ev.Event.Loop == ce2d.LoopFound && found < 0 {
+					found = m.At
+				}
+			}
+		}
+		out = append(out, found)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,231 @@
+// Package exps implements the paper's evaluation experiments (§5): every
+// table and figure has a Run function returning structured results, which
+// cmd/flashbench formats as the paper's rows/series and the top-level
+// benchmarks assert and time. DESIGN.md carries the per-experiment index.
+package exps
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/apkeep"
+	"repro/internal/bdd"
+	"repro/internal/deltanet"
+	"repro/internal/fib"
+	"repro/internal/imt"
+	"repro/internal/pat"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Scale selects experiment sizing. The paper's LNet has 6,016 switches;
+// these run the same generators at laptop scale (see DESIGN.md).
+type Scale int
+
+// Scales.
+const (
+	// Tiny is for unit tests: seconds of total work.
+	Tiny Scale = iota
+	// Small is the default for `go test -bench`.
+	Small
+	// Medium is flashbench's default.
+	Medium
+	// Large approaches the paper's setting shape (minutes of work).
+	Large
+)
+
+// FabricFor returns the fabric parameters for a scale.
+func FabricFor(s Scale) topo.FabricParams {
+	switch s {
+	case Tiny:
+		return topo.FabricParams{Pods: 2, TorsPerPod: 2, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 1}
+	case Small:
+		return topo.FabricParams{Pods: 4, TorsPerPod: 4, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 2}
+	case Medium:
+		return topo.FabricParams{Pods: 8, TorsPerPod: 6, AggsPerPod: 4, SpinePlanes: 4, SpinePer: 4}
+	default:
+		return topo.FabricParams{Pods: 16, TorsPerPod: 12, AggsPerPod: 4, SpinePlanes: 4, SpinePer: 8}
+	}
+}
+
+// Setting names a workload generator.
+type Setting string
+
+// Settings of Table 2.
+const (
+	LNetAPSP      Setting = "LNet-apsp"
+	LNetECMP      Setting = "LNet-ecmp"
+	LNetSMR       Setting = "LNet-smr"
+	AirtelTrace   Setting = "Airtel-trace"
+	StanfordTrace Setting = "Stanford-trace"
+	I2Trace       Setting = "I2-trace"
+)
+
+// AllSettings lists the Fast IMT evaluation settings in Table 3's order.
+var AllSettings = []Setting{LNetAPSP, LNetECMP, LNetSMR, AirtelTrace, StanfordTrace, I2Trace}
+
+// Build generates the workload for a setting at a scale.
+func Build(s Setting, scale Scale) *workload.Workload {
+	switch s {
+	case LNetAPSP:
+		return workload.LNetAPSP(FabricFor(scale))
+	case LNetECMP:
+		return workload.LNetECMP(FabricFor(scale))
+	case LNetSMR:
+		return workload.LNetSMR(FabricFor(scale))
+	case AirtelTrace:
+		return workload.TraceAPSP(string(AirtelTrace), topo.Airtel())
+	case StanfordTrace:
+		return workload.TraceAPSP(string(StanfordTrace), topo.Stanford())
+	case I2Trace:
+		return workload.TraceAPSP(string(I2Trace), topo.Internet2())
+	default:
+		panic(fmt.Sprintf("exps: unknown setting %q", s))
+	}
+}
+
+// SystemResult is one verifier's measurement in a model-construction
+// experiment.
+type SystemResult struct {
+	System string
+	// Time is the total model update time.
+	Time time.Duration
+	// TimedOut reports that the run was aborted at Time.
+	TimedOut bool
+	// Ops is the number of predicate operations (BDD ∧/∨/¬ for Flash and
+	// APKeep*, per-(device,atom) operations for Delta-net*).
+	Ops uint64
+	// MemBytes is the heap growth attributable to the run.
+	MemBytes uint64
+	// Units is the structural memory proxy (BDD+PAT nodes, or
+	// (device,atom,rule) pairs for Delta-net*).
+	Units int
+	// ECs is the final equivalence class count (where applicable).
+	ECs int
+}
+
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func memDelta(before uint64) uint64 {
+	after := heapAlloc()
+	if after < before {
+		return 0
+	}
+	return after - before
+}
+
+// RunDeltaNet replays the sequence through Delta-net* with per-update
+// semantics, aborting at timeout (0 = none).
+func RunDeltaNet(w *workload.Workload, seq []workload.DevUpdate, timeout time.Duration) SystemResult {
+	before := heapAlloc()
+	v := deltanet.New(w.Layout)
+	res := SystemResult{System: "Delta-net*"}
+	start := time.Now()
+	for i, du := range seq {
+		if err := v.Apply(du.Dev, du.Update); err != nil {
+			panic(fmt.Sprintf("deltanet: %v", err))
+		}
+		if timeout > 0 && i%16 == 0 && time.Since(start) > timeout {
+			res.TimedOut = true
+			break
+		}
+	}
+	res.Time = time.Since(start)
+	res.Ops = v.Ops()
+	res.Units = v.PeakPairCount()
+	res.ECs = v.ECCount()
+	res.MemBytes = memDelta(before)
+	return res
+}
+
+// RunAPKeep replays the sequence through APKeep* (per-update EC
+// maintenance), restricted to universe (bdd.True for unpartitioned).
+func RunAPKeep(w *workload.Workload, seq []workload.DevUpdate, universe bdd.Ref, timeout time.Duration) SystemResult {
+	before := heapAlloc()
+	store := pat.NewStore()
+	primary := w.Layout.Fields()[0]
+	v := apkeep.New(w.Space.E, store, universe, primary.Name, primary.Bits)
+	res := SystemResult{System: "APKeep*"}
+	opsBefore := w.Space.E.Ops()
+	start := time.Now()
+	for i, du := range seq {
+		u := du.Update
+		u.Rule.Match = w.Space.E.And(u.Rule.Match, universe)
+		if u.Rule.Match == bdd.False {
+			continue
+		}
+		if err := v.Apply(du.Dev, u); err != nil {
+			panic(fmt.Sprintf("apkeep: %v", err))
+		}
+		if timeout > 0 && i%16 == 0 && time.Since(start) > timeout {
+			res.TimedOut = true
+			break
+		}
+	}
+	res.Time = time.Since(start)
+	res.Ops = w.Space.E.Ops() - opsBefore
+	res.Units = w.Space.E.NumNodes() + store.NumNodes()
+	res.ECs = v.Model().Len()
+	res.MemBytes = memDelta(before)
+	return res
+}
+
+// RunFlash replays the sequence through Fast IMT with the given block
+// size threshold (0 = single block), restricted to universe.
+func RunFlash(w *workload.Workload, seq []workload.DevUpdate, universe bdd.Ref, blockSize int, perUpdate bool) (SystemResult, imt.Stats) {
+	before := heapAlloc()
+	store := pat.NewStore()
+	tr := imt.NewTransformer(w.Space.E, store, universe)
+	tr.PerUpdate = perUpdate
+	res := SystemResult{System: "Flash"}
+	opsBefore := w.Space.E.Ops()
+	start := time.Now()
+	for _, batch := range workload.Chunk(seq, blockSize) {
+		batch = restrict(w, batch, universe)
+		if err := tr.ApplyBlock(batch); err != nil {
+			panic(fmt.Sprintf("flash: %v", err))
+		}
+	}
+	res.Time = time.Since(start)
+	res.Ops = w.Space.E.Ops() - opsBefore
+	res.Units = w.Space.E.NumNodes() + store.NumNodes()
+	res.ECs = tr.Model().Len()
+	res.MemBytes = memDelta(before)
+	return res, tr.Stats()
+}
+
+// newAPKeepForWorkload builds an APKeep* verifier sized to a workload.
+func newAPKeepForWorkload(w *workload.Workload) *apkeep.Verifier {
+	primary := w.Layout.Fields()[0]
+	return apkeep.New(w.Space.E, pat.NewStore(), bdd.True, primary.Name, primary.Bits)
+}
+
+// restrict intersects every rule match with the universe, dropping empty
+// ones; deletes of dropped rules are dropped too.
+func restrict(w *workload.Workload, batch []fib.Block, universe bdd.Ref) []fib.Block {
+	if universe == bdd.True {
+		return batch
+	}
+	out := make([]fib.Block, 0, len(batch))
+	for _, b := range batch {
+		nb := fib.Block{Device: b.Device}
+		for _, u := range b.Updates {
+			m := w.Space.E.And(u.Rule.Match, universe)
+			if m == bdd.False {
+				continue
+			}
+			u.Rule.Match = m
+			nb.Updates = append(nb.Updates, u)
+		}
+		if len(nb.Updates) > 0 {
+			out = append(out, nb)
+		}
+	}
+	return out
+}

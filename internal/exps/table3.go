@@ -1,0 +1,280 @@
+package exps
+
+import (
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/imt"
+	"repro/internal/workload"
+)
+
+// Table3Row is one row of Table 3: the three systems compared on one
+// setting (with subspace partitioning applied to all three, as in the
+// paper's "Subspace" rows).
+type Table3Row struct {
+	Setting   Setting
+	Subspaces int
+	Rules     int
+	Updates   int
+	DeltaNet  SystemResult
+	APKeep    SystemResult
+	Flash     SystemResult
+	FlashIMT  imt.Stats
+}
+
+// Speedup reports baseline time over Flash time.
+func (r Table3Row) Speedup(baseline SystemResult) float64 {
+	if r.Flash.Time <= 0 {
+		return 0
+	}
+	return float64(baseline.Time) / float64(r.Flash.Time)
+}
+
+// RunTable3 runs one Table 3 row: all three systems on the same
+// insert-then-delete update sequence, partitioned into nsub subspaces
+// (1 = unpartitioned), each baseline capped at timeout per subspace.
+func RunTable3(s Setting, scale Scale, nsub int, timeout time.Duration) Table3Row {
+	row := Table3Row{Setting: s, Subspaces: nsub}
+
+	// Delta-net*: independent per-subspace verifiers over descriptor-
+	// restricted rules.
+	{
+		w := Build(s, scale)
+		row.Rules = w.NumRules()
+		seq := w.InsertThenDelete()
+		row.Updates = len(seq)
+		row.DeltaNet = runDeltaNetPartitioned(w, seq, nsub, timeout)
+	}
+	// APKeep*: per-update EC maintenance per subspace (fresh workload so
+	// each system pays its own BDD costs).
+	{
+		w := Build(s, scale)
+		seq := w.InsertThenDelete()
+		row.APKeep = runPartitioned(w, nsub, "APKeep*", func(universe bdd.Ref) SystemResult {
+			return RunAPKeep(w, seq, universe, timeout)
+		})
+	}
+	// Flash: one block per subspace.
+	{
+		w := Build(s, scale)
+		seq := w.InsertThenDelete()
+		var stats imt.Stats
+		row.Flash = runPartitioned(w, nsub, "Flash", func(universe bdd.Ref) SystemResult {
+			// One block per phase: Algorithm 1's cancel-pair removal
+			// would otherwise annihilate the insert-then-delete
+			// sequence inside a single block.
+			r, st := RunFlash(w, seq, universe, w.NumRules(), false)
+			stats.MapTime += st.MapTime
+			stats.ReduceTime += st.ReduceTime
+			stats.ApplyTime += st.ApplyTime
+			stats.Updates += st.Updates
+			stats.Atomic += st.Atomic
+			stats.Aggregated += st.Aggregated
+			return r
+		})
+		row.FlashIMT = stats
+	}
+	return row
+}
+
+// runPartitioned sums a per-subspace runner over the workload's subspace
+// partition.
+func runPartitioned(w *workload.Workload, nsub int, name string, run func(universe bdd.Ref) SystemResult) SystemResult {
+	universes := []bdd.Ref{bdd.True}
+	if nsub > 1 {
+		universes = w.Subspaces(nsub)
+	}
+	out := SystemResult{System: name}
+	for _, u := range universes {
+		r := run(u)
+		out.Time += r.Time
+		out.Ops += r.Ops
+		out.MemBytes += r.MemBytes
+		out.Units += r.Units
+		out.ECs += r.ECs
+		out.TimedOut = out.TimedOut || r.TimedOut
+	}
+	return out
+}
+
+// runDeltaNetPartitioned routes descriptor-restricted updates into
+// per-subspace Delta-net* verifiers.
+func runDeltaNetPartitioned(w *workload.Workload, seq []workload.DevUpdate, nsub int, timeout time.Duration) SystemResult {
+	if nsub <= 1 {
+		return RunDeltaNet(w, seq, timeout)
+	}
+	bits := 0
+	for 1<<uint(bits) < nsub {
+		bits++
+	}
+	field := w.Layout.Fields()[0]
+	out := SystemResult{System: "Delta-net*"}
+	for i := 0; i < nsub; i++ {
+		sub := make([]workload.DevUpdate, 0, len(seq)/nsub)
+		for _, du := range seq {
+			desc, ok := restrictDesc(du.Update.Rule.Desc, field.Name, uint64(i), bits, field.Bits)
+			if !ok {
+				continue
+			}
+			nu := du
+			nu.Update.Rule.Desc = desc
+			sub = append(sub, nu)
+		}
+		r := RunDeltaNet(w, sub, timeout)
+		out.Time += r.Time
+		out.Ops += r.Ops
+		out.MemBytes += r.MemBytes
+		out.Units += r.Units
+		out.ECs += r.ECs
+		out.TimedOut = out.TimedOut || r.TimedOut
+	}
+	return out
+}
+
+// restrictDesc intersects a rule descriptor with a subspace constraint on
+// the top bits of a field, reporting ok=false when the intersection is
+// empty. The field constraint (if any) is rewritten as a ternary match.
+func restrictDesc(desc fib.MatchDesc, field string, topVal uint64, topBits, width int) (fib.MatchDesc, bool) {
+	subMask := ((uint64(1) << uint(topBits)) - 1) << uint(width-topBits)
+	subVal := topVal << uint(width-topBits)
+	out := make(fib.MatchDesc, 0, len(desc)+1)
+	found := false
+	for _, f := range desc {
+		if f.Field != field {
+			out = append(out, f)
+			continue
+		}
+		found = true
+		var val, mask uint64
+		switch f.Kind {
+		case fib.MatchPrefix:
+			if f.Len == 0 {
+				val, mask = 0, 0
+			} else {
+				mask = ((uint64(1) << uint(f.Len)) - 1) << uint(width-f.Len)
+				val = f.Value & mask
+			}
+		case fib.MatchTernary:
+			val, mask = f.Value&f.Mask, f.Mask
+		}
+		// Conflict on overlapping fixed bits = empty intersection.
+		common := mask & subMask
+		if val&common != subVal&common {
+			return nil, false
+		}
+		out = append(out, fib.FieldMatch{
+			Field: field, Kind: fib.MatchTernary,
+			Value: val | subVal, Mask: mask | subMask,
+		})
+	}
+	if !found {
+		out = append(out, fib.FieldMatch{
+			Field: field, Kind: fib.MatchTernary, Value: subVal, Mask: subMask,
+		})
+	}
+	return out, true
+}
+
+// Fig6Result is the no-partition storm comparison of Figure 6.
+type Fig6Result struct {
+	Setting  Setting
+	DeltaNet SystemResult
+	APKeep   SystemResult
+	Flash    SystemResult
+}
+
+// RunFig6 runs the baseline storm experiment: the full insert sequence of
+// a complex-forwarding setting fed to each system without subspace
+// partitioning, baselines capped at timeout.
+func RunFig6(s Setting, scale Scale, timeout time.Duration) Fig6Result {
+	out := Fig6Result{Setting: s}
+	{
+		w := Build(s, scale)
+		out.DeltaNet = RunDeltaNet(w, w.InsertSequence(), timeout)
+	}
+	{
+		w := Build(s, scale)
+		out.APKeep = RunAPKeep(w, w.InsertSequence(), bdd.True, timeout)
+	}
+	{
+		w := Build(s, scale)
+		r, _ := RunFlash(w, w.InsertSequence(), bdd.True, 0, false)
+		out.Flash = r
+	}
+	return out
+}
+
+// Fig7Point is one point of Figure 7: block size threshold vs normalized
+// model update speed.
+type Fig7Point struct {
+	BSTFraction float64 // block size threshold / FIB scale
+	Normalized  float64 // T(single block) / T(this threshold)
+}
+
+// RunFig7 sweeps the block size threshold for one setting.
+func RunFig7(s Setting, scale Scale, fractions []float64) []Fig7Point {
+	base := Build(s, scale)
+	seq := base.InsertThenDelete()
+	fibScale := base.NumRules()
+	baseline, _ := RunFlash(base, seq, bdd.True, fibScale, false)
+
+	out := make([]Fig7Point, 0, len(fractions))
+	for _, f := range fractions {
+		bst := int(f * float64(fibScale))
+		if bst < 1 {
+			bst = 1
+		}
+		w := Build(s, scale)
+		r, _ := RunFlash(w, w.InsertThenDelete(), bdd.True, bst, false)
+		out = append(out, Fig7Point{
+			BSTFraction: f,
+			Normalized:  float64(baseline.Time) / float64(r.Time),
+		})
+	}
+	return out
+}
+
+// Fig11Result is the phase breakdown of Figure 11 for the I2-trace
+// setting: APKeep*, Flash in per-update mode, and Flash.
+type Fig11Result struct {
+	APKeepMap      time.Duration // computing atomic overwrites
+	APKeepApply    time.Duration // applying overwrites
+	PerUpdMap      time.Duration
+	PerUpdReduce   time.Duration
+	PerUpdApply    time.Duration
+	FlashMap       time.Duration
+	FlashReduce    time.Duration
+	FlashApply     time.Duration
+	FlashAggregate int
+	FlashAtomic    int
+}
+
+// RunFig11 measures the three-phase breakdown on the I2-trace setting.
+func RunFig11(scale Scale) Fig11Result {
+	var out Fig11Result
+	{
+		w := Build(I2Trace, scale)
+		seq := w.InsertThenDelete()
+		store := newAPKeepForWorkload(w)
+		for _, du := range seq {
+			if err := store.Apply(du.Dev, du.Update); err != nil {
+				panic(err)
+			}
+		}
+		st := store.Stats()
+		out.APKeepMap, out.APKeepApply = st.MapTime, st.ApplyTime
+	}
+	{
+		w := Build(I2Trace, scale)
+		_, st := RunFlash(w, w.InsertThenDelete(), bdd.True, w.NumRules(), true)
+		out.PerUpdMap, out.PerUpdReduce, out.PerUpdApply = st.MapTime, st.ReduceTime, st.ApplyTime
+	}
+	{
+		w := Build(I2Trace, scale)
+		_, st := RunFlash(w, w.InsertThenDelete(), bdd.True, w.NumRules(), false)
+		out.FlashMap, out.FlashReduce, out.FlashApply = st.MapTime, st.ReduceTime, st.ApplyTime
+		out.FlashAtomic, out.FlashAggregate = st.Atomic, st.Aggregated
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+// Package fib implements the rule-based representation of a data plane
+// (the paper's "forward model", §3.1): per-device forwarding tables of
+// ⟨match, priority, action⟩ rules, and blocks of native rule updates.
+//
+// Matches are precompiled BDD predicates (see package hs); a Table keeps
+// its rules sorted by descending priority so the Fast IMT merge
+// (Algorithm 1) can run in a single pass. Every well-formed table ends
+// with a default rule (the lowest-priority wildcard) so that iteration in
+// the merge never runs off the end, as footnote 4 of the paper assumes.
+package fib
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdd"
+)
+
+// DeviceID identifies a device (router or switch) in the network, indexing
+// the action vectors of the inverse model.
+type DeviceID int32
+
+// Action is the forwarding action of a rule. The zero value None is the
+// paper's "no-overwrite" output (0); all real actions are non-zero.
+type Action int32
+
+// Distinguished actions.
+const (
+	// None is the absence of an action ("no overwrite", the paper's 0).
+	None Action = 0
+	// Drop discards the packet.
+	Drop Action = 1
+	// actionBase offsets forwarding actions so they never collide with
+	// None or Drop.
+	actionBase Action = 2
+)
+
+// Forward returns the action "forward to device d".
+func Forward(d DeviceID) Action { return actionBase + Action(d) }
+
+// NextHop returns the device a Forward action points at, and whether the
+// action is a forwarding action at all.
+func (a Action) NextHop() (DeviceID, bool) {
+	if a < actionBase {
+		return 0, false
+	}
+	return DeviceID(a - actionBase), true
+}
+
+// String renders an action for diagnostics.
+func (a Action) String() string {
+	switch {
+	case a == None:
+		return "none"
+	case a == Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("fwd(%d)", int32(a-actionBase))
+	}
+}
+
+// Rule is one forwarding rule. ID is the rule's identity within its
+// device's table and is what deletions refer to. Desc, when non-nil, is
+// the symbolic form of Match for engines that index rules natively
+// (intervals, prefix tries); Match remains authoritative.
+type Rule struct {
+	ID     int64
+	Match  bdd.Ref
+	Pri    int32
+	Action Action
+	Desc   MatchDesc
+}
+
+// Less orders rules for table storage: higher priority first, then lower
+// ID, giving tables a deterministic total order.
+func (r Rule) Less(o Rule) bool {
+	if r.Pri != o.Pri {
+		return r.Pri > o.Pri
+	}
+	return r.ID < o.ID
+}
+
+// Op is a native update operation.
+type Op uint8
+
+// Update operations.
+const (
+	Insert Op = iota
+	Delete
+)
+
+func (o Op) String() string {
+	if o == Insert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Update is one native rule update on some device's table.
+type Update struct {
+	Op   Op
+	Rule Rule
+}
+
+// Table is one device's forwarding table, kept sorted by descending
+// priority (ties broken by rule ID). The zero value is an empty table.
+type Table struct {
+	rules []Rule
+}
+
+// NewTable builds a table from rules in any order.
+func NewTable(rules ...Rule) *Table {
+	t := &Table{rules: append([]Rule(nil), rules...)}
+	sort.Slice(t.rules, func(i, j int) bool { return t.rules[i].Less(t.rules[j]) })
+	return t
+}
+
+// Len reports the number of rules.
+func (t *Table) Len() int { return len(t.rules) }
+
+// Rules returns the sorted backing slice. Callers must not mutate it.
+func (t *Table) Rules() []Rule { return t.rules }
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	return &Table{rules: append([]Rule(nil), t.rules...)}
+}
+
+// ReplaceAll swaps in a new rule slice, which must already be sorted in
+// table order. It is the output path of the Fast IMT merge.
+func (t *Table) ReplaceAll(rules []Rule) {
+	t.rules = rules
+}
+
+// Insert adds a rule, keeping sorted order. It is O(n); bulk changes
+// should go through the Fast IMT merge instead.
+func (t *Table) Insert(r Rule) {
+	i := sort.Search(len(t.rules), func(i int) bool { return !t.rules[i].Less(r) })
+	t.rules = append(t.rules, Rule{})
+	copy(t.rules[i+1:], t.rules[i:])
+	t.rules[i] = r
+}
+
+// Delete removes the rule with the given ID and priority, reporting
+// whether it was present.
+func (t *Table) Delete(pri int32, id int64) bool {
+	probe := Rule{ID: id, Pri: pri}
+	i := sort.Search(len(t.rules), func(i int) bool { return !t.rules[i].Less(probe) })
+	if i < len(t.rules) && t.rules[i].ID == id && t.rules[i].Pri == pri {
+		t.rules = append(t.rules[:i], t.rules[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// Lookup returns the action of the highest-priority rule whose match
+// contains the header predicate point given as a satisfying assignment.
+// It is the forward model's behavior function b_i(h) and is used by tests
+// to cross-check the inverse model.
+func (t *Table) Lookup(e *bdd.Engine, assignment []bool) Action {
+	for _, r := range t.rules {
+		if e.Eval(r.Match, assignment) {
+			return r.Action
+		}
+	}
+	return None
+}
+
+// EffectivePredicates computes, in one pass over the sorted table, the
+// effective predicate e_ik of every rule: match ∧ ¬(∨ of higher-priority
+// matches) (Equation 1 of the paper). Used by the natural transformation
+// and by tests; Fast IMT computes these incrementally instead.
+func (t *Table) EffectivePredicates(e *bdd.Engine) []bdd.Ref {
+	out := make([]bdd.Ref, len(t.rules))
+	higher := bdd.False
+	for i, r := range t.rules {
+		out[i] = e.Diff(r.Match, higher)
+		higher = e.Or(higher, r.Match)
+	}
+	return out
+}
+
+// Validate checks the well-behaved-table invariants (Definition 4): the
+// table is sorted, rule (Pri, ID) pairs are unique, and no two rules of
+// equal priority with overlapping matches disagree on the action.
+func (t *Table) Validate(e *bdd.Engine) error {
+	for i := 1; i < len(t.rules); i++ {
+		if !t.rules[i-1].Less(t.rules[i]) {
+			return fmt.Errorf("fib: table not strictly sorted at index %d", i)
+		}
+	}
+	for i := 0; i < len(t.rules); i++ {
+		for j := i + 1; j < len(t.rules) && t.rules[j].Pri == t.rules[i].Pri; j++ {
+			if t.rules[i].Action != t.rules[j].Action && e.Overlaps(t.rules[i].Match, t.rules[j].Match) {
+				return fmt.Errorf("fib: conflicting same-priority rules %d and %d", t.rules[i].ID, t.rules[j].ID)
+			}
+		}
+	}
+	return nil
+}
+
+// Block is a block of native updates for one device.
+type Block struct {
+	Device  DeviceID
+	Updates []Update
+}
+
+// RemoveCanceling drops insert/delete pairs that cancel out (the paper's
+// Algorithm 1, line 1): a Delete that follows an Insert of the same rule
+// ID removes both, and an Insert that follows a Delete of the same rule ID
+// collapses to a no-op pair as well when the rule is unchanged. The
+// returned slice preserves the relative order of surviving updates.
+func RemoveCanceling(updates []Update) []Update {
+	alive := make([]bool, len(updates))
+	for i := range alive {
+		alive[i] = true
+	}
+	// last pending op index per rule ID
+	pending := make(map[int64]int, len(updates))
+	for i, u := range updates {
+		j, ok := pending[u.Rule.ID]
+		if ok && alive[j] && updates[j].Op != u.Op && updates[j].Rule.Pri == u.Rule.Pri {
+			// Insert-then-delete always cancels (the delete names the
+			// just-inserted rule); delete-then-insert cancels only if
+			// the reinserted rule is byte-identical to the deleted one.
+			cancels := u.Op == Delete ||
+				(updates[j].Rule.Match == u.Rule.Match && updates[j].Rule.Action == u.Rule.Action)
+			if cancels {
+				alive[i], alive[j] = false, false
+				delete(pending, u.Rule.ID)
+				continue
+			}
+		}
+		pending[u.Rule.ID] = i
+	}
+	out := updates[:0:0]
+	for i, u := range updates {
+		if alive[i] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// SortByPriority sorts updates by descending rule priority (Algorithm 1,
+// line 2), stable so same-priority updates keep arrival order. For equal
+// priorities, deletes sort before inserts so that the merge visits the
+// departing rule first.
+func SortByPriority(updates []Update) {
+	sort.SliceStable(updates, func(i, j int) bool {
+		a, b := updates[i], updates[j]
+		if a.Rule.Pri != b.Rule.Pri {
+			return a.Rule.Pri > b.Rule.Pri
+		}
+		if a.Rule.ID != b.Rule.ID {
+			return a.Rule.ID < b.Rule.ID
+		}
+		return a.Op == Delete && b.Op == Insert
+	})
+}

@@ -1,0 +1,250 @@
+package fib_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+)
+
+func testSpace() *hs.Space {
+	return hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+}
+
+func TestActionEncoding(t *testing.T) {
+	if fib.None != 0 {
+		t.Fatal("None must be the zero value")
+	}
+	f := fib.Forward(7)
+	d, ok := f.NextHop()
+	if !ok || d != 7 {
+		t.Errorf("NextHop(fib.Forward(7)) = %d,%v", d, ok)
+	}
+	if _, ok := fib.Drop.NextHop(); ok {
+		t.Error("Drop should not be a forwarding action")
+	}
+	if _, ok := fib.None.NextHop(); ok {
+		t.Error("None should not be a forwarding action")
+	}
+	if fib.Forward(0) == fib.Drop || fib.Forward(0) == fib.None {
+		t.Error("Forward(0) collides with a distinguished action")
+	}
+	for _, c := range []struct {
+		a    fib.Action
+		want string
+	}{{fib.None, "none"}, {fib.Drop, "drop"}, {fib.Forward(3), "fwd(3)"}} {
+		if c.a.String() != c.want {
+			t.Errorf("String(%d) = %q want %q", c.a, c.a.String(), c.want)
+		}
+	}
+	if fib.Insert.String() != "insert" || fib.Delete.String() != "delete" {
+		t.Error("Op.String wrong")
+	}
+}
+
+func TestTableSortedInsertDelete(t *testing.T) {
+	s := testSpace()
+	tb := fib.NewTable(
+		fib.Rule{ID: 1, Match: s.Prefix("dst", 0x10, 4), Pri: 1, Action: fib.Forward(1)},
+		fib.Rule{ID: 2, Match: bdd.True, Pri: 0, Action: fib.Drop},
+		fib.Rule{ID: 3, Match: s.Exact("dst", 0x11), Pri: 5, Action: fib.Forward(2)},
+	)
+	rules := tb.Rules()
+	if rules[0].ID != 3 || rules[1].ID != 1 || rules[2].ID != 2 {
+		t.Fatalf("table not sorted by descending priority: %+v", rules)
+	}
+	tb.Insert(fib.Rule{ID: 4, Match: bdd.True, Pri: 3, Action: fib.Forward(9)})
+	if tb.Len() != 4 || tb.Rules()[1].ID != 4 {
+		t.Fatalf("Insert misplaced: %+v", tb.Rules())
+	}
+	if !tb.Delete(3, 4) {
+		t.Fatal("Delete failed to find rule")
+	}
+	if tb.Delete(3, 4) {
+		t.Fatal("Delete found already-removed rule")
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d after delete, want 3", tb.Len())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := testSpace()
+	tb := fib.NewTable(fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop})
+	c := tb.Clone()
+	c.Insert(fib.Rule{ID: 2, Match: s.Exact("dst", 3), Pri: 9, Action: fib.Forward(1)})
+	if tb.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestLookupHighestPriorityWins(t *testing.T) {
+	s := testSpace()
+	tb := fib.NewTable(
+		fib.Rule{ID: 1, Match: s.Prefix("dst", 0x10, 4), Pri: 2, Action: fib.Forward(1)},
+		fib.Rule{ID: 2, Match: s.Exact("dst", 0x12), Pri: 5, Action: fib.Forward(2)},
+		fib.Rule{ID: 3, Match: bdd.True, Pri: 0, Action: fib.Drop},
+	)
+	cases := []struct {
+		h    uint64
+		want fib.Action
+	}{
+		{0x12, fib.Forward(2)}, // exact beats prefix
+		{0x13, fib.Forward(1)}, // prefix
+		{0x99, fib.Drop},       // default
+	}
+	for _, c := range cases {
+		got := tb.Lookup(s.E, s.Assignment(hs.Header{c.h}))
+		if got != c.want {
+			t.Errorf("Lookup(%#x) = %v, want %v", c.h, got, c.want)
+		}
+	}
+}
+
+func TestEffectivePredicates(t *testing.T) {
+	s := testSpace()
+	p1 := s.Prefix("dst", 0x10, 4) // 16 headers
+	p2 := s.Exact("dst", 0x12)     // 1 header, inside p1
+	tb := fib.NewTable(
+		fib.Rule{ID: 1, Match: p1, Pri: 2, Action: fib.Forward(1)},
+		fib.Rule{ID: 2, Match: p2, Pri: 5, Action: fib.Forward(2)},
+		fib.Rule{ID: 3, Match: bdd.True, Pri: 0, Action: fib.Drop},
+	)
+	eff := tb.EffectivePredicates(s.E)
+	// Sorted order: rule2 (pri 5), rule1 (pri 2), rule3 (pri 0).
+	if got := s.E.SatCount(eff[0]); got != 1 {
+		t.Errorf("eff(rule2) covers %v headers, want 1", got)
+	}
+	if got := s.E.SatCount(eff[1]); got != 15 {
+		t.Errorf("eff(rule1) covers %v headers, want 15", got)
+	}
+	if got := s.E.SatCount(eff[2]); got != 256-16 {
+		t.Errorf("eff(default) covers %v headers, want 240", got)
+	}
+	// Effective predicates partition the space.
+	union := bdd.False
+	for _, p := range eff {
+		if s.E.And(union, p) != bdd.False {
+			t.Fatal("effective predicates overlap")
+		}
+		union = s.E.Or(union, p)
+	}
+	if union != bdd.True {
+		t.Error("effective predicates do not cover the space")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSpace()
+	good := fib.NewTable(
+		fib.Rule{ID: 1, Match: s.Prefix("dst", 0x10, 4), Pri: 1, Action: fib.Forward(1)},
+		fib.Rule{ID: 2, Match: s.Prefix("dst", 0x20, 4), Pri: 1, Action: fib.Forward(2)},
+		fib.Rule{ID: 3, Match: bdd.True, Pri: 0, Action: fib.Drop},
+	)
+	if err := good.Validate(s.E); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	conflict := fib.NewTable(
+		fib.Rule{ID: 1, Match: s.Prefix("dst", 0x10, 4), Pri: 1, Action: fib.Forward(1)},
+		fib.Rule{ID: 2, Match: s.Prefix("dst", 0x10, 6), Pri: 1, Action: fib.Forward(2)},
+	)
+	if err := conflict.Validate(s.E); err == nil {
+		t.Error("conflicting same-priority overlapping rules accepted")
+	}
+	dup := fib.NewTable(
+		fib.Rule{ID: 1, Match: bdd.True, Pri: 1},
+		fib.Rule{ID: 1, Match: bdd.True, Pri: 1},
+	)
+	if err := dup.Validate(s.E); err == nil {
+		t.Error("duplicate (pri,id) accepted")
+	}
+}
+
+func TestRemoveCanceling(t *testing.T) {
+	s := testSpace()
+	r := fib.Rule{ID: 7, Match: s.Exact("dst", 1), Pri: 3, Action: fib.Forward(1)}
+	rOther := fib.Rule{ID: 8, Match: s.Exact("dst", 2), Pri: 3, Action: fib.Forward(2)}
+
+	// insert-then-delete cancels
+	got := fib.RemoveCanceling([]fib.Update{{fib.Insert, r}, {fib.Delete, r}})
+	if len(got) != 0 {
+		t.Errorf("insert+delete should cancel, got %d updates", len(got))
+	}
+	// delete-then-insert of identical rule cancels
+	got = fib.RemoveCanceling([]fib.Update{{fib.Delete, r}, {fib.Insert, r}})
+	if len(got) != 0 {
+		t.Errorf("delete+insert(identical) should cancel, got %d", len(got))
+	}
+	// delete-then-insert of a changed rule does NOT cancel
+	r2 := r
+	r2.Action = fib.Forward(9)
+	got = fib.RemoveCanceling([]fib.Update{{fib.Delete, r}, {fib.Insert, r2}})
+	if len(got) != 2 {
+		t.Errorf("delete+insert(modified) must survive, got %d", len(got))
+	}
+	// unrelated updates survive in order
+	got = fib.RemoveCanceling([]fib.Update{{fib.Insert, rOther}, {fib.Insert, r}, {fib.Delete, r}})
+	if len(got) != 1 || got[0].Rule.ID != 8 {
+		t.Errorf("unrelated update lost: %+v", got)
+	}
+	// triple: insert, delete, insert -> single insert survives
+	got = fib.RemoveCanceling([]fib.Update{{fib.Insert, r}, {fib.Delete, r}, {fib.Insert, r2}})
+	if len(got) != 1 || got[0].Op != fib.Insert || got[0].Rule.Action != fib.Forward(9) {
+		t.Errorf("triple sequence wrong: %+v", got)
+	}
+}
+
+func TestSortByPriority(t *testing.T) {
+	s := testSpace()
+	mk := func(id int64, pri int32, op fib.Op) fib.Update {
+		return fib.Update{op, fib.Rule{ID: id, Match: s.Exact("dst", uint64(id)), Pri: pri}}
+	}
+	ups := []fib.Update{mk(1, 1, fib.Insert), mk(2, 9, fib.Insert), mk(3, 5, fib.Delete), mk(4, 9, fib.Delete)}
+	fib.SortByPriority(ups)
+	if ups[0].Rule.Pri != 9 || ups[1].Rule.Pri != 9 || ups[2].Rule.Pri != 5 || ups[3].Rule.Pri != 1 {
+		t.Fatalf("not sorted by descending priority: %+v", ups)
+	}
+	if ups[0].Rule.ID != 2 || ups[1].Rule.ID != 4 {
+		t.Fatalf("priority ties not broken by ID: %+v", ups)
+	}
+	// fib.Delete before insert for identical (pri, id).
+	ups2 := []fib.Update{mk(1, 3, fib.Insert), mk(1, 3, fib.Delete)}
+	fib.SortByPriority(ups2)
+	if ups2[0].Op != fib.Delete {
+		t.Error("delete should sort before insert at equal (pri,id)")
+	}
+}
+
+func TestTableRandomizedInsertDeleteKeepsOrder(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewSource(21))
+	tb := fib.NewTable()
+	live := map[int64]int32{}
+	for i := 0; i < 500; i++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			id := int64(i)
+			pri := int32(rng.Intn(16))
+			tb.Insert(fib.Rule{ID: id, Match: s.Exact("dst", uint64(id%256)), Pri: pri, Action: fib.Drop})
+			live[id] = pri
+		} else {
+			for id, pri := range live {
+				if !tb.Delete(pri, id) {
+					t.Fatalf("failed to delete live rule %d", id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		rs := tb.Rules()
+		for j := 1; j < len(rs); j++ {
+			if !rs[j-1].Less(rs[j]) {
+				t.Fatalf("order violated after step %d", i)
+			}
+		}
+	}
+	if tb.Len() != len(live) {
+		t.Fatalf("Len=%d want %d", tb.Len(), len(live))
+	}
+}

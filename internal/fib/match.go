@@ -1,0 +1,53 @@
+package fib
+
+import "fmt"
+
+// MatchKind discriminates the symbolic forms a field constraint can take.
+type MatchKind uint8
+
+// Match kinds.
+const (
+	// MatchPrefix constrains the top Len bits of the field.
+	MatchPrefix MatchKind = iota
+	// MatchTernary constrains the bits selected by Mask to equal the
+	// corresponding bits of Value.
+	MatchTernary
+)
+
+// FieldMatch is one symbolic per-field constraint.
+type FieldMatch struct {
+	Field string
+	Kind  MatchKind
+	Value uint64
+	Len   int    // prefix length (MatchPrefix)
+	Mask  uint64 // bit mask (MatchTernary)
+}
+
+func (f FieldMatch) String() string {
+	if f.Kind == MatchPrefix {
+		return fmt.Sprintf("%s=%#x/%d", f.Field, f.Value, f.Len)
+	}
+	return fmt.Sprintf("%s=%#x&%#x", f.Field, f.Value, f.Mask)
+}
+
+// MatchDesc is the symbolic description of a rule's match: a conjunction
+// of per-field constraints. The compiled BDD predicate in Rule.Match is
+// authoritative for verification; the descriptor exists so that
+// representation-specific engines can index the rule natively — Delta-net*
+// converts it to intervals, and the prefix trie indexes its primary
+// prefix. A nil descriptor means "opaque match": engines fall back to
+// conservative handling (wildcard indexing).
+type MatchDesc []FieldMatch
+
+// PrimaryPrefix returns the descriptor's constraint on the named field as
+// a (value, length) prefix if it has one, for trie indexing. Rules without
+// a prefix constraint on the field report ok=false and are indexed at the
+// trie root.
+func (d MatchDesc) PrimaryPrefix(field string) (value uint64, plen int, ok bool) {
+	for _, f := range d {
+		if f.Field == field && f.Kind == MatchPrefix {
+			return f.Value, f.Len, true
+		}
+	}
+	return 0, 0, false
+}

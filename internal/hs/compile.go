@@ -1,0 +1,28 @@
+package hs
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+)
+
+// Compile turns a symbolic match descriptor into its BDD predicate: the
+// conjunction of the per-field constraints. An empty descriptor compiles
+// to True (match-all).
+func (s *Space) Compile(d fib.MatchDesc) bdd.Ref {
+	p := bdd.True
+	for _, f := range d {
+		var fp bdd.Ref
+		switch f.Kind {
+		case fib.MatchPrefix:
+			fp = s.Prefix(f.Field, f.Value, f.Len)
+		case fib.MatchTernary:
+			fp = s.Ternary(f.Field, f.Value, f.Mask)
+		default:
+			panic(fmt.Sprintf("hs: unknown match kind %d", f.Kind))
+		}
+		p = s.E.And(p, fp)
+	}
+	return p
+}

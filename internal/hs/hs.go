@@ -1,0 +1,278 @@
+// Package hs models packet header spaces on top of the BDD engine.
+//
+// A Layout declares named header fields with bit widths (e.g. a 32-bit
+// destination IP followed by a 16-bit source prefix and an 8-bit protocol);
+// a Space binds a Layout to a bdd.Engine and compiles matches — exact
+// values, IP-style prefixes, generic ternary value/mask pairs, and integer
+// ranges — into canonical BDD predicates. Variable order is field-major
+// and most-significant-bit-first within a field, which keeps prefix
+// predicates linear-size.
+package hs
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+)
+
+// Field is one named header field.
+type Field struct {
+	Name string
+	Bits int
+}
+
+// Layout is an ordered list of header fields. The order determines BDD
+// variable order: earlier fields get lower (closer-to-root) variables.
+type Layout struct {
+	fields  []Field
+	offsets []int // starting variable index per field
+	index   map[string]int
+	total   int
+}
+
+// NewLayout builds a Layout from the given fields. Field names must be
+// unique and widths positive; the total width must be at most 64 bits per
+// field (values are carried in uint64s).
+func NewLayout(fields ...Field) *Layout {
+	l := &Layout{index: make(map[string]int, len(fields))}
+	for _, f := range fields {
+		if f.Bits <= 0 || f.Bits > 64 {
+			panic(fmt.Sprintf("hs: field %q has invalid width %d", f.Name, f.Bits))
+		}
+		if _, dup := l.index[f.Name]; dup {
+			panic(fmt.Sprintf("hs: duplicate field %q", f.Name))
+		}
+		l.index[f.Name] = len(l.fields)
+		l.offsets = append(l.offsets, l.total)
+		l.fields = append(l.fields, f)
+		l.total += f.Bits
+	}
+	return l
+}
+
+// TotalBits is the number of Boolean variables the layout occupies.
+func (l *Layout) TotalBits() int { return l.total }
+
+// Fields returns the layout's fields in declaration order.
+func (l *Layout) Fields() []Field { return l.fields }
+
+// FieldBits returns the width of the named field.
+func (l *Layout) FieldBits(name string) int {
+	return l.fields[l.mustIndex(name)].Bits
+}
+
+func (l *Layout) mustIndex(name string) int {
+	i, ok := l.index[name]
+	if !ok {
+		panic(fmt.Sprintf("hs: unknown field %q", name))
+	}
+	return i
+}
+
+// Common layouts used by the workloads in the evaluation.
+var (
+	// Dst32 is a single 32-bit destination address, the layout of the
+	// LNet-apsp and trace settings.
+	Dst32 = NewLayout(Field{"dst", 32})
+	// SrcDst uses a 16-bit source and 16-bit destination, the layout of
+	// the LNet-ecmp (source-match ECMP) setting, scaled so Delta-net*'s
+	// interval expansion stays finite on one machine.
+	SrcDst = NewLayout(Field{"src", 16}, Field{"dst", 16})
+	// DstProto adds an 8-bit protocol/port selector to the destination,
+	// used by policy rules (e.g. "HTTP to subnet A").
+	DstProto = NewLayout(Field{"dst", 32}, Field{"proto", 8})
+)
+
+// Space binds a Layout to a BDD engine and caches per-bit variables.
+type Space struct {
+	E      *bdd.Engine
+	Layout *Layout
+	vars   []bdd.Ref // vars[i] = predicate "bit i is 1"
+}
+
+// NewSpace creates a Space and its backing engine.
+func NewSpace(l *Layout) *Space {
+	e := bdd.New(l.TotalBits())
+	return NewSpaceOn(e, l)
+}
+
+// NewSpaceOn binds a layout to an existing engine, which must have at
+// least Layout.TotalBits variables.
+func NewSpaceOn(e *bdd.Engine, l *Layout) *Space {
+	if e.NumVars() < l.TotalBits() {
+		panic("hs: engine has too few variables for layout")
+	}
+	s := &Space{E: e, Layout: l, vars: make([]bdd.Ref, l.TotalBits())}
+	for i := range s.vars {
+		s.vars[i] = e.Var(i)
+	}
+	return s
+}
+
+// bitVar returns the variable index of the b-th most significant bit of
+// the named field.
+func (s *Space) bitVar(fieldIdx, b int) int {
+	return s.Layout.offsets[fieldIdx] + b
+}
+
+// Exact returns the predicate matching field == value exactly.
+func (s *Space) Exact(field string, value uint64) bdd.Ref {
+	fi := s.Layout.mustIndex(field)
+	return s.prefixAt(fi, value, s.Layout.fields[fi].Bits)
+}
+
+// Prefix returns the predicate for a prefix match on the field: the top
+// plen bits of the field must equal the top plen bits of value (value is
+// right-aligned, i.e. a full-width field value whose low bits are ignored).
+// Prefix(f, v, 0) matches everything.
+func (s *Space) Prefix(field string, value uint64, plen int) bdd.Ref {
+	fi := s.Layout.mustIndex(field)
+	w := s.Layout.fields[fi].Bits
+	if plen < 0 || plen > w {
+		panic(fmt.Sprintf("hs: prefix length %d out of range for %d-bit field", plen, w))
+	}
+	return s.prefixAt(fi, value>>uint(w-plen), plen)
+}
+
+// prefixAt matches the top plen bits of the field against the low plen
+// bits of topBits.
+func (s *Space) prefixAt(fieldIdx int, topBits uint64, plen int) bdd.Ref {
+	if plen == 0 {
+		return bdd.True
+	}
+	vars := make([]int, plen)
+	var bits uint64
+	for i := 0; i < plen; i++ {
+		vars[i] = s.bitVar(fieldIdx, i)
+		// Most significant selected bit first.
+		if topBits&(1<<uint(plen-1-i)) != 0 {
+			bits |= 1 << uint(i)
+		}
+	}
+	return s.E.Cube(vars, bits)
+}
+
+// Ternary returns the predicate for a value/mask match on the field: for
+// every bit set in mask, the field bit must equal the corresponding bit of
+// value. mask bit positions follow the field's natural value encoding
+// (bit 0 = least significant).
+func (s *Space) Ternary(field string, value, mask uint64) bdd.Ref {
+	fi := s.Layout.mustIndex(field)
+	w := s.Layout.fields[fi].Bits
+	var vars []int
+	var bits uint64
+	n := 0
+	for i := 0; i < w; i++ { // i = msb index within field
+		bitpos := uint(w - 1 - i)
+		if mask&(1<<bitpos) == 0 {
+			continue
+		}
+		vars = append(vars, s.bitVar(fi, i))
+		if value&(1<<bitpos) != 0 {
+			bits |= 1 << uint(n)
+		}
+		n++
+	}
+	return s.E.Cube(vars, bits)
+}
+
+// Suffix returns the predicate matching the low slen bits of the field
+// against the low slen bits of value. This is the "suffix match routing"
+// rule form of the LNet-smr setting.
+func (s *Space) Suffix(field string, value uint64, slen int) bdd.Ref {
+	fi := s.Layout.mustIndex(field)
+	w := s.Layout.fields[fi].Bits
+	if slen < 0 || slen > w {
+		panic(fmt.Sprintf("hs: suffix length %d out of range for %d-bit field", slen, w))
+	}
+	var mask uint64
+	if slen == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << uint(slen)) - 1
+	}
+	return s.Ternary(field, value&mask, mask)
+}
+
+// Range returns the predicate lo <= field <= hi (inclusive), built as a
+// union of O(width) prefix cubes.
+func (s *Space) Range(field string, lo, hi uint64) bdd.Ref {
+	fi := s.Layout.mustIndex(field)
+	w := s.Layout.fields[fi].Bits
+	max := maxValue(w)
+	if lo > hi || hi > max {
+		panic(fmt.Sprintf("hs: invalid range [%d,%d] for %d-bit field", lo, hi, w))
+	}
+	r := bdd.False
+	for _, c := range rangeCubes(lo, hi, w) {
+		r = s.E.Or(r, s.prefixAt(fi, c.top, c.plen))
+	}
+	return r
+}
+
+func maxValue(bits int) uint64 {
+	if bits == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(bits)) - 1
+}
+
+type cube struct {
+	top  uint64 // the plen significant bits
+	plen int
+}
+
+// rangeCubes decomposes [lo,hi] into at most 2w prefix cubes.
+func rangeCubes(lo, hi uint64, w int) []cube {
+	var out []cube
+	var rec func(lo, hi, base uint64, bits int)
+	rec = func(lo, hi, base uint64, bits int) {
+		if lo > hi {
+			return
+		}
+		if lo == 0 && hi == maxValue(bits) {
+			out = append(out, cube{top: base >> uint(bits), plen: w - bits})
+			return
+		}
+		if bits == 0 {
+			out = append(out, cube{top: base, plen: w})
+			return
+		}
+		half := uint64(1) << uint(bits-1)
+		if hi < half {
+			rec(lo, hi, base, bits-1)
+		} else if lo >= half {
+			rec(lo-half, hi-half, base|half, bits-1)
+		} else {
+			rec(lo, half-1, base, bits-1)
+			rec(0, hi-half, base|half, bits-1)
+		}
+	}
+	rec(lo, hi, 0, w)
+	return out
+}
+
+// Header is a concrete packet header: one value per field, in layout order.
+type Header []uint64
+
+// Assignment converts a header to the engine's Boolean assignment vector,
+// for use with bdd.Engine.Eval.
+func (s *Space) Assignment(h Header) []bool {
+	if len(h) != len(s.Layout.fields) {
+		panic("hs: header has wrong number of fields")
+	}
+	a := make([]bool, s.E.NumVars())
+	for fi, f := range s.Layout.fields {
+		for b := 0; b < f.Bits; b++ { // b = msb-first index
+			if h[fi]&(1<<uint(f.Bits-1-b)) != 0 {
+				a[s.bitVar(fi, b)] = true
+			}
+		}
+	}
+	return a
+}
+
+// Contains reports whether predicate p matches header h.
+func (s *Space) Contains(p bdd.Ref, h Header) bool {
+	return s.E.Eval(p, s.Assignment(h))
+}

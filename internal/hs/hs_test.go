@@ -1,0 +1,231 @@
+package hs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+)
+
+func TestLayoutBasics(t *testing.T) {
+	l := NewLayout(Field{"a", 8}, Field{"b", 4})
+	if l.TotalBits() != 12 {
+		t.Errorf("TotalBits = %d, want 12", l.TotalBits())
+	}
+	if l.FieldBits("b") != 4 {
+		t.Errorf("FieldBits(b) = %d, want 4", l.FieldBits("b"))
+	}
+	if len(l.Fields()) != 2 || l.Fields()[0].Name != "a" {
+		t.Error("Fields() wrong")
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero width": func() { NewLayout(Field{"x", 0}) },
+		"too wide":   func() { NewLayout(Field{"x", 65}) },
+		"duplicate":  func() { NewLayout(Field{"x", 4}, Field{"x", 4}) },
+		"unknown":    func() { NewLayout(Field{"x", 4}).FieldBits("y") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"dst", 8}))
+	p := s.Exact("dst", 0xAB)
+	if !s.Contains(p, Header{0xAB}) {
+		t.Error("exact match misses its own value")
+	}
+	for _, v := range []uint64{0, 0xAA, 0xBA, 0xFF} {
+		if s.Contains(p, Header{v}) {
+			t.Errorf("exact match falsely matches %#x", v)
+		}
+	}
+	if s.E.SatCount(p) != 1 {
+		t.Errorf("SatCount of exact match = %v, want 1", s.E.SatCount(p))
+	}
+}
+
+func TestPrefixMatch(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"dst", 8}))
+	// 0b1010xxxx
+	p := s.Prefix("dst", 0xA0, 4)
+	for v := uint64(0); v < 256; v++ {
+		want := v>>4 == 0xA
+		if got := s.Contains(p, Header{v}); got != want {
+			t.Fatalf("prefix 0xA0/4 on %#x: got %v want %v", v, got, want)
+		}
+	}
+	if s.Prefix("dst", 0x12, 0) != bdd.True {
+		t.Error("zero-length prefix should match everything")
+	}
+	if s.E.SatCount(p) != 16 {
+		t.Errorf("SatCount = %v, want 16", s.E.SatCount(p))
+	}
+}
+
+func TestTernaryMatch(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"dst", 8}))
+	// match bit7=1 and bit0=0: value 0x80, mask 0x81
+	p := s.Ternary("dst", 0x80, 0x81)
+	for v := uint64(0); v < 256; v++ {
+		want := v&0x81 == 0x80
+		if got := s.Contains(p, Header{v}); got != want {
+			t.Fatalf("ternary on %#x: got %v want %v", v, got, want)
+		}
+	}
+	if s.Ternary("dst", 0, 0) != bdd.True {
+		t.Error("all-wildcard ternary should be True")
+	}
+}
+
+func TestSuffixMatch(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"dst", 8}))
+	p := s.Suffix("dst", 0b101, 3)
+	for v := uint64(0); v < 256; v++ {
+		want := v&0b111 == 0b101
+		if got := s.Contains(p, Header{v}); got != want {
+			t.Fatalf("suffix on %#x: got %v want %v", v, got, want)
+		}
+	}
+	if s.E.SatCount(p) != 32 {
+		t.Errorf("SatCount = %v, want 32", s.E.SatCount(p))
+	}
+}
+
+func TestRangeMatch(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"port", 10}))
+	cases := []struct{ lo, hi uint64 }{
+		{0, 0}, {0, 1023}, {5, 5}, {100, 200}, {511, 512}, {1, 1022}, {1000, 1023},
+	}
+	for _, c := range cases {
+		p := s.Range("port", c.lo, c.hi)
+		if got, want := s.E.SatCount(p), float64(c.hi-c.lo+1); got != want {
+			t.Errorf("Range[%d,%d] SatCount = %v, want %v", c.lo, c.hi, got, want)
+		}
+		for _, v := range []uint64{c.lo, c.hi, (c.lo + c.hi) / 2} {
+			if !s.Contains(p, Header{v}) {
+				t.Errorf("Range[%d,%d] misses %d", c.lo, c.hi, v)
+			}
+		}
+		if c.lo > 0 && s.Contains(p, Header{c.lo - 1}) {
+			t.Errorf("Range[%d,%d] matches %d", c.lo, c.hi, c.lo-1)
+		}
+		if c.hi < 1023 && s.Contains(p, Header{c.hi + 1}) {
+			t.Errorf("Range[%d,%d] matches %d", c.lo, c.hi, c.hi+1)
+		}
+	}
+}
+
+func TestRangeQuick(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"f", 8}))
+	check := func(a, b, probe uint8) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		p := s.Range("f", lo, hi)
+		v := uint64(probe)
+		return s.Contains(p, Header{v}) == (v >= lo && v <= hi)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangePanicsOnInvalid(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"f", 8}))
+	for name, f := range map[string]func(){
+		"lo>hi":     func() { s.Range("f", 5, 2) },
+		"too large": func() { s.Range("f", 0, 256) },
+		"prefix":    func() { s.Prefix("f", 0, 9) },
+		"suffix":    func() { s.Suffix("f", 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMultiFieldIndependence(t *testing.T) {
+	s := NewSpace(NewLayout(Field{"src", 8}, Field{"dst", 8}))
+	p := s.E.And(s.Prefix("src", 0x10, 4), s.Prefix("dst", 0x20, 4))
+	if !s.Contains(p, Header{0x1F, 0x2F}) {
+		t.Error("conjunction of per-field prefixes should match")
+	}
+	if s.Contains(p, Header{0x2F, 0x2F}) {
+		t.Error("src constraint not enforced")
+	}
+	if s.Contains(p, Header{0x1F, 0x1F}) {
+		t.Error("dst constraint not enforced")
+	}
+	if got := s.E.SatCount(p); got != 256 {
+		t.Errorf("SatCount = %v, want 256", got)
+	}
+}
+
+func TestSharedEngineSpaces(t *testing.T) {
+	e := bdd.New(64)
+	s := NewSpaceOn(e, SrcDst)
+	p := s.Prefix("dst", 0x1234, 8)
+	if p == bdd.False {
+		t.Fatal("prefix compiled to False")
+	}
+	if !s.Contains(p, Header{0, 0x12FF}) {
+		t.Error("shared-engine space mismatch")
+	}
+}
+
+func TestNewSpaceOnPanicsWhenTooSmall(t *testing.T) {
+	e := bdd.New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSpaceOn(e, Dst32)
+}
+
+func TestAssignmentPanicsOnWrongArity(t *testing.T) {
+	s := NewSpace(SrcDst)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Assignment(Header{1})
+}
+
+func TestPrefixDisjointness(t *testing.T) {
+	// Sibling prefixes are disjoint and their union is the parent.
+	s := NewSpace(NewLayout(Field{"dst", 16}))
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		plen := 1 + rng.Intn(14)
+		base := uint64(rng.Intn(1<<uint(plen))) << uint(16-plen)
+		parent := s.Prefix("dst", base, plen)
+		l := s.Prefix("dst", base, plen+1)
+		step := uint64(1) << uint(16-plen-1)
+		r := s.Prefix("dst", base|step, plen+1)
+		if s.E.And(l, r) != bdd.False {
+			t.Fatal("sibling prefixes overlap")
+		}
+		if s.E.Or(l, r) != parent {
+			t.Fatal("siblings do not cover parent")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package hs
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/bdd"
+
+	"repro/internal/fib"
+)
+
+// IPv4 convenience layer: real deployments describe matches in CIDR
+// notation. These helpers convert between netip types and the symbolic
+// match descriptors the engines consume. They require the target field
+// to be 32 bits wide (use Dst32 or DstProto, or declare your own).
+
+// CIDR builds a prefix constraint on a 32-bit field from "a.b.c.d/len"
+// notation.
+func CIDR(field, cidr string) (fib.FieldMatch, error) {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return fib.FieldMatch{}, fmt.Errorf("hs: %w", err)
+	}
+	if !p.Addr().Is4() {
+		return fib.FieldMatch{}, fmt.Errorf("hs: %q is not IPv4", cidr)
+	}
+	b := p.Addr().As4()
+	val := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	return fib.FieldMatch{Field: field, Kind: fib.MatchPrefix, Value: val, Len: p.Bits()}, nil
+}
+
+// MustCIDR is CIDR for statically known prefixes; it panics on error.
+func MustCIDR(field, cidr string) fib.FieldMatch {
+	m, err := CIDR(field, cidr)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// IPv4Value converts a dotted-quad address into the field value used by
+// Header and Exact.
+func IPv4Value(addr string) (uint64, error) {
+	a, err := netip.ParseAddr(addr)
+	if err != nil {
+		return 0, fmt.Errorf("hs: %w", err)
+	}
+	if !a.Is4() {
+		return 0, fmt.Errorf("hs: %q is not IPv4", addr)
+	}
+	b := a.As4()
+	return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3]), nil
+}
+
+// FormatIPv4 renders a 32-bit field value in dotted-quad notation, for
+// witness headers in results.
+func FormatIPv4(v uint64) string {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}).String()
+}
+
+// CIDRPredicate compiles a CIDR straight to a predicate on this space.
+func (s *Space) CIDRPredicate(field, cidr string) (bdd.Ref, error) {
+	m, err := CIDR(field, cidr)
+	if err != nil {
+		return bdd.False, err
+	}
+	return s.Prefix(m.Field, m.Value, m.Len), nil
+}

@@ -1,0 +1,72 @@
+package hs
+
+import (
+	"testing"
+
+	"repro/internal/fib"
+)
+
+func TestCIDR(t *testing.T) {
+	m, err := CIDR("dst", "10.0.1.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != fib.MatchPrefix || m.Len != 24 {
+		t.Fatalf("CIDR = %+v", m)
+	}
+	if m.Value != 10<<24|1<<8 {
+		t.Fatalf("value = %#x", m.Value)
+	}
+	for _, bad := range []string{"10.0.1.0", "::1/64", "300.0.0.0/8", "x/y"} {
+		if _, err := CIDR("dst", bad); err == nil {
+			t.Errorf("CIDR(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMustCIDRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustCIDR("dst", "garbage")
+}
+
+func TestIPv4ValueAndFormat(t *testing.T) {
+	v, err := IPv4Value("192.168.1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 192<<24|168<<16|1<<8|2 {
+		t.Fatalf("value = %#x", v)
+	}
+	if got := FormatIPv4(v); got != "192.168.1.2" {
+		t.Fatalf("FormatIPv4 = %q", got)
+	}
+	if _, err := IPv4Value("::1"); err == nil {
+		t.Error("IPv6 accepted")
+	}
+	if _, err := IPv4Value("nope"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCIDRPredicate(t *testing.T) {
+	s := NewSpace(Dst32)
+	p, err := s.CIDRPredicate("dst", "10.0.1.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := IPv4Value("10.0.1.200")
+	out, _ := IPv4Value("10.0.2.1")
+	if !s.Contains(p, Header{in}) {
+		t.Error("address inside the prefix not matched")
+	}
+	if s.Contains(p, Header{out}) {
+		t.Error("address outside the prefix matched")
+	}
+	if _, err := s.CIDRPredicate("dst", "bad"); err == nil {
+		t.Error("bad CIDR accepted")
+	}
+}

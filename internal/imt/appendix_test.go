@@ -1,0 +1,247 @@
+package imt
+
+// Property tests for the formal theory of Appendix C: the algebraic facts
+// the MR2 aggregation relies on. These operate on the package internals
+// (Model.Apply and the overwrite representation) directly.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/pat"
+)
+
+// cloneModel deep-copies a model for independent application orders.
+func cloneModel(m *Model) *Model {
+	c := NewModel(m.Universe)
+	c.ECs = make(map[pat.Ref]bdd.Ref, len(m.ECs))
+	for k, v := range m.ECs {
+		c.ECs[k] = v
+	}
+	return c
+}
+
+// modelsEqual compares two models structurally (hash-consing makes this
+// exact).
+func modelsEqual(a, b *Model) bool {
+	if len(a.ECs) != len(b.ECs) {
+		return false
+	}
+	for k, v := range a.ECs {
+		if b.ECs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// randomModel builds a random valid inverse model over nDev devices by
+// applying random atomic overwrites to the initial model.
+func randomModel(e *bdd.Engine, s *hs.Space, ps *pat.Store, rng *rand.Rand, nDev int) *Model {
+	m := NewModel(bdd.True)
+	for i := 0; i < 3+rng.Intn(5); i++ {
+		dev := fib.DeviceID(rng.Intn(nDev))
+		pred := s.Prefix("dst", uint64(rng.Intn(256)), rng.Intn(6))
+		m.Apply(e, ps, []Overwrite{{
+			Pred:  pred,
+			Delta: ps.Set(pat.Empty, dev, fib.Forward(fib.DeviceID(rng.Intn(nDev+2)))),
+		}})
+	}
+	return m
+}
+
+// randomAtomicSet builds a conflict-free atomic overwrite set: per
+// device, the predicates are mutually disjoint (like effective
+// predicates), and each overwrite writes one device.
+func randomAtomicSet(e *bdd.Engine, s *hs.Space, ps *pat.Store, rng *rand.Rand, nDev int) []Overwrite {
+	var out []Overwrite
+	for d := 0; d < nDev; d++ {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		remaining := bdd.Ref(bdd.True)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			raw := s.Prefix("dst", uint64(rng.Intn(256)), 1+rng.Intn(6))
+			pred := e.And(raw, remaining)
+			if pred == bdd.False {
+				continue
+			}
+			remaining = e.Diff(remaining, pred)
+			out = append(out, Overwrite{
+				Pred:  pred,
+				Delta: ps.Set(pat.Empty, fib.DeviceID(d), fib.Forward(fib.DeviceID(rng.Intn(nDev+2)))),
+			})
+		}
+	}
+	return out
+}
+
+// TestTheorem3AtomicOverwritesCommute: applying a conflict-free set of
+// atomic overwrites in any order yields the same model.
+func TestTheorem3AtomicOverwritesCommute(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		base := randomModel(s.E, s, ps, rng, 4)
+		ows := randomAtomicSet(s.E, s, ps, rng, 4)
+		if len(ows) < 2 {
+			continue
+		}
+		m1 := cloneModel(base)
+		m1.Apply(s.E, ps, ows)
+
+		perm := rng.Perm(len(ows))
+		shuffled := make([]Overwrite, len(ows))
+		for i, p := range perm {
+			shuffled[i] = ows[p]
+		}
+		m2 := cloneModel(base)
+		m2.Apply(s.E, ps, shuffled)
+
+		if !modelsEqual(m1, m2) {
+			t.Fatalf("trial %d: atomic overwrites did not commute", trial)
+		}
+		if err := m1.Validate(s.E); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestLemma1OverwriteAssociative: ((M ⊗ w1) ⊗ w2) equals M ⊗ (w1; w2)
+// applied as one call (Model.Apply folds sequentially, so this also
+// checks the fold's equivalence to stepwise application).
+func TestLemma1OverwriteAssociative(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(7700 + trial)))
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		base := randomModel(s.E, s, ps, rng, 3)
+		ows := randomAtomicSet(s.E, s, ps, rng, 3)
+
+		joint := cloneModel(base)
+		joint.Apply(s.E, ps, ows)
+
+		step := cloneModel(base)
+		for _, w := range ows {
+			step.Apply(s.E, ps, []Overwrite{w})
+		}
+		if !modelsEqual(joint, step) {
+			t.Fatalf("trial %d: fold != stepwise application", trial)
+		}
+	}
+}
+
+// TestTheorem4ReduceICorrect: merging same-device same-action overwrites
+// by disjoining their predicates leaves the resulting model unchanged.
+func TestTheorem4ReduceICorrect(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(8400 + trial)))
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		base := randomModel(s.E, s, ps, rng, 3)
+		ows := randomAtomicSet(s.E, s, ps, rng, 3)
+
+		plain := cloneModel(base)
+		plain.Apply(s.E, ps, ows)
+
+		// Reduce I: group by (delta) — each delta is a single-device
+		// single-action write, so grouping by delta Ref is exactly
+		// "aggregate by action".
+		group := make(map[pat.Ref]bdd.Ref)
+		var order []pat.Ref
+		for _, w := range ows {
+			if p, ok := group[w.Delta]; ok {
+				group[w.Delta] = s.E.Or(p, w.Pred)
+			} else {
+				group[w.Delta] = w.Pred
+				order = append(order, w.Delta)
+			}
+		}
+		var reduced []Overwrite
+		for _, d := range order {
+			reduced = append(reduced, Overwrite{Pred: group[d], Delta: d})
+		}
+		agg := cloneModel(base)
+		agg.Apply(s.E, ps, reduced)
+
+		if !modelsEqual(plain, agg) {
+			t.Fatalf("trial %d: Reduce I changed the model", trial)
+		}
+	}
+}
+
+// TestTheorem5ReduceIICorrect: merging same-predicate overwrites across
+// devices into one multi-device delta leaves the model unchanged.
+func TestTheorem5ReduceIICorrect(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(9100 + trial)))
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		base := randomModel(s.E, s, ps, rng, 4)
+
+		// Construct same-predicate writes on several devices (the
+		// network-wide flow-setup pattern of Intuition III).
+		pred := s.Prefix("dst", uint64(rng.Intn(256)), 1+rng.Intn(4))
+		var singles []Overwrite
+		delta := pat.Empty
+		for d := 0; d < 4; d++ {
+			a := fib.Forward(fib.DeviceID(rng.Intn(6)))
+			singles = append(singles, Overwrite{Pred: pred, Delta: ps.Set(pat.Empty, fib.DeviceID(d), a)})
+			delta = ps.Set(delta, fib.DeviceID(d), a)
+		}
+		plain := cloneModel(base)
+		plain.Apply(s.E, ps, singles)
+
+		agg := cloneModel(base)
+		agg.Apply(s.E, ps, []Overwrite{{Pred: pred, Delta: delta}})
+
+		if !modelsEqual(plain, agg) {
+			t.Fatalf("trial %d: Reduce II changed the model", trial)
+		}
+	}
+}
+
+// TestTheorem1NaturalEquivalence: the natural transformation of random
+// well-behaved tables is behaviorally equivalent to the tables (spot
+// check of Theorem 1 independent of Fast IMT).
+func TestTheorem1NaturalEquivalence(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(9900 + trial)))
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		tables := make(map[fib.DeviceID]*fib.Table)
+		for d := fib.DeviceID(0); d < 3; d++ {
+			tb := fib.NewTable(fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop})
+			for k := int64(2); k < 8; k++ {
+				tb.Insert(fib.Rule{
+					ID:     k,
+					Match:  s.Prefix("dst", uint64(rng.Intn(256)), 1+rng.Intn(7)),
+					Pri:    int32(k),
+					Action: fib.Forward(fib.DeviceID(rng.Intn(5))),
+				})
+			}
+			tables[d] = tb
+		}
+		m := NaturalTransform(s.E, ps, bdd.True, tables)
+		if err := m.Validate(s.E); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for h := uint64(0); h < 256; h += 3 {
+			asg := s.Assignment(hs.Header{h})
+			vec, ok := m.Lookup(s.E, asg)
+			if !ok {
+				t.Fatalf("trial %d: header %#x uncovered", trial, h)
+			}
+			for d, tb := range tables {
+				if got, want := ps.Get(vec, d), tb.Lookup(s.E, asg); got != want {
+					t.Fatalf("trial %d: dev %d header %#x: model %v, table %v",
+						trial, d, h, got, want)
+				}
+			}
+		}
+	}
+}

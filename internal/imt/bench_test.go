@@ -1,0 +1,103 @@
+package imt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/pat"
+)
+
+// benchWorkload builds a deterministic block of prefix-rule inserts for
+// nDev devices with rulesPer rules each.
+func benchWorkload(s *hs.Space, nDev, rulesPer int) []fib.Block {
+	blocks := make([]fib.Block, nDev)
+	id := int64(1)
+	for d := 0; d < nDev; d++ {
+		blocks[d].Device = fib.DeviceID(d)
+		blocks[d].Updates = append(blocks[d].Updates, fib.Update{
+			Op: fib.Insert, Rule: fib.Rule{ID: id, Match: bdd.True, Pri: 0, Action: fib.Drop}})
+		id++
+		for k := 0; k < rulesPer; k++ {
+			plen := 4 + (k % 5)
+			val := uint64(k*37%256) << 8
+			blocks[d].Updates = append(blocks[d].Updates, fib.Update{
+				Op: fib.Insert, Rule: fib.Rule{
+					ID: id, Match: s.Prefix("dst", val, plen), Pri: int32(plen),
+					Action: fib.Forward(fib.DeviceID((d + k) % (nDev + 2))),
+				}})
+			id++
+		}
+	}
+	return blocks
+}
+
+// BenchmarkApplyBlockVsPerUpdate is the core Fast IMT micro-ablation.
+func BenchmarkApplyBlockVsPerUpdate(b *testing.B) {
+	for _, mode := range []string{"block", "per-update"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+				tr := NewTransformer(s.E, pat.NewStore(), bdd.True)
+				tr.PerUpdate = mode == "per-update"
+				if err := tr.ApplyBlock(benchWorkload(s, 16, 24)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNaturalTransform measures the direct-transformation oracle.
+func BenchmarkNaturalTransform(b *testing.B) {
+	s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+	tr := NewTransformer(s.E, pat.NewStore(), bdd.True)
+	if err := tr.ApplyBlock(benchWorkload(s, 16, 24)); err != nil {
+		b.Fatal(err)
+	}
+	tables := make(map[fib.DeviceID]*fib.Table)
+	for _, d := range tr.Devices() {
+		tables[d] = tr.Table(d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaturalTransform(s.E, pat.NewStore(), bdd.True, tables)
+	}
+}
+
+// BenchmarkBlockSizes sweeps update-block granularity (the BST knob).
+func BenchmarkBlockSizes(b *testing.B) {
+	for _, chunk := range []int{1, 8, 64, 0} {
+		name := fmt.Sprintf("chunk-%d", chunk)
+		if chunk == 0 {
+			name = "chunk-all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+				tr := NewTransformer(s.E, pat.NewStore(), bdd.True)
+				blocks := benchWorkload(s, 16, 24)
+				if chunk == 0 {
+					if err := tr.ApplyBlock(blocks); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				for _, blk := range blocks {
+					for start := 0; start < len(blk.Updates); start += chunk {
+						end := start + chunk
+						if end > len(blk.Updates) {
+							end = len(blk.Updates)
+						}
+						if err := tr.ApplyBlock([]fib.Block{{Device: blk.Device, Updates: blk.Updates[start:end]}}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}

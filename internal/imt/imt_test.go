@@ -1,0 +1,432 @@
+package imt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/pat"
+)
+
+func newTestRig() (*hs.Space, *pat.Store, *Transformer) {
+	s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+	ps := pat.NewStore()
+	tr := NewTransformer(s.E, ps, bdd.True)
+	return s, ps, tr
+}
+
+func ins(dev fib.DeviceID, r fib.Rule) fib.Block {
+	return fib.Block{Device: dev, Updates: []fib.Update{{Op: fib.Insert, Rule: r}}}
+}
+
+func TestModelInitial(t *testing.T) {
+	_, _, tr := newTestRig()
+	m := tr.Model()
+	if m.Len() != 1 {
+		t.Fatalf("initial model has %d classes, want 1", m.Len())
+	}
+	if err := m.Validate(tr.E); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperExample reproduces the Figure 2 walk-through: a 3-switch
+// network, base FIBs, then a 6-rule HTTP-policy block.
+func TestPaperExample(t *testing.T) {
+	// Layout: 8-bit dst (subnets A=0x10/4, B=0x20/4), 1-bit "http" flag.
+	s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}, hs.Field{Name: "http", Bits: 1}))
+	ps := pat.NewStore()
+	tr := NewTransformer(s.E, ps, bdd.True)
+
+	const (
+		s1 fib.DeviceID = 0
+		s2 fib.DeviceID = 1
+		s3 fib.DeviceID = 2
+	)
+	A := fib.Forward(10) // host A
+	GW := fib.Forward(11)
+	toS1, toS2, toS3 := fib.Forward(s1), fib.Forward(s2), fib.Forward(s3)
+
+	subnetA := s.Prefix("dst", 0x10, 4)
+	subnetB := s.Prefix("dst", 0x20, 4)
+	initial := []fib.Block{
+		{Device: s1, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: subnetA, Pri: 2, Action: A}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: subnetB, Pri: 1, Action: A}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 3, Match: bdd.True, Pri: 0, Action: toS3}},
+		}},
+		{Device: s2, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: subnetA, Pri: 2, Action: toS1}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: subnetB, Pri: 1, Action: toS1}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 3, Match: bdd.True, Pri: 0, Action: toS3}},
+		}},
+		{Device: s3, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: subnetA, Pri: 2, Action: toS1}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: subnetB, Pri: 1, Action: toS1}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 3, Match: bdd.True, Pri: 0, Action: GW}},
+		}},
+	}
+	if err := tr.ApplyBlock(initial); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Model()
+	if err := m.Validate(tr.E); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2's initial inverse model: 2 behaviors
+	// (A,S1,S1) for subnet A∨B, (S3,S3,GW) for the rest.
+	if m.Len() != 2 {
+		t.Fatalf("initial model has %d classes, want 2", m.Len())
+	}
+	vecAB := ps.FromMap(map[fib.DeviceID]fib.Action{s1: A, s2: toS1, s3: toS1})
+	if p, ok := m.ECs[vecAB]; !ok {
+		t.Fatal("missing (A,S1,S1) class")
+	} else if p != tr.E.Or(subnetA, subnetB) {
+		t.Error("(A,S1,S1) class predicate is not subnetA ∨ subnetB")
+	}
+
+	// The event of Figure 2: HTTP to the two subnets uses path S3→S2→S1.
+	http := s.Exact("http", 1)
+	p4 := tr.E.And(subnetA, http)
+	p5 := tr.E.And(subnetB, http)
+	policy := []fib.Block{
+		{Device: s1, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 4, Match: p4, Pri: 3, Action: A}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 5, Match: p5, Pri: 3, Action: A}},
+		}},
+		{Device: s2, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 4, Match: p4, Pri: 3, Action: toS1}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 5, Match: p5, Pri: 3, Action: toS1}},
+		}},
+		{Device: s3, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 4, Match: p4, Pri: 3, Action: toS2}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 5, Match: p5, Pri: 3, Action: toS2}},
+		}},
+	}
+	before := tr.Stats()
+	if err := tr.ApplyBlock(policy); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.Stats()
+	if err := m.Validate(tr.E); err != nil {
+		t.Fatal(err)
+	}
+	// Final model (Figure 2 lower right): 3 classes; the new one is
+	// p3 = p4 ∨ p5 with vector (A, S1, S2).
+	if m.Len() != 3 {
+		t.Fatalf("final model has %d classes, want 3", m.Len())
+	}
+	vecHTTP := ps.FromMap(map[fib.DeviceID]fib.Action{s1: A, s2: toS1, s3: toS2})
+	if p, ok := m.ECs[vecHTTP]; !ok {
+		t.Fatal("missing HTTP-path class")
+	} else if p != tr.E.Or(p4, p5) {
+		t.Error("HTTP class predicate is not p4 ∨ p5")
+	}
+	// MR2 aggregation: the 6 policy updates collapse to few conflict-free
+	// overwrites. Reduce I merges p4/p5 per device; Reduce II merges
+	// devices S1+S2? No — their actions differ per device, but predicates
+	// coincide, so Reduce II merges the three devices' aggregated
+	// predicates into a single overwrite (all three share p4∨p5).
+	if got := after.Aggregated - before.Aggregated; got != 1 {
+		t.Errorf("aggregated overwrites for policy block = %d, want 1", got)
+	}
+	if got := after.Atomic - before.Atomic; got != 6 {
+		t.Errorf("atomic overwrites for policy block = %d, want 6", got)
+	}
+}
+
+func TestDeleteExpandsLowerRules(t *testing.T) {
+	s, ps, tr := newTestRig()
+	d := fib.DeviceID(0)
+	hi := fib.Rule{ID: 1, Match: s.Prefix("dst", 0x10, 4), Pri: 5, Action: fib.Forward(1)}
+	lo := fib.Rule{ID: 2, Match: s.Prefix("dst", 0x10, 5), Pri: 3, Action: fib.Forward(2)}
+	def := fib.Rule{ID: 3, Match: bdd.True, Pri: 0, Action: fib.Drop}
+	for _, r := range []fib.Rule{hi, lo, def} {
+		if err := tr.ApplyBlock([]fib.Block{ins(d, r)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// dst=0x10 currently hits rule 1.
+	asg := s.Assignment(hs.Header{0x10})
+	vec, ok := tr.Model().Lookup(tr.E, asg)
+	if !ok || ps.Get(vec, d) != fib.Forward(1) {
+		t.Fatalf("before delete: action = %v", ps.Get(vec, d))
+	}
+	// Delete rule 1: 0x10 falls to rule 2, 0x18 falls to default.
+	err := tr.ApplyBlock([]fib.Block{{Device: d, Updates: []fib.Update{{Op: fib.Delete, Rule: hi}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Model().Validate(tr.E); err != nil {
+		t.Fatal(err)
+	}
+	vec, _ = tr.Model().Lookup(tr.E, asg)
+	if ps.Get(vec, d) != fib.Forward(2) {
+		t.Errorf("after delete, 0x10 action = %v, want fwd(2)", ps.Get(vec, d))
+	}
+	vec, _ = tr.Model().Lookup(tr.E, s.Assignment(hs.Header{0x18}))
+	if ps.Get(vec, d) != fib.Drop {
+		t.Errorf("after delete, 0x18 action = %v, want drop", ps.Get(vec, d))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _, tr := newTestRig()
+	d := fib.DeviceID(0)
+	r := fib.Rule{ID: 1, Match: s.Exact("dst", 1), Pri: 1, Action: fib.Drop}
+	if err := tr.ApplyBlock([]fib.Block{ins(d, r)}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate insert fails.
+	if err := tr.ApplyBlock([]fib.Block{ins(d, r)}); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	// Delete of missing rule fails.
+	miss := fib.Rule{ID: 99, Pri: 7}
+	err := tr.ApplyBlock([]fib.Block{{Device: d, Updates: []fib.Update{{Op: fib.Delete, Rule: miss}}}})
+	if err == nil {
+		t.Error("delete of missing rule accepted")
+	}
+}
+
+// randomWorkload builds a random initial table state and a random update
+// block for nDev devices, returning blocks for initial state and updates.
+func randomWorkload(s *hs.Space, rng *rand.Rand, nDev, nInit, nUpd int) (init, upd []fib.Block) {
+	nextID := int64(1)
+	type devRules struct{ rules []fib.Rule }
+	state := make([]devRules, nDev)
+	randMatch := func() bdd.Ref {
+		switch rng.Intn(3) {
+		case 0:
+			return s.Prefix("dst", uint64(rng.Intn(256)), rng.Intn(9))
+		case 1:
+			return s.Exact("dst", uint64(rng.Intn(256)))
+		default:
+			return s.Suffix("dst", uint64(rng.Intn(256)), 1+rng.Intn(4))
+		}
+	}
+	for d := 0; d < nDev; d++ {
+		b := fib.Block{Device: fib.DeviceID(d)}
+		// Default rule so tables are total.
+		def := fib.Rule{ID: nextID, Match: bdd.True, Pri: 0, Action: fib.Drop}
+		nextID++
+		b.Updates = append(b.Updates, fib.Update{Op: fib.Insert, Rule: def})
+		state[d].rules = append(state[d].rules, def)
+		for k := 0; k < nInit; k++ {
+			r := fib.Rule{
+				ID: nextID, Match: randMatch(),
+				Pri:    int32(1 + rng.Intn(8)),
+				Action: fib.Forward(fib.DeviceID(rng.Intn(nDev + 2))),
+			}
+			nextID++
+			b.Updates = append(b.Updates, fib.Update{Op: fib.Insert, Rule: r})
+			state[d].rules = append(state[d].rules, r)
+		}
+		init = append(init, b)
+	}
+	for d := 0; d < nDev; d++ {
+		b := fib.Block{Device: fib.DeviceID(d)}
+		for k := 0; k < nUpd; k++ {
+			if rng.Intn(2) == 0 && len(state[d].rules) > 1 {
+				// Delete a random non-default live rule.
+				i := 1 + rng.Intn(len(state[d].rules)-1)
+				r := state[d].rules[i]
+				state[d].rules = append(state[d].rules[:i], state[d].rules[i+1:]...)
+				b.Updates = append(b.Updates, fib.Update{Op: fib.Delete, Rule: r})
+			} else {
+				r := fib.Rule{
+					ID: nextID, Match: randMatch(),
+					Pri:    int32(1 + rng.Intn(8)),
+					Action: fib.Forward(fib.DeviceID(rng.Intn(nDev + 2))),
+				}
+				nextID++
+				state[d].rules = append(state[d].rules, r)
+				b.Updates = append(b.Updates, fib.Update{Op: fib.Insert, Rule: r})
+			}
+		}
+		upd = append(upd, b)
+	}
+	return init, upd
+}
+
+// TestEquivalenceRandom is the central correctness property (R ∼ M,
+// Theorem 2): after random blocks of mixed inserts/deletes, the inverse
+// model must agree with the forward model on every sampled header, and
+// must equal the independently computed natural transformation and the
+// per-update variant.
+func TestEquivalenceRandom(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		blockTr := NewTransformer(s.E, ps, bdd.True)
+		perUpdTr := NewTransformer(s.E, ps, bdd.True)
+		perUpdTr.PerUpdate = true
+
+		init, upd := randomWorkload(s, rng, 4, 10, 12)
+		for _, tr := range []*Transformer{blockTr, perUpdTr} {
+			if err := tr.ApplyBlock(init); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.ApplyBlock(upd); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Model().Validate(tr.E); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+
+		// Oracle 1: forward-model lookup on every header value.
+		for h := uint64(0); h < 256; h++ {
+			asg := s.Assignment(hs.Header{h})
+			want := blockTr.BehaviorAt(asg)
+			for name, tr := range map[string]*Transformer{"block": blockTr, "per-update": perUpdTr} {
+				vec, ok := tr.Model().Lookup(tr.E, asg)
+				if !ok {
+					t.Fatalf("trial %d: header %#x not covered by %s model", trial, h, name)
+				}
+				got := ps.ToMap(vec)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d %s: header %#x vector %v, want %v", trial, name, h, got, want)
+				}
+				for d, a := range want {
+					if got[d] != a {
+						t.Fatalf("trial %d %s: header %#x dev %d = %v, want %v", trial, name, h, d, got[d], a)
+					}
+				}
+			}
+		}
+
+		// Oracle 2: natural transformation of the final tables yields the
+		// same classes (same vector→predicate map).
+		nat := NaturalTransform(s.E, ps, bdd.True, map[fib.DeviceID]*fib.Table{
+			0: blockTr.Table(0), 1: blockTr.Table(1), 2: blockTr.Table(2), 3: blockTr.Table(3),
+		})
+		if nat.Len() != blockTr.Model().Len() {
+			t.Fatalf("trial %d: natural transform has %d classes, Fast IMT has %d",
+				trial, nat.Len(), blockTr.Model().Len())
+		}
+		for vec, p := range nat.ECs {
+			if blockTr.Model().ECs[vec] != p {
+				t.Fatalf("trial %d: class mismatch vs natural transform", trial)
+			}
+		}
+	}
+}
+
+func TestSubspaceUniverseRestriction(t *testing.T) {
+	s, _, _ := newTestRig()
+	sub := s.Prefix("dst", 0x00, 1) // lower half of the space
+	ps := pat.NewStore()
+	tr := NewTransformer(s.E, ps, sub)
+	d := fib.DeviceID(0)
+	blocks := []fib.Block{{Device: d, Updates: []fib.Update{
+		{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: s.E.And(sub, s.Prefix("dst", 0x10, 4)), Pri: 1, Action: fib.Forward(1)}},
+		{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: sub, Pri: 0, Action: fib.Drop}},
+	}}}
+	if err := tr.ApplyBlock(blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Model().Validate(tr.E); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model().Len() != 2 {
+		t.Fatalf("subspace model has %d classes, want 2", tr.Model().Len())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s, _, tr := newTestRig()
+	d := fib.DeviceID(0)
+	err := tr.ApplyBlock([]fib.Block{{Device: d, Updates: []fib.Update{
+		{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop}},
+		{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: s.Exact("dst", 5), Pri: 2, Action: fib.Forward(1)}},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Blocks != 1 || st.Updates != 2 {
+		t.Errorf("Blocks/Updates = %d/%d, want 1/2", st.Blocks, st.Updates)
+	}
+	if st.Atomic == 0 || st.Aggregated == 0 {
+		t.Error("atomic/aggregated counts not recorded")
+	}
+	if st.Total() <= 0 {
+		t.Error("Total() duration not positive")
+	}
+	tr.ResetStats()
+	if tr.Stats().Blocks != 0 {
+		t.Error("ResetStats did not clear")
+	}
+	if tr.NumRules() != 2 {
+		t.Errorf("NumRules = %d, want 2", tr.NumRules())
+	}
+	if len(tr.Devices()) != 1 || tr.Devices()[0] != d {
+		t.Errorf("Devices = %v", tr.Devices())
+	}
+}
+
+func TestCancelingBlockIsNoOp(t *testing.T) {
+	s, _, tr := newTestRig()
+	d := fib.DeviceID(0)
+	if err := tr.ApplyBlock([]fib.Block{ins(d, fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop})}); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Model().ECs[tr.Store.Set(pat.Empty, d, fib.Drop)]
+	r := fib.Rule{ID: 2, Match: s.Exact("dst", 7), Pri: 5, Action: fib.Forward(3)}
+	err := tr.ApplyBlock([]fib.Block{{Device: d, Updates: []fib.Update{
+		{Op: fib.Insert, Rule: r}, {Op: fib.Delete, Rule: r},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model().Len() != 1 {
+		t.Fatalf("canceling block changed the model: %d classes", tr.Model().Len())
+	}
+	after := tr.Model().ECs[tr.Store.Set(pat.Empty, d, fib.Drop)]
+	if before != after {
+		t.Error("canceling block changed the class predicate")
+	}
+	if tr.NumRules() != 1 {
+		t.Errorf("canceling block changed the table: %d rules", tr.NumRules())
+	}
+}
+
+func TestAggregationReducesOverwrites(t *testing.T) {
+	// A block installing the same flow across many devices must collapse
+	// to a single conflict-free overwrite (Reduce II), and per-device
+	// multi-rule same-action inserts must collapse by action (Reduce I).
+	s, _, tr := newTestRig()
+	for d := fib.DeviceID(0); d < 8; d++ {
+		if err := tr.ApplyBlock([]fib.Block{ins(d, fib.Rule{ID: int64(d) + 1, Match: bdd.True, Pri: 0, Action: fib.Drop})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.ResetStats()
+	flow := s.Prefix("dst", 0x40, 4)
+	var blocks []fib.Block
+	for d := fib.DeviceID(0); d < 8; d++ {
+		blocks = append(blocks, fib.Block{Device: d, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 100 + int64(d), Match: flow, Pri: 5, Action: fib.Forward(d + 1)}},
+		}})
+	}
+	if err := tr.ApplyBlock(blocks); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Atomic != 8 {
+		t.Errorf("Atomic = %d, want 8", st.Atomic)
+	}
+	if st.Aggregated != 1 {
+		t.Errorf("Aggregated = %d, want 1 (Reduce II should merge all devices)", st.Aggregated)
+	}
+	if err := tr.Model().Validate(tr.E); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model().Len() != 2 {
+		t.Errorf("model has %d classes, want 2", tr.Model().Len())
+	}
+}

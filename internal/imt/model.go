@@ -1,0 +1,155 @@
+// Package imt implements the paper's primary contribution: the inverse
+// model (equivalence-class representation of a data plane) and Fast
+// Inverse Model Transformation (Fast IMT), the MR2 block-update algorithm
+// of §3.
+//
+// A Model maps action vectors (interned persistent action trees, package
+// pat) to BDD predicates; the Transformer maintains both the forward model
+// (per-device fib.Tables) and the Model, and turns blocks of native rule
+// updates into conflict-free model overwrites via:
+//
+//	Map      — Algorithm 1: merge each device's update block into its
+//	           sorted table and compute one atomic overwrite per
+//	           expanding rule in O(T+K) predicate operations;
+//	Reduce I — aggregate atomic overwrites by action (disjoin their
+//	           predicates);
+//	Reduce II — aggregate across devices by predicate (merge their
+//	           Δy action deltas);
+//	Apply    — one cross product of the aggregated overwrites with the
+//	           equivalence classes.
+//
+// The Transformer also keeps the per-phase timing breakdown that Figure 11
+// of the paper reports.
+package imt
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/pat"
+)
+
+// Model is the inverse model M = {(p_j, ®y_j)}: a partition of the header
+// space into equivalence classes keyed by their (interned) action vector.
+// Invariants (Definition 6): vectors unique (map keys), predicates
+// mutually exclusive and jointly complementary over the subspace the
+// model covers.
+type Model struct {
+	// ECs maps an action vector to the predicate of the headers that
+	// experience it.
+	ECs map[pat.Ref]bdd.Ref
+	// Universe is the subspace this model covers (bdd.True for the whole
+	// header space; a subspace predicate under input-space partitioning).
+	Universe bdd.Ref
+}
+
+// NewModel returns the inverse model of the empty data plane over the
+// given universe: a single class with the all-zero action vector.
+func NewModel(universe bdd.Ref) *Model {
+	return &Model{ECs: map[pat.Ref]bdd.Ref{pat.Empty: universe}, Universe: universe}
+}
+
+// Len reports the number of equivalence classes.
+func (m *Model) Len() int { return len(m.ECs) }
+
+// Lookup returns the action vector of the class containing the header
+// described by the BDD assignment. It is the behavior function b_M(h)
+// restricted to the model's universe; ok is false if the header lies
+// outside the universe.
+func (m *Model) Lookup(e *bdd.Engine, assignment []bool) (pat.Ref, bool) {
+	for vec, p := range m.ECs {
+		if e.Eval(p, assignment) {
+			return vec, true
+		}
+	}
+	return pat.Empty, false
+}
+
+// Validate checks the inverse-model invariants of Definition 6:
+// predicates pairwise disjoint, their union equal to the universe, and no
+// class empty. Vector uniqueness is structural (map keys).
+func (m *Model) Validate(e *bdd.Engine) error {
+	union := bdd.False
+	preds := make([]bdd.Ref, 0, len(m.ECs))
+	for vec, p := range m.ECs {
+		if p == bdd.False {
+			return fmt.Errorf("imt: empty equivalence class for vector %d", vec)
+		}
+		preds = append(preds, p)
+	}
+	for i, p := range preds {
+		for _, q := range preds[i+1:] {
+			if e.And(p, q) != bdd.False {
+				return fmt.Errorf("imt: equivalence classes overlap")
+			}
+		}
+		union = e.Or(union, p)
+	}
+	if union != m.Universe {
+		return fmt.Errorf("imt: classes do not cover the universe")
+	}
+	return nil
+}
+
+// Overwrite is a conflict-free model overwrite (Δp, Δy): headers in Δp
+// have the non-zero coordinates of Δy written into their action vector,
+// and the devices in Clear have their coordinate erased (action reset to
+// fib.None). Clears arise when a deletion leaves header space with no
+// covering rule at all — a case outside the paper's footnote-4
+// assumption (a permanent default rule) that this implementation handles
+// for robustness.
+type Overwrite struct {
+	Pred  bdd.Ref
+	Delta pat.Ref
+	Clear []fib.DeviceID
+}
+
+// Apply applies a set of conflict-free overwrites to the model (the cross
+// product of §3.2 / Definition 9). Overwrites must be conflict-free: any
+// two with intersecting predicates must not write different actions at the
+// same device. Fast IMT's pipeline guarantees this by construction.
+func (m *Model) Apply(e *bdd.Engine, ps *pat.Store, ows []Overwrite) {
+	for _, w := range ows {
+		if w.Pred == bdd.False || (w.Delta == pat.Empty && len(w.Clear) == 0) {
+			continue
+		}
+		m.applyOne(e, ps, w)
+	}
+}
+
+func (m *Model) applyOne(e *bdd.Engine, ps *pat.Store, w Overwrite) {
+	type move struct {
+		vec   pat.Ref
+		inter bdd.Ref
+		rem   bdd.Ref
+	}
+	var moves []move
+	for vec, p := range m.ECs {
+		inter := e.And(p, w.Pred)
+		if inter == bdd.False {
+			continue
+		}
+		moves = append(moves, move{vec: vec, inter: inter, rem: e.Diff(p, w.Pred)})
+	}
+	// Shrink every source class first, then add the moved space, so that
+	// a class that is both a source and a target is not clobbered.
+	for _, mv := range moves {
+		if mv.rem == bdd.False {
+			delete(m.ECs, mv.vec)
+		} else {
+			m.ECs[mv.vec] = mv.rem
+		}
+	}
+	for _, mv := range moves {
+		nv := ps.Overwrite(mv.vec, w.Delta)
+		for _, dev := range w.Clear {
+			nv = ps.Set(nv, dev, fib.None)
+		}
+		if old, ok := m.ECs[nv]; ok {
+			m.ECs[nv] = e.Or(old, mv.inter)
+		} else {
+			m.ECs[nv] = mv.inter
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package imt
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/pat"
+)
+
+// NaturalTransform computes the inverse model of a set of forwarding
+// tables by direct transformation (Definition 12, the approach of the
+// atomic-predicates work [21]): per device, compute each action's
+// pre-image from effective predicates (Equations 1–2), then fold the
+// per-device models together with the model overwrite operator.
+//
+// It is O(N·T) predicate operations and exists as the independently-coded
+// correctness oracle for Fast IMT (Theorem 1 says the two must agree), and
+// as the "global AP" special case the paper generalizes.
+func NaturalTransform(e *bdd.Engine, store *pat.Store, universe bdd.Ref, tables map[fib.DeviceID]*fib.Table) *Model {
+	m := NewModel(universe)
+	for dev, tb := range tables {
+		rules := tb.Rules()
+		eff := tb.EffectivePredicates(e)
+		// Φ_i: pre-image of each action value on this device.
+		pre := make(map[fib.Action]bdd.Ref)
+		for k, r := range rules {
+			if r.Action == fib.None {
+				continue
+			}
+			if p, ok := pre[r.Action]; ok {
+				pre[r.Action] = e.Or(p, eff[k])
+			} else {
+				pre[r.Action] = eff[k]
+			}
+		}
+		ows := make([]Overwrite, 0, len(pre))
+		for a, p := range pre {
+			ows = append(ows, Overwrite{Pred: p, Delta: store.Set(pat.Empty, dev, a)})
+		}
+		m.Apply(e, store, ows)
+	}
+	return m
+}

@@ -1,0 +1,105 @@
+package imt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/pat"
+)
+
+// TestQuickModelInvariants drives quick-generated update blocks through
+// the transformer and asserts the Definition 6 invariants plus forward/
+// inverse agreement on sampled headers after every block.
+func TestQuickModelInvariants(t *testing.T) {
+	type qRule struct {
+		Dev  uint8
+		Val  uint8
+		PLen uint8
+		Pri  uint8
+		Act  uint8
+	}
+	check := func(batches [][]qRule) bool {
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		tr := NewTransformer(s.E, ps, bdd.True)
+		// Defaults.
+		for d := fib.DeviceID(0); d < 4; d++ {
+			blk := []fib.Block{{Device: d, Updates: []fib.Update{
+				{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: bdd.True, Pri: -1, Action: fib.Drop}},
+			}}}
+			if err := tr.ApplyBlock(blk); err != nil {
+				return false
+			}
+		}
+		nextID := int64(10)
+		for _, batch := range batches {
+			if len(batch) > 12 {
+				batch = batch[:12]
+			}
+			byDev := map[fib.DeviceID][]fib.Update{}
+			for _, q := range batch {
+				dev := fib.DeviceID(q.Dev % 4)
+				r := fib.Rule{
+					ID:     nextID,
+					Match:  s.Prefix("dst", uint64(q.Val), int(q.PLen%9)),
+					Pri:    int32(q.Pri%7) + 1,
+					Action: fib.Forward(fib.DeviceID(q.Act % 6)),
+				}
+				nextID++
+				byDev[dev] = append(byDev[dev], fib.Update{Op: fib.Insert, Rule: r})
+			}
+			var blocks []fib.Block
+			for d, ups := range byDev {
+				blocks = append(blocks, fib.Block{Device: d, Updates: ups})
+			}
+			if err := tr.ApplyBlock(blocks); err != nil {
+				return false
+			}
+			if err := tr.Model().Validate(s.E); err != nil {
+				return false
+			}
+			// Spot-check forward/inverse agreement.
+			for h := uint64(0); h < 256; h += 37 {
+				asg := s.Assignment(hs.Header{h})
+				vec, ok := tr.Model().Lookup(s.E, asg)
+				if !ok {
+					return false
+				}
+				for d := fib.DeviceID(0); d < 4; d++ {
+					if ps.Get(vec, d) != tr.Table(d).Lookup(s.E, asg) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverwriteIdempotence: applying the same conflict-free
+// overwrite twice equals applying it once (the cross product is
+// idempotent on fixed Δ).
+func TestQuickOverwriteIdempotence(t *testing.T) {
+	check := func(val, plenRaw, dev, act uint8) bool {
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		ps := pat.NewStore()
+		m := NewModel(bdd.True)
+		w := Overwrite{
+			Pred:  s.Prefix("dst", uint64(val), int(plenRaw%9)),
+			Delta: ps.Set(pat.Empty, fib.DeviceID(dev%4), fib.Forward(fib.DeviceID(act%4))),
+		}
+		m.Apply(s.E, ps, []Overwrite{w})
+		once := cloneModel(m)
+		m.Apply(s.E, ps, []Overwrite{w})
+		return modelsEqual(once, m)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

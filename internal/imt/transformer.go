@@ -1,0 +1,355 @@
+package imt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/pat"
+)
+
+// Stats accumulates the Transformer's cost breakdown, matching the three
+// phases of Figure 11: computing atomic overwrites (Map), overwrite
+// aggregation (Reduce I/II), and applying overwrites (cross product).
+type Stats struct {
+	MapTime    time.Duration // merge + atomic-overwrite computation
+	ReduceTime time.Duration // Reduce I and Reduce II
+	ApplyTime  time.Duration // cross product with the model
+	Blocks     int           // update blocks processed
+	Updates    int           // native rule updates processed
+	Atomic     int           // atomic overwrites produced by Map
+	Aggregated int           // conflict-free overwrites after Reduce II
+}
+
+// Total is the total model-update time.
+func (s Stats) Total() time.Duration { return s.MapTime + s.ReduceTime + s.ApplyTime }
+
+// Transformer maintains a forward model (per-device rule tables), its
+// equivalent inverse model, and applies native update blocks using Fast
+// IMT. It is the paper's "model manager". A Transformer is not safe for
+// concurrent use; Flash runs one per subspace verifier.
+//
+// As in the paper (footnote 4), every device table is expected to carry a
+// permanent lowest-priority default (wildcard) rule before other rules
+// are deleted: Algorithm 1 attributes space freed by a deletion to the
+// lower-priority rules that now match it, so a deletion with no
+// lower-priority coverage would leave the freed space's action stale.
+type Transformer struct {
+	E     *bdd.Engine
+	Store *pat.Store
+
+	tables map[fib.DeviceID]*fib.Table
+	model  *Model
+	stats  Stats
+
+	// PerUpdate forces block size 1 internally (the "Flash (per-update
+	// mode)" variant of Figure 11): every native update becomes its own
+	// block, so aggregation never kicks in.
+	PerUpdate bool
+}
+
+// NewTransformer creates a Transformer over the given engine with an
+// inverse model covering universe (bdd.True for unpartitioned operation).
+func NewTransformer(e *bdd.Engine, store *pat.Store, universe bdd.Ref) *Transformer {
+	return &Transformer{
+		E:      e,
+		Store:  store,
+		tables: make(map[fib.DeviceID]*fib.Table),
+		model:  NewModel(universe),
+	}
+}
+
+// Model returns the current inverse model. Callers must treat it as
+// read-only between ApplyBlock calls.
+func (t *Transformer) Model() *Model { return t.model }
+
+// Stats returns the accumulated cost breakdown.
+func (t *Transformer) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the cost breakdown.
+func (t *Transformer) ResetStats() { t.stats = Stats{} }
+
+// Table returns the device's forwarding table, creating an empty one on
+// first use.
+func (t *Transformer) Table(dev fib.DeviceID) *fib.Table {
+	tb, ok := t.tables[dev]
+	if !ok {
+		tb = fib.NewTable()
+		t.tables[dev] = tb
+	}
+	return tb
+}
+
+// NumRules reports the total number of rules across all device tables.
+func (t *Transformer) NumRules() int {
+	n := 0
+	for _, tb := range t.tables {
+		n += tb.Len()
+	}
+	return n
+}
+
+// atomic is one atomic overwrite (eff, {y_dev = action}) before reduction.
+type atomic struct {
+	eff    bdd.Ref
+	action fib.Action
+}
+
+// ApplyBlock runs the full Fast IMT pipeline (MR2) on a set of per-device
+// update blocks: Map each block to atomic overwrites, Reduce I within each
+// device by action, Reduce II across devices by predicate, then apply the
+// conflict-free overwrites to the inverse model.
+func (t *Transformer) ApplyBlock(blocks []fib.Block) error {
+	if t.PerUpdate {
+		return t.applyPerUpdate(blocks)
+	}
+	t.stats.Blocks++
+
+	// ---- Map: Algorithm 1 per device. ----
+	start := time.Now()
+	type devAtoms struct {
+		dev   fib.DeviceID
+		atoms []atomic
+	}
+	perDev := make([]devAtoms, 0, len(blocks))
+	for _, b := range blocks {
+		t.stats.Updates += len(b.Updates)
+		atoms, err := t.decompose(b.Device, b.Updates)
+		if err != nil {
+			return fmt.Errorf("imt: device %d: %w", b.Device, err)
+		}
+		t.stats.Atomic += len(atoms)
+		if len(atoms) > 0 {
+			perDev = append(perDev, devAtoms{b.Device, atoms})
+		}
+	}
+	t.stats.MapTime += time.Since(start)
+
+	// ---- Reduce I: per device, aggregate by action. ----
+	start = time.Now()
+	type keyed struct {
+		dev    fib.DeviceID
+		action fib.Action
+	}
+	byAction := make(map[keyed]bdd.Ref)
+	var order []keyed // deterministic iteration
+	for _, da := range perDev {
+		for _, a := range da.atoms {
+			k := keyed{da.dev, a.action}
+			if p, ok := byAction[k]; ok {
+				byAction[k] = t.E.Or(p, a.eff)
+			} else {
+				byAction[k] = a.eff
+				order = append(order, k)
+			}
+		}
+	}
+
+	// ---- Reduce II: across devices, aggregate by predicate. ----
+	type merged struct {
+		delta pat.Ref
+		clear []fib.DeviceID
+	}
+	byPred := make(map[bdd.Ref]*merged)
+	var predOrder []bdd.Ref
+	for _, k := range order {
+		p := byAction[k]
+		m, ok := byPred[p]
+		if !ok {
+			m = &merged{}
+			byPred[p] = m
+			predOrder = append(predOrder, p)
+		}
+		if k.action == fib.None {
+			m.clear = append(m.clear, k.dev)
+		} else {
+			m.delta = t.Store.Set(m.delta, k.dev, k.action)
+		}
+	}
+	ows := make([]Overwrite, 0, len(predOrder))
+	for _, p := range predOrder {
+		ows = append(ows, Overwrite{Pred: p, Delta: byPred[p].delta, Clear: byPred[p].clear})
+	}
+	t.stats.Aggregated += len(ows)
+	t.stats.ReduceTime += time.Since(start)
+
+	// ---- Apply: cross product with the model. ----
+	start = time.Now()
+	t.model.Apply(t.E, t.Store, ows)
+	t.stats.ApplyTime += time.Since(start)
+	return nil
+}
+
+// applyPerUpdate processes every native update as its own single-rule
+// block, bypassing aggregation (Figure 11's per-update mode).
+func (t *Transformer) applyPerUpdate(blocks []fib.Block) error {
+	t.stats.Blocks++
+	for _, b := range blocks {
+		for _, u := range b.Updates {
+			t.stats.Updates++
+			start := time.Now()
+			atoms, err := t.decompose(b.Device, []fib.Update{u})
+			if err != nil {
+				return fmt.Errorf("imt: device %d: %w", b.Device, err)
+			}
+			t.stats.Atomic += len(atoms)
+			t.stats.MapTime += time.Since(start)
+
+			start = time.Now()
+			ows := make([]Overwrite, 0, len(atoms))
+			for _, a := range atoms {
+				if a.action == fib.None {
+					ows = append(ows, Overwrite{Pred: a.eff, Clear: []fib.DeviceID{b.Device}})
+				} else {
+					ows = append(ows, Overwrite{Pred: a.eff, Delta: t.Store.Set(pat.Empty, b.Device, a.action)})
+				}
+			}
+			t.stats.Aggregated += len(ows)
+			t.model.Apply(t.E, t.Store, ows)
+			t.stats.ApplyTime += time.Since(start)
+		}
+	}
+	return nil
+}
+
+// decompose implements Algorithm 1: it merges the device's native update
+// block into its sorted table (mutating the stored table to the final
+// state R') and returns the atomic overwrites equivalent to the block.
+func (t *Transformer) decompose(dev fib.DeviceID, updates []fib.Update) ([]atomic, error) {
+	if len(updates) == 0 {
+		return nil, nil
+	}
+	table := t.Table(dev)
+
+	// L1-2: remove canceling updates, sort by priority (descending).
+	ups := fib.RemoveCanceling(updates)
+	fib.SortByPriority(ups)
+
+	// L3: merge block and collect potentially-expanding rules.
+	diff, hadDeletes, err := mergeBlockAndDiff(table, ups)
+	if err != nil {
+		return nil, err
+	}
+
+	// L5: compute atomic overwrites for the expanding rules.
+	atoms := t.calculateAtomicOverwrites(table, diff)
+
+	// Deletions can free header space no remaining rule covers (the
+	// workloads that drain tables completely, e.g. insert-then-delete
+	// storms, exercise this). Emit a clear overwrite for it; with the
+	// paper's permanent default rule this disjunction short-circuits to
+	// True immediately and the clear is empty.
+	if hadDeletes {
+		cover := bdd.False
+		for _, r := range table.Rules() {
+			cover = t.E.Or(cover, r.Match)
+			if cover == bdd.True {
+				break
+			}
+		}
+		if uncovered := t.E.Not(cover); uncovered != bdd.False {
+			atoms = append(atoms, atomic{eff: uncovered, action: fib.None})
+		}
+	}
+	return atoms, nil
+}
+
+// mergeBlockAndDiff is Algorithm 1's MergeBlockAndDiff: a single merge of
+// the sorted update block into the sorted table. It returns Rdiff, the
+// expanding rules (new rules, plus any rule over which a higher-priority
+// rule was deleted), sorted by descending priority. O(K lg K + T) simple
+// operations.
+func mergeBlockAndDiff(table *fib.Table, ups []fib.Update) ([]fib.Rule, bool, error) {
+	old := table.Rules()
+	merged := make([]fib.Rule, 0, len(old)+len(ups))
+	var diff []fib.Rule
+	higherDeleted := false
+
+	i, j := 0, 0
+	for j < len(ups) {
+		u := ups[j]
+		// Does the update's position come after the current rule?
+		if i < len(old) && old[i].Less(u.Rule) {
+			if higherDeleted {
+				diff = append(diff, old[i]) // r may expand
+			}
+			merged = append(merged, old[i])
+			i++
+			continue
+		}
+		switch u.Op {
+		case fib.Insert:
+			if i < len(old) && old[i].ID == u.Rule.ID && old[i].Pri == u.Rule.Pri {
+				return nil, false, fmt.Errorf("insert of existing rule %d (pri %d)", u.Rule.ID, u.Rule.Pri)
+			}
+			merged = append(merged, u.Rule)
+			diff = append(diff, u.Rule) // new rules expand
+		case fib.Delete:
+			if i >= len(old) || old[i].ID != u.Rule.ID || old[i].Pri != u.Rule.Pri {
+				return nil, false, fmt.Errorf("delete of missing rule %d (pri %d)", u.Rule.ID, u.Rule.Pri)
+			}
+			i++ // drop old[i]
+			higherDeleted = true
+		}
+		j++
+	}
+	for ; i < len(old); i++ {
+		if higherDeleted {
+			diff = append(diff, old[i])
+		}
+		merged = append(merged, old[i])
+	}
+	table.ReplaceAll(merged)
+	return diff, higherDeleted, nil
+}
+
+// calculateAtomicOverwrites is Algorithm 1's CalculateAtomicOverwrite:
+// one joint sweep of the sorted final table R' and the sorted diff list,
+// computing each expanding rule's effective predicate with an accumulated
+// higher-priority union. O(T + K) predicate operations.
+func (t *Transformer) calculateAtomicOverwrites(table *fib.Table, diff []fib.Rule) []atomic {
+	if len(diff) == 0 {
+		return nil
+	}
+	rules := table.Rules()
+	out := make([]atomic, 0, len(diff))
+	p := bdd.False // union of matches with strictly higher table order
+	i := 0
+	for _, rd := range diff {
+		for i < len(rules) && rules[i].Less(rd) {
+			p = t.E.Or(p, rules[i].Match)
+			i++
+		}
+		// rules[i] is rd itself (every diff rule is in R').
+		eff := t.E.Diff(rd.Match, p)
+		if eff != bdd.False {
+			out = append(out, atomic{eff: eff, action: rd.Action})
+		}
+	}
+	return out
+}
+
+// BehaviorAt returns the action vector the forward model assigns to the
+// header encoded by the BDD assignment: the paper's b_R(h). It is the
+// reference oracle the tests compare the inverse model against.
+func (t *Transformer) BehaviorAt(assignment []bool) map[fib.DeviceID]fib.Action {
+	out := make(map[fib.DeviceID]fib.Action, len(t.tables))
+	for dev, tb := range t.tables {
+		if a := tb.Lookup(t.E, assignment); a != fib.None {
+			out[dev] = a
+		}
+	}
+	return out
+}
+
+// Devices returns the device IDs with a (possibly empty) table, sorted.
+func (t *Transformer) Devices() []fib.DeviceID {
+	out := make([]fib.DeviceID, 0, len(t.tables))
+	for d := range t.tables {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

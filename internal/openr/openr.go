@@ -1,0 +1,373 @@
+// Package openr is a deterministic discrete-event simulator of an
+// OpenR-style state-synchronization control plane, the substrate of the
+// paper's CE2D experiments (§5.3). Each node keeps a key-value store of
+// link states; link events bump versions and flood through the network;
+// nodes recompute shortest-path FIBs (optionally after a backoff) and
+// their agents send epoch-tagged FIB diffs to a collector — exactly the
+// role of the paper's patched OpenR agent, with the epoch tag computed as
+// a hash of the key/version store.
+//
+// The simulator substitutes for the paper's Mininet + real OpenR testbed:
+// a virtual clock makes the long-tail experiments (60 s dampening)
+// reproducible in milliseconds, and a "buggy" SPF variant reproduces the
+// I2-OpenR/1buggy-loop setting by deliberately installing a next hop that
+// closes a forwarding loop.
+package openr
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/ce2d"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/topo"
+)
+
+// Time is virtual simulation time in microseconds.
+type Time int64
+
+// Msg is an epoch-tagged FIB diff delivered to the collector at a
+// virtual time.
+type Msg struct {
+	At  Time
+	Msg ce2d.Msg
+}
+
+// Options configures a simulation.
+type Options struct {
+	// FloodDelay is the per-hop key-value propagation delay.
+	FloodDelay Time
+	// SpfDelay is the time a node takes to recompute its FIB after its
+	// store changes.
+	SpfDelay Time
+	// SpfBackoff optionally overrides SpfDelay per node — the "init/max
+	// 60s FIB computation backoff" of the long-tail settings dampens a
+	// node's recomputation itself, not just its report.
+	SpfBackoff func(topo.NodeID) Time
+	// SendDelay returns the extra agent→collector delay for a node; the
+	// long-tail experiments dampen selected nodes here (e.g. 60 s).
+	SendDelay func(topo.NodeID) Time
+	// Buggy marks nodes whose SPF installs loop-inducing next hops (the
+	// 1buggy setting).
+	Buggy map[topo.NodeID]bool
+	// BuggyAfter delays the buggy behavior until the given virtual time,
+	// so the bootstrap state stays correct and the bug manifests in the
+	// re-converged state (as in the paper's buggy-software runs).
+	BuggyAfter Time
+}
+
+// DefaultOptions mirror a LAN-scale control plane: 1 ms flooding per hop
+// and 5 ms SPF.
+func DefaultOptions() Options {
+	return Options{FloodDelay: 1000, SpfDelay: 5000}
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	g     *topo.Graph
+	space *hs.Space
+	opts  Options
+
+	// owners lists the prefix owners; owner i gets prefix i of len(owners).
+	owners []topo.NodeID
+
+	now    Time
+	queue  eventQueue
+	seq    int64 // tie-break for deterministic event ordering
+	nodes  []*simNode
+	out    []Msg
+	nextID int64
+	// truth is the authoritative link-state version counter, advanced at
+	// event-scheduling time so repeated events on one link are ordered.
+	truth map[string]uint64
+}
+
+type simNode struct {
+	id topo.NodeID
+	// kv is the link-state store: "link:a-b" → version (even = up,
+	// odd = down, halved = event count).
+	kv map[string]uint64
+	// installed maps owner index → currently installed rule.
+	installed map[int]fib.Rule
+	// spfAt is the scheduled SPF completion time (0 = none pending).
+	spfAt Time
+}
+
+type event struct {
+	at   Time
+	seq  int64
+	kind eventKind
+	// flood
+	from, to topo.NodeID
+	key      string
+	val      uint64
+	// spf
+	node topo.NodeID
+}
+
+type eventKind uint8
+
+const (
+	evFlood eventKind = iota
+	evSpf
+)
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// New creates a simulation over the topology. owners are the
+// prefix-owning nodes (one prefix each, partitioning the dst field of
+// space's layout); every node starts with a converged FIB for the
+// initial all-links-up state.
+func New(g *topo.Graph, space *hs.Space, owners []topo.NodeID, opts Options) *Sim {
+	if opts.SendDelay == nil {
+		opts.SendDelay = func(topo.NodeID) Time { return 0 }
+	}
+	s := &Sim{g: g, space: space, opts: opts, owners: owners, nextID: 1, truth: make(map[string]uint64)}
+	for _, n := range g.Nodes() {
+		sn := &simNode{id: n.ID, kv: make(map[string]uint64), installed: make(map[int]fib.Rule)}
+		for _, l := range g.Links() {
+			sn.kv[linkKey(l[0], l[1])] = 0 // version 0, up
+		}
+		s.nodes = append(s.nodes, sn)
+	}
+	// Bootstrap: every node computes and sends its initial FIB at t=0.
+	for _, sn := range s.nodes {
+		s.runSPF(sn)
+	}
+	return s
+}
+
+func linkKey(a, b topo.NodeID) string {
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("link:%d-%d", a, b)
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Messages drains the collected agent messages, ordered by delivery time.
+func (s *Sim) Messages() []Msg {
+	out := s.out
+	s.out = nil
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// FailLink schedules a link failure at the given virtual time; both
+// endpoints observe it and start flooding.
+func (s *Sim) FailLink(at Time, a, b topo.NodeID) { s.linkEvent(at, a, b, false) }
+
+// RestoreLink schedules a link recovery.
+func (s *Sim) RestoreLink(at Time, a, b topo.NodeID) { s.linkEvent(at, a, b, true) }
+
+func (s *Sim) linkEvent(at Time, a, b topo.NodeID, up bool) {
+	key := linkKey(a, b)
+	val := s.bumpTarget(key, up)
+	for _, end := range []topo.NodeID{a, b} {
+		s.push(&event{at: at, kind: evFlood, from: end, to: end, key: key, val: val})
+	}
+}
+
+// bumpTarget computes the next version value for a link transition from
+// the authoritative counter (not any node's possibly-stale view). The
+// value encodes up/down in the low bit (even = up).
+func (s *Sim) bumpTarget(key string, up bool) uint64 {
+	next := s.truth[key] + 1
+	if (next%2 == 0) != up {
+		next++
+	}
+	s.truth[key] = next
+	return next
+}
+
+// Run processes events until the queue is empty or the horizon is
+// reached, collecting agent messages.
+func (s *Sim) Run(horizon Time) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.at > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.at
+		switch e.kind {
+		case evFlood:
+			s.handleFlood(e)
+		case evSpf:
+			s.handleSpf(e)
+		}
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+func (s *Sim) handleFlood(e *event) {
+	sn := s.nodes[e.to]
+	if sn.kv[e.key] >= e.val {
+		return // stale
+	}
+	sn.kv[e.key] = e.val
+	// Re-flood to neighbors over links this node believes are up (a
+	// failed link cannot carry sync messages).
+	for _, nb := range s.g.Neighbors(sn.id) {
+		if nb == e.from {
+			continue
+		}
+		if sn.kv[linkKey(sn.id, nb)]%2 == 1 {
+			continue
+		}
+		s.push(&event{at: s.now + s.opts.FloodDelay, kind: evFlood, from: sn.id, to: nb, key: e.key, val: e.val})
+	}
+	// Schedule (or keep) an SPF run.
+	if sn.spfAt == 0 || sn.spfAt <= s.now {
+		delay := s.opts.SpfDelay
+		if s.opts.SpfBackoff != nil {
+			if d := s.opts.SpfBackoff(sn.id); d > 0 {
+				delay = d
+			}
+		}
+		sn.spfAt = s.now + delay
+		s.push(&event{at: sn.spfAt, kind: evSpf, node: sn.id})
+	}
+}
+
+func (s *Sim) handleSpf(e *event) {
+	sn := s.nodes[e.node]
+	if sn.spfAt != s.now {
+		return // superseded by a later schedule
+	}
+	sn.spfAt = 0
+	s.runSPF(sn)
+}
+
+// upGraph builds the topology as node view sees it.
+func (s *Sim) upGraph(sn *simNode) *topo.Graph {
+	g := s.g.Clone()
+	for key, val := range sn.kv {
+		if val%2 == 1 { // down
+			var a, b int
+			fmt.Sscanf(key, "link:%d-%d", &a, &b)
+			g.RemoveLink(topo.NodeID(a), topo.NodeID(b))
+		}
+	}
+	return g
+}
+
+// runSPF recomputes the node's FIB from its current store, emits the diff
+// as an epoch-tagged message, and schedules delivery.
+func (s *Sim) runSPF(sn *simNode) {
+	view := s.upGraph(sn)
+	epoch := ce2d.EpochOf(sn.kv)
+	width := s.space.Layout.FieldBits("dst")
+
+	var updates []fib.Update
+	for i, owner := range s.owners {
+		var want fib.Action
+		switch {
+		case owner == sn.id:
+			want = fib.Forward(topo.NodeID(s.g.N()) + owner) // deliver
+		default:
+			nh := s.nextHop(view, sn.id, owner)
+			if nh < 0 {
+				want = fib.Drop
+			} else {
+				want = fib.Forward(nh)
+			}
+		}
+		old, ok := sn.installed[i]
+		if ok && old.Action == want {
+			continue
+		}
+		if ok {
+			updates = append(updates, fib.Update{Op: fib.Delete, Rule: old})
+		}
+		val, plen := prefixFor(i, len(s.owners), width)
+		desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: val, Len: plen}}
+		r := fib.Rule{
+			ID:     s.nextID,
+			Match:  s.space.Compile(desc),
+			Pri:    int32(plen),
+			Action: want,
+			Desc:   desc,
+		}
+		s.nextID++
+		sn.installed[i] = r
+		updates = append(updates, fib.Update{Op: fib.Insert, Rule: r})
+	}
+	// The agent reports even when the FIB did not change: the new epoch
+	// tag itself is the signal that this node is synchronized with the
+	// new network state.
+	s.out = append(s.out, Msg{
+		At:  s.now + s.opts.SendDelay(sn.id),
+		Msg: ce2d.Msg{Device: sn.id, Epoch: epoch, Updates: updates},
+	})
+}
+
+// nextHop picks the node's next hop toward dst in its view, or -1 when
+// unreachable. Buggy nodes deliberately pick a neighbor that routes back
+// through them, closing a loop (the 1buggy setting).
+func (s *Sim) nextHop(view *topo.Graph, from, dst topo.NodeID) topo.NodeID {
+	nh := view.NextHopsToward(dst)
+	if s.opts.Buggy[from] && from != dst && s.now >= s.opts.BuggyAfter {
+		// Find a neighbor whose own shortest path to dst goes through
+		// this node: forwarding to it creates a 2-cycle.
+		for _, nb := range view.Neighbors(from) {
+			hops := nh[nb]
+			for _, h := range hops {
+				if h == from {
+					return nb
+				}
+			}
+		}
+	}
+	if len(nh[from]) == 0 {
+		return -1
+	}
+	return nh[from][0]
+}
+
+// prefixFor mirrors workload.prefixFor: owner i of n gets a fixed-width
+// prefix partition of the dst field.
+func prefixFor(i, n, width int) (value uint64, plen int) {
+	plen = 1
+	for 1<<uint(plen) < n {
+		plen++
+	}
+	if plen > width {
+		panic("openr: too many owners for field width")
+	}
+	return uint64(i) << uint(width-plen), plen
+}
+
+// Universe returns the full header space predicate (convenience for
+// building verifiers over the sim's space).
+func (s *Sim) Universe() bdd.Ref { return bdd.True }

@@ -1,0 +1,196 @@
+package openr
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/ce2d"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/topo"
+)
+
+// VectorSim simulates a vector-based control plane (BGP-style, Appendix
+// D.1): there is no flooded global state, so there are no epoch tags.
+// Instead, a route withdrawal propagates hop by hop as announcements;
+// each device that processes an announcement recomputes its FIB and
+// reports the diff together with causal information — what it consumed
+// and how many announcements it emitted — which the ce2d.VectorTracker
+// turns into convergence detection.
+//
+// The model is deliberately small: one prefix, initially reachable via a
+// shortest-path tree toward its origin; withdrawing the origin's
+// adjacency tears routes down along the tree (the classic withdraw
+// wave), each device forwarding the withdraw to its routing children.
+type VectorSim struct {
+	g     *topo.Graph
+	space *hs.Space
+	// origin owns the prefix.
+	origin topo.NodeID
+	// parent is each node's next hop toward the origin (tree edges).
+	parent []topo.NodeID
+	// children inverts parent.
+	children [][]topo.NodeID
+
+	now    Time
+	seq    int64
+	queue  vecQueue
+	out    []VectorMsg
+	nextID int64
+	rules  []fib.Rule // installed route per device
+}
+
+// VectorMsg is one causal FIB report plus its virtual delivery time.
+type VectorMsg struct {
+	At  Time
+	Msg ce2d.CausalMsg
+}
+
+type vecEvent struct {
+	at   Time
+	seq  int64
+	node topo.NodeID
+}
+
+type vecQueue []*vecEvent
+
+func (q vecQueue) Len() int { return len(q) }
+func (q vecQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q vecQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *vecQueue) Push(x interface{}) { *q = append(*q, x.(*vecEvent)) }
+func (q *vecQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NewVectorSim builds the converged initial state: every node routes the
+// origin's prefix along a shortest-path tree. The initial FIB reports are
+// emitted immediately (with no causal event — they model steady state and
+// carry event "" which callers feed straight to their model).
+func NewVectorSim(g *topo.Graph, space *hs.Space, origin topo.NodeID) *VectorSim {
+	s := &VectorSim{g: g, space: space, origin: origin, nextID: 1}
+	nh := g.NextHopsToward(origin)
+	s.parent = make([]topo.NodeID, g.N())
+	s.children = make([][]topo.NodeID, g.N())
+	s.rules = make([]fib.Rule, g.N())
+	for _, n := range g.Nodes() {
+		d := n.ID
+		if d == origin {
+			s.parent[d] = -1
+			continue
+		}
+		if len(nh[d]) == 0 {
+			s.parent[d] = -1
+			continue
+		}
+		s.parent[d] = nh[d][0]
+		s.children[nh[d][0]] = append(s.children[nh[d][0]], d)
+	}
+	// Install initial routes.
+	match := space.Prefix("dst", 0, 0) // whole space = the one prefix
+	for _, n := range g.Nodes() {
+		d := n.ID
+		var act fib.Action
+		switch {
+		case d == origin:
+			act = fib.Forward(topo.NodeID(g.N())) // delivers
+		case s.parent[d] >= 0:
+			act = fib.Forward(s.parent[d])
+		default:
+			act = fib.Drop
+		}
+		r := fib.Rule{ID: s.nextID, Match: match, Pri: 0, Action: act,
+			Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Len: 0}}}
+		s.nextID++
+		s.rules[d] = r
+	}
+	return s
+}
+
+// InitialReports returns every device's steady-state FIB as causal-free
+// messages (Event "").
+func (s *VectorSim) InitialReports() []VectorMsg {
+	out := make([]VectorMsg, 0, s.g.N())
+	for _, n := range s.g.Nodes() {
+		out = append(out, VectorMsg{At: 0, Msg: ce2d.CausalMsg{
+			Device:  n.ID,
+			Updates: []fib.Update{{Op: fib.Insert, Rule: s.rules[n.ID]}},
+		}})
+	}
+	return out
+}
+
+// Withdraw starts the withdraw wave at the origin at the given time and
+// runs it to completion with the given per-hop delay. It returns the
+// event name and the initial announcement count (always 1: the withdraw
+// event itself, delivered to the origin) — the ce2d.VectorTracker's
+// Start arguments. The per-report accounting telescopes: the balance
+// starts at 1 and each report adds (#children − 1), reaching zero
+// exactly when the last leaf of the routing tree reports.
+func (s *VectorSim) Withdraw(at Time, perHop Time) (event string, initial int) {
+	event = fmt.Sprintf("withdraw@%d", at)
+	roots := s.children[s.origin]
+	s.now = at
+	// The origin consumes the withdraw itself and announces to its
+	// routing children.
+	s.emit(event, s.origin, at, 1, len(roots))
+	for _, c := range roots {
+		s.push(&vecEvent{at: at + perHop, node: c})
+	}
+	// Drain the wave.
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		heap.Pop(&s.queue)
+		s.now = e.at
+		kids := s.children[e.node]
+		s.emit(event, e.node, e.at, 1, len(kids))
+		for _, c := range kids {
+			s.push(&vecEvent{at: e.at + perHop, node: c})
+		}
+	}
+	return event, 1
+}
+
+// emit records a device's FIB diff for the withdraw: its route flips to
+// drop.
+func (s *VectorSim) emit(event string, dev topo.NodeID, at Time, consumed, emitted int) {
+	old := s.rules[dev]
+	nr := old
+	nr.ID = s.nextID
+	s.nextID++
+	nr.Action = fib.Drop
+	s.rules[dev] = nr
+	s.out = append(s.out, VectorMsg{At: at, Msg: ce2d.CausalMsg{
+		Device:   dev,
+		Event:    event,
+		Consumed: consumed,
+		Emitted:  emitted,
+		Updates: []fib.Update{
+			{Op: fib.Delete, Rule: old},
+			{Op: fib.Insert, Rule: nr},
+		},
+	}})
+}
+
+func (s *VectorSim) push(e *vecEvent) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// Messages drains the causal reports in delivery order.
+func (s *VectorSim) Messages() []VectorMsg {
+	out := s.out
+	s.out = nil
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,107 @@
+package openr
+
+import (
+	"testing"
+
+	"repro/internal/ce2d"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/topo"
+)
+
+func TestVectorSimInitialState(t *testing.T) {
+	g := topo.Internet2()
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+	origin := g.MustByName("newy")
+	s := NewVectorSim(g, space, origin)
+	reports := s.InitialReports()
+	if len(reports) != g.N() {
+		t.Fatalf("initial reports = %d, want %d", len(reports), g.N())
+	}
+	// Walking any node's route chain reaches the origin's delivery.
+	next := make(map[fib.DeviceID]fib.Action)
+	for _, r := range reports {
+		next[r.Msg.Device] = r.Msg.Updates[0].Rule.Action
+	}
+	for _, n := range g.Nodes() {
+		cur := n.ID
+		for hops := 0; ; hops++ {
+			if hops > g.N() {
+				t.Fatalf("route loop from %d", n.ID)
+			}
+			nh, ok := next[cur].NextHop()
+			if !ok {
+				t.Fatalf("node %d dropped in steady state", cur)
+			}
+			if nh >= topo.NodeID(g.N()) {
+				if cur != origin {
+					t.Fatalf("delivery at %d, want origin %d", cur, origin)
+				}
+				break
+			}
+			cur = nh
+		}
+	}
+}
+
+// TestVectorWithdrawConvergence runs the Appendix D.1 pipeline: the
+// withdraw wave's causal reports drive the VectorTracker, which must
+// declare convergence exactly at the final report, never earlier.
+func TestVectorWithdrawConvergence(t *testing.T) {
+	g := topo.Internet2()
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+	origin := g.MustByName("newy")
+	s := NewVectorSim(g, space, origin)
+	s.InitialReports()
+
+	event, initial := s.Withdraw(1000, 500)
+	msgs := s.Messages()
+	if len(msgs) != g.N() {
+		t.Fatalf("withdraw produced %d reports, want %d (tree spans all)", len(msgs), g.N())
+	}
+
+	vt := ce2d.NewVectorTracker()
+	vt.Start(event, initial)
+	for i, m := range msgs {
+		conv, err := vt.Observe(m.Msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := i == len(msgs)-1
+		if conv != last {
+			t.Fatalf("report %d/%d: converged=%v", i+1, len(msgs), conv)
+		}
+	}
+	if vt.Participants(event) != g.N() {
+		t.Fatalf("participants = %d", vt.Participants(event))
+	}
+	// After the withdraw, every device's route is a drop.
+	for _, m := range msgs {
+		ins := m.Msg.Updates[1]
+		if ins.Op != fib.Insert || ins.Rule.Action != fib.Drop {
+			t.Fatalf("device %d post-withdraw rule %v", m.Msg.Device, ins.Rule.Action)
+		}
+	}
+}
+
+func TestVectorWithdrawTiming(t *testing.T) {
+	// Reports arrive in tree-depth order: the origin first, leaves last.
+	g := topo.Internet2()
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+	origin := g.MustByName("seat")
+	s := NewVectorSim(g, space, origin)
+	s.InitialReports()
+	s.Withdraw(0, 1000)
+	msgs := s.Messages()
+	if msgs[0].Msg.Device != origin || msgs[0].At != 0 {
+		t.Fatalf("first report %+v, want origin at t=0", msgs[0])
+	}
+	dist := g.DistancesFrom(origin)
+	for _, m := range msgs {
+		want := Time(dist[m.Msg.Device]) * 1000
+		if m.At < want {
+			t.Fatalf("device %d reported at %d, before its hop distance %d",
+				m.Msg.Device, m.At, want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package pat
+
+import (
+	"testing"
+
+	"repro/internal/fib"
+)
+
+// The §5.4 PAT ablation: the paper argues a persistent action tree makes
+// a single overwrite O(‖Δy‖·lg‖y‖) instead of the O(‖y‖) a copied array
+// pays. BenchmarkSetLargeVector (pat_test.go) measures the PAT path;
+// this baseline measures the naive copy-the-whole-vector alternative the
+// paper's §3.4 rules out. Compare ns/op between the two.
+
+// copyVector is the naive dense representation: every overwrite copies
+// the full vector.
+type copyVector []fib.Action
+
+func (v copyVector) set(k fib.DeviceID, a fib.Action) copyVector {
+	out := make(copyVector, len(v))
+	copy(out, v)
+	out[k] = a
+	return out
+}
+
+func BenchmarkCopyVectorBaseline(b *testing.B) {
+	v := make(copyVector, 4096)
+	for i := range v {
+		v[i] = fib.Drop
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.set(fib.DeviceID(i%4096), fib.Forward(fib.DeviceID(i%7)))
+	}
+}
+
+// TestCopyVectorSemantics keeps the baseline honest: both stores agree.
+func TestCopyVectorSemantics(t *testing.T) {
+	s := NewStore()
+	pv := Empty
+	cv := make(copyVector, 64)
+	for i := 0; i < 200; i++ {
+		k := fib.DeviceID(i * 7 % 64)
+		a := fib.Forward(fib.DeviceID(i % 5))
+		pv = s.Set(pv, k, a)
+		cv = cv.set(k, a)
+	}
+	for k := fib.DeviceID(0); k < 64; k++ {
+		want := cv[k]
+		got := s.Get(pv, k)
+		if want == 0 && got == fib.None {
+			continue
+		}
+		if got != want {
+			t.Fatalf("key %d: pat %v, copy %v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package pat implements the persistent action tree (PAT) of §3.4.
+//
+// An inverse-model equivalence class carries an N-dimension action vector
+// ®y; overwriting a few elements of a large vector must not copy the whole
+// vector. A PAT is a persistent balanced search tree from device ID to
+// action: Set copies only the O(lg n) path from root to the changed node,
+// so a single overwrite costs O(‖Δy‖≠0 · lg ‖y‖≠0) as the paper states.
+//
+// Two further properties matter to Fast IMT and are provided here beyond
+// the paper's description of a plain persistent tree:
+//
+//   - Canonical shape: the tree is a treap whose heap priorities are a
+//     deterministic hash of the key, so the shape depends only on the key
+//     set, never on insertion order.
+//   - Hash consing: nodes are interned in the owning Store, so two action
+//     vectors are equal if and only if their Refs are equal. The inverse
+//     model keys its equivalence classes by PAT Ref, making the
+//     "uniqueness of output vectors" check (Definition 6) an O(1) map
+//     lookup.
+//
+// Absent keys mean "no action" (fib.None); Set with fib.None removes the
+// key, keeping vectors canonical.
+package pat
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+)
+
+// Ref references an interned tree in a Store. The zero value Empty is the
+// empty vector ®0.
+type Ref int32
+
+// Empty is the all-zero action vector.
+const Empty Ref = 0
+
+type node struct {
+	key         fib.DeviceID
+	val         fib.Action
+	left, right Ref
+}
+
+type nodeKey struct {
+	key         fib.DeviceID
+	val         fib.Action
+	left, right Ref
+}
+
+// Store owns a universe of interned PAT nodes. Stores are not safe for
+// concurrent use; each subspace verifier owns one.
+type Store struct {
+	nodes  []node
+	unique map[nodeKey]Ref
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store {
+	s := &Store{
+		nodes:  make([]node, 1, 256), // slot 0 = Empty sentinel
+		unique: make(map[nodeKey]Ref, 256),
+	}
+	return s
+}
+
+// NumNodes reports the number of interned nodes (a memory proxy).
+func (s *Store) NumNodes() int { return len(s.nodes) - 1 }
+
+// prio is the deterministic heap priority of a key (splitmix-style mix).
+func prio(k fib.DeviceID) uint64 {
+	x := uint64(uint32(k)) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (s *Store) mk(k fib.DeviceID, v fib.Action, l, r Ref) Ref {
+	key := nodeKey{k, v, l, r}
+	if ref, ok := s.unique[key]; ok {
+		return ref
+	}
+	ref := Ref(len(s.nodes))
+	s.nodes = append(s.nodes, node{key: k, val: v, left: l, right: r})
+	s.unique[key] = ref
+	return ref
+}
+
+// Get returns the action for device k, or fib.None if unset.
+func (s *Store) Get(t Ref, k fib.DeviceID) fib.Action {
+	for t != Empty {
+		n := s.nodes[t]
+		switch {
+		case k == n.key:
+			return n.val
+		case k < n.key:
+			t = n.left
+		default:
+			t = n.right
+		}
+	}
+	return fib.None
+}
+
+// split partitions t into (keys < k, keys > k); a node with key == k is
+// dropped.
+func (s *Store) split(t Ref, k fib.DeviceID) (lo, hi Ref) {
+	if t == Empty {
+		return Empty, Empty
+	}
+	n := s.nodes[t]
+	switch {
+	case n.key == k:
+		return n.left, n.right
+	case n.key < k:
+		rl, rh := s.split(n.right, k)
+		return s.mk(n.key, n.val, n.left, rl), rh
+	default:
+		ll, lh := s.split(n.left, k)
+		return ll, s.mk(n.key, n.val, lh, n.right)
+	}
+}
+
+// join merges two treaps where every key of l is smaller than every key
+// of r.
+func (s *Store) join(l, r Ref) Ref {
+	if l == Empty {
+		return r
+	}
+	if r == Empty {
+		return l
+	}
+	nl, nr := s.nodes[l], s.nodes[r]
+	if prio(nl.key) > prio(nr.key) {
+		return s.mk(nl.key, nl.val, nl.left, s.join(nl.right, r))
+	}
+	return s.mk(nr.key, nr.val, s.join(l, nr.left), nr.right)
+}
+
+// Set returns the vector equal to t except that device k now carries
+// action v (the overwrite operator ←ᵢ of Definition 2). Setting fib.None
+// removes the entry. t is unchanged (persistence).
+func (s *Store) Set(t Ref, k fib.DeviceID, v fib.Action) Ref {
+	if v == fib.None {
+		return s.remove(t, k)
+	}
+	if t == Empty {
+		return s.mk(k, v, Empty, Empty)
+	}
+	n := s.nodes[t]
+	switch {
+	case k == n.key:
+		if n.val == v {
+			return t
+		}
+		return s.mk(k, v, n.left, n.right)
+	case prio(k) > prio(n.key):
+		lo, hi := s.split(t, k)
+		return s.mk(k, v, lo, hi)
+	case k < n.key:
+		return s.mk(n.key, n.val, s.Set(n.left, k, v), n.right)
+	default:
+		return s.mk(n.key, n.val, n.left, s.Set(n.right, k, v))
+	}
+}
+
+func (s *Store) remove(t Ref, k fib.DeviceID) Ref {
+	if t == Empty {
+		return Empty
+	}
+	n := s.nodes[t]
+	switch {
+	case k == n.key:
+		return s.join(n.left, n.right)
+	case k < n.key:
+		nl := s.remove(n.left, k)
+		if nl == n.left {
+			return t
+		}
+		return s.mk(n.key, n.val, nl, n.right)
+	default:
+		nr := s.remove(n.right, k)
+		if nr == n.right {
+			return t
+		}
+		return s.mk(n.key, n.val, n.left, nr)
+	}
+}
+
+// Overwrite applies vector delta on top of t: t ← delta (Definition 2's
+// ←, where delta's entries win). Cost O(‖delta‖ · lg ‖t‖).
+func (s *Store) Overwrite(t, delta Ref) Ref {
+	out := t
+	s.Walk(delta, func(k fib.DeviceID, v fib.Action) {
+		out = s.Set(out, k, v)
+	})
+	return out
+}
+
+// Walk visits entries in ascending key order.
+func (s *Store) Walk(t Ref, fn func(fib.DeviceID, fib.Action)) {
+	if t == Empty {
+		return
+	}
+	n := s.nodes[t]
+	s.Walk(n.left, fn)
+	fn(n.key, n.val)
+	s.Walk(n.right, fn)
+}
+
+// Len returns the number of non-zero entries ‖y‖≠0.
+func (s *Store) Len(t Ref) int {
+	if t == Empty {
+		return 0
+	}
+	n := s.nodes[t]
+	return 1 + s.Len(n.left) + s.Len(n.right)
+}
+
+// FromMap builds a vector from a map (test/workload convenience).
+func (s *Store) FromMap(m map[fib.DeviceID]fib.Action) Ref {
+	t := Empty
+	for k, v := range m {
+		t = s.Set(t, k, v)
+	}
+	return t
+}
+
+// ToMap materializes a vector into a map.
+func (s *Store) ToMap(t Ref) map[fib.DeviceID]fib.Action {
+	m := make(map[fib.DeviceID]fib.Action)
+	s.Walk(t, func(k fib.DeviceID, v fib.Action) { m[k] = v })
+	return m
+}
+
+// String renders a vector for diagnostics.
+func (s *Store) String(t Ref) string {
+	out := "{"
+	first := true
+	s.Walk(t, func(k fib.DeviceID, v fib.Action) {
+		if !first {
+			out += " "
+		}
+		first = false
+		out += fmt.Sprintf("%d:%s", k, v)
+	})
+	return out + "}"
+}

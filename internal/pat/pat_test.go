@@ -1,0 +1,221 @@
+package pat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fib"
+)
+
+func TestEmpty(t *testing.T) {
+	s := NewStore()
+	if s.Get(Empty, 3) != fib.None {
+		t.Error("Get on Empty should be None")
+	}
+	if s.Len(Empty) != 0 {
+		t.Error("Len(Empty) != 0")
+	}
+	if s.Set(Empty, 1, fib.None) != Empty {
+		t.Error("setting None on Empty should stay Empty")
+	}
+	if s.String(Empty) != "{}" {
+		t.Errorf("String(Empty) = %q", s.String(Empty))
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	s := NewStore()
+	v := s.Set(Empty, 5, fib.Forward(1))
+	v = s.Set(v, 2, fib.Drop)
+	v = s.Set(v, 9, fib.Forward(3))
+	if s.Get(v, 5) != fib.Forward(1) || s.Get(v, 2) != fib.Drop || s.Get(v, 9) != fib.Forward(3) {
+		t.Error("Get returns wrong values")
+	}
+	if s.Get(v, 7) != fib.None {
+		t.Error("absent key should be None")
+	}
+	if s.Len(v) != 3 {
+		t.Errorf("Len = %d, want 3", s.Len(v))
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	s := NewStore()
+	v1 := s.Set(Empty, 1, fib.Forward(1))
+	v2 := s.Set(v1, 1, fib.Forward(2))
+	v3 := s.Set(v1, 2, fib.Forward(3))
+	if s.Get(v1, 1) != fib.Forward(1) {
+		t.Error("older version mutated by Set")
+	}
+	if s.Get(v2, 1) != fib.Forward(2) {
+		t.Error("new version lacks update")
+	}
+	if s.Get(v3, 2) != fib.Forward(3) || s.Get(v3, 1) != fib.Forward(1) {
+		t.Error("fork lost data")
+	}
+}
+
+func TestCanonicalAcrossInsertionOrders(t *testing.T) {
+	s := NewStore()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		entries := make(map[fib.DeviceID]fib.Action, n)
+		for len(entries) < n {
+			entries[fib.DeviceID(rng.Intn(64))] = fib.Forward(fib.DeviceID(rng.Intn(8)))
+		}
+		keys := make([]fib.DeviceID, 0, n)
+		for k := range entries {
+			keys = append(keys, k)
+		}
+		build := func(order []fib.DeviceID) Ref {
+			v := Empty
+			for _, k := range order {
+				v = s.Set(v, k, entries[k])
+			}
+			return v
+		}
+		a := build(keys)
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		b := build(keys)
+		if a != b {
+			t.Fatalf("trial %d: same map, different Refs (%d vs %d)", trial, a, b)
+		}
+	}
+}
+
+func TestSetNoneRemoves(t *testing.T) {
+	s := NewStore()
+	v := s.FromMap(map[fib.DeviceID]fib.Action{1: fib.Drop, 2: fib.Forward(5), 3: fib.Drop})
+	v2 := s.Set(v, 2, fib.None)
+	if s.Get(v2, 2) != fib.None || s.Len(v2) != 2 {
+		t.Error("Set(None) did not remove entry")
+	}
+	// Removing everything returns Empty exactly (canonical).
+	v3 := s.Set(s.Set(v2, 1, fib.None), 3, fib.None)
+	if v3 != Empty {
+		t.Errorf("fully-cleared vector is %d, not Empty", v3)
+	}
+	// Removing an absent key is a no-op returning the same Ref.
+	if s.Set(v, 99, fib.None) != v {
+		t.Error("removing absent key changed Ref")
+	}
+}
+
+func TestSetSameValueIsNoOp(t *testing.T) {
+	s := NewStore()
+	v := s.Set(Empty, 4, fib.Drop)
+	if s.Set(v, 4, fib.Drop) != v {
+		t.Error("idempotent Set should return identical Ref")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := NewStore()
+	base := s.FromMap(map[fib.DeviceID]fib.Action{1: fib.Forward(1), 2: fib.Forward(2), 3: fib.Forward(3)})
+	delta := s.FromMap(map[fib.DeviceID]fib.Action{2: fib.Forward(9), 4: fib.Drop})
+	out := s.Overwrite(base, delta)
+	want := map[fib.DeviceID]fib.Action{1: fib.Forward(1), 2: fib.Forward(9), 3: fib.Forward(3), 4: fib.Drop}
+	got := s.ToMap(out)
+	if len(got) != len(want) {
+		t.Fatalf("Overwrite => %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Overwrite[%d] = %v, want %v", k, got[k], v)
+		}
+	}
+	// ®y ← ®0 = ®y
+	if s.Overwrite(base, Empty) != base {
+		t.Error("overwrite with Empty changed vector")
+	}
+	// ®0 ← delta = delta
+	if s.Overwrite(Empty, delta) != delta {
+		t.Error("overwrite of Empty is not delta")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	s := NewStore()
+	v := Empty
+	for _, k := range []fib.DeviceID{9, 1, 5, 3, 7} {
+		v = s.Set(v, k, fib.Drop)
+	}
+	var keys []fib.DeviceID
+	s.Walk(v, func(k fib.DeviceID, _ fib.Action) { keys = append(keys, k) })
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Walk not in ascending order: %v", keys)
+		}
+	}
+	if len(keys) != 5 {
+		t.Fatalf("Walk visited %d keys, want 5", len(keys))
+	}
+}
+
+// TestQuickMapEquivalence drives random Set sequences and cross-checks
+// against a plain map, including the canonical-equality property.
+func TestQuickMapEquivalence(t *testing.T) {
+	s := NewStore()
+	type op struct {
+		K uint8
+		V uint8
+	}
+	check := func(ops []op) bool {
+		v := Empty
+		m := map[fib.DeviceID]fib.Action{}
+		for _, o := range ops {
+			k := fib.DeviceID(o.K % 32)
+			val := fib.Action(o.V % 5) // includes None (0)
+			v = s.Set(v, k, val)
+			if val == fib.None {
+				delete(m, k)
+			} else {
+				m[k] = val
+			}
+		}
+		if s.Len(v) != len(m) {
+			return false
+		}
+		for k, want := range m {
+			if s.Get(v, k) != want {
+				return false
+			}
+		}
+		// Rebuild from the map in Go's random iteration order: must be
+		// the identical Ref.
+		return s.FromMap(m) == v
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructuralSharing(t *testing.T) {
+	s := NewStore()
+	v := Empty
+	for i := 0; i < 1000; i++ {
+		v = s.Set(v, fib.DeviceID(i), fib.Drop)
+	}
+	before := s.NumNodes()
+	// One overwrite on a 1000-entry vector should add O(lg n) nodes,
+	// not O(n).
+	s.Set(v, 500, fib.Forward(1))
+	added := s.NumNodes() - before
+	if added > 64 {
+		t.Errorf("single Set added %d nodes; persistence is broken", added)
+	}
+}
+
+func BenchmarkSetLargeVector(b *testing.B) {
+	s := NewStore()
+	v := Empty
+	for i := 0; i < 4096; i++ {
+		v = s.Set(v, fib.DeviceID(i), fib.Drop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(v, fib.DeviceID(i%4096), fib.Forward(fib.DeviceID(i%7)))
+	}
+}

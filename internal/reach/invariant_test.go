@@ -1,0 +1,149 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/topo"
+)
+
+// bfsReached recomputes reachability from the initial states over the
+// current (pruned) adjacency — the ground truth the Even–Shiloach-style
+// structure must always match.
+func bfsReached(vg *VGraph) []bool {
+	out := make([]bool, len(vg.nodes))
+	var queue []int32
+	for _, id := range vg.initial {
+		if !out[id] {
+			out[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range vg.out[u] {
+			if !out[v] {
+				out[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return out
+}
+
+// TestDecrementalReachabilityInvariant drives random synchronization
+// sequences and, after every single pruning step, compares the maintained
+// reached set and accept counter against a fresh BFS.
+func TestDecrementalReachabilityInvariant(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(71000 + trial)))
+		n := 5 + rng.Intn(8)
+		g := topo.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a'+i)), topo.RoleSwitch, -1)
+		}
+		for i := 1; i < n; i++ {
+			g.AddLink(topo.NodeID(i), topo.NodeID(rng.Intn(i)))
+		}
+		for e := 0; e < n; e++ {
+			a, b := topo.NodeID(rng.Intn(n)), topo.NodeID(rng.Intn(n))
+			if a != b {
+				g.AddLink(a, b)
+			}
+		}
+		src := topo.NodeID(rng.Intn(n))
+		dst := topo.NodeID(rng.Intn(n))
+		vg := NewVGraph(g, spec.MustParse(g.Node(src).Name+" .* >"),
+			[]topo.NodeID{src}, func(x topo.NodeID) bool { return x == dst })
+
+		checkInvariant := func(step string) {
+			t.Helper()
+			want := bfsReached(vg)
+			acc := 0
+			for i := range want {
+				if vg.reached[i] != want[i] {
+					t.Fatalf("trial %d %s: node %d reached=%v, BFS says %v",
+						trial, step, i, vg.reached[i], want[i])
+				}
+				if want[i] && vg.accept[i] {
+					acc++
+				}
+			}
+			if vg.reachableAcc != acc {
+				t.Fatalf("trial %d %s: reachableAcc=%d, BFS says %d",
+					trial, step, vg.reachableAcc, acc)
+			}
+			// Parent forest consistency: every reached non-initial node's
+			// parent is reached and has an edge to it.
+			for i := range want {
+				if !vg.reached[i] || vg.parent[i] == -1 {
+					continue
+				}
+				p := vg.parent[i]
+				if p == -2 {
+					t.Fatalf("trial %d %s: reached node %d has no parent", trial, step, i)
+				}
+				if !vg.reached[p] {
+					t.Fatalf("trial %d %s: node %d's parent %d unreached", trial, step, i, p)
+				}
+				found := false
+				for _, w := range vg.out[p] {
+					if w == int32(i) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d %s: tree edge %d→%d not in graph", trial, step, p, i)
+				}
+			}
+		}
+		checkInvariant("initial")
+		for _, di := range rng.Perm(n) {
+			dev := topo.NodeID(di)
+			st := SyncState{Delivers: dev == dst && rng.Intn(2) == 0}
+			nbrs := g.Neighbors(dev)
+			if len(nbrs) > 0 && rng.Intn(5) > 0 {
+				st.NextHops = []topo.NodeID{nbrs[rng.Intn(len(nbrs))]}
+			}
+			if err := vg.Synchronize(dev, st); err != nil {
+				t.Fatal(err)
+			}
+			checkInvariant("after sync " + g.Node(dev).Name)
+		}
+	}
+}
+
+// TestCloneInvariantIndependence: mutations on a clone must not disturb
+// the original's decremental structure, and both must stay consistent.
+func TestCloneInvariantIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	g := topo.New()
+	const n = 7
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('a'+i)), topo.RoleSwitch, -1)
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(topo.NodeID(i), topo.NodeID(rng.Intn(i)))
+	}
+	g.AddLink(0, 6)
+	vg := NewVGraph(g, spec.MustParse("a .* >"), []topo.NodeID{0},
+		func(x topo.NodeID) bool { return x == 6 })
+	if err := vg.Synchronize(0, SyncState{NextHops: []topo.NodeID{g.Neighbors(0)[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	c := vg.Clone()
+	// Diverge the clone.
+	if err := c.Synchronize(3, SyncState{}); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]*VGraph{"original": vg, "clone": c} {
+		want := bfsReached(v)
+		for i := range want {
+			if v.reached[i] != want[i] {
+				t.Fatalf("%s: node %d inconsistent after clone divergence", name, i)
+			}
+		}
+	}
+}

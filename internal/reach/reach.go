@@ -1,0 +1,491 @@
+// Package reach implements the CE2D verification graph for regular
+// expression requirements (§4.2 of the paper): the cross product of the
+// network graph and the requirement DFA, with two verdict procedures:
+//
+//   - DGQ — the decremental graph query: an Even–Shiloach-style
+//     decremental single-source reachability structure over the product
+//     graph. Edges are only ever removed (a device synchronizing prunes
+//     the edges incompatible with its forwarding action), so "no accept
+//     state reachable" is a consistent early UNSATISFIED verdict, and a
+//     source→accept path of synchronized devices is a consistent early
+//     SATISFIED verdict.
+//   - MT — model traversal, the baseline of Figure 12: a fresh DFS per
+//     query.
+//
+// One VGraph is built per (requirement, packet-space/EC) pair; package
+// ce2d owns the per-EC bookkeeping.
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/topo"
+)
+
+// Verdict is the three-valued result of consistent partial verification.
+type Verdict uint8
+
+// Verdicts.
+const (
+	Unknown Verdict = iota
+	Satisfied
+	Unsatisfied
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Satisfied:
+		return "satisfied"
+	case Unsatisfied:
+		return "unsatisfied"
+	default:
+		return "unknown"
+	}
+}
+
+// pnode is a product-graph node (device, DFA state).
+type pnode struct {
+	dev topo.NodeID
+	q   int
+}
+
+// SyncState is a device's synchronized forwarding behavior for one EC.
+type SyncState struct {
+	// NextHops is where the device forwards the EC (ECMP sets allowed;
+	// empty means the device does not forward it further).
+	NextHops []topo.NodeID
+	// Delivers reports whether the device delivers the EC locally (owns
+	// the destination / forwards out an external port).
+	Delivers bool
+}
+
+// VGraph is the verification graph G_P for one requirement and one EC.
+type VGraph struct {
+	topo *topo.Graph
+	dfa  spec.Machine
+
+	nodes []pnode
+	index map[pnode]int
+	out   [][]int32 // product adjacency (node ids), mutated by pruning
+	in    [][]int32
+
+	// accept[i]: node i's DFA state accepts and its device can still
+	// deliver (unsynchronized, or synchronized with Delivers).
+	accept      []bool
+	acceptCount int
+
+	// Decremental reachability from a virtual root (-1 parent marks it).
+	reached      []bool
+	parent       []int32
+	children     [][]int32
+	initial      []int32
+	reachableAcc int
+
+	sync map[topo.NodeID]SyncState
+}
+
+// NewVGraph builds the product of the topology and the requirement
+// expression for the given sources, using the topology's (undirected)
+// adjacency. isDest marks destination-owner devices (consumed by the '>'
+// hop and by delivery acceptance).
+func NewVGraph(g *topo.Graph, expr *spec.Expr, sources []topo.NodeID, isDest func(topo.NodeID) bool) *VGraph {
+	return NewVGraphEdges(g, expr, sources, isDest, g.Neighbors)
+}
+
+// NewVGraphEdges is NewVGraph with an explicit successor function, so
+// callers can restrict the potential-path set — e.g. to the directed
+// links of Figure 3, or to valley-free Clos paths. A tighter successor
+// set yields earlier detection; any superset of the real forwarding
+// behavior keeps detection consistent.
+func NewVGraphEdges(g *topo.Graph, expr *spec.Expr, sources []topo.NodeID, isDest func(topo.NodeID) bool, succ func(topo.NodeID) []topo.NodeID) *VGraph {
+	if isDest == nil {
+		isDest = func(topo.NodeID) bool { return false }
+	}
+	dfa := expr.CompileMachine(g, isDest)
+	vg := &VGraph{
+		topo:  g,
+		dfa:   dfa,
+		index: make(map[pnode]int),
+		sync:  make(map[topo.NodeID]SyncState),
+	}
+	// BFS the reachable product space from the initial states.
+	var queue []int
+	for _, src := range sources {
+		q := dfa.Step(dfa.Start(), src)
+		if q == spec.Dead {
+			continue
+		}
+		id := vg.intern(pnode{src, q}, isDest)
+		vg.initial = append(vg.initial, int32(id))
+		queue = append(queue, id)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		id := queue[qi]
+		n := vg.nodes[id]
+		for _, v := range succ(n.dev) {
+			nq := dfa.Step(n.q, v)
+			if nq == spec.Dead {
+				continue
+			}
+			to := pnode{v, nq}
+			tid, existed := vg.index[to], true
+			if _, ok := vg.index[to]; !ok {
+				tid = vg.intern(to, isDest)
+				existed = false
+			}
+			vg.out[id] = append(vg.out[id], int32(tid))
+			vg.in[tid] = append(vg.in[tid], int32(id))
+			if !existed {
+				queue = append(queue, tid)
+			}
+		}
+	}
+	vg.initReachability()
+	return vg
+}
+
+func (vg *VGraph) intern(n pnode, isDest func(topo.NodeID) bool) int {
+	id := len(vg.nodes)
+	vg.nodes = append(vg.nodes, n)
+	vg.index[n] = id
+	vg.out = append(vg.out, nil)
+	vg.in = append(vg.in, nil)
+	acc := vg.dfa.Accepting(n.q) && isDest(n.dev)
+	vg.accept = append(vg.accept, acc)
+	if acc {
+		vg.acceptCount++
+	}
+	return id
+}
+
+// initReachability seeds the decremental structure: BFS from the initial
+// states, recording a parent forest.
+func (vg *VGraph) initReachability() {
+	n := len(vg.nodes)
+	vg.reached = make([]bool, n)
+	vg.parent = make([]int32, n)
+	vg.children = make([][]int32, n)
+	for i := range vg.parent {
+		vg.parent[i] = -2 // unreached
+	}
+	var queue []int32
+	for _, id := range vg.initial {
+		if !vg.reached[id] {
+			vg.reached[id] = true
+			vg.parent[id] = -1 // virtual root
+			queue = append(queue, id)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range vg.out[u] {
+			if !vg.reached[v] {
+				vg.reached[v] = true
+				vg.parent[v] = u
+				vg.children[u] = append(vg.children[u], v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	vg.reachableAcc = 0
+	for i, acc := range vg.accept {
+		if acc && vg.reached[i] {
+			vg.reachableAcc++
+		}
+	}
+}
+
+// NumNodes reports the product-graph size.
+func (vg *VGraph) NumNodes() int { return len(vg.nodes) }
+
+// Clone deep-copies the verification graph's mutable state. CE2D clones a
+// class's graph when the equivalence class splits (Algorithm 2, L9-10);
+// immutable structure (node table, DFA) is shared.
+func (vg *VGraph) Clone() *VGraph {
+	c := *vg
+	c.out = cloneAdj(vg.out)
+	c.in = cloneAdj(vg.in)
+	c.children = cloneAdj(vg.children)
+	c.accept = append([]bool(nil), vg.accept...)
+	c.reached = append([]bool(nil), vg.reached...)
+	c.parent = append([]int32(nil), vg.parent...)
+	c.sync = make(map[topo.NodeID]SyncState, len(vg.sync))
+	for k, v := range vg.sync {
+		c.sync[k] = v
+	}
+	return &c
+}
+
+func cloneAdj(a [][]int32) [][]int32 {
+	out := make([][]int32, len(a))
+	for i, s := range a {
+		out[i] = append([]int32(nil), s...)
+	}
+	return out
+}
+
+// Synchronize records that a device has converged on the given behavior
+// for this EC, pruning the product edges that contradict it (the
+// decremental update of §4.2). Re-synchronizing a device with a different
+// behavior is not supported — that would add edges back; CE2D instead
+// spawns a fresh verifier for the new epoch.
+func (vg *VGraph) Synchronize(dev topo.NodeID, st SyncState) error {
+	if old, ok := vg.sync[dev]; ok {
+		if !sameSync(old, st) {
+			return fmt.Errorf("reach: device %d re-synchronized with different behavior", dev)
+		}
+		return nil
+	}
+	vg.sync[dev] = st
+	allowed := make(map[topo.NodeID]bool, len(st.NextHops))
+	for _, nh := range st.NextHops {
+		allowed[nh] = true
+	}
+	// Prune outgoing edges of every product node of this device that go
+	// to a non-next-hop device, and drop acceptance where the device no
+	// longer delivers.
+	for id, n := range vg.nodes {
+		if n.dev != dev {
+			continue
+		}
+		if vg.accept[id] && !st.Delivers {
+			vg.accept[id] = false
+			vg.acceptCount--
+			if vg.reached[id] {
+				vg.reachableAcc--
+			}
+		}
+		kept := vg.out[id][:0]
+		var removed []int32
+		for _, to := range vg.out[id] {
+			if allowed[vg.nodes[to].dev] {
+				kept = append(kept, to)
+			} else {
+				removed = append(removed, to)
+			}
+		}
+		vg.out[id] = kept
+		for _, to := range removed {
+			vg.removeInEdge(int32(id), to)
+		}
+	}
+	return nil
+}
+
+func sameSync(a, b SyncState) bool {
+	if a.Delivers != b.Delivers || len(a.NextHops) != len(b.NextHops) {
+		return false
+	}
+	m := make(map[topo.NodeID]bool, len(a.NextHops))
+	for _, x := range a.NextHops {
+		m[x] = true
+	}
+	for _, x := range b.NextHops {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// removeInEdge deletes u from v's in-list and repairs reachability if the
+// deleted edge was v's tree edge.
+func (vg *VGraph) removeInEdge(u, v int32) {
+	in := vg.in[v]
+	for i, x := range in {
+		if x == u {
+			in[i] = in[len(in)-1]
+			vg.in[v] = in[:len(in)-1]
+			break
+		}
+	}
+	if vg.parent[v] != u {
+		return
+	}
+	vg.detachChild(u, v)
+	vg.rehook(v)
+}
+
+func (vg *VGraph) detachChild(p, c int32) {
+	ch := vg.children[p]
+	for i, x := range ch {
+		if x == c {
+			ch[i] = ch[len(ch)-1]
+			vg.children[p] = ch[:len(ch)-1]
+			return
+		}
+	}
+}
+
+// rehook repairs the reachability forest after v lost its tree parent:
+// the whole subtree of v tries to find replacement parents; nodes that
+// cannot become unreachable (permanently — the graph is decremental).
+func (vg *VGraph) rehook(v int32) {
+	// Collect v's subtree.
+	sub := []int32{v}
+	inSub := map[int32]bool{v: true}
+	for qi := 0; qi < len(sub); qi++ {
+		for _, c := range vg.children[sub[qi]] {
+			sub = append(sub, c)
+			inSub[c] = true
+		}
+	}
+	// Tentatively unreach the subtree.
+	for _, s := range sub {
+		vg.reached[s] = false
+		vg.parent[s] = -2
+		vg.children[s] = vg.children[s][:0]
+	}
+	// Re-hook from outside-reachable in-neighbors, then BFS within.
+	var frontier []int32
+	for _, s := range sub {
+		for _, p := range vg.in[s] {
+			if vg.reached[p] {
+				vg.reached[s] = true
+				vg.parent[s] = p
+				vg.children[p] = append(vg.children[p], s)
+				frontier = append(frontier, s)
+				break
+			}
+		}
+	}
+	for qi := 0; qi < len(frontier); qi++ {
+		u := frontier[qi]
+		for _, w := range vg.out[u] {
+			if inSub[w] && !vg.reached[w] {
+				vg.reached[w] = true
+				vg.parent[w] = u
+				vg.children[u] = append(vg.children[u], w)
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	// Account accept nodes that fell off.
+	for _, s := range sub {
+		if !vg.reached[s] && vg.accept[s] {
+			vg.reachableAcc--
+		}
+	}
+}
+
+// AcceptReachable answers the decremental reachability query of
+// Algorithm 2 in O(1) from maintained state: can any accept state still
+// be reached? false is a consistent early UNSATISFIED verdict.
+func (vg *VGraph) AcceptReachable() bool { return vg.reachableAcc > 0 }
+
+// AcceptReachableByTraversal answers the same question by a full DFS (the
+// MT baseline of Figure 12).
+func (vg *VGraph) AcceptReachableByTraversal() bool {
+	seen := make([]bool, len(vg.nodes))
+	var stack []int32
+	for _, id := range vg.initial {
+		if !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if vg.accept[u] {
+			return true
+		}
+		for _, w := range vg.out[u] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// Verdict returns the consistent early-detection result using the
+// decremental reachability structure (DGQ):
+//
+//   - Unsatisfied when no accept state remains reachable — no future
+//     update can restore it (the graph only loses edges).
+//   - Satisfied when a path of synchronized devices from a synchronized
+//     source reaches a delivering accept state — no future update can
+//     remove it (synchronized devices do not change within an epoch).
+//   - Unknown otherwise.
+func (vg *VGraph) Verdict() Verdict {
+	if vg.reachableAcc == 0 {
+		return Unsatisfied
+	}
+	if vg.satisfiedBySync() {
+		return Satisfied
+	}
+	return Unknown
+}
+
+// satisfiedBySync looks for a requirement-compliant path consisting of
+// synchronized devices only.
+func (vg *VGraph) satisfiedBySync() bool {
+	seen := make(map[int32]bool)
+	var stack []int32
+	for _, id := range vg.initial {
+		if _, ok := vg.sync[vg.nodes[id].dev]; ok {
+			stack = append(stack, id)
+			seen[id] = true
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := vg.nodes[u]
+		st := vg.sync[n.dev] // u's device is synchronized by construction
+		if vg.accept[u] && st.Delivers {
+			return true
+		}
+		for _, w := range vg.out[u] {
+			if seen[w] {
+				continue
+			}
+			if _, ok := vg.sync[vg.nodes[w].dev]; !ok {
+				continue
+			}
+			seen[w] = true
+			stack = append(stack, w)
+		}
+	}
+	return false
+}
+
+// VerdictByTraversal is the MT baseline of Figure 12: it answers the same
+// three-way question by a full DFS over the current product graph,
+// without any incremental state.
+func (vg *VGraph) VerdictByTraversal() Verdict {
+	// Reachability of any accept node, full graph.
+	seen := make([]bool, len(vg.nodes))
+	var stack []int32
+	for _, id := range vg.initial {
+		if !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	anyAccept := false
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if vg.accept[u] {
+			anyAccept = true
+			break
+		}
+		for _, w := range vg.out[u] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	if !anyAccept {
+		return Unsatisfied
+	}
+	if vg.satisfiedBySync() {
+		return Satisfied
+	}
+	return Unknown
+}

@@ -1,0 +1,246 @@
+// Package rewrite implements the header-rewrite extension sketched in §7
+// of the paper ("Data Plane Models"): devices that rewrite a header field
+// (NAT, tunnel relabeling) before forwarding.
+//
+// The paper outlines two directions; this package implements the first —
+// "guarantee that any packet, if rewritten, belongs to exactly one EC
+// before and after the rewrite" — on top of the inverse model:
+//
+//   - A rewrite rule sets one field to a constant ("dst := v") for the
+//     headers it matches, then forwards. Its image on a predicate p is
+//     computed with BDD quantification: image(p) = ∃fieldBits.p ∧
+//     (field = v).
+//   - Validate checks the §7 well-formedness condition against a model:
+//     every rewrite's pre-image lies within one equivalence class, and
+//     its image lands within one equivalence class.
+//   - Walk traces a concrete header through the data plane, applying
+//     rewrites, for rewrite-aware reachability and loop checks.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/imt"
+	"repro/internal/pat"
+)
+
+// Rule is one header-rewrite rule on a device: headers matching Match
+// have Field set to Value and are then forwarded per Next.
+type Rule struct {
+	Device fib.DeviceID
+	Match  bdd.Ref
+	Field  string
+	Value  uint64
+	Next   fib.Action
+}
+
+// Set rewrites the header-rewrite rules of a data plane.
+type Set struct {
+	space *hs.Space
+	rules map[fib.DeviceID][]Rule
+	// fieldVars caches each field's BDD variable list.
+	fieldVars map[string][]int
+}
+
+// NewSet creates an empty rewrite set over the space.
+func NewSet(space *hs.Space) *Set {
+	return &Set{
+		space:     space,
+		rules:     make(map[fib.DeviceID][]Rule),
+		fieldVars: make(map[string][]int),
+	}
+}
+
+// Add installs a rewrite rule. Rules on one device are checked in
+// insertion order; the first match wins.
+func (s *Set) Add(r Rule) error {
+	if r.Match == bdd.False {
+		return fmt.Errorf("rewrite: empty match")
+	}
+	w := s.space.Layout.FieldBits(r.Field) // panics on unknown field
+	if r.Value >= 1<<uint(w) {
+		return fmt.Errorf("rewrite: value %#x exceeds %d-bit field %q", r.Value, w, r.Field)
+	}
+	s.rules[r.Device] = append(s.rules[r.Device], r)
+	return nil
+}
+
+// vars returns the BDD variables of a field, cached.
+func (s *Set) vars(field string) []int {
+	if v, ok := s.fieldVars[field]; ok {
+		return v
+	}
+	// Variables are assigned field-major in layout order.
+	off := 0
+	var out []int
+	for _, f := range s.space.Layout.Fields() {
+		if f.Name == field {
+			for b := 0; b < f.Bits; b++ {
+				out = append(out, off+b)
+			}
+			break
+		}
+		off += f.Bits
+	}
+	s.fieldVars[field] = out
+	return out
+}
+
+// Image computes the header set a rewrite rule produces from input
+// predicate p: quantify the rewritten field away and pin it to the new
+// value.
+func (s *Set) Image(r Rule, p bdd.Ref) bdd.Ref {
+	e := s.space.E
+	pre := e.And(p, r.Match)
+	if pre == bdd.False {
+		return bdd.False
+	}
+	q := e.Exists(pre, s.vars(r.Field))
+	return e.And(q, s.space.Exact(r.Field, r.Value))
+}
+
+// Violation describes a failed §7 well-formedness check.
+type Violation struct {
+	Rule   Rule
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("rewrite on device %d (%s := %#x): %s",
+		v.Rule.Device, v.Rule.Field, v.Rule.Value, v.Reason)
+}
+
+// Validate checks the §7 condition against an inverse model: every
+// rewrite's pre-image must lie within exactly one equivalence class, and
+// its image must land within exactly one equivalence class. Rewrites that
+// straddle classes would need the recursive-query extension instead.
+func (s *Set) Validate(m *imt.Model) []Violation {
+	e := s.space.E
+	var out []Violation
+	for _, rules := range s.rules {
+		for _, r := range rules {
+			pre := e.And(r.Match, m.Universe)
+			if pre == bdd.False {
+				continue
+			}
+			if n := countIntersecting(e, m, pre); n != 1 {
+				out = append(out, Violation{r, fmt.Sprintf("pre-image spans %d equivalence classes", n)})
+			}
+			img := s.Image(r, m.Universe)
+			if n := countIntersecting(e, m, img); n > 1 {
+				out = append(out, Violation{r, fmt.Sprintf("image spans %d equivalence classes", n)})
+			}
+		}
+	}
+	return out
+}
+
+func countIntersecting(e *bdd.Engine, m *imt.Model, p bdd.Ref) int {
+	n := 0
+	for _, pred := range m.ECs {
+		if e.Overlaps(pred, p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Hop is one step of a rewrite-aware walk.
+type Hop struct {
+	Device    fib.DeviceID
+	Header    hs.Header // header as it arrived at the device
+	Rewritten bool
+}
+
+// WalkResult is the outcome of a concrete-header trace.
+type WalkResult uint8
+
+// Walk outcomes.
+const (
+	// Delivered: the packet reached a delivery action.
+	Delivered WalkResult = iota
+	// Dropped: a device dropped the packet.
+	Dropped
+	// Looped: the walk revisited a (device, header) pair.
+	Looped
+)
+
+func (w WalkResult) String() string {
+	switch w {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	default:
+		return "looped"
+	}
+}
+
+// Walk traces a concrete header from a device through the data plane,
+// applying rewrites: at each device, the first matching rewrite rule (if
+// any) transforms the header and dictates the next hop; otherwise the
+// FIB's behavior applies. Loop detection is on (device, header) pairs —
+// a rewrite legitimately allows revisiting a device with a new header.
+func (s *Set) Walk(tr *imt.Transformer, store *pat.Store, start fib.DeviceID, h hs.Header, maxDevices int) (WalkResult, []Hop) {
+	type key struct {
+		dev fib.DeviceID
+		sig string
+	}
+	e := s.space.E
+	seen := map[key]bool{}
+	cur := start
+	hdr := append(hs.Header(nil), h...)
+	var hops []Hop
+	for {
+		sig := fmt.Sprint(hdr)
+		k := key{cur, sig}
+		if seen[k] {
+			return Looped, hops
+		}
+		seen[k] = true
+
+		// Rewrite rules first (they model the device's NAT stage).
+		rewrote := false
+		var next fib.Action
+		for _, r := range s.rules[cur] {
+			if s.space.Contains(r.Match, hdr) {
+				hdr = s.applyRewrite(r, hdr)
+				next = r.Next
+				rewrote = true
+				break
+			}
+		}
+		hops = append(hops, Hop{Device: cur, Header: append(hs.Header(nil), hdr...), Rewritten: rewrote})
+		if !rewrote {
+			asg := s.space.Assignment(hdr)
+			vec, ok := tr.Model().Lookup(e, asg)
+			if !ok {
+				return Dropped, hops
+			}
+			next = store.Get(vec, cur)
+		}
+		nh, fwd := next.NextHop()
+		switch {
+		case !fwd:
+			return Dropped, hops
+		case int(nh) >= maxDevices:
+			return Delivered, hops
+		default:
+			cur = nh
+		}
+	}
+}
+
+func (s *Set) applyRewrite(r Rule, h hs.Header) hs.Header {
+	out := append(hs.Header(nil), h...)
+	for i, f := range s.space.Layout.Fields() {
+		if f.Name == r.Field {
+			out[i] = r.Value
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/imt"
+	"repro/internal/pat"
+)
+
+// natRig: clients (dst 0x0X = VIP) — lb — server (dst 0x8Y). The load
+// balancer rewrites the VIP destination to the server's address, like the
+// Maglev-style deployments §7 cites.
+type natRig struct {
+	space *hs.Space
+	store *pat.Store
+	tr    *imt.Transformer
+	set   *Set
+}
+
+const (
+	client fib.DeviceID = 0
+	lb     fib.DeviceID = 1
+	server fib.DeviceID = 2
+	nDev                = 3
+)
+
+func newNATRig(t *testing.T) *natRig {
+	t.Helper()
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+	store := pat.NewStore()
+	tr := imt.NewTransformer(space.E, store, bdd.True)
+	vip := space.Exact("dst", 0x01)
+	serverAddr := space.Exact("dst", 0x81)
+	blocks := []fib.Block{
+		{Device: client, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: vip, Pri: 1, Action: fib.Forward(lb)}},
+		}},
+		{Device: lb, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: serverAddr, Pri: 1, Action: fib.Forward(server)}},
+		}},
+		{Device: server, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop}},
+			{Op: fib.Insert, Rule: fib.Rule{ID: 2, Match: serverAddr, Pri: 1, Action: fib.Forward(nDev)}},
+		}},
+	}
+	if err := tr.ApplyBlock(blocks); err != nil {
+		t.Fatal(err)
+	}
+	set := NewSet(space)
+	// The LB rewrites the VIP to the server address and forwards.
+	if err := set.Add(Rule{Device: lb, Match: vip, Field: "dst", Value: 0x81, Next: fib.Forward(server)}); err != nil {
+		t.Fatal(err)
+	}
+	return &natRig{space: space, store: store, tr: tr, set: set}
+}
+
+func TestImage(t *testing.T) {
+	r := newNATRig(t)
+	rule := r.set.rules[lb][0]
+	img := r.set.Image(rule, bdd.True)
+	if img != r.space.Exact("dst", 0x81) {
+		t.Errorf("image should be exactly the server address")
+	}
+	// Image restricted to non-matching space is empty.
+	if got := r.set.Image(rule, r.space.Exact("dst", 0x02)); got != bdd.False {
+		t.Errorf("image of disjoint input = %d", got)
+	}
+}
+
+func TestWalkThroughNAT(t *testing.T) {
+	r := newNATRig(t)
+	res, hops := r.set.Walk(r.tr, r.store, client, hs.Header{0x01}, nDev)
+	if res != Delivered {
+		t.Fatalf("VIP packet %v, want delivered (hops: %v)", res, hops)
+	}
+	// Path: client (no rewrite) → lb (rewritten) → server.
+	if len(hops) != 3 {
+		t.Fatalf("hops = %+v", hops)
+	}
+	if hops[1].Device != lb || !hops[1].Rewritten {
+		t.Errorf("rewrite hop wrong: %+v", hops[1])
+	}
+	if hops[2].Header[0] != 0x81 {
+		t.Errorf("server saw dst %#x, want 0x81", hops[2].Header[0])
+	}
+	// A non-VIP packet is dropped at the client.
+	res, _ = r.set.Walk(r.tr, r.store, client, hs.Header{0x05}, nDev)
+	if res != Dropped {
+		t.Errorf("non-VIP packet %v, want dropped", res)
+	}
+}
+
+func TestWalkDetectsRewriteLoop(t *testing.T) {
+	// Two devices rewriting to each other's trigger values loop forever
+	// — but only the exact (device, header) revisit counts.
+	space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+	store := pat.NewStore()
+	tr := imt.NewTransformer(space.E, store, bdd.True)
+	for d := fib.DeviceID(0); d < 2; d++ {
+		err := tr.ApplyBlock([]fib.Block{{Device: d, Updates: []fib.Update{
+			{Op: fib.Insert, Rule: fib.Rule{ID: 1, Match: bdd.True, Pri: 0, Action: fib.Drop}},
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := NewSet(space)
+	a := space.Exact("dst", 0x0A)
+	b := space.Exact("dst", 0x0B)
+	if err := set.Add(Rule{Device: 0, Match: a, Field: "dst", Value: 0x0B, Next: fib.Forward(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Add(Rule{Device: 1, Match: b, Field: "dst", Value: 0x0A, Next: fib.Forward(0)}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := set.Walk(tr, store, 0, hs.Header{0x0A}, 2)
+	if res != Looped {
+		t.Fatalf("rewrite ping-pong = %v, want looped", res)
+	}
+}
+
+func TestValidateWellFormed(t *testing.T) {
+	r := newNATRig(t)
+	if v := r.set.Validate(r.tr.Model()); len(v) != 0 {
+		t.Fatalf("NAT rig should be well-formed, got %v", v)
+	}
+	// A rewrite whose pre-image straddles classes (matches both the VIP
+	// class and the default class) violates the §7 condition.
+	bad := NewSet(r.space)
+	wide := r.space.Prefix("dst", 0x00, 1) // lower half: VIP + others
+	if err := bad.Add(Rule{Device: lb, Match: wide, Field: "dst", Value: 0x81, Next: fib.Forward(server)}); err != nil {
+		t.Fatal(err)
+	}
+	v := bad.Validate(r.tr.Model())
+	if len(v) == 0 {
+		t.Fatal("straddling rewrite accepted")
+	}
+	if v[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestAddRejectsBadRules(t *testing.T) {
+	r := newNATRig(t)
+	if err := r.set.Add(Rule{Device: lb, Match: bdd.False, Field: "dst", Value: 1}); err == nil {
+		t.Error("empty match accepted")
+	}
+	if err := r.set.Add(Rule{Device: lb, Match: bdd.True, Field: "dst", Value: 0x1FF}); err == nil {
+		t.Error("oversized value accepted")
+	}
+}

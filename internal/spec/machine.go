@@ -1,0 +1,244 @@
+package spec
+
+import "repro/internal/topo"
+
+// Machine is the automaton abstraction the verification graph consumes:
+// a deterministic machine over device symbols. Step returning Dead means
+// no extension of the consumed sequence can be accepted.
+//
+// A plain path regular expression compiles to a *DFA; the set-level
+// operators of Appendix B's grammar (P and P, P or P, not P) compile to
+// combinator machines over their operands.
+type Machine interface {
+	// Start is the initial state.
+	Start() int
+	// Step consumes one device; Dead is absorbing.
+	Step(state int, n topo.NodeID) int
+	// Accepting reports whether the state accepts.
+	Accepting(state int) bool
+}
+
+var _ Machine = (*DFA)(nil)
+
+// MatchPathM runs a device sequence through any machine.
+func MatchPathM(m Machine, path []topo.NodeID) bool {
+	st := m.Start()
+	for _, n := range path {
+		st = m.Step(st, n)
+		if st == Dead {
+			return false
+		}
+	}
+	return m.Accepting(st)
+}
+
+// notMachine complements its operand. The operand's Dead state (no
+// extension matches) becomes an accept-everything sink, encoded as the
+// distinguished state deadAccept; a complement machine itself never goes
+// Dead (every sequence either matches the complement or may still).
+type notMachine struct {
+	inner Machine
+}
+
+// deadAccept is notMachine's encoding of "the operand died": every
+// continuation is accepted.
+const deadAccept = -2
+
+// Not returns the complement machine: it accepts exactly the device
+// sequences the operand rejects. Double complement flattens to the
+// operand — required for correctness, since a notMachine's deadAccept
+// sentinel must never double as an operand state.
+func Not(m Machine) Machine {
+	if nm, ok := m.(notMachine); ok {
+		return nm.inner
+	}
+	return notMachine{m}
+}
+
+func (n notMachine) Start() int { return n.inner.Start() }
+
+func (n notMachine) Step(state int, nd topo.NodeID) int {
+	if state == deadAccept {
+		return deadAccept
+	}
+	next := n.inner.Step(state, nd)
+	if next == Dead {
+		return deadAccept
+	}
+	return next
+}
+
+func (n notMachine) Accepting(state int) bool {
+	return state == deadAccept || !n.inner.Accepting(state)
+}
+
+// pairMachine is the product of two machines with a boolean combination
+// of their acceptance (conjunction for "and", disjunction for "or").
+// Pair states are interned to small integers.
+type pairMachine struct {
+	a, b Machine
+	conj bool // true: accept = both; false: accept = either
+
+	pairs  [][2]int
+	ids    map[[2]int]int
+	starts int
+}
+
+// And returns the intersection machine: sequences accepted by both.
+func And(a, b Machine) Machine { return newPair(a, b, true) }
+
+// Or returns the union machine: sequences accepted by either.
+func Or(a, b Machine) Machine { return newPair(a, b, false) }
+
+func newPair(a, b Machine, conj bool) *pairMachine {
+	p := &pairMachine{a: a, b: b, conj: conj, ids: make(map[[2]int]int)}
+	p.starts = p.intern(a.Start(), b.Start())
+	return p
+}
+
+func (p *pairMachine) intern(sa, sb int) int {
+	key := [2]int{sa, sb}
+	if id, ok := p.ids[key]; ok {
+		return id
+	}
+	id := len(p.pairs)
+	p.pairs = append(p.pairs, key)
+	p.ids[key] = id
+	return id
+}
+
+func (p *pairMachine) Start() int { return p.starts }
+
+func (p *pairMachine) Step(state int, n topo.NodeID) int {
+	if state == Dead {
+		return Dead
+	}
+	pair := p.pairs[state]
+	sa, sb := pair[0], pair[1]
+	// Dead sides stay dead; acceptsStuck tracks them explicitly.
+	if sa != Dead {
+		sa = p.a.Step(sa, n)
+	}
+	if sb != Dead {
+		sb = p.b.Step(sb, n)
+	}
+	if p.conj {
+		if sa == Dead || sb == Dead {
+			return Dead
+		}
+	} else {
+		if sa == Dead && sb == Dead {
+			return Dead
+		}
+	}
+	return p.intern(sa, sb)
+}
+
+func (p *pairMachine) Accepting(state int) bool {
+	if state == Dead {
+		return false
+	}
+	pair := p.pairs[state]
+	accA := pair[0] != Dead && p.a.Accepting(pair[0])
+	accB := pair[1] != Dead && p.b.Accepting(pair[1])
+	if p.conj {
+		return accA && accB
+	}
+	return accA || accB
+}
+
+// ---- Set-level AST nodes and compilation ----
+
+// Set-level nodes combine whole path sets (Appendix B: P and P, P or P,
+// not P). They cannot appear inside a regex; the parser builds them
+// above the regex layer.
+type setAndNode struct{ l, r node }
+type setOrNode struct{ l, r node }
+type setNotNode struct{ inner node }
+
+// coverNode marks a coverage requirement (Appendix B: "cover P" — every
+// path in P must exist). It is a top-level marker; detection uses
+// ce2d.Coverage rather than a machine.
+type coverNode struct{ inner node }
+
+// compile on set nodes must never be reached through the NFA builder.
+func (setAndNode) compile(*builder) frag { panic("spec: set operator inside regex") }
+func (setOrNode) compile(*builder) frag  { panic("spec: set operator inside regex") }
+func (setNotNode) compile(*builder) frag { panic("spec: set operator inside regex") }
+func (coverNode) compile(*builder) frag  { panic("spec: cover marker inside regex") }
+
+// IsCover reports whether the expression is a coverage requirement and,
+// if so, returns the covered path-set expression.
+func (e *Expr) IsCover() (*Expr, bool) {
+	if c, ok := e.root.(coverNode); ok {
+		return &Expr{root: c.inner, src: e.src}, true
+	}
+	return nil, false
+}
+
+func hasCover(n node) bool {
+	switch v := n.(type) {
+	case coverNode:
+		return true
+	case setAndNode:
+		return hasCover(v.l) || hasCover(v.r)
+	case setOrNode:
+		return hasCover(v.l) || hasCover(v.r)
+	case setNotNode:
+		return hasCover(v.inner)
+	}
+	return false
+}
+
+// HasSetOps reports whether the expression uses set-level operators; such
+// expressions compile with CompileMachine, not CompileDFA.
+func (e *Expr) HasSetOps() bool { return hasSetOps(e.root) }
+
+func hasSetOps(n node) bool {
+	switch v := n.(type) {
+	case setAndNode, setOrNode, setNotNode, coverNode:
+		return true
+	case catNode:
+		for _, p := range v.parts {
+			if hasSetOps(p) {
+				return true
+			}
+		}
+	case altNode:
+		for _, p := range v.parts {
+			if hasSetOps(p) {
+				return true
+			}
+		}
+	case starNode:
+		return hasSetOps(v.inner)
+	case plusNode:
+		return hasSetOps(v.inner)
+	case optNode:
+		return hasSetOps(v.inner)
+	}
+	return false
+}
+
+// CompileMachine compiles the full expression — including set-level
+// operators — against a topology. For pure regexes it is equivalent to
+// CompileDFA.
+func (e *Expr) CompileMachine(g *topo.Graph, isDest func(topo.NodeID) bool) Machine {
+	return compileMachine(e.root, e.src, g, isDest)
+}
+
+func compileMachine(n node, src string, g *topo.Graph, isDest func(topo.NodeID) bool) Machine {
+	switch v := n.(type) {
+	case setAndNode:
+		return And(compileMachine(v.l, src, g, isDest), compileMachine(v.r, src, g, isDest))
+	case setOrNode:
+		return Or(compileMachine(v.l, src, g, isDest), compileMachine(v.r, src, g, isDest))
+	case setNotNode:
+		return Not(compileMachine(v.inner, src, g, isDest))
+	case coverNode:
+		panic("spec: cover requirements verify via ce2d.Coverage, not a machine")
+	default:
+		sub := &Expr{root: n, src: src}
+		return sub.CompileDFA(g, isDest)
+	}
+}

@@ -1,0 +1,130 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestSetOperatorParsing(t *testing.T) {
+	for _, good := range []string{
+		"a .* d and a .* b .* d",
+		"a .* d or a .* c",
+		"not a .* d",
+		"not not a",
+		"a and b or c",
+		"(a b) and not (a c)",
+	} {
+		e, err := Parse(good)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", good, err)
+			continue
+		}
+		if !e.HasSetOps() {
+			t.Errorf("%q should report set ops", good)
+		}
+	}
+	if MustParse("a .* d").HasSetOps() {
+		t.Error("pure regex misreported as set expression")
+	}
+	for _, bad := range []string{"and a", "a and", "not", "a or"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCompileDFARejectsSetOps(t *testing.T) {
+	g := lineGraph()
+	defer func() {
+		if recover() == nil {
+			t.Error("CompileDFA should panic on set operators")
+		}
+	}()
+	MustParse("a and b").CompileDFA(g, nil)
+}
+
+func TestSetOperatorSemantics(t *testing.T) {
+	g := lineGraph()
+	cases := []struct {
+		expr string
+		path []string
+		want bool
+	}{
+		// and: both must match.
+		{"a .* e and .* c .*", []string{"a", "b", "c", "d", "e"}, true},
+		{"a .* e and .* w .*", []string{"a", "b", "c", "d", "e"}, false},
+		// or: either.
+		{"a b or a c", []string{"a", "c"}, true},
+		{"a b or a c", []string{"a", "d"}, false},
+		// not: complement.
+		{"not a .* e", []string{"a", "b"}, true},
+		{"not a .* e", []string{"a", "b", "c", "d", "e"}, false},
+		{"not a .* e", []string{"b", "c"}, true}, // operand dead ⇒ complement accepts
+		// precedence: and binds tighter than or.
+		{"a b and a c or a b", []string{"a", "b"}, true},
+		// nesting.
+		{"not (a .* e or a .* d)", []string{"a", "c"}, true},
+		{"not (a .* e or a .* d)", []string{"a", "b", "c", "d"}, false},
+		{"not not a b", []string{"a", "b"}, true},
+		{"not not a b", []string{"a", "c"}, false},
+	}
+	for _, c := range cases {
+		m := MustParse(c.expr).CompileMachine(g, nil)
+		if got := MatchPathM(m, path(g, c.path...)); got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.expr, c.path, got, c.want)
+		}
+	}
+}
+
+// TestSetOperatorAlgebraRandom cross-checks the combinators against the
+// boolean combination of the operands' own match results on random paths.
+func TestSetOperatorAlgebraRandom(t *testing.T) {
+	g := lineGraph()
+	nodes := []string{"a", "b", "c", "d", "e", "w"}
+	exprs := []string{"a .* e", ".* c .*", "a (b|c)* d", ". . ."}
+	rng := rand.New(rand.NewSource(77))
+	randPath := func() []topo.NodeID {
+		n := 1 + rng.Intn(6)
+		p := make([]topo.NodeID, n)
+		for i := range p {
+			p[i] = g.MustByName(nodes[rng.Intn(len(nodes))])
+		}
+		return p
+	}
+	for trial := 0; trial < 200; trial++ {
+		ea := exprs[rng.Intn(len(exprs))]
+		eb := exprs[rng.Intn(len(exprs))]
+		ma := MustParse(ea).CompileMachine(g, nil)
+		mb := MustParse(eb).CompileMachine(g, nil)
+		and := MustParse(ea+" and "+eb).CompileMachine(g, nil)
+		or := MustParse(ea+" or "+eb).CompileMachine(g, nil)
+		nota := MustParse("not "+ea).CompileMachine(g, nil)
+		p := randPath()
+		ra, rb := MatchPathM(ma, p), MatchPathM(mb, p)
+		if got := MatchPathM(and, p); got != (ra && rb) {
+			t.Fatalf("(%q and %q) on %v = %v, want %v", ea, eb, p, got, ra && rb)
+		}
+		if got := MatchPathM(or, p); got != (ra || rb) {
+			t.Fatalf("(%q or %q) on %v = %v, want %v", ea, eb, p, got, ra || rb)
+		}
+		if got := MatchPathM(nota, p); got != !ra {
+			t.Fatalf("(not %q) on %v = %v, want %v", ea, p, got, !ra)
+		}
+	}
+}
+
+func TestReservedWordsRejectedAsHops(t *testing.T) {
+	// A device literally named "and" cannot be referenced bare…
+	if _, err := Parse("and"); err == nil {
+		t.Error("bare reserved word accepted")
+	}
+	// …but the class form still works for such devices.
+	g := topo.New()
+	g.AddNode("and", topo.RoleSwitch, -1)
+	m := MustParse("[name=and]").CompileMachine(g, nil)
+	if !MatchPathM(m, []topo.NodeID{0}) {
+		t.Error("[name=and] should match the device")
+	}
+}

@@ -1,0 +1,728 @@
+// Package spec implements the declarative requirement specification
+// language of the paper (Appendix B): path regular expressions over
+// network devices. A requirement (packet_space, sources, path_set) means
+// every packet in packet_space entering at a source must be forwarded
+// along at least one device sequence matching the path expression.
+//
+// The expression grammar (a practical core of Figure 16):
+//
+//	expr  := alt
+//	alt   := cat ('|' cat)*
+//	cat   := rep+
+//	rep   := atom ('*' | '+' | '?')?
+//	atom  := IDENT            match the device with that name
+//	       | '.'              match any device
+//	       | '>'              match a destination-owner device
+//	       | '[' class ']'    match any alternative in the class
+//	       | '(' alt ')'      grouping
+//	class := item ('|' item)*
+//	item  := IDENT            device name
+//	       | IDENT '=' IDENT  label test (role=tor, pod=3, name=x)
+//
+// Expressions compile to a Thompson NFA and then to a DFA determinized
+// lazily over the node alphabet of a concrete topology; package reach
+// builds the product verification graph from the DFA.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/topo"
+)
+
+// Expr is a parsed path expression.
+type Expr struct {
+	root node
+	src  string
+}
+
+// String returns the original expression text.
+func (e *Expr) String() string { return e.src }
+
+// ---- AST ----
+
+type node interface{ compile(b *builder) frag }
+
+type anyNode struct{}
+type identNode struct{ name string }
+type destNode struct{}
+type classNode struct{ items []classItem }
+type catNode struct{ parts []node }
+type altNode struct{ parts []node }
+type starNode struct{ inner node }
+type plusNode struct{ inner node }
+type optNode struct{ inner node }
+
+type classItem struct {
+	label string // empty = bare device name
+	value string
+}
+
+// ---- Lexer ----
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota
+	tokDot
+	tokStar
+	tokPlus
+	tokQMark
+	tokPipe
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokEquals
+	tokDest
+	tokEOF
+)
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, "."})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*"})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+"})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokQMark, "?"})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|"})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "["})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]"})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEquals, "="})
+			i++
+		case c == '>':
+			toks = append(toks, token{tokDest, ">"})
+			i++
+		case c == '^' || c == '$':
+			// Anchors are implicit (paths always match end to end);
+			// accepted for compatibility and ignored.
+			i++
+		case isIdentChar(c):
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("spec: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return append(toks, token{tokEOF, ""}), nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// ---- Parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eat(k tokenKind) bool {
+	if p.peek().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Parse parses a path expression.
+func Parse(s string) (*Expr, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.setExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("spec: trailing input at token %q", p.peek().text)
+	}
+	if err := validateNesting(root, false); err != nil {
+		return nil, err
+	}
+	return &Expr{root: root, src: s}, nil
+}
+
+// validateNesting rejects set-level operators nested inside a regex
+// context: path sets can be combined, but a set is not a hop.
+func validateNesting(n node, inRegex bool) error {
+	switch v := n.(type) {
+	case setAndNode:
+		if inRegex {
+			return fmt.Errorf("spec: 'and' cannot appear inside a path expression")
+		}
+		if err := validateNesting(v.l, false); err != nil {
+			return err
+		}
+		return validateNesting(v.r, false)
+	case setOrNode:
+		if inRegex {
+			return fmt.Errorf("spec: 'or' cannot appear inside a path expression")
+		}
+		if err := validateNesting(v.l, false); err != nil {
+			return err
+		}
+		return validateNesting(v.r, false)
+	case setNotNode:
+		if inRegex {
+			return fmt.Errorf("spec: 'not' cannot appear inside a path expression")
+		}
+		return validateNesting(v.inner, false)
+	case coverNode:
+		if inRegex {
+			return fmt.Errorf("spec: 'cover' cannot appear inside a path expression")
+		}
+		if hasCover(v.inner) {
+			return fmt.Errorf("spec: nested 'cover'")
+		}
+		return validateNesting(v.inner, false)
+	case catNode:
+		for _, c := range v.parts {
+			if err := validateNesting(c, true); err != nil {
+				return err
+			}
+		}
+	case altNode:
+		for _, c := range v.parts {
+			if err := validateNesting(c, true); err != nil {
+				return err
+			}
+		}
+	case starNode:
+		return validateNesting(v.inner, true)
+	case plusNode:
+		return validateNesting(v.inner, true)
+	case optNode:
+		return validateNesting(v.inner, true)
+	}
+	return nil
+}
+
+// MustParse is Parse that panics on error, for statically known expressions.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Reserved words introduce the set-level operators of Appendix B's
+// grammar; they cannot be used as device names in expressions.
+func isReserved(t token) bool {
+	return t.kind == tokIdent &&
+		(t.text == "and" || t.text == "or" || t.text == "not" || t.text == "cover")
+}
+
+// setExpr := setAnd ('or' setAnd)*
+func (p *parser) setExpr() (node, error) {
+	l, err := p.setAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "or" {
+		p.next()
+		r, err := p.setAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = setOrNode{l, r}
+	}
+	return l, nil
+}
+
+// setAnd := setUnary ('and' setUnary)*
+func (p *parser) setAnd() (node, error) {
+	l, err := p.setUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "and" {
+		p.next()
+		r, err := p.setUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = setAndNode{l, r}
+	}
+	return l, nil
+}
+
+// setUnary := 'not' setUnary | 'cover' setUnary | alt
+func (p *parser) setUnary() (node, error) {
+	if p.peek().kind == tokIdent && p.peek().text == "not" {
+		p.next()
+		inner, err := p.setUnary()
+		if err != nil {
+			return nil, err
+		}
+		return setNotNode{inner}, nil
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "cover" {
+		p.next()
+		inner, err := p.setUnary()
+		if err != nil {
+			return nil, err
+		}
+		return coverNode{inner}, nil
+	}
+	return p.alt()
+}
+
+func (p *parser) alt() (node, error) {
+	first, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	parts := []node{first}
+	for p.eat(tokPipe) {
+		n, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return altNode{parts}, nil
+}
+
+func (p *parser) cat() (node, error) {
+	var parts []node
+	for {
+		if isReserved(p.peek()) {
+			if len(parts) == 0 {
+				return nil, fmt.Errorf("spec: %q is a reserved word", p.peek().text)
+			}
+			if len(parts) == 1 {
+				return parts[0], nil
+			}
+			return catNode{parts}, nil
+		}
+		switch p.peek().kind {
+		case tokIdent, tokDot, tokDest, tokLBracket, tokLParen:
+			n, err := p.rep()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, n)
+		default:
+			if len(parts) == 0 {
+				return nil, fmt.Errorf("spec: expected a hop, found %q", p.peek().text)
+			}
+			if len(parts) == 1 {
+				return parts[0], nil
+			}
+			return catNode{parts}, nil
+		}
+	}
+}
+
+func (p *parser) rep() (node, error) {
+	a, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.eat(tokStar):
+		return starNode{a}, nil
+	case p.eat(tokPlus):
+		return plusNode{a}, nil
+	case p.eat(tokQMark):
+		return optNode{a}, nil
+	}
+	return a, nil
+}
+
+func (p *parser) atom() (node, error) {
+	switch t := p.next(); t.kind {
+	case tokIdent:
+		return identNode{t.text}, nil
+	case tokDot:
+		return anyNode{}, nil
+	case tokDest:
+		return destNode{}, nil
+	case tokLParen:
+		// A parenthesized group may be a regex group or a nested
+		// set-level expression; Parse validates that set operators do
+		// not end up inside a regex context.
+		inner, err := p.setExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(tokRParen) {
+			return nil, fmt.Errorf("spec: missing ')'")
+		}
+		return inner, nil
+	case tokLBracket:
+		var items []classItem
+		for {
+			id := p.next()
+			if id.kind != tokIdent {
+				return nil, fmt.Errorf("spec: expected identifier in class, found %q", id.text)
+			}
+			it := classItem{value: id.text}
+			if p.eat(tokEquals) {
+				val := p.next()
+				if val.kind != tokIdent {
+					return nil, fmt.Errorf("spec: expected value after '=', found %q", val.text)
+				}
+				it = classItem{label: id.text, value: val.text}
+			}
+			items = append(items, it)
+			if p.eat(tokRBracket) {
+				return classNode{items}, nil
+			}
+			if !p.eat(tokPipe) {
+				return nil, fmt.Errorf("spec: expected '|' or ']' in class")
+			}
+		}
+	default:
+		return nil, fmt.Errorf("spec: unexpected token %q", t.text)
+	}
+}
+
+// ---- Hop predicates ----
+
+// hopPred decides whether an expression hop matches a concrete node.
+type hopPred func(n topo.Node, isDest bool) bool
+
+func predOf(n node) hopPred {
+	switch v := n.(type) {
+	case anyNode:
+		return func(topo.Node, bool) bool { return true }
+	case identNode:
+		return func(nd topo.Node, _ bool) bool { return nd.Name == v.name }
+	case destNode:
+		return func(_ topo.Node, isDest bool) bool { return isDest }
+	case classNode:
+		return func(nd topo.Node, isDest bool) bool {
+			for _, it := range v.items {
+				if matchItem(it, nd, isDest) {
+					return true
+				}
+			}
+			return false
+		}
+	default:
+		panic("spec: predOf on composite node")
+	}
+}
+
+func matchItem(it classItem, nd topo.Node, isDest bool) bool {
+	switch it.label {
+	case "":
+		return nd.Name == it.value
+	case "name":
+		return nd.Name == it.value
+	case "role":
+		return nd.Role.String() == it.value
+	case "pod":
+		p, err := strconv.Atoi(it.value)
+		return err == nil && nd.Pod == p
+	case "dest":
+		return isDest == (it.value == "true")
+	default:
+		return false
+	}
+}
+
+// ---- Thompson NFA ----
+
+type nfaState struct {
+	// out transitions guarded by a hop predicate.
+	edges []nfaEdge
+	eps   []int
+}
+
+type nfaEdge struct {
+	pred hopPred
+	to   int
+}
+
+type builder struct {
+	states []nfaState
+}
+
+// frag is an NFA fragment with one start and one accept state.
+type frag struct {
+	start, accept int
+}
+
+func (b *builder) newState() int {
+	b.states = append(b.states, nfaState{})
+	return len(b.states) - 1
+}
+
+func (b *builder) edge(from, to int, p hopPred) {
+	b.states[from].edges = append(b.states[from].edges, nfaEdge{p, to})
+}
+
+func (b *builder) eps(from, to int) {
+	b.states[from].eps = append(b.states[from].eps, to)
+}
+
+func (n anyNode) compile(b *builder) frag   { return b.leaf(predOf(n)) }
+func (n identNode) compile(b *builder) frag { return b.leaf(predOf(n)) }
+func (n destNode) compile(b *builder) frag  { return b.leaf(predOf(n)) }
+func (n classNode) compile(b *builder) frag { return b.leaf(predOf(n)) }
+
+func (b *builder) leaf(p hopPred) frag {
+	s, a := b.newState(), b.newState()
+	b.edge(s, a, p)
+	return frag{s, a}
+}
+
+func (n catNode) compile(b *builder) frag {
+	f := n.parts[0].compile(b)
+	for _, part := range n.parts[1:] {
+		g := part.compile(b)
+		b.eps(f.accept, g.start)
+		f = frag{f.start, g.accept}
+	}
+	return f
+}
+
+func (n altNode) compile(b *builder) frag {
+	s, a := b.newState(), b.newState()
+	for _, part := range n.parts {
+		g := part.compile(b)
+		b.eps(s, g.start)
+		b.eps(g.accept, a)
+	}
+	return frag{s, a}
+}
+
+func (n starNode) compile(b *builder) frag {
+	s, a := b.newState(), b.newState()
+	g := n.inner.compile(b)
+	b.eps(s, g.start)
+	b.eps(s, a)
+	b.eps(g.accept, g.start)
+	b.eps(g.accept, a)
+	return frag{s, a}
+}
+
+func (n plusNode) compile(b *builder) frag {
+	g := n.inner.compile(b)
+	a := b.newState()
+	b.eps(g.accept, g.start)
+	b.eps(g.accept, a)
+	return frag{g.start, a}
+}
+
+func (n optNode) compile(b *builder) frag {
+	s, a := b.newState(), b.newState()
+	g := n.inner.compile(b)
+	b.eps(s, g.start)
+	b.eps(s, a)
+	b.eps(g.accept, a)
+	return frag{s, a}
+}
+
+// ---- Lazy DFA over a topology's node alphabet ----
+
+// DFA is the expression determinized against a concrete topology. States
+// are created lazily as transitions are queried; transitions are memoized.
+// The Dead state (-1) means no suffix can match.
+type DFA struct {
+	g      *topo.Graph
+	isDest func(topo.NodeID) bool
+
+	nfa    []nfaState
+	start  int // DFA start state id
+	sets   []([]int)
+	setIDs map[string]int
+	accept []bool
+	naccpt int // NFA accept state
+	trans  map[transKey]int
+}
+
+type transKey struct {
+	state int
+	node  topo.NodeID
+}
+
+// Dead is the DFA's reject state.
+const Dead = -1
+
+// CompileDFA determinizes the expression against a topology. isDest marks
+// the nodes the '>' hop matches (may be nil when the expression does not
+// use '>').
+func (e *Expr) CompileDFA(g *topo.Graph, isDest func(topo.NodeID) bool) *DFA {
+	if e.HasSetOps() {
+		panic("spec: expression uses set operators; use CompileMachine")
+	}
+	if isDest == nil {
+		isDest = func(topo.NodeID) bool { return false }
+	}
+	b := &builder{}
+	f := e.root.compile(b)
+	d := &DFA{
+		g:      g,
+		isDest: isDest,
+		nfa:    b.states,
+		setIDs: make(map[string]int),
+		naccpt: f.accept,
+		trans:  make(map[transKey]int),
+	}
+	d.start = d.internSet(d.closure([]int{f.start}))
+	return d
+}
+
+// Start returns the DFA start state.
+func (d *DFA) Start() int { return d.start }
+
+// NumStates reports how many DFA states have been materialized so far.
+func (d *DFA) NumStates() int { return len(d.sets) }
+
+// Accepting reports whether the state is accepting.
+func (d *DFA) Accepting(state int) bool {
+	return state != Dead && d.accept[state]
+}
+
+// Step advances the DFA by consuming the given device. It returns Dead if
+// no continuation can match.
+func (d *DFA) Step(state int, n topo.NodeID) int {
+	if state == Dead {
+		return Dead
+	}
+	key := transKey{state, n}
+	if next, ok := d.trans[key]; ok {
+		return next
+	}
+	nd := d.g.Node(n)
+	isDest := d.isDest(n)
+	var next []int
+	seen := map[int]bool{}
+	for _, s := range d.sets[state] {
+		for _, e := range d.nfa[s].edges {
+			if !seen[e.to] && e.pred(nd, isDest) {
+				seen[e.to] = true
+				next = append(next, e.to)
+			}
+		}
+	}
+	res := Dead
+	if len(next) > 0 {
+		res = d.internSet(d.closure(next))
+	}
+	d.trans[key] = res
+	return res
+}
+
+// closure returns the ε-closure of the NFA state set, sorted.
+func (d *DFA) closure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int(nil), states...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack, d.nfa[s].eps...)
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}
+
+func (d *DFA) internSet(set []int) int {
+	var sb strings.Builder
+	for _, s := range set {
+		fmt.Fprintf(&sb, "%d,", s)
+	}
+	key := sb.String()
+	if id, ok := d.setIDs[key]; ok {
+		return id
+	}
+	id := len(d.sets)
+	d.sets = append(d.sets, set)
+	acc := false
+	for _, s := range set {
+		if s == d.naccpt {
+			acc = true
+			break
+		}
+	}
+	d.accept = append(d.accept, acc)
+	d.setIDs[key] = id
+	return id
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MatchPath reports whether the device sequence satisfies the expression,
+// for tests and offline checks.
+func (d *DFA) MatchPath(path []topo.NodeID) bool {
+	st := d.start
+	for _, n := range path {
+		st = d.Step(st, n)
+		if st == Dead {
+			return false
+		}
+	}
+	return d.Accepting(st)
+}
+
+// Requirement couples a path expression with its sources and a
+// human-readable name; the packet space is bound separately (per EC).
+type Requirement struct {
+	Name    string
+	Sources []topo.NodeID
+	Expr    *Expr
+}

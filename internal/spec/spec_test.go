@@ -1,0 +1,222 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// lineGraph builds a—b—c—d—e plus w hanging off c, named as in waypoint
+// examples.
+func lineGraph() *topo.Graph {
+	g := topo.New()
+	for _, n := range []string{"a", "b", "c", "d", "e", "w"} {
+		g.AddNode(n, topo.RoleSwitch, -1)
+	}
+	link := func(x, y string) { g.AddLink(g.MustByName(x), g.MustByName(y)) }
+	link("a", "b")
+	link("b", "c")
+	link("c", "d")
+	link("d", "e")
+	link("c", "w")
+	return g
+}
+
+func path(g *topo.Graph, names ...string) []topo.NodeID {
+	out := make([]topo.NodeID, len(names))
+	for i, n := range names {
+		out[i] = g.MustByName(n)
+	}
+	return out
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "a |", "(a", "[a", "[a=", "a)", "[]", "*", "a [x&y]", "a £",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("(")
+}
+
+func TestBasicMatching(t *testing.T) {
+	g := lineGraph()
+	cases := []struct {
+		expr string
+		path []string
+		want bool
+	}{
+		{"a b c", []string{"a", "b", "c"}, true},
+		{"a b c", []string{"a", "b"}, false},
+		{"a b c", []string{"a", "b", "c", "d"}, false},
+		{"a .* e", []string{"a", "b", "c", "d", "e"}, true},
+		{"a .* e", []string{"a", "e"}, true},
+		{"a .* e", []string{"b", "c", "e"}, false},
+		{"a .* [w|d] .* e", []string{"a", "b", "c", "d", "e"}, true},
+		{"a .* [w|d] .* e", []string{"a", "b", "c", "e"}, false},
+		{"a b? c", []string{"a", "c"}, true},
+		{"a b? c", []string{"a", "b", "c"}, true},
+		{"a b+ c", []string{"a", "c"}, false},
+		{"a b+ c", []string{"a", "b", "b", "c"}, true},
+		{"a (b|c) d", []string{"a", "c", "d"}, true},
+		{"a (b|c) d", []string{"a", "d", "d"}, false},
+		{"^ a .* e $", []string{"a", "e"}, true}, // anchors ignored
+	}
+	for _, c := range cases {
+		e, err := Parse(c.expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.expr, err)
+		}
+		d := e.CompileDFA(g, nil)
+		if got := d.MatchPath(path(g, c.path...)); got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.expr, c.path, got, c.want)
+		}
+	}
+}
+
+func TestLabelClasses(t *testing.T) {
+	g := topo.New()
+	g.AddNode("t0", topo.RoleTor, 0)
+	g.AddNode("t1", topo.RoleTor, 1)
+	g.AddNode("s0", topo.RoleSpine, -1)
+	e := MustParse("[role=tor] [role=spine] [pod=1]")
+	d := e.CompileDFA(g, nil)
+	if !d.MatchPath(path(g, "t0", "s0", "t1")) {
+		t.Error("label path should match")
+	}
+	if d.MatchPath(path(g, "s0", "s0", "t1")) {
+		t.Error("first hop must be a ToR")
+	}
+	if d.MatchPath(path(g, "t0", "s0", "t0")) {
+		t.Error("last hop must be pod 1")
+	}
+	// name= is an alias for a bare ident.
+	if !MustParse("[name=t0]").CompileDFA(g, nil).MatchPath(path(g, "t0")) {
+		t.Error("name= class failed")
+	}
+	// Unknown label never matches.
+	if MustParse("[color=red]").CompileDFA(g, nil).MatchPath(path(g, "t0")) {
+		t.Error("unknown label matched")
+	}
+}
+
+func TestDestinationHop(t *testing.T) {
+	g := lineGraph()
+	dest := g.MustByName("e")
+	isDest := func(n topo.NodeID) bool { return n == dest }
+	d := MustParse("a .* >").CompileDFA(g, isDest)
+	if !d.MatchPath(path(g, "a", "b", "c", "d", "e")) {
+		t.Error("path to destination owner should match")
+	}
+	if d.MatchPath(path(g, "a", "b", "c")) {
+		t.Error("path not ending at destination matched")
+	}
+	// '>' with nil isDest never matches.
+	d2 := MustParse("a >").CompileDFA(g, nil)
+	if d2.MatchPath(path(g, "a", "e")) {
+		t.Error("nil isDest should make '>' unmatched")
+	}
+	// [dest=true] class form.
+	d3 := MustParse("a .* [dest=true]").CompileDFA(g, isDest)
+	if !d3.MatchPath(path(g, "a", "e")) {
+		t.Error("[dest=true] should match the owner")
+	}
+}
+
+func TestStepAndDeadState(t *testing.T) {
+	g := lineGraph()
+	d := MustParse("a b").CompileDFA(g, nil)
+	st := d.Start()
+	if d.Accepting(st) {
+		t.Error("start should not accept")
+	}
+	st = d.Step(st, g.MustByName("a"))
+	if st == Dead {
+		t.Fatal("step on 'a' died")
+	}
+	bad := d.Step(st, g.MustByName("w"))
+	if bad != Dead {
+		t.Error("mismatching hop should go Dead")
+	}
+	if d.Step(Dead, g.MustByName("a")) != Dead {
+		t.Error("Dead must be absorbing")
+	}
+	st = d.Step(st, g.MustByName("b"))
+	if !d.Accepting(st) {
+		t.Error("full match should accept")
+	}
+	// Memoized transitions must be stable.
+	if d.Step(d.Start(), g.MustByName("a")) != d.Step(d.Start(), g.MustByName("a")) {
+		t.Error("transition memoization unstable")
+	}
+}
+
+func TestPaperWaypointExpression(t *testing.T) {
+	// Figure 3: S .* [W|Y] .* D over the paper's example network.
+	g := topo.New()
+	for _, n := range []string{"S", "A", "B", "E", "C", "D", "Y", "W"} {
+		g.AddNode(n, topo.RoleSwitch, -1)
+	}
+	link := func(x, y string) { g.AddLink(g.MustByName(x), g.MustByName(y)) }
+	link("S", "A")
+	link("S", "W")
+	link("A", "B")
+	link("W", "A")
+	link("B", "E")
+	link("B", "Y")
+	link("E", "C")
+	link("Y", "C")
+	link("C", "D")
+	d := MustParse("S .* [W|Y] .* D").CompileDFA(g, nil)
+	if !d.MatchPath(path(g, "S", "W", "A", "B", "Y", "C", "D")) {
+		t.Error("compliant waypoint path rejected")
+	}
+	if !d.MatchPath(path(g, "S", "A", "B", "Y", "C", "D")) {
+		t.Error("path via Y rejected")
+	}
+	if d.MatchPath(path(g, "S", "A", "B", "E", "C", "D")) {
+		t.Error("path avoiding both waypoints accepted")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	src := "a .* b"
+	if got := MustParse(src).String(); got != src {
+		t.Errorf("String() = %q, want %q", got, src)
+	}
+}
+
+func TestDFAStateGrowthBounded(t *testing.T) {
+	g := lineGraph()
+	d := MustParse("a .* [w|d] .* e").CompileDFA(g, nil)
+	// Drive many paths; the DFA must stay small (subset construction of a
+	// tiny NFA) regardless of path count.
+	nodes := []string{"a", "b", "c", "d", "e", "w"}
+	for i := 0; i < 200; i++ {
+		st := d.Start()
+		for j := 0; j < 12 && st != Dead; j++ {
+			st = d.Step(st, g.MustByName(nodes[(i+j)%len(nodes)]))
+		}
+	}
+	if d.NumStates() > 32 {
+		t.Errorf("DFA exploded to %d states", d.NumStates())
+	}
+}
+
+func TestLexerRejectsGarbage(t *testing.T) {
+	_, err := Parse("a & b")
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("lexer error missing: %v", err)
+	}
+}

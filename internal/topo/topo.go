@@ -1,0 +1,367 @@
+// Package topo provides network topology graphs and the named topologies
+// of the paper's evaluation (Table 2): the Internet2 backbone, a
+// parameterized Fabric/Clos (the LNet stand-in), k-ary fat trees
+// (Appendix A's pod-add analysis), and synthetic stand-ins for the
+// Stanford and Airtel datasets.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fib"
+)
+
+// NodeID identifies a node; it doubles as the fib.DeviceID of the node's
+// forwarding table.
+type NodeID = fib.DeviceID
+
+// Role classifies a node's function in a structured topology.
+type Role uint8
+
+// Node roles.
+const (
+	RoleSwitch Role = iota // generic switch/router
+	RoleTor                // rack switch that owns prefixes
+	RoleAgg                // pod aggregation/fabric switch
+	RoleSpine              // spine/core switch
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleTor:
+		return "tor"
+	case RoleAgg:
+		return "agg"
+	case RoleSpine:
+		return "spine"
+	default:
+		return "switch"
+	}
+}
+
+// Node is one network device.
+type Node struct {
+	ID   NodeID
+	Name string
+	Role Role
+	Pod  int // pod index for fabric/fat-tree nodes, -1 otherwise
+}
+
+// Graph is an undirected multigraph of network devices. The zero value is
+// not usable; call New.
+type Graph struct {
+	nodes  []Node
+	byName map[string]NodeID
+	adj    map[NodeID][]NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]NodeID), adj: make(map[NodeID][]NodeID)}
+}
+
+// AddNode adds a node and returns its ID. Names must be unique.
+func (g *Graph) AddNode(name string, role Role, pod int) NodeID {
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate node %q", name))
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Role: role, Pod: pod})
+	g.byName[name] = id
+	return id
+}
+
+// AddLink adds an undirected link between a and b (idempotent).
+func (g *Graph) AddLink(a, b NodeID) {
+	if a == b {
+		panic("topo: self link")
+	}
+	if g.HasLink(a, b) {
+		return
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// RemoveLink removes the undirected link between a and b if present.
+func (g *Graph) RemoveLink(a, b NodeID) {
+	g.adj[a] = without(g.adj[a], b)
+	g.adj[b] = without(g.adj[b], a)
+}
+
+func without(s []NodeID, x NodeID) []NodeID {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// HasLink reports whether a—b exists.
+func (g *Graph) HasLink(a, b NodeID) bool {
+	for _, v := range g.adj[a] {
+		if v == b {
+			return true
+		}
+	}
+	return false
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return len(g.nodes) }
+
+// NumLinks reports the number of undirected links.
+func (g *Graph) NumLinks() int {
+	n := 0
+	for _, nb := range g.adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Nodes returns all nodes in ID order. Callers must not mutate it.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// ByName resolves a node name.
+func (g *Graph) ByName(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// MustByName resolves a node name or panics.
+func (g *Graph) MustByName(name string) NodeID {
+	id, ok := g.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown node %q", name))
+	}
+	return id
+}
+
+// Neighbors returns a's neighbor list (sorted, stable). Callers must not
+// mutate it.
+func (g *Graph) Neighbors(a NodeID) []NodeID { return g.adj[a] }
+
+// NodesByRole returns the IDs of nodes with the given role, sorted.
+func (g *Graph) NodesByRole(role Role) []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Role == role {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Links enumerates each undirected link once as an (a, b) pair with a < b.
+func (g *Graph) Links() [][2]NodeID {
+	var out [][2]NodeID
+	for a, nbrs := range g.adj {
+		for _, b := range nbrs {
+			if a < b {
+				out = append(out, [2]NodeID{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nodes = append([]Node(nil), g.nodes...)
+	for name, id := range g.byName {
+		c.byName[name] = id
+	}
+	for id, nbrs := range g.adj {
+		c.adj[id] = append([]NodeID(nil), nbrs...)
+	}
+	return c
+}
+
+// DistancesFrom computes hop distances from src via BFS; unreachable
+// nodes get -1.
+func (g *Graph) DistancesFrom(src NodeID) []int {
+	dist := make([]int, len(g.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// NextHopsToward returns, for every node u, the neighbors of u on a
+// shortest path toward dst (the ECMP next-hop set); empty for dst itself
+// and for nodes that cannot reach dst. Next hops are sorted for
+// determinism.
+func (g *Graph) NextHopsToward(dst NodeID) [][]NodeID {
+	dist := g.DistancesFrom(dst)
+	out := make([][]NodeID, len(g.nodes))
+	for _, n := range g.nodes {
+		u := n.ID
+		if u == dst || dist[u] < 0 {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if dist[v] >= 0 && dist[v] == dist[u]-1 {
+				out[u] = append(out[u], v)
+			}
+		}
+		sort.Slice(out[u], func(i, j int) bool { return out[u][i] < out[u][j] })
+	}
+	return out
+}
+
+// Internet2 returns the 9-node Internet2/Abilene backbone used by the
+// I2-* settings. Node names match Figure 8 of the paper; the link set
+// includes the chic—atla and chic—kans links whose failures drive the
+// CE2D experiments.
+func Internet2() *Graph {
+	g := New()
+	names := []string{"seat", "salt", "losa", "hous", "kans", "chic", "atla", "wash", "newy"}
+	for _, n := range names {
+		g.AddNode(n, RoleSwitch, -1)
+	}
+	links := [][2]string{
+		{"seat", "salt"}, {"seat", "losa"}, {"losa", "salt"}, {"losa", "hous"},
+		{"salt", "kans"}, {"hous", "kans"}, {"hous", "atla"}, {"kans", "chic"},
+		{"chic", "newy"}, {"chic", "atla"}, {"chic", "wash"}, {"atla", "wash"},
+		{"newy", "wash"}, {"kans", "atla"},
+	}
+	for _, l := range links {
+		g.AddLink(g.MustByName(l[0]), g.MustByName(l[1]))
+	}
+	return g
+}
+
+// FabricParams sizes a 3-tier Fabric/Clos topology (the LNet stand-in,
+// following the data-center fabric architecture the paper's LNet uses).
+type FabricParams struct {
+	Pods        int // number of pods
+	TorsPerPod  int // rack switches per pod
+	AggsPerPod  int // fabric (aggregation) switches per pod
+	SpinePlanes int // spine planes; must equal AggsPerPod
+	SpinePer    int // spine switches per plane
+}
+
+// DefaultFabric is a laptop-scale LNet: 8 pods × (6 ToR + 4 agg) + 4×4
+// spines = 96 switches.
+var DefaultFabric = FabricParams{Pods: 8, TorsPerPod: 6, AggsPerPod: 4, SpinePlanes: 4, SpinePer: 4}
+
+// Fabric builds a 3-tier Clos: every ToR connects to every aggregation
+// switch in its pod; aggregation switch j of every pod connects to all
+// spine switches of plane j.
+func Fabric(p FabricParams) *Graph {
+	if p.SpinePlanes != p.AggsPerPod {
+		panic("topo: SpinePlanes must equal AggsPerPod")
+	}
+	g := New()
+	spines := make([][]NodeID, p.SpinePlanes)
+	for pl := 0; pl < p.SpinePlanes; pl++ {
+		for s := 0; s < p.SpinePer; s++ {
+			spines[pl] = append(spines[pl], g.AddNode(fmt.Sprintf("spine-%d-%d", pl, s), RoleSpine, -1))
+		}
+	}
+	for pod := 0; pod < p.Pods; pod++ {
+		aggs := make([]NodeID, p.AggsPerPod)
+		for a := 0; a < p.AggsPerPod; a++ {
+			aggs[a] = g.AddNode(fmt.Sprintf("agg-%d-%d", pod, a), RoleAgg, pod)
+			for _, s := range spines[a] {
+				g.AddLink(aggs[a], s)
+			}
+		}
+		for t := 0; t < p.TorsPerPod; t++ {
+			tor := g.AddNode(fmt.Sprintf("tor-%d-%d", pod, t), RoleTor, pod)
+			for _, a := range aggs {
+				g.AddLink(tor, a)
+			}
+		}
+	}
+	return g
+}
+
+// FatTree builds the canonical k-ary fat tree: (k/2)² core switches, k
+// pods of k/2 aggregation and k/2 edge switches. k must be even.
+func FatTree(k int) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic("topo: fat-tree k must be even and ≥ 2")
+	}
+	g := New()
+	h := k / 2
+	core := make([][]NodeID, h) // core group j connects to agg j of each pod
+	for j := 0; j < h; j++ {
+		for i := 0; i < h; i++ {
+			core[j] = append(core[j], g.AddNode(fmt.Sprintf("core-%d-%d", j, i), RoleSpine, -1))
+		}
+	}
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]NodeID, h)
+		for j := 0; j < h; j++ {
+			aggs[j] = g.AddNode(fmt.Sprintf("agg-%d-%d", pod, j), RoleAgg, pod)
+			for _, c := range core[j] {
+				g.AddLink(aggs[j], c)
+			}
+		}
+		for e := 0; e < h; e++ {
+			edge := g.AddNode(fmt.Sprintf("edge-%d-%d", pod, e), RoleTor, pod)
+			for _, a := range aggs {
+				g.AddLink(edge, a)
+			}
+		}
+	}
+	return g
+}
+
+// randomConnected builds a deterministic "ring plus random chords" graph,
+// the stand-in shape for datasets we cannot redistribute.
+func randomConnected(prefix string, n, links int, seed int64) *Graph {
+	if links < n {
+		panic("topo: need at least n links for ring construction")
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("%s%02d", prefix, i), RoleSwitch, -1)
+	}
+	for i := 0; i < n; i++ {
+		g.AddLink(NodeID(i), NodeID((i+1)%n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for g.NumLinks() < links {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a != b && !g.HasLink(a, b) {
+			g.AddLink(a, b)
+		}
+	}
+	return g
+}
+
+// Stanford returns a synthetic 16-node stand-in for the Stanford backbone
+// dataset (16 nodes / 37 adjacencies in Table 2).
+func Stanford() *Graph { return randomConnected("sw", 16, 19, 160) }
+
+// Airtel returns a synthetic 68-node stand-in for the Airtel dataset
+// (68 nodes / 260 adjacencies in Table 2).
+func Airtel() *Graph { return randomConnected("rt", 68, 130, 680) }

@@ -1,0 +1,220 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", RoleSwitch, -1)
+	b := g.AddNode("b", RoleTor, 0)
+	c := g.AddNode("c", RoleSwitch, -1)
+	g.AddLink(a, b)
+	g.AddLink(b, c)
+	g.AddLink(a, b) // idempotent
+	if g.N() != 3 || g.NumLinks() != 2 {
+		t.Fatalf("N=%d links=%d, want 3/2", g.N(), g.NumLinks())
+	}
+	if !g.HasLink(a, b) || !g.HasLink(b, a) {
+		t.Error("link not symmetric")
+	}
+	if g.HasLink(a, c) {
+		t.Error("phantom link")
+	}
+	if id, ok := g.ByName("b"); !ok || id != b {
+		t.Error("ByName failed")
+	}
+	if g.Node(b).Role != RoleTor || g.Node(b).Pod != 0 {
+		t.Error("node metadata lost")
+	}
+	g.RemoveLink(a, b)
+	if g.HasLink(a, b) || g.NumLinks() != 1 {
+		t.Error("RemoveLink failed")
+	}
+	g.RemoveLink(a, c) // absent: no-op
+	if len(g.NodesByRole(RoleTor)) != 1 {
+		t.Error("NodesByRole wrong")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dup node":  func() { g := New(); g.AddNode("x", RoleSwitch, -1); g.AddNode("x", RoleSwitch, -1) },
+		"self link": func() { g := New(); a := g.AddNode("x", RoleSwitch, -1); g.AddLink(a, a) },
+		"unknown":   func() { New().MustByName("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDistancesAndNextHops(t *testing.T) {
+	// a—b—c—d plus a—c chord: toward d, a should use c (dist 2 vs 3 via b).
+	g := New()
+	a := g.AddNode("a", RoleSwitch, -1)
+	b := g.AddNode("b", RoleSwitch, -1)
+	c := g.AddNode("c", RoleSwitch, -1)
+	d := g.AddNode("d", RoleSwitch, -1)
+	iso := g.AddNode("iso", RoleSwitch, -1)
+	g.AddLink(a, b)
+	g.AddLink(b, c)
+	g.AddLink(c, d)
+	g.AddLink(a, c)
+	dist := g.DistancesFrom(d)
+	if dist[a] != 2 || dist[b] != 2 || dist[c] != 1 || dist[d] != 0 {
+		t.Fatalf("distances = %v", dist)
+	}
+	if dist[iso] != -1 {
+		t.Error("isolated node should be unreachable")
+	}
+	nh := g.NextHopsToward(d)
+	if len(nh[a]) != 1 || nh[a][0] != c {
+		t.Errorf("nexthops(a→d) = %v, want [c]", nh[a])
+	}
+	if len(nh[d]) != 0 {
+		t.Error("dst must have no next hops")
+	}
+	if len(nh[iso]) != 0 {
+		t.Error("unreachable node must have no next hops")
+	}
+}
+
+func TestNextHopsECMP(t *testing.T) {
+	// Diamond: s—{m1,m2}—t gives s two equal-cost next hops.
+	g := New()
+	s := g.AddNode("s", RoleSwitch, -1)
+	m1 := g.AddNode("m1", RoleSwitch, -1)
+	m2 := g.AddNode("m2", RoleSwitch, -1)
+	tt := g.AddNode("t", RoleSwitch, -1)
+	g.AddLink(s, m1)
+	g.AddLink(s, m2)
+	g.AddLink(m1, tt)
+	g.AddLink(m2, tt)
+	nh := g.NextHopsToward(tt)
+	if len(nh[s]) != 2 {
+		t.Fatalf("ECMP set = %v, want 2 next hops", nh[s])
+	}
+}
+
+func TestInternet2(t *testing.T) {
+	g := Internet2()
+	if g.N() != 9 {
+		t.Fatalf("Internet2 has %d nodes, want 9", g.N())
+	}
+	if g.NumLinks() != 14 {
+		t.Fatalf("Internet2 has %d links, want 14 (28 directed)", g.NumLinks())
+	}
+	// The two links the CE2D experiments fail must exist.
+	if !g.HasLink(g.MustByName("chic"), g.MustByName("atla")) {
+		t.Error("missing chic—atla")
+	}
+	if !g.HasLink(g.MustByName("chic"), g.MustByName("kans")) {
+		t.Error("missing chic—kans")
+	}
+	// Connected.
+	dist := g.DistancesFrom(0)
+	for i, d := range dist {
+		if d < 0 {
+			t.Errorf("node %d unreachable", i)
+		}
+	}
+}
+
+func TestFabric(t *testing.T) {
+	p := FabricParams{Pods: 4, TorsPerPod: 3, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 2}
+	g := Fabric(p)
+	wantNodes := 2*2 + 4*(3+2)
+	if g.N() != wantNodes {
+		t.Fatalf("fabric has %d nodes, want %d", g.N(), wantNodes)
+	}
+	// links: per pod 3*2 tor-agg + 2*2 agg-spine = 10; total 40.
+	if g.NumLinks() != 40 {
+		t.Fatalf("fabric has %d links, want 40", g.NumLinks())
+	}
+	tors := g.NodesByRole(RoleTor)
+	if len(tors) != 12 {
+		t.Fatalf("fabric has %d ToRs, want 12", len(tors))
+	}
+	// Any ToR can reach any other ToR in ≤ 4 hops (tor-agg-spine-agg-tor).
+	dist := g.DistancesFrom(tors[0])
+	for _, tor := range tors {
+		if dist[tor] < 0 || dist[tor] > 4 {
+			t.Errorf("ToR %d at distance %d", tor, dist[tor])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched planes should panic")
+		}
+	}()
+	Fabric(FabricParams{Pods: 1, TorsPerPod: 1, AggsPerPod: 2, SpinePlanes: 1, SpinePer: 1})
+}
+
+func TestFatTree(t *testing.T) {
+	g := FatTree(4)
+	// k=4: 4 core, 4 pods × (2 agg + 2 edge) = 20 nodes.
+	if g.N() != 20 {
+		t.Fatalf("fat-tree(4) has %d nodes, want 20", g.N())
+	}
+	// links: core-agg 4 pods × 2 agg × 2 core = 16; edge-agg 4 pods × 4 = 16.
+	if g.NumLinks() != 32 {
+		t.Fatalf("fat-tree(4) has %d links, want 32", g.NumLinks())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd k should panic")
+		}
+	}()
+	FatTree(3)
+}
+
+func TestSyntheticStandIns(t *testing.T) {
+	s := Stanford()
+	if s.N() != 16 {
+		t.Errorf("Stanford N=%d", s.N())
+	}
+	a := Airtel()
+	if a.N() != 68 {
+		t.Errorf("Airtel N=%d", a.N())
+	}
+	for name, g := range map[string]*Graph{"stanford": s, "airtel": a} {
+		dist := g.DistancesFrom(0)
+		for i, d := range dist {
+			if d < 0 {
+				t.Errorf("%s: node %d unreachable", name, i)
+			}
+		}
+	}
+	// Deterministic across calls.
+	if Stanford().NumLinks() != s.NumLinks() {
+		t.Error("Stanford not deterministic")
+	}
+}
+
+func TestLinksEnumeration(t *testing.T) {
+	g := Internet2()
+	links := g.Links()
+	if len(links) != g.NumLinks() {
+		t.Fatalf("Links() returned %d, want %d", len(links), g.NumLinks())
+	}
+	for _, l := range links {
+		if l[0] >= l[1] {
+			t.Fatalf("link %v not normalized", l)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Internet2()
+	c := g.Clone()
+	c.RemoveLink(c.MustByName("chic"), c.MustByName("kans"))
+	if !g.HasLink(g.MustByName("chic"), g.MustByName("kans")) {
+		t.Error("Clone shares adjacency state")
+	}
+}

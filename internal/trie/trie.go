@@ -1,0 +1,129 @@
+// Package trie implements the prefix trie used for fast look-up of
+// overlapped rules (§3.4 of the paper).
+//
+// Computing atomic overwrites only needs to consider rules whose matches
+// overlap; for (mostly) longest-prefix-match data planes, a binary trie on
+// the rule's primary prefix dimension finds exactly those rules: the rules
+// stored on the root-to-node path (shorter prefixes containing the query)
+// plus every rule in the node's subtree (longer prefixes contained in the
+// query). Rules whose match is not a prefix (e.g. suffix-match routing)
+// are inserted at the root with length 0 and are conservatively returned
+// by every query, which is correct — overlap tests downstream are exact,
+// the trie only prunes.
+package trie
+
+import "fmt"
+
+// Trie is a binary prefix trie with payloads of type T at each node.
+// T must be comparable so payloads can be deleted by value.
+// The zero Trie is not usable; call New.
+type Trie[T comparable] struct {
+	width int
+	root  *node[T]
+	size  int
+}
+
+type node[T comparable] struct {
+	children [2]*node[T]
+	items    []T
+}
+
+// New returns a trie for prefixes over width-bit values (1..64).
+func New[T comparable](width int) *Trie[T] {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("trie: invalid width %d", width))
+	}
+	return &Trie[T]{width: width, root: &node[T]{}}
+}
+
+// Len reports the number of stored items.
+func (t *Trie[T]) Len() int { return t.size }
+
+// locate walks to the node for (value, plen), optionally creating it.
+func (t *Trie[T]) locate(value uint64, plen int, create bool) *node[T] {
+	if plen < 0 || plen > t.width {
+		panic(fmt.Sprintf("trie: prefix length %d out of range [0,%d]", plen, t.width))
+	}
+	n := t.root
+	for i := 0; i < plen; i++ {
+		b := (value >> uint(t.width-1-i)) & 1
+		next := n.children[b]
+		if next == nil {
+			if !create {
+				return nil
+			}
+			next = &node[T]{}
+			n.children[b] = next
+		}
+		n = next
+	}
+	return n
+}
+
+// Insert stores item under the prefix (value, plen). value is a full-width
+// value whose low bits beyond plen are ignored.
+func (t *Trie[T]) Insert(value uint64, plen int, item T) {
+	n := t.locate(value, plen, true)
+	n.items = append(n.items, item)
+	t.size++
+}
+
+// Delete removes one occurrence of item stored under (value, plen),
+// reporting whether it was found.
+func (t *Trie[T]) Delete(value uint64, plen int, item T) bool {
+	n := t.locate(value, plen, false)
+	if n == nil {
+		return false
+	}
+	for i, it := range n.items {
+		if it == item {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Overlapping appends to dst every item whose stored prefix overlaps the
+// query prefix (value, plen): items on the path from the root to the query
+// node, plus all items in the query node's subtree. The result is a
+// superset-pruned candidate list; callers perform exact overlap tests.
+func (t *Trie[T]) Overlapping(value uint64, plen int, dst []T) []T {
+	n := t.root
+	for i := 0; i < plen; i++ {
+		dst = append(dst, n.items...)
+		b := (value >> uint(t.width-1-i)) & 1
+		n = n.children[b]
+		if n == nil {
+			return dst
+		}
+	}
+	return collect(n, dst)
+}
+
+func collect[T comparable](n *node[T], dst []T) []T {
+	dst = append(dst, n.items...)
+	for _, c := range n.children {
+		if c != nil {
+			dst = collect(c, dst)
+		}
+	}
+	return dst
+}
+
+// Walk visits every stored item with its prefix.
+func (t *Trie[T]) Walk(fn func(value uint64, plen int, item T)) {
+	var rec func(n *node[T], value uint64, plen int)
+	rec = func(n *node[T], value uint64, plen int) {
+		for _, it := range n.items {
+			fn(value, plen, it)
+		}
+		for b, c := range n.children {
+			if c != nil {
+				rec(c, value|uint64(b)<<uint(t.width-1-plen), plen+1)
+			}
+		}
+	}
+	rec(t.root, 0, 0)
+}

@@ -1,0 +1,195 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tr := New[int](8)
+	tr.Insert(0xA0, 4, 1) // 1010xxxx
+	tr.Insert(0xA8, 5, 2) // 10101xxx (inside 1)
+	tr.Insert(0x40, 2, 3) // 01xxxxxx (disjoint)
+	tr.Insert(0, 0, 4)    // wildcard
+
+	got := tr.Overlapping(0xA8, 5, nil)
+	sort.Ints(got)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Overlapping = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Overlapping = %v, want %v", got, want)
+		}
+	}
+	// Query covering everything returns everything.
+	if n := len(tr.Overlapping(0, 0, nil)); n != 4 {
+		t.Errorf("root query returned %d items, want 4", n)
+	}
+	// Disjoint query sees only wildcard and its own branch.
+	got = tr.Overlapping(0x40, 2, nil)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("disjoint query = %v, want [3 4]", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int](8)
+	tr.Insert(0x80, 1, 7)
+	tr.Insert(0x80, 1, 8)
+	if !tr.Delete(0x80, 1, 7) {
+		t.Fatal("Delete failed")
+	}
+	if tr.Delete(0x80, 1, 7) {
+		t.Fatal("Delete found removed item")
+	}
+	if tr.Delete(0x00, 3, 9) {
+		t.Fatal("Delete found item at empty node")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	got := tr.Overlapping(0x80, 1, nil)
+	if len(got) != 1 || got[0] != 8 {
+		t.Errorf("after delete: %v", got)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"width 0":  func() { New[int](0) },
+		"width 65": func() { New[int](65) },
+		"plen -1":  func() { New[int](8).Insert(0, -1, 1) },
+		"plen big": func() { New[int](8).Insert(0, 9, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// prefixesOverlap is the brute-force reference: two prefixes overlap iff
+// one contains the other.
+func prefixesOverlap(v1 uint64, l1 int, v2 uint64, l2 int, width int) bool {
+	l := l1
+	if l2 < l {
+		l = l2
+	}
+	if l == 0 {
+		return true
+	}
+	shift := uint(width - l)
+	return v1>>shift == v2>>shift
+}
+
+func TestOverlappingMatchesBruteForceQuick(t *testing.T) {
+	const width = 10
+	type pfx struct {
+		V uint16
+		L uint8
+	}
+	check := func(stored []pfx, q pfx) bool {
+		tr := New[int](width)
+		norm := func(p pfx) (uint64, int) {
+			return uint64(p.V) & (1<<width - 1), int(p.L) % (width + 1)
+		}
+		for i, p := range stored {
+			v, l := norm(p)
+			tr.Insert(v, l, i)
+		}
+		qv, ql := norm(q)
+		got := tr.Overlapping(qv, ql, nil)
+		set := make(map[int]bool, len(got))
+		for _, i := range got {
+			set[i] = true
+		}
+		for i, p := range stored {
+			v, l := norm(p)
+			if prefixesOverlap(v, l, qv, ql, width) && !set[i] {
+				return false // trie missed a real overlap: unsound
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlappingPrunes(t *testing.T) {
+	// The trie must not return wildly more than the true overlaps for
+	// prefix-only workloads: check exactness on disjoint subtrees.
+	const width = 16
+	tr := New[int](width)
+	rng := rand.New(rand.NewSource(4))
+	type stored struct {
+		v uint64
+		l int
+	}
+	var all []stored
+	for i := 0; i < 500; i++ {
+		l := 1 + rng.Intn(width)
+		v := uint64(rng.Intn(1 << width))
+		tr.Insert(v, l, i)
+		all = append(all, stored{v, l})
+	}
+	for trial := 0; trial < 100; trial++ {
+		l := 1 + rng.Intn(width)
+		v := uint64(rng.Intn(1 << width))
+		got := tr.Overlapping(v, l, nil)
+		want := 0
+		for _, s := range all {
+			if prefixesOverlap(s.v, s.l, v, l, width) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("prefix-only query returned %d items, want exactly %d", len(got), want)
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := New[int](8)
+	in := map[int][2]uint64{
+		1: {0xA0, 4},
+		2: {0x00, 0},
+		3: {0xFF, 8},
+	}
+	for item, p := range in {
+		tr.Insert(p[0], int(p[1]), item)
+	}
+	seen := map[int][2]uint64{}
+	tr.Walk(func(v uint64, l int, item int) {
+		seen[item] = [2]uint64{v, uint64(l)}
+	})
+	if len(seen) != len(in) {
+		t.Fatalf("Walk visited %d items, want %d", len(seen), len(in))
+	}
+	for item, p := range in {
+		got := seen[item]
+		// Compare only the significant bits.
+		if got[1] != p[1] || (p[1] > 0 && got[0]>>(8-p[1]) != p[0]>>(8-p[1])) {
+			t.Errorf("item %d: Walk reported %#x/%d, want %#x/%d", item, got[0], got[1], p[0], p[1])
+		}
+	}
+}
+
+func TestReuseDstSlice(t *testing.T) {
+	tr := New[int](4)
+	tr.Insert(0x8, 1, 1)
+	buf := make([]int, 0, 16)
+	out := tr.Overlapping(0x8, 1, buf)
+	if len(out) != 1 || out[0] != 1 {
+		t.Errorf("Overlapping with reused dst = %v", out)
+	}
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot I/O: a snapshot file is simply a sequence of update frames —
+// the "FIB Snapshots" artifact of the paper's Figure 1, used for
+// one-shot verification runs (e.g. validating FIBs produced by a network
+// simulation, §5.5's on-demand deployment).
+
+// WriteSnapshot writes messages as consecutive frames.
+func WriteSnapshot(w io.Writer, msgs []Msg) error {
+	enc := NewEncoder(w)
+	for _, m := range msgs {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot reads frames until EOF.
+func ReadSnapshot(r io.Reader) ([]Msg, error) {
+	dec := NewDecoder(r)
+	var out []Msg
+	for {
+		m, err := dec.Decode()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+}
+
+// SaveSnapshot writes a snapshot file.
+func SaveSnapshot(path string, msgs []Msg) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(f, msgs); err != nil {
+		f.Close()
+		return fmt.Errorf("wire: writing snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadSnapshot reads a snapshot file.
+func LoadSnapshot(path string) ([]Msg, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	msgs := []Msg{sampleMsg(), sampleMsg(), {Device: 3, Epoch: "e2"}}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, msgs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("read %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		want := msgs[i]
+		if len(want.Updates) == 0 {
+			want.Updates = got[i].Updates // nil vs empty slice
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+}
+
+func TestSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	msgs := []Msg{sampleMsg()}
+	if err := SaveSnapshot(path, msgs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Device != msgs[0].Device {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := LoadSnapshot(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadSnapshotRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, []Msg{sampleMsg()}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadSnapshot(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,363 @@
+// Package wire implements the update-feed protocol between device agents
+// and the Flash dispatcher: length-prefixed binary frames over TCP,
+// playing the role of the Thrift messages in the paper's deployment.
+//
+// A frame carries one epoch-tagged update message: the device ID, the
+// epoch tag, and a block of native rule updates in symbolic (MatchDesc)
+// form — predicates are compiled against the receiver's BDD engine, since
+// BDD references are engine-local. Per-connection framing preserves the
+// per-device ordering §4.1 requires; the server serializes all
+// connections into a single handler, matching the dispatcher's
+// single-goroutine model.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/fib"
+)
+
+// MaxFrame bounds a frame's payload size (a storm block of ~1M updates).
+const MaxFrame = 64 << 20
+
+// Rule is the symbolic form of a forwarding rule on the wire.
+type Rule struct {
+	ID     int64
+	Pri    int32
+	Action fib.Action
+	Desc   fib.MatchDesc
+}
+
+// Update is one native rule update on the wire.
+type Update struct {
+	Op   fib.Op
+	Rule Rule
+}
+
+// Msg is one epoch-tagged update block from a device agent.
+type Msg struct {
+	Device  fib.DeviceID
+	Epoch   string
+	Updates []Update
+}
+
+// Encoder writes frames to a stream.
+type Encoder struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewEncoder wraps a writer (typically a net.Conn).
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+func (e *Encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *Encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *Encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *Encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *Encoder) str(s string) {
+	if len(s) > 0xFFFF {
+		panic("wire: string too long")
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Encode writes one message as a frame and flushes it.
+func (e *Encoder) Encode(m Msg) error {
+	e.buf = e.buf[:0]
+	e.u32(uint32(m.Device))
+	e.str(m.Epoch)
+	e.u32(uint32(len(m.Updates)))
+	for _, u := range m.Updates {
+		e.u8(uint8(u.Op))
+		e.u64(uint64(u.Rule.ID))
+		e.u32(uint32(u.Rule.Pri))
+		e.u32(uint32(u.Rule.Action))
+		if len(u.Rule.Desc) > 0xFF {
+			return fmt.Errorf("wire: descriptor with %d constraints", len(u.Rule.Desc))
+		}
+		e.u8(uint8(len(u.Rule.Desc)))
+		for _, f := range u.Rule.Desc {
+			e.str(f.Field)
+			e.u8(uint8(f.Kind))
+			e.u64(f.Value)
+			e.u32(uint32(f.Len))
+			e.u64(f.Mask)
+		}
+	}
+	if len(e.buf) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(e.buf))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(e.buf)))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(e.buf); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads frames from a stream.
+type Decoder struct {
+	r   *bufio.Reader
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a reader (typically a net.Conn).
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+func (d *Decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *Decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *Decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *Decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *Decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("wire: truncated frame")
+	}
+}
+
+// Decode reads the next message. It returns io.EOF at a clean stream end.
+func (d *Decoder) Decode() (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Msg{}, errors.New("wire: truncated frame header")
+		}
+		return Msg{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Msg{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	d.buf = d.buf[:n]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		return Msg{}, fmt.Errorf("wire: truncated frame body: %w", err)
+	}
+	d.off, d.err = 0, nil
+
+	var m Msg
+	m.Device = fib.DeviceID(d.u32())
+	m.Epoch = d.str()
+	count := d.u32()
+	if d.err == nil && int(count) > len(d.buf) { // each update is >1 byte
+		return Msg{}, fmt.Errorf("wire: implausible update count %d", count)
+	}
+	m.Updates = make([]Update, 0, count)
+	for i := uint32(0); i < count && d.err == nil; i++ {
+		var u Update
+		u.Op = fib.Op(d.u8())
+		u.Rule.ID = int64(d.u64())
+		u.Rule.Pri = int32(d.u32())
+		u.Rule.Action = fib.Action(d.u32())
+		nd := int(d.u8())
+		for j := 0; j < nd && d.err == nil; j++ {
+			var f fib.FieldMatch
+			f.Field = d.str()
+			f.Kind = fib.MatchKind(d.u8())
+			f.Value = d.u64()
+			f.Len = int(int32(d.u32()))
+			f.Mask = d.u64()
+			u.Rule.Desc = append(u.Rule.Desc, f)
+		}
+		m.Updates = append(m.Updates, u)
+	}
+	if d.err != nil {
+		return Msg{}, d.err
+	}
+	if d.off != len(d.buf) {
+		return Msg{}, fmt.Errorf("wire: %d trailing bytes in frame", len(d.buf)-d.off)
+	}
+	return m, nil
+}
+
+// Server accepts agent connections and serializes their messages into a
+// single handler, preserving per-connection order.
+type Server struct {
+	l       net.Listener
+	handler func(Msg) error
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server on the listener; Serve must be called to
+// start accepting.
+func NewServer(l net.Listener, handler func(Msg) error) *Server {
+	return &Server{l: l, handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until Close. Each connection's frames are
+// decoded and passed to the handler under a lock (the dispatcher is
+// single-threaded). Serve returns after the listener closes.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+	dec := NewDecoder(conn)
+	for {
+		m, err := dec.Decode()
+		if err != nil {
+			return // EOF or protocol error ends the connection
+		}
+		s.mu.Lock()
+		closed := s.closed
+		var herr error
+		if !closed {
+			herr = s.handler(m)
+		}
+		s.mu.Unlock()
+		if closed || herr != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Agent is a client that feeds update messages to a server.
+type Agent struct {
+	conn net.Conn
+	enc  *Encoder
+}
+
+// Dial connects an agent to the server address.
+func Dial(addr string) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{conn: conn, enc: NewEncoder(conn)}, nil
+}
+
+// Send transmits one message.
+func (a *Agent) Send(m Msg) error { return a.enc.Encode(m) }
+
+// Close closes the agent's connection.
+func (a *Agent) Close() error { return a.conn.Close() }
+
+// FromFib converts compiled updates to wire form; every rule must carry a
+// symbolic descriptor.
+func FromFib(dev fib.DeviceID, epoch string, ups []fib.Update) (Msg, error) {
+	m := Msg{Device: dev, Epoch: epoch, Updates: make([]Update, 0, len(ups))}
+	for _, u := range ups {
+		if u.Rule.Desc == nil {
+			return Msg{}, fmt.Errorf("wire: rule %d has no symbolic descriptor", u.Rule.ID)
+		}
+		m.Updates = append(m.Updates, Update{
+			Op:   u.Op,
+			Rule: Rule{ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action, Desc: u.Rule.Desc},
+		})
+	}
+	return m, nil
+}

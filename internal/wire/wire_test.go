@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/fib"
+)
+
+func sampleMsg() Msg {
+	return Msg{
+		Device: 42,
+		Epoch:  "abcdef0123456789",
+		Updates: []Update{
+			{Op: fib.Insert, Rule: Rule{ID: 7, Pri: 3, Action: fib.Forward(9), Desc: fib.MatchDesc{
+				{Field: "dst", Kind: fib.MatchPrefix, Value: 0xAB00, Len: 8},
+			}}},
+			{Op: fib.Delete, Rule: Rule{ID: 7, Pri: 3, Action: fib.Drop, Desc: fib.MatchDesc{
+				{Field: "dst", Kind: fib.MatchTernary, Value: 0x3, Mask: 0xF},
+				{Field: "src", Kind: fib.MatchPrefix, Value: 0x10, Len: 4},
+			}}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	want := sampleMsg()
+	if err := enc.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	type qField struct {
+		Name byte
+		Kind bool
+		V    uint64
+		L    uint8
+		M    uint64
+	}
+	type qUpdate struct {
+		Ins    bool
+		ID     int64
+		Pri    int32
+		Act    uint16
+		Fields []qField
+	}
+	check := func(dev uint16, epoch string, ups []qUpdate) bool {
+		if len(epoch) > 1000 {
+			epoch = epoch[:1000]
+		}
+		m := Msg{Device: fib.DeviceID(dev), Epoch: epoch}
+		for _, qu := range ups {
+			u := Update{Op: fib.Delete, Rule: Rule{ID: qu.ID, Pri: qu.Pri, Action: fib.Action(qu.Act)}}
+			if qu.Ins {
+				u.Op = fib.Insert
+			}
+			for _, f := range qu.Fields {
+				kind := fib.MatchPrefix
+				if f.Kind {
+					kind = fib.MatchTernary
+				}
+				u.Rule.Desc = append(u.Rule.Desc, fib.FieldMatch{
+					Field: string('a' + rune(f.Name%26)), Kind: kind,
+					Value: f.V, Len: int(f.L), Mask: f.M,
+				})
+			}
+			m.Updates = append(m.Updates, u)
+		}
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(m); err != nil {
+			return false
+		}
+		got, err := NewDecoder(&buf).Decode()
+		if err != nil {
+			return false
+		}
+		if len(got.Updates) == 0 {
+			got.Updates = nil
+		}
+		if len(m.Updates) == 0 {
+			m.Updates = nil
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	// Truncated header.
+	if _, err := NewDecoder(bytes.NewReader([]byte{0, 0})).Decode(); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Oversized frame.
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	if _, err := NewDecoder(bytes.NewReader(hdr[:])).Decode(); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Truncated body.
+	body := []byte{0, 0, 0, 10, 1, 2, 3}
+	if _, err := NewDecoder(bytes.NewReader(body)).Decode(); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Implausible update count inside a tiny frame.
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(Msg{Device: 1, Epoch: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the update count field (last 4 bytes of the frame).
+	raw[len(raw)-1] = 0xFF
+	raw[len(raw)-2] = 0xFF
+	if _, err := NewDecoder(bytes.NewReader(raw)).Decode(); err == nil {
+		t.Error("implausible count accepted")
+	}
+	// Random fuzz must never panic.
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 300; i++ {
+		junk := make([]byte, rng.Intn(64))
+		rng.Read(junk)
+		var frame []byte
+		frame = append(frame, 0, 0, 0, byte(len(junk)))
+		frame = append(frame, junk...)
+		NewDecoder(bytes.NewReader(frame)).Decode()
+	}
+}
+
+func TestFromFib(t *testing.T) {
+	desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: 4, Len: 2}}
+	ups := []fib.Update{{Op: fib.Insert, Rule: fib.Rule{ID: 1, Pri: 1, Action: fib.Drop, Desc: desc}}}
+	m, err := FromFib(3, "e1", ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Device != 3 || m.Epoch != "e1" || len(m.Updates) != 1 {
+		t.Fatalf("FromFib = %+v", m)
+	}
+	// Rules without descriptors are rejected.
+	if _, err := FromFib(3, "e1", []fib.Update{{Op: fib.Insert, Rule: fib.Rule{ID: 2}}}); err == nil {
+		t.Error("opaque rule accepted")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []Msg
+	srv := NewServer(l, func(m Msg) error {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+		return nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	const agents = 4
+	const perAgent = 25
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			ag, err := Dial(l.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ag.Close()
+			for i := 0; i < perAgent; i++ {
+				m := sampleMsg()
+				m.Device = fib.DeviceID(a)
+				m.Updates[0].Rule.ID = int64(i)
+				if err := ag.Send(m); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	// Drain: wait until all messages arrive (handlers run on conn
+	// goroutines; poll briefly).
+	for i := 0; i < 200; i++ {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == agents*perAgent {
+			break
+		}
+		if i == 199 {
+			t.Fatalf("received %d messages, want %d", n, agents*perAgent)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Per-device order preserved.
+	lastID := map[fib.DeviceID]int64{}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range got {
+		id := m.Updates[0].Rule.ID
+		if last, ok := lastID[m.Device]; ok && id != last+1 {
+			t.Fatalf("device %d order broken: %d after %d", m.Device, id, last)
+		}
+		lastID[m.Device] = id
+	}
+}

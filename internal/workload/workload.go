@@ -1,0 +1,418 @@
+// Package workload generates the data planes and update sequences of the
+// paper's evaluation settings (Table 2): StdFIB (all-pair shortest path
+// to rack prefixes), StdFIB* with source-match ECMP, StdFIB* with suffix
+// match routing, and trace-style settings on the small topologies. It
+// also provides the update arrival patterns (insert each rule in sequence
+// then delete in the same order; storms; per-device blocks) and subspace
+// partitions.
+//
+// Field widths are scaled relative to the paper (16-bit destinations
+// instead of 32) so that all three verification engines — including
+// Delta-net*'s interval explosion on non-prefix rules — run on one
+// machine while preserving each engine's asymptotic behavior.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/topo"
+)
+
+// Workload is a generated data plane: a topology, header layout, compiled
+// rule blocks per device, and bookkeeping to map prefixes to ToRs.
+type Workload struct {
+	Name   string
+	Topo   *topo.Graph
+	Layout *hs.Layout
+	Space  *hs.Space
+	// Blocks holds each device's initial FIB as one insert block,
+	// indexed by device.
+	Blocks []fib.Block
+	// Prefixes maps each ToR to its destination prefix constraint.
+	Prefixes map[topo.NodeID]fib.FieldMatch
+}
+
+// NumRules reports the total initial rule count (the |R| of Table 2).
+func (w *Workload) NumRules() int {
+	n := 0
+	for _, b := range w.Blocks {
+		n += len(b.Updates)
+	}
+	return n
+}
+
+// HostAction is the delivery action of a ToR for its own prefix: a
+// forward to a virtual host node beyond the fabric (DefaultActionMap
+// treats it as local delivery).
+func HostAction(g *topo.Graph, tor topo.NodeID) fib.Action {
+	return fib.Forward(topo.NodeID(g.N()) + tor)
+}
+
+// IsDestFunc returns the '>'-hop predicate for a destination ToR.
+func IsDestFunc(dst topo.NodeID) func(topo.NodeID) bool {
+	return func(n topo.NodeID) bool { return n == dst }
+}
+
+// prefixFor assigns ToR index i (of n) a prefix on a width-bit dst field.
+func prefixFor(i, n, width int) (value uint64, plen int) {
+	plen = 1
+	for 1<<uint(plen) < n {
+		plen++
+	}
+	if plen > width {
+		panic("workload: too many ToRs for field width")
+	}
+	return uint64(i) << uint(width-plen), plen
+}
+
+// LNetAPSP generates the LNet-apsp setting: a fabric topology whose FIBs
+// are all-pair shortest paths from every switch to the prefixes owned by
+// the rack (ToR) switches, using plain destination-prefix rules.
+func LNetAPSP(p topo.FabricParams) *Workload {
+	g := topo.Fabric(p)
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 16})
+	return stdFIB("LNet-apsp", g, layout, buildAPSPRules)
+}
+
+// TraceAPSP generates the same StdFIB pattern on an arbitrary topology
+// where every node owns a prefix — the shape of the Stanford-trace and
+// I2-trace settings.
+func TraceAPSP(name string, g *topo.Graph) *Workload {
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 16})
+	w := &Workload{
+		Name: name, Topo: g, Layout: layout, Space: hs.NewSpace(layout),
+		Prefixes: make(map[topo.NodeID]fib.FieldMatch),
+	}
+	// Every node owns a prefix (trace networks are routers, not fabrics).
+	owners := make([]topo.NodeID, g.N())
+	for i := range owners {
+		owners[i] = topo.NodeID(i)
+	}
+	buildAPSPRules(w, owners)
+	return w
+}
+
+// stdFIB builds a workload whose prefix owners are the fabric's ToRs.
+func stdFIB(name string, g *topo.Graph, layout *hs.Layout, build func(*Workload, []topo.NodeID)) *Workload {
+	w := &Workload{
+		Name: name, Topo: g, Layout: layout, Space: hs.NewSpace(layout),
+		Prefixes: make(map[topo.NodeID]fib.FieldMatch),
+	}
+	build(w, g.NodesByRole(topo.RoleTor))
+	return w
+}
+
+// buildAPSPRules fills Blocks with shortest-path destination-prefix rules
+// for each owner's prefix.
+func buildAPSPRules(w *Workload, owners []topo.NodeID) {
+	g := w.Topo
+	width := w.Layout.FieldBits("dst")
+	w.Blocks = make([]fib.Block, g.N())
+	for d := range w.Blocks {
+		w.Blocks[d].Device = fib.DeviceID(d)
+	}
+	nextID := make([]int64, g.N())
+	add := func(dev topo.NodeID, r fib.Rule) {
+		nextID[dev]++
+		r.ID = nextID[dev]
+		w.Blocks[dev].Updates = append(w.Blocks[dev].Updates, fib.Update{Op: fib.Insert, Rule: r})
+	}
+	// Default drop rule on every device.
+	for _, n := range g.Nodes() {
+		add(n.ID, fib.Rule{Match: bdd.True, Pri: 0, Action: fib.Drop,
+			Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Len: 0}}})
+	}
+	for i, tor := range owners {
+		val, plen := prefixFor(i, len(owners), width)
+		desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: val, Len: plen}}
+		w.Prefixes[tor] = desc[0]
+		match := w.Space.Compile(desc)
+		nh := g.NextHopsToward(tor)
+		for _, n := range g.Nodes() {
+			dev := n.ID
+			var action fib.Action
+			if dev == tor {
+				action = HostAction(g, tor)
+			} else if len(nh[dev]) > 0 {
+				action = fib.Forward(nh[dev][0]) // deterministic ECMP pick
+			} else {
+				continue // unreachable: keep the default drop
+			}
+			add(dev, fib.Rule{Match: match, Pri: int32(plen), Action: action, Desc: desc})
+		}
+	}
+}
+
+// LNetECMP generates the LNet-ecmp setting: StdFIB* with source-match
+// ECMP. Devices with multiple equal-cost next hops toward a prefix
+// install one rule per next hop, differentiated by a source prefix — the
+// two-field, non-prefix-friendly pattern that degrades interval-based
+// representations (Table 3).
+func LNetECMP(p topo.FabricParams) *Workload {
+	g := topo.Fabric(p)
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 12}, hs.Field{Name: "src", Bits: 8})
+	w := &Workload{
+		Name: "LNet-ecmp", Topo: g, Layout: layout, Space: hs.NewSpace(layout),
+		Prefixes: make(map[topo.NodeID]fib.FieldMatch),
+	}
+	owners := g.NodesByRole(topo.RoleTor)
+	width := layout.FieldBits("dst")
+	w.Blocks = make([]fib.Block, g.N())
+	for d := range w.Blocks {
+		w.Blocks[d].Device = fib.DeviceID(d)
+	}
+	nextID := make([]int64, g.N())
+	add := func(dev topo.NodeID, r fib.Rule) {
+		nextID[dev]++
+		r.ID = nextID[dev]
+		w.Blocks[dev].Updates = append(w.Blocks[dev].Updates, fib.Update{Op: fib.Insert, Rule: r})
+	}
+	for _, n := range g.Nodes() {
+		add(n.ID, fib.Rule{Match: bdd.True, Pri: 0, Action: fib.Drop,
+			Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Len: 0}}})
+	}
+	for i, tor := range owners {
+		val, plen := prefixFor(i, len(owners), width)
+		dstDesc := fib.FieldMatch{Field: "dst", Kind: fib.MatchPrefix, Value: val, Len: plen}
+		w.Prefixes[tor] = dstDesc
+		nh := g.NextHopsToward(tor)
+		for _, n := range g.Nodes() {
+			dev := n.ID
+			if dev == tor {
+				desc := fib.MatchDesc{dstDesc}
+				add(dev, fib.Rule{Match: w.Space.Compile(desc), Pri: int32(plen),
+					Action: HostAction(g, tor), Desc: desc})
+				continue
+			}
+			hops := nh[dev]
+			if len(hops) == 0 {
+				continue
+			}
+			// Split the source space over the ECMP group: srcBits bits
+			// select among up to 2^srcBits next hops.
+			srcBits := 0
+			for 1<<uint(srcBits) < len(hops) {
+				srcBits++
+			}
+			n := 1 << uint(srcBits)
+			for s := 0; s < n; s++ {
+				desc := fib.MatchDesc{dstDesc}
+				if srcBits > 0 {
+					desc = append(desc, fib.FieldMatch{Field: "src", Kind: fib.MatchPrefix,
+						Value: uint64(s) << uint(8-srcBits), Len: srcBits})
+				}
+				add(dev, fib.Rule{Match: w.Space.Compile(desc), Pri: int32(plen),
+					Action: fib.Forward(hops[s%len(hops)]), Desc: desc})
+			}
+		}
+	}
+	return w
+}
+
+// LNetSMR generates the LNet-smr setting: StdFIB* with suffix match
+// routing — every prefix owner is selected by the low bits of the
+// destination, a generic-ternary pattern that each interval engine must
+// explode (Table 3's worst case for Delta-net*).
+func LNetSMR(p topo.FabricParams) *Workload {
+	g := topo.Fabric(p)
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 16})
+	w := &Workload{
+		Name: "LNet-smr", Topo: g, Layout: layout, Space: hs.NewSpace(layout),
+		Prefixes: make(map[topo.NodeID]fib.FieldMatch),
+	}
+	owners := g.NodesByRole(topo.RoleTor)
+	w.Blocks = make([]fib.Block, g.N())
+	for d := range w.Blocks {
+		w.Blocks[d].Device = fib.DeviceID(d)
+	}
+	nextID := make([]int64, g.N())
+	add := func(dev topo.NodeID, r fib.Rule) {
+		nextID[dev]++
+		r.ID = nextID[dev]
+		w.Blocks[dev].Updates = append(w.Blocks[dev].Updates, fib.Update{Op: fib.Insert, Rule: r})
+	}
+	for _, n := range g.Nodes() {
+		add(n.ID, fib.Rule{Match: bdd.True, Pri: 0, Action: fib.Drop,
+			Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Len: 0}}})
+	}
+	slen := 1
+	for 1<<uint(slen) < len(owners) {
+		slen++
+	}
+	var mask uint64 = 1<<uint(slen) - 1
+	for i, tor := range owners {
+		desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchTernary, Value: uint64(i), Mask: mask}}
+		w.Prefixes[tor] = desc[0]
+		match := w.Space.Compile(desc)
+		nh := g.NextHopsToward(tor)
+		for _, n := range g.Nodes() {
+			dev := n.ID
+			var action fib.Action
+			if dev == tor {
+				action = HostAction(g, tor)
+			} else if len(nh[dev]) > 0 {
+				action = fib.Forward(nh[dev][0])
+			} else {
+				continue
+			}
+			add(dev, fib.Rule{Match: match, Pri: int32(slen), Action: action, Desc: desc})
+		}
+	}
+	return w
+}
+
+// DevUpdate is one element of a flattened update sequence.
+type DevUpdate struct {
+	Dev    fib.DeviceID
+	Update fib.Update
+}
+
+// InsertSequence flattens the workload's blocks into the storm arrival
+// pattern of the baseline evaluation: "putting the rule insertions of all
+// the switches in a sequence" (§5.2), interleaved round-robin across
+// devices so the verifier sees a network-wide burst.
+func (w *Workload) InsertSequence() []DevUpdate {
+	var out []DevUpdate
+	idx := make([]int, len(w.Blocks))
+	for {
+		progressed := false
+		for d, b := range w.Blocks {
+			if idx[d] < len(b.Updates) {
+				out = append(out, DevUpdate{Dev: b.Device, Update: b.Updates[idx[d]]})
+				idx[d]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// InsertThenDelete is the update generation of Table 2: "Insert each rule
+// in a sequence and then delete it in the same order from the sequence",
+// doubling the update scale.
+func (w *Workload) InsertThenDelete() []DevUpdate {
+	ins := w.InsertSequence()
+	out := make([]DevUpdate, 0, 2*len(ins))
+	out = append(out, ins...)
+	for _, du := range ins {
+		del := du
+		del.Update.Op = fib.Delete
+		out = append(out, del)
+	}
+	return out
+}
+
+// ChurnSequence generates a trace-style churn sequence: after the full
+// insert storm, random live rules are repeatedly deleted and re-inserted
+// (with fresh IDs) until the sequence reaches roughly factor × the rule
+// count — the shape of the Airtel-trace setting, whose update scale is
+// two orders of magnitude above its FIB scale. The sequence leaves every
+// device's final table equal in size to its initial one.
+func (w *Workload) ChurnSequence(factor int, seed int64) []DevUpdate {
+	out := w.InsertSequence()
+	if factor <= 1 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type live struct {
+		dev  fib.DeviceID
+		rule fib.Rule
+	}
+	var pool []live
+	nextID := int64(1 << 32) // fresh ID space for re-inserts
+	for _, du := range out {
+		pool = append(pool, live{du.Dev, du.Update.Rule})
+	}
+	target := factor * len(pool)
+	for len(out) < target {
+		i := rng.Intn(len(pool))
+		l := pool[i]
+		out = append(out, DevUpdate{Dev: l.dev, Update: fib.Update{Op: fib.Delete, Rule: l.rule}})
+		nr := l.rule
+		nr.ID = nextID
+		nextID++
+		out = append(out, DevUpdate{Dev: l.dev, Update: fib.Update{Op: fib.Insert, Rule: nr}})
+		pool[i].rule = nr
+	}
+	return out
+}
+
+// Chunk groups a flattened sequence into per-device blocks of at most
+// blockSize updates in arrival order — the block size threshold (BST)
+// mechanism of §5.2. blockSize <= 0 means one single block batch.
+func Chunk(seq []DevUpdate, blockSize int) [][]fib.Block {
+	if blockSize <= 0 {
+		blockSize = len(seq)
+	}
+	var out [][]fib.Block
+	for start := 0; start < len(seq); start += blockSize {
+		end := start + blockSize
+		if end > len(seq) {
+			end = len(seq)
+		}
+		byDev := make(map[fib.DeviceID]*fib.Block)
+		var blocks []fib.Block
+		var order []fib.DeviceID
+		for _, du := range seq[start:end] {
+			b, ok := byDev[du.Dev]
+			if !ok {
+				blocks = append(blocks, fib.Block{Device: du.Dev})
+				b = &blocks[len(blocks)-1]
+				byDev[du.Dev] = b
+				order = append(order, du.Dev)
+			}
+			b.Updates = append(b.Updates, du.Update)
+		}
+		// blocks may have been reallocated by append; rebuild in order.
+		final := make([]fib.Block, 0, len(order))
+		for _, dev := range order {
+			final = append(final, *byDev[dev])
+		}
+		out = append(out, final)
+	}
+	return out
+}
+
+// Subspaces partitions the destination space into n contiguous prefix
+// subspaces (the input-space partition of §3.4; the paper partitions
+// LNet by pod). n must be a power of two not exceeding the dst width.
+func (w *Workload) Subspaces(n int) []bdd.Ref {
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	if 1<<uint(bits) != n {
+		panic(fmt.Sprintf("workload: subspace count %d is not a power of two", n))
+	}
+	width := w.Layout.FieldBits("dst")
+	out := make([]bdd.Ref, n)
+	for i := 0; i < n; i++ {
+		out[i] = w.Space.Prefix("dst", uint64(i)<<uint(width-bits), bits)
+	}
+	return out
+}
+
+// PodAddCounts reproduces the table of Figure 15 (Appendix A): the total
+// rule count |R| and modified rule count |ΔR| when a new pod with P
+// prefixes is connected to a K-ary fat-tree data center network.
+//
+// The counts follow the figure exactly. With (K/2)² core switches and K
+// switches per pod, the fat tree has (5/4)K² switches, each holding one
+// rule per prefix (K pods × P prefixes), so |R| = (5/4)K³P. The change
+// set is the new pod's K switches installing full tables (K²P rules)
+// plus P new-prefix rules on the existing switches outside the 2K
+// switches whose FIBs the simulation reports unchanged:
+// |ΔR| = K²P + ((5/4)K² − 2K)P = (9K²/4 − 2K)P. These closed forms match
+// all five rows of the paper's table (e.g. K=4,P=2 → 160/56;
+// K=32,P=32 → 1,310,720/71,680).
+func PodAddCounts(k, p int) (totalRules, deltaRules int) {
+	totalRules = 5 * k * k * k * p / 4
+	deltaRules = (9*k*k/4 - 2*k) * p
+	return totalRules, deltaRules
+}

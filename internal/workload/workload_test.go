@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/imt"
+	"repro/internal/pat"
+	"repro/internal/topo"
+)
+
+var smallFabric = topo.FabricParams{Pods: 2, TorsPerPod: 2, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 1}
+
+func TestLNetAPSPShape(t *testing.T) {
+	w := LNetAPSP(smallFabric)
+	g := w.Topo
+	tors := g.NodesByRole(topo.RoleTor)
+	if len(tors) != 4 {
+		t.Fatalf("tors = %d", len(tors))
+	}
+	// Every device: 1 default + one rule per reachable ToR prefix.
+	want := g.N() * (1 + len(tors))
+	if got := w.NumRules(); got != want {
+		t.Fatalf("NumRules = %d, want %d", got, want)
+	}
+	if len(w.Prefixes) != len(tors) {
+		t.Fatalf("prefixes = %d", len(w.Prefixes))
+	}
+	// All tables valid and total.
+	for _, b := range w.Blocks {
+		tb := fib.NewTable()
+		for _, u := range b.Updates {
+			tb.Insert(u.Rule)
+		}
+		if err := tb.Validate(w.Space.E); err != nil {
+			t.Fatalf("device %d: %v", b.Device, err)
+		}
+	}
+}
+
+// TestAPSPForwardingDeliversEverywhere loads the workload into a Fast IMT
+// transformer and checks, for a sample of destination headers, that
+// following the forwarding actions hop by hop from any ToR reaches the
+// owner ToR's host action without looping.
+func TestAPSPForwardingDeliversEverywhere(t *testing.T) {
+	w := LNetAPSP(smallFabric)
+	g := w.Topo
+	tr := imt.NewTransformer(w.Space.E, pat.NewStore(), bdd.True)
+	if err := tr.ApplyBlock(w.Blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Model().Validate(w.Space.E); err != nil {
+		t.Fatal(err)
+	}
+	tors := g.NodesByRole(topo.RoleTor)
+	for dstTor, pfx := range w.Prefixes {
+		// A header inside the prefix.
+		h := pfx.Value
+		asg := w.Space.Assignment([]uint64{h})
+		behavior := tr.BehaviorAt(asg)
+		for _, src := range tors {
+			cur := src
+			for hops := 0; ; hops++ {
+				if hops > g.N() {
+					t.Fatalf("loop forwarding %#x from %d", h, src)
+				}
+				act := behavior[cur]
+				nh, ok := act.NextHop()
+				if !ok {
+					t.Fatalf("dropped %#x at %d (dst tor %d)", h, cur, dstTor)
+				}
+				if nh >= topo.NodeID(g.N()) {
+					if cur != dstTor {
+						t.Fatalf("header %#x delivered at %d, want %d", h, cur, dstTor)
+					}
+					break
+				}
+				cur = nh
+			}
+		}
+	}
+}
+
+func TestLNetECMPUsesSourceMatch(t *testing.T) {
+	w := LNetECMP(smallFabric)
+	twoField := 0
+	for _, b := range w.Blocks {
+		for _, u := range b.Updates {
+			if len(u.Rule.Desc) == 2 {
+				twoField++
+			}
+		}
+	}
+	if twoField == 0 {
+		t.Fatal("ECMP workload has no source-match rules")
+	}
+	// ECMP rules at a ToR toward a remote prefix must cover all sources:
+	// per-device per-priority groups of two-field rules share dst.
+	if w.NumRules() <= LNetAPSP(smallFabric).NumRules() {
+		t.Error("ECMP workload should be larger than apsp")
+	}
+}
+
+func TestLNetSMRUsesTernary(t *testing.T) {
+	w := LNetSMR(smallFabric)
+	ternary := 0
+	for _, b := range w.Blocks {
+		for _, u := range b.Updates {
+			if len(u.Rule.Desc) == 1 && u.Rule.Desc[0].Kind == fib.MatchTernary && u.Rule.Desc[0].Mask != 0 {
+				ternary++
+			}
+		}
+	}
+	if ternary == 0 {
+		t.Fatal("SMR workload has no suffix-match rules")
+	}
+	// Suffix classes partition the space: union of owner predicates = all.
+	union := bdd.False
+	for _, pfx := range w.Prefixes {
+		union = w.Space.E.Or(union, w.Space.Compile(fib.MatchDesc{pfx}))
+	}
+	if union != bdd.True {
+		t.Error("suffix classes do not cover the space")
+	}
+}
+
+func TestTraceAPSP(t *testing.T) {
+	w := TraceAPSP("I2-trace", topo.Internet2())
+	if w.NumRules() != 9*(1+9) {
+		t.Fatalf("NumRules = %d", w.NumRules())
+	}
+}
+
+func TestInsertSequenceInterleaves(t *testing.T) {
+	w := TraceAPSP("x", topo.Internet2())
+	seq := w.InsertSequence()
+	if len(seq) != w.NumRules() {
+		t.Fatalf("sequence length %d != %d rules", len(seq), w.NumRules())
+	}
+	// Round-robin: the first 9 entries come from 9 distinct devices.
+	seen := map[fib.DeviceID]bool{}
+	for _, du := range seq[:9] {
+		seen[du.Dev] = true
+	}
+	if len(seen) != 9 {
+		t.Errorf("first 9 updates from %d devices, want 9 (storm interleave)", len(seen))
+	}
+}
+
+func TestInsertThenDelete(t *testing.T) {
+	w := TraceAPSP("x", topo.Internet2())
+	seq := w.InsertThenDelete()
+	if len(seq) != 2*w.NumRules() {
+		t.Fatalf("length %d, want %d", len(seq), 2*w.NumRules())
+	}
+	n := len(seq) / 2
+	for i := 0; i < n; i++ {
+		if seq[i].Update.Op != fib.Insert || seq[n+i].Update.Op != fib.Delete {
+			t.Fatal("ordering wrong")
+		}
+		if seq[i].Dev != seq[n+i].Dev || seq[i].Update.Rule.ID != seq[n+i].Update.Rule.ID {
+			t.Fatal("delete does not mirror insert order")
+		}
+	}
+	// Applying the whole sequence leaves an empty data plane model.
+	tr := imt.NewTransformer(w.Space.E, pat.NewStore(), bdd.True)
+	for _, batch := range Chunk(seq, 64) {
+		if err := tr.ApplyBlock(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumRules() != 0 {
+		t.Fatalf("%d rules left after insert-then-delete", tr.NumRules())
+	}
+	if tr.Model().Len() != 1 {
+		t.Fatalf("%d classes left, want 1", tr.Model().Len())
+	}
+}
+
+func TestChunkRespectsOrderAndSize(t *testing.T) {
+	w := TraceAPSP("x", topo.Internet2())
+	seq := w.InsertSequence()
+	batches := Chunk(seq, 7)
+	total := 0
+	for _, bs := range batches {
+		n := 0
+		for _, b := range bs {
+			n += len(b.Updates)
+		}
+		if n > 7 {
+			t.Fatalf("batch has %d updates, cap 7", n)
+		}
+		total += n
+	}
+	if total != len(seq) {
+		t.Fatalf("chunks lost updates: %d vs %d", total, len(seq))
+	}
+	// blockSize <= 0: single batch.
+	if got := Chunk(seq, 0); len(got) != 1 {
+		t.Fatalf("Chunk(0) gave %d batches", len(got))
+	}
+}
+
+func TestSubspacesPartition(t *testing.T) {
+	w := LNetAPSP(smallFabric)
+	subs := w.Subspaces(4)
+	union := bdd.False
+	for i, s := range subs {
+		if s == bdd.False {
+			t.Fatalf("subspace %d empty", i)
+		}
+		if w.Space.E.And(union, s) != bdd.False {
+			t.Fatal("subspaces overlap")
+		}
+		union = w.Space.E.Or(union, s)
+	}
+	if union != bdd.True {
+		t.Fatal("subspaces do not cover")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two should panic")
+		}
+	}()
+	w.Subspaces(3)
+}
+
+// TestPodAddCountsMatchPaper checks all five rows of Figure 15's table.
+func TestPodAddCountsMatchPaper(t *testing.T) {
+	rows := []struct{ k, p, rules, delta int }{
+		{4, 2, 160, 56},
+		{8, 4, 2560, 512},
+		{16, 8, 40960, 4352},
+		{32, 16, 655360, 35840},
+		{32, 32, 1310720, 71680},
+	}
+	for _, r := range rows {
+		rules, delta := PodAddCounts(r.k, r.p)
+		if rules != r.rules || delta != r.delta {
+			t.Errorf("PodAddCounts(%d,%d) = %d,%d; paper says %d,%d",
+				r.k, r.p, rules, delta, r.rules, r.delta)
+		}
+	}
+}
+
+func TestChurnSequence(t *testing.T) {
+	w := TraceAPSP("x", topo.Internet2())
+	seq := w.ChurnSequence(5, 42)
+	if len(seq) < 5*w.NumRules() {
+		t.Fatalf("churn length %d, want ≥ %d", len(seq), 5*w.NumRules())
+	}
+	// Applying the sequence must be valid and end with the same table
+	// sizes as the pure insert storm.
+	tr := imt.NewTransformer(w.Space.E, pat.NewStore(), bdd.True)
+	for _, batch := range Chunk(seq, 128) {
+		if err := tr.ApplyBlock(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumRules() != w.NumRules() {
+		t.Fatalf("churn left %d rules, want %d", tr.NumRules(), w.NumRules())
+	}
+	if err := tr.Model().Validate(w.Space.E); err != nil {
+		t.Fatal(err)
+	}
+	// factor ≤ 1 degenerates to the plain insert storm.
+	if got := w.ChurnSequence(1, 1); len(got) != w.NumRules() {
+		t.Fatalf("factor 1 gave %d updates", len(got))
+	}
+	// Deterministic per seed.
+	a, b := w.ChurnSequence(3, 7), w.ChurnSequence(3, 7)
+	if len(a) != len(b) {
+		t.Fatal("churn not deterministic")
+	}
+	for i := range a {
+		if a[i].Dev != b[i].Dev || a[i].Update.Rule.ID != b[i].Update.Rule.ID {
+			t.Fatal("churn not deterministic")
+		}
+	}
+}

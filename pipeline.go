@@ -1,0 +1,108 @@
+package flash
+
+import (
+	"sync"
+)
+
+// Pipeline wraps a System with the §7 "Implementation" extension: model
+// update (Fast IMT) and requirement verification (CE2D) are decoupled so
+// agents never block on detection work. Feed enqueues and returns
+// immediately; deterministic results stream on Results, in order.
+//
+// Per-device ordering is preserved (a single worker drains the queue in
+// arrival order; subspace parallelism still applies inside System.Feed).
+type Pipeline struct {
+	sys *System
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Msg
+	closed bool
+	err    error
+
+	results chan Result
+	done    chan struct{}
+}
+
+// NewPipeline starts the pipeline worker. Callers must eventually Close
+// it and drain Results.
+func NewPipeline(sys *System, buffer int) *Pipeline {
+	p := &Pipeline{
+		sys:     sys,
+		results: make(chan Result, buffer),
+		done:    make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.run()
+	return p
+}
+
+// Feed enqueues one agent message; it never blocks on verification.
+func (p *Pipeline) Feed(m Msg) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errClosed
+	}
+	if p.err != nil {
+		return p.err
+	}
+	p.queue = append(p.queue, m)
+	p.cond.Signal()
+	return nil
+}
+
+// Results streams deterministic detection results. The channel closes
+// after Close once the queue has drained.
+func (p *Pipeline) Results() <-chan Result { return p.results }
+
+// Close stops intake, waits for the queue to drain, and closes Results.
+// It returns the first verification error, if any.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+type pipelineError string
+
+func (e pipelineError) Error() string { return string(e) }
+
+const errClosed = pipelineError("flash: pipeline closed")
+
+func (p *Pipeline) run() {
+	defer close(p.done)
+	defer close(p.results)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed && p.err == nil {
+			p.cond.Wait()
+		}
+		if p.err != nil || (p.closed && len(p.queue) == 0) {
+			p.mu.Unlock()
+			return
+		}
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		results, err := p.sys.Feed(m)
+		if err != nil {
+			p.mu.Lock()
+			p.err = err
+			p.cond.Signal()
+			p.mu.Unlock()
+			return
+		}
+		for _, r := range results {
+			p.results <- r
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package flash
+
+import (
+	"testing"
+	"time"
+)
+
+func newLoopSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{
+		Topo:   lineTopo(),
+		Layout: dst8,
+		Checks: []CheckSpec{{Name: "loops", Kind: CheckLoopFree, ExitNodes: []string{"d"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPipelineDeliversResults(t *testing.T) {
+	p := NewPipeline(newLoopSystem(t), 16)
+	// b→c then c→b: a loop for the whole space.
+	msgs := []Msg{
+		{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Forward(2))}},
+		{Device: 2, Epoch: "e1", Updates: []Update{wildcard(2, Forward(1))}},
+	}
+	for _, m := range msgs {
+		if err := p.Feed(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case r := <-p.Results():
+		if r.Loop != LoopFound {
+			t.Fatalf("result %+v, want loop", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result from pipeline")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Channel closed after drain.
+	if _, ok := <-p.Results(); ok {
+		t.Fatal("results channel should be closed")
+	}
+	// Feeding after Close errors.
+	if err := p.Feed(msgs[0]); err == nil {
+		t.Fatal("Feed after Close accepted")
+	}
+}
+
+func TestPipelinePropagatesErrors(t *testing.T) {
+	p := NewPipeline(newLoopSystem(t), 4)
+	// Duplicate rule insert on one device → verification error.
+	bad := []Msg{
+		{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}},
+		{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}},
+	}
+	for _, m := range bad {
+		_ = p.Feed(m)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("expected error from duplicate insert")
+	}
+}
+
+func TestPipelineDrainsQueueOnClose(t *testing.T) {
+	sys := newLoopSystem(t)
+	p := NewPipeline(sys, 64)
+	// Queue a full converged epoch quickly, then Close: all results must
+	// still arrive before the channel closes.
+	acts := []Action{Forward(1), Forward(2), Forward(3), Forward(DeviceID(4))}
+	for d, a := range acts {
+		if err := p.Feed(Msg{Device: DeviceID(d), Epoch: "e1",
+			Updates: []Update{wildcard(int64(d+1), a)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go p.Close()
+	var got []Result
+	for r := range p.Results() {
+		got = append(got, r)
+	}
+	if len(got) == 0 {
+		t.Fatal("queued work lost on Close")
+	}
+	for _, r := range got {
+		if r.Loop != LoopFree {
+			t.Fatalf("unexpected result %+v", r)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package flash
+
+import (
+	"net"
+
+	"repro/internal/wire"
+)
+
+// Server runs a System behind the wire protocol: device agents connect
+// over TCP and stream epoch-tagged update frames; deterministic detection
+// results are delivered to the OnResult callback.
+type Server struct {
+	sys      *System
+	srv      *wire.Server
+	OnResult func(Result)
+}
+
+// NewServer wraps a System behind a listener. Call Serve to start.
+func NewServer(l net.Listener, sys *System, onResult func(Result)) *Server {
+	s := &Server{sys: sys, OnResult: onResult}
+	s.srv = wire.NewServer(l, func(m wire.Msg) error {
+		results, err := sys.Feed(m)
+		if err != nil {
+			return err
+		}
+		if s.OnResult != nil {
+			for _, r := range results {
+				s.OnResult(r)
+			}
+		}
+		return nil
+	})
+	return s
+}
+
+// Serve accepts agent connections until Close.
+func (s *Server) Serve() error { return s.srv.Serve() }
+
+// Close shuts the server down and drains in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// DialAgent connects a device agent to a Flash server address.
+func DialAgent(addr string) (*wire.Agent, error) { return wire.Dial(addr) }
