@@ -1,0 +1,31 @@
+# Flash reproduction build/verify targets. `make check` is the
+# pre-commit gate: vet plus the race detector over the full module.
+
+GO ?= go
+
+.PHONY: build test vet race race-hot bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# The concurrency-heavy paths only (System fan-out, pipeline, dispatcher,
+# wire server, metrics): quick race pass during development.
+race-hot:
+	$(GO) test -race . ./internal/ce2d ./internal/wire ./internal/obs
+
+# One benchmark per table/figure; BenchmarkIMT* guards the Fast IMT
+# hot path against regressions (metrics disabled).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+check: vet race

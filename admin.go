@@ -1,0 +1,65 @@
+package flash
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// AdminHandler serves the operational endpoints of a Flash deployment:
+//
+//	/metrics         the observability registry as indented JSON
+//	/healthz         liveness probe ("ok")
+//	/debug/vars      expvar (includes the registry, memstats, cmdline)
+//	/debug/pprof/*   the standard Go profiling endpoints
+//
+// cmd/flashd mounts it on the -admin listener; tests mount it on an
+// httptest server. reg may be nil, in which case /metrics serves an
+// empty object and the debug endpoints still work.
+func AdminHandler(reg *obs.Registry) http.Handler {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvar publication is process-global and panics on duplicate names, so
+// each registry is published at most once under "flash.<name>"; a second
+// registry with the same name is skipped (it still appears on /metrics).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+func publishExpvar(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	name := "flash." + reg.Name()
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/exps"
+	"repro/internal/obs"
 	"repro/internal/openr"
 )
 
@@ -40,6 +42,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-baseline timeout for storm experiments")
 		trials    = flag.Int("trials", 50, "trials for the CDF experiments")
 		subspaces = flag.Int("subspaces", 4, "subspace partition count")
+		metrics   = flag.Bool("metrics", false, "dump a per-experiment metrics snapshot (latency histograms) after each phase")
 	)
 	flag.Parse()
 
@@ -65,9 +68,22 @@ func main() {
 	order := []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig14", "fig15", "fig18", "overhead"}
 
+	// With -metrics, each experiment gets a fresh registry and its
+	// latency distributions (not just totals) are dumped after the phase.
+	instrumented := func(name string, run func()) {
+		if *metrics {
+			exps.Metrics = obs.NewRegistry(name)
+		}
+		run()
+		if *metrics {
+			dumpMetrics(name, exps.Metrics)
+			exps.Metrics = nil
+		}
+	}
+
 	if *expFlag == "all" {
 		for _, name := range order {
-			runners[name]()
+			instrumented(name, runners[name])
 			fmt.Println()
 		}
 		return
@@ -77,7 +93,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flashbench: unknown experiment %q\n", *expFlag)
 		os.Exit(2)
 	}
-	run()
+	instrumented(*expFlag, run)
+}
+
+// dumpMetrics prints the per-phase observability snapshot: one block per
+// workload sub-registry, with the Fast IMT phase latency histograms
+// (p50/p95/p99) that the plain tables reduce to totals.
+func dumpMetrics(name string, reg *obs.Registry) {
+	s := reg.Snapshot()
+	if len(s.Subs) == 0 {
+		return
+	}
+	fmt.Printf("-- metrics (%s) --\n", name)
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: metrics encoding: %v\n", err)
+		return
+	}
+	fmt.Println(string(out))
 }
 
 func parseScale(s string) (exps.Scale, error) {

@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +27,7 @@ import (
 
 	flash "repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -48,6 +53,7 @@ func (r *reachFlags) Set(v string) error {
 func main() {
 	var (
 		listen     = flag.String("listen", ":7001", "address to accept agent connections on")
+		admin      = flag.String("admin", ":7071", "admin HTTP address for /metrics, /healthz and /debug/pprof ('' disables)")
 		topoSpec   = flag.String("topo", "internet2", "topology (internet2|stanford|airtel|fabric:p,t,a,s)")
 		layoutSpec = flag.String("layout", "dst:16", "header layout (name:bits,...)")
 		loops      = flag.Bool("loops", true, "verify loop freedom")
@@ -73,9 +79,16 @@ func main() {
 	if len(checks) == 0 {
 		fatal(fmt.Errorf("flashd: no checks configured"))
 	}
-	sys, err := flash.NewSystem(flash.Config{
-		Topo: g, Layout: layout, Subspaces: *subspaces, Checks: checks,
-	})
+	reg := obs.NewRegistry("flashd")
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	sys, err := flash.NewSystem(
+		flash.WithTopo(g),
+		flash.WithLayout(layout),
+		flash.WithSubspaces(*subspaces, ""),
+		flash.WithChecks(checks...),
+		flash.WithMetrics(reg),
+		flash.WithLogger(logger),
+	)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,14 +123,34 @@ func main() {
 	fmt.Printf("flashd: verifying %d checks on %q (%d nodes, %d subspaces) at %s\n",
 		len(checks), *topoSpec, g.N(), max(1, *subspaces), l.Addr())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	go func() {
-		<-sig
+	var adminSrv *http.Server
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal(err)
+		}
+		adminSrv = &http.Server{Handler: flash.AdminHandler(reg)}
+		fmt.Printf("flashd: admin endpoint (/metrics, /healthz, /debug/pprof/) at %s\n", al.Addr())
+		go func() {
+			if err := adminSrv.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("flashd: admin: %v", err)
+			}
+		}()
+	}
+
+	// Serve until interrupted; the context tears the server down
+	// gracefully (listener closed, connections drained).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err = srv.ServeContext(ctx)
+	if errors.Is(err, context.Canceled) {
 		fmt.Println("flashd: shutting down")
-		srv.Close()
-	}()
-	if err := srv.Serve(); err != nil {
+		err = nil
+	}
+	if adminSrv != nil {
+		adminSrv.Shutdown(context.Background())
+	}
+	if err != nil {
 		fatal(err)
 	}
 }

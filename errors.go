@@ -1,0 +1,28 @@
+package flash
+
+import (
+	"errors"
+
+	"repro/internal/ce2d"
+)
+
+// Sentinel errors. Callers should test with errors.Is rather than
+// matching error strings; the concrete errors returned by the library
+// wrap these with %w and carry the specifics (device, epoch, check name)
+// in their message.
+var (
+	// ErrClosed is returned by operations on a Pipeline or Server after
+	// Close, and by context-free wrappers once their component shut down.
+	ErrClosed = errors.New("flash: closed")
+
+	// ErrUnknownDevice is returned when a check or query names a device
+	// that does not exist in the configured topology.
+	ErrUnknownDevice = errors.New("flash: unknown device")
+
+	// ErrBadEpoch is returned when a device violates epoch ordering —
+	// e.g. it keeps streaming updates for an epoch after having declared
+	// itself synchronized with it (§4.1's per-device serialization
+	// contract). It aliases the internal ce2d sentinel so wrapped
+	// dispatcher errors satisfy errors.Is(err, flash.ErrBadEpoch).
+	ErrBadEpoch = ce2d.ErrBadEpoch
+)

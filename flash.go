@@ -29,15 +29,20 @@
 package flash
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/ce2d"
 	"repro/internal/fib"
 	"repro/internal/hs"
 	"repro/internal/imt"
+	"repro/internal/obs"
 	"repro/internal/pat"
 	"repro/internal/reach"
 	"repro/internal/spec"
@@ -153,6 +158,11 @@ func (r Result) String() string {
 }
 
 // Config configures a System or ModelBuilder.
+//
+// Config remains fully supported, but new code should prefer the
+// functional options (see Option): a Config value can be passed directly
+// to NewSystem/NewModelBuilder or bridged explicitly with WithConfig and
+// refined with further options.
 type Config struct {
 	Topo   *Graph
 	Layout *Layout
@@ -174,6 +184,13 @@ type Config struct {
 	// the real forwarding stays consistent. Nil uses the topology's
 	// undirected adjacency.
 	Succ func(DeviceID) []DeviceID
+	// Metrics optionally attaches the observability layer; every
+	// subsystem publishes under its own sub-registry (see WithMetrics).
+	// Nil keeps all hot paths at their zero-cost no-op default.
+	Metrics *obs.Registry
+	// Logger receives operational messages from Pipeline/Server
+	// components (see WithLogger). Nil silences them.
+	Logger *log.Logger
 }
 
 func (c *Config) subspacePreds(s *hs.Space) []bdd.Ref {
@@ -214,10 +231,17 @@ type mbWorker struct {
 	space     *hs.Space
 	universe  bdd.Ref
 	transform *imt.Transformer
+	metrics   *obs.Registry // nil when uninstrumented
 }
 
-// NewModelBuilder creates a builder per the configuration.
-func NewModelBuilder(cfg Config) *ModelBuilder {
+// NewModelBuilder creates a builder from the given options. A bare
+// Config value is accepted as an option (the original struct API), so
+// both styles work:
+//
+//	NewModelBuilder(Config{Topo: g, Layout: l, Subspaces: 4})
+//	NewModelBuilder(WithTopo(g), WithLayout(l), WithSubspaces(4, ""))
+func NewModelBuilder(opts ...Option) *ModelBuilder {
+	cfg := buildConfig(opts)
 	b := &ModelBuilder{cfg: cfg}
 	probe := hs.NewSpace(cfg.Layout)
 	preds := cfg.subspacePreds(probe)
@@ -230,9 +254,46 @@ func NewModelBuilder(cfg Config) *ModelBuilder {
 			transform: imt.NewTransformer(space.E, pat.NewStore(), universe),
 		}
 		w.transform.PerUpdate = cfg.PerUpdate
+		if reg := cfg.Metrics.Sub("imt").Sub("subspace" + strconv.Itoa(i)); reg != nil {
+			w.metrics = reg
+			w.transform.Instrument(reg)
+			instrumentWorkerEngine(reg, &w.mu, func() (*hs.Space, *pat.Store) { return w.space, w.transform.Store })
+		}
 		b.workers = append(b.workers, w)
 	}
 	return b
+}
+
+// instrumentWorkerEngine registers sampled gauges for a subspace
+// worker's BDD engine and PAT store. The engine is single-owner state
+// guarded by the worker's mutex, so the gauges are Func callbacks that
+// take the lock at snapshot time rather than counters on the hot path
+// (Table 3's "# Predicate Operations" and the §5.5 memory proxies).
+// state is re-read on every sample because Compact rotates the engine.
+func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (*hs.Space, *pat.Store)) {
+	sample := func(f func(*hs.Space, *pat.Store) int64) func() int64 {
+		return func() int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f(state())
+		}
+	}
+	reg.Func("bdd_nodes", sample(func(s *hs.Space, _ *pat.Store) int64 { return int64(s.E.NumNodes()) }))
+	reg.Func("bdd_ops", sample(func(s *hs.Space, _ *pat.Store) int64 { return int64(s.E.Ops()) }))
+	reg.Func("bdd_cache_hits", sample(func(s *hs.Space, _ *pat.Store) int64 {
+		h, _ := s.E.CacheStats()
+		return int64(h)
+	}))
+	reg.Func("bdd_cache_misses", sample(func(s *hs.Space, _ *pat.Store) int64 {
+		_, m := s.E.CacheStats()
+		return int64(m)
+	}))
+	reg.Func("pat_nodes", sample(func(_ *hs.Space, ps *pat.Store) int64 {
+		if ps == nil {
+			return 0
+		}
+		return int64(ps.NumNodes())
+	}))
 }
 
 // NumSubspaces reports the number of parallel subspace workers.
@@ -325,6 +386,7 @@ func (w *mbWorker) compact(cfg Config) error {
 	}
 	tr := imt.NewTransformer(space.E, pat.NewStore(), universe)
 	tr.PerUpdate = cfg.PerUpdate
+	tr.Instrument(w.metrics) // rotation keeps the same metric handles
 	var blocks []fib.Block
 	for _, dev := range w.transform.Devices() {
 		blk := fib.Block{Device: dev}
@@ -429,10 +491,15 @@ type sysWorker struct {
 	space    *hs.Space
 	universe bdd.Ref
 	disp     *ce2d.Dispatcher
+	feedNs   *obs.Histogram // per-message verification latency (nil = off)
 }
 
-// NewSystem builds a System; checks are compiled per subspace.
-func NewSystem(cfg Config) (*System, error) {
+// NewSystem builds a System from the given options; checks are compiled
+// per subspace. As with NewModelBuilder, a bare Config value is accepted
+// as an option, so the original NewSystem(Config{...}) call style keeps
+// working.
+func NewSystem(opts ...Option) (*System, error) {
+	cfg := buildConfig(opts)
 	s := &System{cfg: cfg}
 	probe := hs.NewSpace(cfg.Layout)
 	preds := cfg.subspacePreds(probe)
@@ -444,19 +511,40 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 		w := &sysWorker{idx: i, space: space, universe: universe}
+		// Per-subspace observability: the dispatcher publishes CE2D
+		// progress under ce2d/subspace<i>, and every per-epoch verifier's
+		// Fast IMT transformer shares the nested imt sub-registry, so
+		// transform timings accumulate across epochs. All of it is nil
+		// (and therefore free) without WithMetrics.
+		sreg := cfg.Metrics.Sub("ce2d").Sub("subspace" + strconv.Itoa(i))
+		ireg := sreg.Sub("imt")
 		w.disp = ce2d.NewDispatcher(func(ce2d.Epoch) *ce2d.Verifier {
-			return ce2d.NewVerifier(ce2d.Config{
+			v := ce2d.NewVerifier(ce2d.Config{
 				Topo:     cfg.Topo,
 				Engine:   space.E,
 				Universe: universe,
 				Checks:   checks,
 				Succ:     cfg.Succ,
 			})
+			v.Transformer().Instrument(ireg)
+			return v
 		})
+		w.disp.Instrument(sreg)
+		if sreg != nil {
+			w.feedNs = sreg.Histogram("feed_ns")
+			instrumentWorkerEngine(sreg, &w.mu, func() (*hs.Space, *pat.Store) { return w.space, nil })
+		}
 		s.workers = append(s.workers, w)
 	}
 	return s, nil
 }
+
+// Metrics returns the observability registry the system was built with
+// (nil when observability is disabled).
+func (s *System) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Logger returns the configured logger (nil when silenced).
+func (s *System) Logger() *log.Logger { return s.cfg.Logger }
 
 func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 	var out []ce2d.Check
@@ -482,14 +570,14 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 			for _, name := range cs.Sources {
 				id, ok := cfg.Topo.ByName(name)
 				if !ok {
-					return nil, fmt.Errorf("flash: check %q: unknown source %q", cs.Name, name)
+					return nil, fmt.Errorf("flash: check %q: unknown source %q: %w", cs.Name, name, ErrUnknownDevice)
 				}
 				c.Sources = append(c.Sources, id)
 			}
 			for _, name := range cs.Dests {
 				id, ok := cfg.Topo.ByName(name)
 				if !ok {
-					return nil, fmt.Errorf("flash: check %q: unknown dest %q", cs.Name, name)
+					return nil, fmt.Errorf("flash: check %q: unknown dest %q: %w", cs.Name, name, ErrUnknownDevice)
 				}
 				c.Dests = append(c.Dests, id)
 			}
@@ -499,7 +587,7 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 			if cs.Dest != "" {
 				dst, ok := cfg.Topo.ByName(cs.Dest)
 				if !ok {
-					return nil, fmt.Errorf("flash: check %q: unknown dest %q", cs.Name, cs.Dest)
+					return nil, fmt.Errorf("flash: check %q: unknown dest %q: %w", cs.Name, cs.Dest, ErrUnknownDevice)
 				}
 				c.IsDest = func(n topo.NodeID) bool { return n == dst }
 			} else {
@@ -512,7 +600,7 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 				for _, name := range cs.ExitNodes {
 					id, ok := cfg.Topo.ByName(name)
 					if !ok {
-						return nil, fmt.Errorf("flash: check %q: unknown exit node %q", cs.Name, name)
+						return nil, fmt.Errorf("flash: check %q: unknown exit node %q: %w", cs.Name, name, ErrUnknownDevice)
 					}
 					exits[id] = true
 				}
@@ -527,8 +615,21 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 }
 
 // Feed delivers one epoch-tagged agent message to every subspace worker
-// (in parallel) and returns the deterministic results it triggered.
+// (in parallel) and returns the deterministic results it triggered. It
+// is FeedContext with a background context.
 func (s *System) Feed(m Msg) ([]Result, error) {
+	return s.FeedContext(context.Background(), m)
+}
+
+// FeedContext is Feed with cancellation: if ctx is canceled before a
+// subspace worker picks the message up, that worker returns ctx.Err()
+// and the message is not applied there. Cancellation is checked at
+// worker boundaries (a worker that has started applying a block always
+// finishes it, keeping the per-subspace models consistent).
+func (s *System) FeedContext(ctx context.Context, m Msg) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	results := make([][]Result, len(s.workers))
 	errs := make([]error, len(s.workers))
 	var wg sync.WaitGroup
@@ -536,7 +637,7 @@ func (s *System) Feed(m Msg) ([]Result, error) {
 		wg.Add(1)
 		go func(i int, w *sysWorker) {
 			defer wg.Done()
-			results[i], errs[i] = w.feed(m)
+			results[i], errs[i] = w.feed(ctx, m)
 		}(i, w)
 	}
 	wg.Wait()
@@ -551,9 +652,16 @@ func (s *System) Feed(m Msg) ([]Result, error) {
 	return out, nil
 }
 
-func (w *sysWorker) feed(m Msg) ([]Result, error) {
+func (w *sysWorker) feed(ctx context.Context, m Msg) ([]Result, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var start time.Time
+	if w.feedNs != nil {
+		start = time.Now()
+	}
 	var ups []fib.Update
 	for _, u := range m.Updates {
 		match := w.space.E.And(w.space.Compile(u.Rule.Desc), w.universe)
@@ -585,6 +693,9 @@ func (w *sysWorker) feed(m Msg) ([]Result, error) {
 			r.Witness = headerFromAssignment(w.space, asg)
 		}
 		out = append(out, r)
+	}
+	if w.feedNs != nil {
+		w.feedNs.Observe(time.Since(start))
 	}
 	return out, nil
 }

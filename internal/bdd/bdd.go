@@ -52,6 +52,9 @@ type Engine struct {
 	unique map[uint64]Ref
 	cache  map[cacheKey]Ref
 	ops    uint64 // user-level predicate operations (∧, ∨, ¬)
+
+	cacheHits   uint64 // ITE computed-cache hits
+	cacheMisses uint64 // ITE computed-cache misses (recursive computations)
 }
 
 // New returns an Engine over nvars Boolean variables. nvars must be
@@ -87,6 +90,13 @@ func (e *Engine) Ops() uint64 { return e.ops }
 
 // ResetOps zeroes the predicate-operation counter.
 func (e *Engine) ResetOps() { e.ops = 0 }
+
+// CacheStats reports the ITE computed-cache hit and miss totals since the
+// engine was created. Like every Engine method it must be called by the
+// goroutine that owns the engine (or under the owner's lock); Flash's
+// observability layer samples it from a Func gauge that takes the
+// subspace worker's mutex.
+func (e *Engine) CacheStats() (hits, misses uint64) { return e.cacheHits, e.cacheMisses }
 
 // mk returns the canonical node (level, lo, hi), creating it if needed.
 func (e *Engine) mk(level int32, lo, hi Ref) Ref {
@@ -134,8 +144,10 @@ func (e *Engine) ite(f, g, h Ref) Ref {
 	}
 	key := cacheKey{f, g, h}
 	if r, ok := e.cache[key]; ok {
+		e.cacheHits++
 		return r
 	}
+	e.cacheMisses++
 	nf, ng, nh := e.nodes[f], e.nodes[g], e.nodes[h]
 	top := nf.level
 	if ng.level < top {

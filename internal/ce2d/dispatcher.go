@@ -1,10 +1,19 @@
 package ce2d
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/fib"
+	"repro/internal/obs"
 )
+
+// ErrBadEpoch reports an epoch-ordering violation: a device kept sending
+// updates for an epoch after declaring itself synchronized with it.
+// Callers detect it with errors.Is; the flash package re-exports it as
+// flash.ErrBadEpoch.
+var ErrBadEpoch = errors.New("epoch ordering violated")
 
 // Msg is one epoch-tagged FIB update message from a device agent.
 // Delivery between one agent and the dispatcher is serialized (in-order),
@@ -41,6 +50,46 @@ type Dispatcher struct {
 	verifiers map[Epoch]*Verifier
 	fed       map[Epoch]map[fib.DeviceID]int // per-verifier consumed queue prefix
 	stats     DispatcherStats
+
+	m      dmetrics
+	born   map[Epoch]time.Time // verifier creation times (instrumented only)
+	queued int                 // total queued messages across devices
+}
+
+// dmetrics holds resolved observability handles; the zero value is the
+// uninstrumented no-op state (all calls are nil-receiver no-ops).
+type dmetrics struct {
+	messages        *obs.Counter   // agent messages received
+	events          *obs.Counter   // deterministic detection results emitted
+	created         *obs.Counter   // verifiers created
+	stopped         *obs.Counter   // verifiers stopped (epoch superseded)
+	verifiersLive   *obs.Gauge     // currently live per-epoch verifiers
+	queueDepth      *obs.Gauge     // retained messages across device queues
+	devicesSynced   *obs.Gauge     // synchronized devices of the last-fed verifier
+	stragglerWaitNs *obs.Histogram // verifier creation → device sync delay
+}
+
+// Instrument attaches the dispatcher to an observability registry. The
+// straggler_wait_ns histogram is the paper's long-tail story (Figure 9):
+// it records, for each device that synchronizes with an epoch, how long
+// the epoch's verifier had been waiting for it — CE2D reports results
+// without waiting for that tail, and the histogram shows how long the
+// tail actually is. Instrument(nil) is a no-op.
+func (d *Dispatcher) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	d.m = dmetrics{
+		messages:        r.Counter("messages"),
+		events:          r.Counter("events"),
+		created:         r.Counter("verifiers_created"),
+		stopped:         r.Counter("verifiers_stopped"),
+		verifiersLive:   r.Gauge("verifiers_live"),
+		queueDepth:      r.Gauge("queue_depth"),
+		devicesSynced:   r.Gauge("devices_synced"),
+		stragglerWaitNs: r.Histogram("straggler_wait_ns"),
+	}
+	d.born = make(map[Epoch]time.Time)
 }
 
 // NewDispatcher creates a dispatcher; factory builds a fresh verifier for
@@ -72,7 +121,10 @@ func (d *Dispatcher) Verifier(e Epoch) (*Verifier, bool) {
 // deterministic detection results.
 func (d *Dispatcher) Receive(m Msg) ([]TaggedEvent, error) {
 	d.stats.Messages++
+	d.m.messages.Inc()
 	d.queues[m.Device] = append(d.queues[m.Device], m)
+	d.queued++
+	d.m.queueDepth.Set(int64(d.queued))
 
 	isActive, deactivated := d.tracker.Observe(m.Device, m.Epoch)
 	for _, e := range deactivated {
@@ -80,6 +132,9 @@ func (d *Dispatcher) Receive(m Msg) ([]TaggedEvent, error) {
 			delete(d.verifiers, e)
 			delete(d.fed, e)
 			d.stats.VerifiersStopped++
+			d.m.stopped.Inc()
+			d.m.verifiersLive.Add(-1)
+			delete(d.born, e)
 		}
 	}
 	if !isActive {
@@ -95,7 +150,9 @@ func (d *Dispatcher) Receive(m Msg) ([]TaggedEvent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(events, more...), nil
+	events = append(events, more...)
+	d.m.events.Add(int64(len(events)))
+	return events, nil
 }
 
 // ensureVerifier creates (and back-fills) the verifier for an active
@@ -111,6 +168,11 @@ func (d *Dispatcher) ensureVerifier(e Epoch) (*Verifier, []TaggedEvent, error) {
 	d.verifiers[e] = v
 	d.fed[e] = make(map[fib.DeviceID]int)
 	d.stats.VerifiersCreated++
+	d.m.created.Inc()
+	d.m.verifiersLive.Add(1)
+	if d.born != nil {
+		d.born[e] = time.Now()
+	}
 	var events []TaggedEvent
 	for dev := range d.queues {
 		evs, err := d.feedDevice(e, v, dev)
@@ -131,7 +193,7 @@ func (d *Dispatcher) feedDevice(e Epoch, v *Verifier, dev fib.DeviceID) ([]Tagge
 		return nil, nil
 	}
 	if v.synced[dev] {
-		return nil, fmt.Errorf("ce2d: device %d sent more updates after synchronizing epoch %s", dev, e)
+		return nil, fmt.Errorf("ce2d: device %d sent more updates after synchronizing epoch %s: %w", dev, e, ErrBadEpoch)
 	}
 	for _, m := range q[start:] {
 		if err := v.ApplyUpdates(dev, m.Updates); err != nil {
@@ -146,6 +208,12 @@ func (d *Dispatcher) feedDevice(e Epoch, v *Verifier, dev fib.DeviceID) ([]Tagge
 	events, err := v.MarkSynchronized(dev)
 	if err != nil {
 		return nil, err
+	}
+	if d.born != nil {
+		if t0, ok := d.born[e]; ok {
+			d.m.stragglerWaitNs.Observe(time.Since(t0))
+		}
+		d.m.devicesSynced.Set(int64(v.SynchronizedCount()))
 	}
 	out := make([]TaggedEvent, 0, len(events))
 	for _, ev := range events {

@@ -14,10 +14,19 @@ import (
 	"repro/internal/deltanet"
 	"repro/internal/fib"
 	"repro/internal/imt"
+	"repro/internal/obs"
 	"repro/internal/pat"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
+
+// Metrics optionally attaches the observability layer to the Flash
+// verifiers the experiments construct: every RunFlash transformer
+// publishes its per-block phase latency histograms (map_ns, reduce_ns,
+// apply_ns — the Figure 11 phases) and counters under a sub-registry
+// named after the workload. Nil (the default) is free; cmd/flashbench
+// sets it when run with -metrics.
+var Metrics *obs.Registry
 
 // Scale selects experiment sizing. The paper's LNet has 6,016 switches;
 // these run the same generators at laptop scale (see DESIGN.md).
@@ -183,6 +192,7 @@ func RunFlash(w *workload.Workload, seq []workload.DevUpdate, universe bdd.Ref, 
 	store := pat.NewStore()
 	tr := imt.NewTransformer(w.Space.E, store, universe)
 	tr.PerUpdate = perUpdate
+	tr.Instrument(Metrics.Sub(w.Name))
 	res := SystemResult{System: "Flash"}
 	opsBefore := w.Space.E.Ops()
 	start := time.Now()

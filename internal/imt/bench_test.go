@@ -7,6 +7,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/fib"
 	"repro/internal/hs"
+	"repro/internal/obs"
 	"repro/internal/pat"
 )
 
@@ -32,6 +33,28 @@ func benchWorkload(s *hs.Space, nDev, rulesPer int) []fib.Block {
 		}
 	}
 	return blocks
+}
+
+// BenchmarkIMT guards the Fast IMT hot path against observability
+// overhead: metrics-off is the uninstrumented transformer (every hook a
+// nil-receiver no-op — must match the pre-observability baseline),
+// metrics-on attaches a registry and pays for the histogram writes.
+func BenchmarkIMT(b *testing.B) {
+	for _, mode := range []string{"metrics-off", "metrics-on"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 16}))
+				tr := NewTransformer(s.E, pat.NewStore(), bdd.True)
+				if mode == "metrics-on" {
+					tr.Instrument(obs.NewRegistry("bench").Sub("imt"))
+				}
+				if err := tr.ApplyBlock(benchWorkload(s, 16, 24)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkApplyBlockVsPerUpdate is the core Fast IMT micro-ablation.

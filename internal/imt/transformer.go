@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/fib"
+	"repro/internal/obs"
 	"repro/internal/pat"
 )
 
@@ -43,11 +44,49 @@ type Transformer struct {
 	tables map[fib.DeviceID]*fib.Table
 	model  *Model
 	stats  Stats
+	m      metrics
 
 	// PerUpdate forces block size 1 internally (the "Flash (per-update
 	// mode)" variant of Figure 11): every native update becomes its own
 	// block, so aggregation never kicks in.
 	PerUpdate bool
+}
+
+// metrics holds resolved observability handles. The zero value (all nil)
+// is the uninstrumented state: every call on it is a nil-receiver no-op,
+// so the hot path pays only predictable branches and no allocation.
+type metrics struct {
+	blocks     *obs.Counter   // update blocks processed
+	updates    *obs.Counter   // native rule updates processed
+	atomicOWs  *obs.Counter   // atomic overwrites produced by Map
+	aggregated *obs.Counter   // conflict-free overwrites after Reduce II
+	mapNs      *obs.Histogram // per-block Map phase latency
+	reduceNs   *obs.Histogram // per-block Reduce I+II latency
+	applyNs    *obs.Histogram // per-block cross-product latency
+	ecs        *obs.Gauge     // equivalence classes in the inverse model
+	rules      *obs.Gauge     // rules installed across device tables
+}
+
+// Instrument attaches the transformer to an observability registry,
+// resolving metric handles once. The metric names mirror the Stats
+// fields (and so Table 3 / Figure 11 of the paper): blocks, updates,
+// atomic_overwrites, aggregated_overwrites; map_ns, reduce_ns, apply_ns;
+// ecs, rules. Instrument(nil) leaves the transformer uninstrumented.
+func (t *Transformer) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	t.m = metrics{
+		blocks:     r.Counter("blocks"),
+		updates:    r.Counter("updates"),
+		atomicOWs:  r.Counter("atomic_overwrites"),
+		aggregated: r.Counter("aggregated_overwrites"),
+		mapNs:      r.Histogram("map_ns"),
+		reduceNs:   r.Histogram("reduce_ns"),
+		applyNs:    r.Histogram("apply_ns"),
+		ecs:        r.Gauge("ecs"),
+		rules:      r.Gauge("rules"),
+	}
 }
 
 // NewTransformer creates a Transformer over the given engine with an
@@ -106,9 +145,11 @@ func (t *Transformer) ApplyBlock(blocks []fib.Block) error {
 		return t.applyPerUpdate(blocks)
 	}
 	t.stats.Blocks++
+	t.m.blocks.Inc()
 
 	// ---- Map: Algorithm 1 per device. ----
 	start := time.Now()
+	updatesBefore, atomicBefore := t.stats.Updates, t.stats.Atomic
 	type devAtoms struct {
 		dev   fib.DeviceID
 		atoms []atomic
@@ -125,7 +166,11 @@ func (t *Transformer) ApplyBlock(blocks []fib.Block) error {
 			perDev = append(perDev, devAtoms{b.Device, atoms})
 		}
 	}
-	t.stats.MapTime += time.Since(start)
+	mapElapsed := time.Since(start)
+	t.stats.MapTime += mapElapsed
+	t.m.mapNs.Observe(mapElapsed)
+	t.m.updates.Add(int64(t.stats.Updates - updatesBefore))
+	t.m.atomicOWs.Add(int64(t.stats.Atomic - atomicBefore))
 
 	// ---- Reduce I: per device, aggregate by action. ----
 	start = time.Now()
@@ -173,29 +218,51 @@ func (t *Transformer) ApplyBlock(blocks []fib.Block) error {
 		ows = append(ows, Overwrite{Pred: p, Delta: byPred[p].delta, Clear: byPred[p].clear})
 	}
 	t.stats.Aggregated += len(ows)
-	t.stats.ReduceTime += time.Since(start)
+	reduceElapsed := time.Since(start)
+	t.stats.ReduceTime += reduceElapsed
+	t.m.reduceNs.Observe(reduceElapsed)
+	t.m.aggregated.Add(int64(len(ows)))
 
 	// ---- Apply: cross product with the model. ----
 	start = time.Now()
 	t.model.Apply(t.E, t.Store, ows)
-	t.stats.ApplyTime += time.Since(start)
+	applyElapsed := time.Since(start)
+	t.stats.ApplyTime += applyElapsed
+	t.m.applyNs.Observe(applyElapsed)
+	t.observeModel()
 	return nil
+}
+
+// observeModel refreshes the instantaneous model gauges. The size walks
+// are gated on instrumentation so the uninstrumented path never pays for
+// them.
+func (t *Transformer) observeModel() {
+	if t.m.ecs == nil {
+		return
+	}
+	t.m.ecs.Set(int64(t.model.Len()))
+	t.m.rules.Set(int64(t.NumRules()))
 }
 
 // applyPerUpdate processes every native update as its own single-rule
 // block, bypassing aggregation (Figure 11's per-update mode).
 func (t *Transformer) applyPerUpdate(blocks []fib.Block) error {
 	t.stats.Blocks++
+	t.m.blocks.Inc()
 	for _, b := range blocks {
 		for _, u := range b.Updates {
 			t.stats.Updates++
+			t.m.updates.Inc()
 			start := time.Now()
 			atoms, err := t.decompose(b.Device, []fib.Update{u})
 			if err != nil {
 				return fmt.Errorf("imt: device %d: %w", b.Device, err)
 			}
 			t.stats.Atomic += len(atoms)
-			t.stats.MapTime += time.Since(start)
+			t.m.atomicOWs.Add(int64(len(atoms)))
+			mapElapsed := time.Since(start)
+			t.stats.MapTime += mapElapsed
+			t.m.mapNs.Observe(mapElapsed)
 
 			start = time.Now()
 			ows := make([]Overwrite, 0, len(atoms))
@@ -207,10 +274,14 @@ func (t *Transformer) applyPerUpdate(blocks []fib.Block) error {
 				}
 			}
 			t.stats.Aggregated += len(ows)
+			t.m.aggregated.Add(int64(len(ows)))
 			t.model.Apply(t.E, t.Store, ows)
-			t.stats.ApplyTime += time.Since(start)
+			applyElapsed := time.Since(start)
+			t.stats.ApplyTime += applyElapsed
+			t.m.applyNs.Observe(applyElapsed)
 		}
 	}
+	t.observeModel()
 	return nil
 }
 

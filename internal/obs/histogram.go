@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a bounded, lock-free latency histogram over int64
+// nanosecond values. Values are bucketed log-linearly with two mantissa
+// bits per octave (HDR-style), so any recorded value lands in a bucket
+// whose width is at most 25% of its lower bound; quantiles interpolate
+// within the bucket and are typically far more accurate. The bucket
+// array is fixed (histBuckets entries), so a histogram's memory is
+// constant regardless of how many values it absorbs.
+//
+// All methods are safe for concurrent use and are no-ops on a nil
+// receiver; Observe performs no allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Bucket layout: values 0..7 get exact unit buckets 0..7; beyond that,
+// each octave e (floor log2) is split into 4 sub-buckets keyed by the two
+// bits after the leading one. Index = 4*(e-1) + sub for e >= 3.
+const histBuckets = 4*63 + 4 // indices for e up to 63
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func bucketIndex(v int64) int {
+	if v < 8 {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // e >= 3
+	sub := int(v>>(uint(e)-2)) & 3
+	return 4*(e-1) + sub
+}
+
+// bucketBounds returns the inclusive value range covered by bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < 8 {
+		return int64(i), int64(i)
+	}
+	e := uint(i/4 + 1)
+	sub := int64(i % 4)
+	lo = (4 + sub) << (e - 2)
+	return lo, lo + int64(1)<<(e-2) - 1
+}
+
+// Observe records one duration (clamped at zero).
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one nanosecond value (clamped at zero).
+func (h *Histogram) ObserveNs(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time summary of a histogram, in nanoseconds.
+type HistSnapshot struct {
+	Count  int64   `json:"count"`
+	SumNs  int64   `json:"sum_ns"`
+	MinNs  int64   `json:"min_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// Snapshot summarizes the histogram. Quantiles are linear interpolations
+// within log-linear buckets, clamped to the observed min/max. A nil or
+// empty histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [histBuckets]int64
+	// Load count first: concurrent Observes may land between loads, so
+	// quantile ranks are computed against a floor of the bucket totals.
+	n := h.count.Load()
+	if n == 0 {
+		return HistSnapshot{}
+	}
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total < n {
+		n = total
+	}
+	s := HistSnapshot{
+		Count: n,
+		SumNs: h.sum.Load(),
+		MinNs: h.min.Load(),
+		MaxNs: h.max.Load(),
+	}
+	s.MeanNs = float64(s.SumNs) / float64(n)
+	s.P50Ns = quantile(&counts, n, 0.50, s.MinNs, s.MaxNs)
+	s.P95Ns = quantile(&counts, n, 0.95, s.MinNs, s.MaxNs)
+	s.P99Ns = quantile(&counts, n, 0.99, s.MinNs, s.MaxNs)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded values.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	var counts [histBuckets]int64
+	n := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		n += counts[i]
+	}
+	return quantile(&counts, n, q, s.MinNs, s.MaxNs)
+}
+
+func quantile(counts *[histBuckets]int64, n int64, q float64, minNs, maxNs int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n-1) // 0-based fractional rank
+	seen := int64(0)
+	for i := range counts {
+		c := counts[i]
+		if c == 0 {
+			continue
+		}
+		if float64(seen+c) > rank {
+			lo, hi := bucketBounds(i)
+			// Position of the target rank within this bucket.
+			frac := (rank - float64(seen)) / float64(c)
+			v := float64(lo) + frac*float64(hi-lo)
+			if v < float64(minNs) {
+				v = float64(minNs)
+			}
+			if v > float64(maxNs) {
+				v = float64(maxNs)
+			}
+			return v
+		}
+		seen += c
+	}
+	return float64(maxNs)
+}

@@ -1,0 +1,316 @@
+// Package obs is the observability layer of the Flash reproduction: a
+// small, dependency-free metrics library with atomic counters, gauges,
+// bounded latency histograms (p50/p95/p99) and named per-subsystem
+// registries.
+//
+// The design goal is zero cost on hot paths when no sink is attached:
+// every metric method is nil-safe, so instrumented code holds plain
+// (possibly nil) *Counter / *Gauge / *Histogram handles and calls them
+// unconditionally. A nil handle is a single predictable branch — no
+// allocation, no map lookup, no lock. Handles are resolved from a
+// Registry once, at instrumentation time, never per operation.
+//
+// Registries form a tree (Sub) so each subsystem owns its namespace:
+//
+//	reg := obs.NewRegistry("flashd")
+//	imt := reg.Sub("imt").Sub("subspace0")
+//	imt.Counter("updates").Add(17)
+//	imt.Histogram("map_ns").Observe(elapsed)
+//
+// Snapshot() walks the tree into a JSON-serializable value; Func
+// registers a sampled gauge evaluated only at snapshot time, which is how
+// callers export state that is unsafe or too costly to track eagerly
+// (e.g. BDD node counts read under the owning worker's lock).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe for concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. All methods are safe for
+// concurrent use and are no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of metrics plus child registries. The
+// zero registry is not usable; create one with NewRegistry. All methods
+// are safe for concurrent use, and — like the metric types — safe on a
+// nil receiver: a nil Registry hands out nil metric handles, so an
+// uninstrumented subsystem pays only nil checks.
+type Registry struct {
+	name string
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	funcs      map[string]func() int64
+	subs       map[string]*Registry
+}
+
+// NewRegistry creates an empty registry with the given name.
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:       name,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		funcs:      make(map[string]func() int64),
+		subs:       make(map[string]*Registry),
+	}
+}
+
+// Name returns the registry's name ("" for nil).
+func (r *Registry) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Sub returns the child registry with the given name, creating it on
+// first use. Sub on a nil registry returns nil, so instrumentation can
+// unconditionally build its namespace.
+func (r *Registry) Sub(name string) *Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.subs[name]
+	if !ok {
+		s = NewRegistry(name)
+		r.subs[name] = s
+	}
+	return s
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Func registers a sampled gauge: fn is evaluated at Snapshot time only.
+// Use it for state that is unsafe to read concurrently — the callback can
+// take the owning subsystem's lock. Re-registering a name replaces the
+// callback. No-op on a nil registry.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot captures the full registry tree. Sampled gauges (Func) are
+// evaluated outside the registry lock, in sorted name order.
+type Snapshot struct {
+	Name       string                  `json:"name,omitempty"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Subs       map[string]Snapshot     `json:"subs,omitempty"`
+}
+
+// Snapshot walks the registry tree into a serializable value. A nil
+// registry yields a zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	s := Snapshot{Name: r.name}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	funcNames := make([]string, 0, len(r.funcs))
+	for name := range r.funcs {
+		funcNames = append(funcNames, name)
+	}
+	fns := make([]func() int64, 0, len(funcNames))
+	sort.Strings(funcNames)
+	for _, name := range funcNames {
+		fns = append(fns, r.funcs[name])
+	}
+	subNames := make([]string, 0, len(r.subs))
+	for name := range r.subs {
+		subNames = append(subNames, name)
+	}
+	sort.Strings(subNames)
+	subs := make([]*Registry, 0, len(subNames))
+	for _, name := range subNames {
+		subs = append(subs, r.subs[name])
+	}
+	r.mu.Unlock()
+
+	// Evaluate sampled gauges and recurse without holding our lock, so
+	// callbacks may take subsystem locks without ordering constraints.
+	if len(fns) > 0 {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]int64, len(fns))
+		}
+		for i, fn := range fns {
+			s.Gauges[funcNames[i]] = fn()
+		}
+	}
+	if len(subs) > 0 {
+		s.Subs = make(map[string]Snapshot, len(subs))
+		for i, sub := range subs {
+			s.Subs[subNames[i]] = sub.Snapshot()
+		}
+	}
+	return s
+}
+
+// Get resolves a slash-separated path ("ce2d/subspace0/messages") to a
+// counter or gauge value in the snapshot. The last path element is the
+// metric name; everything before it names nested sub-registries.
+func (s Snapshot) Get(path ...string) (int64, bool) {
+	if len(path) == 0 {
+		return 0, false
+	}
+	cur := s
+	for _, p := range path[:len(path)-1] {
+		sub, ok := cur.Subs[p]
+		if !ok {
+			return 0, false
+		}
+		cur = sub
+	}
+	name := path[len(path)-1]
+	if v, ok := cur.Counters[name]; ok {
+		return v, true
+	}
+	if v, ok := cur.Gauges[name]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// Hist resolves a slash-separated path to a histogram snapshot.
+func (s Snapshot) Hist(path ...string) (HistSnapshot, bool) {
+	if len(path) == 0 {
+		return HistSnapshot{}, false
+	}
+	cur := s
+	for _, p := range path[:len(path)-1] {
+		sub, ok := cur.Subs[p]
+		if !ok {
+			return HistSnapshot{}, false
+		}
+		cur = sub
+	}
+	h, ok := cur.Histograms[path[len(path)-1]]
+	return h, ok
+}

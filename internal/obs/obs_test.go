@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	if s := r.Sub("x"); s != nil {
+		t.Fatalf("nil.Sub = %v, want nil", s)
+	}
+	r.Counter("c").Add(3)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Add(-1)
+	r.Histogram("h").Observe(time.Millisecond)
+	r.Func("f", func() int64 { return 1 })
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Fatalf("nil gauge value = %d", v)
+	}
+	if s := r.Histogram("h").Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram snapshot = %+v", s)
+	}
+	if s := r.Snapshot(); s.Name != "" || len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry("root")
+	if r.Counter("c") != r.Counter("c") {
+		t.Fatal("Counter not stable across lookups")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge not stable across lookups")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram not stable across lookups")
+	}
+	if r.Sub("a") != r.Sub("a") {
+		t.Fatal("Sub not stable across lookups")
+	}
+}
+
+func TestSnapshotTreeAndGet(t *testing.T) {
+	r := NewRegistry("root")
+	r.Counter("top").Add(5)
+	sub := r.Sub("imt").Sub("subspace0")
+	sub.Counter("updates").Add(42)
+	sub.Gauge("ecs").Set(9)
+	sub.Func("nodes", func() int64 { return 123 })
+	sub.Histogram("map_ns").Observe(2 * time.Microsecond)
+
+	s := r.Snapshot()
+	if v, ok := s.Get("top"); !ok || v != 5 {
+		t.Fatalf("Get(top) = %d, %v", v, ok)
+	}
+	if v, ok := s.Get("imt", "subspace0", "updates"); !ok || v != 42 {
+		t.Fatalf("Get(updates) = %d, %v", v, ok)
+	}
+	if v, ok := s.Get("imt", "subspace0", "ecs"); !ok || v != 9 {
+		t.Fatalf("Get(ecs) = %d, %v", v, ok)
+	}
+	if v, ok := s.Get("imt", "subspace0", "nodes"); !ok || v != 123 {
+		t.Fatalf("Get(func gauge) = %d, %v", v, ok)
+	}
+	if h, ok := s.Hist("imt", "subspace0", "map_ns"); !ok || h.Count != 1 {
+		t.Fatalf("Hist(map_ns) = %+v, %v", h, ok)
+	}
+	if _, ok := s.Get("imt", "missing", "x"); ok {
+		t.Fatal("Get on missing path succeeded")
+	}
+
+	// The snapshot must round-trip through JSON (the /metrics format).
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Get("imt", "subspace0", "updates"); !ok || v != 42 {
+		t.Fatalf("after JSON round-trip Get(updates) = %d, %v", v, ok)
+	}
+}
+
+func TestHistogramBucketsCoverInt64(t *testing.T) {
+	vals := []int64{0, 1, 7, 8, 9, 15, 16, 100, 1 << 20, 1<<62 + 12345, math.MaxInt64}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d]", v, i, lo, hi)
+		}
+		if lo >= 8 && float64(hi-lo) > 0.25*float64(lo) {
+			t.Fatalf("bucket %d relative width %f too wide", i, float64(hi-lo)/float64(lo))
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy records known distributions and requires
+// the interpolated quantiles to be within the bucket scheme's relative
+// error bound.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	distributions := map[string]func() int64{
+		// Uniform microsecond-to-millisecond latencies.
+		"uniform": func() int64 { return 1_000 + rng.Int63n(999_000) },
+		// Log-normal-ish long tail.
+		"longtail": func() int64 { return int64(math.Exp(10 + 2*rng.NormFloat64())) },
+	}
+	for name, gen := range distributions {
+		h := newHistogram()
+		vals := make([]int64, 20_000)
+		for i := range vals {
+			v := gen()
+			vals[i] = v
+			h.ObserveNs(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		if s.Count != int64(len(vals)) {
+			t.Fatalf("%s: count = %d, want %d", name, s.Count, len(vals))
+		}
+		if s.MinNs != vals[0] || s.MaxNs != vals[len(vals)-1] {
+			t.Fatalf("%s: min/max = %d/%d, want %d/%d", name, s.MinNs, s.MaxNs, vals[0], vals[len(vals)-1])
+		}
+		for _, q := range []struct {
+			q    float64
+			got  float64
+			name string
+		}{
+			{0.50, s.P50Ns, "p50"},
+			{0.95, s.P95Ns, "p95"},
+			{0.99, s.P99Ns, "p99"},
+		} {
+			want := float64(vals[int(q.q*float64(len(vals)-1))])
+			if rel := math.Abs(q.got-want) / want; rel > 0.25 {
+				t.Errorf("%s: %s = %.0f, want ≈%.0f (rel err %.3f)", name, q.name, q.got, want, rel)
+			}
+		}
+		wantMean := 0.0
+		for _, v := range vals {
+			wantMean += float64(v)
+		}
+		wantMean /= float64(len(vals))
+		if rel := math.Abs(s.MeanNs-wantMean) / wantMean; rel > 1e-9 {
+			t.Errorf("%s: mean = %f, want %f", name, s.MeanNs, wantMean)
+		}
+	}
+}
+
+func TestHistogramQuantileExactSmall(t *testing.T) {
+	h := newHistogram()
+	// Values small enough to land in exact unit buckets.
+	for _, v := range []int64{1, 2, 3, 4, 5, 6, 7} {
+		h.ObserveNs(v)
+	}
+	s := h.Snapshot()
+	if s.P50Ns != 4 {
+		t.Fatalf("p50 = %f, want 4", s.P50Ns)
+	}
+	if s.MinNs != 1 || s.MaxNs != 7 {
+		t.Fatalf("min/max = %d/%d", s.MinNs, s.MaxNs)
+	}
+}
+
+// TestConcurrentMetrics hammers all metric types from many goroutines;
+// run under -race this proves the layer is data-race free and the totals
+// prove no lost updates on counters and histograms.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry("race")
+	const goroutines = 8
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("hits")
+			gauge := r.Gauge("depth")
+			h := r.Histogram("lat")
+			sub := r.Sub("worker")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				gauge.Add(1)
+				gauge.Add(-1)
+				h.ObserveNs(int64(i%1000 + 1))
+				if i%1000 == 0 {
+					sub.Counter("spill").Inc()
+					_ = r.Snapshot() // concurrent reads must be safe too
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if v, _ := s.Get("hits"); v != goroutines*perG {
+		t.Fatalf("hits = %d, want %d", v, goroutines*perG)
+	}
+	if v, _ := s.Get("depth"); v != 0 {
+		t.Fatalf("depth = %d, want 0", v)
+	}
+	if h, _ := s.Hist("lat"); h.Count != goroutines*perG {
+		t.Fatalf("lat count = %d, want %d", h.Count, goroutines*perG)
+	}
+	if v, _ := s.Get("worker", "spill"); v != goroutines*(perG/1000) {
+		t.Fatalf("spill = %d", v)
+	}
+}
+
+// BenchmarkNoopObserve measures the disabled-path cost: a nil histogram
+// observe must be a branch, not an allocation.
+func BenchmarkNoopObserve(b *testing.B) {
+	var h *Histogram
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.ObserveNs(int64(i))
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	h := newHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/fib"
+	"repro/internal/obs"
 )
 
 // MaxFrame bounds a frame's payload size (a storm block of ~1M updates).
@@ -109,11 +110,16 @@ func (e *Encoder) Encode(m Msg) error {
 
 // Decoder reads frames from a stream.
 type Decoder struct {
-	r   *bufio.Reader
-	buf []byte
-	off int
-	err error
+	r     *bufio.Reader
+	buf   []byte
+	off   int
+	err   error
+	nread uint64
 }
+
+// BytesRead reports the cumulative wire bytes consumed by successful and
+// partial Decode calls, including frame headers.
+func (d *Decoder) BytesRead() uint64 { return d.nread }
 
 // NewDecoder wraps a reader (typically a net.Conn).
 func NewDecoder(r io.Reader) *Decoder {
@@ -186,6 +192,7 @@ func (d *Decoder) Decode() (Msg, error) {
 		}
 		return Msg{}, err
 	}
+	d.nread += 4
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
 		return Msg{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
@@ -197,6 +204,7 @@ func (d *Decoder) Decode() (Msg, error) {
 	if _, err := io.ReadFull(d.r, d.buf); err != nil {
 		return Msg{}, fmt.Errorf("wire: truncated frame body: %w", err)
 	}
+	d.nread += uint64(n)
 	d.off, d.err = 0, nil
 
 	var m Msg
@@ -244,6 +252,35 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	m smetrics
+}
+
+// smetrics holds resolved observability handles; the zero value (all
+// nil) is the uninstrumented no-op state.
+type smetrics struct {
+	framesRx   *obs.Counter // frames decoded and handled
+	bytesRx    *obs.Counter // wire bytes consumed (headers included)
+	decodeErrs *obs.Counter // connections ended by a protocol error
+	connsTotal *obs.Counter // agent connections accepted
+	connsLive  *obs.Gauge   // currently open agent connections
+	updates    *obs.Counter // native rule updates carried by frames
+}
+
+// Instrument attaches the server to an observability registry; call it
+// before Serve. Instrument(nil) is a no-op.
+func (s *Server) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.m = smetrics{
+		framesRx:   r.Counter("frames_rx"),
+		bytesRx:    r.Counter("bytes_rx"),
+		decodeErrs: r.Counter("decode_errors"),
+		connsTotal: r.Counter("conns_total"),
+		connsLive:  r.Gauge("conns_live"),
+		updates:    r.Counter("updates_rx"),
+	}
 }
 
 // NewServer creates a server on the listener; Serve must be called to
@@ -281,19 +318,36 @@ func (s *Server) Serve() error {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	s.m.connsTotal.Inc()
+	s.m.connsLive.Add(1)
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.m.connsLive.Add(-1)
 		s.wg.Done()
 	}()
 	dec := NewDecoder(conn)
+	var lastRead uint64
 	for {
 		m, err := dec.Decode()
+		s.m.bytesRx.Add(int64(dec.BytesRead() - lastRead))
+		lastRead = dec.BytesRead()
 		if err != nil {
-			return // EOF or protocol error ends the connection
+			// EOF is a clean stream end and a read failing because Close
+			// tore the connection down is expected; anything else is a
+			// protocol error (the connection is dropped either way).
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed && !errors.Is(err, io.EOF) {
+				s.m.decodeErrs.Inc()
+			}
+			return
 		}
+		s.m.framesRx.Inc()
+		s.m.updates.Add(int64(len(m.Updates)))
 		s.mu.Lock()
 		closed := s.closed
 		var herr error

@@ -1,0 +1,232 @@
+package flash
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestBuildConfigOptions checks that functional options fold into the
+// same Config the struct-based API takes.
+func TestBuildConfigOptions(t *testing.T) {
+	g := lineTopo()
+	reg := obs.NewRegistry("t")
+	logger := log.New(os.Stderr, "", 0)
+	succ := func(DeviceID) []DeviceID { return nil }
+	cfg := buildConfig([]Option{
+		WithTopo(g),
+		WithLayout(dst8),
+		WithSubspaces(4, "dst"),
+		WithChecks(CheckSpec{Name: "a", Kind: CheckLoopFree}),
+		WithChecks(CheckSpec{Name: "b", Kind: CheckLoopFree}),
+		WithPerUpdate(true),
+		WithSuccessors(succ),
+		WithMetrics(reg),
+		WithLogger(logger),
+	})
+	if cfg.Topo != g || cfg.Layout != dst8 {
+		t.Error("topo/layout not set")
+	}
+	if cfg.Subspaces != 4 || cfg.SubspaceField != "dst" {
+		t.Errorf("subspaces = %d/%q", cfg.Subspaces, cfg.SubspaceField)
+	}
+	// WithChecks appends across calls.
+	if len(cfg.Checks) != 2 || cfg.Checks[0].Name != "a" || cfg.Checks[1].Name != "b" {
+		t.Errorf("checks = %+v", cfg.Checks)
+	}
+	if !cfg.PerUpdate || cfg.Succ == nil {
+		t.Error("per-update/succ not set")
+	}
+	if cfg.Metrics != reg || cfg.Logger != logger {
+		t.Error("metrics/logger not set")
+	}
+}
+
+// TestConfigIsAnOption checks the compatibility bridge: a bare Config
+// (or WithConfig) replaces the whole configuration, and later options
+// override it.
+func TestConfigIsAnOption(t *testing.T) {
+	base := Config{Topo: lineTopo(), Layout: dst8, Subspaces: 2}
+	got := buildConfig([]Option{base})
+	if got.Topo != base.Topo || got.Subspaces != 2 {
+		t.Errorf("bare Config option: got %+v", got)
+	}
+	got = buildConfig([]Option{WithConfig(base), WithSubspaces(8, "")})
+	if got.Subspaces != 8 || got.Topo != base.Topo {
+		t.Errorf("WithConfig + override: got %+v", got)
+	}
+	// A later Config replaces everything set before it.
+	got = buildConfig([]Option{WithSubspaces(8, ""), WithConfig(base)})
+	if got.Subspaces != 2 {
+		t.Errorf("Config should replace wholesale, got subspaces=%d", got.Subspaces)
+	}
+}
+
+// TestOptionsEquivalentToConfig runs the same verification through a
+// struct-configured and an options-configured System and expects
+// identical results.
+func TestOptionsEquivalentToConfig(t *testing.T) {
+	check := CheckSpec{Name: "loops", Kind: CheckLoopFree, ExitNodes: []string{"d"}}
+	old, err := NewSystem(Config{Topo: lineTopo(), Layout: dst8, Subspaces: 2, Checks: []CheckSpec{check}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewSystem(
+		WithTopo(lineTopo()),
+		WithLayout(dst8),
+		WithSubspaces(2, ""),
+		WithChecks(check),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Msg{
+		{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Forward(2))}},
+		{Device: 2, Epoch: "e1", Updates: []Update{wildcard(2, Forward(1))}},
+	}
+	for _, sys := range []*System{old, opt} {
+		var all []Result
+		for _, m := range msgs {
+			rs, err := sys.Feed(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, rs...)
+		}
+		found := false
+		for _, r := range all {
+			if r.Loop == LoopFound {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("system %p: no loop found in %+v", sys, all)
+		}
+	}
+}
+
+func TestFeedContextCanceled(t *testing.T) {
+	sys, err := NewSystem(
+		WithTopo(lineTopo()),
+		WithLayout(dst8),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sys.FeedContext(ctx, Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FeedContext on canceled ctx: %v", err)
+	}
+	// The canceled feed must not have been applied: the same message is
+	// still accepted afterwards (no double-send epoch violation).
+	if _, err := sys.Feed(Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}}); err != nil {
+		t.Fatalf("feed after canceled feed: %v", err)
+	}
+}
+
+func TestPipelineSentinels(t *testing.T) {
+	sys, err := NewSystem(
+		WithTopo(lineTopo()),
+		WithLayout(dst8),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(sys, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.FeedContext(ctx, Msg{Device: 1, Epoch: "e1"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FeedContext on canceled ctx: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = p.Feed(Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Feed after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestUnknownDeviceSentinel(t *testing.T) {
+	cases := []CheckSpec{
+		{Name: "src", Kind: CheckReach, Expr: ".*", Sources: []string{"nope"}, Dest: "d"},
+		{Name: "dst", Kind: CheckReach, Expr: ".*", Sources: []string{"a"}, Dest: "nope"},
+		{Name: "exit", Kind: CheckLoopFree, ExitNodes: []string{"nope"}},
+	}
+	for _, cs := range cases {
+		_, err := NewSystem(WithTopo(lineTopo()), WithLayout(dst8), WithChecks(cs))
+		if !errors.Is(err, ErrUnknownDevice) {
+			t.Errorf("check %q: err = %v, want ErrUnknownDevice", cs.Name, err)
+		}
+	}
+}
+
+// TestBadEpochSentinel: a device that keeps sending updates for an epoch
+// after synchronizing with it violates the CE2D ordering contract
+// (§4.1); the violation surfaces as ErrBadEpoch.
+func TestBadEpochSentinel(t *testing.T) {
+	sys, err := NewSystem(
+		WithTopo(lineTopo()),
+		WithLayout(dst8),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree, ExitNodes: []string{"d"}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Forward(2))}}
+	if _, err := sys.Feed(m); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Feed(m)
+	if !errors.Is(err, ErrBadEpoch) {
+		t.Fatalf("double send after sync: %v, want ErrBadEpoch", err)
+	}
+}
+
+func TestServeContextCancel(t *testing.T) {
+	sys, err := NewSystem(
+		WithTopo(lineTopo()),
+		WithLayout(dst8),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, sys, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeContext(ctx) }()
+	// A connected agent must not keep shutdown from completing.
+	agent, err := DialAgent(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ServeContext: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after cancel")
+	}
+	// Pre-canceled context returns immediately without serving.
+	if err := srv.ServeContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ServeContext on canceled ctx: %v", err)
+	}
+}

@@ -1,7 +1,11 @@
 package flash
 
 import (
+	"context"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Pipeline wraps a System with the §7 "Implementation" extension: model
@@ -14,40 +18,80 @@ import (
 type Pipeline struct {
 	sys *System
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Msg
-	closed bool
-	err    error
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []Msg
+	enqueued []time.Time // parallel to queue; non-nil only when instrumented
+	closed   bool
+	err      error
 
 	results chan Result
 	done    chan struct{}
+
+	m pmetrics
+}
+
+// pmetrics holds resolved observability handles; the zero value is the
+// uninstrumented no-op state.
+type pmetrics struct {
+	fed        *obs.Counter   // messages accepted by Feed
+	emitted    *obs.Counter   // results delivered on Results
+	queueDepth *obs.Gauge     // messages waiting in the queue
+	drainNs    *obs.Histogram // enqueue → verification-done latency
 }
 
 // NewPipeline starts the pipeline worker. Callers must eventually Close
-// it and drain Results.
+// it and drain Results. If the System was built WithMetrics, the
+// pipeline publishes queue depth and drain latency under its registry's
+// "pipeline" sub-registry.
 func NewPipeline(sys *System, buffer int) *Pipeline {
 	p := &Pipeline{
 		sys:     sys,
 		results: make(chan Result, buffer),
 		done:    make(chan struct{}),
 	}
+	if reg := sys.Metrics().Sub("pipeline"); reg != nil {
+		p.m = pmetrics{
+			fed:        reg.Counter("fed"),
+			emitted:    reg.Counter("results"),
+			queueDepth: reg.Gauge("queue_depth"),
+			drainNs:    reg.Histogram("drain_ns"),
+		}
+	}
 	p.cond = sync.NewCond(&p.mu)
 	go p.run()
 	return p
 }
 
-// Feed enqueues one agent message; it never blocks on verification.
+// Feed enqueues one agent message; it never blocks on verification. It
+// returns ErrClosed (wrapped) after Close, or the first verification
+// error once the pipeline has failed.
 func (p *Pipeline) Feed(m Msg) error {
+	return p.FeedContext(context.Background(), m)
+}
+
+// FeedContext is Feed with cancellation: a canceled context rejects the
+// message before it is enqueued. (Feed itself never blocks, so the
+// context is consulted only on entry; it does not cancel verification
+// work already queued.)
+func (p *Pipeline) FeedContext(ctx context.Context, m Msg) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return errClosed
+		return ErrClosed
 	}
 	if p.err != nil {
 		return p.err
 	}
 	p.queue = append(p.queue, m)
+	if p.m.drainNs != nil {
+		p.enqueued = append(p.enqueued, time.Now())
+	}
+	p.m.fed.Inc()
+	p.m.queueDepth.Set(int64(len(p.queue)))
 	p.cond.Signal()
 	return nil
 }
@@ -71,12 +115,6 @@ func (p *Pipeline) Close() error {
 	return p.err
 }
 
-type pipelineError string
-
-func (e pipelineError) Error() string { return string(e) }
-
-const errClosed = pipelineError("flash: pipeline closed")
-
 func (p *Pipeline) run() {
 	defer close(p.done)
 	defer close(p.results)
@@ -91,18 +129,31 @@ func (p *Pipeline) run() {
 		}
 		m := p.queue[0]
 		p.queue = p.queue[1:]
+		var enqueuedAt time.Time
+		if len(p.enqueued) > 0 {
+			enqueuedAt = p.enqueued[0]
+			p.enqueued = p.enqueued[1:]
+		}
+		p.m.queueDepth.Set(int64(len(p.queue)))
 		p.mu.Unlock()
 
 		results, err := p.sys.Feed(m)
 		if err != nil {
+			if l := p.sys.Logger(); l != nil {
+				l.Printf("flash: pipeline: verification failed: %v", err)
+			}
 			p.mu.Lock()
 			p.err = err
 			p.cond.Signal()
 			p.mu.Unlock()
 			return
 		}
+		if p.m.drainNs != nil && !enqueuedAt.IsZero() {
+			p.m.drainNs.Observe(time.Since(enqueuedAt))
+		}
 		for _, r := range results {
 			p.results <- r
+			p.m.emitted.Inc()
 		}
 	}
 }

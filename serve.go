@@ -1,8 +1,11 @@
 package flash
 
 import (
+	"context"
 	"net"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -13,16 +16,41 @@ type Server struct {
 	sys      *System
 	srv      *wire.Server
 	OnResult func(Result)
+
+	results    *obs.Counter
+	feedErrors *obs.Counter
+	handleNs   *obs.Histogram
 }
 
-// NewServer wraps a System behind a listener. Call Serve to start.
+// NewServer wraps a System behind a listener. Call Serve (or
+// ServeContext) to start. If the System was built WithMetrics, frame,
+// byte and connection counters are published under the registry's
+// "wire" sub-registry and handler latency under "serve".
 func NewServer(l net.Listener, sys *System, onResult func(Result)) *Server {
 	s := &Server{sys: sys, OnResult: onResult}
+	if reg := sys.Metrics(); reg != nil {
+		sreg := reg.Sub("serve")
+		s.results = sreg.Counter("results")
+		s.feedErrors = sreg.Counter("feed_errors")
+		s.handleNs = sreg.Histogram("handle_ns")
+	}
 	s.srv = wire.NewServer(l, func(m wire.Msg) error {
+		var start time.Time
+		if s.handleNs != nil {
+			start = time.Now()
+		}
 		results, err := sys.Feed(m)
 		if err != nil {
+			s.feedErrors.Inc()
+			if log := sys.Logger(); log != nil {
+				log.Printf("flash: serve: device %d epoch %s: %v", m.Device, m.Epoch, err)
+			}
 			return err
 		}
+		if s.handleNs != nil {
+			s.handleNs.Observe(time.Since(start))
+		}
+		s.results.Add(int64(len(results)))
 		if s.OnResult != nil {
 			for _, r := range results {
 				s.OnResult(r)
@@ -30,11 +58,33 @@ func NewServer(l net.Listener, sys *System, onResult func(Result)) *Server {
 		}
 		return nil
 	})
+	s.srv.Instrument(sys.Metrics().Sub("wire"))
 	return s
 }
 
-// Serve accepts agent connections until Close.
+// Serve accepts agent connections until Close. It is ServeContext with a
+// background context.
 func (s *Server) Serve() error { return s.srv.Serve() }
+
+// ServeContext accepts agent connections until the context is canceled
+// or Close is called. On cancellation the server shuts down gracefully —
+// the listener closes, live connections are torn down, and in-flight
+// handlers drain — and ctx.Err() is returned.
+func (s *Server) ServeContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.srv.Serve() }()
+	select {
+	case <-ctx.Done():
+		s.srv.Close()
+		<-done
+		return ctx.Err()
+	case err := <-done:
+		return err
+	}
+}
 
 // Close shuts the server down and drains in-flight handlers.
 func (s *Server) Close() error { return s.srv.Close() }
