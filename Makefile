@@ -1,9 +1,11 @@
 # Flash reproduction build/verify targets. `make check` is the
-# pre-commit gate: vet plus the race detector over the full module.
+# pre-commit gate: vet, the flashvet analyzer suite, and the race
+# detector (with and without the flashcheck invariant layer).
 
 GO ?= go
+FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet race race-hot bench check
+.PHONY: build test vet lint flashvet race race-hot checkstrict bench check fuzz
 
 build:
 	$(GO) build ./...
@@ -14,9 +16,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Build the project-specific analyzer suite (bddref, obshook, ctxfeed,
+# lockbdd, errwrapped) as a `go vet` vettool.
+flashvet:
+	$(GO) build -o $(FLASHVET) ./cmd/flashvet
+
+# Run the flashvet analyzers over every compilation unit in the module.
+# Fails fast with a clear message if the vettool has not been built.
+lint: flashvet
+	@test -x $(FLASHVET) || { echo "error: flashvet not built; run 'make flashvet' first (expected at $(FLASHVET))" >&2; exit 1; }
+	$(GO) vet -vettool=$(FLASHVET) ./...
+
 # Full suite under the race detector.
 race:
 	$(GO) test -race ./...
+
+# Full suite with the runtime invariant layer armed: every applied
+# update block re-proves the EC partition, PAT/FIB agreement, and
+# per-device epoch monotonicity — under the race detector.
+checkstrict:
+	$(GO) test -tags flashcheck -race ./...
 
 # The concurrency-heavy paths only (System fan-out, pipeline, dispatcher,
 # wire server, metrics): quick race pass during development.
@@ -28,4 +47,10 @@ race-hot:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-check: vet race
+# Brief fuzz pass over the predicate compiler and the Fast IMT oracle
+# differential; seeds live under testdata/fuzz/.
+fuzz:
+	$(GO) test -fuzz=FuzzPrefixParse -fuzztime=30s ./internal/hs
+	$(GO) test -fuzz=FuzzIMTOverwrite -fuzztime=30s ./internal/imt
+
+check: vet lint race checkstrict

@@ -1,0 +1,345 @@
+// Command flashvet runs the flashvet analyzer suite (see
+// repro/internal/analysis) over the module.
+//
+// It speaks two protocols:
+//
+//   - Standalone: `flashvet [flags] [importpath...]` loads packages from
+//     source (offline, stdlib-only loader) and reports findings. With no
+//     package arguments it checks every package in the module. `-std`
+//     additionally shells out to the toolchain's `go vet` first, so one
+//     command gates on both the standard passes and the custom suite.
+//
+//   - Vet tool: when invoked by `go vet -vettool=flashvet`, the
+//     toolchain drives it per compilation unit. This follows the
+//     cmd/vet action protocol: `-V=full` prints a content-addressed
+//     version line for the build cache, `-flags` lists supported flags
+//     as JSON, and a single `<unit>.cfg` argument requests a check of
+//     one unit described by the JSON config (sources plus compiled
+//     export data for every import). Diagnostics go to stderr as
+//     `file:line:col: message` and the exit status is 2 when any are
+//     reported, matching x/tools' unitchecker.
+//
+// The vet-tool path analyzes test compilation units too (the standalone
+// loader does not), so `make lint` uses the vet-tool form.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flashvet: ")
+
+	// go vet action protocol: a single *.cfg argument names a unit.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		unitcheck(os.Args[1])
+		return
+	}
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No analyzer flags are exposed through `go vet -<flag>`.
+			fmt.Println("[]")
+			return
+		}
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// printVersion emits the content-addressed version line `go vet` uses
+// to key its build cache (the same shape x/tools' unitchecker prints).
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], string(h.Sum(nil)))
+}
+
+// vetConfig is the JSON unit description `go vet` hands the tool
+// (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one compilation unit under the go vet protocol.
+func unitcheck(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgPath, err)
+	}
+
+	// The suite is fact-free, but the driver requires the facts file to
+	// exist for caching; write it before any early exit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no diagnostics wanted
+	}
+
+	bail := func(err error) {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			bail(err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the toolchain's compiled export data:
+	// source import path -> canonical path (ImportMap) -> .a/.x file
+	// (PackageFile), decoded by the gc importer.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		bail(err)
+	}
+
+	pkg := &load.Package{
+		Path:  cfg.ImportPath,
+		Name:  tpkg.Name(),
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	findings, err := analysis.Check(pkg, analysis.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// standalone checks packages loaded from source; returns the exit code.
+func standalone(args []string) int {
+	var (
+		checks     string
+		listAllows bool
+		tags       string
+		std        bool
+	)
+	fs := newFlagSet()
+	fs.StringVar(&checks, "checks", "", "comma-separated analyzer names to run (default: all)")
+	fs.BoolVar(&listAllows, "allows", false, "list //flashvet:allow directives instead of checking")
+	fs.StringVar(&tags, "tags", "", "comma-separated extra build tags (e.g. flashcheck)")
+	fs.BoolVar(&std, "std", false, "also run the toolchain's `go vet` over the module first")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	moduleDir, err := findModuleDir()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	exit := 0
+	if std {
+		cmd := exec.Command("go", "vet", "./...")
+		cmd.Dir = moduleDir
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			exit = 2
+		}
+	}
+
+	analyzers := analysis.All()
+	if checks != "" {
+		var unknown []string
+		analyzers, unknown = analysis.ByName(strings.Split(checks, ","))
+		if len(unknown) > 0 {
+			log.Printf("unknown analyzers: %s (have %s)", strings.Join(unknown, ", "), names(analysis.All()))
+			return 1
+		}
+	}
+
+	var buildTags []string
+	if tags != "" {
+		buildTags = strings.Split(tags, ",")
+	}
+	loader, err := load.New(load.Config{ModuleDir: moduleDir, BuildTags: buildTags})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	paths := fs.Args()
+	if len(paths) == 0 || (len(paths) == 1 && (paths[0] == "./..." || paths[0] == "all")) {
+		paths, err = loader.ModulePackages()
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if listAllows {
+			for _, a := range analysis.Allows(pkg) {
+				comment := a.Comment
+				if comment == "" {
+					comment = "(no justification)"
+				}
+				fmt.Printf("%s: allow %s: %s\n", a.Pos, strings.Join(a.Analyzers, ","), comment)
+			}
+			continue
+		}
+		findings, err := analysis.Check(pkg, analyzers)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("flashvet", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: flashvet [flags] [importpath...]")
+		fs.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "\nanalyzers:")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	return fs
+}
+
+func names(as []*framework.Analyzer) string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return strings.Join(out, ", ")
+}
+
+// findModuleDir ascends from the working directory to the enclosing
+// go.mod.
+func findModuleDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

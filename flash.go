@@ -226,6 +226,10 @@ type ModelBuilder struct {
 	workers []*mbWorker
 }
 
+// mbWorker owns one subspace: its engine lives inside transform
+// (imt.Transformer.E), and universe is a ref minted by that engine.
+//
+//flashvet:allow bddref — universe is owned by transform.E, the worker's single engine
 type mbWorker struct {
 	mu        sync.Mutex
 	space     *hs.Space
@@ -254,6 +258,7 @@ func NewModelBuilder(opts ...Option) *ModelBuilder {
 			transform: imt.NewTransformer(space.E, pat.NewStore(), universe),
 		}
 		w.transform.PerUpdate = cfg.PerUpdate
+		w.transform.Tag = "mb/subspace" + strconv.Itoa(i)
 		if reg := cfg.Metrics.Sub("imt").Sub("subspace" + strconv.Itoa(i)); reg != nil {
 			w.metrics = reg
 			w.transform.Instrument(reg)
@@ -386,6 +391,7 @@ func (w *mbWorker) compact(cfg Config) error {
 	}
 	tr := imt.NewTransformer(space.E, pat.NewStore(), universe)
 	tr.PerUpdate = cfg.PerUpdate
+	tr.Tag = w.transform.Tag
 	tr.Instrument(w.metrics) // rotation keeps the same metric handles
 	var blocks []fib.Block
 	for _, dev := range w.transform.Devices() {
@@ -485,6 +491,10 @@ type System struct {
 	workers []*sysWorker
 }
 
+// sysWorker owns one subspace: universe is minted by the engine inside
+// disp's verifier factory, the worker's single engine.
+//
+//flashvet:allow bddref — universe is owned by the dispatcher's per-subspace engine
 type sysWorker struct {
 	mu       sync.Mutex
 	idx      int
@@ -526,6 +536,7 @@ func NewSystem(opts ...Option) (*System, error) {
 				Checks:   checks,
 				Succ:     cfg.Succ,
 			})
+			v.Transformer().Tag = "ce2d/subspace" + strconv.Itoa(i)
 			v.Transformer().Instrument(ireg)
 			return v
 		})
@@ -617,6 +628,8 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 // Feed delivers one epoch-tagged agent message to every subspace worker
 // (in parallel) and returns the deterministic results it triggered. It
 // is FeedContext with a background context.
+//
+//flashvet:allow ctxfeed — compatibility wrapper; this is where context-free callers get their root context
 func (s *System) Feed(m Msg) ([]Result, error) {
 	return s.FeedContext(context.Background(), m)
 }

@@ -1,0 +1,213 @@
+// Package analysis assembles the flashvet analyzer suite: the custom
+// static checks that guard the invariants Flash's correctness argument
+// rests on but Go's type system cannot see (see DESIGN.md, "Static &
+// runtime invariants").
+//
+// The suite runs through cmd/flashvet, either standalone or as a
+// `go vet -vettool` plugin, and `make lint` gates the tree on it.
+//
+// # Suppression directives
+//
+// A finding can be acknowledged in source with a directive comment:
+//
+//	//flashvet:allow bddref — match predicates are owned by the table's engine
+//
+// The directive names one analyzer or a comma-separated list
+// (`//flashvet:allow bddref,ctxfeed`); anything after whitespace is
+// commentary. It suppresses findings of the named analyzers within the
+// enclosing top-level declaration (the declaration whose source span —
+// doc comment included — contains the directive), or within the whole
+// file when it appears outside every declaration. Directives are the
+// documented escape hatch for patterns the analyzers over-approximate;
+// each one should carry a justification, which `flashvet -allows` lists
+// for review.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/bddref"
+	"repro/internal/analysis/ctxfeed"
+	"repro/internal/analysis/errwrapped"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockbdd"
+	"repro/internal/analysis/obshook"
+)
+
+// All returns the flashvet analyzer suite.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		bddref.Analyzer,
+		obshook.Analyzer,
+		ctxfeed.Analyzer,
+		lockbdd.Analyzer,
+		errwrapped.Analyzer,
+	}
+}
+
+// ByName resolves analyzer names (comma-separated lists allowed) against
+// the suite; unknown names are returned in the second value.
+func ByName(names []string) (out []*framework.Analyzer, unknown []string) {
+	byName := make(map[string]*framework.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	for _, n := range names {
+		for _, part := range strings.Split(n, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if a, ok := byName[part]; ok {
+				out = append(out, a)
+			} else {
+				unknown = append(unknown, part)
+			}
+		}
+	}
+	return out, unknown
+}
+
+// Finding is one reported, non-suppressed diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Allow records one //flashvet:allow directive.
+type Allow struct {
+	Analyzers []string
+	Pos       token.Position
+	Comment   string // justification text following the analyzer list
+}
+
+// Check runs the analyzers over one loaded package, applying suppression
+// directives. It returns the surviving findings sorted by position.
+func Check(pkg *load.Package, analyzers []*framework.Analyzer) ([]Finding, error) {
+	sup := collectAllows(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d framework.Diagnostic) {
+			if sup.allows(name, pkg.Fset.Position(d.Pos)) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Allows lists every //flashvet:allow directive in the package, for
+// `flashvet -allows` audits.
+func Allows(pkg *load.Package) []Allow {
+	return collectAllows(pkg).list
+}
+
+// suppression maps analyzer name -> suppressed line ranges per file.
+type suppression struct {
+	ranges map[string][]lineRange
+	list   []Allow
+}
+
+type lineRange struct {
+	file       string
+	start, end int
+}
+
+func (s *suppression) allows(analyzer string, pos token.Position) bool {
+	for _, r := range s.ranges[analyzer] {
+		if r.file == pos.Filename && pos.Line >= r.start && pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+const directive = "//flashvet:allow"
+
+func collectAllows(pkg *load.Package) *suppression {
+	s := &suppression{ranges: make(map[string][]lineRange)}
+	for _, f := range pkg.Files {
+		fileStart := pkg.Fset.Position(f.FileStart).Line
+		fileEnd := pkg.Fset.Position(f.FileEnd).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directive)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				s.list = append(s.list, Allow{
+					Analyzers: names,
+					Pos:       pos,
+					Comment:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+				})
+				start, end := enclosingDeclLines(pkg.Fset, f, c.Pos())
+				if start == 0 {
+					start, end = fileStart, fileEnd
+				}
+				for _, n := range names {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					s.ranges[n] = append(s.ranges[n], lineRange{file: pos.Filename, start: start, end: end})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// enclosingDeclLines finds the top-level declaration whose span (doc
+// comment included) contains pos, returning its line range, or (0, 0).
+func enclosingDeclLines(fset *token.FileSet, f *ast.File, pos token.Pos) (int, int) {
+	for _, decl := range f.Decls {
+		start := decl.Pos()
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				start = d.Doc.Pos()
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				start = d.Doc.Pos()
+			}
+		}
+		if pos >= start && pos <= decl.End() {
+			return fset.Position(start).Line, fset.Position(decl.End()).Line
+		}
+	}
+	return 0, 0
+}

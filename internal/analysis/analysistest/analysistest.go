@@ -1,0 +1,158 @@
+// Package analysistest runs a flashvet analyzer over GOPATH-style
+// testdata packages and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A want comment sits on the line it expects a diagnostic for and
+// carries one or more quoted regular expressions:
+//
+//	r := e2.And(a, b) // want `produced by engine`
+//
+// Every diagnostic must be claimed by a matching want on its line, and
+// every want must be claimed by a diagnostic; either leftover fails the
+// test. Suppression directives (//flashvet:allow) are honored, so
+// allowed cases are written as code with a directive and no want.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the caller's testdata directory (absolute).
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	dir, err := filepath.Abs(filepath.Join(filepath.Dir(file), "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each package path from testdata/src and applies the
+// analyzer, comparing diagnostics against `// want` expectations.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader, err := load.New(load.Config{SrcDirs: []string{filepath.Join(testdata, "src")}})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", path, err)
+		}
+		findings, err := analysis.Check(pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants matches findings against // want comments line by line.
+func checkWants(t *testing.T, pkg *load.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != '`' && rest[0] != '"') {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, raw := range splitPatterns(strings.TrimSpace(rest)) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, raw, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		claimed := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(f.Message) {
+				exp.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.raw)
+			}
+		}
+	}
+}
+
+// splitPatterns parses a sequence of Go string literals (backquoted or
+// double-quoted), e.g. "`foo` `bar`".
+func splitPatterns(s string) []string {
+	var out []string
+	for s != "" {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				out = append(out, s[1:])
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote, honoring escapes.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i >= len(s) {
+				out = append(out, s[1:])
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:i+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = s[i+1:]
+		default:
+			// Bare word: take the rest of the comment as one pattern.
+			out = append(out, s)
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package bddref flags bdd.Ref values that cross engine boundaries.
+//
+// A bdd.Ref is an index into one *bdd.Engine's node store; engines are
+// per-subspace and hash-cons independently, so a Ref minted by engine A
+// silently denotes an unrelated predicate when passed to engine B — the
+// verifier keeps running and produces confident wrong answers (the
+// failure mode §3.2's per-subspace partitioning makes possible). The
+// type system cannot catch it: every Ref has the same Go type.
+//
+// Two patterns are flagged:
+//
+//  1. Cross-engine flow inside a function: a Ref produced by a method
+//     call on engine expression E1 is passed to a method call on a
+//     different engine expression E2. Engine identity is syntactic
+//     (the receiver expression and its root object), so aliases of the
+//     same engine through differently-spelled expressions may be
+//     over-reported — suppress with //flashvet:allow bddref and a
+//     justification.
+//
+//  2. A struct type with a bdd.Ref-bearing field (Ref, or a
+//     slice/array/map of Ref) but no co-located *bdd.Engine field.
+//     Such structs rely on an ownership convention the code cannot
+//     express; the directive documents it where it is intentional
+//     (e.g. fib.Rule's Match, owned by the enclosing table's engine).
+//
+// The bdd package itself is exempt: it manipulates raw Refs by design.
+package bddref
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the bddref pass.
+var Analyzer = &framework.Analyzer{
+	Name: "bddref",
+	Doc:  "flag bdd.Ref values that flow between different bdd.Engine instances, and Ref-bearing structs without a co-located engine field",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Name() == "bdd" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFuncFlow(pass, n.Body)
+				}
+				return false // checkFuncFlow descends (incl. func lits)
+			case *ast.TypeSpec:
+				if st, ok := n.Type.(*ast.StructType); ok {
+					checkStruct(pass, n.Name.Name, st)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isRef(t types.Type) bool    { return framework.NamedIn(t, "bdd", "Ref") }
+func isEngine(t types.Type) bool { return framework.PointerToNamed(t, "bdd", "Engine") }
+
+// engineKey identifies an engine receiver expression syntactically: the
+// printed selector path plus the root identifier's object.
+type engineKey struct {
+	root types.Object
+	expr string
+}
+
+// engineOf returns the engine identity of a method call's receiver, or
+// ok=false when the call is not a method on *bdd.Engine.
+func engineOf(pass *framework.Pass, call *ast.CallExpr) (engineKey, bool) {
+	recv := framework.MethodReceiverExpr(call)
+	if recv == nil {
+		return engineKey{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[recv]
+	if !ok || !isEngine(tv.Type) {
+		return engineKey{}, false
+	}
+	return engineKey{root: framework.RootIdentObj(pass.TypesInfo, recv), expr: types.ExprString(recv)}, true
+}
+
+// checkFuncFlow tracks, in source order, which engine produced each
+// Ref-typed variable, and flags uses of a Ref with a different engine.
+func checkFuncFlow(pass *framework.Pass, body *ast.BlockStmt) {
+	produced := make(map[types.Object]engineKey)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// r := e.And(a, b) — remember r's producing engine. Multi-value
+			// assignments and non-call RHS are ignored (conservative).
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if eng, ok := engineOf(pass, call); ok {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.TypesInfo.ObjectOf(id); obj != nil && isRef(obj.Type()) {
+								produced[obj] = eng
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			eng, ok := engineOf(pass, n)
+			if !ok {
+				return true
+			}
+			for _, arg := range n.Args {
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.Ident:
+					obj := pass.TypesInfo.ObjectOf(a)
+					if obj == nil || !isRef(obj.Type()) {
+						continue
+					}
+					if src, ok := produced[obj]; ok && !sameEngine(src, eng) {
+						pass.Reportf(a.Pos(), "bdd.Ref %s was produced by engine %s but is used with engine %s", a.Name, src.expr, eng.expr)
+					}
+				case *ast.CallExpr:
+					// e2.Or(e1.And(a, b), c) — nested cross-engine call.
+					if src, ok := engineOf(pass, a); ok && !sameEngine(src, eng) {
+						if tv, ok := pass.TypesInfo.Types[a]; ok && isRef(tv.Type) {
+							pass.Reportf(a.Pos(), "bdd.Ref from engine %s passed directly to engine %s", src.expr, eng.expr)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func sameEngine(a, b engineKey) bool {
+	if a.root != nil && b.root != nil && a.root != b.root {
+		return false
+	}
+	return a.expr == b.expr
+}
+
+// checkStruct flags Ref-bearing structs without a *bdd.Engine field.
+func checkStruct(pass *framework.Pass, name string, st *ast.StructType) {
+	var refFields []*ast.Field
+	hasEngine := false
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isEngine(tv.Type) {
+			hasEngine = true
+			continue
+		}
+		if bearsRef(tv.Type) {
+			refFields = append(refFields, field)
+		}
+	}
+	if hasEngine || len(refFields) == 0 {
+		return
+	}
+	for _, field := range refFields {
+		fname := "(embedded)"
+		if len(field.Names) > 0 {
+			fname = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(), "struct %s stores bdd.Ref field %s without a co-located *bdd.Engine field; document the owning engine with //flashvet:allow bddref", name, fname)
+	}
+}
+
+// bearsRef reports whether t is bdd.Ref or a direct container of it.
+// Named struct types are not recursed into: their own declaration is
+// checked where it is defined.
+func bearsRef(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Slice:
+		return bearsRef(t.Elem())
+	case *types.Array:
+		return bearsRef(t.Elem())
+	case *types.Map:
+		return bearsRef(t.Key()) || bearsRef(t.Elem())
+	default:
+		return isRef(t)
+	}
+}

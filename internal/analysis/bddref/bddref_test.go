@@ -1,0 +1,12 @@
+package bddref_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bddref"
+)
+
+func TestBDDRef(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), bddref.Analyzer, "bddref/a")
+}

@@ -1,0 +1,50 @@
+package a
+
+import "bdd"
+
+func crossFlow() {
+	e1 := bdd.New(8)
+	e2 := bdd.New(8)
+	a := e1.Var(0)
+	b := e1.Var(1)
+	r := e1.And(a, b)
+	_ = e1.Or(r, a)          // same engine: ok
+	_ = e2.Or(r, e2.Var(0))  // want `bdd.Ref r was produced by engine e1 but is used with engine e2`
+	_ = e2.Not(e1.And(a, b)) // want `bdd.Ref from engine e1 passed directly to engine e2`
+}
+
+func fieldEngines(w1, w2 *worker) {
+	p := w1.e.Var(3)
+	_ = w1.e.Not(p) // same engine expression: ok
+	_ = w2.e.Not(p) // want `produced by engine w1.e but is used with engine w2.e`
+}
+
+type worker struct {
+	e *bdd.Engine
+}
+
+//flashvet:allow bddref — fixture deliberately re-interprets r across engines
+func allowedFlow() {
+	e1 := bdd.New(8)
+	e2 := bdd.New(8)
+	r := e1.Var(0)
+	_ = e2.Not(r)
+}
+
+type owned struct {
+	E *bdd.Engine
+	P bdd.Ref // co-located engine field: ok
+}
+
+type orphan struct {
+	P bdd.Ref // want `struct orphan stores bdd.Ref field P without a co-located \*bdd.Engine field`
+}
+
+//flashvet:allow bddref — refs owned by the enclosing table's engine
+type documented struct {
+	Rs []bdd.Ref
+}
+
+type unrelated struct {
+	N int // no Ref fields: ok
+}

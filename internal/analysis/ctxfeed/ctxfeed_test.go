@@ -1,0 +1,12 @@
+package ctxfeed_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxfeed"
+)
+
+func TestCtxFeed(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxfeed.Analyzer, "ctxfeed/a", "ctxfeed/cmd")
+}

@@ -1,0 +1,20 @@
+// Package a is library code: contexts must flow in from callers.
+package a
+
+import "context"
+
+func process(ctx context.Context) error {
+	_ = context.Background() // want `library code must not call context.Background\(\)`
+	_ = context.TODO()       // want `library code must not call context.TODO\(\)`
+	ctx2, cancel := context.WithTimeout(ctx, 0) // derives from the caller: ok
+	defer cancel()
+	_ = ctx2
+	return ctx.Err()
+}
+
+// Feed is the documented compatibility wrapper for context-free callers.
+//
+//flashvet:allow ctxfeed — wrapper exists to mint the root context
+func Feed() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,10 @@
+// Command cmd shows that package main is exempt: binaries are where
+// root contexts are born.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // package main: ok
+	_ = ctx
+}

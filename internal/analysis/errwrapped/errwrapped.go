@@ -1,0 +1,96 @@
+// Package errwrapped enforces %w-wrapping of the module's sentinel
+// errors on internal paths.
+//
+// The public API contract (flash.go, DESIGN.md "Errors") is that
+// callers test failures with errors.Is(err, flash.ErrClosed) etc., and
+// that the error text carries enough context to locate the failure
+// (which device, which epoch). Exported entry points may return the
+// bare sentinel — that IS the contract. A non-exported helper returning
+// the bare sentinel, however, discards the context only it knows
+// (`fmt.Errorf("device %s: %w", dev, ErrUnknownDevice)` costs one line
+// and keeps errors.Is working); by the time the sentinel reaches the
+// API boundary nobody can say which device was unknown.
+//
+// Flagged: a return statement inside a non-exported function or method
+// whose result is one of the sentinels ErrClosed, ErrUnknownDevice or
+// ErrBadEpoch, unwrapped (directly, or via the pkg.ErrX selector form).
+package errwrapped
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the errwrapped pass.
+var Analyzer = &framework.Analyzer{
+	Name: "errwrapped",
+	Doc:  "flag non-exported functions returning sentinel errors (ErrClosed, ErrUnknownDevice, ErrBadEpoch) without %w wrapping",
+	Run:  run,
+}
+
+// sentinels are the module's errors.Is-able failure classes.
+var sentinels = map[string]bool{
+	"ErrClosed":        true,
+	"ErrUnknownDevice": true,
+	"ErrBadEpoch":      true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if name, ok := bareSentinel(pass, res); ok {
+				pass.Reportf(res.Pos(), "%s returns bare sentinel %s; wrap it with context: fmt.Errorf(\"...: %%w\", %s)", fd.Name.Name, name, name)
+			}
+		}
+		return true
+	})
+}
+
+// bareSentinel reports whether e is a direct reference to one of the
+// sentinel error variables (ident or pkg-qualified selector).
+func bareSentinel(pass *framework.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	if !sentinels[id.Name] {
+		return "", false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	// Package-level var only (not a local shadow), of type error.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return id.Name, true
+}

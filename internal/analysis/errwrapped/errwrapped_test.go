@@ -1,0 +1,12 @@
+package errwrapped_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errwrapped"
+)
+
+func TestErrWrapped(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errwrapped.Analyzer, "errwrapped/a")
+}

@@ -1,0 +1,49 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"sent"
+)
+
+// ErrClosed and ErrUnknownDevice mirror the module's sentinels.
+var (
+	ErrClosed        = errors.New("closed")
+	ErrUnknownDevice = errors.New("unknown device")
+	errNotSentinel   = errors.New("other")
+)
+
+func lookupDevice(name string) error {
+	if name == "" {
+		return ErrUnknownDevice // want `lookupDevice returns bare sentinel ErrUnknownDevice`
+	}
+	return fmt.Errorf("device %s: %w", name, ErrUnknownDevice) // wrapped: ok
+}
+
+func closed() error {
+	return ErrClosed // want `closed returns bare sentinel ErrClosed`
+}
+
+// Close is exported: returning the bare sentinel IS the API contract.
+func Close() error {
+	return ErrClosed
+}
+
+func badEpoch() error {
+	return sent.ErrBadEpoch // want `badEpoch returns bare sentinel ErrBadEpoch`
+}
+
+//flashvet:allow errwrapped — hot path, context added by the only caller
+func fastPath() error {
+	return ErrClosed
+}
+
+func otherErr() error {
+	return errNotSentinel // not a sentinel: ok
+}
+
+func shadowed() error {
+	ErrClosed := errors.New("local")
+	return ErrClosed // local shadow, not the package sentinel: ok
+}

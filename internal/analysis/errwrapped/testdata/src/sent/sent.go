@@ -1,0 +1,7 @@
+// Package sent exports a sentinel for cross-package errwrapped tests.
+package sent
+
+import "errors"
+
+// ErrBadEpoch mirrors ce2d.ErrBadEpoch.
+var ErrBadEpoch = errors.New("bad epoch")

@@ -1,0 +1,172 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named
+// check with a Run function; a Pass hands it one type-checked package and
+// collects Diagnostics.
+//
+// The repository cannot vendor x/tools (the build environment is
+// offline), so flashvet's analyzers are written against this package
+// instead. The shapes mirror go/analysis deliberately: if the module
+// ever gains the real dependency, each analyzer ports by swapping the
+// import and (mechanically) the Pass field names.
+//
+// Facts, Requires-chaining and suggested fixes are intentionally absent:
+// every flashvet analyzer is package-local, which keeps the vet-tool
+// protocol trivial (no fact serialization between compilation units).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //flashvet:allow suppression directives. By convention it is a
+	// single lower-case word.
+	Name string
+	// Doc is the one-paragraph description printed by flashvet -help.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics are delivered
+	// through pass.Report; the result value is unused (kept for go/analysis
+	// signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, positioned inside the package under
+// analysis.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the base-less full filename containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// ---- Type-inspection helpers shared by the analyzers. ----
+//
+// Matching is by package *name*, not import path: the analyzers must
+// recognize both the real packages (repro/internal/bdd, repro/internal/obs)
+// and the analysistest stub packages (testdata/src/bdd, testdata/src/obs),
+// which share names but not paths. A same-named third-party package would
+// be over-matched; the //flashvet:allow directive is the escape hatch.
+
+// NamedIn reports whether t (after unwrapping aliases) is the named type
+// pkgName.typeName.
+func NamedIn(t types.Type, pkgName, typeName string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// PointerToNamed reports whether t is *pkgName.typeName.
+func PointerToNamed(t types.Type, pkgName, typeName string) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	return ok && NamedIn(p.Elem(), pkgName, typeName)
+}
+
+// ReceiverNamed returns the receiver's base named type name of a method
+// object, or "" if f is not a method.
+func ReceiverNamed(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := types.Unalias(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// CalleeFunc resolves the called function/method object of a call
+// expression, following method selections (including promoted methods).
+// It returns nil for calls through function values, conversions and
+// builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// MethodReceiverExpr returns the receiver expression of a method call
+// (x in x.M(...)), or nil if the call is not through a selector.
+func MethodReceiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// RootIdentObj returns the object of the leftmost identifier of a
+// selector chain (e.g. w in w.space.E), or nil.
+func RootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNilComparison reports whether cond compares expr against nil with the
+// given operator (token.NEQ or token.EQL), returning the non-nil operand.
+func IsNilComparison(cond ast.Expr, op token.Token) (ast.Expr, bool) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return nil, false
+	}
+	if isNilIdent(b.X) {
+		return b.Y, true
+	}
+	if isNilIdent(b.Y) {
+		return b.X, true
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

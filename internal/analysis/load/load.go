@@ -1,0 +1,299 @@
+// Package load type-checks Go packages from source using only the
+// standard library, for consumption by the flashvet analyzers.
+//
+// The build environment is offline, so golang.org/x/tools/go/packages is
+// unavailable; this is the minimal loader the analysis framework needs:
+//
+//   - file selection through go/build (build tags, GOOS/GOARCH suffixes),
+//     with cgo disabled so every selected file is pure Go and therefore
+//     type-checkable from source;
+//   - import resolution across four namespaces, in order: the current
+//     module (by module path prefix), extra GOPATH-style source roots
+//     (analysistest testdata), GOROOT/src, and GOROOT's vendored
+//     dependencies (GOROOT/src/vendor);
+//   - recursive, memoized type checking in dependency order.
+//
+// Test files are not part of a loaded package: the standalone flashvet
+// driver checks the non-test compilation unit only. Under `go vet
+// -vettool` the toolchain drives flashvet per compilation unit (including
+// test units) and supplies compiled export data instead, so this loader
+// is bypassed there.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes a Loader.
+type Config struct {
+	// ModuleDir is the directory containing go.mod. Empty disables
+	// module-path resolution (pure-testdata loads).
+	ModuleDir string
+	// ModulePath is the module's import path prefix. Derived from go.mod
+	// when empty and ModuleDir is set.
+	ModulePath string
+	// SrcDirs are extra GOPATH-style roots (each containing <importpath>
+	// directories) searched before GOROOT. Used by analysistest.
+	SrcDirs []string
+	// BuildTags are extra build constraints to satisfy (e.g. "flashcheck").
+	BuildTags []string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and memoizes packages. Not safe for concurrent use.
+type Loader struct {
+	cfg  Config
+	ctxt build.Context
+	fset *token.FileSet
+	pkgs map[string]*entry
+}
+
+type entry struct {
+	pkg     *Package
+	err     error
+	loading bool // cycle detection
+}
+
+// New creates a Loader. It derives ModulePath from ModuleDir's go.mod
+// when unset.
+func New(cfg Config) (*Loader, error) {
+	if cfg.ModuleDir != "" && cfg.ModulePath == "" {
+		p, err := modulePath(filepath.Join(cfg.ModuleDir, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		cfg.ModulePath = p
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false // keep every selected file type-checkable from source
+	ctxt.BuildTags = append(ctxt.BuildTags, cfg.BuildTags...)
+	return &Loader{
+		cfg:  cfg,
+		ctxt: ctxt,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*entry),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s", gomod)
+}
+
+// ModulePackages enumerates the module's package directories (skipping
+// testdata, vendor and hidden directories), returning their import
+// paths sorted. It does not load them.
+func (l *Loader) ModulePackages() ([]string, error) {
+	if l.cfg.ModuleDir == "" {
+		return nil, fmt.Errorf("load: no module directory configured")
+	}
+	var out []string
+	err := filepath.WalkDir(l.cfg.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.cfg.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(l.cfg.ModuleDir, path)
+				if err != nil {
+					return err
+				}
+				ip := l.cfg.ModulePath
+				if rel != "." {
+					ip += "/" + filepath.ToSlash(rel)
+				}
+				out = append(out, ip)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Load loads (and memoizes) the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	e := l.load(path)
+	return e.pkg, e.err
+}
+
+func (l *Loader) load(path string) *entry {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return &entry{err: fmt.Errorf("load: import cycle through %q", path)}
+		}
+		return e
+	}
+	e := &entry{loading: true}
+	l.pkgs[path] = e
+	e.pkg, e.err = l.loadUncached(path)
+	e.loading = false
+	if e.err != nil {
+		e.err = fmt.Errorf("load %s: %w", path, e.err)
+	}
+	return e
+}
+
+// dirFor resolves an import path to the directory holding its sources.
+func (l *Loader) dirFor(path string) (string, error) {
+	if l.cfg.ModulePath != "" && (path == l.cfg.ModulePath || strings.HasPrefix(path, l.cfg.ModulePath+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.cfg.ModulePath), "/")
+		return filepath.Join(l.cfg.ModuleDir, filepath.FromSlash(rel)), nil
+	}
+	for _, root := range l.cfg.SrcDirs {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, nil
+		}
+	}
+	goroot := l.ctxt.GOROOT
+	if goroot == "" {
+		goroot = runtime.GOROOT()
+	}
+	dir := filepath.Join(goroot, "src", filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		return dir, nil
+	}
+	// The standard library's vendored dependencies (e.g. net/http's
+	// golang.org/x/net packages) live under GOROOT/src/vendor.
+	vdir := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path))
+	if hasGoFiles(vdir) {
+		return vdir, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q (offline loader: module, testdata and GOROOT only)", path)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Loader) loadUncached(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Name: "unsafe", Fset: l.fset, Types: types.Unsafe}, nil
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(dir, path)
+}
+
+// LoadDir loads the package in dir under the given import path without
+// consulting the resolution order (used for explicit root packages).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok && !e.loading {
+		return e.pkg, e.err
+	}
+	e := &entry{loading: true}
+	l.pkgs[path] = e
+	e.pkg, e.err = l.loadDir(dir, path)
+	e.loading = false
+	return e.pkg, e.err
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			e := l.load(p)
+			if e.err != nil {
+				return nil, e.err
+			}
+			return e.pkg.Types, nil
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,183 @@
+// Package lockbdd flags BDD engine calls made while holding a mutex in
+// the CE2D/pipeline layer.
+//
+// A *bdd.Engine is single-owner by design: each subspace worker owns
+// one and serializes access with its own queue, never a shared lock
+// (§3.2's subspace partitioning is what makes engines lock-free).
+// Coordination code — package ce2d and the pipeline/server glue — holds
+// sync.Mutex/sync.RWMutex locks for bookkeeping (epoch tables, queue
+// state), and BDD operations are unbounded work (an And can blow up
+// exponentially in node count). Running one under a bookkeeping lock
+// turns a shared map guard into a system-wide stall, and invites
+// lock-order inversions against the workers.
+//
+// The check is per-function and source-ordered: after `mu.Lock()` (or
+// `mu.RLock()`) and before the matching unlock on the same lock
+// expression, any method call on a *bdd.Engine value is flagged. A
+// deferred unlock does not release — the lock is held for the rest of
+// the function, which is exactly the pattern the check exists to catch.
+// Worker-internal files (flash.go's mbWorker/sysWorker own their
+// engines and their mutexes together) are out of scope.
+package lockbdd
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the lockbdd pass.
+var Analyzer = &framework.Analyzer{
+	Name: "lockbdd",
+	Doc:  "flag *bdd.Engine method calls made while holding a sync mutex in ce2d/pipeline coordination code",
+	Run:  run,
+}
+
+// inScope reports whether the file belongs to the coordination layer:
+// all of package ce2d, plus the pipeline/server glue in package flash.
+func inScope(pass *framework.Pass, f *ast.File) bool {
+	if pass.Pkg.Name() == "ce2d" {
+		return true
+	}
+	switch filepath.Base(pass.Filename(f.FileStart)) {
+	case "pipeline.go", "serve.go":
+		return true
+	}
+	return false
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if !inScope(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type eventKind int
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evEngineCall
+)
+
+type event struct {
+	kind eventKind
+	pos  int // byte offset for source ordering
+	node ast.Node
+	key  string // lock expression (lock/unlock) or method name (engine call)
+}
+
+// checkBody simulates lock state in source order within one function
+// body, without descending into nested function literals (a closure's
+// body does not necessarily execute under the enclosing lock).
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	var events []event
+	deferred := make(map[*ast.CallExpr]bool)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // handled as its own scope by run
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			if key, name, ok := mutexOp(pass, n); ok {
+				switch name {
+				case "Lock", "RLock":
+					if !deferred[n] {
+						events = append(events, event{kind: evLock, pos: int(n.Pos()), node: n, key: key})
+					}
+				case "Unlock", "RUnlock":
+					// A deferred unlock releases at return, not here: the
+					// lock stays held for the remainder of the function.
+					if !deferred[n] {
+						events = append(events, event{kind: evUnlock, pos: int(n.Pos()), node: n, key: key})
+					}
+				}
+				return true
+			}
+			if name, ok := engineCall(pass, n); ok && !deferred[n] {
+				events = append(events, event{kind: evEngineCall, pos: int(n.Pos()), node: n, key: name})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]int) // lock expr -> line acquired
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = pass.Fset.Position(ev.node.Pos()).Line
+		case evUnlock:
+			delete(held, ev.key)
+		case evEngineCall:
+			for lock, line := range held {
+				pass.Reportf(ev.node.Pos(), "(*bdd.Engine).%s called while holding %s (locked at line %d); BDD operations are unbounded work and engines are single-owner — release the lock or hand off to the owning worker", ev.key, lock, line)
+			}
+		}
+	}
+}
+
+// mutexOp matches calls to Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/sync.RWMutex value, returning the lock's receiver
+// expression as its identity key.
+func mutexOp(pass *framework.Pass, call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okT := pass.TypesInfo.Types[sel.X]
+	if !okT || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return framework.NamedIn(t, "sync", "Mutex") || framework.NamedIn(t, "sync", "RWMutex")
+}
+
+// engineCall matches method calls whose receiver is a *bdd.Engine.
+func engineCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	recv := framework.MethodReceiverExpr(call)
+	if recv == nil {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[recv]
+	if !ok || !framework.PointerToNamed(tv.Type, "bdd", "Engine") {
+		return "", false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}

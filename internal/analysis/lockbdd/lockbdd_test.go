@@ -1,0 +1,12 @@
+package lockbdd_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockbdd"
+)
+
+func TestLockBDD(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockbdd.Analyzer, "ce2d")
+}

@@ -1,0 +1,18 @@
+// Package bdd is a minimal stub of repro/internal/bdd for analyzer
+// tests: same package name, same shapes, no logic.
+package bdd
+
+// Ref indexes a node in one Engine's store.
+type Ref int32
+
+// Engine is a stub BDD engine.
+type Engine struct{ nodes int }
+
+// New returns a stub engine.
+func New(nvars int) *Engine { return &Engine{} }
+
+// And is conjunction.
+func (e *Engine) And(a, b Ref) Ref { return a }
+
+// Not is negation.
+func (e *Engine) Not(a Ref) Ref { return a }

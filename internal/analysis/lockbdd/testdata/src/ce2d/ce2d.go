@@ -1,0 +1,63 @@
+// Package ce2d is a coordination-layer stub for lockbdd tests.
+package ce2d
+
+import (
+	"sync"
+
+	"bdd"
+)
+
+type coord struct {
+	mu  sync.Mutex
+	seq int
+	e   *bdd.Engine
+}
+
+func (c *coord) bad(a, b bdd.Ref) bdd.Ref {
+	c.mu.Lock()
+	r := c.e.And(a, b) // want `\(\*bdd.Engine\)\.And called while holding c\.mu`
+	c.mu.Unlock()
+	return r
+}
+
+func (c *coord) badDeferred(a, b bdd.Ref) bdd.Ref {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.And(a, b) // want `\(\*bdd.Engine\)\.And called while holding c\.mu`
+}
+
+func (c *coord) good(a, b bdd.Ref) bdd.Ref {
+	c.mu.Lock()
+	n := c.seq
+	c.mu.Unlock()
+	_ = n
+	return c.e.And(a, b) // after unlock: ok
+}
+
+func (c *coord) closure(a, b bdd.Ref) func() bdd.Ref {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() bdd.Ref { return c.e.And(a, b) } // closure body runs later: ok
+}
+
+func (c *coord) noLock(a bdd.Ref) bdd.Ref {
+	return c.e.Not(a) // no lock held: ok
+}
+
+type rcoord struct {
+	mu sync.RWMutex
+	e  *bdd.Engine
+}
+
+func (c *rcoord) badRead(a bdd.Ref) bdd.Ref {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.e.Not(a) // want `\(\*bdd.Engine\)\.Not called while holding c\.mu`
+}
+
+//flashvet:allow lockbdd — init-time only, no concurrent workers yet
+func (c *rcoord) allowed(a bdd.Ref) bdd.Ref {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.Not(a)
+}

@@ -1,0 +1,219 @@
+// Package obshook enforces the observability layer's nil-safe hook
+// contract from both sides.
+//
+// In package obs (the provider side): every exported method with a
+// pointer receiver on a hook type must begin with the nil-receiver
+// guard (`if x == nil { return ... }`). The whole instrumentation
+// design rests on "a nil handle is a predictable branch": hot paths
+// hold possibly-nil *Counter/*Gauge/*Histogram handles and call them
+// unconditionally. One missing guard turns the uninstrumented
+// configuration into a panic.
+//
+// In the hot-path packages imt, ce2d, bdd and wire (the consumer side):
+// an `if handle != nil { handle.M(...) }` block whose body consists
+// solely of hook method calls is flagged — the check re-introduces the
+// branch-per-call pattern the nil-safe design exists to remove, and it
+// trains readers to believe the guard is load-bearing. Guards that
+// gate real work (computing an expensive argument, taking a timestamp)
+// are allowed, as is the inverted `if x == nil { return }` gating
+// idiom used for expensive gauge refreshes.
+package obshook
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the obshook pass.
+var Analyzer = &framework.Analyzer{
+	Name: "obshook",
+	Doc:  "enforce nil-receiver guards on obs hook methods, and flag redundant nil checks around nil-safe obs calls in hot-path packages",
+	Run:  run,
+}
+
+// hotPathPkgs are the packages where a redundant obs nil check costs
+// clarity on the paper's measured paths.
+var hotPathPkgs = map[string]bool{"imt": true, "ce2d": true, "bdd": true, "wire": true}
+
+func run(pass *framework.Pass) (any, error) {
+	switch {
+	case pass.Pkg.Name() == "obs":
+		checkProviders(pass)
+	case hotPathPkgs[pass.Pkg.Name()]:
+		checkConsumers(pass)
+	}
+	return nil, nil
+}
+
+// ---- Provider side: methods of package obs. ----
+
+func checkProviders(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvName, ptr := receiver(pass, fd)
+			if !ptr || recvName == "" {
+				continue // value receivers cannot be nil
+			}
+			if len(fd.Body.List) == 0 {
+				continue
+			}
+			if beginsWithNilGuard(pass, fd) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "exported obs hook method (*%s).%s must begin with the nil-receiver guard (if %s == nil { return ... })", recvName, fd.Name.Name, receiverIdent(fd))
+		}
+	}
+}
+
+// receiver returns the receiver's base type name and whether it is a
+// pointer receiver.
+func receiver(pass *framework.Pass, fd *ast.FuncDecl) (string, bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	switch e := ast.Unparen(star.X).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+func receiverIdent(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		return fd.Recv.List[0].Names[0].Name
+	}
+	return "recv"
+}
+
+// beginsWithNilGuard reports whether the first statement is
+// `if recv == nil { return ... }` for the method's receiver.
+func beginsWithNilGuard(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	operand, ok := framework.IsNilComparison(ifs.Cond, token.EQL)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(operand).(*ast.Ident)
+	if !ok || len(fd.Recv.List[0].Names) != 1 {
+		return false
+	}
+	if pass.TypesInfo.ObjectOf(id) != pass.TypesInfo.ObjectOf(fd.Recv.List[0].Names[0]) {
+		return false
+	}
+	if len(ifs.Body.List) != 1 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[0].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// ---- Consumer side: hot-path packages. ----
+
+func checkConsumers(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil || ifs.Else != nil {
+				return true
+			}
+			operand, ok := framework.IsNilComparison(ifs.Cond, token.NEQ)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[operand]
+			if !ok || !isHookPtr(tv.Type) {
+				return true
+			}
+			if len(ifs.Body.List) == 0 {
+				return true
+			}
+			for _, stmt := range ifs.Body.List {
+				es, ok := stmt.(*ast.ExprStmt)
+				if !ok {
+					return true // body does real work; guard is load-bearing
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok || !isHookCall(pass, call) || !simpleArgs(call) {
+					return true
+				}
+			}
+			pass.Reportf(ifs.Pos(), "obs hook methods are nil-safe; drop the `%s != nil` guard and call unconditionally (hot-path nil checks defeat the pattern)", types.ExprString(operand))
+			return true
+		})
+	}
+}
+
+// isHookPtr reports whether t is a pointer to one of obs's hook types.
+func isHookPtr(t types.Type) bool {
+	for _, name := range []string{"Counter", "Gauge", "Histogram", "Registry"} {
+		if framework.PointerToNamed(t, "obs", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHookCall reports whether call is a method call on an obs hook value.
+func isHookCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	recv := framework.MethodReceiverExpr(call)
+	if recv == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[recv]
+	return ok && isHookPtr(tv.Type)
+}
+
+// simpleArgs reports whether every argument is cheap to evaluate
+// (identifiers, selectors, literals, conversions and arithmetic over
+// those — no function calls). A guard around a call with an expensive
+// argument is considered intentional.
+func simpleArgs(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if !simpleExpr(arg) {
+			return false
+		}
+	}
+	return true
+}
+
+func simpleExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.BasicLit, *ast.SelectorExpr:
+		return true
+	case *ast.UnaryExpr:
+		return simpleExpr(e.X)
+	case *ast.BinaryExpr:
+		return simpleExpr(e.X) && simpleExpr(e.Y)
+	case *ast.CallExpr:
+		// Allow conversions like int64(x) and the len builtin; reject
+		// anything else (function calls may be expensive).
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "int", "int32", "int64", "uint", "uint32", "uint64", "float64", "len", "cap":
+				return len(e.Args) == 1 && simpleExpr(e.Args[0])
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,12 @@
+package obshook_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obshook"
+)
+
+func TestObsHook(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obshook.Analyzer, "obs", "imt")
+}

@@ -1,0 +1,36 @@
+// Package imt is a hot-path consumer stub for obshook's redundant
+// nil-check rule.
+package imt
+
+import "obs"
+
+type metrics struct {
+	applied *obs.Counter
+	ecs     *obs.Gauge
+}
+
+func (m metrics) record(n int64) {
+	if m.applied != nil { // want `obs hook methods are nil-safe; drop the .m.applied != nil. guard`
+		m.applied.Add(n)
+	}
+	m.applied.Add(n) // unconditional call: ok
+
+	if m.ecs != nil { // guard gates real work (expensive argument): ok
+		v := expensive()
+		m.ecs.Set(v)
+	}
+
+	if m.ecs == nil { // inverted gating idiom: ok
+		return
+	}
+	m.ecs.Set(expensive())
+}
+
+//flashvet:allow obshook — measured branch, see bench notes
+func guarded(c *obs.Counter) {
+	if c != nil {
+		c.Add(1)
+	}
+}
+
+func expensive() int64 { return 42 }

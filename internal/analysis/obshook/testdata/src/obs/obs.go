@@ -1,0 +1,44 @@
+// Package obs is a stub of repro/internal/obs for analyzer tests,
+// containing both correctly-guarded and unguarded hook methods.
+package obs
+
+// Counter is a stub hook type.
+type Counter struct{ v int64 }
+
+// Add is correctly guarded.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc delegates without its own guard.
+func (c *Counter) Inc() { // want `exported obs hook method \(\*Counter\)\.Inc must begin with the nil-receiver guard`
+	c.Add(1)
+}
+
+// Value is correctly guarded.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a stub hook type.
+type Gauge struct{ v int64 }
+
+// Set is missing the guard entirely.
+func (g *Gauge) Set(n int64) { // want `exported obs hook method \(\*Gauge\)\.Set must begin with the nil-receiver guard`
+	g.v = n
+}
+
+// Snapshot has a value receiver, which cannot be nil: ok.
+func (g Gauge) Snapshot() int64 { return g.v }
+
+// reset is unexported, outside the hook contract: ok.
+func (g *Gauge) reset() { g.v = 0 }
+
+//flashvet:allow obshook — internal constructor helper, never called on nil
+func (g *Gauge) Bump() { g.v++ }

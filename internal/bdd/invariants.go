@@ -1,0 +1,37 @@
+package bdd
+
+import "fmt"
+
+// CheckInvariants verifies the engine's structural invariants: every
+// nonterminal node is non-redundant (lo ≠ hi), respects the fixed
+// variable order (children are terminals or test later variables), has
+// in-range children, and the unique table hash-conses exactly the
+// nonterminal nodes. A violation means canonicity is lost — predicate
+// equality by Ref comparison (which the whole verifier relies on) is no
+// longer sound.
+//
+// The walk is O(nodes) and allocation-free; the flashcheck layer calls
+// it after each applied update block.
+func (e *Engine) CheckInvariants() error {
+	for i := 2; i < len(e.nodes); i++ {
+		n := e.nodes[i]
+		if n.level < 0 || int(n.level) >= e.nvars {
+			return fmt.Errorf("bdd: node %d tests out-of-range variable %d (nvars=%d)", i, n.level, e.nvars)
+		}
+		if n.lo == n.hi {
+			return fmt.Errorf("bdd: node %d is redundant (lo == hi == %d); reduction broken", i, n.lo)
+		}
+		for _, c := range [2]Ref{n.lo, n.hi} {
+			if c < 0 || int(c) >= len(e.nodes) {
+				return fmt.Errorf("bdd: node %d has out-of-range child %d", i, c)
+			}
+			if c >= 2 && e.nodes[c].level <= n.level {
+				return fmt.Errorf("bdd: node %d (level %d) has child %d at level %d; variable order violated", i, n.level, c, e.nodes[c].level)
+			}
+		}
+	}
+	if len(e.unique) != len(e.nodes)-2 {
+		return fmt.Errorf("bdd: unique table holds %d entries for %d nonterminal nodes; hash consing broken", len(e.unique), len(e.nodes)-2)
+	}
+	return nil
+}

@@ -54,6 +54,11 @@ type Dispatcher struct {
 	m      dmetrics
 	born   map[Epoch]time.Time // verifier creation times (instrumented only)
 	queued int                 // total queued messages across devices
+
+	// fcAbandoned tracks, per device, epochs the device has moved past.
+	// Populated only by flashcheck builds (flashcheck_on.go); stays nil
+	// otherwise.
+	fcAbandoned map[fib.DeviceID]map[Epoch]bool
 }
 
 // dmetrics holds resolved observability handles; the zero value is the
@@ -126,6 +131,7 @@ func (d *Dispatcher) Receive(m Msg) ([]TaggedEvent, error) {
 	d.queued++
 	d.m.queueDepth.Set(int64(d.queued))
 
+	d.checkEpochMonotonic(m.Device, m.Epoch)
 	isActive, deactivated := d.tracker.Observe(m.Device, m.Epoch)
 	for _, e := range deactivated {
 		if _, ok := d.verifiers[e]; ok {

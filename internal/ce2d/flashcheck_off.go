@@ -1,0 +1,10 @@
+//go:build !flashcheck
+
+package ce2d
+
+import "repro/internal/fib"
+
+// Without the flashcheck build tag the invariant layer compiles to
+// nothing: this empty method is inlined away and fcAbandoned stays nil.
+// The checking twin lives in flashcheck_on.go.
+func (d *Dispatcher) checkEpochMonotonic(dev fib.DeviceID, tag Epoch) {}

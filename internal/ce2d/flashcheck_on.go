@@ -1,0 +1,41 @@
+//go:build flashcheck
+
+package ce2d
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+)
+
+// Failf is the invariant-violation sink. It panics by default so a
+// violation stops the run at the first inconsistent state; tests
+// override it to capture the diagnostic.
+var Failf = func(format string, args ...any) {
+	panic("flashcheck: " + fmt.Sprintf(format, args...))
+}
+
+// checkEpochMonotonic asserts per-device epoch monotonicity (§4.1):
+// delivery from one agent to the dispatcher is serialized, so once a
+// device has moved past an epoch, that epoch is abandoned from its
+// point of view and must never reappear in its stream. A revisit means
+// the happens-before order the tracker derives is wrong, and every
+// consistency conclusion downstream of it is unsound. Called before the
+// tracker observes the message, while the device's previous epoch is
+// still known.
+func (d *Dispatcher) checkEpochMonotonic(dev fib.DeviceID, tag Epoch) {
+	if d.fcAbandoned == nil {
+		d.fcAbandoned = make(map[fib.DeviceID]map[Epoch]bool)
+	}
+	ab := d.fcAbandoned[dev]
+	if ab == nil {
+		ab = make(map[Epoch]bool)
+		d.fcAbandoned[dev] = ab
+	}
+	if ab[tag] {
+		Failf("ce2d: device %d revisited abandoned epoch %s (per-device epoch monotonicity, §4.1: serialized agent delivery cannot reorder epochs)", dev, tag)
+	}
+	if last, ok := d.tracker.Last(dev); ok && last != tag {
+		ab[last] = true
+	}
+}

@@ -32,6 +32,8 @@ const (
 )
 
 // Check is one verification requirement bound to a packet space.
+//
+//flashvet:allow bddref — Space is expressed in the engine of the Verifier the check is registered with (Config.Engine)
 type Check struct {
 	Name    string
 	Kind    CheckKind
@@ -45,6 +47,8 @@ type Check struct {
 
 // Event is a deterministic early-detection result for one check on one
 // equivalence class of the packet space.
+//
+//flashvet:allow bddref — Class is minted by the emitting Verifier's engine; consumers treat it as opaque
 type Event struct {
 	Check string
 	Class bdd.Ref // the class of headers the result applies to
@@ -87,6 +91,8 @@ func DefaultActionMap(g *topo.Graph) func(fib.Action) reach.SyncState {
 
 // classState tracks one check over one refining partition of its packet
 // space (the ecTable of Algorithm 2).
+//
+//flashvet:allow bddref — all class predicates live in the owning Verifier's engine (v.eng)
 type classState struct {
 	check Check
 	// classes maps class predicate → per-class detection state. Class

@@ -63,6 +63,8 @@ func (a Action) String() string {
 // device's table and is what deletions refer to. Desc, when non-nil, is
 // the symbolic form of Match for engines that index rules natively
 // (intervals, prefix tries); Match remains authoritative.
+//
+//flashvet:allow bddref — Match is owned by the engine of the Table/Transformer the rule is installed into
 type Rule struct {
 	ID     int64
 	Match  bdd.Ref

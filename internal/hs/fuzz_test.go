@@ -1,0 +1,92 @@
+package hs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/hs"
+)
+
+// FuzzPrefixParse cross-checks the three match-compilation paths
+// (prefix, ternary, range) against their arithmetic definitions, and
+// the IPv4 CIDR round-trip against the prefix predicate. Each compiled
+// predicate must contain exactly the headers its definition admits —
+// these predicates are the leaves every verification result is built
+// from, so a single wrong bit here is a silently wrong data plane.
+func FuzzPrefixParse(f *testing.F) {
+	f.Add(uint32(0xC0A80100), uint8(24), uint16(100), uint16(200), uint16(0x1234), uint16(0xFF00))
+	f.Add(uint32(0), uint8(0), uint16(0), uint16(0xFFFF), uint16(0), uint16(0))
+	f.Add(uint32(0xFFFFFFFF), uint8(32), uint16(7), uint16(7), uint16(0xFFFF), uint16(0xFFFF))
+	f.Add(uint32(0x0A000001), uint8(8), uint16(400), uint16(300), uint16(0x00FF), uint16(0x0F0F))
+
+	f.Fuzz(func(t *testing.T, v uint32, plen8 uint8, lo, hi, tv, tm uint16) {
+		plen := int(plen8 % 33)
+
+		// --- 32-bit destination field: prefix + CIDR round-trip. ---
+		s32 := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 32}))
+		p := s32.Prefix("dst", uint64(v), plen)
+
+		cidr := fmt.Sprintf("%s/%d", hs.FormatIPv4(uint64(v)), plen)
+		m, err := hs.CIDR("dst", cidr)
+		if err != nil {
+			t.Fatalf("CIDR(%q): %v", cidr, err)
+		}
+		if m.Value != uint64(v) || m.Len != plen {
+			t.Fatalf("CIDR(%q) = (value %#x, len %d), want (%#x, %d)", cidr, m.Value, m.Len, v, plen)
+		}
+		if got, err := hs.IPv4Value(hs.FormatIPv4(uint64(v))); err != nil || got != uint64(v) {
+			t.Fatalf("IPv4Value(FormatIPv4(%#x)) = %#x, %v", v, got, err)
+		}
+		if q, err := s32.CIDRPredicate("dst", cidr); err != nil || q != p {
+			t.Fatalf("CIDRPredicate(%q) = %d, %v; want Prefix ref %d", cidr, q, err, p)
+		}
+
+		// Membership matches the arithmetic definition on probe headers.
+		probes := []uint64{uint64(v), uint64(v) ^ 1, uint64(v) ^ (1 << 31), uint64(v) + 1, 0, 1<<32 - 1}
+		for _, h := range probes {
+			h &= 1<<32 - 1
+			want := plen == 0 || h>>(32-plen) == uint64(v)>>(32-plen)
+			if got := s32.Contains(p, hs.Header{h}); got != want {
+				t.Fatalf("Prefix(%#x/%d) contains %#x = %v, want %v", v, plen, h, got, want)
+			}
+		}
+		// |prefix| = 2^(32-plen) headers.
+		if got, want := s32.E.SatCount(p), float64(uint64(1)<<(32-plen)); got != want {
+			t.Fatalf("SatCount(Prefix(%#x/%d)) = %g, want %g", v, plen, got, want)
+		}
+
+		// --- 16-bit field: ternary and range. ---
+		s16 := hs.NewSpace(hs.NewLayout(hs.Field{Name: "f", Bits: 16}))
+		tern := s16.Ternary("f", uint64(tv), uint64(tm))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		rng := s16.Range("f", uint64(lo), uint64(hi))
+
+		probes16 := []uint64{uint64(tv), uint64(tv) ^ 1, uint64(lo), uint64(hi), uint64(lo) - 1, uint64(hi) + 1, 0, 0xFFFF}
+		for _, h := range probes16 {
+			h &= 0xFFFF
+			if got, want := s16.Contains(tern, hs.Header{h}), h&uint64(tm) == uint64(tv)&uint64(tm); got != want {
+				t.Fatalf("Ternary(%#x/%#x) contains %#x = %v, want %v", tv, tm, h, got, want)
+			}
+			if got, want := s16.Contains(rng, hs.Header{h}), uint64(lo) <= h && h <= uint64(hi); got != want {
+				t.Fatalf("Range[%d,%d] contains %#x = %v, want %v", lo, hi, h, got, want)
+			}
+		}
+		if got, want := s16.E.SatCount(rng), float64(hi)-float64(lo)+1; got != want {
+			t.Fatalf("SatCount(Range[%d,%d]) = %g, want %g", lo, hi, got, want)
+		}
+
+		// A witness of any non-empty predicate must be a member.
+		if tern != bdd.False && !s16.E.Eval(tern, s16.E.AnySat(tern)) {
+			t.Fatal("AnySat witness rejected by ternary predicate")
+		}
+		if rng != bdd.False && !s16.E.Eval(rng, s16.E.AnySat(rng)) {
+			t.Fatal("AnySat witness rejected by range predicate")
+		}
+		if p != bdd.False && !s32.E.Eval(p, s32.E.AnySat(p)) {
+			t.Fatal("AnySat witness rejected by prefix predicate")
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !flashcheck
+
+package imt
+
+// Without the flashcheck build tag the invariant layer compiles to
+// nothing: this empty method is inlined away, so the hot path carries
+// no branch, no closure and no extra state. The checking twin lives in
+// flashcheck_on.go.
+func (t *Transformer) checkModelInvariants(where string) {}

@@ -1,0 +1,117 @@
+//go:build flashcheck
+
+// The flashcheck layer: runtime assertions of the invariants the
+// paper's correctness argument rests on, compiled in only with
+// `-tags flashcheck` (see DESIGN.md, "Static & runtime invariants").
+// The no-op twin lives in flashcheck_off.go.
+
+package imt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/pat"
+)
+
+// Failf is the invariant-violation sink. It panics by default so a
+// violation stops the run at the first inconsistent state; tests
+// override it to capture the diagnostic.
+var Failf = func(format string, args ...any) {
+	panic("flashcheck: " + fmt.Sprintf(format, args...))
+}
+
+// disjointPairLimit bounds the O(n²) pairwise-AND disjointness proof;
+// larger EC families fall back to the SatCount accounting argument
+// (non-negative counts summing to |universe| with a verified union
+// leave no room for overlap).
+const disjointPairLimit = 128
+
+// checkModelInvariants asserts, after an applied update block, that the
+// inverse model is still a partition (Definition 6: class predicates
+// pairwise disjoint and jointly covering the subspace universe), that
+// the BDD engine is still canonical, and that the model agrees with the
+// forward FIB tables (App. C model overwrite ⊗: a witness header of
+// each class must experience exactly the class's action vector). The
+// BDD operations and wall time it spends are visible in obs as
+// flashcheck_ops and flashcheck_ns.
+func (t *Transformer) checkModelInvariants(where string) {
+	start := time.Now()
+	ops0 := t.E.Ops()
+	ctx := fmt.Sprintf("subspace %q, block %d, after %s", t.tagOrDefault(), t.stats.Blocks, where)
+
+	type ec struct {
+		vec  pat.Ref
+		pred bdd.Ref
+	}
+	ecs := make([]ec, 0, len(t.model.ECs))
+	union := bdd.False
+	for vec, p := range t.model.ECs {
+		if p == bdd.False {
+			Failf("imt: %s: EC {%s} has an empty predicate (Definition 6: classes must be non-empty)", ctx, t.Store.String(vec))
+		}
+		ecs = append(ecs, ec{vec, p})
+		union = t.E.Or(union, p)
+	}
+	if union != t.model.Universe {
+		Failf("imt: %s: EC family does not cover the subspace: OR of %d class predicates != universe (Definition 6: jointly complementary)", ctx, len(ecs))
+	}
+	if len(ecs) <= disjointPairLimit {
+		for i := range ecs {
+			for j := i + 1; j < len(ecs); j++ {
+				if t.E.And(ecs[i].pred, ecs[j].pred) != bdd.False {
+					Failf("imt: %s: EC {%s} overlaps EC {%s} (Definition 6: mutually exclusive)", ctx, t.Store.String(ecs[i].vec), t.Store.String(ecs[j].vec))
+				}
+			}
+		}
+	} else {
+		total := 0.0
+		for _, c := range ecs {
+			total += t.E.SatCount(c.pred)
+		}
+		if want := t.E.SatCount(t.model.Universe); total != want {
+			Failf("imt: %s: EC SatCounts sum to %g but the universe holds %g headers (Definition 6: mutually exclusive)", ctx, total, want)
+		}
+	}
+	if err := t.E.CheckInvariants(); err != nil {
+		Failf("imt: %s: BDD engine lost canonicity: %v", ctx, err)
+	}
+
+	// PAT/FIB agreement: a witness header of each class must see the
+	// class's action vector in the forward tables (b_R(h), App. C).
+	for _, c := range ecs {
+		w := t.E.AnySat(c.pred)
+		if w == nil {
+			continue
+		}
+		got := t.BehaviorAt(w)
+		want := t.Store.ToMap(c.vec)
+		if !behaviorEqual(got, want) {
+			Failf("imt: %s: inverse model disagrees with FIB tables: class {%s} but forward lookup of a witness gives %v", ctx, t.Store.String(c.vec), got)
+		}
+	}
+
+	t.m.fcOps.Add(int64(t.E.Ops() - ops0))
+	t.m.fcNs.Observe(time.Since(start))
+}
+
+func (t *Transformer) tagOrDefault() string {
+	if t.Tag == "" {
+		return "unpartitioned"
+	}
+	return t.Tag
+}
+
+func behaviorEqual(a, b map[fib.DeviceID]fib.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d, act := range a {
+		if b[d] != act {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+//go:build flashcheck
+
+package imt_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/imt"
+	"repro/internal/pat"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// TestInvariantsFatTreeWorkload drives Fast IMT through a fat-tree
+// StdFIB workload with the invariant layer armed: after every applied
+// block the flashcheck pass proves the EC family is a partition, the
+// engine is canonical, and the inverse model agrees with the FIB
+// tables. Any violation panics through the default Failf.
+func TestInvariantsFatTreeWorkload(t *testing.T) {
+	w := workload.LNetAPSP(topo.FabricParams{Pods: 2, TorsPerPod: 2, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 1})
+	tr := imt.NewTransformer(w.Space.E, pat.NewStore(), bdd.True)
+	tr.Tag = "fattree-test"
+	for _, blocks := range workload.Chunk(w.InsertSequence(), 16) {
+		if err := tr.ApplyBlock(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Model().Len() < 2 {
+		t.Fatalf("degenerate model after fat-tree workload: %d classes", tr.Model().Len())
+	}
+
+	// Same workload through the per-update path.
+	w2 := workload.LNetAPSP(topo.FabricParams{Pods: 2, TorsPerPod: 2, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 1})
+	tr2 := imt.NewTransformer(w2.Space.E, pat.NewStore(), bdd.True)
+	tr2.Tag = "fattree-perupdate"
+	tr2.PerUpdate = true
+	for _, blocks := range workload.Chunk(w2.InsertSequence(), 64) {
+		if err := tr2.ApplyBlock(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptedECFamilyDetected deliberately drops one equivalence
+// class from the model and asserts the flashcheck assertion fires with
+// a diagnostic naming the corrupted subspace and the update block.
+func TestCorruptedECFamilyDetected(t *testing.T) {
+	var msgs []string
+	orig := imt.Failf
+	imt.Failf = func(format string, args ...any) {
+		msgs = append(msgs, fmt.Sprintf(format, args...))
+	}
+	defer func() { imt.Failf = orig }()
+
+	w := workload.LNetAPSP(topo.FabricParams{Pods: 2, TorsPerPod: 2, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 1})
+	tr := imt.NewTransformer(w.Space.E, pat.NewStore(), bdd.True)
+	tr.Tag = "corrupt-test"
+	for _, blocks := range workload.Chunk(w.InsertSequence(), 32) {
+		if err := tr.ApplyBlock(blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("invariant failures on an uncorrupted run: %v", msgs)
+	}
+
+	// Drop one class: the family still consists of disjoint classes but
+	// no longer covers the universe (Definition 6 broken).
+	m := tr.Model()
+	if m.Len() < 2 {
+		t.Fatalf("need at least 2 classes to corrupt, have %d", m.Len())
+	}
+	for vec, pred := range m.ECs {
+		if pred != m.Universe {
+			delete(m.ECs, vec)
+			break
+		}
+	}
+
+	// The next applied block runs the invariant pass over the corrupted
+	// family.
+	if err := tr.ApplyBlock(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 0 {
+		t.Fatal("flashcheck did not detect the dropped equivalence class")
+	}
+	diag := msgs[0]
+	if !strings.Contains(diag, "does not cover") {
+		t.Errorf("diagnostic does not name the violated invariant: %q", diag)
+	}
+	if !strings.Contains(diag, `subspace "corrupt-test"`) {
+		t.Errorf("diagnostic does not name the corrupted subspace: %q", diag)
+	}
+	if !strings.Contains(diag, "block") {
+		t.Errorf("diagnostic does not name the update block: %q", diag)
+	}
+}

@@ -1,0 +1,126 @@
+package imt_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/imt"
+	"repro/internal/pat"
+)
+
+// FuzzIMTOverwrite drives Fast IMT with a byte-decoded stream of rule
+// inserts and deletes on a 6-bit header space, and cross-checks the
+// resulting inverse model against a naive per-rule oracle by exhaustive
+// enumeration of all 64 headers: every header must fall in exactly one
+// equivalence class (Definition 6), and that class's action vector must
+// equal the longest-prefix behavior computed rule-by-rule. This is the
+// model-overwrite algebra of Appendix C exercised on adversarial
+// priority/overlap patterns the structured workloads never produce.
+func FuzzIMTOverwrite(f *testing.F) {
+	f.Add([]byte{0x00, 0x15, 0x03, 0x02, 0x01, 0x2A, 0x06, 0x05})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x00, 0x3F, 0x06, 0x07, 0x01, 0x3F, 0x06, 0x07, 0x02, 0x00, 0x00, 0x00, 0x03, 0x01, 0x00, 0x00})
+	f.Add([]byte{0x01, 0x10, 0x02, 0x04, 0x03, 0x20, 0x01, 0x06, 0x00, 0x30, 0x03, 0x01, 0x02, 0x10, 0x02, 0x04})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const bits = 6
+		if len(data) > 4*24 {
+			data = data[:4*24] // bound BDD work per exec
+		}
+		space := hs.NewSpace(hs.NewLayout(hs.Field{Name: "h", Bits: bits}))
+		tr := imt.NewTransformer(space.E, pat.NewStore(), bdd.True)
+		tr.Tag = "fuzz"
+
+		// oracle is the naive forward state: the live rules per device.
+		oracle := make(map[fib.DeviceID][]fib.Rule)
+		nextID := int64(1)
+
+		for len(data) >= 4 {
+			b0, b1, b2, b3 := data[0], data[1], data[2], data[3]
+			data = data[4:]
+			dev := fib.DeviceID(b0 % 3)
+			var u fib.Update
+			if b0&0x80 != 0 && len(oracle[dev]) > 0 {
+				// Delete an existing rule, chosen by index.
+				victim := oracle[dev][int(b1)%len(oracle[dev])]
+				u = fib.Update{Op: fib.Delete, Rule: victim}
+				rest := oracle[dev][:0]
+				for _, r := range oracle[dev] {
+					if r.ID != victim.ID {
+						rest = append(rest, r)
+					}
+				}
+				oracle[dev] = rest
+			} else {
+				value := uint64(b1 % (1 << bits))
+				plen := int(b2) % (bits + 1)
+				rule := fib.Rule{
+					ID:     nextID,
+					Match:  space.Prefix("h", value, plen),
+					Pri:    int32(b3 % 8),
+					Action: fib.Forward(fib.DeviceID(b3 % 4)),
+				}
+				nextID++
+				u = fib.Update{Op: fib.Insert, Rule: rule}
+				oracle[dev] = append(oracle[dev], rule)
+			}
+			if err := tr.ApplyBlock([]fib.Block{{Device: dev, Updates: []fib.Update{u}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Exhaustive cross-check over the whole header space.
+		m := tr.Model()
+		for h := uint64(0); h < 1<<bits; h++ {
+			a := space.Assignment(hs.Header{h})
+
+			var vecs []pat.Ref
+			for vec, pred := range m.ECs {
+				if space.E.Eval(pred, a) {
+					vecs = append(vecs, vec)
+				}
+			}
+			if len(vecs) != 1 {
+				t.Fatalf("header %#x falls in %d equivalence classes, want exactly 1 (Definition 6)", h, len(vecs))
+			}
+			got := tr.Store.ToMap(vecs[0])
+			want := oracleBehavior(space, oracle, a)
+			if !mapsEqual(got, want) {
+				t.Fatalf("header %#x: inverse model says %v, naive oracle says %v", h, got, want)
+			}
+		}
+	})
+}
+
+// oracleBehavior computes the per-device behavior of a header by direct
+// highest-priority scan of the live rules — the definition Fast IMT
+// must agree with.
+func oracleBehavior(space *hs.Space, oracle map[fib.DeviceID][]fib.Rule, a []bool) map[fib.DeviceID]fib.Action {
+	out := make(map[fib.DeviceID]fib.Action)
+	for dev, rules := range oracle {
+		sorted := append([]fib.Rule(nil), rules...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		for _, r := range sorted {
+			if space.E.Eval(r.Match, a) {
+				out[dev] = r.Action
+				break
+			}
+		}
+	}
+	return out
+}
+
+func mapsEqual(a, b map[fib.DeviceID]fib.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

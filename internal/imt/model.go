@@ -35,6 +35,8 @@ import (
 // Invariants (Definition 6): vectors unique (map keys), predicates
 // mutually exclusive and jointly complementary over the subspace the
 // model covers.
+//
+//flashvet:allow bddref — all predicates (ECs values and Universe) live in the owning Transformer's engine (Transformer.E)
 type Model struct {
 	// ECs maps an action vector to the predicate of the headers that
 	// experience it.
@@ -99,6 +101,8 @@ func (m *Model) Validate(e *bdd.Engine) error {
 // covering rule at all — a case outside the paper's footnote-4
 // assumption (a permanent default rule) that this implementation handles
 // for robustness.
+//
+//flashvet:allow bddref — Pred is minted by the Transformer's engine during decompose and consumed by the same engine in Apply
 type Overwrite struct {
 	Pred  bdd.Ref
 	Delta pat.Ref

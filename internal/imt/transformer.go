@@ -50,6 +50,10 @@ type Transformer struct {
 	// mode)" variant of Figure 11): every native update becomes its own
 	// block, so aggregation never kicks in.
 	PerUpdate bool
+
+	// Tag names the subspace this transformer covers in diagnostics
+	// (flashcheck assertions in particular). Optional.
+	Tag string
 }
 
 // metrics holds resolved observability handles. The zero value (all nil)
@@ -65,6 +69,8 @@ type metrics struct {
 	applyNs    *obs.Histogram // per-block cross-product latency
 	ecs        *obs.Gauge     // equivalence classes in the inverse model
 	rules      *obs.Gauge     // rules installed across device tables
+	fcNs       *obs.Histogram // flashcheck invariant-pass latency (tagged builds)
+	fcOps      *obs.Counter   // BDD ops spent by flashcheck passes (tagged builds)
 }
 
 // Instrument attaches the transformer to an observability registry,
@@ -86,6 +92,8 @@ func (t *Transformer) Instrument(r *obs.Registry) {
 		applyNs:    r.Histogram("apply_ns"),
 		ecs:        r.Gauge("ecs"),
 		rules:      r.Gauge("rules"),
+		fcNs:       r.Histogram("flashcheck_ns"),
+		fcOps:      r.Counter("flashcheck_ops"),
 	}
 }
 
@@ -131,6 +139,8 @@ func (t *Transformer) NumRules() int {
 }
 
 // atomic is one atomic overwrite (eff, {y_dev = action}) before reduction.
+//
+//flashvet:allow bddref — eff is minted and consumed inside one ApplyBlock call on t.E
 type atomic struct {
 	eff    bdd.Ref
 	action fib.Action
@@ -230,6 +240,7 @@ func (t *Transformer) ApplyBlock(blocks []fib.Block) error {
 	t.stats.ApplyTime += applyElapsed
 	t.m.applyNs.Observe(applyElapsed)
 	t.observeModel()
+	t.checkModelInvariants("ApplyBlock")
 	return nil
 }
 
@@ -282,6 +293,7 @@ func (t *Transformer) applyPerUpdate(blocks []fib.Block) error {
 		}
 	}
 	t.observeModel()
+	t.checkModelInvariants("applyPerUpdate")
 	return nil
 }
 

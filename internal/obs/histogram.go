@@ -60,7 +60,12 @@ func bucketBounds(i int) (lo, hi int64) {
 }
 
 // Observe records one duration (clamped at zero).
-func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.ObserveNs(int64(d))
+}
 
 // ObserveNs records one nanosecond value (clamped at zero).
 func (h *Histogram) ObserveNs(ns int64) {

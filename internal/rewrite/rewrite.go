@@ -29,6 +29,8 @@ import (
 
 // Rule is one header-rewrite rule on a device: headers matching Match
 // have Field set to Value and are then forwarded per Next.
+//
+//flashvet:allow bddref — Match is expressed in the engine of the Transformer the rule set is applied to
 type Rule struct {
 	Device fib.DeviceID
 	Match  bdd.Ref

@@ -66,6 +66,8 @@ func NewPipeline(sys *System, buffer int) *Pipeline {
 // Feed enqueues one agent message; it never blocks on verification. It
 // returns ErrClosed (wrapped) after Close, or the first verification
 // error once the pipeline has failed.
+//
+//flashvet:allow ctxfeed — compatibility wrapper; this is where context-free callers get their root context
 func (p *Pipeline) Feed(m Msg) error {
 	return p.FeedContext(context.Background(), m)
 }
