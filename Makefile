@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint flashvet race race-hot checkstrict bench check fuzz
+.PHONY: build test vet lint flashvet race race-hot checkstrict bench check fuzz chaos chaos-random
 
 build:
 	$(GO) build ./...
@@ -47,10 +47,23 @@ race-hot:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# Brief fuzz pass over the predicate compiler and the Fast IMT oracle
-# differential; seeds live under testdata/fuzz/.
+# Brief fuzz pass over the predicate compiler, the Fast IMT oracle
+# differential, and the wire decoders; seeds live under testdata/fuzz/.
 fuzz:
 	$(GO) test -fuzz=FuzzPrefixParse -fuzztime=30s ./internal/hs
 	$(GO) test -fuzz=FuzzIMTOverwrite -fuzztime=30s ./internal/imt
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire
 
-check: vet lint race checkstrict
+# Fault-injection suite under the race detector with the pinned seed
+# (the CI mode): chaos model equality, quarantine paths, worker
+# poisoning, pipeline close-while-feeding, and the injector's own tests.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestCorruptFrameQuarantinesDevice|TestFeedErrorQuarantinesDevice|TestWorkerPanicQuarantinesSubspace|TestPipelineCloseWhileFeeding' .
+	$(GO) test -race -count=1 ./internal/faulty ./internal/wire
+
+# Same suite with a fresh random fault schedule; the seed is logged so a
+# failure reproduces with FLASH_CHAOS_SEED=<seed> make chaos.
+chaos-random:
+	FLASH_CHAOS_SEED=random $(GO) test -race -count=1 -v -run 'TestChaosModelEquality' .
+
+check: vet lint race checkstrict chaos

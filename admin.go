@@ -10,22 +10,56 @@ import (
 	"repro/internal/obs"
 )
 
+// Health is one component's degradation report for /healthz. The zero
+// value means healthy.
+type Health struct {
+	Degraded bool
+	Reasons  []string
+}
+
+// merge folds another component's report into h.
+func (h *Health) merge(o Health) {
+	if o.Degraded {
+		h.Degraded = true
+		h.Reasons = append(h.Reasons, o.Reasons...)
+	}
+}
+
 // AdminHandler serves the operational endpoints of a Flash deployment:
 //
 //	/metrics         the observability registry as indented JSON
-//	/healthz         liveness probe ("ok")
+//	/healthz         liveness/degradation probe
 //	/debug/vars      expvar (includes the registry, memstats, cmdline)
 //	/debug/pprof/*   the standard Go profiling endpoints
 //
 // cmd/flashd mounts it on the -admin listener; tests mount it on an
 // httptest server. reg may be nil, in which case /metrics serves an
 // empty object and the debug endpoints still work.
-func AdminHandler(reg *obs.Registry) http.Handler {
+//
+// health sources (e.g. System.Health, Server.Health) are polled on each
+// /healthz request: all healthy yields "ok"; any degradation yields
+// "degraded" followed by one reason per line. The process is still
+// serving either way, so the status code stays 200 — degradation means
+// reduced coverage (a quarantined subspace or device), not death.
+func AdminHandler(reg *obs.Registry, health ...func() Health) http.Handler {
 	publishExpvar(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		var agg Health
+		for _, src := range health {
+			if src != nil {
+				agg.merge(src())
+			}
+		}
+		if !agg.Degraded {
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.Write([]byte("degraded\n"))
+		for _, r := range agg.Reasons {
+			w.Write([]byte(r + "\n"))
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -1,0 +1,544 @@
+package flash
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faulty"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/obs"
+	"repro/internal/openr"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// chaosSeed resolves the fault-injection seed: fixed by default (the CI
+// mode), overridden by FLASH_CHAOS_SEED — an integer, or "random" for a
+// fresh seed logged for reproduction (`make chaos-random`).
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	switch v := os.Getenv("FLASH_CHAOS_SEED"); v {
+	case "":
+		// The default seed is pinned to a schedule that fires every fault
+		// class (loss, dup, reorder, truncate, disconnect, delay) against
+		// the Internet2 workload — see TestChaosModelEquality's coverage
+		// gate before changing it.
+		return 3
+	case "random":
+		seed := time.Now().UnixNano()
+		t.Logf("chaos: randomized seed %d (reproduce with FLASH_CHAOS_SEED=%d)", seed, seed)
+		return seed
+	default:
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("FLASH_CHAOS_SEED=%q: %v", v, err)
+		}
+		t.Logf("chaos: seed %d from FLASH_CHAOS_SEED", seed)
+		return seed
+	}
+}
+
+// chaosWorkload generates the deterministic message stream both chaos
+// runs consume: an OpenR control-plane simulation on Internet2 with a
+// mid-run link failure, exactly as the end-to-end integration test.
+func chaosWorkload(t *testing.T) (*topo.Graph, *hs.Layout, []wire.Msg) {
+	t.Helper()
+	g := topo.Internet2()
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 16})
+	space := hs.NewSpace(layout)
+	owners := make([]topo.NodeID, g.N())
+	for i := range owners {
+		owners[i] = topo.NodeID(i)
+	}
+	sim := openr.New(g, space, owners, openr.DefaultOptions())
+	sim.FailLink(10_000, g.MustByName("chic"), g.MustByName("kans"))
+	sim.Run(60_000_000)
+	var msgs []wire.Msg
+	for _, m := range sim.Messages() {
+		wm, err := wire.FromFib(m.Msg.Device, string(m.Msg.Epoch), m.Msg.Updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, wm)
+	}
+	if len(msgs) == 0 {
+		t.Fatal("empty chaos workload")
+	}
+	return g, layout, msgs
+}
+
+// runChaos streams the workload to a fresh server through one agent
+// stream — clean when inject is nil, fault-injected otherwise — and
+// returns the detection results plus the final epoch's model
+// fingerprint. Results are normalized without their witness header and
+// sorted: the engine enumerates equivalence classes in map order, so
+// witness choice and intra-epoch result order vary run to run even
+// fault-free, while the verdict multiset and the model itself are the
+// invariants replay must preserve.
+func runChaos(t *testing.T, g *topo.Graph, layout *hs.Layout, msgs []wire.Msg, seed int64, inject *faulty.Injector) ([]string, string) {
+	t.Helper()
+	sys, err := NewSystem(
+		WithTopo(g),
+		WithLayout(layout),
+		WithSubspaces(2, ""),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu      sync.Mutex
+		results []string
+	)
+	srv := NewServer(l, sys, func(r Result) {
+		verdict := r.Verdict.String()
+		if r.Loop != LoopUnknown {
+			verdict = r.Loop.String()
+		}
+		mu.Lock()
+		results = append(results, fmt.Sprintf("[%s] check %q subspace %d: %s", r.Epoch, r.Check, r.Subspace, verdict))
+		mu.Unlock()
+	})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	opts := AgentOptions{
+		Stream:        "chaos-agent",
+		Reconnect:     true,
+		BackoffMin:    time.Millisecond,
+		BackoffMax:    10 * time.Millisecond,
+		ResendTimeout: 200 * time.Millisecond,
+		Rand:          rand.New(rand.NewSource(seed)),
+	}
+	if inject != nil {
+		opts.Dial = func(a string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", a)
+			if err != nil {
+				return nil, err
+			}
+			return inject.WrapConn(conn), nil
+		}
+	}
+	ag, err := DialAgentOptions(l.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+	for _, m := range msgs {
+		if err := ag.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := ag.WaitAcked(ctx); err != nil {
+		t.Fatalf("drain: %v (reconnects=%d unacked=%d)", err, ag.Reconnects(), ag.Unacked())
+	}
+	if q := srv.QuarantinedDevices(); len(q) != 0 {
+		t.Fatalf("devices quarantined during chaos run: %v", q)
+	}
+	fp, err := sys.ModelFingerprint(msgs[len(msgs)-1].Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Strings(results)
+	return results, fp
+}
+
+// TestChaosModelEquality is the tentpole acceptance test: under seeded
+// loss, duplication, reorder, delay and mid-frame disconnect faults, the
+// final per-device EC model and the CE2D verdict stream must be
+// identical to a fault-free run — at-least-once replay with
+// receiver-side dedup applies every block exactly once, in order.
+func TestChaosModelEquality(t *testing.T) {
+	seed := chaosSeed(t)
+	g, layout, msgs := chaosWorkload(t)
+
+	cleanResults, cleanFP := runChaos(t, g, layout, msgs, seed, nil)
+
+	inj := faulty.New(faulty.Config{
+		Seed:       seed,
+		Drop:       0.12,
+		Dup:        0.12,
+		Reorder:    0.10,
+		Delay:      0.05,
+		MaxDelay:   2 * time.Millisecond,
+		Truncate:   0.06,
+		Disconnect: 0.04,
+		MaxFaults:  80,
+	})
+	faultyResults, faultyFP := runChaos(t, g, layout, msgs, seed, inj)
+
+	stats := inj.Stats()
+	t.Logf("chaos: injected faults: %+v (total %d) over %d messages", stats, stats.Total(), len(msgs))
+	if os.Getenv("FLASH_CHAOS_SEED") == "" {
+		// The default seed is pinned to full fault-class coverage; an
+		// overridden (possibly random) seed only has to fire something.
+		if stats.Drops == 0 || stats.Dups == 0 || stats.Reorders == 0 {
+			t.Fatalf("fault schedule too tame to prove anything: %+v (need loss, dup and reorder)", stats)
+		}
+		if stats.Truncations+stats.Disconnects == 0 {
+			t.Fatalf("fault schedule never severed the connection: %+v (need a reconnect+replay cycle)", stats)
+		}
+	} else if stats.Total() == 0 {
+		t.Fatal("fault injector fired no faults; the run proves nothing")
+	}
+	if faultyFP != cleanFP {
+		t.Fatalf("model fingerprint diverged under faults:\n  clean  %s\n  faulty %s", cleanFP, faultyFP)
+	}
+	if len(faultyResults) != len(cleanResults) {
+		t.Fatalf("result count diverged: clean %d, faulty %d", len(cleanResults), len(faultyResults))
+	}
+	for i := range cleanResults {
+		if faultyResults[i] != cleanResults[i] {
+			t.Fatalf("result %d diverged:\n  clean  %s\n  faulty %s", i, cleanResults[i], faultyResults[i])
+		}
+	}
+}
+
+// ---- raw session frames (hand-encoded, for poisoning the stream) ----
+
+func rawFrame(body []byte) []byte {
+	out := make([]byte, 4, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	return append(out, body...)
+}
+
+func rawHello(stream string) []byte {
+	b := []byte{0x01, 2} // hello, session version
+	b = append(b, byte(len(stream)>>8), byte(len(stream)))
+	b = append(b, stream...)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 1) // first = 1
+	b = append(b, 0, 0, 0, 0)             // attempt = 0
+	return rawFrame(b)
+}
+
+func rawData(dev DeviceID, seq uint64, msgBody []byte) []byte {
+	b := []byte{0x02}
+	b = binary.BigEndian.AppendUint32(b, uint32(dev))
+	b = binary.BigEndian.AppendUint64(b, seq)
+	return rawFrame(append(b, msgBody...))
+}
+
+// encodeMsgBody reuses the public Msg codec and strips the frame length
+// prefix, leaving the bare body a session data frame embeds.
+func encodeMsgBody(t *testing.T, m wire.Msg) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()[4:]
+}
+
+// readAck reads session frames off a raw connection until a cumulative
+// ack ≥ want arrives.
+func readAck(t *testing.T, conn net.Conn, want uint64) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatalf("waiting for ack %d: %v", want, err)
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatalf("waiting for ack %d: %v", want, err)
+		}
+		if len(body) == 9 && body[0] == 0x03 && binary.BigEndian.Uint64(body[1:]) >= want {
+			return
+		}
+	}
+}
+
+func chaosTestMsg(dev DeviceID, epoch string, dst uint64) wire.Msg {
+	return chaosTestMsgID(dev, epoch, dst, 1)
+}
+
+// chaosTestMsgID picks the rule identity explicitly: a device streaming
+// several epochs feeds them all into the same inverse model, so each
+// message must install a distinct rule.
+func chaosTestMsgID(dev DeviceID, epoch string, dst uint64, id int64) wire.Msg {
+	return wire.Msg{Device: dev, Epoch: epoch, Updates: []wire.Update{{
+		Op: fib.Insert,
+		Rule: wire.Rule{ID: id, Pri: 1, Action: Forward(DeviceID(2)),
+			Desc: MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: dst, Len: 16}}},
+	}}}
+}
+
+func startChaosServer(t *testing.T, reg *obs.Registry, opts ...ServeOption) (*Server, *System, string) {
+	t.Helper()
+	sysOpts := []Option{
+		WithTopo(topo.Internet2()),
+		WithLayout(hs.NewLayout(hs.Field{Name: "dst", Bits: 16})),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+	}
+	if reg != nil {
+		sysOpts = append(sysOpts, WithMetrics(reg))
+	}
+	sys, err := NewSystem(sysOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, sys, nil, opts...)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, sys, l.Addr().String()
+}
+
+// TestCorruptFrameQuarantinesDevice: a data frame with an intact
+// envelope but a garbage body must quarantine the named device and keep
+// the connection (and every other device) verifying.
+func TestCorruptFrameQuarantinesDevice(t *testing.T) {
+	reg := obs.NewRegistry("chaos-corrupt")
+	srv, _, addr := startChaosServer(t, reg)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var stream []byte
+	stream = append(stream, rawHello("evil")...)
+	stream = append(stream, rawData(7, 1, []byte{0xFF})...) // body too short to parse
+	stream = append(stream, rawData(8, 2, encodeMsgBody(t, chaosTestMsg(8, "e1", 0x0800)))...)
+	if _, err := conn.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+	readAck(t, conn, 2) // the connection survived the poisoned frame
+
+	if q := srv.QuarantinedDevices(); len(q) != 1 || q[0] != 7 {
+		t.Fatalf("quarantined = %v, want [7]", q)
+	}
+	if h := srv.Health(); !h.Degraded || len(h.Reasons) != 1 || !strings.Contains(h.Reasons[0], "device 7") {
+		t.Fatalf("health = %+v, want degraded by device 7", h)
+	}
+
+	// A later, well-formed frame from the quarantined device is consumed
+	// (and acked — no endless replay) but dropped.
+	if _, err := conn.Write(rawData(7, 3, encodeMsgBody(t, chaosTestMsg(7, "e1", 0x0700)))); err != nil {
+		t.Fatal(err)
+	}
+	readAck(t, conn, 3)
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("wire", "corrupt_frames"); !ok || v != 1 {
+		t.Fatalf("wire/corrupt_frames = %d (%v), want 1", v, ok)
+	}
+	if v, ok := snap.Get("serve", "quarantine_drops"); !ok || v != 1 {
+		t.Fatalf("serve/quarantine_drops = %d (%v), want 1", v, ok)
+	}
+	if v, ok := snap.Get("serve", "quarantines_total"); !ok || v != 1 {
+		t.Fatalf("serve/quarantines_total = %d (%v), want 1", v, ok)
+	}
+}
+
+// TestFeedErrorQuarantinesDevice: a device whose Feed errors (here: it
+// violates the one-message-per-epoch contract) is quarantined instead of
+// killing the connection; the quarantine expires after its TTL.
+func TestFeedErrorQuarantinesDevice(t *testing.T) {
+	reg := obs.NewRegistry("chaos-feederr")
+	srv, _, addr := startChaosServer(t, reg, WithQuarantineTTL(200*time.Millisecond))
+	ag, err := DialAgent(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Close()
+
+	send := func(m wire.Msg) {
+		t.Helper()
+		if err := ag.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(chaosTestMsg(1, "e1", 0x0100))
+	send(chaosTestMsg(1, "e1", 0x0101)) // second message for a synced epoch: Feed errors
+	send(chaosTestMsg(2, "e1", 0x0200)) // a different device must still verify
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ag.WaitAcked(ctx); err != nil {
+		t.Fatalf("the connection died on a feed error: %v", err)
+	}
+	if q := srv.QuarantinedDevices(); len(q) != 1 || q[0] != 1 {
+		t.Fatalf("quarantined = %v, want [1]", q)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("serve", "feed_errors"); !ok || v != 1 {
+		t.Fatalf("serve/feed_errors = %d (%v), want 1", v, ok)
+	}
+	if v, ok := snap.Get("wire", "frames_rx"); !ok || v != 3 {
+		t.Fatalf("wire/frames_rx = %d (%v), want 3", v, ok)
+	}
+
+	// The quarantine expires; the device may feed again.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.QuarantinedDevices()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("quarantine did not expire: %v", srv.QuarantinedDevices())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if h := srv.Health(); h.Degraded {
+		t.Fatalf("health still degraded after expiry: %+v", h)
+	}
+}
+
+// TestWorkerPanicQuarantinesSubspace: a panicking subspace worker is
+// quarantined while the rest keep verifying; /healthz reports degraded;
+// only when every subspace is gone does Feed fail.
+func TestWorkerPanicQuarantinesSubspace(t *testing.T) {
+	reg := obs.NewRegistry("chaos-panic")
+	sys, err := NewSystem(
+		WithTopo(topo.Internet2()),
+		WithLayout(hs.NewLayout(hs.Field{Name: "dst", Bits: 16})),
+		WithSubspaces(2, ""),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+		WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var poisonTarget atomic.Int64
+	poisonTarget.Store(-1)
+	sys.SetFeedHook(func(subspace int) {
+		if int64(subspace) == poisonTarget.Load() {
+			panic(fmt.Sprintf("injected panic in subspace %d", subspace))
+		}
+	})
+
+	if _, err := sys.Feed(chaosTestMsg(1, "e1", 0x0100)); err != nil {
+		t.Fatal(err)
+	}
+	poisonTarget.Store(1)
+	results, err := sys.Feed(chaosTestMsg(2, "e1", 0x8200)) // subspace 1 panics here
+	if err != nil {
+		t.Fatalf("feed with one poisoned subspace must not error: %v", err)
+	}
+	for _, r := range results {
+		if r.Subspace == 1 {
+			t.Fatalf("result from the quarantined subspace: %+v", r)
+		}
+	}
+	if got := sys.PoisonedSubspaces(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("poisoned = %v, want [1]", got)
+	}
+	if v, ok := reg.Snapshot().Get("ce2d", "worker_panics"); !ok || v != 1 {
+		t.Fatalf("ce2d/worker_panics = %d (%v), want 1", v, ok)
+	}
+
+	// The healthy subspace keeps verifying across further feeds.
+	poisonTarget.Store(-1)
+	if _, err := sys.Feed(chaosTestMsg(3, "e1", 0x0300)); err != nil {
+		t.Fatal(err)
+	}
+
+	// /healthz flips to degraded with the quarantined subspace named.
+	ts := httptest.NewServer(AdminHandler(reg, sys.Health))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(body), "degraded\n") || !strings.Contains(string(body), "subspace 1") {
+		t.Fatalf("healthz = %q, want degraded naming subspace 1", body)
+	}
+
+	// Poison the last subspace: now, and only now, Feed fails.
+	poisonTarget.Store(0)
+	if _, err := sys.Feed(chaosTestMsg(4, "e1", 0x0400)); err != nil {
+		t.Fatalf("the poisoning feed itself still has a live worker at entry: %v", err)
+	}
+	if _, err := sys.Feed(chaosTestMsg(5, "e1", 0x0500)); !errors.Is(err, ErrSubspacePoisoned) {
+		t.Fatalf("feed with all subspaces poisoned: %v, want ErrSubspacePoisoned", err)
+	}
+}
+
+// TestPipelineCloseWhileFeeding closes a Pipeline while concurrent
+// feeders are still in flight (run under -race by `make chaos`): no
+// deadlock, no double close, feeds after close get ErrClosed.
+func TestPipelineCloseWhileFeeding(t *testing.T) {
+	sys, err := NewSystem(
+		WithTopo(topo.Internet2()),
+		WithLayout(hs.NewLayout(hs.Field{Name: "dst", Bits: 16})),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(sys, 4)
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for range p.Results() {
+			n++
+		}
+		drained <- n
+	}()
+	var wg sync.WaitGroup
+	for dev := 1; dev <= 4; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			// Bounded intake: Feed never blocks, so an unbounded loop
+			// would pile up epochs faster than verification drains them.
+			for i := 0; i < 20; i++ {
+				m := chaosTestMsgID(DeviceID(dev), fmt.Sprintf("e%d", i), uint64(dev)<<8|uint64(i%7), int64(i+1))
+				if err := p.Feed(m); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("feed: %v", err)
+					}
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(dev)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := p.Close(); err != nil { // races the in-flight feeders
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	<-drained
+}

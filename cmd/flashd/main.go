@@ -59,6 +59,11 @@ func main() {
 		loops      = flag.Bool("loops", true, "verify loop freedom")
 		subspaces  = flag.Int("subspaces", 1, "subspace partition count (power of two)")
 		replay     = flag.String("replay", "", "one-shot mode: verify a snapshot file and exit")
+
+		quarantine    = flag.Duration("quarantine", time.Minute, "how long a faulty device stays quarantined (0 = until restart)")
+		agentTimeout  = flag.Duration("agent-timeout", 0, "close agent connections silent for this long (0 = never; agents heartbeat to stay alive)")
+		ackWindow     = flag.Int("ack-window", 1024, "per-agent out-of-order frame window for replay reassembly")
+		acceptBackoff = flag.Duration("accept-backoff", time.Second, "max retry backoff after temporary accept errors")
 	)
 	var reaches reachFlags
 	flag.Var(&reaches, "reach", "reachability check name:expr:sources:dest (repeatable)")
@@ -119,7 +124,16 @@ func main() {
 	}
 	srv := flash.NewServer(l, sys, func(r flash.Result) {
 		fmt.Println(r)
-	})
+	},
+		flash.WithQuarantineTTL(*quarantine),
+		flash.WithAgentReadTimeout(*agentTimeout),
+		flash.WithAckWindow(*ackWindow),
+		flash.WithAcceptBackoff(*acceptBackoff),
+	)
+	// Quarantined devices appear on /metrics (serve/quarantined and
+	// serve/quarantines_total) and reconnects under wire/reconnects;
+	// /healthz reports "degraded" while any device or subspace is
+	// quarantined.
 	fmt.Printf("flashd: verifying %d checks on %q (%d nodes, %d subspaces) at %s\n",
 		len(checks), *topoSpec, g.N(), max(1, *subspaces), l.Addr())
 
@@ -129,7 +143,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		adminSrv = &http.Server{Handler: flash.AdminHandler(reg)}
+		adminSrv = &http.Server{Handler: flash.AdminHandler(reg, sys.Health, srv.Health)}
 		fmt.Printf("flashd: admin endpoint (/metrics, /healthz, /debug/pprof/) at %s\n", al.Addr())
 		go func() {
 			if err := adminSrv.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	flash "repro"
 	"repro/internal/exps"
@@ -32,6 +34,12 @@ func main() {
 		out     = flag.String("out", "", "write the FIBs as a snapshot file (for flashd -replay)")
 		epoch   = flag.String("epoch", "epoch-0", "epoch tag for the streamed FIBs")
 		dampen  = flag.Int("dampen", 0, "number of long-tail (last-arriving) devices")
+
+		reconnect  = flag.Bool("reconnect", false, "agents reconnect with backoff and replay unacked messages")
+		heartbeat  = flag.Duration("heartbeat", 0, "agent heartbeat interval (0 = off)")
+		backoffMin = flag.Duration("backoff-min", 50*time.Millisecond, "min reconnect backoff")
+		backoffMax = flag.Duration("backoff-max", 5*time.Second, "max reconnect backoff")
+		drain      = flag.Duration("drain", 30*time.Second, "how long to wait for server acks before giving up")
 	)
 	flag.Parse()
 
@@ -84,7 +92,12 @@ func main() {
 		fatal(fmt.Errorf("flashgen: dampen must be in [0,%d)", n))
 	}
 	send := func(b fib.Block) error {
-		ag, err := flash.DialAgent(*addr)
+		ag, err := flash.DialAgentOptions(*addr, flash.AgentOptions{
+			Reconnect:  *reconnect,
+			Heartbeat:  *heartbeat,
+			BackoffMin: *backoffMin,
+			BackoffMax: *backoffMax,
+		})
 		if err != nil {
 			return err
 		}
@@ -93,7 +106,14 @@ func main() {
 		if err != nil {
 			return err
 		}
-		return ag.Send(m)
+		if err := ag.Send(m); err != nil {
+			return err
+		}
+		// Wait for the server's ack so a close cannot race delivery (and,
+		// with -reconnect, so replay after a fault completes).
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		return ag.WaitAcked(ctx)
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, n)

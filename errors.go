@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/ce2d"
+	"repro/internal/wire"
 )
 
 // Sentinel errors. Callers should test with errors.Is rather than
@@ -25,4 +26,18 @@ var (
 	// contract). It aliases the internal ce2d sentinel so wrapped
 	// dispatcher errors satisfy errors.Is(err, flash.ErrBadEpoch).
 	ErrBadEpoch = ce2d.ErrBadEpoch
+
+	// ErrSubspacePoisoned is returned by Feed once every subspace worker
+	// has been quarantined after a panic — no part of the header space is
+	// being verified anymore. Partial poisoning does not error: healthy
+	// subspaces keep verifying and Health reports the degradation.
+	ErrSubspacePoisoned = errors.New("flash: subspace worker poisoned")
+
+	// Wire-protocol sentinels, re-exported so that callers holding only
+	// this package can classify transport failures with errors.Is:
+	// protocol corruption (a frame that parsed wrong) versus I/O loss (a
+	// stream cut mid-frame) versus an oversized, unskippable frame.
+	ErrCorruptFrame  = wire.ErrCorruptFrame
+	ErrTruncated     = wire.ErrTruncated
+	ErrFrameTooLarge = wire.ErrFrameTooLarge
 )

@@ -1,0 +1,7 @@
+package flash
+
+// SetFeedHook installs a test seam that runs inside each subspace
+// worker's feed goroutine, before the message is applied. A panic in the
+// hook exercises the worker-quarantine path for exactly the chosen
+// subspace, which no public input can target deterministically.
+func (s *System) SetFeedHook(f func(subspace int)) { s.feedHook = f }

@@ -30,6 +30,9 @@ package flash
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"log"
 	"sort"
@@ -333,9 +336,16 @@ type DeviceBlock struct {
 	Updates []Update
 }
 
-func (w *mbWorker) apply(blocks []DeviceBlock) error {
+func (w *mbWorker) apply(blocks []DeviceBlock) (err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// The offline path converts a transformer panic into an error rather
+	// than killing the whole build fan-out.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("flash: subspace worker panic: %v", r)
+		}
+	}()
 	compiled := make([]fib.Block, 0, len(blocks))
 	for _, db := range blocks {
 		fb := fib.Block{Device: db.Device}
@@ -374,9 +384,14 @@ func (b *ModelBuilder) Compact() error {
 	return nil
 }
 
-func (w *mbWorker) compact(cfg Config) error {
+func (w *mbWorker) compact(cfg Config) (err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("flash: subspace worker panic during compact: %v", r)
+		}
+	}()
 	space := hs.NewSpace(cfg.Layout)
 	var universe bdd.Ref = bdd.True
 	if cfg.Subspaces > 1 {
@@ -486,9 +501,23 @@ func (b *ModelBuilder) ActionAt(dev DeviceID, header []uint64) (Action, error) {
 
 // System is the online Flash deployment of Figure 1: per-subspace workers
 // each running a CE2D dispatcher that manages per-epoch verifiers.
+//
+// A worker that panics while applying a message is quarantined
+// ("poisoned"): its subspace stops verifying, the panic is recovered and
+// counted, and all other subspaces keep running. PoisonedSubspaces and
+// Health expose the degradation.
 type System struct {
 	cfg     Config
 	workers []*sysWorker
+
+	poisonMu     sync.Mutex
+	poisoned     map[int]string // subspace index -> panic cause
+	workerPanics *obs.Counter
+
+	// feedHook, when set (tests only), runs inside each subspace worker's
+	// feed goroutine before the message is applied. A panic in the hook
+	// exercises the worker-quarantine path deterministically.
+	feedHook func(subspace int)
 }
 
 // sysWorker owns one subspace: universe is minted by the engine inside
@@ -510,7 +539,8 @@ type sysWorker struct {
 // working.
 func NewSystem(opts ...Option) (*System, error) {
 	cfg := buildConfig(opts)
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, poisoned: make(map[int]string)}
+	s.workerPanics = cfg.Metrics.Sub("ce2d").Counter("worker_panics")
 	probe := hs.NewSpace(cfg.Layout)
 	preds := cfg.subspacePreds(probe)
 	for i := range preds {
@@ -639,21 +669,43 @@ func (s *System) Feed(m Msg) ([]Result, error) {
 // and the message is not applied there. Cancellation is checked at
 // worker boundaries (a worker that has started applying a block always
 // finishes it, keeping the per-subspace models consistent).
+//
+// A worker that panics is quarantined: the panic is recovered, counted
+// under ce2d/worker_panics, and the subspace is skipped by every later
+// Feed. Results from healthy subspaces are still returned; only when
+// every subspace is poisoned does Feed fail (with ErrSubspacePoisoned).
 func (s *System) FeedContext(ctx context.Context, m Msg) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	results := make([][]Result, len(s.workers))
 	errs := make([]error, len(s.workers))
+	live := 0
 	var wg sync.WaitGroup
 	for i, w := range s.workers {
+		if s.isPoisoned(i) {
+			continue
+		}
+		live++
 		wg.Add(1)
 		go func(i int, w *sysWorker) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.poison(i, fmt.Sprint(r))
+					results[i], errs[i] = nil, nil
+				}
+			}()
+			if s.feedHook != nil {
+				s.feedHook(i)
+			}
 			results[i], errs[i] = w.feed(ctx, m)
 		}(i, w)
 	}
 	wg.Wait()
+	if live == 0 {
+		return nil, fmt.Errorf("flash: all %d subspaces are quarantined: %w", len(s.workers), ErrSubspacePoisoned)
+	}
 	var out []Result
 	for i := range s.workers {
 		if errs[i] != nil {
@@ -663,6 +715,112 @@ func (s *System) FeedContext(ctx context.Context, m Msg) ([]Result, error) {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Subspace < out[j].Subspace })
 	return out, nil
+}
+
+// isPoisoned reports whether a subspace worker has been quarantined.
+func (s *System) isPoisoned(i int) bool {
+	s.poisonMu.Lock()
+	defer s.poisonMu.Unlock()
+	_, ok := s.poisoned[i]
+	return ok
+}
+
+// poison quarantines a subspace worker after a recovered panic.
+func (s *System) poison(i int, cause string) {
+	s.poisonMu.Lock()
+	first := s.poisoned[i] == ""
+	if first {
+		s.poisoned[i] = cause
+	}
+	s.poisonMu.Unlock()
+	if first {
+		s.workerPanics.Inc()
+		if log := s.cfg.Logger; log != nil {
+			log.Printf("flash: subspace %d worker panic; quarantined: %s", i, cause)
+		}
+	}
+}
+
+// PoisonedSubspaces returns the quarantined subspace indices, sorted.
+func (s *System) PoisonedSubspaces() []int {
+	s.poisonMu.Lock()
+	defer s.poisonMu.Unlock()
+	out := make([]int, 0, len(s.poisoned))
+	for i := range s.poisoned {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Health reports the system's degradation state: degraded when any
+// subspace worker has been quarantined after a panic.
+func (s *System) Health() Health {
+	s.poisonMu.Lock()
+	defer s.poisonMu.Unlock()
+	var h Health
+	for i := range s.poisoned {
+		h.Degraded = true
+		h.Reasons = append(h.Reasons, fmt.Sprintf("subspace %d quarantined: %s", i, s.poisoned[i]))
+	}
+	sort.Strings(h.Reasons)
+	return h
+}
+
+// ModelFingerprint returns a deterministic digest of the per-device EC
+// model held by the given epoch's verifier across all subspaces: per
+// subspace, the EC count and every device table's rules (identity,
+// priority, action and symbolic descriptor). Two runs that consumed the
+// same messages exactly once, in order, produce equal fingerprints —
+// the chaos tests use this to prove at-least-once replay with dedup
+// leaves the model untouched by duplicates.
+func (s *System) ModelFingerprint(epoch string) (string, error) {
+	h := sha256.New()
+	num := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	str := func(v string) {
+		num(uint64(len(v)))
+		h.Write([]byte(v))
+	}
+	found := false
+	for _, w := range s.workers {
+		w.mu.Lock()
+		v, ok := w.disp.Verifier(ce2d.Epoch(epoch))
+		if !ok {
+			w.mu.Unlock()
+			continue
+		}
+		found = true
+		tr := v.Transformer()
+		num(uint64(w.idx))
+		num(uint64(tr.Model().Len()))
+		devs := tr.Devices()
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+		for _, dev := range devs {
+			num(uint64(dev))
+			for _, r := range tr.Table(dev).Rules() {
+				num(uint64(r.ID))
+				num(uint64(r.Pri))
+				num(uint64(r.Action))
+				num(uint64(len(r.Desc)))
+				for _, f := range r.Desc {
+					str(f.Field)
+					num(uint64(f.Kind))
+					num(f.Value)
+					num(uint64(f.Len))
+					num(f.Mask)
+				}
+			}
+		}
+		w.mu.Unlock()
+	}
+	if !found {
+		return "", fmt.Errorf("flash: no verifier for epoch %q in any subspace", epoch)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 func (w *sysWorker) feed(ctx context.Context, m Msg) ([]Result, error) {

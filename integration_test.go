@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -77,9 +78,9 @@ func TestEndToEndOpenRToTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Serialize across agents so cross-device ordering matches the
-		// simulation's arrival order (each agent's own stream is already
-		// ordered by TCP).
-		waitForDrain(t, &mu, &results, ag)
+		// simulation's arrival order: the server's ack proves the frame
+		// was consumed, so the next agent's frame arrives strictly after.
+		waitForDrain(t, ag)
 	}
 
 	deadline := time.After(10 * time.Second)
@@ -119,18 +120,13 @@ func TestEndToEndOpenRToTCP(t *testing.T) {
 	}
 }
 
-// waitForDrain blocks briefly until the server has consumed the agent's
-// last frame (signalled by the handler having run; we approximate by a
-// short poll on the results or a small delay — frames are tiny and
-// local).
-func waitForDrain(t *testing.T, mu *sync.Mutex, results *[]Result, ag *wire.Agent) {
+// waitForDrain blocks until the server has acknowledged (and therefore
+// consumed) every frame the agent has sent.
+func waitForDrain(t *testing.T, ag *wire.Agent) {
 	t.Helper()
-	// A small fixed delay suffices: the handler runs synchronously per
-	// frame under the server lock, and frames arrive in order per
-	// connection. Cross-connection order only affects which epoch wins,
-	// not consistency; the delay keeps the test deterministic.
-	time.Sleep(200 * time.Microsecond)
-	_ = mu
-	_ = results
-	_ = ag
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ag.WaitAcked(ctx); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,297 @@
+// Package faulty provides seeded, deterministic fault injection for
+// net.Conn and net.Listener, used by the chaos tests to prove that the
+// verifier's results under network faults are identical to a fault-free
+// run.
+//
+// Faults operate at Write-call granularity: the wire protocol issues one
+// Write for a frame header and one for its body through a bufio.Writer
+// flush, so corrupting, dropping, duplicating or reordering whole Write
+// calls models frame-level network faults while staying protocol-
+// agnostic. Determinism comes from a single seeded math/rand source
+// consulted in connection order; with the same seed, dial sequence and
+// write sequence, the same faults fire.
+package faulty
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDisconnect is the error surfaced by writes after the
+// injector severs a connection mid-stream.
+var ErrInjectedDisconnect = errors.New("faulty: injected disconnect")
+
+// Config sets per-write fault probabilities (each in [0,1]) and limits.
+type Config struct {
+	Seed int64
+
+	Drop       float64 // write silently discarded
+	Dup        float64 // write delivered twice
+	Reorder    float64 // write held back, delivered after a later write
+	Corrupt    float64 // one byte of the write flipped
+	Truncate   float64 // write delivered short, then the connection severed
+	Disconnect float64 // connection severed before the write
+
+	// Delay inserts a pause of up to MaxDelay before a write with this
+	// probability (latency jitter; does not reorder by itself).
+	Delay    float64
+	MaxDelay time.Duration
+
+	// ReorderWindow bounds how many subsequent writes a held-back write
+	// can wait behind before it is flushed (default 2).
+	ReorderWindow int
+
+	// MaxFaults caps the total number of faults injected across all
+	// connections (0 = unlimited). A budget guarantees chaos runs
+	// terminate: once spent, the network is clean.
+	MaxFaults int
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	Drops       int
+	Dups        int
+	Reorders    int
+	Corruptions int
+	Truncations int
+	Disconnects int
+	Delays      int
+}
+
+// Total returns the total number of injected faults.
+func (s Stats) Total() int {
+	return s.Drops + s.Dups + s.Reorders + s.Corruptions + s.Truncations + s.Disconnects + s.Delays
+}
+
+// Injector owns the fault schedule. One injector may wrap any number of
+// connections; its random source is shared (and mutex-guarded), so the
+// fault sequence is deterministic for a deterministic dial/write order.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	stats  Stats
+	budget int // remaining faults; -1 = unlimited
+}
+
+// New creates an injector for the config, seeding its private source.
+func New(cfg Config) *Injector {
+	if cfg.ReorderWindow <= 0 {
+		cfg.ReorderWindow = 2
+	}
+	budget := cfg.MaxFaults
+	if budget == 0 {
+		budget = -1
+	}
+	return &Injector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		budget: budget,
+	}
+}
+
+// Stats returns a snapshot of the faults injected so far.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// spend rolls the dice for one fault kind; a hit consumes budget.
+func (in *Injector) spend(p float64) bool {
+	if p <= 0 || in.budget == 0 {
+		return false
+	}
+	if in.rng.Float64() >= p {
+		return false
+	}
+	if in.budget > 0 {
+		in.budget--
+	}
+	return true
+}
+
+// kind of fault chosen for one write.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDrop
+	faultDup
+	faultReorder
+	faultCorrupt
+	faultTruncate
+	faultDisconnect
+)
+
+// plan decides the faults for one write under the shared lock: at most
+// one structural fault plus an optional delay.
+func (in *Injector) plan() (f fault, delay time.Duration, corruptAt int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.spend(in.cfg.Delay) {
+		in.stats.Delays++
+		delay = time.Duration(in.rng.Int63n(int64(in.cfg.MaxDelay) + 1))
+	}
+	switch {
+	case in.spend(in.cfg.Disconnect):
+		in.stats.Disconnects++
+		f = faultDisconnect
+	case in.spend(in.cfg.Drop):
+		in.stats.Drops++
+		f = faultDrop
+	case in.spend(in.cfg.Dup):
+		in.stats.Dups++
+		f = faultDup
+	case in.spend(in.cfg.Reorder):
+		in.stats.Reorders++
+		f = faultReorder
+	case in.spend(in.cfg.Corrupt):
+		in.stats.Corruptions++
+		f = faultCorrupt
+		corruptAt = in.rng.Int()
+	case in.spend(in.cfg.Truncate):
+		in.stats.Truncations++
+		f = faultTruncate
+	}
+	return f, delay, corruptAt
+}
+
+// WrapConn returns conn with fault injection on its write path. Reads
+// pass through untouched (the peer's writes are faulted by its own
+// wrapped side, if any).
+func (in *Injector) WrapConn(conn net.Conn) net.Conn {
+	return &faultConn{Conn: conn, in: in, window: in.cfg.ReorderWindow}
+}
+
+// Listener wraps l so every accepted connection is fault-injected.
+func (in *Injector) Listener(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (fl *faultListener) Accept() (net.Conn, error) {
+	conn, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return fl.in.WrapConn(conn), nil
+}
+
+// faultConn injects faults into the write path of one connection.
+type faultConn struct {
+	net.Conn
+	in     *Injector
+	window int
+
+	mu     sync.Mutex
+	held   [][]byte // reorder buffer: writes delayed behind later ones
+	heldAt int      // writes seen since the oldest held write
+	dead   bool
+}
+
+// Write applies the planned fault to this write call.
+func (fc *faultConn) Write(p []byte) (int, error) {
+	f, delay, corruptAt := fc.in.plan()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.dead {
+		return 0, ErrInjectedDisconnect
+	}
+	switch f {
+	case faultDisconnect:
+		fc.dead = true
+		fc.Conn.Close()
+		return 0, ErrInjectedDisconnect
+	case faultDrop:
+		// Silently lost; report success so the sender does not notice.
+		return len(p), nil
+	case faultDup:
+		if err := fc.deliver(p); err != nil {
+			return 0, err
+		}
+		if err := fc.deliver(p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case faultReorder:
+		// Hold this write back; it is delivered after a later write (or
+		// at close), modeling in-network reordering.
+		fc.held = append(fc.held, append([]byte(nil), p...))
+		fc.heldAt = 0
+		return len(p), nil
+	case faultCorrupt:
+		if len(p) > 0 {
+			q := append([]byte(nil), p...)
+			q[corruptAt%len(q)] ^= 0xA5
+			if err := fc.deliver(q); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+	case faultTruncate:
+		// Deliver a prefix, then sever: a mid-frame disconnect.
+		if len(p) > 1 {
+			if _, err := fc.Conn.Write(p[:len(p)/2]); err != nil {
+				return 0, err
+			}
+		}
+		fc.dead = true
+		fc.Conn.Close()
+		return 0, ErrInjectedDisconnect
+	}
+	if err := fc.deliver(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// deliver writes one payload, flushing reorder-held writes that have
+// waited out their window behind it. Caller holds fc.mu.
+func (fc *faultConn) deliver(p []byte) error {
+	if _, err := fc.Conn.Write(p); err != nil {
+		return err
+	}
+	if len(fc.held) > 0 {
+		fc.heldAt++
+		if fc.heldAt >= fc.window {
+			held := fc.held
+			fc.held = nil
+			fc.heldAt = 0
+			for _, h := range held {
+				if _, err := fc.Conn.Write(h); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes any reorder-held writes (they were "in the network")
+// before closing the underlying connection.
+func (fc *faultConn) Close() error {
+	fc.mu.Lock()
+	held := fc.held
+	fc.held = nil
+	dead := fc.dead
+	fc.dead = true
+	fc.mu.Unlock()
+	if !dead {
+		for _, h := range held {
+			fc.Conn.Write(h)
+		}
+	}
+	return fc.Conn.Close()
+}

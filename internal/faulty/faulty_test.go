@@ -1,0 +1,124 @@
+package faulty
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// run pushes a fixed write sequence through a fault-injected pipe and
+// returns what the reader saw plus the injected-fault stats.
+func run(t *testing.T, cfg Config, writes [][]byte) ([]byte, Stats) {
+	t.Helper()
+	in := New(cfg)
+	client, server := net.Pipe()
+	fc := in.WrapConn(client)
+	var (
+		wg  sync.WaitGroup
+		buf bytes.Buffer
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.Copy(&buf, server)
+	}()
+	for _, w := range writes {
+		if _, err := fc.Write(w); err != nil {
+			break // injected disconnect ends the sequence
+		}
+	}
+	fc.Close()
+	wg.Wait()
+	server.Close()
+	return buf.Bytes(), in.Stats()
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		Seed: 42,
+		Drop: 0.2, Dup: 0.2, Reorder: 0.2, Corrupt: 0.1,
+	}
+	writes := make([][]byte, 50)
+	for i := range writes {
+		writes[i] = []byte{byte(i), byte(i + 1), byte(i + 2)}
+	}
+	got1, stats1 := run(t, cfg, writes)
+	got2, stats2 := run(t, cfg, writes)
+	if stats1 != stats2 {
+		t.Fatalf("same seed, different fault schedule: %+v vs %+v", stats1, stats2)
+	}
+	if !bytes.Equal(got1, got2) {
+		t.Fatalf("same seed, different delivered bytes")
+	}
+	if stats1.Total() == 0 {
+		t.Fatal("no faults injected at these probabilities")
+	}
+	if _, stats3 := run(t, Config{Seed: 43, Drop: 0.2, Dup: 0.2, Reorder: 0.2, Corrupt: 0.1}, writes); stats3 == stats1 {
+		t.Fatalf("different seeds produced identical schedules: %+v", stats1)
+	}
+}
+
+func TestMaxFaultsBudget(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 1.0, MaxFaults: 3}
+	writes := make([][]byte, 10)
+	for i := range writes {
+		writes[i] = []byte{byte(i)}
+	}
+	got, stats := run(t, cfg, writes)
+	if stats.Drops != 3 {
+		t.Fatalf("drops = %d, want exactly the budget of 3", stats.Drops)
+	}
+	if len(got) != 7 {
+		t.Fatalf("delivered %d bytes, want 7 (10 writes - 3 dropped)", len(got))
+	}
+}
+
+func TestDisconnectSurfacesError(t *testing.T) {
+	in := New(Config{Seed: 1, Disconnect: 1.0, MaxFaults: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := in.WrapConn(client)
+	go io.Copy(io.Discard, server)
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write after injected disconnect should fail")
+	}
+	if in.Stats().Disconnects != 1 {
+		t.Fatalf("stats = %+v, want 1 disconnect", in.Stats())
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	in := New(Config{Seed: 1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := in.Listener(l)
+	defer fl.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		conn, err := fl.Accept()
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- conn
+	}()
+	c, err := net.DialTimeout("tcp", l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	conn := <-done
+	if conn == nil {
+		t.FailNow()
+	}
+	defer conn.Close()
+	if _, ok := conn.(*faultConn); !ok {
+		t.Fatalf("accepted conn is %T, want *faultConn", conn)
+	}
+}

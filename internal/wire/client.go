@@ -1,0 +1,522 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fib"
+	"repro/internal/obs"
+)
+
+// ErrClientClosed is returned by Client operations after Close, and by
+// Send once reconnection has been abandoned (attempts exhausted in
+// reconnect mode, or the first write failure without it).
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ClientOptions tunes a Client. The zero value is a fail-fast,
+// non-reconnecting client (the behavior of the original Agent).
+type ClientOptions struct {
+	// Stream is the client's stable identity; sequence numbers and the
+	// server's dedup state are scoped to it and survive reconnects.
+	// Empty generates a process-unique identity.
+	Stream string
+
+	// Reconnect enables transparent reconnection: Send buffers messages
+	// and a background loop re-dials with exponential backoff + jitter,
+	// replaying everything unacknowledged. Without it, the first write
+	// or connection failure is surfaced from Send and is permanent.
+	Reconnect bool
+
+	// BackoffMin/BackoffMax bound the exponential reconnect backoff
+	// (defaults 50ms and 5s). Jitter in [0,1] randomizes each delay by
+	// up to that fraction (default 0.2).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	Jitter     float64
+
+	// MaxAttempts abandons reconnection after this many consecutive
+	// failed dials (0 = keep trying forever).
+	MaxAttempts int
+
+	// Heartbeat sends a heartbeat frame when the connection has been
+	// idle this long, and arms a read deadline of twice the interval so
+	// a dead peer is detected. 0 disables both.
+	Heartbeat time.Duration
+
+	// ResendTimeout forces a reconnect (and therefore a replay) when the
+	// oldest unacknowledged message has seen no ack progress for this
+	// long — the recovery path for frames lost without a connection
+	// error. 0 defaults to 10s in reconnect mode.
+	ResendTimeout time.Duration
+
+	// WriteTimeout bounds each frame write. 0 disables.
+	WriteTimeout time.Duration
+
+	// Dial overrides the transport (tests inject faulty connections
+	// here). Default: net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+
+	// Rand seeds backoff jitter for deterministic tests. Default: a
+	// private source seeded from the clock.
+	Rand *rand.Rand
+
+	// Metrics optionally publishes client counters (sends, acked,
+	// reconnects, replays, heartbeats) under the given registry.
+	Metrics *obs.Registry
+
+	// Logf receives operational messages (reconnect attempts, give-ups).
+	Logf func(string, ...any)
+}
+
+// cmetrics holds resolved observability handles (nil-safe).
+type cmetrics struct {
+	sends      *obs.Counter
+	acked      *obs.Counter
+	reconnects *obs.Counter
+	replays    *obs.Counter
+	heartbeats *obs.Counter
+}
+
+// outMsg is one buffered, unacknowledged message.
+type outMsg struct {
+	seq uint64
+	dev fib.DeviceID
+	msg Msg
+}
+
+var clientSerial atomic.Uint64
+
+// Client is a device agent's connection to the dispatcher with
+// at-least-once delivery: every Send is assigned the stream's next
+// sequence number and buffered until the server acknowledges it;
+// reconnection (if enabled) replays the buffer, and the server's dedup
+// discards anything that was already consumed.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	conn     net.Conn
+	sw       *sessionWriter
+	gen      int // connection generation; stale readers exit
+	seq      uint64
+	acked    uint64
+	unacked  []outMsg
+	closed   bool
+	failed   error
+	attempt  uint32
+	dialing  bool
+	lastSend time.Time
+	lastAck  time.Time // last ack progress (resend-timeout clock)
+	rng      *rand.Rand
+
+	maintDone chan struct{}
+	m         cmetrics
+}
+
+// Agent is the original fire-and-forget device agent API; it is now a
+// Client in non-reconnecting mode (see Dial).
+type Agent = Client
+
+// Dial connects an agent to the server address with fail-fast defaults:
+// no reconnection, no heartbeats. Use NewClient for the fault-tolerant
+// configuration.
+func Dial(addr string) (*Agent, error) {
+	return NewClient(addr, ClientOptions{})
+}
+
+// NewClient dials the server and starts the session. Without
+// reconnection the initial dial is eager so configuration errors
+// surface immediately; in reconnect mode an initial failure is as
+// transient as any later one and is retried in the background (bound
+// it with MaxAttempts).
+func NewClient(addr string, opts ClientOptions) (*Client, error) {
+	if opts.Stream == "" {
+		// Scoped by pid so anonymous agents in different processes never
+		// collide on a shared server (a collision would reset the other
+		// incarnation's stream state).
+		opts.Stream = fmt.Sprintf("agent-%d-%d", os.Getpid(), clientSerial.Add(1))
+	}
+	if opts.BackoffMin <= 0 {
+		opts.BackoffMin = 50 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 5 * time.Second
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 0.2
+	}
+	if opts.ResendTimeout <= 0 {
+		opts.ResendTimeout = 10 * time.Second
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	c := &Client{addr: addr, opts: opts}
+	c.cond = sync.NewCond(&c.mu)
+	c.rng = opts.Rand
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if reg := opts.Metrics; reg != nil {
+		c.m = cmetrics{
+			sends:      reg.Counter("sends"),
+			acked:      reg.Counter("acked"),
+			reconnects: reg.Counter("reconnects"),
+			replays:    reg.Counter("replays"),
+			heartbeats: reg.Counter("heartbeats"),
+		}
+	}
+	conn, err := opts.Dial(addr)
+	if err != nil && !opts.Reconnect {
+		return nil, err
+	}
+	c.mu.Lock()
+	if err != nil {
+		c.dialing = true
+		go c.redial()
+	} else if ierr := c.install(conn); ierr != nil {
+		conn.Close()
+		if !opts.Reconnect {
+			c.mu.Unlock()
+			return nil, ierr
+		}
+		c.dialing = true
+		go c.redial()
+	}
+	c.mu.Unlock()
+	if opts.Reconnect && (opts.Heartbeat > 0 || opts.ResendTimeout > 0) {
+		c.maintDone = make(chan struct{})
+		go c.maintain()
+	}
+	return c, nil
+}
+
+// Stream returns the client's stream identity.
+func (c *Client) Stream() string { return c.opts.Stream }
+
+// install binds a fresh connection: sends hello, replays the unacked
+// buffer, and starts the ack reader. Caller holds c.mu.
+func (c *Client) install(conn net.Conn) error {
+	sw := newSessionWriter(conn, c.opts.WriteTimeout)
+	first := c.seq + 1
+	if len(c.unacked) > 0 {
+		first = c.unacked[0].seq
+	}
+	if err := sw.hello(helloInfo{
+		Version: sessionVersion,
+		Stream:  c.opts.Stream,
+		First:   first,
+		Attempt: c.attempt,
+	}); err != nil {
+		return err
+	}
+	if n := len(c.unacked); n > 0 {
+		c.m.replays.Add(int64(n))
+		for _, om := range c.unacked {
+			if err := sw.data(om.dev, om.seq, om.msg); err != nil {
+				return err
+			}
+		}
+	}
+	c.conn = conn
+	c.sw = sw
+	c.gen++
+	c.lastSend = time.Now()
+	c.lastAck = time.Now()
+	go c.readLoop(conn, c.gen)
+	return nil
+}
+
+// Send transmits one message with at-least-once semantics. In reconnect
+// mode it never fails transiently: the message is buffered and will be
+// (re)delivered until acknowledged; the only errors are a closed or
+// permanently failed client. Without reconnection, write errors are
+// returned and permanent.
+func (c *Client) Send(m Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.failed != nil {
+		return c.failed
+	}
+	c.seq++
+	om := outMsg{seq: c.seq, dev: m.Device, msg: m}
+	c.unacked = append(c.unacked, om)
+	c.m.sends.Inc()
+	c.lastSend = time.Now()
+	if c.conn == nil {
+		return nil // reconnect loop will replay it
+	}
+	if err := c.sw.data(om.dev, om.seq, om.msg); err != nil {
+		return c.connFailedLocked(err)
+	}
+	return nil
+}
+
+// connFailedLocked handles a broken connection. In reconnect mode it
+// schedules redial and reports success (the message stays buffered);
+// otherwise the failure is permanent and returned. Caller holds c.mu.
+func (c *Client) connFailedLocked(err error) error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.sw = nil
+		c.gen++
+	}
+	if !c.opts.Reconnect {
+		c.failed = fmt.Errorf("wire: client: %v: %w", err, ErrClientClosed)
+		c.cond.Broadcast()
+		return err
+	}
+	if !c.dialing {
+		c.dialing = true
+		go c.redial()
+	}
+	return nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// redial re-establishes the session with exponential backoff + jitter,
+// replaying the unacked buffer once connected.
+func (c *Client) redial() {
+	fails := 0
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.dialing = false
+			c.mu.Unlock()
+			return
+		}
+		c.attempt++
+		attempt := c.attempt
+		delay := c.backoff(fails)
+		c.mu.Unlock()
+
+		time.Sleep(delay)
+		conn, err := c.opts.Dial(c.addr)
+		if err == nil {
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				conn.Close()
+				return
+			}
+			err = c.install(conn)
+			if err == nil {
+				c.dialing = false
+				c.m.reconnects.Inc()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+				c.logf("wire: client %s: reconnected (attempt %d)", c.opts.Stream, attempt)
+				return
+			}
+			c.mu.Unlock()
+			conn.Close()
+		}
+		fails++
+		c.logf("wire: client %s: reconnect attempt %d failed: %v", c.opts.Stream, attempt, err)
+		if c.opts.MaxAttempts > 0 && fails >= c.opts.MaxAttempts {
+			c.mu.Lock()
+			c.failed = fmt.Errorf("wire: client: giving up after %d attempts: %v: %w", fails, err, ErrClientClosed)
+			c.dialing = false
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// backoff computes the delay before reconnect attempt number fails
+// (0-based), exponential with jitter. Caller holds c.mu (for rng).
+func (c *Client) backoff(fails int) time.Duration {
+	d := c.opts.BackoffMin << uint(fails)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	if j := c.opts.Jitter; j > 0 {
+		f := 1 + j*(2*c.rng.Float64()-1) // uniform in [1-j, 1+j]
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = c.opts.BackoffMin
+	}
+	return d
+}
+
+// readLoop consumes acks and heartbeat echoes for one connection
+// generation; a read error triggers the reconnect policy.
+func (c *Client) readLoop(conn net.Conn, gen int) {
+	fr := newFrameReader(bufio.NewReader(conn))
+	for {
+		if hb := c.opts.Heartbeat; hb > 0 {
+			conn.SetReadDeadline(time.Now().Add(2*hb + time.Second))
+		}
+		f, err := fr.read()
+		c.mu.Lock()
+		if c.closed || gen != c.gen {
+			c.mu.Unlock()
+			return
+		}
+		if err != nil {
+			c.connFailedLocked(err)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		switch f.Type {
+		case frameAck:
+			if f.Seq > c.acked {
+				c.acked = f.Seq
+			}
+			pruned := 0
+			for pruned < len(c.unacked) && c.unacked[pruned].seq <= f.Seq {
+				pruned++
+			}
+			if pruned > 0 {
+				c.unacked = append(c.unacked[:0], c.unacked[pruned:]...)
+				c.m.acked.Add(int64(pruned))
+			}
+			c.lastAck = time.Now()
+			c.cond.Broadcast()
+		case frameHeartbeat:
+			// Liveness only; the read deadline was already refreshed.
+		}
+		c.mu.Unlock()
+	}
+}
+
+// maintain runs the client's timers: idle heartbeats and the resend
+// timeout that forces a reconnect when acks stall.
+func (c *Client) maintain() {
+	tick := c.opts.ResendTimeout / 4
+	if hb := c.opts.Heartbeat; hb > 0 && hb/2 < tick {
+		tick = hb / 2
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.maintDone:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		if c.conn != nil && len(c.unacked) > 0 && c.opts.ResendTimeout > 0 &&
+			now.Sub(c.lastAck) > c.opts.ResendTimeout {
+			// Ack progress stalled: assume silent loss, force replay.
+			c.logf("wire: client %s: %d unacked past resend timeout; reconnecting", c.opts.Stream, len(c.unacked))
+			c.connFailedLocked(errors.New("wire: resend timeout"))
+			c.mu.Unlock()
+			continue
+		}
+		if hb := c.opts.Heartbeat; hb > 0 && c.conn != nil && now.Sub(c.lastSend) >= hb {
+			sw := c.sw
+			c.lastSend = now
+			if err := sw.heartbeat(); err != nil {
+				c.connFailedLocked(err)
+			} else {
+				c.m.heartbeats.Inc()
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// WaitAcked blocks until every sent message has been acknowledged by
+// the server, the context is done, or the client fails permanently.
+func (c *Client) WaitAcked(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(c.unacked) == 0 {
+			return nil
+		}
+		if c.closed {
+			return ErrClientClosed
+		}
+		if c.failed != nil {
+			return c.failed
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("wire: %d messages still unacked: %w", len(c.unacked), err)
+		}
+		c.cond.Wait()
+	}
+}
+
+// Acked returns the highest sequence the server has acknowledged.
+func (c *Client) Acked() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acked
+}
+
+// Unacked returns the number of buffered, unacknowledged messages.
+func (c *Client) Unacked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unacked)
+}
+
+// Reconnects returns how many reconnection attempts have been made.
+func (c *Client) Reconnects() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempt
+}
+
+// Close closes the agent's connection and stops reconnection. Buffered
+// unacknowledged messages are dropped; call WaitAcked first for a clean
+// drain.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn = nil
+		c.sw = nil
+	}
+	c.gen++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if c.maintDone != nil {
+		close(c.maintDone)
+	}
+	return err
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to both framing layers: the Msg
+// codec (Decoder) and the session frame reader. Malformed input must
+// never panic — every failure has to surface as a typed error (or a
+// clean io.EOF), and an error must actually be typed: one of the wire
+// sentinels or an I/O error, never a bare string.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with a valid frame, a truncation of it, and header edge cases
+	// (see testdata/fuzz/FuzzWireDecode for more).
+	valid, err := appendMsgBody(nil, Msg{Device: 3, Epoch: "e1"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var framed bytes.Buffer
+	if err := writeFrame(bufio.NewWriter(&framed), valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(framed.Bytes())
+	f.Add(framed.Bytes()[:framed.Len()-1])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // oversized length header
+	f.Add([]byte{0, 0, 0, 1})             // truncated 1-byte body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		for {
+			_, err := d.Decode()
+			if err != nil {
+				checkTyped(t, err)
+				break
+			}
+		}
+		fr := newFrameReader(bufio.NewReader(bytes.NewReader(data)))
+		for {
+			_, err := fr.read()
+			if err != nil {
+				checkTyped(t, err)
+				break
+			}
+		}
+	})
+}
+
+func checkTyped(t *testing.T, err error) {
+	t.Helper()
+	if errors.Is(err, io.EOF) ||
+		errors.Is(err, ErrTruncated) ||
+		errors.Is(err, ErrFrameTooLarge) ||
+		errors.Is(err, ErrCorruptFrame) {
+		return
+	}
+	t.Fatalf("decode error is not a typed sentinel: %v", err)
+}

@@ -1,0 +1,481 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fib"
+	"repro/internal/obs"
+)
+
+// CorruptPolicy decides what to do with a data frame whose envelope
+// parsed (device and sequence are known) but whose Msg body did not.
+// Returning true consumes the frame — the stream advances past it and
+// the sender is acked, typically after quarantining the device.
+// Returning false drops the connection (the pre-session strictness).
+type CorruptPolicy func(dev fib.DeviceID, seq uint64, err error) bool
+
+// ServerOption tunes a Server.
+type ServerOption func(*serverOpts)
+
+type serverOpts struct {
+	window           int
+	readTimeout      time.Duration
+	writeTimeout     time.Duration
+	acceptBackoffMax time.Duration
+	corrupt          CorruptPolicy
+	logf             func(string, ...any)
+}
+
+func defaultServerOpts() serverOpts {
+	return serverOpts{
+		window:           1024,
+		acceptBackoffMax: time.Second,
+	}
+}
+
+// WithWindow bounds the number of out-of-order frames buffered per
+// stream while waiting for a gap to be filled by replay. Frames beyond
+// the window are dropped unacknowledged (the client re-sends them).
+func WithWindow(n int) ServerOption {
+	return func(o *serverOpts) {
+		if n > 0 {
+			o.window = n
+		}
+	}
+}
+
+// WithReadTimeout closes connections that stay silent for longer than d
+// (clients send heartbeats to stay alive). 0 disables the deadline.
+func WithReadTimeout(d time.Duration) ServerOption {
+	return func(o *serverOpts) { o.readTimeout = d }
+}
+
+// WithWriteTimeout bounds each ack/heartbeat write. 0 disables.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(o *serverOpts) { o.writeTimeout = d }
+}
+
+// WithAcceptBackoff caps the exponential backoff used when Accept fails
+// with a temporary error (e.g. file-descriptor exhaustion): the server
+// retries instead of dying.
+func WithAcceptBackoff(max time.Duration) ServerOption {
+	return func(o *serverOpts) {
+		if max > 0 {
+			o.acceptBackoffMax = max
+		}
+	}
+}
+
+// WithCorruptPolicy installs the policy for data frames whose body does
+// not parse. Without one, such frames drop the connection.
+func WithCorruptPolicy(p CorruptPolicy) ServerOption {
+	return func(o *serverOpts) { o.corrupt = p }
+}
+
+// WithServerLog directs the server's operational messages (connection
+// teardown causes, quarantine events) to f. Default: silent.
+func WithServerLog(f func(string, ...any)) ServerOption {
+	return func(o *serverOpts) { o.logf = f }
+}
+
+// streamState is the server's per-stream ingest state. It survives the
+// stream's connections: a reconnecting client re-binds to it by sending
+// the same stream identity in its hello.
+type streamState struct {
+	next    uint64                 // next expected sequence
+	pending map[uint64]pendingData // out-of-order frames awaiting the gap
+}
+
+type pendingData struct {
+	device fib.DeviceID
+	msg    Msg
+	err    error // non-nil: body did not parse
+}
+
+// Server accepts agent connections and serializes their messages into a
+// single handler, preserving per-stream order. Delivery is at least
+// once with receiver-side dedup: each stream's frames are consumed
+// exactly once, in sequence order, no matter how many times the client
+// reconnects and replays them.
+type Server struct {
+	l       net.Listener
+	handler func(Msg) error
+	opts    serverOpts
+
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+	streams map[string]*streamState
+	wg      sync.WaitGroup
+
+	m smetrics
+}
+
+// smetrics holds resolved observability handles; the zero value (all
+// nil) is the uninstrumented no-op state.
+type smetrics struct {
+	framesRx      *obs.Counter // data frames consumed by the handler
+	bytesRx       *obs.Counter // wire bytes consumed (headers included)
+	decodeErrs    *obs.Counter // connections ended by a protocol error
+	connsTotal    *obs.Counter // agent connections accepted
+	connsLive     *obs.Gauge   // currently open agent connections
+	updates       *obs.Counter // native rule updates carried by frames
+	dupFrames     *obs.Counter // duplicate data frames discarded by dedup
+	windowDrops   *obs.Counter // out-of-order frames beyond the window
+	corruptFrames *obs.Counter // data frames whose body failed to parse
+	handlerErrors *obs.Counter // handler rejections (frame not consumed)
+	handlerPanics *obs.Counter // panics recovered around the handler
+	acksTx        *obs.Counter // ack frames written
+	reconnects    *obs.Counter // hello frames from reconnecting clients
+	streamResets  *obs.Counter // stream state reset by a fresh incarnation
+	connTimeouts  *obs.Counter // connections closed by the read deadline
+	streamsLive   *obs.Gauge   // streams with server-side state
+}
+
+// Instrument attaches the server to an observability registry; call it
+// before Serve. Instrument(nil) is a no-op.
+func (s *Server) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.m = smetrics{
+		framesRx:      r.Counter("frames_rx"),
+		bytesRx:       r.Counter("bytes_rx"),
+		decodeErrs:    r.Counter("decode_errors"),
+		connsTotal:    r.Counter("conns_total"),
+		connsLive:     r.Gauge("conns_live"),
+		updates:       r.Counter("updates_rx"),
+		dupFrames:     r.Counter("dup_frames"),
+		windowDrops:   r.Counter("window_drops"),
+		corruptFrames: r.Counter("corrupt_frames"),
+		handlerErrors: r.Counter("handler_errors"),
+		handlerPanics: r.Counter("handler_panics"),
+		acksTx:        r.Counter("acks_tx"),
+		reconnects:    r.Counter("reconnects"),
+		streamResets:  r.Counter("stream_resets"),
+		connTimeouts:  r.Counter("conn_timeouts"),
+		streamsLive:   r.Gauge("streams"),
+	}
+}
+
+// NewServer creates a server on the listener; Serve must be called to
+// start accepting.
+func NewServer(l net.Listener, handler func(Msg) error, opts ...ServerOption) *Server {
+	o := defaultServerOpts()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Server{
+		l:       l,
+		handler: handler,
+		opts:    o,
+		conns:   make(map[net.Conn]struct{}),
+		streams: make(map[string]*streamState),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.logf != nil {
+		s.opts.logf(format, args...)
+	}
+}
+
+// Serve accepts connections until Close. Each connection's frames are
+// decoded and its data frames passed to the handler under a lock (the
+// dispatcher is single-threaded), in sequence order with duplicates
+// discarded. Temporary accept errors back off and retry; Serve returns
+// after the listener closes.
+func (s *Server) Serve() error {
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() || isTemporary(err) {
+				s.logf("wire: accept: %v (retrying in %s)", err, backoff)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > s.opts.acceptBackoffMax {
+					backoff = s.opts.acceptBackoffMax
+				}
+				continue
+			}
+			return err
+		}
+		backoff = 5 * time.Millisecond
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// isTemporary reports whether an accept error is worth retrying. The
+// Temporary method is deprecated for general errors but remains the
+// accepted signal for Accept failures (net/http retries on it too).
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	s.m.connsTotal.Inc()
+	s.m.connsLive.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.handlerPanics.Inc()
+			s.logf("wire: connection handler panic: %v", r)
+		}
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.m.connsLive.Add(-1)
+		s.wg.Done()
+	}()
+	fr := newFrameReader(bufio.NewReader(conn))
+	sw := newSessionWriter(conn, s.opts.writeTimeout)
+	var st *streamState
+	var lastRead uint64
+	for {
+		if s.opts.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.readTimeout))
+		}
+		f, err := fr.read()
+		s.m.bytesRx.Add(int64(fr.nread - lastRead))
+		lastRead = fr.nread
+		if err != nil {
+			s.connEnded(conn, err)
+			return
+		}
+		switch f.Type {
+		case frameHello:
+			if st != nil {
+				// A second hello on a bound connection is a duplicated
+				// frame; honoring it could rewind the dedup state.
+				s.logf("wire: %s: duplicate hello ignored", conn.RemoteAddr())
+				continue
+			}
+			var resumed bool
+			st, resumed = s.bindStream(f.Hello)
+			if resumed {
+				// Tell the reconnecting client where the stream stands so
+				// it can prune already-consumed frames before replaying.
+				s.sendAck(sw, st)
+			}
+		case frameData:
+			if st == nil {
+				s.m.decodeErrs.Inc()
+				s.logf("wire: %s: data frame before hello", conn.RemoteAddr())
+				return
+			}
+			ackNow, fatal := s.ingest(st, f)
+			if fatal {
+				return
+			}
+			if ackNow {
+				s.sendAck(sw, st)
+			}
+		case frameHeartbeat:
+			// Echo so the client's read deadline is refreshed too.
+			if err := sw.heartbeat(); err != nil {
+				return
+			}
+		case frameAck:
+			// Clients do not ack the server; ignore.
+		}
+	}
+}
+
+// connEnded classifies why a connection's read loop stopped.
+func (s *Server) connEnded(conn net.Conn, err error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed || errors.Is(err, io.EOF) {
+		return // clean end, or our own Close tore the connection down
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.m.connTimeouts.Inc()
+		s.logf("wire: %s: closing silent connection: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if errors.Is(err, ErrCorruptFrame) || errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrTruncated) {
+		s.m.decodeErrs.Inc()
+	}
+	s.logf("wire: %s: connection ended: %v", conn.RemoteAddr(), err)
+}
+
+// bindStream finds or creates the ingest state for a stream, reporting
+// whether existing state was resumed. Only a reconnecting client
+// (attempt > 0) resumes: an attempt-0 hello for a known stream is a
+// fresh client incarnation whose sequence numbers restart at its First,
+// so the stale dedup state would silently discard everything it sends —
+// reset it instead.
+func (s *Server) bindStream(h helloInfo) (*streamState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first := h.First
+	if first == 0 {
+		first = 1
+	}
+	st, ok := s.streams[h.Stream]
+	switch {
+	case !ok:
+		st = &streamState{next: first, pending: make(map[uint64]pendingData)}
+		s.streams[h.Stream] = st
+		s.m.streamsLive.Set(int64(len(s.streams)))
+	case h.Attempt == 0:
+		st.next = first
+		clear(st.pending)
+		s.m.streamResets.Inc()
+		s.logf("wire: stream %q: reset by a new client incarnation (next = %d)", h.Stream, first)
+	}
+	if h.Attempt > 0 {
+		s.m.reconnects.Inc()
+	}
+	return st, h.Attempt > 0
+}
+
+// sendAck writes the stream's cumulative ack (highest contiguous
+// sequence consumed). Write errors are ignored: the client will learn
+// the state from a later ack, or on reconnect.
+func (s *Server) sendAck(sw *sessionWriter, st *streamState) {
+	s.mu.Lock()
+	seq := st.next - 1
+	s.mu.Unlock()
+	if err := sw.ack(seq); err == nil {
+		s.m.acksTx.Inc()
+	}
+}
+
+// ingest routes one data frame through the stream's in-order, dedup
+// window. It reports whether an ack should be sent and whether the
+// connection must be dropped.
+func (s *Server) ingest(st *streamState, f sessionFrame) (ackNow, fatal bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, true
+	}
+	switch {
+	case f.Seq < st.next:
+		// Already consumed (an at-least-once replay): discard, but re-ack
+		// so the client prunes its buffer.
+		s.m.dupFrames.Inc()
+		return true, false
+	case f.Seq > st.next:
+		// A gap: an earlier frame was lost (or is still in flight).
+		// Buffer within the window; the client's replay fills the gap.
+		if f.Seq-st.next > uint64(s.opts.window) {
+			s.m.windowDrops.Inc()
+			return false, false
+		}
+		if _, dup := st.pending[f.Seq]; dup {
+			s.m.dupFrames.Inc()
+			return false, false
+		}
+		st.pending[f.Seq] = pendingData{device: f.Device, msg: f.Msg, err: f.MsgErr}
+		return false, false
+	}
+	// Head of stream: consume it, then drain any buffered successors.
+	cur := pendingData{device: f.Device, msg: f.Msg, err: f.MsgErr}
+	for {
+		ok, dead := s.consume(st.next, cur)
+		if dead {
+			return ackNow, true
+		}
+		if !ok {
+			// Handler rejection: the frame is not consumed and not acked;
+			// the client replays it after its resend timeout.
+			return ackNow, false
+		}
+		st.next++
+		ackNow = true
+		nxt, have := st.pending[st.next]
+		if !have {
+			return ackNow, false
+		}
+		delete(st.pending, st.next)
+		cur = nxt
+	}
+}
+
+// consume applies one in-order frame: policy for corrupt bodies, the
+// handler (panic-guarded) for parsed messages. ok reports the frame was
+// consumed (the stream may advance); dead that the connection must drop.
+func (s *Server) consume(seq uint64, pd pendingData) (ok, dead bool) {
+	if pd.err != nil {
+		s.m.corruptFrames.Inc()
+		if s.opts.corrupt != nil && s.opts.corrupt(pd.device, seq, pd.err) {
+			return true, false // discarded by policy; stream advances
+		}
+		s.logf("wire: device %d seq %d: dropping connection: %v", pd.device, seq, pd.err)
+		return false, true
+	}
+	herr := s.callHandler(pd.msg)
+	if herr != nil {
+		s.m.handlerErrors.Inc()
+		s.logf("wire: device %d seq %d: handler: %v", pd.device, seq, herr)
+		return false, false
+	}
+	s.m.framesRx.Inc()
+	s.m.updates.Add(int64(len(pd.msg.Updates)))
+	return true, false
+}
+
+// callHandler invokes the handler, converting a panic into an error so
+// one poisoned message cannot kill the server. The caller holds s.mu,
+// preserving the single-threaded dispatcher contract.
+func (s *Server) callHandler(m Msg) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.handlerPanics.Inc()
+			err = fmt.Errorf("wire: handler panic: %v", r)
+		}
+	}()
+	return s.handler(m)
+}
+
+// Streams reports the number of streams with server-side ingest state.
+func (s *Server) Streams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to drain. Stream state is discarded.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	s.wg.Wait()
+	return err
+}

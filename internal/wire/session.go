@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fib"
+)
+
+// Session protocol: typed frames between a device agent (Client) and the
+// dispatcher (Server), layered on the same length-prefixed framing as
+// the Msg codec. The session layer is what makes ingestion fault
+// tolerant:
+//
+//   - every data frame carries the stream's monotonically increasing
+//     sequence number (never reset across reconnects), so the receiver
+//     can discard duplicates introduced by at-least-once replay;
+//   - the server acknowledges the highest contiguous sequence consumed,
+//     so the client can prune its replay buffer;
+//   - hello frames re-bind a reconnecting client to its server-side
+//     stream state, making reconnection transparent to the dispatcher;
+//   - heartbeats keep idle connections verifiably alive under read
+//     deadlines.
+//
+// Frame bodies (after the u32 length prefix):
+//
+//	hello      [0x01][u8 version][u16-len stream][u64 first][u32 attempt]
+//	data       [0x02][u32 device][u64 seq][Msg body]
+//	ack        [0x03][u64 seq]
+//	heartbeat  [0x04]
+//
+// The device ID is carried in the data envelope (redundantly with the
+// Msg body) so that the receiver can attribute a frame whose body fails
+// to parse — quarantining the poisoned device instead of dropping the
+// connection.
+const (
+	sessionVersion = 2
+
+	frameHello     byte = 0x01
+	frameData      byte = 0x02
+	frameAck       byte = 0x03
+	frameHeartbeat byte = 0x04
+)
+
+// helloInfo is the decoded content of a hello frame.
+type helloInfo struct {
+	Version uint8
+	// Stream is the client's stable identity: sequence numbers and the
+	// server's dedup state are scoped to it, surviving reconnects.
+	Stream string
+	// First is the lowest sequence number the client may send on this
+	// connection (its oldest unacknowledged frame, or the next fresh
+	// sequence if nothing is in flight). A server with no state for the
+	// stream adopts it as the next expected sequence.
+	First uint64
+	// Attempt counts reconnections (0 on the first connection).
+	Attempt uint32
+}
+
+// sessionFrame is one decoded session-layer frame.
+type sessionFrame struct {
+	Type   byte
+	Hello  helloInfo
+	Device fib.DeviceID
+	Seq    uint64
+	Msg    Msg
+	// MsgErr records a data frame whose envelope parsed but whose Msg
+	// body did not (wraps ErrCorruptFrame). The connection can continue;
+	// policy decides what happens to the frame.
+	MsgErr error
+}
+
+// appendHello encodes a hello frame body.
+func appendHello(buf []byte, h helloInfo) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameHello, h.Version)}
+	if err := w.str(h.Stream); err != nil {
+		return nil, err
+	}
+	w.u64(h.First)
+	w.u32(h.Attempt)
+	return w.buf, nil
+}
+
+// appendData encodes a data frame body.
+func appendData(buf []byte, dev fib.DeviceID, seq uint64, m Msg) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameData)}
+	w.u32(uint32(dev))
+	w.u64(seq)
+	return appendMsgBody(w.buf, m)
+}
+
+// appendAck encodes an ack frame body.
+func appendAck(buf []byte, seq uint64) []byte {
+	w := msgWriter{buf: append(buf, frameAck)}
+	w.u64(seq)
+	return w.buf
+}
+
+// parseSessionFrame decodes a fully-read session frame body. A data
+// frame with an intact envelope but an unparsable Msg body is NOT an
+// error: the frame is returned with MsgErr set, so the receiver can
+// attribute and skip it. All returned errors wrap ErrCorruptFrame and
+// are fatal to the connection (framing trust is gone).
+func parseSessionFrame(body []byte) (sessionFrame, error) {
+	if len(body) == 0 {
+		return sessionFrame{}, fmt.Errorf("wire: empty session frame: %w", ErrCorruptFrame)
+	}
+	f := sessionFrame{Type: body[0]}
+	rest := body[1:]
+	switch f.Type {
+	case frameHello:
+		r := msgReader{buf: rest}
+		f.Hello.Version = r.u8()
+		f.Hello.Stream = r.str()
+		f.Hello.First = r.u64()
+		f.Hello.Attempt = r.u32()
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: hello frame: %w", r.err)
+		}
+	case frameData:
+		r := msgReader{buf: rest}
+		f.Device = fib.DeviceID(r.u32())
+		f.Seq = r.u64()
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: data frame envelope: %w", r.err)
+		}
+		f.Msg, f.MsgErr = parseMsgBody(rest[r.off:])
+	case frameAck:
+		r := msgReader{buf: rest}
+		f.Seq = r.u64()
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: ack frame: %w", r.err)
+		}
+	case frameHeartbeat:
+		// No payload.
+	default:
+		return sessionFrame{}, fmt.Errorf("wire: unknown frame type 0x%02x: %w", f.Type, ErrCorruptFrame)
+	}
+	return f, nil
+}
+
+// frameReader reads session frames from a stream, reusing one buffer.
+type frameReader struct {
+	r     *bufio.Reader
+	buf   []byte
+	nread uint64
+}
+
+func newFrameReader(r *bufio.Reader) *frameReader { return &frameReader{r: r} }
+
+func (fr *frameReader) read() (sessionFrame, error) {
+	body, n, err := readFrame(fr.r, fr.buf)
+	fr.buf = body
+	fr.nread += n
+	if err != nil {
+		return sessionFrame{}, err
+	}
+	return parseSessionFrame(body)
+}
+
+// sessionWriter serializes session frame writes on a connection. Both
+// sides write from more than one goroutine (the server's reader sends
+// acks while a heartbeat prober may ping; the client's sender races its
+// maintenance loop), so every write takes the mutex and flushes.
+type sessionWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	buf     []byte
+	timeout time.Duration // per-write deadline; 0 disables
+}
+
+func newSessionWriter(conn net.Conn, timeout time.Duration) *sessionWriter {
+	return &sessionWriter{conn: conn, bw: bufio.NewWriter(conn), timeout: timeout}
+}
+
+func (sw *sessionWriter) write(body []byte) error {
+	if sw.timeout > 0 {
+		sw.conn.SetWriteDeadline(time.Now().Add(sw.timeout))
+	}
+	err := writeFrame(sw.bw, body)
+	if sw.timeout > 0 {
+		sw.conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+func (sw *sessionWriter) hello(h helloInfo) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendHello(sw.buf[:0], h)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
+}
+
+func (sw *sessionWriter) data(dev fib.DeviceID, seq uint64, m Msg) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendData(sw.buf[:0], dev, seq, m)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
+}
+
+func (sw *sessionWriter) ack(seq uint64) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.buf = appendAck(sw.buf[:0], seq)
+	return sw.write(sw.buf)
+}
+
+func (sw *sessionWriter) heartbeat() error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.buf = append(sw.buf[:0], frameHeartbeat)
+	return sw.write(sw.buf)
+}

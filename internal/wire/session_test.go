@@ -1,0 +1,400 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fib"
+)
+
+// collector is a test handler recording consumed messages in order.
+type collector struct {
+	mu   sync.Mutex
+	msgs []Msg
+}
+
+func (c *collector) handle(m Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+	return nil
+}
+
+func (c *collector) epochs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.msgs))
+	for i, m := range c.msgs {
+		out[i] = m.Epoch
+	}
+	return out
+}
+
+func startTestServer(t *testing.T, handler func(Msg) error, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, handler, opts...)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+func testMsg(dev fib.DeviceID, epoch string) Msg {
+	return Msg{Device: dev, Epoch: epoch, Updates: []Update{{
+		Op:   fib.Insert,
+		Rule: Rule{ID: 1, Pri: 1, Action: fib.Forward(2), Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: 9, Len: 16}}},
+	}}}
+}
+
+func TestClientSendAcked(t *testing.T) {
+	c := &collector{}
+	_, addr := startTestServer(t, c.handle)
+	cl, err := NewClient(addr, ClientOptions{Stream: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 10; i++ {
+		if err := cl.Send(testMsg(fib.DeviceID(i%3), fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.WaitAcked(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Acked(); got != 10 {
+		t.Fatalf("acked = %d, want 10", got)
+	}
+	want := make([]string, 10)
+	for i := range want {
+		want[i] = fmt.Sprintf("m%d", i)
+	}
+	if got := c.epochs(); len(got) != 10 {
+		t.Fatalf("server consumed %d msgs, want 10: %v", len(got), got)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order broken at %d: got %v", i, got)
+			}
+		}
+	}
+}
+
+// TestReconnectReplay kills the client's connection mid-stream and
+// checks that replay with server-side dedup delivers every message
+// exactly once, in order.
+func TestReconnectReplay(t *testing.T) {
+	c := &collector{}
+	srv, addr := startTestServer(t, c.handle)
+	var (
+		connMu sync.Mutex
+		conns  []net.Conn
+	)
+	cl, err := NewClient(addr, ClientOptions{
+		Stream:        "replayer",
+		Reconnect:     true,
+		BackoffMin:    time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+		ResendTimeout: 250 * time.Millisecond,
+		Rand:          rand.New(rand.NewSource(1)),
+		Dial: func(a string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", a)
+			if err != nil {
+				return nil, err
+			}
+			connMu.Lock()
+			conns = append(conns, conn)
+			connMu.Unlock()
+			return conn, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	total := 30
+	for i := 0; i < total; i++ {
+		if err := cl.Send(testMsg(1, fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 5 {
+			// Sever the live connection; later sends land in the replay
+			// buffer until the backoff loop re-dials.
+			connMu.Lock()
+			conns[len(conns)-1].Close()
+			connMu.Unlock()
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.WaitAcked(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := c.epochs()
+	if len(got) != total {
+		t.Fatalf("server consumed %d msgs, want %d (dups or loss): %v", len(got), total, got)
+	}
+	for i := range got {
+		if got[i] != fmt.Sprintf("m%d", i) {
+			t.Fatalf("order broken at %d: got %s", i, got[i])
+		}
+	}
+	if cl.Reconnects() == 0 {
+		t.Fatal("expected at least one reconnect")
+	}
+	if srv.Streams() != 1 {
+		t.Fatalf("streams = %d, want 1", srv.Streams())
+	}
+}
+
+// rawSession drives the server with hand-built frames.
+type rawSession struct {
+	t    *testing.T
+	conn net.Conn
+	sw   *sessionWriter
+	fr   *frameReader
+}
+
+func dialRaw(t *testing.T, addr, stream string, first uint64) *rawSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	rs := &rawSession{t: t, conn: conn, sw: newSessionWriter(conn, 0), fr: newFrameReader(bufio.NewReader(conn))}
+	if err := rs.sw.hello(helloInfo{Version: sessionVersion, Stream: stream, First: first}); err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func (rs *rawSession) send(seq uint64, m Msg) {
+	rs.t.Helper()
+	if err := rs.sw.data(m.Device, seq, m); err != nil {
+		rs.t.Fatal(err)
+	}
+}
+
+// waitAck reads frames until a cumulative ack ≥ seq arrives.
+func (rs *rawSession) waitAck(seq uint64) {
+	rs.t.Helper()
+	rs.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		f, err := rs.fr.read()
+		if err != nil {
+			rs.t.Fatalf("waiting for ack %d: %v", seq, err)
+		}
+		if f.Type == frameAck && f.Seq >= seq {
+			return
+		}
+	}
+}
+
+// TestServerDedupAndReorder feeds duplicates and out-of-order frames
+// directly; the handler must see each message exactly once, in order.
+func TestServerDedupAndReorder(t *testing.T) {
+	c := &collector{}
+	srv, addr := startTestServer(t, c.handle)
+	rs := dialRaw(t, addr, "raw", 1)
+
+	rs.send(1, testMsg(1, "m1"))
+	rs.waitAck(1)
+	rs.send(3, testMsg(1, "m3")) // gap: buffered in the window
+	rs.send(4, testMsg(1, "m4")) // gap: buffered
+	rs.send(1, testMsg(1, "m1")) // dup of consumed frame
+	rs.send(2, testMsg(1, "m2")) // fills the gap; 2,3,4 drain
+	rs.waitAck(4)
+	rs.send(2, testMsg(1, "m2")) // replayed dup after consumption
+	rs.waitAck(4)
+
+	want := []string{"m1", "m2", "m3", "m4"}
+	got := c.epochs()
+	if len(got) != len(want) {
+		t.Fatalf("consumed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("consumed %v, want %v", got, want)
+		}
+	}
+	if srv.Streams() != 1 {
+		t.Fatalf("streams = %d, want 1", srv.Streams())
+	}
+}
+
+// TestCorruptBodyPolicy sends a data frame whose envelope parses but
+// whose Msg body does not: with a corrupt policy the connection (and
+// later frames) must survive; the poisoned frame is attributed to its
+// device and skipped.
+func TestCorruptBodyPolicy(t *testing.T) {
+	c := &collector{}
+	var (
+		polMu   sync.Mutex
+		polDev  fib.DeviceID
+		polSeq  uint64
+		polHits int
+	)
+	_, addr := startTestServer(t, c.handle, WithCorruptPolicy(func(dev fib.DeviceID, seq uint64, err error) bool {
+		polMu.Lock()
+		defer polMu.Unlock()
+		polDev, polSeq = dev, seq
+		polHits++
+		return true
+	}))
+	rs := dialRaw(t, addr, "corrupt", 1)
+
+	// Seq 1: envelope for device 7, then a garbage body (too short for a
+	// Msg header).
+	w := msgWriter{buf: []byte{frameData}}
+	w.u32(7)
+	w.u64(1)
+	w.u8(0xFF)
+	if err := writeFrame(bufio.NewWriter(rs.conn), w.buf); err != nil {
+		t.Fatal(err)
+	}
+	rs.send(2, testMsg(7, "good"))
+	rs.waitAck(2)
+
+	polMu.Lock()
+	defer polMu.Unlock()
+	if polHits != 1 || polDev != 7 || polSeq != 1 {
+		t.Fatalf("corrupt policy: hits=%d dev=%d seq=%d, want 1/7/1", polHits, polDev, polSeq)
+	}
+	got := c.epochs()
+	if len(got) != 1 || got[0] != "good" {
+		t.Fatalf("consumed %v, want [good]", got)
+	}
+}
+
+// TestHandlerPanicRecovered: a panicking handler must not kill the
+// server; the frame stays unacked (the client would replay it) and the
+// connection lives on.
+func TestHandlerPanicRecovered(t *testing.T) {
+	c := &collector{}
+	boom := true
+	var mu sync.Mutex
+	_, addr := startTestServer(t, func(m Msg) error {
+		mu.Lock()
+		b := boom
+		boom = false
+		mu.Unlock()
+		if b {
+			panic("poisoned message")
+		}
+		return c.handle(m)
+	})
+	rs := dialRaw(t, addr, "panic", 1)
+	rs.send(1, testMsg(1, "m1")) // panics; not consumed, not acked
+	rs.send(1, testMsg(1, "m1")) // replay succeeds
+	rs.waitAck(1)
+	if got := c.epochs(); len(got) != 1 || got[0] != "m1" {
+		t.Fatalf("consumed %v, want [m1]", got)
+	}
+}
+
+// TestFreshIncarnationResetsStream: a new client process reusing a
+// stream identity restarts its sequence numbers; the server must reset
+// the stream's ingest state instead of silently deduping everything the
+// new incarnation sends.
+func TestFreshIncarnationResetsStream(t *testing.T) {
+	c := &collector{}
+	srv, addr := startTestServer(t, c.handle)
+	rs := dialRaw(t, addr, "reused", 1)
+	rs.send(1, testMsg(1, "old1"))
+	rs.send(2, testMsg(1, "old2"))
+	rs.waitAck(2)
+	rs.conn.Close()
+
+	rs2 := dialRaw(t, addr, "reused", 1) // attempt 0: a fresh incarnation
+	rs2.send(1, testMsg(1, "new1"))
+	rs2.waitAck(1)
+
+	want := []string{"old1", "old2", "new1"}
+	got := c.epochs()
+	if len(got) != len(want) {
+		t.Fatalf("consumed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("consumed %v, want %v", got, want)
+		}
+	}
+	if srv.Streams() != 1 {
+		t.Fatalf("streams = %d, want 1 (reset, not a second stream)", srv.Streams())
+	}
+}
+
+// TestDuplicateHelloIgnored: a duplicated hello frame on a bound
+// connection must not rewind the dedup state (a rewind would re-apply
+// already-consumed frames on replay).
+func TestDuplicateHelloIgnored(t *testing.T) {
+	c := &collector{}
+	_, addr := startTestServer(t, c.handle)
+	rs := dialRaw(t, addr, "dup-hello", 1)
+	rs.send(1, testMsg(1, "m1"))
+	rs.waitAck(1)
+	// The transport duplicates the hello mid-session.
+	if err := rs.sw.hello(helloInfo{Version: sessionVersion, Stream: "dup-hello", First: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rs.send(1, testMsg(1, "m1")) // replay of a consumed frame: still a dup
+	rs.send(2, testMsg(1, "m2"))
+	rs.waitAck(2)
+	want := []string{"m1", "m2"}
+	got := c.epochs()
+	if len(got) != len(want) {
+		t.Fatalf("consumed %v, want %v (hello rewound the stream)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("consumed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestClientHeartbeat keeps an idle connection alive under a server read
+// deadline shorter than the idle period.
+func TestClientHeartbeat(t *testing.T) {
+	c := &collector{}
+	_, addr := startTestServer(t, c.handle, WithReadTimeout(150*time.Millisecond))
+	cl, err := NewClient(addr, ClientOptions{
+		Stream:    "hb",
+		Reconnect: true,
+		Heartbeat: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(400 * time.Millisecond) // several read-deadline periods idle
+	if err := cl.Send(testMsg(1, "after-idle")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.WaitAcked(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Reconnects(); got != 0 {
+		t.Fatalf("heartbeats should have kept the connection alive; reconnects = %d", got)
+	}
+}

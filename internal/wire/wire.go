@@ -9,6 +9,15 @@
 // per-device ordering §4.1 requires; the server serializes all
 // connections into a single handler, matching the dispatcher's
 // single-goroutine model.
+//
+// Two layers share the framing:
+//
+//   - The message codec (Encoder/Decoder) reads and writes bare Msg
+//     frames. Snapshot files (snapshot.go) are sequences of these.
+//   - The session protocol (session.go, server.go, client.go) wraps the
+//     same Msg bodies in typed frames carrying stream identity and
+//     sequence numbers, giving at-least-once delivery with receiver-side
+//     dedup across agent reconnects.
 package wire
 
 import (
@@ -17,15 +26,31 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
-	"sync"
 
 	"repro/internal/fib"
-	"repro/internal/obs"
 )
 
 // MaxFrame bounds a frame's payload size (a storm block of ~1M updates).
 const MaxFrame = 64 << 20
+
+// Typed sentinel errors. Callers distinguish protocol corruption from
+// I/O loss with errors.Is; the concrete errors wrap these with %w and
+// carry the specifics (sizes, offsets) in their message.
+var (
+	// ErrFrameTooLarge reports a frame whose declared length exceeds
+	// MaxFrame — either corruption of the length header or a hostile
+	// peer. The stream cannot be resynchronized past it.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+	// ErrTruncated reports a stream that ended mid-frame (short read of
+	// the header or body): I/O loss, e.g. a mid-frame disconnect.
+	ErrTruncated = errors.New("wire: truncated frame")
+
+	// ErrCorruptFrame reports a frame whose body was fully read but does
+	// not parse: protocol corruption with framing intact, so a session
+	// receiver may skip the frame and keep the connection.
+	ErrCorruptFrame = errors.New("wire: corrupt frame")
+)
 
 // Rule is the symbolic form of a forwarding rule on the wire.
 type Rule struct {
@@ -48,72 +73,230 @@ type Msg struct {
 	Updates []Update
 }
 
-// Encoder writes frames to a stream.
+// ---- Msg body codec ----
+
+// appendMsgBody appends the canonical encoding of m to buf.
+func appendMsgBody(buf []byte, m Msg) ([]byte, error) {
+	w := msgWriter{buf: buf}
+	w.u32(uint32(m.Device))
+	if err := w.str(m.Epoch); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(m.Updates)))
+	for _, u := range m.Updates {
+		w.u8(uint8(u.Op))
+		w.u64(uint64(u.Rule.ID))
+		w.u32(uint32(u.Rule.Pri))
+		w.u32(uint32(u.Rule.Action))
+		if len(u.Rule.Desc) > 0xFF {
+			return nil, fmt.Errorf("wire: descriptor with %d constraints", len(u.Rule.Desc))
+		}
+		w.u8(uint8(len(u.Rule.Desc)))
+		for _, f := range u.Rule.Desc {
+			if err := w.str(f.Field); err != nil {
+				return nil, err
+			}
+			w.u8(uint8(f.Kind))
+			w.u64(f.Value)
+			w.u32(uint32(f.Len))
+			w.u64(f.Mask)
+		}
+	}
+	return w.buf, nil
+}
+
+// parseMsgBody decodes a Msg from a fully-read frame body. Errors wrap
+// ErrCorruptFrame.
+func parseMsgBody(buf []byte) (Msg, error) {
+	r := msgReader{buf: buf}
+	var m Msg
+	m.Device = fib.DeviceID(r.u32())
+	m.Epoch = r.str()
+	count := r.u32()
+	if r.err == nil && int(count) > len(buf) { // each update is >1 byte
+		return Msg{}, fmt.Errorf("wire: implausible update count %d: %w", count, ErrCorruptFrame)
+	}
+	m.Updates = make([]Update, 0, count)
+	for i := uint32(0); i < count && r.err == nil; i++ {
+		var u Update
+		u.Op = fib.Op(r.u8())
+		u.Rule.ID = int64(r.u64())
+		u.Rule.Pri = int32(r.u32())
+		u.Rule.Action = fib.Action(r.u32())
+		nd := int(r.u8())
+		for j := 0; j < nd && r.err == nil; j++ {
+			var f fib.FieldMatch
+			f.Field = r.str()
+			f.Kind = fib.MatchKind(r.u8())
+			f.Value = r.u64()
+			f.Len = int(int32(r.u32()))
+			f.Mask = r.u64()
+			u.Rule.Desc = append(u.Rule.Desc, f)
+		}
+		m.Updates = append(m.Updates, u)
+	}
+	if r.err != nil {
+		return Msg{}, r.err
+	}
+	if r.off != len(buf) {
+		return Msg{}, fmt.Errorf("wire: %d trailing bytes in frame: %w", len(buf)-r.off, ErrCorruptFrame)
+	}
+	return m, nil
+}
+
+// msgWriter appends big-endian primitives to a buffer.
+type msgWriter struct {
+	buf []byte
+}
+
+func (w *msgWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *msgWriter) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *msgWriter) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *msgWriter) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *msgWriter) str(s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("wire: string of %d bytes too long", len(s))
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+	return nil
+}
+
+// msgReader is a bounds-checked cursor over a frame body. The first
+// out-of-bounds read latches err; subsequent reads return zero values.
+type msgReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *msgReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: frame body cut short at offset %d: %w", r.off, ErrCorruptFrame)
+	}
+}
+
+func (r *msgReader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *msgReader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *msgReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *msgReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *msgReader) str() string {
+	n := int(r.u16())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// ---- Raw frame I/O (shared by the Msg codec and the session layer) ----
+
+// writeFrame writes one length-prefixed frame and flushes it.
+func writeFrame(w *bufio.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes: %w", len(body), ErrFrameTooLarge)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one length-prefixed frame body into buf (reusing its
+// capacity) and returns the body plus the wire bytes consumed. It
+// returns io.EOF at a clean stream end.
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, uint64, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return buf, 0, fmt.Errorf("wire: frame header cut short: %w", ErrTruncated)
+		}
+		return buf, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return buf, 4, fmt.Errorf("wire: frame of %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, 4, fmt.Errorf("wire: frame body (%d of %d bytes): %w", len(buf), n, ErrTruncated)
+	}
+	return buf, 4 + uint64(n), nil
+}
+
+// ---- Msg codec (snapshot files, legacy framing) ----
+
+// Encoder writes bare Msg frames to a stream.
 type Encoder struct {
 	w   *bufio.Writer
 	buf []byte
 }
 
-// NewEncoder wraps a writer (typically a net.Conn).
+// NewEncoder wraps a writer (typically a net.Conn or a snapshot file).
 func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{w: bufio.NewWriter(w)}
 }
 
-func (e *Encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
-func (e *Encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
-func (e *Encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
-func (e *Encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
-func (e *Encoder) str(s string) {
-	if len(s) > 0xFFFF {
-		panic("wire: string too long")
-	}
-	e.u16(uint16(len(s)))
-	e.buf = append(e.buf, s...)
-}
-
 // Encode writes one message as a frame and flushes it.
 func (e *Encoder) Encode(m Msg) error {
-	e.buf = e.buf[:0]
-	e.u32(uint32(m.Device))
-	e.str(m.Epoch)
-	e.u32(uint32(len(m.Updates)))
-	for _, u := range m.Updates {
-		e.u8(uint8(u.Op))
-		e.u64(uint64(u.Rule.ID))
-		e.u32(uint32(u.Rule.Pri))
-		e.u32(uint32(u.Rule.Action))
-		if len(u.Rule.Desc) > 0xFF {
-			return fmt.Errorf("wire: descriptor with %d constraints", len(u.Rule.Desc))
-		}
-		e.u8(uint8(len(u.Rule.Desc)))
-		for _, f := range u.Rule.Desc {
-			e.str(f.Field)
-			e.u8(uint8(f.Kind))
-			e.u64(f.Value)
-			e.u32(uint32(f.Len))
-			e.u64(f.Mask)
-		}
-	}
-	if len(e.buf) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(e.buf))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(e.buf)))
-	if _, err := e.w.Write(hdr[:]); err != nil {
+	body, err := appendMsgBody(e.buf[:0], m)
+	if err != nil {
 		return err
 	}
-	if _, err := e.w.Write(e.buf); err != nil {
-		return err
-	}
-	return e.w.Flush()
+	e.buf = body
+	return writeFrame(e.w, body)
 }
 
-// Decoder reads frames from a stream.
+// Decoder reads bare Msg frames from a stream.
 type Decoder struct {
 	r     *bufio.Reader
 	buf   []byte
-	off   int
-	err   error
 	nread uint64
 }
 
@@ -121,284 +304,23 @@ type Decoder struct {
 // partial Decode calls, including frame headers.
 func (d *Decoder) BytesRead() uint64 { return d.nread }
 
-// NewDecoder wraps a reader (typically a net.Conn).
+// NewDecoder wraps a reader (typically a net.Conn or a snapshot file).
 func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{r: bufio.NewReader(r)}
 }
 
-func (d *Decoder) u8() uint8 {
-	if d.err != nil || d.off+1 > len(d.buf) {
-		d.fail()
-		return 0
-	}
-	v := d.buf[d.off]
-	d.off++
-	return v
-}
-
-func (d *Decoder) u16() uint16 {
-	if d.err != nil || d.off+2 > len(d.buf) {
-		d.fail()
-		return 0
-	}
-	v := binary.BigEndian.Uint16(d.buf[d.off:])
-	d.off += 2
-	return v
-}
-
-func (d *Decoder) u32() uint32 {
-	if d.err != nil || d.off+4 > len(d.buf) {
-		d.fail()
-		return 0
-	}
-	v := binary.BigEndian.Uint32(d.buf[d.off:])
-	d.off += 4
-	return v
-}
-
-func (d *Decoder) u64() uint64 {
-	if d.err != nil || d.off+8 > len(d.buf) {
-		d.fail()
-		return 0
-	}
-	v := binary.BigEndian.Uint64(d.buf[d.off:])
-	d.off += 8
-	return v
-}
-
-func (d *Decoder) str() string {
-	n := int(d.u16())
-	if d.err != nil || d.off+n > len(d.buf) {
-		d.fail()
-		return ""
-	}
-	s := string(d.buf[d.off : d.off+n])
-	d.off += n
-	return s
-}
-
-func (d *Decoder) fail() {
-	if d.err == nil {
-		d.err = errors.New("wire: truncated frame")
-	}
-}
-
-// Decode reads the next message. It returns io.EOF at a clean stream end.
+// Decode reads the next message. It returns io.EOF at a clean stream
+// end; other failures wrap ErrTruncated, ErrFrameTooLarge or
+// ErrCorruptFrame so callers can tell I/O loss from protocol corruption.
 func (d *Decoder) Decode() (Msg, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Msg{}, errors.New("wire: truncated frame header")
-		}
+	body, n, err := readFrame(d.r, d.buf)
+	d.buf = body
+	d.nread += n
+	if err != nil {
 		return Msg{}, err
 	}
-	d.nread += 4
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return Msg{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
-	}
-	if cap(d.buf) < int(n) {
-		d.buf = make([]byte, n)
-	}
-	d.buf = d.buf[:n]
-	if _, err := io.ReadFull(d.r, d.buf); err != nil {
-		return Msg{}, fmt.Errorf("wire: truncated frame body: %w", err)
-	}
-	d.nread += uint64(n)
-	d.off, d.err = 0, nil
-
-	var m Msg
-	m.Device = fib.DeviceID(d.u32())
-	m.Epoch = d.str()
-	count := d.u32()
-	if d.err == nil && int(count) > len(d.buf) { // each update is >1 byte
-		return Msg{}, fmt.Errorf("wire: implausible update count %d", count)
-	}
-	m.Updates = make([]Update, 0, count)
-	for i := uint32(0); i < count && d.err == nil; i++ {
-		var u Update
-		u.Op = fib.Op(d.u8())
-		u.Rule.ID = int64(d.u64())
-		u.Rule.Pri = int32(d.u32())
-		u.Rule.Action = fib.Action(d.u32())
-		nd := int(d.u8())
-		for j := 0; j < nd && d.err == nil; j++ {
-			var f fib.FieldMatch
-			f.Field = d.str()
-			f.Kind = fib.MatchKind(d.u8())
-			f.Value = d.u64()
-			f.Len = int(int32(d.u32()))
-			f.Mask = d.u64()
-			u.Rule.Desc = append(u.Rule.Desc, f)
-		}
-		m.Updates = append(m.Updates, u)
-	}
-	if d.err != nil {
-		return Msg{}, d.err
-	}
-	if d.off != len(d.buf) {
-		return Msg{}, fmt.Errorf("wire: %d trailing bytes in frame", len(d.buf)-d.off)
-	}
-	return m, nil
+	return parseMsgBody(body)
 }
-
-// Server accepts agent connections and serializes their messages into a
-// single handler, preserving per-connection order.
-type Server struct {
-	l       net.Listener
-	handler func(Msg) error
-
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-
-	m smetrics
-}
-
-// smetrics holds resolved observability handles; the zero value (all
-// nil) is the uninstrumented no-op state.
-type smetrics struct {
-	framesRx   *obs.Counter // frames decoded and handled
-	bytesRx    *obs.Counter // wire bytes consumed (headers included)
-	decodeErrs *obs.Counter // connections ended by a protocol error
-	connsTotal *obs.Counter // agent connections accepted
-	connsLive  *obs.Gauge   // currently open agent connections
-	updates    *obs.Counter // native rule updates carried by frames
-}
-
-// Instrument attaches the server to an observability registry; call it
-// before Serve. Instrument(nil) is a no-op.
-func (s *Server) Instrument(r *obs.Registry) {
-	if r == nil {
-		return
-	}
-	s.m = smetrics{
-		framesRx:   r.Counter("frames_rx"),
-		bytesRx:    r.Counter("bytes_rx"),
-		decodeErrs: r.Counter("decode_errors"),
-		connsTotal: r.Counter("conns_total"),
-		connsLive:  r.Gauge("conns_live"),
-		updates:    r.Counter("updates_rx"),
-	}
-}
-
-// NewServer creates a server on the listener; Serve must be called to
-// start accepting.
-func NewServer(l net.Listener, handler func(Msg) error) *Server {
-	return &Server{l: l, handler: handler, conns: make(map[net.Conn]struct{})}
-}
-
-// Serve accepts connections until Close. Each connection's frames are
-// decoded and passed to the handler under a lock (the dispatcher is
-// single-threaded). Serve returns after the listener closes.
-func (s *Server) Serve() error {
-	for {
-		conn, err := s.l.Accept()
-		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return nil
-			}
-			return err
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return nil
-		}
-		s.conns[conn] = struct{}{}
-		s.wg.Add(1)
-		s.mu.Unlock()
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	s.m.connsTotal.Inc()
-	s.m.connsLive.Add(1)
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-		s.m.connsLive.Add(-1)
-		s.wg.Done()
-	}()
-	dec := NewDecoder(conn)
-	var lastRead uint64
-	for {
-		m, err := dec.Decode()
-		s.m.bytesRx.Add(int64(dec.BytesRead() - lastRead))
-		lastRead = dec.BytesRead()
-		if err != nil {
-			// EOF is a clean stream end and a read failing because Close
-			// tore the connection down is expected; anything else is a
-			// protocol error (the connection is dropped either way).
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if !closed && !errors.Is(err, io.EOF) {
-				s.m.decodeErrs.Inc()
-			}
-			return
-		}
-		s.m.framesRx.Inc()
-		s.m.updates.Add(int64(len(m.Updates)))
-		s.mu.Lock()
-		closed := s.closed
-		var herr error
-		if !closed {
-			herr = s.handler(m)
-		}
-		s.mu.Unlock()
-		if closed || herr != nil {
-			return
-		}
-	}
-}
-
-// Close stops accepting, closes every live connection, and waits for
-// handlers to drain.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	err := s.l.Close()
-	s.wg.Wait()
-	return err
-}
-
-// Agent is a client that feeds update messages to a server.
-type Agent struct {
-	conn net.Conn
-	enc  *Encoder
-}
-
-// Dial connects an agent to the server address.
-func Dial(addr string) (*Agent, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Agent{conn: conn, enc: NewEncoder(conn)}, nil
-}
-
-// Send transmits one message.
-func (a *Agent) Send(m Msg) error { return a.enc.Encode(m) }
-
-// Close closes the agent's connection.
-func (a *Agent) Close() error { return a.conn.Close() }
 
 // FromFib converts compiled updates to wire form; every rule must carry a
 // symbolic descriptor.

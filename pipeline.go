@@ -2,6 +2,7 @@ package flash
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -120,6 +121,23 @@ func (p *Pipeline) Close() error {
 func (p *Pipeline) run() {
 	defer close(p.done)
 	defer close(p.results)
+	// A panic escaping the worker would leak the channels and deadlock
+	// Close; record it as the pipeline's error instead. (System.Feed
+	// already quarantines panicking subspace workers; this guards the
+	// pipeline's own bookkeeping and result fan-out.)
+	defer func() {
+		if r := recover(); r != nil {
+			if l := p.sys.Logger(); l != nil {
+				l.Printf("flash: pipeline: worker panic: %v", r)
+			}
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = fmt.Errorf("flash: pipeline worker panic: %v", r)
+			}
+			p.cond.Signal()
+			p.mu.Unlock()
+		}
+	}()
 	for {
 		p.mu.Lock()
 		for len(p.queue) == 0 && !p.closed && p.err == nil {

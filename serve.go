@@ -2,65 +2,255 @@ package flash
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/fib"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
+// ServeOption tunes a Server's fault-tolerance behavior.
+type ServeOption func(*serveOpts)
+
+type serveOpts struct {
+	quarantineTTL time.Duration
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	ackWindow     int
+	acceptBackoff time.Duration
+}
+
+func defaultServeOpts() serveOpts {
+	return serveOpts{quarantineTTL: time.Minute}
+}
+
+// WithQuarantineTTL sets how long a faulty device stays quarantined
+// before it may feed again (default one minute; 0 quarantines until
+// restart). A quarantined device's frames are consumed and acknowledged
+// but not applied, so one poisoned agent cannot wedge ingestion.
+func WithQuarantineTTL(d time.Duration) ServeOption {
+	return func(o *serveOpts) { o.quarantineTTL = d }
+}
+
+// WithAgentReadTimeout closes agent connections silent for longer than d
+// (reconnecting clients send heartbeats to stay alive). 0 disables.
+func WithAgentReadTimeout(d time.Duration) ServeOption {
+	return func(o *serveOpts) { o.readTimeout = d }
+}
+
+// WithAgentWriteTimeout bounds each ack write to an agent. 0 disables.
+func WithAgentWriteTimeout(d time.Duration) ServeOption {
+	return func(o *serveOpts) { o.writeTimeout = d }
+}
+
+// WithAckWindow bounds the per-stream out-of-order buffer used to
+// reassemble replayed frames (default 1024 frames).
+func WithAckWindow(n int) ServeOption {
+	return func(o *serveOpts) { o.ackWindow = n }
+}
+
+// WithAcceptBackoff caps the retry backoff for temporary accept errors.
+func WithAcceptBackoff(max time.Duration) ServeOption {
+	return func(o *serveOpts) { o.acceptBackoff = max }
+}
+
 // Server runs a System behind the wire protocol: device agents connect
 // over TCP and stream epoch-tagged update frames; deterministic detection
 // results are delivered to the OnResult callback.
+//
+// The server degrades gracefully instead of failing loudly: a device
+// whose frames fail to parse or whose Feed errors is quarantined — its
+// frames are dropped (and acknowledged, so agents do not replay them
+// forever) until the quarantine expires — while every other device and
+// connection keeps verifying. Health reports the degradation; the serve
+// sub-registry counts every fault event.
 type Server struct {
 	sys      *System
 	srv      *wire.Server
+	opts     serveOpts
 	OnResult func(Result)
 
-	results    *obs.Counter
-	feedErrors *obs.Counter
-	handleNs   *obs.Histogram
+	mu         sync.Mutex
+	quarantine map[DeviceID]quarantineEntry
+
+	results         *obs.Counter
+	feedErrors      *obs.Counter
+	handleNs        *obs.Histogram
+	quarantines     *obs.Counter
+	quarantineDrops *obs.Counter
+}
+
+type quarantineEntry struct {
+	until time.Time // zero: permanent
+	cause string
 }
 
 // NewServer wraps a System behind a listener. Call Serve (or
 // ServeContext) to start. If the System was built WithMetrics, frame,
 // byte and connection counters are published under the registry's
-// "wire" sub-registry and handler latency under "serve".
-func NewServer(l net.Listener, sys *System, onResult func(Result)) *Server {
-	s := &Server{sys: sys, OnResult: onResult}
+// "wire" sub-registry and handler latency plus quarantine counters
+// under "serve".
+func NewServer(l net.Listener, sys *System, onResult func(Result), opts ...ServeOption) *Server {
+	o := defaultServeOpts()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Server{sys: sys, opts: o, OnResult: onResult, quarantine: make(map[DeviceID]quarantineEntry)}
 	if reg := sys.Metrics(); reg != nil {
 		sreg := reg.Sub("serve")
 		s.results = sreg.Counter("results")
 		s.feedErrors = sreg.Counter("feed_errors")
 		s.handleNs = sreg.Histogram("handle_ns")
+		s.quarantines = sreg.Counter("quarantines_total")
+		s.quarantineDrops = sreg.Counter("quarantine_drops")
+		sreg.Func("quarantined", func() int64 {
+			return int64(len(s.QuarantinedDevices()))
+		})
 	}
-	s.srv = wire.NewServer(l, func(m wire.Msg) error {
-		var start time.Time
-		if s.handleNs != nil {
-			start = time.Now()
-		}
-		results, err := sys.Feed(m)
-		if err != nil {
-			s.feedErrors.Inc()
-			if log := sys.Logger(); log != nil {
-				log.Printf("flash: serve: device %d epoch %s: %v", m.Device, m.Epoch, err)
-			}
-			return err
-		}
-		if s.handleNs != nil {
-			s.handleNs.Observe(time.Since(start))
-		}
-		s.results.Add(int64(len(results)))
-		if s.OnResult != nil {
-			for _, r := range results {
-				s.OnResult(r)
-			}
-		}
-		return nil
-	})
+	wopts := []wire.ServerOption{
+		wire.WithCorruptPolicy(func(dev fib.DeviceID, seq uint64, err error) bool {
+			// The envelope identified the device, so the connection (and
+			// every other device multiplexed on it) survives: quarantine
+			// the device, consume the frame.
+			s.Quarantine(dev, fmt.Sprintf("corrupt frame at seq %d: %v", seq, err))
+			return true
+		}),
+	}
+	if log := sys.Logger(); log != nil {
+		wopts = append(wopts, wire.WithServerLog(log.Printf))
+	}
+	if o.readTimeout > 0 {
+		wopts = append(wopts, wire.WithReadTimeout(o.readTimeout))
+	}
+	if o.writeTimeout > 0 {
+		wopts = append(wopts, wire.WithWriteTimeout(o.writeTimeout))
+	}
+	if o.ackWindow > 0 {
+		wopts = append(wopts, wire.WithWindow(o.ackWindow))
+	}
+	if o.acceptBackoff > 0 {
+		wopts = append(wopts, wire.WithAcceptBackoff(o.acceptBackoff))
+	}
+	s.srv = wire.NewServer(l, s.handle, wopts...)
 	s.srv.Instrument(sys.Metrics().Sub("wire"))
 	return s
 }
+
+// handle consumes one in-order, deduplicated message. It only returns an
+// error for faults worth a replay; device-level failures quarantine the
+// device and consume the frame, keeping the connection (and the other
+// devices sharing it) alive.
+func (s *Server) handle(m wire.Msg) error {
+	if s.isQuarantined(m.Device) {
+		s.quarantineDrops.Inc()
+		return nil // consumed (and acked) but not applied
+	}
+	var start time.Time
+	if s.handleNs != nil {
+		start = time.Now()
+	}
+	results, err := s.sys.Feed(m)
+	if err != nil {
+		s.feedErrors.Inc()
+		if log := s.sys.Logger(); log != nil {
+			log.Printf("flash: serve: device %d epoch %s: %v", m.Device, m.Epoch, err)
+		}
+		// A Feed error is this device's fault (bad epoch, poisoned
+		// updates); the rest of the stream is fine. Quarantine and move
+		// on instead of tearing the connection down.
+		s.Quarantine(m.Device, fmt.Sprintf("epoch %s: %v", m.Epoch, err))
+		return nil
+	}
+	if s.handleNs != nil {
+		s.handleNs.Observe(time.Since(start))
+	}
+	s.results.Add(int64(len(results)))
+	if s.OnResult != nil {
+		for _, r := range results {
+			s.OnResult(r)
+		}
+	}
+	return nil
+}
+
+// Quarantine bars a device from feeding the verifier until the
+// configured TTL expires (or forever, with a TTL of 0). Its frames are
+// consumed and acknowledged but dropped. Re-quarantining an already
+// quarantined device refreshes the expiry but is not re-counted.
+func (s *Server) Quarantine(dev DeviceID, cause string) {
+	var until time.Time
+	if s.opts.quarantineTTL > 0 {
+		until = time.Now().Add(s.opts.quarantineTTL)
+	}
+	s.mu.Lock()
+	_, again := s.quarantine[dev]
+	s.quarantine[dev] = quarantineEntry{until: until, cause: cause}
+	s.mu.Unlock()
+	if !again {
+		s.quarantines.Inc()
+		if log := s.sys.Logger(); log != nil {
+			log.Printf("flash: serve: device %d quarantined: %s", dev, cause)
+		}
+	}
+}
+
+// isQuarantined checks (and lazily expires) a device's quarantine.
+func (s *Server) isQuarantined(dev DeviceID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.quarantine[dev]
+	if !ok {
+		return false
+	}
+	if !q.until.IsZero() && time.Now().After(q.until) {
+		delete(s.quarantine, dev)
+		return false
+	}
+	return true
+}
+
+// QuarantinedDevices returns the currently quarantined devices, sorted.
+func (s *Server) QuarantinedDevices() []DeviceID {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeviceID, 0, len(s.quarantine))
+	for dev, q := range s.quarantine {
+		if !q.until.IsZero() && now.After(q.until) {
+			delete(s.quarantine, dev)
+			continue
+		}
+		out = append(out, dev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Health reports ingestion-side degradation (quarantined devices),
+// merged with the underlying System's worker state by callers that
+// mount both on AdminHandler.
+func (s *Server) Health() Health {
+	var h Health
+	now := time.Now()
+	s.mu.Lock()
+	for dev, q := range s.quarantine {
+		if !q.until.IsZero() && now.After(q.until) {
+			continue
+		}
+		h.Degraded = true
+		h.Reasons = append(h.Reasons, fmt.Sprintf("device %d quarantined: %s", dev, q.cause))
+	}
+	s.mu.Unlock()
+	sort.Strings(h.Reasons)
+	return h
+}
+
+// Streams reports the number of agent streams with server-side state.
+func (s *Server) Streams() int { return s.srv.Streams() }
 
 // Serve accepts agent connections until Close. It is ServeContext with a
 // background context.
@@ -89,5 +279,17 @@ func (s *Server) ServeContext(ctx context.Context) error {
 // Close shuts the server down and drains in-flight handlers.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// DialAgent connects a device agent to a Flash server address.
+// AgentOptions configures a fault-tolerant device agent (see
+// DialAgentOptions). It aliases the wire client options.
+type AgentOptions = wire.ClientOptions
+
+// DialAgent connects a device agent to a Flash server address with
+// fail-fast defaults (no reconnection).
 func DialAgent(addr string) (*wire.Agent, error) { return wire.Dial(addr) }
+
+// DialAgentOptions connects a device agent with explicit fault-tolerance
+// options — reconnection with exponential backoff, heartbeats, resend
+// timeouts (see wire.ClientOptions).
+func DialAgentOptions(addr string, o AgentOptions) (*wire.Agent, error) {
+	return wire.NewClient(addr, o)
+}
