@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint flashvet race race-hot checkstrict bench check fuzz chaos chaos-random
+.PHONY: build test vet lint flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,11 @@ race-hot:
 # hot path against regressions (metrics disabled).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Append a work-stealing scheduler scaling measurement to the benchmark
+# trajectory file; each entry records the core count it was measured on.
+bench-record:
+	$(GO) run ./cmd/flashbench -exp scaling -scale small -record BENCH_flash.json
 
 # Brief fuzz pass over the predicate compiler, the Fast IMT oracle
 # differential, and the wire decoders; seeds live under testdata/fuzz/.

@@ -437,7 +437,7 @@ func TestWorkerPanicQuarantinesSubspace(t *testing.T) {
 	}
 	var poisonTarget atomic.Int64
 	poisonTarget.Store(-1)
-	sys.SetFeedHook(func(subspace int) {
+	sys.SetFeedHook(func(subspace int, _ Msg) {
 		if int64(subspace) == poisonTarget.Load() {
 			panic(fmt.Sprintf("injected panic in subspace %d", subspace))
 		}

@@ -17,7 +17,12 @@
 //	flashbench -exp fig15             # fat-tree pod-add counts
 //	flashbench -exp fig18             # verification time vs progress
 //	flashbench -exp overhead          # §5.5 resource accounting
+//	flashbench -exp scaling           # work-stealing scheduler on skewed churn
 //	flashbench -exp all
+//
+// -exp scaling sweeps worker counts {1,2,4,8} over a hot-subspace
+// churn workload; with -record FILE the measured rows are appended to
+// a JSON benchmark-trajectory file (conventionally BENCH_flash.json).
 //
 // -scale selects workload sizing (tiny|small|medium|large).
 package main
@@ -43,6 +48,7 @@ func main() {
 		trials    = flag.Int("trials", 50, "trials for the CDF experiments")
 		subspaces = flag.Int("subspaces", 4, "subspace partition count")
 		metrics   = flag.Bool("metrics", false, "dump a per-experiment metrics snapshot (latency histograms) after each phase")
+		record    = flag.String("record", "", "append scaling results to this JSON trajectory file (scaling experiment only)")
 	)
 	flag.Parse()
 
@@ -64,6 +70,7 @@ func main() {
 		"fig15":    runFig15,
 		"fig18":    func() { runFig18(scale) },
 		"overhead": func() { runOverhead(scale, *subspaces) },
+		"scaling":  func() { runScaling(*scaleFlag, scale, *record) },
 	}
 	order := []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig14", "fig15", "fig18", "overhead"}

@@ -1,0 +1,194 @@
+package main
+
+// The scaling experiment measures the work-stealing scheduler on a
+// deliberately skewed churn workload: most churn lands in one hot
+// subspace, so a static subspace→worker assignment serializes on that
+// worker while stealing lets idle workers drain it. Results are
+// printed as a table and, with -record, appended to a JSON benchmark
+// trajectory file (BENCH_flash.json) so successive commits can be
+// compared.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	flash "repro"
+	"repro/internal/exps"
+	"repro/internal/workload"
+)
+
+// scalingEntry is one row of the benchmark trajectory. Cores records
+// the physical parallelism available when the row was measured —
+// speedups at worker counts beyond Cores are bounded by 1.0 no matter
+// how good the scheduler is, so trajectories are only comparable
+// between rows with equal Cores.
+type scalingEntry struct {
+	Bench          string  `json:"bench"`
+	Scale          string  `json:"scale"`
+	Workers        int     `json:"workers"`
+	Subspaces      int     `json:"subspaces"`
+	Batch          int     `json:"batch"`
+	Updates        int     `json:"updates"`
+	NsPerUpdateP50 int64   `json:"ns_per_update_p50"`
+	NsPerUpdateP95 int64   `json:"ns_per_update_p95"`
+	Steals         uint64  `json:"steals"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	SpeedupVs1     float64 `json:"speedup_vs_1"`
+	Cores          int     `json:"cores"`
+	RecordedAt     string  `json:"recorded_at,omitempty"`
+}
+
+const (
+	scalingSubspaces = 8
+	scalingBatch     = 16
+	scalingChurn     = 3
+	scalingHotFrac   = 0.9
+	scalingSeed      = 0x5ca1e
+)
+
+// scalingRun applies the skewed sequence through a ModelBuilder with
+// the given worker count and returns the measured row.
+func scalingRun(scaleName string, scale exps.Scale, workers int) scalingEntry {
+	// Fresh workload (and BDD engine) per run: engines are stateful and
+	// sharing one across runs would let cache warmth leak between rows.
+	w := exps.Build(exps.LNetAPSP, scale)
+	seq := w.SkewedChurn(scalingChurn, scalingSubspaces, scalingHotFrac, scalingSeed)
+
+	opts := []flash.Option{
+		flash.WithTopo(w.Topo),
+		flash.WithLayout(w.Layout),
+		flash.WithSubspaces(scalingSubspaces, ""),
+		flash.WithWorkers(workers),
+		flash.WithBatch(scalingBatch),
+	}
+	if exps.Metrics != nil {
+		// With -metrics, the scheduler/batch/cache counters of each row
+		// land in the dumped snapshot under workersN/...
+		opts = append(opts, flash.WithMetrics(exps.Metrics.Sub(fmt.Sprintf("workers%d", workers))))
+	}
+	b := flash.NewModelBuilder(opts...)
+
+	var samples []int64 // ns per update, one sample per applied chunk
+	start := time.Now()
+	for _, batch := range workload.Chunk(seq, 128) {
+		blocks := make([]flash.DeviceBlock, 0, len(batch))
+		n := 0
+		for _, fb := range batch {
+			db := flash.DeviceBlock{Device: fb.Device}
+			for _, u := range fb.Updates {
+				db.Updates = append(db.Updates, flash.Update{Op: u.Op,
+					Rule: flash.Rule{ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action, Desc: u.Rule.Desc}})
+				n++
+			}
+			blocks = append(blocks, db)
+		}
+		t0 := time.Now()
+		if err := b.ApplyBlock(blocks); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			samples = append(samples, time.Since(t0).Nanoseconds()/int64(n))
+		}
+	}
+	if err := b.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: scaling: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	quant := func(q float64) int64 {
+		if len(samples) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	sched := b.SchedulerStats()
+	cache := b.CacheStats()
+	return scalingEntry{
+		Bench:          "skewed-churn",
+		Scale:          scaleName,
+		Workers:        sched.Workers,
+		Subspaces:      scalingSubspaces,
+		Batch:          scalingBatch,
+		Updates:        len(seq),
+		NsPerUpdateP50: quant(0.50),
+		NsPerUpdateP95: quant(0.95),
+		Steals:         sched.Steals,
+		CacheHitRate:   cache.HitRate(),
+		UpdatesPerSec:  float64(len(seq)) / elapsed.Seconds(),
+		Cores:          runtime.NumCPU(),
+	}
+}
+
+func runScaling(scaleName string, scale exps.Scale, record string) {
+	header("Scaling — work-stealing scheduler on skewed churn")
+	cores := runtime.NumCPU()
+	fmt.Printf("cores=%d subspaces=%d batch=%d hot-fraction=%.1f\n",
+		cores, scalingSubspaces, scalingBatch, scalingHotFrac)
+	if cores == 1 {
+		fmt.Println("note: single-core host — wall-clock speedup from parallel workers")
+		fmt.Println("is bounded by 1.0x here; steals still show the scheduler engaging.")
+	}
+
+	// Discarded warm-up run: the first run in a process pays allocator
+	// growth that later runs reuse, which would flatter every row after
+	// the workers=1 baseline.
+	scalingRun(scaleName, scale, 1)
+
+	var entries []scalingEntry
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		e := scalingRun(scaleName, scale, workers)
+		if workers == 1 {
+			base = e.UpdatesPerSec
+		}
+		if base > 0 {
+			e.SpeedupVs1 = e.UpdatesPerSec / base
+		}
+		entries = append(entries, e)
+		fmt.Printf("workers=%-3d p50=%-8s p95=%-8s steals=%-6d cache-hit=%4.1f%% upd/s=%-10.0f speedup=%.2fx\n",
+			e.Workers,
+			time.Duration(e.NsPerUpdateP50),
+			time.Duration(e.NsPerUpdateP95),
+			e.Steals, 100*e.CacheHitRate, e.UpdatesPerSec, e.SpeedupVs1)
+	}
+
+	if record != "" {
+		if err := appendScaling(record, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d entries to %s\n", len(entries), record)
+	}
+}
+
+// appendScaling appends the run's rows to the JSON trajectory file,
+// which holds a flat array of scalingEntry values across commits.
+func appendScaling(path string, entries []scalingEntry) error {
+	var all []scalingEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	now := time.Now().UTC().Format(time.RFC3339)
+	for i := range entries {
+		entries[i].RecordedAt = now
+	}
+	all = append(all, entries...)
+	out, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -58,6 +58,8 @@ func main() {
 		layoutSpec = flag.String("layout", "dst:16", "header layout (name:bits,...)")
 		loops      = flag.Bool("loops", true, "verify loop freedom")
 		subspaces  = flag.Int("subspaces", 1, "subspace partition count (power of two)")
+		workers    = flag.Int("workers", 0, "work-stealing scheduler workers (0 = GOMAXPROCS, clamped to subspaces)")
+		batchN     = flag.Int("batch", 1, "max native updates coalesced into one Fast IMT pass (1 disables batching)")
 		replay     = flag.String("replay", "", "one-shot mode: verify a snapshot file and exit")
 
 		quarantine    = flag.Duration("quarantine", time.Minute, "how long a faulty device stays quarantined (0 = until restart)")
@@ -90,6 +92,8 @@ func main() {
 		flash.WithTopo(g),
 		flash.WithLayout(layout),
 		flash.WithSubspaces(*subspaces, ""),
+		flash.WithWorkers(*workers),
+		flash.WithBatch(*batchN),
 		flash.WithChecks(checks...),
 		flash.WithMetrics(reg),
 		flash.WithLogger(logger),

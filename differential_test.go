@@ -1,0 +1,266 @@
+package flash
+
+// Differential oracle suite: Flash's scheduler/batching matrix is run
+// against two independently-implemented baselines (Delta-net* interval
+// lists, APKeep* per-update ECs) on seeded, skewed workloads. Every
+// configuration must agree on the semantic model (per-device forwarding
+// action at seeded probe headers) and on the verdict multiset — the
+// work-stealing scheduler and Fast IMT batching may only change *when*
+// work happens, never *what* is computed.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/apkeep"
+	"repro/internal/bdd"
+	"repro/internal/deltanet"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/pat"
+	"repro/internal/topo"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+const diffSubspaces = 4
+
+// diffWorkload builds a fresh tiny skewed workload. Every engine gets
+// its own Workload value (and thus its own BDD engine): the APKeep*
+// baseline and Flash both compile into the workload's engine, and
+// sharing one would let the systems interfere.
+func diffWorkload(seed int64) (*workload.Workload, []workload.DevUpdate) {
+	w := workload.TraceAPSP("diff", topo.Internet2())
+	return w, w.SkewedChurn(3, diffSubspaces, 0.9, seed)
+}
+
+// diffProbes returns seeded random probe headers over the dst field.
+func diffProbes(w *workload.Workload, seed int64, n int) []uint64 {
+	width := w.Layout.FieldBits("dst")
+	rng := rand.New(rand.NewSource(seed))
+	probes := make([]uint64, n)
+	for i := range probes {
+		probes[i] = uint64(rng.Intn(1 << uint(width)))
+	}
+	return probes
+}
+
+// diffFingerprint hashes the full probe×device action table — the
+// semantic fingerprint of a data plane model. Two systems with equal
+// fingerprints agree on the forwarding behaviour at every probe.
+func diffFingerprint(devices int, probes []uint64, actionAt func(dev fib.DeviceID, x uint64) fib.Action) uint64 {
+	h := fnv.New64a()
+	for d := 0; d < devices; d++ {
+		for _, x := range probes {
+			fmt.Fprintf(h, "%d/%x/%v\n", d, x, actionAt(fib.DeviceID(d), x))
+		}
+	}
+	return h.Sum64()
+}
+
+// diffConfigs is the scheduler/batching matrix under differential test.
+func diffConfigs() []struct{ workers, batch int } {
+	var cfgs []struct{ workers, batch int }
+	for _, wk := range []int{1, 4, runtime.NumCPU()} {
+		for _, bt := range []int{1, 16} {
+			cfgs = append(cfgs, struct{ workers, batch int }{wk, bt})
+		}
+	}
+	return cfgs
+}
+
+// TestDifferentialModelOracle: the final EC model produced by Flash
+// under every workers×batch configuration must match the Delta-net*
+// and APKeep* baselines probe-for-probe.
+func TestDifferentialModelOracle(t *testing.T) {
+	for _, seed := range []int64{0xd1ff1, 0xd1ff2} {
+		// Delta-net* baseline: sorted interval lists, no BDDs at all.
+		dw, dseq := diffWorkload(seed)
+		devices := dw.Topo.N()
+		probes := diffProbes(dw, seed*31, 96)
+		dn := deltanet.New(dw.Layout)
+		for _, du := range dseq {
+			if err := dn.Apply(du.Dev, du.Update); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := diffFingerprint(devices, probes, dn.ActionAt)
+
+		// APKeep* baseline: per-update EC maintenance on its own engine.
+		aw, aseq := diffWorkload(seed)
+		primary := aw.Layout.Fields()[0]
+		store := pat.NewStore()
+		ap := apkeep.New(aw.Space.E, store, bdd.True, primary.Name, primary.Bits)
+		for _, du := range aseq {
+			if err := ap.Apply(du.Dev, du.Update); err != nil {
+				t.Fatal(err)
+			}
+		}
+		apFP := diffFingerprint(devices, probes, func(dev fib.DeviceID, x uint64) fib.Action {
+			vec, ok := ap.Model().Lookup(aw.Space.E, aw.Space.Assignment(hs.Header{x}))
+			if !ok {
+				return fib.None
+			}
+			return store.Get(vec, dev)
+		})
+		if apFP != want {
+			t.Fatalf("seed %#x: APKeep* disagrees with Delta-net* (oracle baselines diverge)", seed)
+		}
+
+		for _, cfg := range diffConfigs() {
+			fw, fseq := diffWorkload(seed)
+			b := NewModelBuilder(
+				WithTopo(fw.Topo),
+				WithLayout(fw.Layout),
+				WithSubspaces(diffSubspaces, ""),
+				WithWorkers(cfg.workers),
+				WithBatch(cfg.batch),
+			)
+			for _, batch := range workload.Chunk(fseq, 32) {
+				blocks := make([]DeviceBlock, 0, len(batch))
+				for _, fb := range batch {
+					db := DeviceBlock{Device: fb.Device}
+					for _, u := range fb.Updates {
+						db.Updates = append(db.Updates, Update{Op: u.Op,
+							Rule: Rule{ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action, Desc: u.Rule.Desc}})
+					}
+					blocks = append(blocks, db)
+				}
+				if err := b.ApplyBlock(blocks); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := diffFingerprint(devices, probes, func(dev fib.DeviceID, x uint64) fib.Action {
+				a, err := b.ActionAt(dev, []uint64{x})
+				if err != nil {
+					return fib.None
+				}
+				return a
+			})
+			if got != want {
+				t.Fatalf("seed %#x workers=%d batch=%d: Flash model diverges from baselines",
+					seed, cfg.workers, cfg.batch)
+			}
+		}
+	}
+}
+
+// diffStream converts a flat update sequence into CE2D wire messages:
+// consecutive updates are grouped into epochs, with at most one message
+// per device per epoch (the CE2D contract).
+func diffStream(t *testing.T, seq []workload.DevUpdate, perEpoch int) [][]Msg {
+	t.Helper()
+	var epochs [][]Msg
+	for start, e := 0, 1; start < len(seq); e++ {
+		end := start + perEpoch
+		if end > len(seq) {
+			end = len(seq)
+		}
+		byDev := make(map[fib.DeviceID][]fib.Update)
+		var order []fib.DeviceID
+		for _, du := range seq[start:end] {
+			if _, ok := byDev[du.Dev]; !ok {
+				order = append(order, du.Dev)
+			}
+			byDev[du.Dev] = append(byDev[du.Dev], du.Update)
+		}
+		var msgs []Msg
+		for _, dev := range order {
+			m, err := wire.FromFib(dev, fmt.Sprintf("e%d", e), byDev[dev])
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgs = append(msgs, m)
+		}
+		epochs = append(epochs, msgs)
+		start = end
+	}
+	return epochs
+}
+
+// TestDifferentialVerdictOracle: the verdict multiset and final model
+// fingerprint must be identical across the whole workers×batch matrix,
+// including against an APKeep-style per-update reference configuration.
+func TestDifferentialVerdictOracle(t *testing.T) {
+	const seed = 0xd1ff3
+	_, seq := diffWorkload(seed)
+	rw, _ := diffWorkload(seed)
+	epochs := diffStream(t, seq, 24)
+	lastEpoch := fmt.Sprintf("e%d", len(epochs))
+
+	newSys := func(extra ...Option) *System {
+		opts := []Option{
+			WithTopo(rw.Topo),
+			WithLayout(rw.Layout),
+			WithSubspaces(diffSubspaces, ""),
+			WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+		}
+		sys, err := NewSystem(append(opts, extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	run := func(sys *System, gulp bool) ([]string, string) {
+		var verdicts []string
+		for _, msgs := range epochs {
+			if gulp {
+				rs, err := sys.FeedBatch(context.Background(), msgs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range rs {
+					verdicts = append(verdicts, r.String())
+				}
+				continue
+			}
+			for _, m := range msgs {
+				rs, err := sys.Feed(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range rs {
+					verdicts = append(verdicts, r.String())
+				}
+			}
+		}
+		sort.Strings(verdicts)
+		fp, err := sys.ModelFingerprint(lastEpoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return verdicts, fp
+	}
+
+	// Reference: per-update processing (the APKeep-style ablation), no
+	// batching, sequential feed.
+	wantVerdicts, wantFP := run(newSys(WithPerUpdate(true), WithWorkers(1)), false)
+	if len(wantVerdicts) == 0 {
+		t.Fatal("reference run produced no verdicts")
+	}
+
+	for _, cfg := range diffConfigs() {
+		sys := newSys(WithWorkers(cfg.workers), WithBatch(cfg.batch))
+		gotVerdicts, gotFP := run(sys, true)
+		if gotFP != wantFP {
+			t.Fatalf("workers=%d batch=%d: model fingerprint diverges from per-update reference",
+				cfg.workers, cfg.batch)
+		}
+		if len(gotVerdicts) != len(wantVerdicts) {
+			t.Fatalf("workers=%d batch=%d: %d verdicts, reference has %d",
+				cfg.workers, cfg.batch, len(gotVerdicts), len(wantVerdicts))
+		}
+		for i := range wantVerdicts {
+			if gotVerdicts[i] != wantVerdicts[i] {
+				t.Fatalf("workers=%d batch=%d: verdict multiset diverges at %d:\n  got:  %s\n  want: %s",
+					cfg.workers, cfg.batch, i, gotVerdicts[i], wantVerdicts[i])
+			}
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package flash
 
-// SetFeedHook installs a test seam that runs inside each subspace
-// worker's feed goroutine, before the message is applied. A panic in the
-// hook exercises the worker-quarantine path for exactly the chosen
-// subspace, which no public input can target deterministically.
-func (s *System) SetFeedHook(f func(subspace int)) { s.feedHook = f }
+// SetFeedHook installs a test seam that runs inside the subspace
+// worker's scheduler task, before each message is applied. A panic in
+// the hook exercises the worker-quarantine path for exactly the chosen
+// subspace, which no public input can target deterministically; the
+// scheduler property tests additionally use the hook as a per-subspace
+// sequence witness (it observes the exact message order each subspace
+// applies).
+func (s *System) SetFeedHook(f func(subspace int, m Msg)) { s.feedHook = f }

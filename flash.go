@@ -48,6 +48,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pat"
 	"repro/internal/reach"
+	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/topo"
 	"repro/internal/wire"
@@ -181,6 +182,22 @@ type Config struct {
 	// PerUpdate forces per-update processing (the APKeep-style special
 	// case; used by the ablation benchmarks).
 	PerUpdate bool
+	// Workers bounds the number of scheduler workers executing subspace
+	// tasks. Subspaces are scheduled by work stealing: each subspace is a
+	// serialized "home" whose pending blocks one worker drains at a time,
+	// and idle workers steal queued subspaces from the busiest peer, so a
+	// hot subspace no longer pins the rest of the epoch behind it.
+	// 0 (the default) selects GOMAXPROCS; the effective count is capped
+	// at the subspace count.
+	Workers int
+	// Batch bounds Fast IMT batching in native updates: ModelBuilder
+	// workers coalesce consecutive same-device blocks into one MR2 pass,
+	// and Pipeline gulps consecutive same-epoch messages into one
+	// FeedBatch. <= 1 disables batching. Batches flush at epoch
+	// boundaries and before every model query, and CE2D emits events only
+	// when a device synchronizes an epoch, so batching never changes
+	// verdicts — only amortizes work.
+	Batch int
 	// Succ optionally restricts the potential-path successor sets used by
 	// reachability checks (e.g. to directed links, as in the paper's
 	// Figure 3): a tighter set yields earlier detection, any superset of
@@ -223,10 +240,18 @@ func (c *Config) subspacePreds(s *hs.Space) []bdd.Ref {
 // ---- ModelBuilder: offline / bootstrap model construction ----
 
 // ModelBuilder maintains the inverse model of a data plane with Fast IMT,
-// partitioned across parallel subspace workers.
+// partitioned across subspace workers that are executed by a
+// work-stealing scheduler (subspace i is scheduler home i, so blocks
+// for one subspace stay serialized and in order while idle workers
+// steal queued subspaces from busy peers).
 type ModelBuilder struct {
 	cfg     Config
 	workers []*mbWorker
+	pool    *sched.Pool
+
+	// dispatchMu serializes Submit/Wait barriers so concurrent
+	// ApplyBlock/Flush callers cannot interleave their dispatches.
+	dispatchMu sync.Mutex
 }
 
 // mbWorker owns one subspace: its engine lives inside transform
@@ -238,6 +263,7 @@ type mbWorker struct {
 	space     *hs.Space
 	universe  bdd.Ref
 	transform *imt.Transformer
+	batch     *imt.Batcher  // nil unless cfg.Batch > 1
 	metrics   *obs.Registry // nil when uninstrumented
 }
 
@@ -262,13 +288,21 @@ func NewModelBuilder(opts ...Option) *ModelBuilder {
 		}
 		w.transform.PerUpdate = cfg.PerUpdate
 		w.transform.Tag = "mb/subspace" + strconv.Itoa(i)
+		if cfg.Batch > 1 {
+			w.batch = imt.NewBatcher(w.transform, cfg.Batch)
+		}
 		if reg := cfg.Metrics.Sub("imt").Sub("subspace" + strconv.Itoa(i)); reg != nil {
 			w.metrics = reg
 			w.transform.Instrument(reg)
+			if w.batch != nil {
+				w.batch.Instrument(reg)
+			}
 			instrumentWorkerEngine(reg, &w.mu, func() (*hs.Space, *pat.Store) { return w.space, w.transform.Store })
 		}
 		b.workers = append(b.workers, w)
 	}
+	b.pool = sched.NewPool(cfg.Workers, len(b.workers))
+	b.pool.Instrument(cfg.Metrics.Sub("sched"))
 	return b
 }
 
@@ -296,6 +330,9 @@ func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (*hs
 		_, m := s.E.CacheStats()
 		return int64(m)
 	}))
+	reg.Func("bdd_cache_evictions", sample(func(s *hs.Space, _ *pat.Store) int64 {
+		return int64(s.E.CacheEvictions())
+	}))
 	reg.Func("pat_nodes", sample(func(_ *hs.Space, ps *pat.Store) int64 {
 		if ps == nil {
 			return 0
@@ -308,26 +345,69 @@ func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (*hs
 func (b *ModelBuilder) NumSubspaces() int { return len(b.workers) }
 
 // ApplyBlock feeds one batch of per-device symbolic update blocks to all
-// subspace workers in parallel. Every rule must carry a symbolic match
-// descriptor; rules whose match does not intersect a worker's subspace
-// are skipped there.
+// subspace workers via the work-stealing scheduler. Every rule must
+// carry a symbolic match descriptor; rules whose match does not
+// intersect a worker's subspace are skipped there. When the builder was
+// configured WithBatch, blocks are buffered per worker and flushed as
+// bounded coalesced batches; call Flush (or any model query) to force
+// pending work through.
 func (b *ModelBuilder) ApplyBlock(blocks []DeviceBlock) error {
+	b.dispatchMu.Lock()
+	defer b.dispatchMu.Unlock()
 	errs := make([]error, len(b.workers))
-	var wg sync.WaitGroup
 	for i, w := range b.workers {
-		wg.Add(1)
-		go func(i int, w *mbWorker) {
-			defer wg.Done()
-			errs[i] = w.apply(blocks)
-		}(i, w)
+		i, w := i, w
+		b.pool.Submit(i, func() { errs[i] = w.apply(blocks) })
 	}
-	wg.Wait()
+	b.pool.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Flush forces every worker's pending batched updates through the Fast
+// IMT pipeline. It is a no-op when batching is disabled; every model
+// query flushes implicitly, so explicit calls are only needed to bound
+// result latency between queries.
+func (b *ModelBuilder) Flush() error {
+	b.dispatchMu.Lock()
+	defer b.dispatchMu.Unlock()
+	return b.flushLocked()
+}
+
+func (b *ModelBuilder) flushLocked() error {
+	if b.cfg.Batch <= 1 {
+		return nil
+	}
+	errs := make([]error, len(b.workers))
+	for i, w := range b.workers {
+		i, w := i, w
+		b.pool.Submit(i, func() { errs[i] = w.flush() })
+	}
+	b.pool.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *mbWorker) flush() (err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("flash: subspace worker panic during flush: %v", r)
+		}
+	}()
+	if w.batch == nil {
+		return nil
+	}
+	return w.batch.Flush()
 }
 
 // DeviceBlock is a block of symbolic updates for one device.
@@ -366,7 +446,59 @@ func (w *mbWorker) apply(blocks []DeviceBlock) (err error) {
 			compiled = append(compiled, fb)
 		}
 	}
+	if w.batch != nil {
+		return w.batch.Add(compiled)
+	}
 	return w.transform.ApplyBlock(compiled)
+}
+
+// SchedulerStats reports work-stealing scheduler activity (tasks run,
+// home tokens stolen, Wait barriers) plus the effective worker count.
+// Safe to call at any time.
+type SchedulerStats struct {
+	Tasks      uint64
+	Steals     uint64
+	Dispatches uint64
+	Workers    int
+}
+
+// SchedulerStats returns the builder's scheduler counters.
+func (b *ModelBuilder) SchedulerStats() SchedulerStats {
+	st := b.pool.Stats()
+	return SchedulerStats{Tasks: st.Tasks, Steals: st.Steals, Dispatches: st.Dispatches, Workers: b.pool.Workers()}
+}
+
+// CacheStats aggregates the per-engine ITE computed-cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no traffic.
+func (c CacheStats) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// CacheStats sums the ITE computed-cache counters across subspace
+// engines. The counters are atomics, so this is safe concurrently with
+// running workers — the admin handler reads it without stopping the
+// world.
+func (b *ModelBuilder) CacheStats() CacheStats {
+	var out CacheStats
+	for _, w := range b.workers {
+		w.mu.Lock()
+		e := w.space.E // Compact rotates the engine under w.mu
+		w.mu.Unlock()
+		h, m := e.CacheStats()
+		out.Hits += h
+		out.Misses += m
+		out.Evictions += e.CacheEvictions()
+	}
+	return out
 }
 
 // Compact rebuilds every subspace worker onto a fresh BDD engine from
@@ -376,6 +508,11 @@ func (w *mbWorker) apply(blocks []DeviceBlock) (err error) {
 // hash-consed nodes are only released by rotation). Every installed rule
 // must carry a symbolic descriptor.
 func (b *ModelBuilder) Compact() error {
+	b.dispatchMu.Lock()
+	defer b.dispatchMu.Unlock()
+	if err := b.flushLocked(); err != nil {
+		return err
+	}
 	for _, w := range b.workers {
 		if err := w.compact(b.cfg); err != nil {
 			return err
@@ -432,23 +569,40 @@ func (w *mbWorker) compact(cfg Config) (err error) {
 	w.space = space
 	w.universe = universe
 	w.transform = tr
+	if w.batch != nil {
+		// The batcher is empty here (Compact flushes first); rebind it to
+		// the rotated transformer.
+		w.batch = imt.NewBatcher(tr, w.batch.Max)
+		if w.metrics != nil {
+			w.batch.Instrument(w.metrics)
+		}
+	}
 	return nil
 }
 
 // ECs reports the total number of equivalence classes across subspaces.
+// Pending batched updates are flushed first so the count reflects every
+// applied block.
 func (b *ModelBuilder) ECs() int {
+	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
 	n := 0
 	for _, w := range b.workers {
+		w.mu.Lock()
 		n += w.transform.Model().Len()
+		w.mu.Unlock()
 	}
 	return n
 }
 
-// Stats merges the Fast IMT cost breakdown across subspace workers.
+// Stats merges the Fast IMT cost breakdown across subspace workers,
+// flushing pending batches first.
 func (b *ModelBuilder) Stats() imt.Stats {
+	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
 	var out imt.Stats
 	for _, w := range b.workers {
+		w.mu.Lock()
 		s := w.transform.Stats()
+		w.mu.Unlock()
 		out.MapTime += s.MapTime
 		out.ReduceTime += s.ReduceTime
 		out.ApplyTime += s.ApplyTime
@@ -461,11 +615,17 @@ func (b *ModelBuilder) Stats() imt.Stats {
 }
 
 // PredicateOps sums the BDD predicate-operation counters across workers
-// (the "# Predicate Operations" of Table 3).
+// (the "# Predicate Operations" of Table 3). The engine pointer is read
+// under the worker's lock (Compact rotates it) but the counter itself
+// is atomic, so running workers are not blocked.
 func (b *ModelBuilder) PredicateOps() uint64 {
+	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
 	var n uint64
 	for _, w := range b.workers {
-		n += w.space.E.Ops()
+		w.mu.Lock()
+		e := w.space.E
+		w.mu.Unlock()
+		n += e.Ops()
 	}
 	return n
 }
@@ -473,26 +633,38 @@ func (b *ModelBuilder) PredicateOps() uint64 {
 // MemoryProxy reports live BDD nodes plus PAT nodes across workers, the
 // structural memory footprint of the model.
 func (b *ModelBuilder) MemoryProxy() int {
+	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
 	n := 0
 	for _, w := range b.workers {
+		w.mu.Lock()
 		n += w.space.E.NumNodes() + w.transform.Store.NumNodes()
+		w.mu.Unlock()
 	}
 	return n
 }
 
 // ActionAt returns the forwarding action device dev applies to the given
-// header, answering point queries against the inverse model.
+// header, answering point queries against the inverse model. Pending
+// batched updates are flushed first.
 func (b *ModelBuilder) ActionAt(dev DeviceID, header []uint64) (Action, error) {
+	if err := b.Flush(); err != nil {
+		return None, err
+	}
 	for _, w := range b.workers {
+		w.mu.Lock()
 		asg := w.space.Assignment(header)
 		if !w.space.E.Eval(w.universe, asg) {
+			w.mu.Unlock()
 			continue
 		}
 		vec, ok := w.transform.Model().Lookup(w.space.E, asg)
 		if !ok {
+			w.mu.Unlock()
 			return None, fmt.Errorf("flash: header %v not covered", header)
 		}
-		return w.transform.Store.Get(vec, dev), nil
+		act := w.transform.Store.Get(vec, dev)
+		w.mu.Unlock()
+		return act, nil
 	}
 	return None, fmt.Errorf("flash: header %v outside every subspace", header)
 }
@@ -509,15 +681,22 @@ func (b *ModelBuilder) ActionAt(dev DeviceID, header []uint64) (Action, error) {
 type System struct {
 	cfg     Config
 	workers []*sysWorker
+	pool    *sched.Pool
+
+	// dispatchMu serializes scheduler barriers across concurrent Feed
+	// callers (the wire server feeds from multiple connections).
+	dispatchMu sync.Mutex
 
 	poisonMu     sync.Mutex
 	poisoned     map[int]string // subspace index -> panic cause
 	workerPanics *obs.Counter
 
-	// feedHook, when set (tests only), runs inside each subspace worker's
-	// feed goroutine before the message is applied. A panic in the hook
-	// exercises the worker-quarantine path deterministically.
-	feedHook func(subspace int)
+	// feedHook, when set (tests only), runs inside the subspace worker's
+	// scheduler task before each message is applied. A panic in the hook
+	// exercises the worker-quarantine path deterministically; the hook
+	// also serves as the per-device sequence witness for the scheduler
+	// property tests (it observes the exact per-subspace message order).
+	feedHook func(subspace int, m Msg)
 }
 
 // sysWorker owns one subspace: universe is minted by the engine inside
@@ -577,7 +756,29 @@ func NewSystem(opts ...Option) (*System, error) {
 		}
 		s.workers = append(s.workers, w)
 	}
+	s.pool = sched.NewPool(cfg.Workers, len(s.workers))
+	s.pool.Instrument(cfg.Metrics.Sub("sched"))
 	return s, nil
+}
+
+// SchedulerStats returns the system's work-stealing scheduler counters.
+func (s *System) SchedulerStats() SchedulerStats {
+	st := s.pool.Stats()
+	return SchedulerStats{Tasks: st.Tasks, Steals: st.Steals, Dispatches: st.Dispatches, Workers: s.pool.Workers()}
+}
+
+// CacheStats sums the ITE computed-cache counters across the subspace
+// engines (shared by all of a subspace's per-epoch verifiers). Safe
+// concurrently with running workers.
+func (s *System) CacheStats() CacheStats {
+	var out CacheStats
+	for _, w := range s.workers {
+		h, m := w.space.E.CacheStats()
+		out.Hits += h
+		out.Misses += m
+		out.Evictions += w.space.E.CacheEvictions()
+	}
+	return out
 }
 
 // Metrics returns the observability registry the system was built with
@@ -675,45 +876,70 @@ func (s *System) Feed(m Msg) ([]Result, error) {
 // Feed. Results from healthy subspaces are still returned; only when
 // every subspace is poisoned does Feed fail (with ErrSubspacePoisoned).
 func (s *System) FeedContext(ctx context.Context, m Msg) ([]Result, error) {
+	return s.FeedBatch(ctx, []Msg{m})
+}
+
+// FeedBatch delivers several epoch-tagged messages in one scheduler
+// dispatch: every subspace worker applies the whole slice in order
+// before the epoch barrier releases, amortizing the scheduling and
+// lock-acquisition cost of an update storm across the batch. It is
+// semantically identical to calling FeedContext once per message and
+// concatenating the results (CE2D emits events only when a device
+// synchronizes an epoch, and per-device order within the batch is
+// preserved, so the verdict stream cannot differ); the Pipeline uses it
+// to gulp consecutive same-epoch messages under WithBatch.
+func (s *System) FeedBatch(ctx context.Context, msgs []Msg) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	results := make([][]Result, len(s.workers))
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	s.dispatchMu.Lock()
+	results := make([][][]Result, len(s.workers)) // [worker][msg index][...]
 	errs := make([]error, len(s.workers))
 	live := 0
-	var wg sync.WaitGroup
 	for i, w := range s.workers {
 		if s.isPoisoned(i) {
 			continue
 		}
 		live++
-		wg.Add(1)
-		go func(i int, w *sysWorker) {
-			defer wg.Done()
+		i, w := i, w
+		s.pool.Submit(i, func() {
 			defer func() {
 				if r := recover(); r != nil {
 					s.poison(i, fmt.Sprint(r))
 					results[i], errs[i] = nil, nil
 				}
 			}()
+			var hook func(Msg)
 			if s.feedHook != nil {
-				s.feedHook(i)
+				hook = func(m Msg) { s.feedHook(i, m) }
 			}
-			results[i], errs[i] = w.feed(ctx, m)
-		}(i, w)
+			results[i], errs[i] = w.feedAll(ctx, msgs, hook)
+		})
 	}
-	wg.Wait()
+	s.pool.Wait()
+	s.dispatchMu.Unlock()
 	if live == 0 {
 		return nil, fmt.Errorf("flash: all %d subspaces are quarantined: %w", len(s.workers), ErrSubspacePoisoned)
 	}
+	// Merge in (message, subspace) order — exactly the concatenation a
+	// sequential Feed loop would produce.
 	var out []Result
-	for i := range s.workers {
-		if errs[i] != nil {
-			return nil, errs[i]
+	for mi := range msgs {
+		for i := range s.workers {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			if mi < len(results[i]) {
+				out = append(out, results[i][mi]...)
+			}
 		}
-		out = append(out, results[i]...)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Subspace < out[j].Subspace })
+	// Workers are iterated in subspace order, so out is already sorted by
+	// (message index, subspace) — the same order a sequential Feed loop
+	// (which sorts each message's results by subspace) would emit.
 	return out, nil
 }
 
@@ -823,12 +1049,34 @@ func (s *System) ModelFingerprint(epoch string) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-func (w *sysWorker) feed(ctx context.Context, m Msg) ([]Result, error) {
+// feedAll applies a batch of messages in order under one lock
+// acquisition. The returned slice is indexed by message position; a
+// context cancellation mid-batch returns the error with the results of
+// the messages already applied (a message that has started applying
+// always finishes, keeping the per-subspace model consistent). hook,
+// when non-nil, runs before each message (test seam).
+func (w *sysWorker) feedAll(ctx context.Context, msgs []Msg, hook func(Msg)) ([][]Result, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	out := make([][]Result, 0, len(msgs))
+	for _, m := range msgs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if hook != nil {
+			hook(m)
+		}
+		rs, err := w.feedOne(m)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rs)
 	}
+	return out, nil
+}
+
+// feedOne applies one message; callers hold w.mu.
+func (w *sysWorker) feedOne(m Msg) ([]Result, error) {
 	var start time.Time
 	if w.feedNs != nil {
 		start = time.Now()

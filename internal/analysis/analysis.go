@@ -36,6 +36,7 @@ import (
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockbdd"
 	"repro/internal/analysis/obshook"
+	"repro/internal/analysis/stealsafe"
 )
 
 // All returns the flashvet analyzer suite.
@@ -46,6 +47,7 @@ func All() []*framework.Analyzer {
 		ctxfeed.Analyzer,
 		lockbdd.Analyzer,
 		errwrapped.Analyzer,
+		stealsafe.Analyzer,
 	}
 }
 

@@ -1,0 +1,92 @@
+// Package stealsafe enforces the work-stealing scheduler's deque
+// encapsulation: outside the deque's own methods, code may not touch a
+// deque's fields.
+//
+// The scheduler's correctness argument (internal/sched) rests on a
+// small protocol — a home token exists in at most one deque, owners pop
+// from the front, thieves steal from the back, and every access happens
+// under the deque's mutex. That protocol lives entirely inside the
+// deque's method set; a stray `d.items` or `d.mu` in Pool code would
+// bypass the lock (a data race the race detector only catches when a
+// test happens to interleave badly) or break token uniqueness. The
+// check is syntactic and total: within packages named "sched", any
+// field selection on a value of type deque (or *deque) outside a method
+// whose receiver is deque is flagged. Method calls on a deque are, of
+// course, fine — they are the sanctioned surface.
+package stealsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the stealsafe pass.
+var Analyzer = &framework.Analyzer{
+	Name: "stealsafe",
+	Doc:  "flag deque field access outside the deque's own methods in the work-stealing scheduler",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Name() != "sched" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isDequeMethod(pass, fn) {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isDequeMethod reports whether fn's receiver is deque or *deque —
+// the only scope allowed to touch deque fields. Function literals do
+// not get this privilege: a closure inside a deque method is still
+// outside code for the purposes of the protocol.
+func isDequeMethod(pass *framework.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	return isDeque(tv.Type)
+}
+
+func isDeque(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return framework.NamedIn(t, "sched", "deque")
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !isDeque(tv.Type) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"deque field %s accessed outside the deque's methods; all deque access must go through its method set (push/pop/steal hold the lock and preserve token uniqueness)",
+			sel.Sel.Name)
+		return true
+	})
+}

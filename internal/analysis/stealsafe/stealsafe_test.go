@@ -1,0 +1,12 @@
+package stealsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stealsafe"
+)
+
+func TestStealSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), stealsafe.Analyzer, "sched")
+}

@@ -1,0 +1,73 @@
+// Package sched is a miniature of the real scheduler: a deque whose
+// fields are protocol-private to its method set, plus pool code that
+// reaches into it both legally (method calls) and illegally (field
+// access).
+package sched
+
+import "sync"
+
+type deque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (d *deque) pushBack(h int) {
+	d.mu.Lock() // fine: deque's own method
+	d.items = append(d.items, h)
+	d.mu.Unlock()
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	h := d.items[0]
+	d.items = d.items[1:]
+	return h, true
+}
+
+func (d deque) size() int { // value receiver is still a deque method
+	return len(d.items)
+}
+
+type Pool struct {
+	deques []deque
+}
+
+func (p *Pool) Submit(h int) {
+	p.deques[0].pushBack(h) // fine: the sanctioned method surface
+}
+
+func (p *Pool) Drain() {
+	for {
+		if _, ok := p.deques[0].popFront(); !ok {
+			return
+		}
+	}
+}
+
+func (p *Pool) badPeek() int {
+	return len(p.deques[0].items) // want `deque field items accessed outside the deque's methods`
+}
+
+func (p *Pool) badSteal() (int, bool) {
+	d := &p.deques[0]
+	d.mu.Lock()                   // want `deque field mu accessed outside the deque's methods`
+	defer d.mu.Unlock()           // want `deque field mu accessed outside the deque's methods`
+	if n := len(d.items); n > 0 { // want `deque field items accessed outside the deque's methods`
+		h := d.items[n-1]       // want `deque field items accessed outside the deque's methods`
+		d.items = d.items[:n-1] // want `deque field items` `deque field items`
+		return h, true
+	}
+	return 0, false
+}
+
+// Acknowledged introspection: the directive is the documented escape
+// hatch, e.g. for a white-box test helper.
+//
+//flashvet:allow stealsafe — read-only invariant probe, lock not needed in tests
+func (p *Pool) debugDepth() int {
+	return len(p.deques[0].items)
+}

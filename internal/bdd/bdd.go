@@ -16,9 +16,16 @@
 //
 // Engines are not safe for concurrent use; Flash gives each subspace
 // verifier its own Engine, mirroring the paper's per-verifier JDD instance.
+// The activity counters (Ops, CacheStats, CacheEvictions) are the one
+// exception: they are atomics, so observability samplers and admin
+// handlers may read them lock-free while the owning worker mutates the
+// engine.
 package bdd
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Ref is a reference to a BDD node. The terminals are the constants False
 // and True; all other Refs index into the owning Engine's node store.
@@ -44,17 +51,26 @@ type cacheKey struct {
 	f, g, h Ref
 }
 
+// DefaultCacheLimit bounds the ITE computed cache of a new Engine, in
+// entries. One entry is ~28 bytes of map payload, so the default caps a
+// single engine's cache around 30 MB; engines are per subspace worker,
+// so total cache memory scales with the subspace count, not the
+// workload. SetCacheLimit overrides it per engine.
+const DefaultCacheLimit = 1 << 20
+
 // Engine owns a universe of BDD nodes over a fixed number of Boolean
 // variables. Variable i is tested before variable j whenever i < j.
 type Engine struct {
-	nvars  int
-	nodes  []node
-	unique map[uint64]Ref
-	cache  map[cacheKey]Ref
-	ops    uint64 // user-level predicate operations (∧, ∨, ¬)
+	nvars      int
+	nodes      []node
+	unique     map[uint64]Ref
+	cache      map[cacheKey]Ref
+	cacheLimit int           // max computed-cache entries; <= 0 means unbounded
+	ops        atomic.Uint64 // user-level predicate operations (∧, ∨, ¬)
 
-	cacheHits   uint64 // ITE computed-cache hits
-	cacheMisses uint64 // ITE computed-cache misses (recursive computations)
+	cacheHits      atomic.Uint64 // ITE computed-cache hits
+	cacheMisses    atomic.Uint64 // ITE computed-cache misses (recursive computations)
+	cacheEvictions atomic.Uint64 // computed-cache resets forced by the size cap
 }
 
 // New returns an Engine over nvars Boolean variables. nvars must be
@@ -64,10 +80,11 @@ func New(nvars int) *Engine {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", nvars))
 	}
 	e := &Engine{
-		nvars:  nvars,
-		nodes:  make([]node, 2, 1024),
-		unique: make(map[uint64]Ref, 1024),
-		cache:  make(map[cacheKey]Ref, 1024),
+		nvars:      nvars,
+		nodes:      make([]node, 2, 1024),
+		unique:     make(map[uint64]Ref, 1024),
+		cache:      make(map[cacheKey]Ref, 1024),
+		cacheLimit: DefaultCacheLimit,
 	}
 	// Terminals occupy slots 0 and 1 with a sentinel level below all
 	// variables so cofactor logic never descends into them.
@@ -85,18 +102,47 @@ func (e *Engine) NumNodes() int { return len(e.nodes) }
 
 // Ops reports the cumulative number of user-level predicate operations
 // (conjunction, disjunction, negation) performed so far, as counted in
-// §3.3 of the paper.
-func (e *Engine) Ops() uint64 { return e.ops }
+// §3.3 of the paper. It is safe to call concurrently with engine
+// mutation (the counter is atomic).
+func (e *Engine) Ops() uint64 { return e.ops.Load() }
 
 // ResetOps zeroes the predicate-operation counter.
-func (e *Engine) ResetOps() { e.ops = 0 }
+func (e *Engine) ResetOps() { e.ops.Store(0) }
 
-// CacheStats reports the ITE computed-cache hit and miss totals since the
-// engine was created. Like every Engine method it must be called by the
-// goroutine that owns the engine (or under the owner's lock); Flash's
-// observability layer samples it from a Func gauge that takes the
-// subspace worker's mutex.
-func (e *Engine) CacheStats() (hits, misses uint64) { return e.cacheHits, e.cacheMisses }
+// CacheStats reports the ITE computed-cache hit and miss totals since
+// the engine was created. Unlike the structural Engine methods, it is
+// safe to call concurrently with engine mutation: the counters are
+// atomics, so admin handlers and observability samplers read them
+// without taking the owning worker's lock.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.cacheHits.Load(), e.cacheMisses.Load()
+}
+
+// CacheEvictions reports how many times the computed cache was dropped
+// because it reached the size cap. Safe for concurrent use.
+func (e *Engine) CacheEvictions() uint64 { return e.cacheEvictions.Load() }
+
+// CacheLimit reports the computed-cache entry cap (<= 0 = unbounded).
+// Owner-only, like all structural methods.
+func (e *Engine) CacheLimit() int { return e.cacheLimit }
+
+// SetCacheLimit caps the ITE computed cache at n entries; when an
+// insertion would exceed the cap the whole cache is dropped (the
+// cheapest possible eviction — correctness is unaffected because the
+// cache is a pure memo table, and hash-consed nodes stay alive). n <= 0
+// removes the bound. Owner-only.
+func (e *Engine) SetCacheLimit(n int) {
+	e.cacheLimit = n
+	if n > 0 && len(e.cache) >= n {
+		e.evictCache()
+	}
+}
+
+// evictCache drops the computed table and counts the eviction.
+func (e *Engine) evictCache() {
+	e.cache = make(map[cacheKey]Ref, 1024)
+	e.cacheEvictions.Add(1)
+}
 
 // mk returns the canonical node (level, lo, hi), creating it if needed.
 func (e *Engine) mk(level int32, lo, hi Ref) Ref {
@@ -144,10 +190,10 @@ func (e *Engine) ite(f, g, h Ref) Ref {
 	}
 	key := cacheKey{f, g, h}
 	if r, ok := e.cache[key]; ok {
-		e.cacheHits++
+		e.cacheHits.Add(1)
 		return r
 	}
-	e.cacheMisses++
+	e.cacheMisses.Add(1)
 	nf, ng, nh := e.nodes[f], e.nodes[g], e.nodes[h]
 	top := nf.level
 	if ng.level < top {
@@ -162,6 +208,12 @@ func (e *Engine) ite(f, g, h Ref) Ref {
 	lo := e.ite(f0, g0, h0)
 	hi := e.ite(f1, g1, h1)
 	r := e.mk(top, lo, hi)
+	if e.cacheLimit > 0 && len(e.cache) >= e.cacheLimit {
+		// Dropping mid-computation is safe: outer recursion levels
+		// recompute their subresults at worst, and node identity is
+		// preserved by the unique table.
+		e.evictCache()
+	}
 	e.cache[key] = r
 	return r
 }
@@ -177,45 +229,45 @@ func cofactor(n node, r Ref, top int32) (lo, hi Ref) {
 
 // And returns a ∧ b and counts one predicate operation.
 func (e *Engine) And(a, b Ref) Ref {
-	e.ops++
+	e.ops.Add(1)
 	return e.ite(a, b, False)
 }
 
 // Or returns a ∨ b and counts one predicate operation.
 func (e *Engine) Or(a, b Ref) Ref {
-	e.ops++
+	e.ops.Add(1)
 	return e.ite(a, True, b)
 }
 
 // Not returns ¬a and counts one predicate operation.
 func (e *Engine) Not(a Ref) Ref {
-	e.ops++
+	e.ops.Add(1)
 	return e.ite(a, False, True)
 }
 
 // Diff returns a ∧ ¬b. It counts as two predicate operations (a negation
 // and a conjunction), matching how the paper's pseudocode composes it.
 func (e *Engine) Diff(a, b Ref) Ref {
-	e.ops += 2
+	e.ops.Add(2)
 	return e.ite(b, False, a)
 }
 
 // Xor returns a ⊕ b, counted as one operation.
 func (e *Engine) Xor(a, b Ref) Ref {
-	e.ops++
+	e.ops.Add(1)
 	return e.ite(a, e.ite(b, False, True), b)
 }
 
 // Implies reports whether a ⇒ b holds for all assignments, i.e. a ∧ ¬b = ∅.
 // It performs one (counted) predicate operation.
 func (e *Engine) Implies(a, b Ref) bool {
-	e.ops++
+	e.ops.Add(1)
 	return e.ite(a, b, True) == True
 }
 
 // Overlaps reports whether a ∧ b is non-empty. One counted operation.
 func (e *Engine) Overlaps(a, b Ref) bool {
-	e.ops++
+	e.ops.Add(1)
 	return e.ite(a, b, False) != False
 }
 
@@ -351,7 +403,7 @@ func (e *Engine) Exists(r Ref, vars []int) Ref {
 			panic("bdd: Exists variables must be strictly increasing")
 		}
 	}
-	e.ops += uint64(len(vars))
+	e.ops.Add(uint64(len(vars)))
 	memo := make(map[Ref]Ref)
 	var rec func(r Ref, vi int) Ref
 	rec = func(r Ref, vi int) Ref {

@@ -1,0 +1,113 @@
+package bdd
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCounterReadsRaceWithMutation pins the concurrency contract of the
+// activity counters: Ops, CacheStats and CacheEvictions may be read by
+// the admin handler / observability samplers while the owning worker is
+// mutating the engine. Before the counters became atomics this test
+// failed under -race (the sampler read the plain uint64 fields the ITE
+// recursion was incrementing); it must keep passing under -race.
+func TestCounterReadsRaceWithMutation(t *testing.T) {
+	e := New(32)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var sink uint64
+		for {
+			select {
+			case <-stop:
+				_ = sink
+				return
+			default:
+			}
+			h, m := e.CacheStats()
+			sink += h + m + e.Ops() + e.CacheEvictions()
+		}
+	}()
+	deadline := time.Now().Add(100 * time.Millisecond)
+	r := True
+	for i := 0; time.Now().Before(deadline); i++ {
+		v := e.Var(i % 32)
+		if i%2 == 0 {
+			r = e.And(r, e.Or(v, e.Not(r)))
+		} else {
+			r = e.Or(r, e.And(v, e.Not(r)))
+		}
+	}
+	close(stop)
+	<-done
+}
+
+// TestCacheLimitEvicts proves the computed cache stays bounded and that
+// eviction does not change results: the same expression DAG is built
+// with an unbounded cache and with a tiny cap, and both engines must
+// agree on every predicate (hash consing makes Ref equality semantic
+// equality, so comparing evaluation under probes is sufficient across
+// engines).
+func TestCacheLimitEvicts(t *testing.T) {
+	build := func(e *Engine) Ref {
+		r := False
+		for i := 0; i < 16; i++ {
+			cube := True
+			for j := 0; j < 16; j++ {
+				if (i>>uint(j%4))&1 == 1 {
+					cube = e.And(cube, e.Var(j))
+				} else {
+					cube = e.And(cube, e.Not(e.Var(j)))
+				}
+			}
+			r = e.Or(r, cube)
+		}
+		return r
+	}
+	unbounded := New(16)
+	unbounded.SetCacheLimit(0)
+	capped := New(16)
+	capped.SetCacheLimit(8)
+
+	ru := build(unbounded)
+	rc := build(capped)
+
+	if unbounded.CacheEvictions() != 0 {
+		t.Fatalf("unbounded engine evicted %d times", unbounded.CacheEvictions())
+	}
+	if capped.CacheEvictions() == 0 {
+		t.Fatal("capped engine never evicted; cap not enforced")
+	}
+	if len(capped.cache) > 8 {
+		t.Fatalf("cache holds %d entries, cap is 8", len(capped.cache))
+	}
+	// Exhaustive agreement over all 2^16 assignments.
+	asg := make([]bool, 16)
+	for x := 0; x < 1<<16; x++ {
+		for b := 0; b < 16; b++ {
+			asg[b] = x>>uint(b)&1 == 1
+		}
+		if unbounded.Eval(ru, asg) != capped.Eval(rc, asg) {
+			t.Fatalf("eviction changed semantics at assignment %v", asg)
+		}
+	}
+}
+
+func TestSetCacheLimitTrimsExisting(t *testing.T) {
+	e := New(16)
+	r := False
+	for i := 0; i < 8; i++ {
+		r = e.Or(r, e.And(e.Var(i), e.Not(e.Var((i+3)%16))))
+	}
+	if len(e.cache) == 0 {
+		t.Fatal("test needs a warm cache")
+	}
+	e.SetCacheLimit(1)
+	if e.CacheEvictions() == 0 {
+		t.Fatal("SetCacheLimit below current size must evict immediately")
+	}
+	if got := e.CacheLimit(); got != 1 {
+		t.Fatalf("CacheLimit = %d, want 1", got)
+	}
+}

@@ -1,0 +1,135 @@
+package imt
+
+import (
+	"repro/internal/fib"
+	"repro/internal/obs"
+)
+
+// Coalesce merges consecutive blocks for the same device into one block,
+// preserving update order. Fast IMT's Map stage (§3.2) already merges
+// the updates *within* one block into atomic overwrites; coalescing
+// ahead of it means a burst of small same-device blocks pays the
+// decompose + MR2 pipeline once instead of once per block. Blocks for
+// different devices are never merged and never reordered, so the
+// per-device update sequence — the invariant CE2D and the differential
+// oracles rely on — is untouched. The input is not modified.
+func Coalesce(blocks []fib.Block) []fib.Block {
+	out := make([]fib.Block, 0, len(blocks))
+	for _, b := range blocks {
+		if n := len(out); n > 0 && out[n-1].Device == b.Device {
+			out[n-1].Updates = append(out[n-1].Updates, b.Updates...)
+			continue
+		}
+		// Copy the update slice so appending to a coalesced block never
+		// scribbles over a caller-owned array.
+		nb := fib.Block{Device: b.Device, Updates: append([]fib.Update(nil), b.Updates...)}
+		out = append(out, nb)
+	}
+	return out
+}
+
+// BatchStats counts Batcher activity.
+type BatchStats struct {
+	Blocks    int // blocks accepted by Add
+	Coalesced int // blocks merged into a same-device predecessor
+	Updates   int // native updates accepted by Add
+	Flushes   int // ApplyBlock invocations issued
+}
+
+// Batcher buffers update blocks ahead of a Transformer and flushes them
+// through ApplyBlock as one batch, coalescing consecutive same-device
+// blocks on the way in. Max bounds the buffered native-update count; a
+// batch also flushes explicitly at epoch boundaries (the flash package
+// calls Flush before any model query and at every epoch barrier, so a
+// bounded batch can never delay a result indefinitely).
+//
+// A Batcher has the same ownership rules as its Transformer: one
+// goroutine at a time, or the owner's lock held.
+type Batcher struct {
+	T *Transformer
+	// Max is the flush threshold in buffered native updates. Values <= 1
+	// disable buffering (every Add flushes immediately), so batch=1
+	// reproduces unbatched behavior exactly.
+	Max int
+
+	pending  []fib.Block
+	buffered int
+	stats    BatchStats
+
+	m batchMetrics
+}
+
+// batchMetrics holds resolved observability handles; zero value = off.
+type batchMetrics struct {
+	coalesced *obs.Counter
+	flushes   *obs.Counter
+	updates   *obs.Counter
+}
+
+// NewBatcher wraps a transformer with a bounded batch buffer.
+func NewBatcher(t *Transformer, max int) *Batcher {
+	return &Batcher{T: t, Max: max}
+}
+
+// Instrument publishes batch counters under r. Instrument(nil) is a
+// no-op; handles resolve once, keeping the hot path allocation-free.
+func (b *Batcher) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	b.m = batchMetrics{
+		coalesced: r.Counter("batch_coalesced"),
+		flushes:   r.Counter("batch_flushes"),
+		updates:   r.Counter("batch_updates"),
+	}
+}
+
+// Stats returns the activity counters.
+func (b *Batcher) Stats() BatchStats { return b.stats }
+
+// Pending reports the number of native updates currently buffered.
+func (b *Batcher) Pending() int { return b.buffered }
+
+// Add buffers one batch of blocks, coalescing each into the previous
+// pending block when the device matches, and flushes once the buffered
+// update count reaches Max. With Max <= 1 it degenerates to a direct
+// ApplyBlock call.
+func (b *Batcher) Add(blocks []fib.Block) error {
+	for _, blk := range blocks {
+		n := len(blk.Updates)
+		b.stats.Blocks++
+		b.stats.Updates += n
+		b.m.updates.Add(int64(n))
+		if k := len(b.pending); k > 0 && b.pending[k-1].Device == blk.Device {
+			b.pending[k-1].Updates = append(b.pending[k-1].Updates, blk.Updates...)
+			b.stats.Coalesced++
+			b.m.coalesced.Inc()
+		} else {
+			nb := fib.Block{Device: blk.Device, Updates: append([]fib.Update(nil), blk.Updates...)}
+			b.pending = append(b.pending, nb)
+		}
+		b.buffered += n
+		if b.Max <= 1 || b.buffered >= b.Max {
+			if err := b.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush applies all pending blocks through the transformer in one
+// ApplyBlock and clears the buffer. Pending state is dropped even on
+// error (the transformer treats block errors as caller bugs; retrying
+// the same batch would fail the same way).
+func (b *Batcher) Flush() error {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	blocks := b.pending
+	b.pending = nil
+	b.buffered = 0
+	b.stats.Flushes++
+	b.m.flushes.Inc()
+	return b.T.ApplyBlock(blocks)
+}

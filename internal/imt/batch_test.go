@@ -1,0 +1,162 @@
+package imt
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/obs"
+	"repro/internal/pat"
+)
+
+func TestCoalesceMergesConsecutiveSameDevice(t *testing.T) {
+	s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+	r := func(id int) fib.Rule {
+		return fib.Rule{ID: int64(id), Match: s.Prefix("dst", uint64(id), 8), Pri: 1, Action: fib.Forward(9)}
+	}
+	blocks := []fib.Block{
+		ins(0, r(1)), ins(0, r(2)), ins(1, r(3)), ins(0, r(4)), ins(0, r(5)),
+	}
+	out := Coalesce(blocks)
+	if len(out) != 3 {
+		t.Fatalf("coalesced to %d blocks, want 3 (dev0 x2, dev1, dev0 x2)", len(out))
+	}
+	if out[0].Device != 0 || len(out[0].Updates) != 2 {
+		t.Fatalf("block 0 = dev %d with %d updates, want dev 0 with 2", out[0].Device, len(out[0].Updates))
+	}
+	if out[1].Device != 1 || len(out[1].Updates) != 1 {
+		t.Fatalf("block 1 = dev %d with %d updates, want dev 1 with 1", out[1].Device, len(out[1].Updates))
+	}
+	if out[2].Device != 0 || len(out[2].Updates) != 2 {
+		t.Fatalf("block 2 = dev %d with %d updates, want dev 0 with 2 (no reorder across dev 1)", out[2].Device, len(out[2].Updates))
+	}
+	// Order within the merged block is submission order.
+	if out[0].Updates[0].Rule.ID != 1 || out[0].Updates[1].Rule.ID != 2 {
+		t.Fatalf("merged updates out of order: %+v", out[0].Updates)
+	}
+	// Input blocks are untouched.
+	if len(blocks[0].Updates) != 1 {
+		t.Fatalf("Coalesce mutated its input")
+	}
+}
+
+// TestBatcherEquivalence proves batching is semantics-free: the same
+// update stream applied through batchers of different sizes (including
+// the degenerate Max=1 pass-through) yields byte-identical models.
+func TestBatcherEquivalence(t *testing.T) {
+	stream := func() []fib.Block {
+		var out []fib.Block
+		for i := 0; i < 40; i++ {
+			dev := fib.DeviceID(i % 3)
+			out = append(out, fib.Block{Device: dev, Updates: []fib.Update{{
+				Op: fib.Insert,
+				Rule: fib.Rule{
+					ID:     int64(i + 1),
+					Pri:    int32(i % 7),
+					Action: fib.Forward(fib.DeviceID(5 + i%2)),
+				},
+			}}})
+		}
+		return out
+	}
+
+	type run struct {
+		tr *Transformer
+		s  *hs.Space
+	}
+	apply := func(max int) run {
+		s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+		tr := NewTransformer(s.E, pat.NewStore(), bdd.True)
+		b := NewBatcher(tr, max)
+		for _, blk := range stream() {
+			// Compile the match on this engine.
+			blk.Updates[0].Rule.Match = s.Prefix("dst", uint64(blk.Updates[0].Rule.ID%16)*16, 4)
+			if err := b.Add([]fib.Block{blk}); err != nil {
+				t.Fatalf("max=%d: %v", max, err)
+			}
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatalf("max=%d flush: %v", max, err)
+		}
+		if b.Pending() != 0 {
+			t.Fatalf("max=%d: %d updates still pending after Flush", max, b.Pending())
+		}
+		return run{tr, s}
+	}
+
+	base := apply(1)
+	for _, max := range []int{4, 16, 1 << 20} {
+		got := apply(max)
+		if got.tr.Model().Len() != base.tr.Model().Len() {
+			t.Fatalf("max=%d: %d ECs, want %d", max, got.tr.Model().Len(), base.tr.Model().Len())
+		}
+		// Probe every header: per-device behavior must match.
+		for x := 0; x < 256; x++ {
+			asgB := base.s.Assignment([]uint64{uint64(x)})
+			asgG := got.s.Assignment([]uint64{uint64(x)})
+			for _, dev := range base.tr.Devices() {
+				vb, okb := base.tr.Model().Lookup(base.tr.E, asgB)
+				vg, okg := got.tr.Model().Lookup(got.tr.E, asgG)
+				if okb != okg {
+					t.Fatalf("max=%d header %d: coverage mismatch", max, x)
+				}
+				if base.tr.Store.Get(vb, dev) != got.tr.Store.Get(vg, dev) {
+					t.Fatalf("max=%d header %d dev %d: behavior diverged", max, x, dev)
+				}
+			}
+		}
+	}
+}
+
+func TestBatcherBoundsAndCounters(t *testing.T) {
+	s := hs.NewSpace(hs.NewLayout(hs.Field{Name: "dst", Bits: 8}))
+	tr := NewTransformer(s.E, pat.NewStore(), bdd.True)
+	b := NewBatcher(tr, 4)
+	reg := obs.NewRegistry("batch-test")
+	b.Instrument(reg)
+	b.Instrument(nil) // no-op
+
+	blk := func(dev int, id int) fib.Block {
+		return fib.Block{Device: fib.DeviceID(dev), Updates: []fib.Update{{
+			Op:   fib.Insert,
+			Rule: fib.Rule{ID: int64(id), Match: s.Prefix("dst", uint64(id), 8), Pri: 1, Action: fib.Forward(9)},
+		}}}
+	}
+	// Three same-device single-update blocks: buffered (3 < 4), two
+	// coalesced into the first.
+	for i := 1; i <= 3; i++ {
+		if err := b.Add([]fib.Block{blk(0, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", b.Pending())
+	}
+	if st := b.Stats(); st.Coalesced != 2 || st.Flushes != 0 {
+		t.Fatalf("stats = %+v, want 2 coalesced, 0 flushes", st)
+	}
+	// Fourth update reaches Max: flush fires.
+	if err := b.Add([]fib.Block{blk(1, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending = %d after reaching Max, want 0", b.Pending())
+	}
+	st := b.Stats()
+	if st.Flushes != 1 || st.Blocks != 4 || st.Updates != 4 {
+		t.Fatalf("stats = %+v, want 1 flush / 4 blocks / 4 updates", st)
+	}
+	// The whole batch went through one MR2 pass carrying all 4 updates —
+	// that single shared pipeline invocation is the amortization win.
+	if tr.Stats().Blocks != 1 || tr.Stats().Updates != 4 {
+		t.Fatalf("transformer stats = %+v, want 1 MR2 pass with 4 updates", tr.Stats())
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("batch_flushes"); !ok || v != 1 {
+		t.Fatalf("batch_flushes = %d (ok=%v), want 1", v, ok)
+	}
+	if v, ok := snap.Get("batch_coalesced"); !ok || v != 2 {
+		t.Fatalf("batch_coalesced = %d (ok=%v), want 2", v, ok)
+	}
+}

@@ -1,0 +1,311 @@
+// Package sched implements the work-stealing scheduler behind Flash's
+// parallel subspace execution (§3.4 of the paper). The unit of work is a
+// task bound to a "home" — in the flash package a home is a subspace —
+// and the scheduler guarantees per-home serialization and FIFO order:
+// two tasks submitted to the same home never run concurrently and never
+// reorder. Across homes, tasks run in parallel on a bounded set of
+// workers, and an idle worker steals queued homes from the busiest
+// peer, so one hot subspace no longer serializes the whole epoch behind
+// a static subspace→worker assignment.
+//
+// The scheduling granularity is a whole home, not an individual task:
+// when a home's queue transitions empty→non-empty, a single token for
+// that home is pushed onto a worker's deque; whichever worker pops (or
+// steals) the token drains the home's queue to empty. Stealing a token
+// therefore migrates all of a subspace's pending blocks at once, which
+// preserves the per-device update order that CE2D (§4.1) and the Fast
+// IMT merge (§3.2) both rely on.
+//
+// Pool.Wait is the epoch barrier: it runs every submitted task to
+// completion before returning, so callers get the same
+// all-subspaces-done semantics the previous WaitGroup fan-out had.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Task is one unit of work. Tasks must handle their own errors (the
+// scheduler only transports panics, see Wait).
+type Task func()
+
+// Stats is a point-in-time snapshot of scheduler activity counters.
+type Stats struct {
+	Tasks      uint64 // tasks run to completion (panicking tasks excluded)
+	Steals     uint64 // home tokens taken from another worker's deque
+	Dispatches uint64 // Wait barriers executed
+}
+
+// Pool schedules tasks across a fixed set of workers with per-home FIFO
+// serialization and work stealing. The zero value is not usable; call
+// NewPool.
+//
+// Concurrency contract: Submit may be called concurrently with other
+// Submits and from inside running tasks, but not concurrently with
+// Wait's return (Wait is a barrier; the flash package calls
+// Submit+Wait under its own per-dispatch critical section). Stats and
+// the instrumented gauges are safe at any time.
+type Pool struct {
+	nworkers int
+	homes    []homeState
+	deques   []deque
+
+	pending    atomic.Int64 // submitted but not yet completed tasks
+	tasks      atomic.Uint64
+	steals     atomic.Uint64
+	dispatches atomic.Uint64
+
+	panicMu  sync.Mutex
+	panicVal any // first unrecovered task panic of the current dispatch
+}
+
+// homeState is one home's FIFO task queue. scheduled is true while a
+// token for this home sits in a deque or a worker is draining the
+// queue; it guarantees at most one runner per home.
+type homeState struct {
+	mu        sync.Mutex
+	queue     []Task
+	scheduled bool
+}
+
+// deque holds home tokens owned by one worker. The owner pops from the
+// front; thieves steal from the back. All access goes through the
+// methods below — the stealsafe flashvet analyzer enforces that no
+// other code reaches into the fields.
+type deque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (d *deque) pushBack(h int) {
+	d.mu.Lock()
+	d.items = append(d.items, h)
+	d.mu.Unlock()
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	h := d.items[0]
+	d.items = d.items[1:]
+	if len(d.items) == 0 {
+		d.items = nil
+	}
+	return h, true
+}
+
+func (d *deque) stealBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	h := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return h, true
+}
+
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// NewPool creates a scheduler for the given number of homes. workers <=
+// 0 selects GOMAXPROCS; the count is clamped to [1, homes] because a
+// home token is the unit of parallelism — extra workers could never
+// find work.
+func NewPool(workers, homes int) *Pool {
+	if homes < 1 {
+		homes = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > homes {
+		workers = homes
+	}
+	return &Pool{
+		nworkers: workers,
+		homes:    make([]homeState, homes),
+		deques:   make([]deque, workers),
+	}
+}
+
+// Workers reports the worker count the pool was built with.
+func (p *Pool) Workers() int { return p.nworkers }
+
+// Homes reports the number of homes.
+func (p *Pool) Homes() int { return len(p.homes) }
+
+// Stats returns a snapshot of the activity counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Tasks:      p.tasks.Load(),
+		Steals:     p.steals.Load(),
+		Dispatches: p.dispatches.Load(),
+	}
+}
+
+// Instrument publishes the scheduler counters as sampled gauges under
+// r. Instrument(nil) is a no-op.
+func (p *Pool) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Func("workers", func() int64 { return int64(p.nworkers) })
+	r.Func("tasks", func() int64 { return int64(p.tasks.Load()) })
+	r.Func("steals", func() int64 { return int64(p.steals.Load()) })
+	r.Func("dispatches", func() int64 { return int64(p.dispatches.Load()) })
+}
+
+// Submit enqueues a task on a home's FIFO queue. If the home was idle,
+// a token for it is pushed onto the deque of the home's preferred
+// worker (home mod workers); the token migrates only by stealing.
+func (p *Pool) Submit(home int, t Task) {
+	if t == nil {
+		return
+	}
+	if home < 0 || home >= len(p.homes) {
+		panic(fmt.Sprintf("sched: home %d out of range [0,%d)", home, len(p.homes)))
+	}
+	p.pending.Add(1)
+	hs := &p.homes[home]
+	hs.mu.Lock()
+	hs.queue = append(hs.queue, t)
+	wasScheduled := hs.scheduled
+	hs.scheduled = true
+	hs.mu.Unlock()
+	if !wasScheduled {
+		p.deques[home%p.nworkers].pushBack(home)
+	}
+}
+
+// Wait runs all submitted tasks to completion and returns — the epoch
+// barrier. Worker goroutines live only for the duration of one barrier,
+// so an idle Pool holds no goroutines and needs no Close. If a task
+// panicked (without recovering itself), Wait re-panics with the first
+// such value after the barrier completes, so sibling subspaces still
+// finish and no task is lost.
+func (p *Pool) Wait() {
+	p.dispatches.Add(1)
+	if p.pending.Load() == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p.nworkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.work(w)
+		}(w)
+	}
+	wg.Wait()
+	p.panicMu.Lock()
+	pv := p.panicVal
+	p.panicVal = nil
+	p.panicMu.Unlock()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// work is one worker's barrier loop: drain the own deque front, then
+// steal from the busiest peer's back, then spin briefly while other
+// workers still hold pending work (their homes may spawn follow-up
+// tasks we can steal).
+func (p *Pool) work(w int) {
+	idle := 0
+	for {
+		h, ok := p.deques[w].popFront()
+		if !ok {
+			h, ok = p.steal(w)
+			if ok {
+				p.steals.Add(1)
+			}
+		}
+		if !ok {
+			if p.pending.Load() <= 0 {
+				return
+			}
+			// Pending tasks exist but their home tokens are held by
+			// running workers; yield and re-check.
+			idle++
+			if idle < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		p.drain(h)
+	}
+}
+
+// steal takes a home token from the back of the busiest other worker's
+// deque.
+func (p *Pool) steal(w int) (int, bool) {
+	victim, max := -1, 0
+	for i := range p.deques {
+		if i == w {
+			continue
+		}
+		if n := p.deques[i].size(); n > max {
+			victim, max = i, n
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	return p.deques[victim].stealBack()
+}
+
+// drain runs one home's queue FIFO until empty, then releases the
+// home. Only one worker can be in drain for a given home (the
+// scheduled flag), which is what serializes same-home tasks.
+func (p *Pool) drain(home int) {
+	hs := &p.homes[home]
+	for {
+		hs.mu.Lock()
+		if len(hs.queue) == 0 {
+			hs.queue = nil
+			hs.scheduled = false
+			hs.mu.Unlock()
+			return
+		}
+		t := hs.queue[0]
+		hs.queue = hs.queue[1:]
+		hs.mu.Unlock()
+		p.runTask(t)
+	}
+}
+
+func (p *Pool) runTask(t Task) {
+	completed := false
+	defer func() {
+		p.pending.Add(-1)
+		if completed {
+			p.tasks.Add(1)
+			return
+		}
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = r
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	t()
+	completed = true
+}

@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := NewPool(4, 8)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Submit(i%8, func() { n.Add(1) })
+	}
+	p.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+	if st := p.Stats(); st.Tasks != 100 || st.Dispatches != 1 {
+		t.Fatalf("stats = %+v, want 100 tasks / 1 dispatch", st)
+	}
+}
+
+func TestPoolWaitIsABarrierAcrossDispatches(t *testing.T) {
+	p := NewPool(3, 5)
+	for round := 0; round < 10; round++ {
+		var n atomic.Int64
+		for i := 0; i < 20; i++ {
+			p.Submit(i%5, func() { n.Add(1) })
+		}
+		p.Wait()
+		if n.Load() != 20 {
+			t.Fatalf("round %d: ran %d tasks before barrier returned, want 20", round, n.Load())
+		}
+	}
+}
+
+func TestPoolClampsWorkers(t *testing.T) {
+	if got := NewPool(16, 4).Workers(); got != 4 {
+		t.Fatalf("workers = %d, want clamp to 4 homes", got)
+	}
+	if got := NewPool(0, 4).Workers(); got < 1 {
+		t.Fatalf("workers = %d, want >= 1 for default", got)
+	}
+	if got := NewPool(-3, 4).Homes(); got != 4 {
+		t.Fatalf("homes = %d, want 4", got)
+	}
+}
+
+func TestPoolEmptyWaitReturns(t *testing.T) {
+	p := NewPool(2, 2)
+	p.Wait() // must not hang with nothing submitted
+	p.Submit(0, nil)
+	p.Wait() // nil tasks are ignored
+	if st := p.Stats(); st.Tasks != 0 {
+		t.Fatalf("tasks = %d, want 0", st.Tasks)
+	}
+}
+
+func TestPoolSubmitFromInsideTask(t *testing.T) {
+	p := NewPool(2, 4)
+	var order []int
+	var mu sync.Mutex
+	p.Submit(1, func() {
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+		// Follow-up work discovered mid-task: same home keeps FIFO order,
+		// another home runs before the barrier releases.
+		p.Submit(1, func() {
+			mu.Lock()
+			order = append(order, 2)
+			mu.Unlock()
+		})
+		p.Submit(3, func() {
+			mu.Lock()
+			order = append(order, 3)
+			mu.Unlock()
+		})
+	})
+	p.Wait()
+	if len(order) != 3 || order[0] != 1 {
+		t.Fatalf("order = %v, want all 3 tasks with task 1 first", order)
+	}
+	// Same-home FIFO: 2 must appear after 1 (it does, 1 is first), and
+	// both same-home tasks ran exactly once.
+}
+
+func TestPoolPanicPropagatesAfterBarrier(t *testing.T) {
+	p := NewPool(2, 4)
+	var done atomic.Int64
+	for i := 0; i < 4; i++ {
+		i := i
+		p.Submit(i, func() {
+			if i == 2 {
+				panic("boom")
+			}
+			done.Add(1)
+		})
+	}
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.Wait()
+	}()
+	if recovered != "boom" {
+		t.Fatalf("recovered %v, want boom", recovered)
+	}
+	if done.Load() != 3 {
+		t.Fatalf("siblings ran %d times, want 3 (barrier completes before re-panic)", done.Load())
+	}
+	// The pool stays usable after a propagated panic.
+	p.Submit(0, func() { done.Add(1) })
+	p.Wait()
+	if done.Load() != 4 {
+		t.Fatalf("post-panic task did not run")
+	}
+}
+
+func TestPoolStealsFromBusyWorker(t *testing.T) {
+	// 2 workers, 4 homes: homes 0 and 2 land on worker 0's deque. Home 0
+	// blocks its runner until home 2 has executed — home 2 can only run
+	// if worker 1 steals it, so a completed barrier proves a steal.
+	p := NewPool(2, 4)
+	ranHot := make(chan struct{})
+	p.Submit(0, func() { <-ranHot })
+	p.Submit(2, func() { close(ranHot) })
+	p.Wait()
+	if st := p.Stats(); st.Steals == 0 {
+		t.Fatalf("stats = %+v, want at least one steal", st)
+	}
+}
+
+func TestPoolInstrument(t *testing.T) {
+	p := NewPool(2, 2)
+	reg := obs.NewRegistry("sched-test")
+	p.Instrument(reg.Sub("sched"))
+	p.Instrument(nil) // no-op
+	p.Submit(0, func() {})
+	p.Wait()
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("sched", "tasks"); !ok || v != 1 {
+		t.Fatalf("sched/tasks = %d (ok=%v), want 1", v, ok)
+	}
+	if v, ok := snap.Get("sched", "workers"); !ok || v != 2 {
+		t.Fatalf("sched/workers = %d (ok=%v), want 2", v, ok)
+	}
+}
+
+// TestPoolPropertyPerHomeOrdering is the quick-check property test
+// behind the differential suite's scheduling guarantees: across random
+// worker counts, home counts and task loads, the scheduler never
+// drops, duplicates, reorders, or concurrently runs tasks of the same
+// home — even when some tasks panic and recover (the poisoned-worker
+// shape from the fault-tolerance layer).
+func TestPoolPropertyPerHomeOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf1a54))
+	for iter := 0; iter < 60; iter++ {
+		workers := 1 + rng.Intn(8)
+		homes := 1 + rng.Intn(12)
+		rounds := 1 + rng.Intn(3)
+		p := NewPool(workers, homes)
+
+		got := make([][]int, homes)  // observed per-home sequence
+		want := make([][]int, homes) // submitted per-home sequence
+		running := make([]int32, homes)
+		var mu sync.Mutex
+
+		seq := 0
+		for r := 0; r < rounds; r++ {
+			ntasks := rng.Intn(120)
+			for i := 0; i < ntasks; i++ {
+				h := rng.Intn(homes)
+				id := seq
+				seq++
+				want[h] = append(want[h], id)
+				poison := rng.Intn(16) == 0
+				p.Submit(h, func() {
+					if atomic.AddInt32(&running[h], 1) != 1 {
+						t.Errorf("iter %d: two tasks of home %d ran concurrently", iter, h)
+					}
+					mu.Lock()
+					got[h] = append(got[h], id)
+					mu.Unlock()
+					atomic.AddInt32(&running[h], -1)
+					if poison {
+						// A task that fails and recovers internally (the
+						// quarantine path) must not disturb scheduling.
+						func() {
+							defer func() { _ = recover() }()
+							panic("poisoned")
+						}()
+					}
+				})
+			}
+			p.Wait()
+		}
+
+		for h := 0; h < homes; h++ {
+			if len(got[h]) != len(want[h]) {
+				t.Fatalf("iter %d home %d: ran %d tasks, submitted %d (dropped or duplicated)",
+					iter, h, len(got[h]), len(want[h]))
+			}
+			for i := range got[h] {
+				if got[h][i] != want[h][i] {
+					t.Fatalf("iter %d home %d: order %v, want %v (reordered)",
+						iter, h, got[h], want[h])
+				}
+			}
+		}
+	}
+}

@@ -343,6 +343,80 @@ func (w *Workload) ChurnSequence(factor int, seed int64) []DevUpdate {
 	return out
 }
 
+// SkewedChurn is ChurnSequence with a deliberately unbalanced churn
+// distribution: after the full insert storm, re-churned rules are drawn
+// from the "hot" subspace (the first of nsub prefix subspaces of the
+// dst field, as carved by Subspaces/flash.WithSubspaces) with
+// probability hotFrac, and uniformly from all live rules otherwise.
+// Under a static subspace→worker assignment the hot subspace's worker
+// serializes most of the epoch; the work-stealing scheduler benchmarks
+// use this sequence to measure how much of that serialization stealing
+// recovers. A rule belongs to the hot subspace when its dst prefix lies
+// entirely inside it (prefix length >= log2(nsub) and top bits zero);
+// rules that span subspaces count as cold. The sequence is
+// deterministic in seed, and every device's final table size equals its
+// initial one, like ChurnSequence.
+func (w *Workload) SkewedChurn(factor, nsub int, hotFrac float64, seed int64) []DevUpdate {
+	out := w.InsertSequence()
+	if factor <= 1 {
+		return out
+	}
+	bits := 0
+	for 1<<uint(bits) < nsub {
+		bits++
+	}
+	if 1<<uint(bits) != nsub {
+		panic(fmt.Sprintf("workload: subspace count %d is not a power of two", nsub))
+	}
+	width := w.Layout.FieldBits("dst")
+	isHot := func(r fib.Rule) bool {
+		for _, f := range r.Desc {
+			if f.Field != "dst" || f.Kind != fib.MatchPrefix {
+				continue
+			}
+			return f.Len >= bits && f.Value>>uint(width-bits) == 0
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type live struct {
+		dev  fib.DeviceID
+		rule fib.Rule
+	}
+	var hot, cold []live
+	for _, du := range out {
+		l := live{du.Dev, du.Update.Rule}
+		if isHot(l.rule) {
+			hot = append(hot, l)
+		} else {
+			cold = append(cold, l)
+		}
+	}
+	nextID := int64(1 << 32)
+	target := factor * (len(hot) + len(cold))
+	churn := func(pool []live) []live {
+		i := rng.Intn(len(pool))
+		l := pool[i]
+		out = append(out, DevUpdate{Dev: l.dev, Update: fib.Update{Op: fib.Delete, Rule: l.rule}})
+		nr := l.rule
+		nr.ID = nextID
+		nextID++
+		out = append(out, DevUpdate{Dev: l.dev, Update: fib.Update{Op: fib.Insert, Rule: nr}})
+		pool[i].rule = nr
+		return pool
+	}
+	for len(out) < target {
+		if len(hot) > 0 && (len(cold) == 0 || rng.Float64() < hotFrac) {
+			hot = churn(hot)
+		} else if len(cold) > 0 {
+			cold = churn(cold)
+		} else {
+			break
+		}
+	}
+	return out
+}
+
 // Chunk groups a flattened sequence into per-device blocks of at most
 // blockSize updates in arrival order — the block size threshold (BST)
 // mechanism of §5.2. blockSize <= 0 means one single block batch.

@@ -279,3 +279,64 @@ func TestChurnSequence(t *testing.T) {
 		}
 	}
 }
+
+func TestSkewedChurn(t *testing.T) {
+	w := TraceAPSP("x", topo.Internet2())
+	const nsub = 4
+	seq := w.SkewedChurn(5, nsub, 0.9, 42)
+	if len(seq) < 5*w.NumRules() {
+		t.Fatalf("skewed churn length %d, want ≥ %d", len(seq), 5*w.NumRules())
+	}
+
+	// The churned portion (everything after the insert storm) must
+	// actually be skewed: far more than 1/nsub of the churn deletes hit
+	// the hot subspace.
+	bits := 2 // log2(nsub)
+	width := w.Layout.FieldBits("dst")
+	hot, churned := 0, 0
+	for _, du := range seq[w.NumRules():] {
+		if du.Update.Op != fib.Delete {
+			continue
+		}
+		churned++
+		for _, f := range du.Update.Rule.Desc {
+			if f.Field == "dst" && f.Kind == fib.MatchPrefix &&
+				f.Len >= bits && f.Value>>uint(width-bits) == 0 {
+				hot++
+			}
+		}
+	}
+	if churned == 0 {
+		t.Fatal("no churn updates generated")
+	}
+	if frac := float64(hot) / float64(churned); frac < 0.7 {
+		t.Fatalf("hot-subspace churn fraction = %.2f, want ≥ 0.7 (skew lost)", frac)
+	}
+
+	// Applying the sequence stays valid and preserves final table sizes.
+	tr := imt.NewTransformer(w.Space.E, pat.NewStore(), bdd.True)
+	for _, batch := range Chunk(seq, 128) {
+		if err := tr.ApplyBlock(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumRules() != w.NumRules() {
+		t.Fatalf("skewed churn left %d rules, want %d", tr.NumRules(), w.NumRules())
+	}
+
+	// Deterministic per seed; different seeds diverge.
+	a, b := w.SkewedChurn(3, nsub, 0.8, 7), w.SkewedChurn(3, nsub, 0.8, 7)
+	if len(a) != len(b) {
+		t.Fatal("skewed churn not deterministic")
+	}
+	for i := range a {
+		if a[i].Dev != b[i].Dev || a[i].Update.Rule.ID != b[i].Update.Rule.ID {
+			t.Fatal("skewed churn not deterministic")
+		}
+	}
+
+	// factor ≤ 1 degenerates to the insert storm.
+	if got := w.SkewedChurn(1, nsub, 0.9, 1); len(got) != w.NumRules() {
+		t.Fatalf("factor 1 gave %d updates", len(got))
+	}
+}

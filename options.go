@@ -78,6 +78,27 @@ func WithSuccessors(succ func(DeviceID) []DeviceID) Option {
 	return optionFunc(func(c *Config) { c.Succ = succ })
 }
 
+// WithWorkers sets the number of scheduler workers that execute
+// subspace tasks (see Config.Workers). n <= 0 (the default) selects
+// GOMAXPROCS; the effective count never exceeds the subspace count.
+// Subspace work is distributed by work stealing, so a skewed workload
+// keeps all n workers busy instead of serializing behind the hot
+// subspace's static owner.
+func WithWorkers(n int) Option {
+	return optionFunc(func(c *Config) { c.Workers = n })
+}
+
+// WithBatch bounds Fast IMT batching at n native updates (see
+// Config.Batch): a ModelBuilder coalesces consecutive same-device
+// blocks into one MR2 pass, and a Pipeline gulps consecutive same-epoch
+// messages into one System.FeedBatch. n <= 1 (the default) disables
+// batching; batches always flush at epoch boundaries and before model
+// queries, so results are never delayed indefinitely and verdicts are
+// identical to unbatched runs.
+func WithBatch(n int) Option {
+	return optionFunc(func(c *Config) { c.Batch = n })
+}
+
 // WithMetrics attaches an observability registry. Every subsystem
 // publishes under its own sub-registry — imt/subspace<i> for
 // ModelBuilder workers, ce2d/subspace<i> (with a nested imt) for System

@@ -16,6 +16,14 @@ import (
 //
 // Per-device ordering is preserved (a single worker drains the queue in
 // arrival order; subspace parallelism still applies inside System.Feed).
+//
+// When the System was built WithBatch(n), the pipeline worker "gulps"
+// up to n buffered native updates of consecutive same-epoch messages
+// into a single System.FeedBatch dispatch — flush-on-epoch batching: an
+// epoch change in the queue always cuts the batch, so epoch barriers
+// and CE2D result order are untouched, and an idle queue drains
+// immediately (batching only engages when messages are actually
+// waiting, i.e. exactly when amortization helps).
 type Pipeline struct {
 	sys *System
 
@@ -37,6 +45,8 @@ type Pipeline struct {
 type pmetrics struct {
 	fed        *obs.Counter   // messages accepted by Feed
 	emitted    *obs.Counter   // results delivered on Results
+	gulps      *obs.Counter   // FeedBatch dispatches issued
+	gulped     *obs.Counter   // extra messages coalesced into a gulp
 	queueDepth *obs.Gauge     // messages waiting in the queue
 	drainNs    *obs.Histogram // enqueue → verification-done latency
 }
@@ -55,6 +65,8 @@ func NewPipeline(sys *System, buffer int) *Pipeline {
 		p.m = pmetrics{
 			fed:        reg.Counter("fed"),
 			emitted:    reg.Counter("results"),
+			gulps:      reg.Counter("gulps"),
+			gulped:     reg.Counter("gulped"),
 			queueDepth: reg.Gauge("queue_depth"),
 			drainNs:    reg.Histogram("drain_ns"),
 		}
@@ -118,6 +130,7 @@ func (p *Pipeline) Close() error {
 	return p.err
 }
 
+//flashvet:allow ctxfeed — the drain worker outlives every Feed caller; queued work is cancelled via Close, not a context
 func (p *Pipeline) run() {
 	defer close(p.done)
 	defer close(p.results)
@@ -147,17 +160,37 @@ func (p *Pipeline) run() {
 			p.mu.Unlock()
 			return
 		}
-		m := p.queue[0]
-		p.queue = p.queue[1:]
+		// Gulp: take the head message, then extend with consecutive
+		// messages of the same epoch while the buffered native-update
+		// count stays under the batch bound. An epoch change always cuts
+		// the gulp (flush-on-epoch).
+		take := 1
+		if max := p.sys.cfg.Batch; max > 1 {
+			budget := max - len(p.queue[0].Updates)
+			for take < len(p.queue) &&
+				p.queue[take].Epoch == p.queue[0].Epoch &&
+				budget >= len(p.queue[take].Updates) {
+				budget -= len(p.queue[take].Updates)
+				take++
+			}
+		}
+		batch := append([]Msg(nil), p.queue[:take]...)
+		p.queue = p.queue[take:]
 		var enqueuedAt time.Time
 		if len(p.enqueued) > 0 {
-			enqueuedAt = p.enqueued[0]
-			p.enqueued = p.enqueued[1:]
+			enqueuedAt = p.enqueued[0] // oldest message of the gulp
+			drop := take
+			if drop > len(p.enqueued) {
+				drop = len(p.enqueued)
+			}
+			p.enqueued = p.enqueued[drop:]
 		}
 		p.m.queueDepth.Set(int64(len(p.queue)))
 		p.mu.Unlock()
 
-		results, err := p.sys.Feed(m)
+		p.m.gulps.Inc()
+		p.m.gulped.Add(int64(take - 1))
+		results, err := p.sys.FeedBatch(context.Background(), batch)
 		if err != nil {
 			if l := p.sys.Logger(); l != nil {
 				l.Printf("flash: pipeline: verification failed: %v", err)

@@ -1,0 +1,262 @@
+package flash
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/fib"
+	"repro/internal/hs"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// schedTestSystem builds a System over Internet2 with a loop-freedom
+// check and 4 subspaces on a 16-bit dst field.
+func schedTestSystem(t *testing.T, extra ...Option) *System {
+	t.Helper()
+	opts := []Option{
+		WithTopo(topo.Internet2()),
+		WithLayout(hs.NewLayout(hs.Field{Name: "dst", Bits: 16})),
+		WithSubspaces(4, ""),
+		WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+	}
+	sys, err := NewSystem(append(opts, extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// schedTestStream builds a deterministic multi-epoch message stream:
+// per epoch, one message per device, each installing rules spread
+// across all 4 subspaces (the dst's top 2 bits select the subspace).
+func schedTestStream(devices, epochs int, seed int64) []wire.Msg {
+	rng := rand.New(rand.NewSource(seed))
+	var msgs []wire.Msg
+	id := int64(1)
+	for e := 1; e <= epochs; e++ {
+		epoch := fmt.Sprintf("e%d", e)
+		for d := 0; d < devices; d++ {
+			m := wire.Msg{Device: DeviceID(d), Epoch: epoch}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				dst := uint64(rng.Intn(1 << 16))
+				m.Updates = append(m.Updates, wire.Update{
+					Op: fib.Insert,
+					Rule: wire.Rule{ID: id, Pri: 1, Action: Forward(DeviceID((d + 1) % devices)),
+						Desc: MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: dst, Len: 16}}},
+				})
+				id++
+			}
+			msgs = append(msgs, m)
+		}
+	}
+	return msgs
+}
+
+// TestFeedBatchMatchesSequentialFeed: one FeedBatch dispatch must be
+// observationally identical to the equivalent sequence of Feed calls —
+// same results in the same order, same final model fingerprint.
+func TestFeedBatchMatchesSequentialFeed(t *testing.T) {
+	msgs := schedTestStream(6, 3, 0x5eed)
+
+	seqSys := schedTestSystem(t, WithWorkers(1))
+	var seqResults []string
+	for _, m := range msgs {
+		rs, err := seqSys.Feed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			seqResults = append(seqResults, r.String())
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		batSys := schedTestSystem(t, WithWorkers(workers))
+		var batResults []string
+		// Feed in gulps of varying size, never crossing an epoch (the
+		// pipeline's flush-on-epoch rule).
+		i := 0
+		gulp := 1
+		for i < len(msgs) {
+			j := i + gulp
+			if j > len(msgs) {
+				j = len(msgs)
+			}
+			for k := i + 1; k < j; k++ {
+				if msgs[k].Epoch != msgs[i].Epoch {
+					j = k
+					break
+				}
+			}
+			rs, err := batSys.FeedBatch(context.Background(), msgs[i:j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rs {
+				batResults = append(batResults, r.String())
+			}
+			i = j
+			gulp = gulp%5 + 1
+		}
+
+		if len(batResults) != len(seqResults) {
+			t.Fatalf("workers=%d: %d results via FeedBatch, %d via Feed", workers, len(batResults), len(seqResults))
+		}
+		for k := range seqResults {
+			if batResults[k] != seqResults[k] {
+				t.Fatalf("workers=%d result %d:\n  batch: %s\n  seq:   %s", workers, k, batResults[k], seqResults[k])
+			}
+		}
+		want, err := seqSys.ModelFingerprint("e3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := batSys.ModelFingerprint("e3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: fingerprint mismatch", workers)
+		}
+		if st := batSys.SchedulerStats(); st.Tasks == 0 {
+			t.Fatalf("workers=%d: scheduler ran no tasks", workers)
+		}
+	}
+}
+
+// TestSchedulerSequenceWitness is the per-device sequence witness: for
+// every worker count, every subspace worker must observe the exact
+// global message sequence — nothing dropped, duplicated, or reordered —
+// even though subspaces migrate between workers by stealing.
+func TestSchedulerSequenceWitness(t *testing.T) {
+	msgs := schedTestStream(5, 4, 0x717)
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		sys := schedTestSystem(t, WithWorkers(workers))
+		var mu sync.Mutex
+		seen := make(map[int][]string) // subspace -> ordered (dev, epoch) witness
+		sys.SetFeedHook(func(subspace int, m Msg) {
+			mu.Lock()
+			seen[subspace] = append(seen[subspace], fmt.Sprintf("%d/%s", m.Device, m.Epoch))
+			mu.Unlock()
+		})
+		// Feed in gulps of rotating size, cut at epoch boundaries.
+		i, gulp := 0, 1
+		for i < len(msgs) {
+			j := i + gulp
+			if j > len(msgs) {
+				j = len(msgs)
+			}
+			for k := i + 1; k < j; k++ {
+				if msgs[k].Epoch != msgs[i].Epoch {
+					j = k
+					break
+				}
+			}
+			if _, err := sys.FeedBatch(context.Background(), msgs[i:j]); err != nil {
+				t.Fatal(err)
+			}
+			i = j
+			gulp = gulp%4 + 1
+		}
+		var want []string
+		for _, m := range msgs {
+			want = append(want, fmt.Sprintf("%d/%s", m.Device, m.Epoch))
+		}
+		for sub := 0; sub < 4; sub++ {
+			got := seen[sub]
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d subspace %d: observed %d messages, want %d", workers, sub, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("workers=%d subspace %d: message %d = %s, want %s (reordered)", workers, sub, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerWitnessUnderPoisoning: quarantining one subspace
+// mid-stream must not disturb the sequence the healthy subspaces
+// observe, and their results must equal a run that never had the
+// poisoned subspace's panics.
+func TestSchedulerWitnessUnderPoisoning(t *testing.T) {
+	msgs := schedTestStream(5, 3, 0xdead)
+
+	// Reference run: no poisoning; drop subspace-2 results afterwards.
+	ref := schedTestSystem(t, WithWorkers(2))
+	var refResults []string
+	for _, m := range msgs {
+		rs, err := ref.Feed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Subspace != 2 {
+				refResults = append(refResults, r.String())
+			}
+		}
+	}
+
+	sys := schedTestSystem(t, WithWorkers(2))
+	var mu sync.Mutex
+	seen := make(map[int][]string)
+	const poisonAfter = 3
+	count := 0
+	sys.SetFeedHook(func(subspace int, m Msg) {
+		mu.Lock()
+		defer mu.Unlock()
+		if subspace == 2 {
+			count++
+			if count > poisonAfter {
+				panic("injected: poison subspace 2")
+			}
+		}
+		seen[subspace] = append(seen[subspace], fmt.Sprintf("%d/%s", m.Device, m.Epoch))
+	})
+	var gotResults []string
+	for _, m := range msgs {
+		rs, err := sys.Feed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Subspace == 2 {
+				t.Fatalf("result from quarantined subspace: %+v", r)
+			}
+			gotResults = append(gotResults, r.String())
+		}
+	}
+
+	if got := sys.PoisonedSubspaces(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("poisoned = %v, want [2]", got)
+	}
+	var want []string
+	for _, m := range msgs {
+		want = append(want, fmt.Sprintf("%d/%s", m.Device, m.Epoch))
+	}
+	for _, sub := range []int{0, 1, 3} {
+		got := seen[sub]
+		if len(got) != len(want) {
+			t.Fatalf("subspace %d: observed %d messages, want %d (poisoning disturbed a healthy subspace)", sub, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("subspace %d: message %d = %s, want %s", sub, k, got[k], want[k])
+			}
+		}
+	}
+	if len(gotResults) != len(refResults) {
+		t.Fatalf("got %d results, reference (minus subspace 2) has %d", len(gotResults), len(refResults))
+	}
+	for k := range refResults {
+		if gotResults[k] != refResults[k] {
+			t.Fatalf("result %d:\n  got: %s\n  ref: %s", k, gotResults[k], refResults[k])
+		}
+	}
+}
