@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random
+.PHONY: build test vet lint flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random soak
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,8 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Build the project-specific analyzer suite (bddref, obshook, ctxfeed,
-# lockbdd, errwrapped) as a `go vet` vettool.
+# Build the project-specific analyzer suite (bddref, gcroot, obshook,
+# ctxfeed, lockbdd, errwrapped) as a `go vet` vettool.
 flashvet:
 	$(GO) build -o $(FLASHVET) ./cmd/flashvet
 
@@ -47,10 +47,21 @@ race-hot:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# Append a work-stealing scheduler scaling measurement to the benchmark
-# trajectory file; each entry records the core count it was measured on.
+# Append a work-stealing scheduler scaling measurement and a BDD GC
+# measurement (peak/steady node counts, pause p95, GC-vs-Compact cost)
+# to the benchmark trajectory file; each entry records the core count it
+# was measured on.
 bench-record:
 	$(GO) run ./cmd/flashbench -exp scaling -scale small -record BENCH_flash.json
+	$(GO) run ./cmd/flashbench -exp gc -scale small -record BENCH_flash.json
+
+# Memory-management soak: sustained prefix-mutating churn through a
+# small memory budget, under the race detector. Asserts the live node
+# sawtooth stays bounded, GC'd models are byte-identical to unbounded
+# runs, counters stay monotone across Compact, and GC keeps running
+# while a sibling subspace is quarantined.
+soak:
+	$(GO) test -race -count=1 -run 'TestSoak|TestChaosGCUnderPoisoning' .
 
 # Brief fuzz pass over the predicate compiler, the Fast IMT oracle
 # differential, and the wire decoders; seeds live under testdata/fuzz/.
@@ -71,4 +82,4 @@ chaos:
 chaos-random:
 	FLASH_CHAOS_SEED=random $(GO) test -race -count=1 -v -run 'TestChaosModelEquality' .
 
-check: vet lint race checkstrict chaos
+check: vet lint race checkstrict chaos soak

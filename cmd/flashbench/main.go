@@ -18,11 +18,14 @@
 //	flashbench -exp fig18             # verification time vs progress
 //	flashbench -exp overhead          # §5.5 resource accounting
 //	flashbench -exp scaling           # work-stealing scheduler on skewed churn
+//	flashbench -exp gc                # in-engine BDD GC vs Compact rotation
 //	flashbench -exp all
 //
 // -exp scaling sweeps worker counts {1,2,4,8} over a hot-subspace
-// churn workload; with -record FILE the measured rows are appended to
-// a JSON benchmark-trajectory file (conventionally BENCH_flash.json).
+// churn workload; -exp gc measures peak/steady-state node counts and
+// GC pauses under a memory budget. With -record FILE the measured rows
+// of either experiment are appended to a JSON benchmark-trajectory
+// file (conventionally BENCH_flash.json).
 //
 // -scale selects workload sizing (tiny|small|medium|large).
 package main
@@ -71,6 +74,7 @@ func main() {
 		"fig18":    func() { runFig18(scale) },
 		"overhead": func() { runOverhead(scale, *subspaces) },
 		"scaling":  func() { runScaling(*scaleFlag, scale, *record) },
+		"gc":       func() { runGCBench(*scaleFlag, scale, *record) },
 	}
 	order := []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig14", "fig15", "fig18", "overhead"}

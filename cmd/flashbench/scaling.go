@@ -9,7 +9,6 @@ package main
 // compared.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -170,25 +169,14 @@ func runScaling(scaleName string, scale exps.Scale, record string) {
 	}
 }
 
-// appendScaling appends the run's rows to the JSON trajectory file,
-// which holds a flat array of scalingEntry values across commits.
+// appendScaling appends the run's rows to the JSON trajectory file
+// (shared with the gc experiment's rows; see appendEntries).
 func appendScaling(path string, entries []scalingEntry) error {
-	var all []scalingEntry
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &all); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
 	now := time.Now().UTC().Format(time.RFC3339)
+	rows := make([]any, len(entries))
 	for i := range entries {
 		entries[i].RecordedAt = now
+		rows[i] = entries[i]
 	}
-	all = append(all, entries...)
-	out, err := json.MarshalIndent(all, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return appendEntries(path, rows)
 }

@@ -60,6 +60,7 @@ func main() {
 		subspaces  = flag.Int("subspaces", 1, "subspace partition count (power of two)")
 		workers    = flag.Int("workers", 0, "work-stealing scheduler workers (0 = GOMAXPROCS, clamped to subspaces)")
 		batchN     = flag.Int("batch", 1, "max native updates coalesced into one Fast IMT pass (1 disables batching)")
+		memBudget  = flag.Int("memory-budget", 0, "max live BDD nodes per subspace worker before automatic GC (0 = unbounded)")
 		replay     = flag.String("replay", "", "one-shot mode: verify a snapshot file and exit")
 
 		quarantine    = flag.Duration("quarantine", time.Minute, "how long a faulty device stays quarantined (0 = until restart)")
@@ -94,6 +95,7 @@ func main() {
 		flash.WithSubspaces(*subspaces, ""),
 		flash.WithWorkers(*workers),
 		flash.WithBatch(*batchN),
+		flash.WithMemoryBudget(*memBudget),
 		flash.WithChecks(checks...),
 		flash.WithMetrics(reg),
 		flash.WithLogger(logger),

@@ -63,14 +63,27 @@ func diffFingerprint(devices int, probes []uint64, actionAt func(dev fib.DeviceI
 	return h.Sum64()
 }
 
-// diffConfigs is the scheduler/batching matrix under differential test.
-func diffConfigs() []struct{ workers, batch int } {
-	var cfgs []struct{ workers, batch int }
+// diffConfig is one cell of the scheduler/batching/GC matrix.
+type diffConfig struct {
+	workers, batch int
+	budget         int // WithMemoryBudget; 0 disables automatic GC
+}
+
+// diffConfigs is the scheduler/batching/GC matrix under differential
+// test. The budgeted rows force frequent in-engine collections (the
+// tiny budget is crossed almost every block), proving GC changes when
+// nodes are reclaimed but never what is computed.
+func diffConfigs() []diffConfig {
+	var cfgs []diffConfig
 	for _, wk := range []int{1, 4, runtime.NumCPU()} {
 		for _, bt := range []int{1, 16} {
-			cfgs = append(cfgs, struct{ workers, batch int }{wk, bt})
+			cfgs = append(cfgs, diffConfig{workers: wk, batch: bt})
 		}
 	}
+	cfgs = append(cfgs,
+		diffConfig{workers: 1, batch: 1, budget: 64},
+		diffConfig{workers: 4, batch: 16, budget: 64},
+	)
 	return cfgs
 }
 
@@ -120,6 +133,7 @@ func TestDifferentialModelOracle(t *testing.T) {
 				WithSubspaces(diffSubspaces, ""),
 				WithWorkers(cfg.workers),
 				WithBatch(cfg.batch),
+				WithMemoryBudget(cfg.budget),
 			)
 			for _, batch := range workload.Chunk(fseq, 32) {
 				blocks := make([]DeviceBlock, 0, len(batch))
@@ -143,8 +157,8 @@ func TestDifferentialModelOracle(t *testing.T) {
 				return a
 			})
 			if got != want {
-				t.Fatalf("seed %#x workers=%d batch=%d: Flash model diverges from baselines",
-					seed, cfg.workers, cfg.batch)
+				t.Fatalf("seed %#x workers=%d batch=%d budget=%d: Flash model diverges from baselines",
+					seed, cfg.workers, cfg.batch, cfg.budget)
 			}
 		}
 	}
@@ -246,21 +260,25 @@ func TestDifferentialVerdictOracle(t *testing.T) {
 	}
 
 	for _, cfg := range diffConfigs() {
-		sys := newSys(WithWorkers(cfg.workers), WithBatch(cfg.batch))
+		sys := newSys(WithWorkers(cfg.workers), WithBatch(cfg.batch), WithMemoryBudget(cfg.budget))
 		gotVerdicts, gotFP := run(sys, true)
 		if gotFP != wantFP {
-			t.Fatalf("workers=%d batch=%d: model fingerprint diverges from per-update reference",
-				cfg.workers, cfg.batch)
+			t.Fatalf("workers=%d batch=%d budget=%d: model fingerprint diverges from per-update reference",
+				cfg.workers, cfg.batch, cfg.budget)
 		}
 		if len(gotVerdicts) != len(wantVerdicts) {
-			t.Fatalf("workers=%d batch=%d: %d verdicts, reference has %d",
-				cfg.workers, cfg.batch, len(gotVerdicts), len(wantVerdicts))
+			t.Fatalf("workers=%d batch=%d budget=%d: %d verdicts, reference has %d",
+				cfg.workers, cfg.batch, cfg.budget, len(gotVerdicts), len(wantVerdicts))
 		}
 		for i := range wantVerdicts {
 			if gotVerdicts[i] != wantVerdicts[i] {
-				t.Fatalf("workers=%d batch=%d: verdict multiset diverges at %d:\n  got:  %s\n  want: %s",
-					cfg.workers, cfg.batch, i, gotVerdicts[i], wantVerdicts[i])
+				t.Fatalf("workers=%d batch=%d budget=%d: verdict multiset diverges at %d:\n  got:  %s\n  want: %s",
+					cfg.workers, cfg.batch, cfg.budget, i, gotVerdicts[i], wantVerdicts[i])
 			}
+		}
+		if cfg.budget > 0 && sys.GCStats().Runs == 0 {
+			t.Fatalf("workers=%d batch=%d budget=%d: budgeted run never collected — the GC path was not exercised",
+				cfg.workers, cfg.batch, cfg.budget)
 		}
 	}
 }

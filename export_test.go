@@ -8,3 +8,26 @@ package flash
 // sequence witness (it observes the exact message order each subspace
 // applies).
 func (s *System) SetFeedHook(f func(subspace int, m Msg)) { s.feedHook = f }
+
+// WorkerNodeCounts reports each subspace worker's live BDD node count,
+// for the soak tests' bounded-memory assertions.
+func (b *ModelBuilder) WorkerNodeCounts() []int {
+	out := make([]int, len(b.workers))
+	for i, w := range b.workers {
+		w.mu.Lock()
+		out[i] = w.space.E.NumNodes()
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// WorkerNodeCounts reports each subspace worker's live BDD node count.
+func (s *System) WorkerNodeCounts() []int {
+	out := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		w.mu.Lock()
+		out[i] = w.space.E.NumNodes()
+		w.mu.Unlock()
+	}
+	return out
+}

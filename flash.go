@@ -198,6 +198,15 @@ type Config struct {
 	// when a device synchronizes an epoch, so batching never changes
 	// verdicts — only amortizes work.
 	Batch int
+	// MemoryBudget bounds each subspace worker's live BDD node count.
+	// After a worker applies a block (or feeds a message batch, for a
+	// System), an engine grown past the budget runs an in-engine
+	// mark-and-sweep GC; a ModelBuilder worker additionally falls back
+	// to a full Compact rotation when collection alone cannot get back
+	// under the budget. <= 0 (the default) disables automatic
+	// reclamation. The budget is per worker, so total model memory
+	// scales with the subspace count.
+	MemoryBudget int
 	// Succ optionally restricts the potential-path successor sets used by
 	// reachability checks (e.g. to directed links, as in the paper's
 	// Figure 3): a tighter set yields earlier detection, any superset of
@@ -260,11 +269,99 @@ type ModelBuilder struct {
 //flashvet:allow bddref — universe is owned by transform.E, the worker's single engine
 type mbWorker struct {
 	mu        sync.Mutex
+	cfg       Config
 	space     *hs.Space
 	universe  bdd.Ref
 	transform *imt.Transformer
 	batch     *imt.Batcher  // nil unless cfg.Batch > 1
 	metrics   *obs.Registry // nil when uninstrumented
+
+	// base carries the monotone counters of engines this worker has
+	// rotated away (Compact discards the engine, not its history), so
+	// PredicateOps/CacheStats/GC totals never move backwards.
+	base engineCounterBase
+	// compactFloor remembers the node count a Compact rotation reached
+	// while still above the budget. While the floor exceeds the budget a
+	// further rotation cannot help (the live state itself is too big),
+	// so the worker keeps the cheap GC-only sawtooth instead of rotating
+	// after every block. Reset once the engine fits the budget again.
+	compactFloor int
+	gcPauseNs    *obs.Histogram // stop-the-world GC pause (nil = off)
+}
+
+// engineCounterBase accumulates the monotone activity counters of
+// discarded engines.
+type engineCounterBase struct {
+	ops, cacheHits, cacheMisses, cacheEvictions uint64
+	gcRuns, gcReclaimed                         uint64
+}
+
+// absorb folds a to-be-discarded engine's counters into the base.
+func (b *engineCounterBase) absorb(e *bdd.Engine) {
+	b.ops += e.Ops()
+	h, m := e.CacheStats()
+	b.cacheHits += h
+	b.cacheMisses += m
+	b.cacheEvictions += e.CacheEvictions()
+	b.gcRuns += e.GCRuns()
+	b.gcReclaimed += e.ReclaimedNodes()
+}
+
+// Roots enumerates every BDD ref the worker's state holds: the subspace
+// universe, the header-space variable cache, the Fast IMT transformer
+// (EC model + device tables), and any buffered batch updates. It is the
+// worker's GC root set.
+func (w *mbWorker) Roots(yield func(bdd.Ref)) {
+	yield(w.universe)
+	w.space.Roots(yield)
+	w.transform.Roots(yield)
+	if w.batch != nil {
+		w.batch.Roots(yield)
+	}
+}
+
+// gcLocked runs a mark-and-sweep pass on the worker's engine and
+// rewrites all held refs through the remap. Callers hold w.mu.
+func (w *mbWorker) gcLocked() bdd.GCStats {
+	start := time.Now()
+	remap, st := w.space.E.GC(w.Roots)
+	w.universe = remap.Apply(w.universe)
+	w.space.RemapRefs(remap)
+	w.transform.RemapRefs(remap)
+	if w.batch != nil {
+		w.batch.RemapRefs(remap)
+	}
+	w.gcPauseNs.Observe(time.Since(start))
+	return st
+}
+
+// maybeReclaimLocked enforces the memory budget after applied work:
+// first the cheap in-engine GC, then — only when the live state itself
+// exceeds the budget — the full Compact rotation, with compactFloor
+// guarding against rotating on every block once even a rotation cannot
+// fit the budget. Callers hold w.mu.
+func (w *mbWorker) maybeReclaimLocked() error {
+	budget := w.cfg.MemoryBudget
+	if budget <= 0 || w.space.E.NumNodes() <= budget {
+		return nil
+	}
+	w.gcLocked()
+	if w.space.E.NumNodes() <= budget {
+		w.compactFloor = 0
+		return nil
+	}
+	if w.compactFloor > budget {
+		return nil
+	}
+	if err := w.compactLocked(); err != nil {
+		return err
+	}
+	if n := w.space.E.NumNodes(); n > budget {
+		w.compactFloor = n
+	} else {
+		w.compactFloor = 0
+	}
+	return nil
 }
 
 // NewModelBuilder creates a builder from the given options. A bare
@@ -282,6 +379,7 @@ func NewModelBuilder(opts ...Option) *ModelBuilder {
 		space := hs.NewSpace(cfg.Layout)
 		universe := cfg.subspacePreds(space)[i]
 		w := &mbWorker{
+			cfg:       cfg,
 			space:     space,
 			universe:  universe,
 			transform: imt.NewTransformer(space.E, pat.NewStore(), universe),
@@ -293,11 +391,14 @@ func NewModelBuilder(opts ...Option) *ModelBuilder {
 		}
 		if reg := cfg.Metrics.Sub("imt").Sub("subspace" + strconv.Itoa(i)); reg != nil {
 			w.metrics = reg
+			w.gcPauseNs = reg.Histogram("bdd_gc_pause_ns")
 			w.transform.Instrument(reg)
 			if w.batch != nil {
 				w.batch.Instrument(reg)
 			}
-			instrumentWorkerEngine(reg, &w.mu, func() (*hs.Space, *pat.Store) { return w.space, w.transform.Store })
+			instrumentWorkerEngine(reg, &w.mu,
+				func() (*hs.Space, *pat.Store) { return w.space, w.transform.Store },
+				func() engineCounterBase { return w.base })
 		}
 		b.workers = append(b.workers, w)
 	}
@@ -311,29 +412,39 @@ func NewModelBuilder(opts ...Option) *ModelBuilder {
 // guarded by the worker's mutex, so the gauges are Func callbacks that
 // take the lock at snapshot time rather than counters on the hot path
 // (Table 3's "# Predicate Operations" and the §5.5 memory proxies).
-// state is re-read on every sample because Compact rotates the engine.
-func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (*hs.Space, *pat.Store)) {
-	sample := func(f func(*hs.Space, *pat.Store) int64) func() int64 {
+// state is re-read on every sample because Compact rotates the engine;
+// base supplies the rotated-away counter history so every counter-like
+// gauge stays monotone across rotations (bdd_nodes alone is an honest
+// gauge of live nodes — the GC sawtooth is its signal).
+func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (*hs.Space, *pat.Store), base func() engineCounterBase) {
+	sample := func(f func(*hs.Space, *pat.Store, engineCounterBase) int64) func() int64 {
 		return func() int64 {
 			mu.Lock()
 			defer mu.Unlock()
-			return f(state())
+			s, ps := state()
+			return f(s, ps, base())
 		}
 	}
-	reg.Func("bdd_nodes", sample(func(s *hs.Space, _ *pat.Store) int64 { return int64(s.E.NumNodes()) }))
-	reg.Func("bdd_ops", sample(func(s *hs.Space, _ *pat.Store) int64 { return int64(s.E.Ops()) }))
-	reg.Func("bdd_cache_hits", sample(func(s *hs.Space, _ *pat.Store) int64 {
+	reg.Func("bdd_nodes", sample(func(s *hs.Space, _ *pat.Store, _ engineCounterBase) int64 { return int64(s.E.NumNodes()) }))
+	reg.Func("bdd_ops", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 { return int64(b.ops + s.E.Ops()) }))
+	reg.Func("bdd_cache_hits", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
 		h, _ := s.E.CacheStats()
-		return int64(h)
+		return int64(b.cacheHits + h)
 	}))
-	reg.Func("bdd_cache_misses", sample(func(s *hs.Space, _ *pat.Store) int64 {
+	reg.Func("bdd_cache_misses", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
 		_, m := s.E.CacheStats()
-		return int64(m)
+		return int64(b.cacheMisses + m)
 	}))
-	reg.Func("bdd_cache_evictions", sample(func(s *hs.Space, _ *pat.Store) int64 {
-		return int64(s.E.CacheEvictions())
+	reg.Func("bdd_cache_evictions", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
+		return int64(b.cacheEvictions + s.E.CacheEvictions())
 	}))
-	reg.Func("pat_nodes", sample(func(_ *hs.Space, ps *pat.Store) int64 {
+	reg.Func("bdd_gc_runs", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
+		return int64(b.gcRuns + s.E.GCRuns())
+	}))
+	reg.Func("bdd_gc_reclaimed_nodes", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
+		return int64(b.gcReclaimed + s.E.ReclaimedNodes())
+	}))
+	reg.Func("pat_nodes", sample(func(_ *hs.Space, ps *pat.Store, _ engineCounterBase) int64 {
 		if ps == nil {
 			return 0
 		}
@@ -407,7 +518,10 @@ func (w *mbWorker) flush() (err error) {
 	if w.batch == nil {
 		return nil
 	}
-	return w.batch.Flush()
+	if err := w.batch.Flush(); err != nil {
+		return err
+	}
+	return w.maybeReclaimLocked()
 }
 
 // DeviceBlock is a block of symbolic updates for one device.
@@ -447,9 +561,14 @@ func (w *mbWorker) apply(blocks []DeviceBlock) (err error) {
 		}
 	}
 	if w.batch != nil {
-		return w.batch.Add(compiled)
+		err = w.batch.Add(compiled)
+	} else {
+		err = w.transform.ApplyBlock(compiled)
 	}
-	return w.transform.ApplyBlock(compiled)
+	if err != nil {
+		return err
+	}
+	return w.maybeReclaimLocked()
 }
 
 // SchedulerStats reports work-stealing scheduler activity (tasks run,
@@ -492,21 +611,67 @@ func (b *ModelBuilder) CacheStats() CacheStats {
 	for _, w := range b.workers {
 		w.mu.Lock()
 		e := w.space.E // Compact rotates the engine under w.mu
+		base := w.base
 		w.mu.Unlock()
 		h, m := e.CacheStats()
-		out.Hits += h
-		out.Misses += m
-		out.Evictions += e.CacheEvictions()
+		out.Hits += base.cacheHits + h
+		out.Misses += base.cacheMisses + m
+		out.Evictions += base.cacheEvictions + e.CacheEvictions()
 	}
 	return out
 }
 
+// GCStats aggregates in-engine garbage-collection activity across
+// subspace engines.
+type GCStats struct {
+	Runs           uint64 // completed mark-and-sweep passes
+	ReclaimedNodes uint64 // nodes swept across all passes
+}
+
+// GCStats sums GC activity across the builder's workers, including
+// engines since rotated away by Compact.
+func (b *ModelBuilder) GCStats() GCStats {
+	var out GCStats
+	for _, w := range b.workers {
+		w.mu.Lock()
+		e := w.space.E
+		base := w.base
+		w.mu.Unlock()
+		out.Runs += base.gcRuns + e.GCRuns()
+		out.ReclaimedNodes += base.gcReclaimed + e.ReclaimedNodes()
+	}
+	return out
+}
+
+// GC forces an immediate mark-and-sweep pass on every subspace engine,
+// returning the total node count reclaimed. Unlike Compact it keeps the
+// engines (and their counter history) and releases only unreachable
+// nodes — it is the cheap reclamation the MemoryBudget watermark
+// triggers automatically. Pending batches are flushed first.
+func (b *ModelBuilder) GC() (int, error) {
+	b.dispatchMu.Lock()
+	defer b.dispatchMu.Unlock()
+	if err := b.flushLocked(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, w := range b.workers {
+		w.mu.Lock()
+		st := w.gcLocked()
+		w.mu.Unlock()
+		total += st.Reclaimed
+	}
+	return total, nil
+}
+
 // Compact rebuilds every subspace worker onto a fresh BDD engine from
-// the symbolic descriptors of its installed rules, releasing all dead
-// predicate nodes. Long-running verifiers call this between update storms
-// to bound memory (the engine itself never garbage-collects; canonical
-// hash-consed nodes are only released by rotation). Every installed rule
-// must carry a symbolic descriptor.
+// the symbolic descriptors of its installed rules. It is the heavyweight
+// reclamation: where GC sweeps nodes no held ref can reach, a rotation
+// also de-duplicates the live structure itself (re-compiling from
+// descriptors rebuilds each predicate minimally), at the cost of
+// re-running the whole Fast IMT pipeline. Every installed rule must
+// carry a symbolic descriptor. Counter history survives rotation via
+// the per-worker base (PredicateOps/CacheStats stay monotone).
 func (b *ModelBuilder) Compact() error {
 	b.dispatchMu.Lock()
 	defer b.dispatchMu.Unlock()
@@ -514,14 +679,14 @@ func (b *ModelBuilder) Compact() error {
 		return err
 	}
 	for _, w := range b.workers {
-		if err := w.compact(b.cfg); err != nil {
+		if err := w.compact(); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (w *mbWorker) compact(cfg Config) (err error) {
+func (w *mbWorker) compact() (err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	defer func() {
@@ -529,6 +694,14 @@ func (w *mbWorker) compact(cfg Config) (err error) {
 			err = fmt.Errorf("flash: subspace worker panic during compact: %v", r)
 		}
 	}()
+	return w.compactLocked()
+}
+
+// compactLocked rotates the worker onto a fresh engine, folding the old
+// engine's counters into the base first so exported totals never drop.
+// Callers hold w.mu.
+func (w *mbWorker) compactLocked() error {
+	cfg := w.cfg
 	space := hs.NewSpace(cfg.Layout)
 	var universe bdd.Ref = bdd.True
 	if cfg.Subspaces > 1 {
@@ -566,6 +739,9 @@ func (w *mbWorker) compact(cfg Config) (err error) {
 	if err := tr.ApplyBlock(blocks); err != nil {
 		return err
 	}
+	// The rotation is committed: fold the outgoing engine's counters
+	// into the base so exported totals stay monotone.
+	w.base.absorb(w.space.E)
 	w.space = space
 	w.universe = universe
 	w.transform = tr
@@ -624,8 +800,9 @@ func (b *ModelBuilder) PredicateOps() uint64 {
 	for _, w := range b.workers {
 		w.mu.Lock()
 		e := w.space.E
+		base := w.base
 		w.mu.Unlock()
-		n += e.Ops()
+		n += base.ops + e.Ops()
 	}
 	return n
 }
@@ -708,8 +885,54 @@ type sysWorker struct {
 	idx      int
 	space    *hs.Space
 	universe bdd.Ref
-	disp     *ce2d.Dispatcher
-	feedNs   *obs.Histogram // per-message verification latency (nil = off)
+	// checks is the worker-owned compiled check set; the verifier
+	// factory reads it (not a captured snapshot) so verifiers created
+	// after a GC see the remapped Spaces.
+	checks    []ce2d.Check
+	budget    int // cfg.MemoryBudget; <= 0 disables automatic GC
+	disp      *ce2d.Dispatcher
+	feedNs    *obs.Histogram // per-message verification latency (nil = off)
+	gcPauseNs *obs.Histogram // stop-the-world GC pause (nil = off)
+}
+
+// Roots enumerates every BDD ref the subspace holds: the universe, the
+// variable cache, each compiled check space, and — via the dispatcher —
+// the queued messages and every live per-epoch verifier. It is the
+// worker's GC root set.
+func (w *sysWorker) Roots(yield func(bdd.Ref)) {
+	yield(w.universe)
+	w.space.Roots(yield)
+	for i := range w.checks {
+		yield(w.checks[i].Space)
+	}
+	w.disp.Roots(yield)
+}
+
+// gcLocked runs a mark-and-sweep pass on the subspace engine and
+// rewrites all held refs. Callers hold w.mu.
+func (w *sysWorker) gcLocked() bdd.GCStats {
+	start := time.Now()
+	remap, st := w.space.E.GC(w.Roots)
+	w.universe = remap.Apply(w.universe)
+	w.space.RemapRefs(remap)
+	for i := range w.checks {
+		w.checks[i].Space = remap.Apply(w.checks[i].Space)
+	}
+	w.disp.RemapRefs(remap)
+	w.gcPauseNs.Observe(time.Since(start))
+	return st
+}
+
+// maybeGCLocked runs a collection when the engine exceeds the memory
+// budget. The online path has no Compact fallback: per-epoch verifiers
+// cannot be rebuilt from descriptors mid-epoch, so when the live
+// detection state itself exceeds the budget the engine simply stays at
+// its live size (the budget is a watermark, not a hard cap). Callers
+// hold w.mu.
+func (w *sysWorker) maybeGCLocked() {
+	if w.budget > 0 && w.space.E.NumNodes() > w.budget {
+		w.gcLocked()
+	}
 }
 
 // NewSystem builds a System from the given options; checks are compiled
@@ -729,7 +952,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		w := &sysWorker{idx: i, space: space, universe: universe}
+		w := &sysWorker{idx: i, space: space, universe: universe, checks: checks, budget: cfg.MemoryBudget}
 		// Per-subspace observability: the dispatcher publishes CE2D
 		// progress under ce2d/subspace<i>, and every per-epoch verifier's
 		// Fast IMT transformer shares the nested imt sub-registry, so
@@ -737,12 +960,15 @@ func NewSystem(opts ...Option) (*System, error) {
 		// (and therefore free) without WithMetrics.
 		sreg := cfg.Metrics.Sub("ce2d").Sub("subspace" + strconv.Itoa(i))
 		ireg := sreg.Sub("imt")
+		// The factory reads universe/checks from the worker, not the loop
+		// locals: a GC remaps those fields, and a verifier created for a
+		// later epoch must start from the post-GC refs.
 		w.disp = ce2d.NewDispatcher(func(ce2d.Epoch) *ce2d.Verifier {
 			v := ce2d.NewVerifier(ce2d.Config{
 				Topo:     cfg.Topo,
-				Engine:   space.E,
-				Universe: universe,
-				Checks:   checks,
+				Engine:   w.space.E,
+				Universe: w.universe,
+				Checks:   w.checks,
 				Succ:     cfg.Succ,
 			})
 			v.Transformer().Tag = "ce2d/subspace" + strconv.Itoa(i)
@@ -752,7 +978,10 @@ func NewSystem(opts ...Option) (*System, error) {
 		w.disp.Instrument(sreg)
 		if sreg != nil {
 			w.feedNs = sreg.Histogram("feed_ns")
-			instrumentWorkerEngine(sreg, &w.mu, func() (*hs.Space, *pat.Store) { return w.space, nil })
+			w.gcPauseNs = sreg.Histogram("bdd_gc_pause_ns")
+			instrumentWorkerEngine(sreg, &w.mu,
+				func() (*hs.Space, *pat.Store) { return w.space, nil },
+				func() engineCounterBase { return engineCounterBase{} })
 		}
 		s.workers = append(s.workers, w)
 	}
@@ -777,6 +1006,18 @@ func (s *System) CacheStats() CacheStats {
 		out.Hits += h
 		out.Misses += m
 		out.Evictions += w.space.E.CacheEvictions()
+	}
+	return out
+}
+
+// GCStats sums in-engine garbage-collection activity across the
+// subspace engines. Safe concurrently with running workers (the
+// counters are atomics and System engines are never rotated).
+func (s *System) GCStats() GCStats {
+	var out GCStats
+	for _, w := range s.workers {
+		out.Runs += w.space.E.GCRuns()
+		out.ReclaimedNodes += w.space.E.ReclaimedNodes()
 	}
 	return out
 }
@@ -1072,6 +1313,10 @@ func (w *sysWorker) feedAll(ctx context.Context, msgs []Msg, hook func(Msg)) ([]
 		}
 		out = append(out, rs)
 	}
+	// Watermark check once per batch: results for this batch are already
+	// materialized (witnesses extracted), so collecting here cannot
+	// invalidate anything the caller sees.
+	w.maybeGCLocked()
 	return out, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/analysis/ctxfeed"
 	"repro/internal/analysis/errwrapped"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/gcroot"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockbdd"
 	"repro/internal/analysis/obshook"
@@ -43,6 +44,7 @@ import (
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		bddref.Analyzer,
+		gcroot.Analyzer,
 		obshook.Analyzer,
 		ctxfeed.Analyzer,
 		lockbdd.Analyzer,

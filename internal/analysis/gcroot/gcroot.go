@@ -1,0 +1,133 @@
+// Package gcroot flags bdd.Ref holders invisible to the garbage
+// collector.
+//
+// The in-engine mark-and-sweep GC (bdd.Engine.GC) frees every node not
+// reachable from the enumerated roots, and its Remap invalidates every
+// Ref it swept. Correctness therefore depends on a whole-program
+// convention the type system cannot see: every live Ref must be
+// enumerated by some registered root set. A struct that squirrels away
+// a Ref without participating — no Roots method, not covered by a
+// container's enumerator — keeps working until the first collection,
+// then silently denotes an unrelated predicate (or panics in
+// Remap.Apply if the node was swept).
+//
+// The analyzer flags named struct types with a Ref-bearing field (Ref,
+// or a slice/array/map of Ref) that do not define the enumerator
+// convention:
+//
+//	func (x *T) Roots(yield func(bdd.Ref))
+//
+// (value receiver also accepted; any other shape — results, extra
+// parameters, a non-func(bdd.Ref) yield — does not count). Structs whose
+// refs are enumerated by a containing type's Roots (fib.Rule inside
+// fib.Table, ce2d's per-check state inside Verifier) document that with
+// a //flashvet:allow gcroot directive naming the owning enumerator.
+//
+// The bdd package itself is exempt (it IS the collector), as are _test.go
+// files: test fixtures are throwaway holders that never live across a
+// collection.
+package gcroot
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the gcroot pass.
+var Analyzer = &framework.Analyzer{
+	Name: "gcroot",
+	Doc:  "flag structs that store bdd.Ref without a Roots(func(bdd.Ref)) enumerator, making them invisible to the in-engine GC",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Name() == "bdd" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Filename(f.Pos()), "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, spec, st)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkStruct(pass *framework.Pass, spec *ast.TypeSpec, st *ast.StructType) {
+	var refFields []*ast.Field
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if bearsRef(tv.Type) {
+			refFields = append(refFields, field)
+		}
+	}
+	if len(refFields) == 0 {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[spec.Name].(*types.TypeName)
+	if !ok || hasRootsEnumerator(pass, obj.Type()) {
+		return
+	}
+	for _, field := range refFields {
+		fname := "(embedded)"
+		if len(field.Names) > 0 {
+			fname = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(),
+			"struct %s holds bdd.Ref field %s but defines no Roots(func(bdd.Ref)) enumerator, so the in-engine GC cannot see it; add Roots/RemapRefs or name the owning enumerator with //flashvet:allow gcroot",
+			spec.Name.Name, fname)
+	}
+}
+
+// hasRootsEnumerator reports whether *T (and therefore T's method set
+// through pointer receivers too) has a method Roots(yield func(bdd.Ref))
+// with no results.
+func hasRootsEnumerator(pass *framework.Pass, t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, pass.Pkg, "Roots")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	yield, ok := types.Unalias(sig.Params().At(0).Type()).(*types.Signature)
+	if !ok || yield.Params().Len() != 1 || yield.Results().Len() != 0 {
+		return false
+	}
+	return framework.NamedIn(yield.Params().At(0).Type(), "bdd", "Ref")
+}
+
+// bearsRef reports whether t is bdd.Ref or a direct container of it.
+// Named struct types are not recursed into: their own declaration is
+// checked where it is defined.
+func bearsRef(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Slice:
+		return bearsRef(t.Elem())
+	case *types.Array:
+		return bearsRef(t.Elem())
+	case *types.Map:
+		return bearsRef(t.Key()) || bearsRef(t.Elem())
+	default:
+		return framework.NamedIn(t, "bdd", "Ref")
+	}
+}

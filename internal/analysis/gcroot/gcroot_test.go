@@ -1,0 +1,12 @@
+package gcroot_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/gcroot"
+)
+
+func TestGCRoot(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), gcroot.Analyzer, "gcroot/a")
+}

@@ -1,0 +1,30 @@
+// Package bdd is a minimal stub of repro/internal/bdd for analyzer
+// tests: same package name, same shapes, no logic.
+package bdd
+
+// Ref indexes a node in one Engine's store.
+type Ref int32
+
+// False and True are the terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// Engine is a stub BDD engine.
+type Engine struct{ nodes int }
+
+// New returns a stub engine.
+func New(nvars int) *Engine { return &Engine{} }
+
+// Var returns the predicate for bit i.
+func (e *Engine) Var(i int) Ref { return Ref(i + 2) }
+
+// And is conjunction.
+func (e *Engine) And(a, b Ref) Ref { return a }
+
+// Or is disjunction.
+func (e *Engine) Or(a, b Ref) Ref { return a }
+
+// Not is negation.
+func (e *Engine) Not(a Ref) Ref { return a }

@@ -1,0 +1,46 @@
+package a
+
+import "bdd"
+
+type leaky struct {
+	match bdd.Ref // want `struct leaky holds bdd.Ref field match but defines no Roots`
+	name  string
+}
+
+type rooted struct {
+	refs []bdd.Ref // Roots below enumerates them: ok
+}
+
+func (r *rooted) Roots(yield func(bdd.Ref)) {
+	for _, p := range r.refs {
+		yield(p)
+	}
+}
+
+type valueRooted struct {
+	p bdd.Ref // value-receiver Roots: ok
+}
+
+func (v valueRooted) Roots(yield func(bdd.Ref)) { yield(v.p) }
+
+type wrongShape struct {
+	p bdd.Ref // want `struct wrongShape holds bdd.Ref field p but defines no Roots`
+}
+
+// Roots here is not an enumerator — it returns the refs instead of
+// yielding them, so GC driver code cannot call it.
+func (w *wrongShape) Roots() []bdd.Ref { return []bdd.Ref{w.p} }
+
+type keyed struct {
+	classes map[bdd.Ref]int // want `struct keyed holds bdd.Ref field classes but defines no Roots`
+}
+
+//flashvet:allow gcroot — rule refs are enumerated by the owning table's Roots
+type element struct {
+	match bdd.Ref
+	pri   int
+}
+
+type clean struct {
+	n int // no Ref fields: ok
+}

@@ -251,6 +251,7 @@ func (v *Verifier) delete(dev fib.DeviceID, r fib.Rule) error {
 
 // clear removes device dev's coordinate from every class intersecting pred.
 func (v *Verifier) clear(dev fib.DeviceID, pred bdd.Ref) {
+	//flashvet:allow gcroot — transient intermediates within one clear call; dead before any collection can run
 	type move struct {
 		vec   pat.Ref
 		inter bdd.Ref
@@ -287,4 +288,45 @@ func sortRules(rs []fib.Rule) {
 			rs[j], rs[j-1] = rs[j-1], rs[j]
 		}
 	}
+}
+
+// Roots yields every BDD ref the verifier holds — the EC model, the
+// device tables, and the by-ID rule index — for the engine's
+// mark-and-sweep GC root set. The prefix tries index rule IDs, not
+// predicates, so they are GC-invariant.
+func (v *Verifier) Roots(yield func(bdd.Ref)) {
+	v.model.Roots(yield)
+	for _, tb := range v.tables {
+		tb.Roots(yield)
+	}
+	for _, rs := range v.rules {
+		for _, r := range rs {
+			yield(r.Match)
+		}
+	}
+}
+
+// RemapRefs rewrites all held refs through a GC remap. Tables and the
+// rule index hold independent value copies of each rule, so both are
+// rewritten.
+func (v *Verifier) RemapRefs(m bdd.Remap) {
+	v.model.RemapRefs(m)
+	for _, tb := range v.tables {
+		tb.RemapRefs(m)
+	}
+	for _, rs := range v.rules {
+		for id, r := range rs {
+			r.Match = m.Apply(r.Match)
+			rs[id] = r
+		}
+	}
+}
+
+// GC runs a mark-and-sweep collection on the verifier's engine and
+// rewrites the verifier's state through the resulting remap. The caller
+// must not hold any other refs into v.E across the call.
+func (v *Verifier) GC() bdd.GCStats {
+	remap, st := v.E.GC(v.Roots)
+	v.RemapRefs(remap)
+	return st
 }

@@ -51,6 +51,25 @@ type cacheKey struct {
 	f, g, h Ref
 }
 
+// uniqueKey identifies a decision node (level, lo, hi) in the unique
+// table. A struct key is collision-proof for the full Ref range; the
+// earlier packed form (level<<48 | lo<<24 | hi) silently collided once
+// any child Ref reached 2^24, letting lo bleed into the level bits and
+// hi into the lo bits — mk would then return a Ref for an unrelated
+// node, breaking the "equal Refs ⇔ equivalent predicates" invariant.
+type uniqueKey struct {
+	level int32
+	lo    Ref
+	hi    Ref
+}
+
+// nodeKey builds the unique-table key for the node (level, lo, hi).
+// All unique-table lookups and insertions must go through this single
+// function so the regression tests can exercise it directly.
+func nodeKey(level int32, lo, hi Ref) uniqueKey {
+	return uniqueKey{level: level, lo: lo, hi: hi}
+}
+
 // DefaultCacheLimit bounds the ITE computed cache of a new Engine, in
 // entries. One entry is ~28 bytes of map payload, so the default caps a
 // single engine's cache around 30 MB; engines are per subspace worker,
@@ -63,7 +82,7 @@ const DefaultCacheLimit = 1 << 20
 type Engine struct {
 	nvars      int
 	nodes      []node
-	unique     map[uint64]Ref
+	unique     map[uniqueKey]Ref
 	cache      map[cacheKey]Ref
 	cacheLimit int           // max computed-cache entries; <= 0 means unbounded
 	ops        atomic.Uint64 // user-level predicate operations (∧, ∨, ¬)
@@ -71,6 +90,8 @@ type Engine struct {
 	cacheHits      atomic.Uint64 // ITE computed-cache hits
 	cacheMisses    atomic.Uint64 // ITE computed-cache misses (recursive computations)
 	cacheEvictions atomic.Uint64 // computed-cache resets forced by the size cap
+	gcRuns         atomic.Uint64 // completed GC passes
+	gcReclaimed    atomic.Uint64 // nodes swept across all GC passes
 }
 
 // New returns an Engine over nvars Boolean variables. nvars must be
@@ -82,7 +103,7 @@ func New(nvars int) *Engine {
 	e := &Engine{
 		nvars:      nvars,
 		nodes:      make([]node, 2, 1024),
-		unique:     make(map[uint64]Ref, 1024),
+		unique:     make(map[uniqueKey]Ref, 1024),
 		cache:      make(map[cacheKey]Ref, 1024),
 		cacheLimit: DefaultCacheLimit,
 	}
@@ -149,7 +170,7 @@ func (e *Engine) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
-	key := uint64(level)<<48 | uint64(uint32(lo))<<24 | uint64(uint32(hi))
+	key := nodeKey(level, lo, hi)
 	if r, ok := e.unique[key]; ok {
 		return r
 	}
@@ -302,6 +323,9 @@ func (e *Engine) OrN(refs ...Ref) Ref {
 // it is the primitive used to construct match predicates, not a
 // model-update operation.
 func (e *Engine) Cube(vars []int, bits uint64) Ref {
+	if len(vars) > 64 {
+		panic(fmt.Sprintf("bdd: Cube with %d variables exceeds the 64-bit polarity mask", len(vars)))
+	}
 	r := True
 	for i := len(vars) - 1; i >= 0; i-- {
 		v := vars[i]

@@ -1,0 +1,119 @@
+package bdd
+
+// In-engine mark-and-sweep garbage collection.
+//
+// The paper's reference implementation leans on JDD, which garbage-
+// collects its node table (§5.4 fn10); without reclamation a long-lived
+// per-subspace verifier grows monotonically under churn. GC restores
+// that property for this engine: the caller enumerates the Refs it
+// still holds (the root set), the engine marks everything reachable
+// from them, sweeps the rest, compacts the node slice in place, and
+// returns a dense old→new remap the caller applies to every held Ref.
+//
+// Marking exploits the construction invariant that mk appends a node
+// only after both children exist, so children always sit at smaller
+// slice indices than their parents: setting the root bits and making
+// one descending pass over the node slice closes the live set, and one
+// ascending pass compacts it with children relocated before any parent
+// needs their new positions. Both passes are O(nodes) with no stack.
+
+import "fmt"
+
+// Remap is the dense old→new Ref translation produced by a GC pass.
+// Entries for swept (dead) nodes are negative; Apply panics on them,
+// because a held Ref that was not in the root set is a leak the caller
+// must fix, not a condition to paper over.
+type Remap []Ref
+
+// deadRef marks a swept node in a Remap.
+const deadRef = Ref(-1)
+
+// Apply translates a pre-GC Ref to its post-GC position.
+func (m Remap) Apply(r Ref) Ref {
+	if r < 0 || int(r) >= len(m) {
+		panic(fmt.Sprintf("bdd: Remap.Apply(%d) outside the pre-GC node range [0,%d)", r, len(m)))
+	}
+	nr := m[r]
+	if nr < 0 {
+		panic(fmt.Sprintf("bdd: Remap.Apply(%d) on a swept node — the Ref was held but not enumerated as a GC root", r))
+	}
+	return nr
+}
+
+// Live reports whether r survived the collection.
+func (m Remap) Live(r Ref) bool {
+	return r >= 0 && int(r) < len(m) && m[r] >= 0
+}
+
+// GCStats summarizes one collection pass. Counts include the two
+// terminal nodes, matching NumNodes.
+type GCStats struct {
+	Before    int // nodes before the pass
+	After     int // live nodes after the pass
+	Reclaimed int // Before - After
+}
+
+// GC runs a mark-and-sweep collection. roots must yield every Ref the
+// caller still holds; anything not reachable from a yielded Ref (or a
+// terminal) is swept. The node slice is compacted in place, the unique
+// table is rebuilt over the survivors, and the computed cache is
+// dropped (it memoizes pre-GC Refs). All outstanding Refs are
+// invalidated: the caller must rewrite each one through the returned
+// Remap before touching the engine again. Owner-only, like all
+// structural methods.
+func (e *Engine) GC(roots func(yield func(Ref))) (Remap, GCStats) {
+	n := len(e.nodes)
+	live := make([]bool, n)
+	live[False], live[True] = true, true
+	roots(func(r Ref) {
+		if r < 0 || int(r) >= n {
+			panic(fmt.Sprintf("bdd: GC root %d outside the node range [0,%d)", r, n))
+		}
+		live[r] = true
+	})
+	// Children precede parents in the slice, so one descending pass
+	// propagates liveness to the full reachable set.
+	for i := n - 1; i >= 2; i-- {
+		if live[i] {
+			nd := e.nodes[i]
+			live[nd.lo] = true
+			live[nd.hi] = true
+		}
+	}
+	// Ascending sweep: a survivor's children were already relocated, so
+	// remap[lo] and remap[hi] are final by the time the parent moves.
+	remap := make(Remap, n)
+	next := Ref(2)
+	remap[False], remap[True] = False, True
+	for i := 2; i < n; i++ {
+		if !live[i] {
+			remap[i] = deadRef
+			continue
+		}
+		nd := e.nodes[i]
+		nd.lo = remap[nd.lo]
+		nd.hi = remap[nd.hi]
+		e.nodes[next] = nd
+		remap[i] = next
+		next++
+	}
+	e.nodes = e.nodes[:next]
+	e.unique = make(map[uniqueKey]Ref, next)
+	for i := Ref(2); i < next; i++ {
+		nd := e.nodes[i]
+		e.unique[nodeKey(nd.level, nd.lo, nd.hi)] = i
+	}
+	e.cache = make(map[cacheKey]Ref, 1024)
+	st := GCStats{Before: n, After: int(next), Reclaimed: n - int(next)}
+	e.gcRuns.Add(1)
+	e.gcReclaimed.Add(uint64(st.Reclaimed))
+	return remap, st
+}
+
+// GCRuns reports how many GC passes have completed. Safe for concurrent
+// use, like the other activity counters.
+func (e *Engine) GCRuns() uint64 { return e.gcRuns.Load() }
+
+// ReclaimedNodes reports the total node count swept across all GC
+// passes. Safe for concurrent use.
+func (e *Engine) ReclaimedNodes() uint64 { return e.gcReclaimed.Load() }

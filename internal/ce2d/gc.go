@@ -1,0 +1,103 @@
+package ce2d
+
+import "repro/internal/bdd"
+
+// GC root enumeration and remapping for the engine's mark-and-sweep
+// collection (see internal/bdd). A subspace worker owns one engine
+// shared by every verifier epoch of the subspace, so the dispatcher —
+// which holds the queued messages and the live verifiers — is the root
+// set's entry point; Verifier exposes its own pair for callers that
+// drive a verifier directly.
+
+// Roots yields every BDD ref the verifier holds: the subspace universe,
+// the Fast IMT transformer state (EC model + device tables), each
+// check's packet space, every class predicate keyed in the detection
+// maps, and the classes of undrained events.
+func (v *Verifier) Roots(yield func(bdd.Ref)) {
+	yield(v.cfg.Universe)
+	v.transform.Roots(yield)
+	for _, cs := range v.checks {
+		yield(cs.check.Space)
+		for p := range cs.vgraphs {
+			yield(p)
+		}
+		for p := range cs.loops {
+			yield(p)
+		}
+		for p := range cs.multi {
+			yield(p)
+		}
+		for p := range cs.cover {
+			yield(p)
+		}
+		for p := range cs.settled {
+			yield(p)
+		}
+	}
+	for i := range v.events {
+		yield(v.events[i].Class)
+	}
+}
+
+// RemapRefs rewrites every held ref through a GC remap. Ref-keyed class
+// maps are rebuilt: a Remap is injective on live refs, so rebuilding
+// cannot merge classes.
+func (v *Verifier) RemapRefs(m bdd.Remap) {
+	v.cfg.Universe = m.Apply(v.cfg.Universe)
+	v.transform.RemapRefs(m)
+	for _, cs := range v.checks {
+		cs.check.Space = m.Apply(cs.check.Space)
+		cs.vgraphs = remapKeys(m, cs.vgraphs)
+		cs.loops = remapKeys(m, cs.loops)
+		cs.multi = remapKeys(m, cs.multi)
+		cs.cover = remapKeys(m, cs.cover)
+		cs.settled = remapKeys(m, cs.settled)
+	}
+	for i := range v.events {
+		v.events[i].Class = m.Apply(v.events[i].Class)
+	}
+}
+
+// remapKeys rebuilds a class-predicate-keyed map under a GC remap.
+func remapKeys[V any](m bdd.Remap, in map[bdd.Ref]V) map[bdd.Ref]V {
+	if in == nil {
+		return nil
+	}
+	out := make(map[bdd.Ref]V, len(in))
+	for p, v := range in {
+		out[m.Apply(p)] = v
+	}
+	return out
+}
+
+// Roots yields every BDD ref the dispatcher holds: the Match refs of
+// retained (replayable) device queues and the full root set of each
+// live per-epoch verifier.
+func (d *Dispatcher) Roots(yield func(bdd.Ref)) {
+	for _, q := range d.queues {
+		for _, msg := range q {
+			for i := range msg.Updates {
+				yield(msg.Updates[i].Rule.Match)
+			}
+		}
+	}
+	for _, v := range d.verifiers {
+		v.Roots(yield)
+	}
+}
+
+// RemapRefs rewrites all held refs through a GC remap. Queue storage is
+// never aliased by verifier tables (feeding copies updates through the
+// cancel/merge pipeline), so queues and verifiers remap independently.
+func (d *Dispatcher) RemapRefs(m bdd.Remap) {
+	for _, q := range d.queues {
+		for _, msg := range q {
+			for i := range msg.Updates {
+				msg.Updates[i].Rule.Match = m.Apply(msg.Updates[i].Rule.Match)
+			}
+		}
+	}
+	for _, v := range d.verifiers {
+		v.RemapRefs(m)
+	}
+}

@@ -34,6 +34,7 @@ const (
 // Check is one verification requirement bound to a packet space.
 //
 //flashvet:allow bddref — Space is expressed in the engine of the Verifier the check is registered with (Config.Engine)
+//flashvet:allow gcroot — registered checks' Space refs are enumerated by the owning Verifier's Roots (per-check classState)
 type Check struct {
 	Name    string
 	Kind    CheckKind
@@ -49,6 +50,7 @@ type Check struct {
 // equivalence class of the packet space.
 //
 //flashvet:allow bddref — Class is minted by the emitting Verifier's engine; consumers treat it as opaque
+//flashvet:allow gcroot — buffered events' Class refs are enumerated by the emitting Verifier's Roots (v.events)
 type Event struct {
 	Check string
 	Class bdd.Ref // the class of headers the result applies to
@@ -58,6 +60,8 @@ type Event struct {
 }
 
 // Config configures an epoch verifier.
+//
+//flashvet:allow gcroot — Universe is enumerated by the owning Verifier's Roots (cfg.Universe)
 type Config struct {
 	Topo   *topo.Graph
 	Engine *bdd.Engine
@@ -93,6 +97,7 @@ func DefaultActionMap(g *topo.Graph) func(fib.Action) reach.SyncState {
 // space (the ecTable of Algorithm 2).
 //
 //flashvet:allow bddref — all class predicates live in the owning Verifier's engine (v.eng)
+//flashvet:allow gcroot — every class map is enumerated by the owning Verifier's Roots
 type classState struct {
 	check Check
 	// classes maps class predicate → per-class detection state. Class
@@ -168,6 +173,11 @@ func NewVerifier(cfg Config) *Verifier {
 		}
 		v.checks = append(v.checks, cs)
 	}
+	// Each classState copied its Check above; drop the caller's slice so
+	// the verifier holds no alias into it. Otherwise RemapRefs would
+	// rewrite check Spaces the caller also remaps (a double Apply, which
+	// panics on the second pass because the first result is post-GC).
+	v.cfg.Checks = nil
 	return v
 }
 
@@ -250,6 +260,7 @@ func (v *Verifier) syncCheck(cs *classState, dev fib.DeviceID, rules []fib.Rule,
 			continue
 		}
 		// Split class p by the device's distinct actions over it.
+		//flashvet:allow gcroot — transient split predicates within one feed call; dead before any collection can run
 		type part struct {
 			pred   bdd.Ref
 			action fib.Action

@@ -65,6 +65,7 @@ func (a Action) String() string {
 // (intervals, prefix tries); Match remains authoritative.
 //
 //flashvet:allow bddref — Match is owned by the engine of the Table/Transformer the rule is installed into
+//flashvet:allow gcroot — installed rules' Match refs are enumerated by the owning Table's Roots
 type Rule struct {
 	ID     int64
 	Match  bdd.Ref
@@ -259,4 +260,21 @@ func SortByPriority(updates []Update) {
 		}
 		return a.Op == Delete && b.Op == Insert
 	})
+}
+
+// Roots yields every BDD predicate the table holds (each rule's Match),
+// for the engine's mark-and-sweep GC root set.
+func (t *Table) Roots(yield func(bdd.Ref)) {
+	for i := range t.rules {
+		yield(t.rules[i].Match)
+	}
+}
+
+// RemapRefs rewrites every Match through a GC remap. Must be called
+// exactly once per collection, with the Remap returned by the owning
+// engine's GC.
+func (t *Table) RemapRefs(m bdd.Remap) {
+	for i := range t.rules {
+		t.rules[i].Match = m.Apply(t.rules[i].Match)
+	}
 }

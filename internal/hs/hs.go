@@ -276,3 +276,20 @@ func (s *Space) Assignment(h Header) []bool {
 func (s *Space) Contains(p bdd.Ref, h Header) bool {
 	return s.E.Eval(p, s.Assignment(h))
 }
+
+// Roots yields the per-bit variable predicates, for the engine's
+// mark-and-sweep GC root set. Variable nodes are single-node BDDs the
+// engine would re-mint on first use anyway, but keeping them live means
+// cached vars never dangle across a collection.
+func (s *Space) Roots(yield func(bdd.Ref)) {
+	for _, v := range s.vars {
+		yield(v)
+	}
+}
+
+// RemapRefs rewrites the cached variable predicates through a GC remap.
+func (s *Space) RemapRefs(m bdd.Remap) {
+	for i := range s.vars {
+		s.vars[i] = m.Apply(s.vars[i])
+	}
+}

@@ -1,6 +1,7 @@
 package imt
 
 import (
+	"repro/internal/bdd"
 	"repro/internal/fib"
 	"repro/internal/obs"
 )
@@ -132,4 +133,25 @@ func (b *Batcher) Flush() error {
 	b.stats.Flushes++
 	b.m.flushes.Inc()
 	return b.T.ApplyBlock(blocks)
+}
+
+// Roots yields the Match refs of all buffered (not yet flushed)
+// updates, for the engine's mark-and-sweep GC root set. The batcher
+// owns its pending storage (Add copies update slices), so remapping
+// here cannot alias the transformer's tables.
+func (b *Batcher) Roots(yield func(bdd.Ref)) {
+	for _, blk := range b.pending {
+		for i := range blk.Updates {
+			yield(blk.Updates[i].Rule.Match)
+		}
+	}
+}
+
+// RemapRefs rewrites the buffered Match refs through a GC remap.
+func (b *Batcher) RemapRefs(m bdd.Remap) {
+	for _, blk := range b.pending {
+		for i := range blk.Updates {
+			blk.Updates[i].Rule.Match = m.Apply(blk.Updates[i].Rule.Match)
+		}
+	}
 }

@@ -430,3 +430,50 @@ func TestAggregationReducesOverwrites(t *testing.T) {
 		t.Errorf("model has %d classes, want 2", tr.Model().Len())
 	}
 }
+
+// TestApplyBlockRepeatedDevice: one ApplyBlock call may legally carry
+// several blocks for the same device (the batcher only coalesces
+// *adjacent* same-device blocks, so a pending buffer like [d, d', d]
+// reaches the transformer with d split in two). Aggregation must not
+// scramble their temporal order: here the first d-block's delete frees
+// the 0/1 half of the space (a clear overwrite) and the second d-block
+// re-covers it with fwd(6). Merging both blocks' fwd(6) atoms into one
+// overwrite ahead of the clear would wrongly erase the re-covered half.
+func TestApplyBlockRepeatedDevice(t *testing.T) {
+	s, ps, tr := newTestRig()
+	hi := s.Prefix("dst", 0xC0, 2)  // 192..255
+	top := s.Prefix("dst", 0x80, 1) // 128..255
+	low := s.Prefix("dst", 0x00, 1) // 0..127
+	r1 := fib.Rule{ID: 1, Pri: 30, Match: hi, Action: fib.Forward(1)}
+	r2 := fib.Rule{ID: 2, Pri: 20, Match: top, Action: fib.Forward(6)}
+	r3 := fib.Rule{ID: 3, Pri: 20, Match: low, Action: fib.Forward(6)}
+	if err := tr.ApplyBlock([]fib.Block{ins(0, r1), ins(0, r2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Same device twice in one call: delete r1, then (second block)
+	// insert r3. Sequential semantics: every header now forwards via 6.
+	err := tr.ApplyBlock([]fib.Block{
+		{Device: 0, Updates: []fib.Update{{Op: fib.Delete, Rule: r1}}},
+		{Device: 0, Updates: []fib.Update{{Op: fib.Insert, Rule: r3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Model().Validate(tr.E); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []uint64{0, 5, 127, 128, 200, 255} {
+		asg := s.Assignment([]uint64{h})
+		vec, ok := tr.Model().Lookup(tr.E, asg)
+		if !ok {
+			t.Fatalf("header %d: not covered by any class", h)
+		}
+		if got := ps.Get(vec, 0); got != fib.Forward(6) {
+			t.Errorf("header %d: model says dev0 %v, want fwd(6)", h, got)
+		}
+		want := tr.BehaviorAt(asg)
+		if got := ps.Get(vec, 0); got != want[0] {
+			t.Errorf("header %d: model %v disagrees with forward lookup %v", h, got, want[0])
+		}
+	}
+}

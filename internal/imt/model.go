@@ -103,6 +103,7 @@ func (m *Model) Validate(e *bdd.Engine) error {
 // for robustness.
 //
 //flashvet:allow bddref — Pred is minted by the Transformer's engine during decompose and consumed by the same engine in Apply
+//flashvet:allow gcroot — overwrites are transient within one ApplyBlock; batched updates awaiting application are enumerated by Batcher.Roots
 type Overwrite struct {
 	Pred  bdd.Ref
 	Delta pat.Ref
@@ -123,6 +124,7 @@ func (m *Model) Apply(e *bdd.Engine, ps *pat.Store, ows []Overwrite) {
 }
 
 func (m *Model) applyOne(e *bdd.Engine, ps *pat.Store, w Overwrite) {
+	//flashvet:allow gcroot — transient intermediates within one applyOne call; dead before any collection can run
 	type move struct {
 		vec   pat.Ref
 		inter bdd.Ref
@@ -155,5 +157,24 @@ func (m *Model) applyOne(e *bdd.Engine, ps *pat.Store, w Overwrite) {
 		} else {
 			m.ECs[nv] = mv.inter
 		}
+	}
+}
+
+// Roots yields the model's universe and every EC predicate, for the
+// engine's mark-and-sweep GC root set.
+func (m *Model) Roots(yield func(bdd.Ref)) {
+	yield(m.Universe)
+	for _, p := range m.ECs {
+		yield(p)
+	}
+}
+
+// RemapRefs rewrites the model's refs through a GC remap. The ECs map
+// is keyed by PAT action vectors, which a BDD collection never moves,
+// so only the predicate values change.
+func (m *Model) RemapRefs(rm bdd.Remap) {
+	m.Universe = rm.Apply(m.Universe)
+	for vec, p := range m.ECs {
+		m.ECs[vec] = rm.Apply(p)
 	}
 }

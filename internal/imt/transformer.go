@@ -141,6 +141,7 @@ func (t *Transformer) NumRules() int {
 // atomic is one atomic overwrite (eff, {y_dev = action}) before reduction.
 //
 //flashvet:allow bddref — eff is minted and consumed inside one ApplyBlock call on t.E
+//flashvet:allow gcroot — atomics are dead before ApplyBlock returns; no collection can interleave
 type atomic struct {
 	eff    bdd.Ref
 	action fib.Action
@@ -158,6 +159,15 @@ func (t *Transformer) ApplyBlock(blocks []fib.Block) error {
 	t.m.blocks.Inc()
 
 	// ---- Map: Algorithm 1 per device. ----
+	// A call may carry several blocks for the same device (the batcher
+	// only coalesces adjacent same-device blocks, so a buffer like
+	// [d, d', d] arrives with d split in two). Decomposing each split
+	// separately would hand Reduce I overlapping atom sets whose
+	// temporal order the by-action merge then scrambles — a clear from
+	// the first split could erase headers the second split re-covers.
+	// Fold every device's updates into one stream first: Algorithm 1
+	// computes the old→final transition of the whole stream atomically.
+	blocks = mergeSameDevice(blocks)
 	start := time.Now()
 	updatesBefore, atomicBefore := t.stats.Updates, t.stats.Atomic
 	type devAtoms struct {
@@ -242,6 +252,40 @@ func (t *Transformer) ApplyBlock(blocks []fib.Block) error {
 	t.observeModel()
 	t.checkModelInvariants("ApplyBlock")
 	return nil
+}
+
+// mergeSameDevice folds duplicate-device blocks into one update stream
+// per device, keeping first-appearance device order and per-device
+// update order. The common case (all devices distinct) returns the
+// input untouched; when a merge is needed the merged block gets fresh
+// storage, so callers' update slices are never mutated.
+func mergeSameDevice(blocks []fib.Block) []fib.Block {
+	seen := make(map[fib.DeviceID]int, len(blocks))
+	dup := false
+	for _, b := range blocks {
+		if _, ok := seen[b.Device]; ok {
+			dup = true
+			break
+		}
+		seen[b.Device] = 0
+	}
+	if !dup {
+		return blocks
+	}
+	merged := make([]fib.Block, 0, len(blocks))
+	idx := make(map[fib.DeviceID]int, len(blocks))
+	for _, b := range blocks {
+		if j, ok := idx[b.Device]; ok {
+			m := &merged[j]
+			ups := make([]fib.Update, 0, len(m.Updates)+len(b.Updates))
+			ups = append(append(ups, m.Updates...), b.Updates...)
+			m.Updates = ups
+		} else {
+			idx[b.Device] = len(merged)
+			merged = append(merged, b)
+		}
+	}
+	return merged
 }
 
 // observeModel refreshes the instantaneous model gauges. The size walks
@@ -435,4 +479,23 @@ func (t *Transformer) Devices() []fib.DeviceID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Roots yields every BDD ref the transformer's state holds — the EC
+// model (universe + class predicates) and each device table's rule
+// matches — for the engine's mark-and-sweep GC root set.
+func (t *Transformer) Roots(yield func(bdd.Ref)) {
+	t.model.Roots(yield)
+	for _, tb := range t.tables {
+		tb.Roots(yield)
+	}
+}
+
+// RemapRefs rewrites all held refs through a GC remap. Must be called
+// exactly once after each collection on t.E.
+func (t *Transformer) RemapRefs(m bdd.Remap) {
+	t.model.RemapRefs(m)
+	for _, tb := range t.tables {
+		tb.RemapRefs(m)
+	}
 }

@@ -31,6 +31,7 @@ import (
 // have Field set to Value and are then forwarded per Next.
 //
 //flashvet:allow bddref — Match is expressed in the engine of the Transformer the rule set is applied to
+//flashvet:allow gcroot — rewrite rule sets are caller-owned inputs consumed during Expand; the caller's root set covers them
 type Rule struct {
 	Device fib.DeviceID
 	Match  bdd.Ref

@@ -99,6 +99,17 @@ func WithBatch(n int) Option {
 	return optionFunc(func(c *Config) { c.Batch = n })
 }
 
+// WithMemoryBudget bounds each subspace worker's live BDD node count
+// (see Config.MemoryBudget): an engine grown past the budget runs an
+// in-engine mark-and-sweep GC after the block that crossed it, and a
+// ModelBuilder worker falls back to a full Compact rotation when
+// collection alone cannot fit the budget. Reclamation never changes
+// models or verdicts — only when nodes are released. n <= 0 (the
+// default) disables automatic reclamation.
+func WithMemoryBudget(n int) Option {
+	return optionFunc(func(c *Config) { c.MemoryBudget = n })
+}
+
 // WithMetrics attaches an observability registry. Every subsystem
 // publishes under its own sub-registry — imt/subspace<i> for
 // ModelBuilder workers, ce2d/subspace<i> (with a nested imt) for System
