@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random soak
+.PHONY: build test vet lint flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random soak apicheck
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,12 @@ bench-record:
 soak:
 	$(GO) test -race -count=1 -run 'TestSoak|TestChaosGCUnderPoisoning' .
 
+# Diff the exported surface of the root flash package against the
+# committed golden (api/flash.txt). Regenerate after an intentional API
+# change with: go run ./cmd/flashapi -write
+apicheck:
+	$(GO) run ./cmd/flashapi -dir . -golden api/flash.txt
+
 # Brief fuzz pass over the predicate compiler, the Fast IMT oracle
 # differential, and the wire decoders; seeds live under testdata/fuzz/.
 fuzz:
@@ -82,4 +88,4 @@ chaos:
 chaos-random:
 	FLASH_CHAOS_SEED=random $(GO) test -race -count=1 -v -run 'TestChaosModelEquality' .
 
-check: vet lint race checkstrict chaos soak
+check: vet lint apicheck race checkstrict chaos soak

@@ -25,47 +25,95 @@ func (h *Health) merge(o Health) {
 	}
 }
 
-// AdminHandler serves the operational endpoints of a Flash deployment:
-//
-//	/metrics         the observability registry as indented JSON
-//	/healthz         liveness/degradation probe
-//	/debug/vars      expvar (includes the registry, memstats, cmdline)
-//	/debug/pprof/*   the standard Go profiling endpoints
-//
-// cmd/flashd mounts it on the -admin listener; tests mount it on an
-// httptest server. reg may be nil, in which case /metrics serves an
-// empty object and the debug endpoints still work.
-//
-// health sources (e.g. System.Health, Server.Health) are polled on each
-// /healthz request: all healthy yields "ok"; any degradation yields
-// "degraded" followed by one reason per line. The process is still
-// serving either way, so the status code stays 200 — degradation means
-// reduced coverage (a quarantined subspace or device), not death.
-func AdminHandler(reg *obs.Registry, health ...func() Health) http.Handler {
-	publishExpvar(reg)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		var agg Health
-		for _, src := range health {
-			if src != nil {
-				agg.merge(src())
-			}
-		}
-		if !agg.Degraded {
-			w.Write([]byte("ok\n"))
-			return
-		}
-		w.Write([]byte("degraded\n"))
-		for _, r := range agg.Reasons {
-			w.Write([]byte(r + "\n"))
+// AdminOption configures NewAdminHandler.
+type AdminOption interface {
+	applyAdmin(*adminOpts)
+}
+
+// adminOptionFunc adapts a plain function to the AdminOption interface.
+type adminOptionFunc func(*adminOpts)
+
+func (f adminOptionFunc) applyAdmin(o *adminOpts) { f(o) }
+
+type adminOpts struct {
+	reg       *obs.Registry
+	health    []func() Health
+	sys       *System
+	builder   *ModelBuilder
+	subBuffer int
+}
+
+// WithAdminMetrics attaches the observability registry served by
+// /metrics (and published under expvar).
+func WithAdminMetrics(reg *obs.Registry) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) { o.reg = reg })
+}
+
+// WithAdminHealth appends health sources polled by /healthz (e.g.
+// System.Health, Server.Health).
+func WithAdminHealth(health ...func() Health) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) { o.health = append(o.health, health...) })
+}
+
+// WithAdminSystem mounts the management API (/v1/stats, /v1/specs,
+// /v1/whatif, /v1/subscriptions) over a running System.
+func WithAdminSystem(sys *System) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) { o.sys = sys })
+}
+
+// WithAdminBuilder serves /v1/stats from a ModelBuilder (for offline
+// deployments without a System).
+func WithAdminBuilder(b *ModelBuilder) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) { o.builder = b })
+}
+
+// WithAdminSubscriptionBuffer bounds each SSE subscription's delivery
+// buffer (default 64 events).
+func WithAdminSubscriptionBuffer(n int) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) {
+		if n > 0 {
+			o.subBuffer = n
 		}
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(reg.Snapshot())
+}
+
+// NewAdminHandler serves the operational endpoints of a Flash
+// deployment, versioned under /v1 with a uniform JSON error envelope
+// ({"error": {"code", "message"}}) on failures:
+//
+//	/v1/healthz        liveness/degradation probe (text)
+//	/v1/metrics        the observability registry as indented JSON
+//	/v1/stats          StatsSnapshot of the mounted System (or builder)
+//	/v1/specs          configured checks merged with current verdicts
+//	/v1/whatif         POST a what-if transaction (see api.go for shapes)
+//	/v1/subscriptions  verdict snapshot (JSON) or live push (SSE)
+//
+// /metrics and /healthz remain unversioned aliases for scrapers, and
+// the standard debug endpoints (/debug/vars, /debug/pprof/*) are always
+// mounted. cmd/flashd mounts the handler on the -admin listener.
+//
+// Health sources are polled on each /healthz request: all healthy
+// yields "ok"; any degradation yields "degraded" plus one reason per
+// line. The status code stays 200 either way — degradation means
+// reduced coverage (a quarantined subspace or device), not death.
+func NewAdminHandler(opts ...AdminOption) http.Handler {
+	o := adminOpts{subBuffer: 64}
+	for _, opt := range opts {
+		opt.applyAdmin(&o)
+	}
+	publishExpvar(o.reg)
+	h := &apiHandler{opts: o}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/v1/healthz", h.healthz)
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/v1/metrics", h.metrics)
+	mux.HandleFunc("/v1/stats", h.stats)
+	mux.HandleFunc("/v1/specs", h.specs)
+	mux.HandleFunc("/v1/whatif", h.whatIf)
+	mux.HandleFunc("/v1/subscriptions", h.subscriptions)
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, http.StatusNotFound, "not_found", "unknown endpoint "+r.URL.Path)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -74,6 +122,40 @@ func AdminHandler(reg *obs.Registry, health ...func() Health) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// AdminHandler is the original positional constructor.
+//
+// Deprecated: use NewAdminHandler(WithAdminMetrics(reg),
+// WithAdminHealth(health...)) — and WithAdminSystem to mount the /v1
+// management API.
+func AdminHandler(reg *obs.Registry, health ...func() Health) http.Handler {
+	return NewAdminHandler(WithAdminMetrics(reg), WithAdminHealth(health...))
+}
+
+func (h *apiHandler) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var agg Health
+	for _, src := range h.opts.health {
+		if src != nil {
+			agg.merge(src())
+		}
+	}
+	if !agg.Degraded {
+		w.Write([]byte("ok\n"))
+		return
+	}
+	w.Write([]byte("degraded\n"))
+	for _, r := range agg.Reasons {
+		w.Write([]byte(r + "\n"))
+	}
+}
+
+func (h *apiHandler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h.opts.reg.Snapshot())
 }
 
 // expvar publication is process-global and panics on duplicate names, so

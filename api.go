@@ -1,0 +1,418 @@
+package flash
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fib"
+)
+
+// apiHandler implements the /v1 management API mounted by
+// NewAdminHandler. Every failure is reported as the uniform envelope
+//
+//	{"error": {"code": "<machine-readable>", "message": "<human>"}}
+//
+// so clients can switch on code without parsing prose.
+type apiHandler struct {
+	opts adminOpts
+}
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+func writeAPIJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ---- JSON shapes ----
+
+// apiMatch mirrors FieldMatch: {"field":"dst","kind":"prefix",
+// "value":167772160,"len":8} or {"kind":"ternary","value":…,"mask":…}.
+type apiMatch struct {
+	Field string `json:"field"`
+	Kind  string `json:"kind"` // "prefix" | "ternary"
+	Value uint64 `json:"value"`
+	Len   int    `json:"len,omitempty"`
+	Mask  uint64 `json:"mask,omitempty"`
+}
+
+// apiRule mirrors Rule with the action as a string: "drop", "none", or
+// "fwd:<device>".
+type apiRule struct {
+	ID     int64      `json:"id"`
+	Pri    int32      `json:"pri"`
+	Action string     `json:"action"`
+	Match  []apiMatch `json:"match,omitempty"`
+}
+
+// apiUpdate is one rule update: {"op":"insert","rule":{…}}.
+type apiUpdate struct {
+	Op   string  `json:"op"` // "insert" | "delete"
+	Rule apiRule `json:"rule"`
+}
+
+// apiBlock is one device's update block in a what-if request.
+type apiBlock struct {
+	Device  uint32      `json:"device"`
+	Updates []apiUpdate `json:"updates"`
+}
+
+type whatIfRequest struct {
+	Blocks []apiBlock `json:"blocks"`
+}
+
+// apiResult is one verification result with verdicts rendered as
+// strings.
+type apiResult struct {
+	Subspace int      `json:"subspace"`
+	Epoch    string   `json:"epoch"`
+	Check    string   `json:"check"`
+	Verdict  string   `json:"verdict,omitempty"`
+	Loop     string   `json:"loop,omitempty"`
+	Witness  []uint64 `json:"witness,omitempty"`
+}
+
+func resultToAPI(r Result) apiResult {
+	out := apiResult{
+		Subspace: r.Subspace,
+		Epoch:    r.Epoch,
+		Check:    r.Check,
+		Witness:  r.Witness,
+	}
+	if r.Loop != LoopUnknown {
+		out.Loop = r.Loop.String()
+	} else {
+		out.Verdict = r.Verdict.String()
+	}
+	return out
+}
+
+func actionString(a Action) string {
+	if d, ok := a.NextHop(); ok {
+		return "fwd:" + strconv.FormatUint(uint64(d), 10)
+	}
+	if a == Drop {
+		return "drop"
+	}
+	return "none"
+}
+
+func parseAction(s string) (Action, error) {
+	switch {
+	case s == "drop":
+		return Drop, nil
+	case s == "none" || s == "":
+		return None, nil
+	case strings.HasPrefix(s, "fwd:"):
+		d, err := strconv.ParseUint(s[len("fwd:"):], 10, 32)
+		if err != nil {
+			return None, fmt.Errorf("bad forward target in action %q", s)
+		}
+		return fib.Forward(DeviceID(d)), nil
+	default:
+		return None, fmt.Errorf("unknown action %q (want \"drop\", \"none\", or \"fwd:<device>\")", s)
+	}
+}
+
+func (m apiMatch) toDesc() (FieldMatch, error) {
+	fm := FieldMatch{Field: m.Field, Value: m.Value, Len: m.Len, Mask: m.Mask}
+	switch m.Kind {
+	case "prefix", "":
+		fm.Kind = fib.MatchPrefix
+	case "ternary":
+		fm.Kind = fib.MatchTernary
+	default:
+		return fm, fmt.Errorf("unknown match kind %q (want \"prefix\" or \"ternary\")", m.Kind)
+	}
+	return fm, nil
+}
+
+func (b apiBlock) toBlock() (DeviceBlock, error) {
+	out := DeviceBlock{Device: DeviceID(b.Device)}
+	for i, u := range b.Updates {
+		var op fib.Op
+		switch u.Op {
+		case "insert", "":
+			op = fib.Insert
+		case "delete":
+			op = fib.Delete
+		default:
+			return out, fmt.Errorf("update %d: unknown op %q (want \"insert\" or \"delete\")", i, u.Op)
+		}
+		action, err := parseAction(u.Rule.Action)
+		if err != nil {
+			return out, fmt.Errorf("update %d: %w", i, err)
+		}
+		var desc MatchDesc
+		for _, m := range u.Rule.Match {
+			fm, err := m.toDesc()
+			if err != nil {
+				return out, fmt.Errorf("update %d: %w", i, err)
+			}
+			desc = append(desc, fm)
+		}
+		out.Updates = append(out.Updates, Update{
+			Op: op,
+			Rule: Rule{
+				ID:     u.Rule.ID,
+				Pri:    u.Rule.Pri,
+				Action: action,
+				Desc:   desc,
+			},
+		})
+	}
+	return out, nil
+}
+
+// ---- endpoints ----
+
+// stats serves /v1/stats: the StatsSnapshot of the mounted System, or
+// of the builder when only a builder is mounted.
+func (h *apiHandler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	switch {
+	case h.opts.sys != nil:
+		writeAPIJSON(w, h.opts.sys.StatsSnapshot())
+	case h.opts.builder != nil:
+		writeAPIJSON(w, h.opts.builder.StatsSnapshot())
+	default:
+		writeAPIError(w, http.StatusServiceUnavailable, "no_system", "no system or builder mounted on this admin handler")
+	}
+}
+
+func checkKindString(k CheckKind) string {
+	switch k {
+	case CheckReach:
+		return "reach"
+	case CheckLoopFree:
+		return "loopfree"
+	case CheckAnycast:
+		return "anycast"
+	case CheckMulticast:
+		return "multicast"
+	case CheckCoverage:
+		return "coverage"
+	default:
+		return "unknown"
+	}
+}
+
+type apiSpec struct {
+	Name     string          `json:"name"`
+	Kind     string          `json:"kind"`
+	Expr     string          `json:"expr,omitempty"`
+	Sources  []string        `json:"sources,omitempty"`
+	Dest     string          `json:"dest,omitempty"`
+	Dests    []string        `json:"dests,omitempty"`
+	Verdicts []VerdictStatus `json:"verdicts,omitempty"`
+}
+
+// specs serves /v1/specs: the configured check specs, each merged with
+// its current per-subspace verdicts.
+func (h *apiHandler) specs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	if h.opts.sys == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "no_system", "no system mounted on this admin handler")
+		return
+	}
+	byCheck := make(map[string][]VerdictStatus)
+	for _, vs := range h.opts.sys.Verdicts() {
+		byCheck[vs.Spec] = append(byCheck[vs.Spec], vs)
+	}
+	var out []apiSpec
+	for _, cs := range h.opts.sys.Checks() {
+		out = append(out, apiSpec{
+			Name:     cs.Name,
+			Kind:     checkKindString(cs.Kind),
+			Expr:     cs.Expr,
+			Sources:  cs.Sources,
+			Dest:     cs.Dest,
+			Dests:    cs.Dests,
+			Verdicts: byCheck[cs.Name],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeAPIJSON(w, map[string]any{"specs": out})
+}
+
+// maxWhatIfBody bounds a what-if request body (1 MiB covers thousands
+// of updates; anything larger is almost certainly a mistake).
+const maxWhatIfBody = 1 << 20
+
+// whatIf serves POST /v1/whatif: decode the hypothetical update blocks,
+// run them as a transaction against a fresh snapshot, and return the
+// results the hypothetical network would produce. Live state and
+// subscriptions never observe the transaction.
+func (h *apiHandler) whatIf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	if h.opts.sys == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "no_system", "no system mounted on this admin handler")
+		return
+	}
+	var req whatIfRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWhatIfBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", "decode body: "+err.Error())
+		return
+	}
+	if len(req.Blocks) == 0 {
+		writeAPIError(w, http.StatusBadRequest, "bad_request", "no blocks in request")
+		return
+	}
+	blocks := make([]DeviceBlock, 0, len(req.Blocks))
+	for i, b := range req.Blocks {
+		db, err := b.toBlock()
+		if err != nil {
+			writeAPIError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("block %d: %v", i, err))
+			return
+		}
+		blocks = append(blocks, db)
+	}
+	results, err := h.opts.sys.WhatIf(r.Context(), blocks)
+	if err != nil {
+		switch err {
+		case ErrNoEpoch:
+			writeAPIError(w, http.StatusConflict, "no_epoch", "no live verifier to snapshot yet; feed updates first")
+		case r.Context().Err():
+			writeAPIError(w, http.StatusRequestTimeout, "canceled", err.Error())
+		default:
+			writeAPIError(w, http.StatusInternalServerError, "whatif_failed", err.Error())
+		}
+		return
+	}
+	out := make([]apiResult, 0, len(results))
+	for _, res := range results {
+		out = append(out, resultToAPI(res))
+	}
+	writeAPIJSON(w, map[string]any{"results": out})
+}
+
+// subscriptions serves /v1/subscriptions. A plain GET returns the last
+// published verdict per (spec, subspace) — the snapshot a client should
+// read before trusting change events. With "Accept: text/event-stream"
+// it becomes a live push: each verdict change arrives as an SSE event
+//
+//	id: <seq>
+//	event: verdict
+//	data: {"seq":…,"spec":…,…}
+//
+// until the client disconnects. ?spec=<name> filters either mode to one
+// check.
+func (h *apiHandler) subscriptions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	if h.opts.sys == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, "no_system", "no system mounted on this admin handler")
+		return
+	}
+	spec := r.URL.Query().Get("spec")
+	if !strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		statuses := h.opts.sys.Verdicts()
+		if spec != "" {
+			kept := statuses[:0]
+			for _, vs := range statuses {
+				if vs.Spec == spec {
+					kept = append(kept, vs)
+				}
+			}
+			statuses = kept
+		}
+		writeAPIJSON(w, map[string]any{"verdicts": statuses})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeAPIError(w, http.StatusNotImplemented, "no_streaming", "response writer does not support streaming")
+		return
+	}
+	sub := h.opts.sys.SubscribeVerdicts(spec, h.opts.subBuffer)
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.Events():
+			if !open {
+				return
+			}
+			payload, err := json.Marshal(sseEvent(ev))
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: verdict\ndata: %s\n\n", ev.Seq, payload); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// sseVerdict is the SSE data payload for one verdict event.
+type sseVerdict struct {
+	Seq         uint64   `json:"seq"`
+	Spec        string   `json:"spec"`
+	Subspace    int      `json:"subspace"`
+	Epoch       string   `json:"epoch"`
+	Verdict     string   `json:"verdict,omitempty"`
+	Loop        string   `json:"loop,omitempty"`
+	PrevVerdict string   `json:"prev_verdict,omitempty"`
+	PrevLoop    string   `json:"prev_loop,omitempty"`
+	First       bool     `json:"first,omitempty"`
+	Witness     []uint64 `json:"witness,omitempty"`
+}
+
+func sseEvent(ev VerdictEvent) sseVerdict {
+	out := sseVerdict{
+		Seq:      ev.Seq,
+		Spec:     ev.Spec,
+		Subspace: ev.Subspace,
+		Epoch:    ev.Epoch,
+		First:    ev.First,
+		Witness:  ev.Witness,
+	}
+	if ev.Loop != LoopUnknown {
+		out.Loop = ev.Loop.String()
+	} else {
+		out.Verdict = ev.Verdict.String()
+	}
+	if !ev.First {
+		if ev.PrevLoop != LoopUnknown {
+			out.PrevLoop = ev.PrevLoop.String()
+		} else {
+			out.PrevVerdict = ev.PrevVerdict.String()
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package flash
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func decodeEnvelope(t *testing.T, resp *http.Response) (code, message string) {
+	t.Helper()
+	var env map[string]apiError
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode error envelope: %v", err)
+	}
+	e, ok := env["error"]
+	if !ok {
+		t.Fatalf("no \"error\" key in envelope: %v", env)
+	}
+	return e.Code, e.Message
+}
+
+func TestAdminHandlerNoSystem(t *testing.T) {
+	h := NewAdminHandler(WithAdminMetrics(obs.NewRegistry("apitest-nosys")))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, path := range []string{"/v1/stats", "/v1/specs", "/v1/subscriptions"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s without system: status %d", path, resp.StatusCode)
+		}
+		if code, _ := decodeEnvelope(t, resp); code != "no_system" {
+			t.Fatalf("GET %s: error code %q", path, code)
+		}
+		resp.Body.Close()
+	}
+
+	// Unknown /v1 endpoints use the envelope too.
+	resp, err := http.Get(srv.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown endpoint: status %d", resp.StatusCode)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != "not_found" {
+		t.Fatalf("unknown endpoint: code %q", code)
+	}
+	resp.Body.Close()
+
+	// The unversioned aliases survive for scrapers.
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if got := strings.TrimSpace(string(body[:n])); got != "ok" {
+			t.Fatalf("GET %s = %q, want ok", path, got)
+		}
+	}
+	for _, path := range []string{"/metrics", "/v1/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: not JSON: %v", path, err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestAdminHandlerManagementAPI(t *testing.T) {
+	sys := reachSys(t)
+	feedLine(t, sys, "e1", Forward(2))
+	srv := httptest.NewServer(NewAdminHandler(
+		WithAdminMetrics(obs.NewRegistry("apitest-sys")),
+		WithAdminSystem(sys),
+		WithAdminHealth(sys.Health),
+	))
+	defer srv.Close()
+
+	// /v1/stats reflects the fed model.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Subspaces == 0 || stats.ECs == 0 {
+		t.Fatalf("stats = %+v, want populated", stats)
+	}
+
+	// /v1/specs lists the check with its settled verdict.
+	resp, err = http.Get(srv.URL + "/v1/specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specsBody struct {
+		Specs []apiSpec `json:"specs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&specsBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(specsBody.Specs) != 1 || specsBody.Specs[0].Name != "a-to-d" || specsBody.Specs[0].Kind != "reach" {
+		t.Fatalf("specs = %+v", specsBody.Specs)
+	}
+	if len(specsBody.Specs[0].Verdicts) == 0 {
+		t.Fatalf("spec has no verdicts: %+v", specsBody.Specs[0])
+	}
+
+	// /v1/subscriptions without SSE returns the verdict snapshot.
+	resp, err = http.Get(srv.URL + "/v1/subscriptions?spec=a-to-d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdictsBody struct {
+		Verdicts []VerdictStatus `json:"verdicts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&verdictsBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(verdictsBody.Verdicts) == 0 || verdictsBody.Verdicts[0].Verdict != VerdictSatisfied {
+		t.Fatalf("verdicts = %+v", verdictsBody.Verdicts)
+	}
+
+	// /v1/whatif runs a transaction: b dropping breaks a-to-d.
+	body := `{"blocks":[{"device":1,"updates":[{"op":"insert","rule":{"id":99,"pri":10,"action":"drop","match":[{"field":"dst","kind":"prefix","len":0}]}}]}]}`
+	resp, err = http.Post(srv.URL+"/v1/whatif", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif status %d", resp.StatusCode)
+	}
+	var whatifBody struct {
+		Results []apiResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&whatifBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	broken := false
+	for _, r := range whatifBody.Results {
+		if r.Check == "a-to-d" && r.Verdict == VerdictUnsatisfied.String() {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatalf("whatif results %+v missing unsatisfied a-to-d", whatifBody.Results)
+	}
+
+	// Malformed requests get the envelope, not a panic or a bare 500.
+	for _, bad := range []string{
+		`{"blocks":[`,
+		`{"blocks":[]}`,
+		`{"blocks":[{"device":1,"updates":[{"op":"replace","rule":{}}]}]}`,
+		`{"blocks":[{"device":1,"updates":[{"op":"insert","rule":{"action":"fwd:x"}}]}]}`,
+		`{"blocks":[{"device":1,"updates":[{"op":"insert","rule":{"match":[{"kind":"range"}]}}]}]}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/whatif", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad body %q: status %d", bad, resp.StatusCode)
+		}
+		if code, _ := decodeEnvelope(t, resp); code != "bad_request" {
+			t.Fatalf("bad body %q: code %q", bad, code)
+		}
+		resp.Body.Close()
+	}
+
+	// Wrong method.
+	resp, err = http.Get(srv.URL + "/v1/whatif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET whatif: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestAdminSSESubscription drives the SSE push end to end: subscribe
+// over HTTP, flip a verdict, and read the event frames off the stream.
+func TestAdminSSESubscription(t *testing.T) {
+	sys := reachSys(t)
+	feedLine(t, sys, "e1", Forward(2))
+	srv := httptest.NewServer(NewAdminHandler(WithAdminSystem(sys)))
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/subscriptions?spec=a-to-d", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	type frame struct {
+		id    string
+		event string
+		data  sseVerdict
+	}
+	frames := make(chan frame, 4)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		var f frame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				f.id = line[len("id: "):]
+			case strings.HasPrefix(line, "event: "):
+				f.event = line[len("event: "):]
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(line[len("data: "):]), &f.data); err != nil {
+					return
+				}
+			case line == "":
+				if f.event != "" {
+					frames <- f
+				}
+				f = frame{}
+			}
+		}
+	}()
+
+	// The subscription started after e1 settled, so the flip below is
+	// the first event this subscriber sees.
+	feedLine(t, sys, "e2", Drop)
+	select {
+	case f := <-frames:
+		if f.event != "verdict" || f.id == "" {
+			t.Fatalf("frame = %+v", f)
+		}
+		if f.data.Spec != "a-to-d" || f.data.Verdict != VerdictUnsatisfied.String() {
+			t.Fatalf("payload = %+v, want unsatisfied a-to-d", f.data)
+		}
+		if f.data.PrevVerdict != VerdictSatisfied.String() || f.data.First {
+			t.Fatalf("payload = %+v, want flip from satisfied", f.data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SSE event within 5s")
+	}
+
+	// Disconnecting the client releases the server-side subscription.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.StatsSnapshot().Subscribers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server-side subscription leaked after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

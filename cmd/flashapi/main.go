@@ -1,0 +1,55 @@
+// Command flashapi extracts the exported API surface of the root flash
+// package and diffs it against a committed golden file, so accidental
+// breaking changes (a removed method, a changed signature, a renamed
+// field) fail `make apicheck` instead of reaching a release.
+//
+// Usage:
+//
+//	flashapi -dir . -golden api/flash.txt          # verify
+//	flashapi -dir . -golden api/flash.txt -write   # regenerate
+//
+// The surface format is one declaration per line, sorted, with bodies
+// stripped — stable under reformatting and reordering of the source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "package directory to extract the surface from")
+		golden = flag.String("golden", "api/flash.txt", "committed golden surface file")
+		write  = flag.Bool("write", false, "rewrite the golden file instead of diffing")
+	)
+	flag.Parse()
+
+	got, err := Surface(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if *write {
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flashapi: wrote %s\n", *golden)
+		return
+	}
+	wantB, err := os.ReadFile(*golden)
+	if err != nil {
+		fatal(fmt.Errorf("flashapi: read golden (run with -write to create it): %w", err))
+	}
+	if d := Diff(string(wantB), got); d != "" {
+		fmt.Fprintf(os.Stderr, "flashapi: exported API surface changed relative to %s:\n%s", *golden, d)
+		fmt.Fprintf(os.Stderr, "\nIf the change is intentional, regenerate with:\n\tgo run ./cmd/flashapi -dir %s -golden %s -write\n", *dir, *golden)
+		os.Exit(1)
+	}
+	fmt.Printf("flashapi: surface matches %s\n", *golden)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

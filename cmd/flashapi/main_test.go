@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSurfaceMatchesGolden is the tier-1 enforcement of the committed
+// API surface: any change to the root package's exported declarations
+// must be accompanied by a regenerated api/flash.txt.
+func TestSurfaceMatchesGolden(t *testing.T) {
+	got, err := Surface("../..")
+	if err != nil {
+		t.Fatalf("extract surface: %v", err)
+	}
+	wantB, err := os.ReadFile("../../api/flash.txt")
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with: go run ./cmd/flashapi -write)", err)
+	}
+	if d := Diff(string(wantB), got); d != "" {
+		t.Errorf("exported API surface drifted from api/flash.txt:\n%s\nregenerate with: go run ./cmd/flashapi -write", d)
+	}
+}
+
+// TestSurfaceStable checks the extraction is deterministic and includes
+// the redesigned API's anchors.
+func TestSurfaceStable(t *testing.T) {
+	a, err := Surface("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Surface("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("surface extraction is not deterministic")
+	}
+	for _, want := range []string{
+		"func (s *System) StatsSnapshot() StatsSnapshot",
+		"func (s *System) Snapshot() (*Snapshot, error)",
+		"func (s *System) SubscribeVerdicts(spec string, buffer int) *VerdictSub",
+		"func NewAdminHandler(opts ...AdminOption) http.Handler",
+		"type ServeOption interface {",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("surface is missing %q", want)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	want := "func A()\nfunc B()\n"
+	got := "func A()\nfunc C()\n"
+	d := Diff(want, got)
+	if !strings.Contains(d, "- func B()") || !strings.Contains(d, "+ func C()") {
+		t.Fatalf("diff missed a change:\n%s", d)
+	}
+	if Diff(want, want) != "" {
+		t.Fatal("identical surfaces reported a diff")
+	}
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Surface renders the exported API of the package in dir as one sorted
+// declaration per line. Bodies, comments, unexported declarations,
+// unexported struct fields, and test files are all excluded, so the
+// output is stable under any change that cannot break an external
+// caller.
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					out = append(out, typeLine(fset, s))
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					line := d.Tok.String() + " " + name.Name
+					if s.Type != nil {
+						line += " " + render(fset, s.Type)
+					} else if d.Tok == token.CONST && len(s.Values) > i {
+						// Untyped constant: the value is the contract.
+						line += " = " + render(fset, s.Values[i])
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// typeLine renders one exported type. Struct fields and interface
+// methods that are unexported are elided but counted, so removing one
+// still changes the surface line (it can break embedding and
+// implementability).
+func typeLine(fset *token.FileSet, s *ast.TypeSpec) string {
+	eq := " "
+	if s.Assign.IsValid() {
+		eq = " = "
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		var fields []string
+		hidden := 0
+		for _, f := range t.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				fields = append(fields, render(fset, f.Type))
+				continue
+			}
+			var names []string
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n.Name)
+				} else {
+					hidden++
+				}
+			}
+			if len(names) > 0 {
+				fields = append(fields, strings.Join(names, ", ")+" "+render(fset, f.Type))
+			}
+		}
+		body := strings.Join(fields, "; ")
+		if hidden > 0 {
+			body += fmt.Sprintf("; +%d unexported", hidden)
+		}
+		return "type " + s.Name.Name + eq + "struct { " + strings.TrimPrefix(body, "; ") + " }"
+	case *ast.InterfaceType:
+		var methods []string
+		hidden := 0
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				methods = append(methods, render(fset, m.Type))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					methods = append(methods, n.Name+render(fset, m.Type))
+				} else {
+					hidden++
+				}
+			}
+		}
+		body := strings.Join(methods, "; ")
+		if hidden > 0 {
+			body += fmt.Sprintf("; +%d unexported", hidden)
+		}
+		return "type " + s.Name.Name + eq + "interface { " + strings.TrimPrefix(body, "; ") + " }"
+	default:
+		return "type " + s.Name.Name + eq + render(fset, s.Type)
+	}
+}
+
+// render prints a node with all whitespace collapsed to single spaces.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// Diff reports the line-level difference between the golden surface and
+// the extracted one: "-" lines were removed or changed (breaking), "+"
+// lines are new. Empty means identical.
+func Diff(want, got string) string {
+	wantSet := lineSet(want)
+	gotSet := lineSet(got)
+	var b strings.Builder
+	for _, l := range sortedLines(want) {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	for _, l := range sortedLines(got) {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "  + %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+func lineSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			set[l] = true
+		}
+	}
+	return set
+}
+
+func sortedLines(s string) []string {
+	var out []string
+	for l := range lineSet(s) {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -103,6 +103,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The interrupt context governs both the replay loop and the live
+	// server below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *replay != "" {
 		msgs, err := wire.LoadSnapshot(*replay)
 		if err != nil {
@@ -111,7 +115,7 @@ func main() {
 		start := time.Now()
 		n := 0
 		for _, m := range msgs {
-			results, err := sys.Feed(m)
+			results, err := sys.FeedContext(ctx, m)
 			if err != nil {
 				fatal(err)
 			}
@@ -149,8 +153,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		adminSrv = &http.Server{Handler: flash.AdminHandler(reg, sys.Health, srv.Health)}
-		fmt.Printf("flashd: admin endpoint (/metrics, /healthz, /debug/pprof/) at %s\n", al.Addr())
+		adminSrv = &http.Server{Handler: flash.NewAdminHandler(
+			flash.WithAdminMetrics(reg),
+			flash.WithAdminSystem(sys),
+			flash.WithAdminHealth(sys.Health, srv.Health),
+		)}
+		fmt.Printf("flashd: admin endpoint (/v1 management API, /metrics, /healthz, /debug/pprof/) at %s\n", al.Addr())
 		go func() {
 			if err := adminSrv.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("flashd: admin: %v", err)
@@ -160,8 +168,6 @@ func main() {
 
 	// Serve until interrupted; the context tears the server down
 	// gracefully (listener closed, connections drained).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	err = srv.ServeContext(ctx)
 	if errors.Is(err, context.Canceled) {
 		fmt.Println("flashd: shutting down")

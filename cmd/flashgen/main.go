@@ -40,6 +40,9 @@ func main() {
 		backoffMin = flag.Duration("backoff-min", 50*time.Millisecond, "min reconnect backoff")
 		backoffMax = flag.Duration("backoff-max", 5*time.Second, "max reconnect backoff")
 		drain      = flag.Duration("drain", 30*time.Second, "how long to wait for server acks before giving up")
+
+		subscribe = flag.String("subscribe", "", "subscribe to verdict changes for this check spec ('*' = every spec)")
+		watch     = flag.Duration("watch", 5*time.Second, "with -subscribe: how long to keep printing verdict events after streaming")
 	)
 	flag.Parse()
 
@@ -83,6 +86,41 @@ func main() {
 		}
 		fmt.Printf("per-device rules: min=%d max=%d\n", min, max)
 		return
+	}
+
+	// With -subscribe, a dedicated watcher connection is established
+	// before any FIB streams, so verdict changes caused by our own
+	// stream are pushed to it as they settle.
+	var watcher *wire.Agent
+	if *subscribe != "" {
+		spec := *subscribe
+		if spec == "*" {
+			spec = "" // empty spec subscribes to every check
+		}
+		var err error
+		watcher, err = flash.DialAgent(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer watcher.Close()
+		if err := watcher.Subscribe(spec); err != nil {
+			fatal(err)
+		}
+		go func() {
+			for wev := range watcher.Verdicts() {
+				ev := flash.VerdictFromWire(wev)
+				state := ev.Verdict.String()
+				if ev.Loop != flash.LoopUnknown {
+					state = ev.Loop.String()
+				}
+				change := "flip"
+				if ev.First {
+					change = "first"
+				}
+				fmt.Printf("verdict #%d [%s] check %q subspace %d: %s (%s)\n",
+					ev.Seq, ev.Epoch, ev.Spec, ev.Subspace, state, change)
+			}
+		}()
 	}
 
 	// Stream: one agent per device; dampened devices send last.
@@ -139,6 +177,10 @@ func main() {
 	}
 	fmt.Printf("streamed %d device FIBs to %s (epoch %s, %d dampened)\n",
 		sent, *addr, *epoch, *dampen)
+	if watcher != nil && *watch > 0 {
+		fmt.Printf("watching verdict changes for %s (drops so far: %d)\n", *watch, watcher.VerdictDrops())
+		time.Sleep(*watch)
+	}
 }
 
 func parseScale(s string) (exps.Scale, error) {

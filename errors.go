@@ -33,6 +33,15 @@ var (
 	// subspaces keep verifying and Health reports the degradation.
 	ErrSubspacePoisoned = errors.New("flash: subspace worker poisoned")
 
+	// ErrNoEpoch is returned by System.Snapshot when no subspace holds a
+	// live per-epoch verifier yet — there is no model to capture until
+	// the first Feed.
+	ErrNoEpoch = errors.New("flash: no active epoch")
+
+	// ErrSnapshotReleased is returned by operations on a Snapshot after
+	// Release.
+	ErrSnapshotReleased = errors.New("flash: snapshot released")
+
 	// Wire-protocol sentinels, re-exported so that callers holding only
 	// this package can classify transport failures with errors.Is:
 	// protocol corruption (a frame that parsed wrong) versus I/O loss (a

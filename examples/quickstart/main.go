@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,7 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, blk := range blocks {
-		results, err := sys.Feed(flash.Msg{
+		results, err := sys.FeedContext(context.Background(), flash.Msg{
 			Device: blk.Device, Epoch: "boot", Updates: blk.Updates,
 		})
 		if err != nil {

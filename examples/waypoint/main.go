@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 		if nextHop == "" { // local delivery
 			action = flash.Forward(flash.DeviceID(g.N()))
 		}
-		results, err := sys.Feed(flash.Msg{
+		results, err := sys.FeedContext(context.Background(), flash.Msg{
 			Device: ids[dev], Epoch: "t1",
 			Updates: []flash.Update{
 				{Op: fib.Insert, Rule: flash.Rule{ID: 1, Pri: 0, Action: action, Desc: all}},

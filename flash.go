@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bdd"
@@ -571,78 +572,6 @@ func (w *mbWorker) apply(blocks []DeviceBlock) (err error) {
 	return w.maybeReclaimLocked()
 }
 
-// SchedulerStats reports work-stealing scheduler activity (tasks run,
-// home tokens stolen, Wait barriers) plus the effective worker count.
-// Safe to call at any time.
-type SchedulerStats struct {
-	Tasks      uint64
-	Steals     uint64
-	Dispatches uint64
-	Workers    int
-}
-
-// SchedulerStats returns the builder's scheduler counters.
-func (b *ModelBuilder) SchedulerStats() SchedulerStats {
-	st := b.pool.Stats()
-	return SchedulerStats{Tasks: st.Tasks, Steals: st.Steals, Dispatches: st.Dispatches, Workers: b.pool.Workers()}
-}
-
-// CacheStats aggregates the per-engine ITE computed-cache counters.
-type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-}
-
-// HitRate returns hits/(hits+misses), or 0 with no traffic.
-func (c CacheStats) HitRate() float64 {
-	if c.Hits+c.Misses == 0 {
-		return 0
-	}
-	return float64(c.Hits) / float64(c.Hits+c.Misses)
-}
-
-// CacheStats sums the ITE computed-cache counters across subspace
-// engines. The counters are atomics, so this is safe concurrently with
-// running workers — the admin handler reads it without stopping the
-// world.
-func (b *ModelBuilder) CacheStats() CacheStats {
-	var out CacheStats
-	for _, w := range b.workers {
-		w.mu.Lock()
-		e := w.space.E // Compact rotates the engine under w.mu
-		base := w.base
-		w.mu.Unlock()
-		h, m := e.CacheStats()
-		out.Hits += base.cacheHits + h
-		out.Misses += base.cacheMisses + m
-		out.Evictions += base.cacheEvictions + e.CacheEvictions()
-	}
-	return out
-}
-
-// GCStats aggregates in-engine garbage-collection activity across
-// subspace engines.
-type GCStats struct {
-	Runs           uint64 // completed mark-and-sweep passes
-	ReclaimedNodes uint64 // nodes swept across all passes
-}
-
-// GCStats sums GC activity across the builder's workers, including
-// engines since rotated away by Compact.
-func (b *ModelBuilder) GCStats() GCStats {
-	var out GCStats
-	for _, w := range b.workers {
-		w.mu.Lock()
-		e := w.space.E
-		base := w.base
-		w.mu.Unlock()
-		out.Runs += base.gcRuns + e.GCRuns()
-		out.ReclaimedNodes += base.gcReclaimed + e.ReclaimedNodes()
-	}
-	return out
-}
-
 // GC forces an immediate mark-and-sweep pass on every subspace engine,
 // returning the total node count reclaimed. Unlike Compact it keeps the
 // engines (and their counter history) and releases only unreachable
@@ -756,70 +685,6 @@ func (w *mbWorker) compactLocked() error {
 	return nil
 }
 
-// ECs reports the total number of equivalence classes across subspaces.
-// Pending batched updates are flushed first so the count reflects every
-// applied block.
-func (b *ModelBuilder) ECs() int {
-	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
-	n := 0
-	for _, w := range b.workers {
-		w.mu.Lock()
-		n += w.transform.Model().Len()
-		w.mu.Unlock()
-	}
-	return n
-}
-
-// Stats merges the Fast IMT cost breakdown across subspace workers,
-// flushing pending batches first.
-func (b *ModelBuilder) Stats() imt.Stats {
-	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
-	var out imt.Stats
-	for _, w := range b.workers {
-		w.mu.Lock()
-		s := w.transform.Stats()
-		w.mu.Unlock()
-		out.MapTime += s.MapTime
-		out.ReduceTime += s.ReduceTime
-		out.ApplyTime += s.ApplyTime
-		out.Blocks += s.Blocks
-		out.Updates += s.Updates
-		out.Atomic += s.Atomic
-		out.Aggregated += s.Aggregated
-	}
-	return out
-}
-
-// PredicateOps sums the BDD predicate-operation counters across workers
-// (the "# Predicate Operations" of Table 3). The engine pointer is read
-// under the worker's lock (Compact rotates it) but the counter itself
-// is atomic, so running workers are not blocked.
-func (b *ModelBuilder) PredicateOps() uint64 {
-	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
-	var n uint64
-	for _, w := range b.workers {
-		w.mu.Lock()
-		e := w.space.E
-		base := w.base
-		w.mu.Unlock()
-		n += base.ops + e.Ops()
-	}
-	return n
-}
-
-// MemoryProxy reports live BDD nodes plus PAT nodes across workers, the
-// structural memory footprint of the model.
-func (b *ModelBuilder) MemoryProxy() int {
-	b.Flush() //nolint:errcheck // flush errors resurface on the next ApplyBlock/Flush
-	n := 0
-	for _, w := range b.workers {
-		w.mu.Lock()
-		n += w.space.E.NumNodes() + w.transform.Store.NumNodes()
-		w.mu.Unlock()
-	}
-	return n
-}
-
 // ActionAt returns the forwarding action device dev applies to the given
 // header, answering point queries against the inverse model. Pending
 // batched updates are flushed first.
@@ -860,6 +725,12 @@ type System struct {
 	workers []*sysWorker
 	pool    *sched.Pool
 
+	// bus fans verdict flips out to SubscribeVerdicts subscribers; it is
+	// fed at the FeedBatch merge point (verdictbus.go).
+	bus *verdictBus
+	// snapCount tracks live (unreleased) snapshots (snapshot.go).
+	snapCount atomic.Int64
+
 	// dispatchMu serializes scheduler barriers across concurrent Feed
 	// callers (the wire server feeds from multiple connections).
 	dispatchMu sync.Mutex
@@ -891,19 +762,25 @@ type sysWorker struct {
 	checks    []ce2d.Check
 	budget    int // cfg.MemoryBudget; <= 0 disables automatic GC
 	disp      *ce2d.Dispatcher
+	// snaps pins live Snapshot captures: each holds a cloned transformer
+	// whose refs must survive GC until the snapshot is released.
+	snaps     []*snapSub
 	feedNs    *obs.Histogram // per-message verification latency (nil = off)
 	gcPauseNs *obs.Histogram // stop-the-world GC pause (nil = off)
 }
 
 // Roots enumerates every BDD ref the subspace holds: the universe, the
-// variable cache, each compiled check space, and — via the dispatcher —
-// the queued messages and every live per-epoch verifier. It is the
-// worker's GC root set.
+// variable cache, each compiled check space, pinned snapshot captures,
+// and — via the dispatcher — the queued messages and every live
+// per-epoch verifier. It is the worker's GC root set.
 func (w *sysWorker) Roots(yield func(bdd.Ref)) {
 	yield(w.universe)
 	w.space.Roots(yield)
 	for i := range w.checks {
 		yield(w.checks[i].Space)
+	}
+	for _, ss := range w.snaps {
+		ss.trans.Roots(yield)
 	}
 	w.disp.Roots(yield)
 }
@@ -917,6 +794,9 @@ func (w *sysWorker) gcLocked() bdd.GCStats {
 	w.space.RemapRefs(remap)
 	for i := range w.checks {
 		w.checks[i].Space = remap.Apply(w.checks[i].Space)
+	}
+	for _, ss := range w.snaps {
+		ss.trans.RemapRefs(remap)
 	}
 	w.disp.RemapRefs(remap)
 	w.gcPauseNs.Observe(time.Since(start))
@@ -942,6 +822,7 @@ func (w *sysWorker) maybeGCLocked() {
 func NewSystem(opts ...Option) (*System, error) {
 	cfg := buildConfig(opts)
 	s := &System{cfg: cfg, poisoned: make(map[int]string)}
+	s.bus = newVerdictBus(cfg.Metrics)
 	s.workerPanics = cfg.Metrics.Sub("ce2d").Counter("worker_panics")
 	probe := hs.NewSpace(cfg.Layout)
 	preds := cfg.subspacePreds(probe)
@@ -990,36 +871,10 @@ func NewSystem(opts ...Option) (*System, error) {
 	return s, nil
 }
 
-// SchedulerStats returns the system's work-stealing scheduler counters.
-func (s *System) SchedulerStats() SchedulerStats {
-	st := s.pool.Stats()
-	return SchedulerStats{Tasks: st.Tasks, Steals: st.Steals, Dispatches: st.Dispatches, Workers: s.pool.Workers()}
-}
-
-// CacheStats sums the ITE computed-cache counters across the subspace
-// engines (shared by all of a subspace's per-epoch verifiers). Safe
-// concurrently with running workers.
-func (s *System) CacheStats() CacheStats {
-	var out CacheStats
-	for _, w := range s.workers {
-		h, m := w.space.E.CacheStats()
-		out.Hits += h
-		out.Misses += m
-		out.Evictions += w.space.E.CacheEvictions()
-	}
-	return out
-}
-
-// GCStats sums in-engine garbage-collection activity across the
-// subspace engines. Safe concurrently with running workers (the
-// counters are atomics and System engines are never rotated).
-func (s *System) GCStats() GCStats {
-	var out GCStats
-	for _, w := range s.workers {
-		out.Runs += w.space.E.GCRuns()
-		out.ReclaimedNodes += w.space.E.ReclaimedNodes()
-	}
-	return out
+// Checks returns the verification requirements the system was built
+// with (a copy; mutating it does not affect the running verifiers).
+func (s *System) Checks() []CheckSpec {
+	return append([]CheckSpec(nil), s.cfg.Checks...)
 }
 
 // Metrics returns the observability registry the system was built with
@@ -1101,6 +956,10 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 // (in parallel) and returns the deterministic results it triggered. It
 // is FeedContext with a background context.
 //
+// Deprecated: use FeedContext so ingestion participates in the caller's
+// cancellation tree. Feed remains for compatibility and is equivalent to
+// FeedContext(context.Background(), m).
+//
 //flashvet:allow ctxfeed — compatibility wrapper; this is where context-free callers get their root context
 func (s *System) Feed(m Msg) ([]Result, error) {
 	return s.FeedContext(context.Background(), m)
@@ -1136,7 +995,12 @@ func (s *System) FeedBatch(ctx context.Context, msgs []Msg) ([]Result, error) {
 	if len(msgs) == 0 {
 		return nil, nil
 	}
+	// The lock is held through merge and publish (not just the scheduler
+	// barrier) so concurrent FeedBatch callers publish to the verdict bus
+	// in dispatch order — a later batch's flip can never be overwritten
+	// by an earlier batch's stale verdict.
 	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
 	results := make([][][]Result, len(s.workers)) // [worker][msg index][...]
 	errs := make([]error, len(s.workers))
 	live := 0
@@ -1161,7 +1025,6 @@ func (s *System) FeedBatch(ctx context.Context, msgs []Msg) ([]Result, error) {
 		})
 	}
 	s.pool.Wait()
-	s.dispatchMu.Unlock()
 	if live == 0 {
 		return nil, fmt.Errorf("flash: all %d subspaces are quarantined: %w", len(s.workers), ErrSubspacePoisoned)
 	}
@@ -1181,6 +1044,11 @@ func (s *System) FeedBatch(ctx context.Context, msgs []Msg) ([]Result, error) {
 	// Workers are iterated in subspace order, so out is already sorted by
 	// (message index, subspace) — the same order a sequential Feed loop
 	// (which sorts each message's results by subspace) would emit.
+	//
+	// This merge point is the single place live results materialize, so
+	// it is also where verdict-change subscriptions are fed (what-if
+	// results never pass through here and never publish).
+	s.bus.publish(out)
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package ce2d
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/fib"
@@ -119,6 +120,42 @@ func (d *Dispatcher) Stats() DispatcherStats { return d.stats }
 func (d *Dispatcher) Verifier(e Epoch) (*Verifier, bool) {
 	v, ok := d.verifiers[e]
 	return v, ok
+}
+
+// Current returns the most-converged live verifier — the one serving
+// plane snapshots fork from. Among active epochs with a live verifier it
+// picks the one with the most synchronized devices, breaking ties toward
+// the lexicographically larger (typically newer) epoch tag.
+func (d *Dispatcher) Current() (Epoch, *Verifier, bool) {
+	var (
+		bestEpoch Epoch
+		best      *Verifier
+		found     bool
+	)
+	for _, e := range d.tracker.ActiveEpochs() {
+		v, ok := d.verifiers[e]
+		if !ok {
+			continue
+		}
+		if !found ||
+			v.SynchronizedCount() > best.SynchronizedCount() ||
+			(v.SynchronizedCount() == best.SynchronizedCount() && e > bestEpoch) {
+			bestEpoch, best, found = e, v, true
+		}
+	}
+	return bestEpoch, best, found
+}
+
+// EachVerifier visits every live verifier in sorted epoch order.
+func (d *Dispatcher) EachVerifier(f func(Epoch, *Verifier)) {
+	epochs := make([]Epoch, 0, len(d.verifiers))
+	for e := range d.verifiers {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	for _, e := range epochs {
+		f(e, d.verifiers[e])
+	}
 }
 
 // Receive processes one message: queue it, update epoch activity, stop

@@ -2,6 +2,7 @@ package ce2d
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bdd"
 	"repro/internal/fib"
@@ -213,11 +214,20 @@ func (v *Verifier) ApplyUpdates(dev fib.DeviceID, updates []fib.Update) error {
 // verifier's epoch and runs consistent early detection, returning any new
 // deterministic results.
 func (v *Verifier) MarkSynchronized(dev fib.DeviceID) ([]Event, error) {
+	return v.SynchronizeTable(dev, v.transform.Table(dev))
+}
+
+// SynchronizeTable runs consistent early detection for a device against
+// an explicitly provided final table instead of the verifier's own model
+// manager. The live path is MarkSynchronized (which passes the internal
+// transformer's table); what-if transactions pass tables from a cloned
+// transformer so detection runs against the hypothetical model without
+// replaying updates through this verifier.
+func (v *Verifier) SynchronizeTable(dev fib.DeviceID, table *fib.Table) ([]Event, error) {
 	if v.synced[dev] {
 		return nil, nil
 	}
 	v.synced[dev] = true
-	table := v.transform.Table(dev)
 	// The device's behavior partition: effective predicate → action.
 	rules := table.Rules()
 	effs := table.EffectivePredicates(v.engine)
@@ -229,6 +239,16 @@ func (v *Verifier) MarkSynchronized(dev fib.DeviceID) ([]Event, error) {
 		}
 	}
 	return append([]Event(nil), v.events[before:]...), nil
+}
+
+// SynchronizedDevices returns the devices marked synchronized, sorted.
+func (v *Verifier) SynchronizedDevices() []fib.DeviceID {
+	out := make([]fib.DeviceID, 0, len(v.synced))
+	for dev := range v.synced {
+		out = append(out, dev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // syncCheck refines the check's class partition by the device's behavior

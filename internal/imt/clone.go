@@ -1,0 +1,42 @@
+package imt
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/pat"
+)
+
+// Clone returns a copy of the model sharing no mutable state with the
+// original: the ECs map is copied entry by entry. The predicates
+// themselves are immutable hash-consed BDD nodes, so the copy is O(ECs)
+// regardless of predicate size — the copy-on-write foundation of the
+// serving plane's snapshots.
+func (m *Model) Clone() *Model {
+	ecs := make(map[pat.Ref]bdd.Ref, len(m.ECs))
+	for vec, p := range m.ECs {
+		ecs[vec] = p
+	}
+	return &Model{ECs: ecs, Universe: m.Universe}
+}
+
+// Clone returns a copy-on-write duplicate of the transformer: device
+// tables and the EC model are deep-copied, while the BDD engine and the
+// append-only PAT store are shared (both only ever intern new immutable
+// nodes, so sharing is safe as long as callers serialize access the way
+// they already must for the live transformer). The clone starts with a
+// zero cost breakdown and no metric handles — it is a model fork, not a
+// second instrumented pipeline.
+func (t *Transformer) Clone() *Transformer {
+	nt := &Transformer{
+		E:         t.E,
+		Store:     t.Store,
+		tables:    make(map[fib.DeviceID]*fib.Table, len(t.tables)),
+		model:     t.model.Clone(),
+		PerUpdate: t.PerUpdate,
+		Tag:       t.Tag,
+	}
+	for dev, tb := range t.tables {
+		nt.tables[dev] = tb.Clone()
+	}
+	return nt
+}

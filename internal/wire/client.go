@@ -119,6 +119,10 @@ type Client struct {
 	lastAck  time.Time // last ack progress (resend-timeout clock)
 	rng      *rand.Rand
 
+	subs     []string          // active subscriptions, re-sent on reconnect
+	verdicts chan VerdictEvent // lazily created by Verdicts/first push
+	vdrops   atomic.Uint64     // pushes dropped because verdicts was full
+
 	maintDone chan struct{}
 	m         cmetrics
 }
@@ -228,6 +232,13 @@ func (c *Client) install(conn net.Conn) error {
 			}
 		}
 	}
+	// Subscriptions are connection-scoped server-side; re-establish them
+	// the same way the unacked buffer is replayed.
+	for _, spec := range c.subs {
+		if err := sw.subscribe(spec); err != nil {
+			return err
+		}
+	}
 	c.conn = conn
 	c.sw = sw
 	c.gen++
@@ -236,6 +247,51 @@ func (c *Client) install(conn net.Conn) error {
 	go c.readLoop(conn, c.gen)
 	return nil
 }
+
+// Subscribe registers for server-pushed verdict-change events for one
+// check spec (an empty spec subscribes to every check). Events arrive on
+// Verdicts; the subscription is re-established automatically after a
+// reconnect. Subscribing to the same spec twice is a server-side no-op
+// but wastes a frame; callers should dedup.
+func (c *Client) Subscribe(spec string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.failed != nil {
+		return c.failed
+	}
+	c.subs = append(c.subs, spec)
+	if c.conn == nil {
+		return nil // reconnect loop will send it with the hello
+	}
+	if err := c.sw.subscribe(spec); err != nil {
+		return c.connFailedLocked(err)
+	}
+	return nil
+}
+
+// Verdicts returns the channel delivering server-pushed verdict events.
+// The channel is never closed; it is buffered (256 events) and pushes
+// that arrive while it is full are dropped (counted by VerdictDrops) so
+// a slow consumer cannot stall the ack reader.
+func (c *Client) Verdicts() <-chan VerdictEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verdictsLocked()
+}
+
+func (c *Client) verdictsLocked() chan VerdictEvent {
+	if c.verdicts == nil {
+		c.verdicts = make(chan VerdictEvent, 256)
+	}
+	return c.verdicts
+}
+
+// VerdictDrops reports how many pushed events were dropped because the
+// Verdicts buffer was full.
+func (c *Client) VerdictDrops() uint64 { return c.vdrops.Load() }
 
 // Send transmits one message with at-least-once semantics. In reconnect
 // mode it never fails transiently: the message is buffered and will be
@@ -397,6 +453,12 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 			c.cond.Broadcast()
 		case frameHeartbeat:
 			// Liveness only; the read deadline was already refreshed.
+		case frameVerdict:
+			select {
+			case c.verdictsLocked() <- f.Event:
+			default:
+				c.vdrops.Add(1)
+			}
 		}
 		c.mu.Unlock()
 	}

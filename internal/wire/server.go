@@ -29,6 +29,7 @@ type serverOpts struct {
 	writeTimeout     time.Duration
 	acceptBackoffMax time.Duration
 	corrupt          CorruptPolicy
+	subscribe        SubscribeHook
 	logf             func(string, ...any)
 }
 
@@ -84,6 +85,20 @@ func WithServerLog(f func(string, ...any)) ServerOption {
 	return func(o *serverOpts) { o.logf = f }
 }
 
+// SubscribeHook connects a subscribe frame to the application's verdict
+// source: it is called once per subscribe frame with the requested spec
+// and a push function that writes a verdict frame to the subscribing
+// connection (safe to call from any goroutine; a push error means the
+// connection is gone). It returns a cancel function the server invokes
+// when the connection closes, or an error to reject the subscription.
+type SubscribeHook func(spec string, push func(VerdictEvent) error) (cancel func(), err error)
+
+// WithSubscriptions installs the hook serving subscribe frames. Without
+// one, subscribe frames are ignored (logged, connection kept).
+func WithSubscriptions(h SubscribeHook) ServerOption {
+	return func(o *serverOpts) { o.subscribe = h }
+}
+
 // streamState is the server's per-stream ingest state. It survives the
 // stream's connections: a reconnecting client re-binds to it by sending
 // the same stream identity in its hello.
@@ -136,6 +151,8 @@ type smetrics struct {
 	streamResets  *obs.Counter // stream state reset by a fresh incarnation
 	connTimeouts  *obs.Counter // connections closed by the read deadline
 	streamsLive   *obs.Gauge   // streams with server-side state
+	subsTotal     *obs.Counter // subscribe frames accepted
+	verdictsTx    *obs.Counter // verdict frames pushed
 }
 
 // Instrument attaches the server to an observability registry; call it
@@ -161,6 +178,8 @@ func (s *Server) Instrument(r *obs.Registry) {
 		streamResets:  r.Counter("stream_resets"),
 		connTimeouts:  r.Counter("conn_timeouts"),
 		streamsLive:   r.Gauge("streams"),
+		subsTotal:     r.Counter("subscriptions_total"),
+		verdictsTx:    r.Counter("verdicts_tx"),
 	}
 }
 
@@ -254,6 +273,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	sw := newSessionWriter(conn, s.opts.writeTimeout)
 	var st *streamState
 	var lastRead uint64
+	var cancels []func()
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
 	for {
 		if s.opts.readTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.readTimeout))
@@ -300,6 +325,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		case frameAck:
 			// Clients do not ack the server; ignore.
+		case frameSubscribe:
+			if s.opts.subscribe == nil {
+				s.logf("wire: %s: subscribe %q ignored (no hook)", conn.RemoteAddr(), f.Spec)
+				continue
+			}
+			push := func(ev VerdictEvent) error {
+				err := sw.verdict(ev)
+				if err == nil {
+					s.m.verdictsTx.Inc()
+				}
+				return err
+			}
+			cancel, err := s.opts.subscribe(f.Spec, push)
+			if err != nil {
+				s.logf("wire: %s: subscribe %q rejected: %v", conn.RemoteAddr(), f.Spec, err)
+				continue
+			}
+			if cancel != nil {
+				cancels = append(cancels, cancel)
+			}
+			s.m.subsTotal.Inc()
 		}
 	}
 }

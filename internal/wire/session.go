@@ -43,6 +43,8 @@ const (
 	frameData      byte = 0x02
 	frameAck       byte = 0x03
 	frameHeartbeat byte = 0x04
+	frameSubscribe byte = 0x05 // client → server: watch a spec (subscribe.go)
+	frameVerdict   byte = 0x06 // server → client: verdict change push (subscribe.go)
 )
 
 // helloInfo is the decoded content of a hello frame.
@@ -71,6 +73,9 @@ type sessionFrame struct {
 	// body did not (wraps ErrCorruptFrame). The connection can continue;
 	// policy decides what happens to the frame.
 	MsgErr error
+	// Spec and Event carry subscription frames (subscribe.go).
+	Spec  string
+	Event VerdictEvent
 }
 
 // appendHello encodes a hello frame body.
@@ -136,6 +141,32 @@ func parseSessionFrame(body []byte) (sessionFrame, error) {
 		}
 	case frameHeartbeat:
 		// No payload.
+	case frameSubscribe:
+		r := msgReader{buf: rest}
+		f.Spec = r.str()
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: subscribe frame: %w", r.err)
+		}
+	case frameVerdict:
+		r := msgReader{buf: rest}
+		f.Event.Seq = r.u64()
+		f.Event.Spec = r.str()
+		f.Event.Epoch = r.str()
+		f.Event.Subspace = int(r.u32())
+		f.Event.Verdict = r.u8()
+		f.Event.Loop = r.u8()
+		f.Event.PrevVerdict = r.u8()
+		f.Event.PrevLoop = r.u8()
+		f.Event.First = r.u8()&1 != 0
+		if n := int(r.u8()); n > 0 && r.err == nil {
+			f.Event.Witness = make([]uint64, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				f.Event.Witness = append(f.Event.Witness, r.u64())
+			}
+		}
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: verdict frame: %w", r.err)
+		}
 	default:
 		return sessionFrame{}, fmt.Errorf("wire: unknown frame type 0x%02x: %w", f.Type, ErrCorruptFrame)
 	}
@@ -215,6 +246,28 @@ func (sw *sessionWriter) ack(seq uint64) error {
 	defer sw.mu.Unlock()
 	sw.buf = appendAck(sw.buf[:0], seq)
 	return sw.write(sw.buf)
+}
+
+func (sw *sessionWriter) subscribe(spec string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendSubscribe(sw.buf[:0], spec)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
+}
+
+func (sw *sessionWriter) verdict(ev VerdictEvent) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendVerdict(sw.buf[:0], ev)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
 }
 
 func (sw *sessionWriter) heartbeat() error {

@@ -1,0 +1,80 @@
+package wire
+
+import "fmt"
+
+// Verdict subscription frames extend session protocol v2 with
+// server-push: a client sends a subscribe frame naming a check spec, and
+// the server pushes a verdict frame every time that spec's deterministic
+// result flips in some subspace. Pushes ride the same connection as acks
+// and heartbeats (the sessionWriter serializes them), so subscriptions
+// survive exactly as long as the connection; on reconnect the client
+// re-sends its subscribe frames after the hello, the same way it replays
+// unacknowledged data.
+//
+// Frame bodies (after the u32 length prefix):
+//
+//	subscribe [0x05][u16-len spec]
+//	verdict   [0x06][u64 seq][u16-len spec][u16-len epoch][u32 subspace]
+//	          [u8 verdict][u8 loop][u8 prevVerdict][u8 prevLoop]
+//	          [u8 flags(bit0=first)][u8 n][n × u64 witness]
+//
+// Verdict/loop codes are the flash package's Verdict and LoopResult
+// values carried as opaque u8; the wire layer does not interpret them.
+
+// VerdictEvent is one verdict-change notification on the wire. Seq is a
+// bus-global sequence number (gaps visible to a subscriber mean pushes
+// were dropped under backpressure). First marks the initial verdict for
+// a (spec, subspace) pair rather than a flip. Witness, when present, is
+// a sample header assignment (field values in layout order) exhibiting
+// the new verdict.
+type VerdictEvent struct {
+	Seq         uint64
+	Spec        string
+	Epoch       string
+	Subspace    int
+	Verdict     uint8
+	Loop        uint8
+	PrevVerdict uint8
+	PrevLoop    uint8
+	First       bool
+	Witness     []uint64
+}
+
+// appendSubscribe encodes a subscribe frame body.
+func appendSubscribe(buf []byte, spec string) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameSubscribe)}
+	if err := w.str(spec); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// appendVerdict encodes a verdict frame body.
+func appendVerdict(buf []byte, ev VerdictEvent) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameVerdict)}
+	w.u64(ev.Seq)
+	if err := w.str(ev.Spec); err != nil {
+		return nil, err
+	}
+	if err := w.str(ev.Epoch); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(ev.Subspace))
+	w.u8(ev.Verdict)
+	w.u8(ev.Loop)
+	w.u8(ev.PrevVerdict)
+	w.u8(ev.PrevLoop)
+	var flags uint8
+	if ev.First {
+		flags |= 1
+	}
+	w.u8(flags)
+	if len(ev.Witness) > 0xFF {
+		return nil, fmt.Errorf("wire: witness with %d fields", len(ev.Witness))
+	}
+	w.u8(uint8(len(ev.Witness)))
+	for _, v := range ev.Witness {
+		w.u64(v)
+	}
+	return w.buf, nil
+}

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSubscribeFrameRoundTrip(t *testing.T) {
+	for _, spec := range []string{"", "a-to-d", "loop-freedom"} {
+		buf, err := appendSubscribe(nil, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parseSessionFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != frameSubscribe || f.Spec != spec {
+			t.Fatalf("round trip of subscribe %q: %+v", spec, f)
+		}
+	}
+}
+
+func TestVerdictFrameRoundTrip(t *testing.T) {
+	events := []VerdictEvent{
+		{Seq: 1, Spec: "a-to-d", Epoch: "e1", Subspace: 0, Verdict: 1, First: true},
+		{Seq: 42, Spec: "loops", Epoch: "e7", Subspace: 3, Loop: 2, PrevLoop: 1,
+			Witness: []uint64{0x80, 0xfffe}},
+		{Seq: 1 << 40, Spec: "x", Epoch: "", Subspace: 15, Verdict: 2, PrevVerdict: 1},
+	}
+	for _, ev := range events {
+		buf, err := appendVerdict(nil, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parseSessionFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != frameVerdict {
+			t.Fatalf("frame type %#x", f.Type)
+		}
+		if !reflect.DeepEqual(f.Event, ev) {
+			t.Fatalf("round trip mutated event:\n  in:  %+v\n  out: %+v", ev, f.Event)
+		}
+	}
+}

@@ -80,6 +80,8 @@ func NewPipeline(sys *System, buffer int) *Pipeline {
 // returns ErrClosed (wrapped) after Close, or the first verification
 // error once the pipeline has failed.
 //
+// Deprecated: use FeedContext so the caller controls cancellation.
+//
 //flashvet:allow ctxfeed — compatibility wrapper; this is where context-free callers get their root context
 func (p *Pipeline) Feed(m Msg) error {
 	return p.FeedContext(context.Background(), m)

@@ -13,8 +13,17 @@ import (
 	"repro/internal/wire"
 )
 
-// ServeOption tunes a Server's fault-tolerance behavior.
-type ServeOption func(*serveOpts)
+// ServeOption tunes a Server's fault-tolerance and subscription
+// behavior. Like Option and AdminOption it is an interface with a
+// private apply method — the library's one functional-options idiom.
+type ServeOption interface {
+	applyServe(*serveOpts)
+}
+
+// serveOptionFunc adapts a plain function to the ServeOption interface.
+type serveOptionFunc func(*serveOpts)
+
+func (f serveOptionFunc) applyServe(o *serveOpts) { f(o) }
 
 type serveOpts struct {
 	quarantineTTL time.Duration
@@ -22,10 +31,11 @@ type serveOpts struct {
 	writeTimeout  time.Duration
 	ackWindow     int
 	acceptBackoff time.Duration
+	subBuffer     int
 }
 
 func defaultServeOpts() serveOpts {
-	return serveOpts{quarantineTTL: time.Minute}
+	return serveOpts{quarantineTTL: time.Minute, subBuffer: 64}
 }
 
 // WithQuarantineTTL sets how long a faulty device stays quarantined
@@ -33,29 +43,40 @@ func defaultServeOpts() serveOpts {
 // restart). A quarantined device's frames are consumed and acknowledged
 // but not applied, so one poisoned agent cannot wedge ingestion.
 func WithQuarantineTTL(d time.Duration) ServeOption {
-	return func(o *serveOpts) { o.quarantineTTL = d }
+	return serveOptionFunc(func(o *serveOpts) { o.quarantineTTL = d })
 }
 
 // WithAgentReadTimeout closes agent connections silent for longer than d
 // (reconnecting clients send heartbeats to stay alive). 0 disables.
 func WithAgentReadTimeout(d time.Duration) ServeOption {
-	return func(o *serveOpts) { o.readTimeout = d }
+	return serveOptionFunc(func(o *serveOpts) { o.readTimeout = d })
 }
 
 // WithAgentWriteTimeout bounds each ack write to an agent. 0 disables.
 func WithAgentWriteTimeout(d time.Duration) ServeOption {
-	return func(o *serveOpts) { o.writeTimeout = d }
+	return serveOptionFunc(func(o *serveOpts) { o.writeTimeout = d })
 }
 
 // WithAckWindow bounds the per-stream out-of-order buffer used to
 // reassemble replayed frames (default 1024 frames).
 func WithAckWindow(n int) ServeOption {
-	return func(o *serveOpts) { o.ackWindow = n }
+	return serveOptionFunc(func(o *serveOpts) { o.ackWindow = n })
 }
 
 // WithAcceptBackoff caps the retry backoff for temporary accept errors.
 func WithAcceptBackoff(max time.Duration) ServeOption {
-	return func(o *serveOpts) { o.acceptBackoff = max }
+	return serveOptionFunc(func(o *serveOpts) { o.acceptBackoff = max })
+}
+
+// WithSubscriptionBuffer bounds each wire verdict subscription's
+// delivery buffer (default 64 events). Pushes that find the buffer full
+// are dropped — ingest never blocks on a slow subscriber.
+func WithSubscriptionBuffer(n int) ServeOption {
+	return serveOptionFunc(func(o *serveOpts) {
+		if n > 0 {
+			o.subBuffer = n
+		}
+	})
 }
 
 // Server runs a System behind the wire protocol: device agents connect
@@ -75,6 +96,7 @@ type Server struct {
 	OnResult func(Result)
 
 	mu         sync.Mutex
+	baseCtx    context.Context // set by ServeContext; nil before Serve
 	quarantine map[DeviceID]quarantineEntry
 
 	results         *obs.Counter
@@ -97,7 +119,7 @@ type quarantineEntry struct {
 func NewServer(l net.Listener, sys *System, onResult func(Result), opts ...ServeOption) *Server {
 	o := defaultServeOpts()
 	for _, opt := range opts {
-		opt(&o)
+		opt.applyServe(&o)
 	}
 	s := &Server{sys: sys, opts: o, OnResult: onResult, quarantine: make(map[DeviceID]quarantineEntry)}
 	if reg := sys.Metrics(); reg != nil {
@@ -119,6 +141,7 @@ func NewServer(l net.Listener, sys *System, onResult func(Result), opts ...Serve
 			s.Quarantine(dev, fmt.Sprintf("corrupt frame at seq %d: %v", seq, err))
 			return true
 		}),
+		wire.WithSubscriptions(s.subscribeHook),
 	}
 	if log := sys.Logger(); log != nil {
 		wopts = append(wopts, wire.WithServerLog(log.Printf))
@@ -153,7 +176,7 @@ func (s *Server) handle(m wire.Msg) error {
 	if s.handleNs != nil {
 		start = time.Now()
 	}
-	results, err := s.sys.Feed(m)
+	results, err := s.sys.FeedContext(s.feedCtx(), m)
 	if err != nil {
 		s.feedErrors.Inc()
 		if log := s.sys.Logger(); log != nil {
@@ -175,6 +198,70 @@ func (s *Server) handle(m wire.Msg) error {
 		}
 	}
 	return nil
+}
+
+// feedCtx returns the server's root feed context: the ServeContext
+// context when serving under one, else background.
+//
+//flashvet:allow ctxfeed — this is the server's context root; Serve (without ServeContext) has no caller context to inherit
+func (s *Server) feedCtx() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseCtx != nil {
+		return s.baseCtx
+	}
+	return context.Background()
+}
+
+// subscribeHook bridges wire subscribe frames to the System's verdict
+// bus: each subscription gets its own buffered VerdictSub and a pump
+// goroutine that pushes events to the agent connection. A push failure
+// (connection gone) or the server-side cancel tears the pump down;
+// ingest never blocks on it.
+func (s *Server) subscribeHook(spec string, push func(wire.VerdictEvent) error) (func(), error) {
+	sub := s.sys.SubscribeVerdicts(spec, s.opts.subBuffer)
+	go func() {
+		for ev := range sub.Events() {
+			if push(verdictToWire(ev)) != nil {
+				sub.Cancel()
+				return
+			}
+		}
+	}()
+	return sub.Cancel, nil
+}
+
+// verdictToWire converts a flash verdict event to its wire form.
+func verdictToWire(ev VerdictEvent) wire.VerdictEvent {
+	return wire.VerdictEvent{
+		Seq:         ev.Seq,
+		Spec:        ev.Spec,
+		Epoch:       ev.Epoch,
+		Subspace:    ev.Subspace,
+		Verdict:     uint8(ev.Verdict),
+		Loop:        uint8(ev.Loop),
+		PrevVerdict: uint8(ev.PrevVerdict),
+		PrevLoop:    uint8(ev.PrevLoop),
+		First:       ev.First,
+		Witness:     ev.Witness,
+	}
+}
+
+// VerdictFromWire decodes a wire-pushed verdict event (as delivered on
+// an Agent's Verdicts channel) back into the library's typed form.
+func VerdictFromWire(ev wire.VerdictEvent) VerdictEvent {
+	return VerdictEvent{
+		Seq:         ev.Seq,
+		Spec:        ev.Spec,
+		Epoch:       ev.Epoch,
+		Subspace:    ev.Subspace,
+		Verdict:     Verdict(ev.Verdict),
+		Loop:        LoopResult(ev.Loop),
+		PrevVerdict: Verdict(ev.PrevVerdict),
+		PrevLoop:    LoopResult(ev.PrevLoop),
+		First:       ev.First,
+		Witness:     ev.Witness,
+	}
 }
 
 // Quarantine bars a device from feeding the verifier until the
@@ -264,6 +351,9 @@ func (s *Server) ServeContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	s.baseCtx = ctx
+	s.mu.Unlock()
 	done := make(chan error, 1)
 	go func() { done <- s.srv.Serve() }()
 	select {

@@ -1,0 +1,98 @@
+package flash
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerVerdictPush drives the wire-level subscription end to end
+// over TCP: an agent subscribes to a check, other agents stream FIBs,
+// and verdict changes arrive as pushed frames on the subscriber's
+// connection.
+func TestServerVerdictPush(t *testing.T) {
+	sys := reachSys(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(l, sys, func(Result) {})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	watcher, err := DialAgent(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Close()
+	if err := watcher.Subscribe("a-to-d"); err != nil {
+		t.Fatal(err)
+	}
+	// The subscribe frame travels on its own connection: wait until the
+	// server has registered it before feeding, or the first verdict could
+	// publish to an empty bus.
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.StatsSnapshot().Subscribers == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered server-side")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	feeder, err := DialAgent(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feeder.Close()
+	feed := func(epoch string, bAction Action) {
+		t.Helper()
+		var e int
+		if _, err := fmt.Sscanf(epoch, "e%d", &e); err != nil {
+			t.Fatal(err)
+		}
+		actions := []Action{Forward(1), bAction, Forward(3), Forward(4)}
+		for d, action := range actions {
+			u := wildcard(int64(10*e)+int64(d), action)
+			u.Rule.Pri = int32(e)
+			if err := feeder.Send(Msg{
+				Device: DeviceID(d), Epoch: epoch, Updates: []Update{u},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	recv := func() VerdictEvent {
+		t.Helper()
+		select {
+		case wev := <-watcher.Verdicts():
+			return VerdictFromWire(wev)
+		case <-time.After(5 * time.Second):
+			t.Fatal("no pushed verdict within 5s")
+		}
+		panic("unreachable")
+	}
+
+	feed("e1", Forward(2))
+	ev := recv()
+	if ev.Spec != "a-to-d" || ev.Verdict != VerdictSatisfied || !ev.First {
+		t.Fatalf("pushed event = %+v, want first satisfied a-to-d", ev)
+	}
+	if ev.Epoch != "e1" {
+		t.Fatalf("pushed epoch = %q", ev.Epoch)
+	}
+
+	feed("e2", Drop)
+	ev = recv()
+	if ev.Verdict != VerdictUnsatisfied || ev.PrevVerdict != VerdictSatisfied || ev.First {
+		t.Fatalf("pushed flip = %+v, want unsatisfied with prev satisfied", ev)
+	}
+	if watcher.VerdictDrops() != 0 {
+		t.Fatalf("watcher dropped %d events", watcher.VerdictDrops())
+	}
+}

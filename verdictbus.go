@@ -1,0 +1,251 @@
+package flash
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// VerdictEvent is one verdict-change notification: a check's
+// deterministic result for one subspace settled for the first time or
+// flipped relative to the last published state. Events are produced at
+// the FeedBatch merge point, so their order matches the result stream.
+type VerdictEvent struct {
+	// Seq is a bus-global sequence number; gaps visible to one
+	// subscriber mean events were dropped under backpressure.
+	Seq      uint64
+	Spec     string
+	Subspace int
+	Epoch    string
+	Verdict  Verdict
+	Loop     LoopResult
+	// PrevVerdict/PrevLoop carry the previously published state (zero
+	// values when First).
+	PrevVerdict Verdict
+	PrevLoop    LoopResult
+	// First marks the initial deterministic result for this
+	// (spec, subspace) rather than a flip.
+	First   bool
+	Witness []uint64
+}
+
+// VerdictStatus is the last published verdict for one (spec, subspace).
+type VerdictStatus struct {
+	Spec     string     `json:"spec"`
+	Subspace int        `json:"subspace"`
+	Epoch    string     `json:"epoch"`
+	Verdict  Verdict    `json:"verdict"`
+	Loop     LoopResult `json:"loop"`
+}
+
+// verdictKey identifies one tracked verdict cell.
+type verdictKey struct {
+	spec     string
+	subspace int
+}
+
+// verdictState is the last published state of one cell.
+type verdictState struct {
+	epoch   string
+	verdict Verdict
+	loop    LoopResult
+	witness []uint64
+}
+
+// verdictBus tracks the last published verdict per (spec, subspace) and
+// fans flips out to subscribers. Delivery is non-blocking per
+// subscriber (full buffers drop, counted), so a dead or slow consumer
+// can never stall the ingest path that publishes.
+type verdictBus struct {
+	mu   sync.Mutex
+	seq  uint64
+	last map[verdictKey]verdictState
+	subs map[*VerdictSub]struct{}
+
+	published *obs.Counter
+	dropped   *obs.Counter
+}
+
+func newVerdictBus(reg *obs.Registry) *verdictBus {
+	b := &verdictBus{
+		last: make(map[verdictKey]verdictState),
+		subs: make(map[*VerdictSub]struct{}),
+	}
+	if sreg := reg.Sub("verdicts"); sreg != nil {
+		b.published = sreg.Counter("published")
+		b.dropped = sreg.Counter("dropped")
+		sreg.Func("subscribers", func() int64 { return int64(b.subscribers()) })
+	}
+	return b
+}
+
+// publish runs flip detection over one batch of live results and
+// delivers change events. Results that repeat the already-published
+// state (a later epoch re-settling the same verdict) update the stored
+// epoch silently. Callers serialize publishes (FeedBatch holds
+// dispatchMu), so per-cell event order matches the result stream.
+func (b *verdictBus) publish(results []Result) {
+	if len(results) == 0 {
+		return
+	}
+	b.mu.Lock()
+	var events []VerdictEvent
+	for _, r := range results {
+		key := verdictKey{spec: r.Check, subspace: r.Subspace}
+		prev, seen := b.last[key]
+		next := verdictState{epoch: r.Epoch, verdict: r.Verdict, loop: r.Loop, witness: r.Witness}
+		if seen && prev.verdict == next.verdict && prev.loop == next.loop {
+			b.last[key] = next // same verdict, fresher epoch: no event
+			continue
+		}
+		b.last[key] = next
+		b.seq++
+		events = append(events, VerdictEvent{
+			Seq:         b.seq,
+			Spec:        r.Check,
+			Subspace:    r.Subspace,
+			Epoch:       r.Epoch,
+			Verdict:     r.Verdict,
+			Loop:        r.Loop,
+			PrevVerdict: prev.verdict,
+			PrevLoop:    prev.loop,
+			First:       !seen,
+			Witness:     r.Witness,
+		})
+	}
+	if len(events) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	subs := make([]*VerdictSub, 0, len(b.subs))
+	for sub := range b.subs {
+		subs = append(subs, sub)
+	}
+	b.mu.Unlock()
+	b.published.Add(int64(len(events)))
+	for _, ev := range events {
+		for _, sub := range subs {
+			if !sub.deliver(ev) {
+				b.dropped.Inc()
+			}
+		}
+	}
+}
+
+// statuses returns the last published verdict per cell, sorted by
+// (spec, subspace).
+func (b *verdictBus) statuses() []VerdictStatus {
+	b.mu.Lock()
+	out := make([]VerdictStatus, 0, len(b.last))
+	for key, st := range b.last {
+		out = append(out, VerdictStatus{
+			Spec: key.spec, Subspace: key.subspace,
+			Epoch: st.epoch, Verdict: st.verdict, Loop: st.loop,
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Spec != out[j].Spec {
+			return out[i].Spec < out[j].Spec
+		}
+		return out[i].Subspace < out[j].Subspace
+	})
+	return out
+}
+
+func (b *verdictBus) subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+func (b *verdictBus) add(sub *VerdictSub) {
+	b.mu.Lock()
+	b.subs[sub] = struct{}{}
+	b.mu.Unlock()
+}
+
+func (b *verdictBus) remove(sub *VerdictSub) {
+	b.mu.Lock()
+	delete(b.subs, sub)
+	b.mu.Unlock()
+}
+
+// VerdictSub is one verdict-change subscription. Events matching the
+// subscribed spec arrive on Events; delivery never blocks the
+// publisher — events that find the buffer full are dropped and counted
+// by Dropped. Cancel is idempotent and closes Events.
+type VerdictSub struct {
+	bus  *verdictBus
+	spec string // "" subscribes to every spec
+
+	mu     sync.Mutex
+	ch     chan VerdictEvent
+	closed bool
+	drops  uint64
+}
+
+// SubscribeVerdicts registers for verdict-change events for one check
+// spec (empty spec: every check). buffer bounds the delivery channel
+// (<= 0 selects 64). The caller must Cancel the subscription when done.
+func (s *System) SubscribeVerdicts(spec string, buffer int) *VerdictSub {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	sub := &VerdictSub{bus: s.bus, spec: spec, ch: make(chan VerdictEvent, buffer)}
+	s.bus.add(sub)
+	return sub
+}
+
+// Verdicts returns the last published deterministic verdict for every
+// (spec, subspace) pair, sorted — the snapshot a new subscriber should
+// read before relying on change events alone.
+func (s *System) Verdicts() []VerdictStatus { return s.bus.statuses() }
+
+// Spec returns the check spec this subscription filters on ("" = all).
+func (sub *VerdictSub) Spec() string { return sub.spec }
+
+// Events returns the delivery channel. It closes after Cancel.
+func (sub *VerdictSub) Events() <-chan VerdictEvent { return sub.ch }
+
+// Dropped reports how many events were discarded because the buffer was
+// full.
+func (sub *VerdictSub) Dropped() uint64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.drops
+}
+
+// Cancel detaches the subscription from the bus and closes Events. It
+// is idempotent and safe to call concurrently with delivery.
+func (sub *VerdictSub) Cancel() {
+	sub.bus.remove(sub)
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if !sub.closed {
+		sub.closed = true
+		close(sub.ch)
+	}
+}
+
+// deliver offers one event to the subscription without blocking. It
+// returns false only when the event was lost to a full buffer; events
+// filtered out by spec or arriving after Cancel are not drops.
+func (sub *VerdictSub) deliver(ev VerdictEvent) bool {
+	if sub.spec != "" && sub.spec != ev.Spec {
+		return true // filtered, not dropped
+	}
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return true // canceled concurrently; nothing to count
+	}
+	select {
+	case sub.ch <- ev:
+		return true
+	default:
+		sub.drops++
+		return false
+	}
+}

@@ -1,0 +1,185 @@
+package flash
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitEvent(t *testing.T, sub *VerdictSub) VerdictEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-sub.Events():
+		if !ok {
+			t.Fatal("subscription closed while waiting for an event")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("no verdict event within 5s")
+	}
+	panic("unreachable")
+}
+
+func TestVerdictSubscriptionFirstAndFlip(t *testing.T) {
+	sys := reachSys(t)
+	sub := sys.SubscribeVerdicts("a-to-d", 0)
+	defer sub.Cancel()
+	if sub.Spec() != "a-to-d" {
+		t.Fatalf("Spec() = %q", sub.Spec())
+	}
+
+	feedLine(t, sys, "e1", Forward(2))
+	ev := waitEvent(t, sub)
+	if !ev.First || ev.Spec != "a-to-d" || ev.Verdict != VerdictSatisfied {
+		t.Fatalf("first event = %+v, want first satisfied a-to-d", ev)
+	}
+	if ev.Epoch != "e1" || ev.Seq == 0 {
+		t.Fatalf("event metadata = %+v", ev)
+	}
+
+	// A new epoch where b drops flips the verdict; the event must carry
+	// the previous state.
+	feedLine(t, sys, "e2", Drop)
+	ev = waitEvent(t, sub)
+	if ev.First || ev.Verdict != VerdictUnsatisfied || ev.PrevVerdict != VerdictSatisfied {
+		t.Fatalf("flip event = %+v, want unsatisfied with prev satisfied", ev)
+	}
+	if ev.Epoch != "e2" {
+		t.Fatalf("flip epoch = %q", ev.Epoch)
+	}
+
+	// Re-settling the same verdict in a later epoch is silent: only the
+	// stored epoch moves.
+	feedLine(t, sys, "e3", Drop)
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("unexpected event for a non-flip: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+	for _, vs := range sys.Verdicts() {
+		if vs.Spec == "a-to-d" && vs.Epoch != "e3" {
+			t.Fatalf("status epoch = %q, want e3", vs.Epoch)
+		}
+	}
+}
+
+func TestVerdictSubscriptionSpecFilter(t *testing.T) {
+	sys, err := NewSystem(
+		WithTopo(lineTopo()),
+		WithLayout(dst8),
+		WithChecks(
+			CheckSpec{Name: "a-to-d", Kind: CheckReach, Expr: "a .* d", Sources: []string{"a"}, Dest: "d"},
+			CheckSpec{Name: "loops", Kind: CheckLoopFree},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopsOnly := sys.SubscribeVerdicts("loops", 0)
+	all := sys.SubscribeVerdicts("", 0)
+	defer loopsOnly.Cancel()
+	defer all.Cancel()
+
+	feedLine(t, sys, "e1", Forward(2))
+	if ev := waitEvent(t, loopsOnly); ev.Spec != "loops" {
+		t.Fatalf("filtered subscription got %+v", ev)
+	}
+	specs := map[string]bool{}
+	specs[waitEvent(t, all).Spec] = true
+	specs[waitEvent(t, all).Spec] = true
+	if !specs["loops"] || !specs["a-to-d"] {
+		t.Fatalf("unfiltered subscription saw %v, want both specs", specs)
+	}
+}
+
+// TestVerdictSubscriberChaos is the acceptance chaos row: subscribers
+// that never read, plus one canceled mid-push from another goroutine,
+// must not stall or perturb ingest — the verdict multiset matches a
+// subscriber-free control run exactly.
+func TestVerdictSubscriberChaos(t *testing.T) {
+	const seed = 0xc4a05
+	_, seq := diffWorkload(seed)
+	w, _ := diffWorkload(seed)
+	epochs := diffStream(t, seq, 24)
+
+	newSys := func() *System {
+		sys, err := NewSystem(
+			WithTopo(w.Topo),
+			WithLayout(w.Layout),
+			WithSubspaces(diffSubspaces, ""),
+			WithChecks(CheckSpec{Name: "loops", Kind: CheckLoopFree}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	run := func(sys *System, chaos bool) []string {
+		var stuck, victim *VerdictSub
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if chaos {
+			// stuck: buffer of one, never read — every later event is
+			// dropped on the floor. victim: canceled concurrently with
+			// publishes.
+			stuck = sys.SubscribeVerdicts("", 1)
+			victim = sys.SubscribeVerdicts("", 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				victim.Cancel()
+				close(stop)
+			}()
+		}
+		var verdicts []string
+		for _, msgs := range epochs {
+			rs, err := sys.FeedBatch(context.Background(), msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rs {
+				verdicts = append(verdicts, r.String())
+			}
+		}
+		if chaos {
+			<-stop
+			wg.Wait()
+			stuck.Cancel()
+			if ds := sys.StatsSnapshot().Subscribers; ds != 0 {
+				t.Fatalf("%d subscribers still registered after Cancel", ds)
+			}
+		}
+		sort.Strings(verdicts)
+		return verdicts
+	}
+
+	want := run(newSys(), false)
+	if len(want) == 0 {
+		t.Fatal("control run produced no verdicts")
+	}
+	got := run(newSys(), true)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("verdict multiset perturbed by chaotic subscribers:\n  got %d verdicts\n  want %d", len(got), len(want))
+	}
+}
+
+func TestVerdictSubCancelIdempotent(t *testing.T) {
+	sys := reachSys(t)
+	sub := sys.SubscribeVerdicts("", 0)
+	sub.Cancel()
+	sub.Cancel()
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("Events open after Cancel")
+	}
+	// Publishing to a canceled subscription is a no-op, not a drop.
+	feedLine(t, sys, "e1", Forward(2))
+	if sub.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d on canceled subscription", sub.Dropped())
+	}
+}
