@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random soak apicheck
+.PHONY: build test vet lint lint-json flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random soak apicheck
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # Build the project-specific analyzer suite (bddref, gcroot, obshook,
-# ctxfeed, lockbdd, errwrapped) as a `go vet` vettool.
+# ctxfeed, lockbdd, lockorder, snapleak, nodeprecated, atomicmix,
+# errwrapped, stealsafe) as a `go vet` vettool.
 flashvet:
 	$(GO) build -o $(FLASHVET) ./cmd/flashvet
 
@@ -26,6 +27,11 @@ flashvet:
 lint: flashvet
 	@test -x $(FLASHVET) || { echo "error: flashvet not built; run 'make flashvet' first (expected at $(FLASHVET))" >&2; exit 1; }
 	$(GO) vet -vettool=$(FLASHVET) ./...
+
+# Machine-readable diagnostics: the standalone driver over every module
+# package, as a JSON array (suppressed findings included, marked).
+lint-json: flashvet
+	$(FLASHVET) -json
 
 # Full suite under the race detector.
 race:
@@ -70,11 +76,13 @@ apicheck:
 	$(GO) run ./cmd/flashapi -dir . -golden api/flash.txt
 
 # Brief fuzz pass over the predicate compiler, the Fast IMT oracle
-# differential, and the wire decoders; seeds live under testdata/fuzz/.
+# differential, the wire decoders, and the flashvet allow-directive
+# parser; seeds live under each package's testdata/fuzz/.
 fuzz:
 	$(GO) test -fuzz=FuzzPrefixParse -fuzztime=30s ./internal/hs
 	$(GO) test -fuzz=FuzzIMTOverwrite -fuzztime=30s ./internal/imt
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzAllowDirective -fuzztime=30s ./internal/analysis
 
 # Fault-injection suite under the race detector with the pinned seed
 # (the CI mode): chaos model equality, quarantine paths, worker

@@ -66,7 +66,7 @@ func TestAdminMetricsEndToEnd(t *testing.T) {
 		t.Fatal("no detection result")
 	}
 
-	admin := httptest.NewServer(AdminHandler(reg))
+	admin := httptest.NewServer(NewAdminHandler(WithAdminMetrics(reg)))
 	defer admin.Close()
 
 	// /healthz

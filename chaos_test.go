@@ -443,11 +443,11 @@ func TestWorkerPanicQuarantinesSubspace(t *testing.T) {
 		}
 	})
 
-	if _, err := sys.Feed(chaosTestMsg(1, "e1", 0x0100)); err != nil {
+	if _, err := sys.FeedContext(context.Background(), chaosTestMsg(1, "e1", 0x0100)); err != nil {
 		t.Fatal(err)
 	}
 	poisonTarget.Store(1)
-	results, err := sys.Feed(chaosTestMsg(2, "e1", 0x8200)) // subspace 1 panics here
+	results, err := sys.FeedContext(context.Background(), chaosTestMsg(2, "e1", 0x8200)) // subspace 1 panics here
 	if err != nil {
 		t.Fatalf("feed with one poisoned subspace must not error: %v", err)
 	}
@@ -465,12 +465,12 @@ func TestWorkerPanicQuarantinesSubspace(t *testing.T) {
 
 	// The healthy subspace keeps verifying across further feeds.
 	poisonTarget.Store(-1)
-	if _, err := sys.Feed(chaosTestMsg(3, "e1", 0x0300)); err != nil {
+	if _, err := sys.FeedContext(context.Background(), chaosTestMsg(3, "e1", 0x0300)); err != nil {
 		t.Fatal(err)
 	}
 
 	// /healthz flips to degraded with the quarantined subspace named.
-	ts := httptest.NewServer(AdminHandler(reg, sys.Health))
+	ts := httptest.NewServer(NewAdminHandler(WithAdminMetrics(reg), WithAdminHealth(sys.Health)))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -487,10 +487,10 @@ func TestWorkerPanicQuarantinesSubspace(t *testing.T) {
 
 	// Poison the last subspace: now, and only now, Feed fails.
 	poisonTarget.Store(0)
-	if _, err := sys.Feed(chaosTestMsg(4, "e1", 0x0400)); err != nil {
+	if _, err := sys.FeedContext(context.Background(), chaosTestMsg(4, "e1", 0x0400)); err != nil {
 		t.Fatalf("the poisoning feed itself still has a live worker at entry: %v", err)
 	}
-	if _, err := sys.Feed(chaosTestMsg(5, "e1", 0x0500)); !errors.Is(err, ErrSubspacePoisoned) {
+	if _, err := sys.FeedContext(context.Background(), chaosTestMsg(5, "e1", 0x0500)); !errors.Is(err, ErrSubspacePoisoned) {
 		t.Fatalf("feed with all subspaces poisoned: %v, want ErrSubspacePoisoned", err)
 	}
 }
@@ -525,7 +525,7 @@ func TestPipelineCloseWhileFeeding(t *testing.T) {
 			// would pile up epochs faster than verification drains them.
 			for i := 0; i < 20; i++ {
 				m := chaosTestMsgID(DeviceID(dev), fmt.Sprintf("e%d", i), uint64(dev)<<8|uint64(i%7), int64(i+1))
-				if err := p.Feed(m); err != nil {
+				if err := p.FeedContext(context.Background(), m); err != nil {
 					if !errors.Is(err, ErrClosed) {
 						t.Errorf("feed: %v", err)
 					}

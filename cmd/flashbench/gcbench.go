@@ -186,7 +186,7 @@ func runGCBench(scaleName string, scale exps.Scale, record string) {
 		budget = 512
 	}
 	b, reg, peak, steady := gcApply(w, seq, budget)
-	st := b.GCStats()
+	st := b.StatsSnapshot().GC
 	p50, p95 := busiestPause(reg)
 
 	e := gcEntry{

@@ -109,8 +109,8 @@ func scalingRun(scaleName string, scale exps.Scale, workers int) scalingEntry {
 		i := int(q * float64(len(samples)-1))
 		return samples[i]
 	}
-	sched := b.SchedulerStats()
-	cache := b.CacheStats()
+	sched := b.StatsSnapshot().Scheduler
+	cache := b.StatsSnapshot().Cache
 	return scalingEntry{
 		Bench:          "skewed-churn",
 		Scale:          scaleName,

@@ -62,7 +62,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Printf("model: %d equivalence classes from %d device FIBs\n", b.ECs(), len(msgs))
+	fmt.Printf("model: %d equivalence classes from %d device FIBs\n", b.StatsSnapshot().ECs, len(msgs))
 
 	header := []uint64{dst}
 	if len(layout.Fields()) > 1 {

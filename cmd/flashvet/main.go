@@ -38,7 +38,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"runtime"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -109,6 +111,8 @@ type vetConfig struct {
 }
 
 // unitcheck analyzes one compilation unit under the go vet protocol.
+//
+//flashvet:allow nodeprecated — importer.ForCompiler's deprecation concerns a nil lookup; ours is always non-nil (the PackageFile map)
 func unitcheck(cfgPath string) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -119,15 +123,12 @@ func unitcheck(cfgPath string) {
 		log.Fatalf("parsing %s: %v", cfgPath, err)
 	}
 
-	// The suite is fact-free, but the driver requires the facts file to
-	// exist for caching; write it before any early exit.
+	// go vet requires the facts file to exist for caching even when the
+	// unit fails to typecheck; seed it empty, overwrite after analysis.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			log.Fatal(err)
 		}
-	}
-	if cfg.VetxOnly {
-		return // dependency pass: facts only, no diagnostics wanted
 	}
 
 	bail := func(err error) {
@@ -196,21 +197,79 @@ func unitcheck(cfgPath string) {
 		Types: tpkg,
 		Info:  info,
 	}
-	findings, err := analysis.Check(pkg, analysis.All())
+
+	// Facts flow through the driver: each dependency's vetx file (written
+	// by an earlier invocation of this same tool) is decoded into one
+	// FactSet, the unit's own analysis adds to it, and the result is
+	// re-encoded for this unit's dependents.
+	facts := framework.NewFactSet(analysis.All())
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for _, file := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, file)
+	}
+	sort.Strings(vetxPaths)
+	for _, file := range vetxPaths {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue // missing or fact-free dependency
+		}
+		if err := facts.Decode(data); err != nil {
+			log.Fatalf("decoding facts %s: %v", file, err)
+		}
+	}
+
+	all, err := analysis.CheckFacts(pkg, analysis.All(), facts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	if cfg.VetxOutput != "" {
+		data, err := facts.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			log.Fatal(err)
+		}
 	}
-	if len(findings) > 0 {
-		os.Exit(2)
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no diagnostics wanted
+	}
+	exit := 0
+	for _, f := range all {
+		if f.Suppressed {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+		exit = 2
+	}
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }
 
 type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// jsonFinding is one diagnostic in `flashvet -json` output.
+type jsonFinding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// jsonAllow is one //flashvet:allow directive in `flashvet -allows -json`
+// output.
+type jsonAllow struct {
+	File          string   `json:"file"`
+	Line          int      `json:"line"`
+	Analyzers     []string `json:"analyzers"`
+	Justification string   `json:"justification"`
+}
 
 // standalone checks packages loaded from source; returns the exit code.
 func standalone(args []string) int {
@@ -219,12 +278,14 @@ func standalone(args []string) int {
 		listAllows bool
 		tags       string
 		std        bool
+		jsonOut    bool
 	)
 	fs := newFlagSet()
 	fs.StringVar(&checks, "checks", "", "comma-separated analyzer names to run (default: all)")
 	fs.BoolVar(&listAllows, "allows", false, "list //flashvet:allow directives instead of checking")
 	fs.StringVar(&tags, "tags", "", "comma-separated extra build tags (e.g. flashcheck)")
 	fs.BoolVar(&std, "std", false, "also run the toolchain's `go vet` over the module first")
+	fs.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON (diagnostics, or directives with -allows)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -275,33 +336,144 @@ func standalone(args []string) int {
 		}
 	}
 
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		if listAllows {
+	if listAllows {
+		var allAllows []jsonAllow
+		for _, path := range paths {
+			pkg, err := loader.Load(path)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
 			for _, a := range analysis.Allows(pkg) {
+				if jsonOut {
+					allAllows = append(allAllows, jsonAllow{
+						File:          a.Pos.Filename,
+						Line:          a.Pos.Line,
+						Analyzers:     a.Analyzers,
+						Justification: a.Comment,
+					})
+					continue
+				}
 				comment := a.Comment
 				if comment == "" {
 					comment = "(no justification)"
 				}
 				fmt.Printf("%s: allow %s: %s\n", a.Pos, strings.Join(a.Analyzers, ","), comment)
 			}
-			continue
 		}
-		findings, err := analysis.Check(pkg, analyzers)
+		if jsonOut {
+			printJSON(allAllows)
+		}
+		return exit
+	}
+
+	// Cross-package facts need dependencies analyzed first: expand the
+	// requested set with module-local imports, topologically sorted, and
+	// thread one FactSet through every package. Findings are reported
+	// only for the packages the user asked about.
+	order, err := dependencyOrder(loader, paths)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	requested := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		requested[p] = true
+	}
+	facts := framework.NewFactSet(analyzers)
+	var out []jsonFinding
+	for _, path := range order {
+		pkg, err := loader.Load(path)
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
+		findings, err := analysis.CheckFacts(pkg, analyzers, facts)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if !requested[path] {
+			continue // dependency analyzed for its facts only
+		}
 		for _, f := range findings {
-			fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
-			exit = 2
+			if jsonOut {
+				out = append(out, jsonFinding{
+					File:          f.Pos.Filename,
+					Line:          f.Pos.Line,
+					Col:           f.Pos.Column,
+					Analyzer:      f.Analyzer,
+					Message:       f.Message,
+					Suppressed:    f.Suppressed,
+					Justification: f.Justification,
+				})
+			} else if !f.Suppressed {
+				fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+			}
+			if !f.Suppressed {
+				exit = 2
+			}
 		}
 	}
+	if jsonOut {
+		printJSON(out)
+	}
 	return exit
+}
+
+// printJSON writes v as indented JSON, normalizing nil slices to [].
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if rv := reflect.ValueOf(v); rv.Kind() == reflect.Slice && rv.IsNil() {
+		fmt.Println("[]")
+		return
+	}
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// dependencyOrder returns roots plus their module-local transitive
+// imports in dependencies-first order.
+func dependencyOrder(loader *load.Loader, roots []string) ([]string, error) {
+	modPath := loader.ModulePath()
+	isLocal := func(p string) bool {
+		return modPath != "" && (p == modPath || strings.HasPrefix(p, modPath+"/"))
+	}
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int)
+	var order []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		if state[path] != 0 {
+			return nil // done, or a cycle the typechecker will report
+		}
+		state[path] = visiting
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return err
+		}
+		for _, imp := range pkg.Imports {
+			if isLocal(imp) {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, root := range roots {
+		if err := visit(root); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }
 
 func newFlagSet() *flag.FlagSet {

@@ -1,0 +1,142 @@
+package flash
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fib"
+	"repro/internal/obs"
+)
+
+// This file is the dedicated coverage for the deprecated compatibility
+// wrappers. Every other caller in the module has migrated to the
+// replacement API (nodeprecated enforces that); these tests keep the
+// wrappers honest until they are removed.
+
+// TestCompatFeedWrappers: System.Feed and Pipeline.Feed are exactly
+// their FeedContext counterparts with a background context.
+//
+//flashvet:allow nodeprecated dedicated wrapper coverage; all other callers use FeedContext
+func TestCompatFeedWrappers(t *testing.T) {
+	sys := reachSys(t)
+	if _, err := sys.Feed(Msg{Device: 0, Epoch: "e1",
+		Updates: []Update{wildcard(1, Forward(1))}}); err != nil {
+		t.Fatalf("System.Feed: %v", err)
+	}
+
+	p := NewPipeline(reachSys(t), 4)
+	if err := p.Feed(Msg{Device: 0, Epoch: "e1",
+		Updates: []Update{wildcard(1, Forward(1))}}); err != nil {
+		t.Fatalf("Pipeline.Feed: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Feed(Msg{Device: 1, Epoch: "e1",
+		Updates: []Update{wildcard(2, Forward(2))}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Pipeline.Feed after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCompatStatsGetters: each legacy getter mirrors one StatsSnapshot
+// field.
+//
+//flashvet:allow nodeprecated dedicated wrapper coverage; all other callers use StatsSnapshot
+func TestCompatStatsGetters(t *testing.T) {
+	sys := reachSys(t)
+	feedLine(t, sys, "e1", Forward(2))
+	st := sys.StatsSnapshot()
+	if got := sys.SchedulerStats(); got != st.Scheduler {
+		t.Errorf("SchedulerStats = %+v, want %+v", got, st.Scheduler)
+	}
+	if got := sys.CacheStats(); got.Hits+got.Misses < st.Cache.Hits+st.Cache.Misses {
+		t.Errorf("CacheStats lookups went backwards: %+v then %+v", st.Cache, got)
+	}
+	if got := sys.GCStats(); got.Runs < st.GC.Runs {
+		t.Errorf("GCStats runs went backwards: %+v then %+v", st.GC, got)
+	}
+
+	b := NewModelBuilder(WithTopo(lineTopo()), WithLayout(dst8))
+	if err := b.ApplyBlock([]DeviceBlock{{Device: 0,
+		Updates: []Update{wildcard(1, Forward(1))}}}); err != nil {
+		t.Fatal(err)
+	}
+	bst := b.StatsSnapshot()
+	if got := b.ECs(); got != bst.ECs {
+		t.Errorf("ECs = %d, want %d", got, bst.ECs)
+	}
+	if got := b.PredicateOps(); got < bst.PredicateOps {
+		t.Errorf("PredicateOps went backwards: %d then %d", bst.PredicateOps, got)
+	}
+	if got := b.MemoryProxy(); got <= 0 || bst.MemoryNodes <= 0 {
+		t.Errorf("MemoryProxy = %d, StatsSnapshot().MemoryNodes = %d, want both > 0", got, bst.MemoryNodes)
+	}
+	if got := b.Stats(); got.Updates != bst.Transform.Updates {
+		t.Errorf("Stats().Updates = %d, want %d", got.Updates, bst.Transform.Updates)
+	}
+}
+
+// TestCompatAdminHandler: the legacy constructor is NewAdminHandler
+// with metrics and health options.
+//
+//flashvet:allow nodeprecated dedicated wrapper coverage; all other callers use NewAdminHandler
+func TestCompatAdminHandler(t *testing.T) {
+	reg := obs.NewRegistry("compat")
+	srv := httptest.NewServer(AdminHandler(reg))
+	defer srv.Close()
+	body := get(t, srv.URL+"/healthz")
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz = %q", body)
+	}
+}
+
+// TestWhatIfErrorPathReleasesCapture: a what-if whose hypothetical
+// block fails to apply must not pin the forked model — after the error
+// return and Release, a forced GC reclaims the fork's nodes. Regression
+// for the snapleak audit: WhatIf releases its capture on every error
+// return, and whatIf's transient fork dies with the worker mutex.
+func TestWhatIfErrorPathReleasesCapture(t *testing.T) {
+	sys := reachSys(t)
+	feedLine(t, sys, "e1", Forward(2))
+
+	// The block first inserts a rule with a novel prefix — compiling it
+	// mints fresh BDD nodes on the fork — then deletes a rule the
+	// captured model never held, failing ApplyBlock after the fork has
+	// allocated.
+	novel := Update{Op: fib.Insert, Rule: Rule{ID: 998, Pri: 9, Action: Drop,
+		Desc: MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: 0xA5, Len: 8}}}}
+	miss := wildcard(999, Drop)
+	miss.Op = fib.Delete
+	blocks := []DeviceBlock{{Device: 1, Updates: []Update{novel, miss}}}
+	if _, err := sys.WhatIf(context.Background(), blocks); err == nil {
+		t.Fatal("WhatIf deleting a missing rule: expected error")
+	}
+	if n := sys.snapCount.Load(); n != 0 {
+		t.Fatalf("snapshots still registered after failed WhatIf: %d", n)
+	}
+
+	// The failed fork plus verifier state is garbage now; a forced
+	// collection must find it.
+	before := sys.StatsSnapshot().GC
+	if reclaimed := sys.GC(); reclaimed <= 0 {
+		t.Fatalf("GC after failed WhatIf reclaimed %d nodes, want > 0", reclaimed)
+	}
+	after := sys.StatsSnapshot().GC
+	if after.Runs <= before.Runs || after.ReclaimedNodes <= before.ReclaimedNodes {
+		t.Fatalf("GCStats did not advance: %+v then %+v", before, after)
+	}
+
+	// The failure left live verification untouched.
+	rs, err := sys.WhatIf(context.Background(), []DeviceBlock{{Device: 1,
+		Updates: []Update{{Op: fib.Insert, Rule: Rule{ID: 100, Pri: 10, Action: Drop,
+			Desc: MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Len: 0}}}}}}})
+	if err != nil {
+		t.Fatalf("WhatIf after failed WhatIf: %v", err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("WhatIf after failed WhatIf returned no results")
+	}
+}

@@ -235,7 +235,7 @@ func TestDifferentialVerdictOracle(t *testing.T) {
 				continue
 			}
 			for _, m := range msgs {
-				rs, err := sys.Feed(m)
+				rs, err := sys.FeedContext(context.Background(), m)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -276,7 +276,7 @@ func TestDifferentialVerdictOracle(t *testing.T) {
 					cfg.workers, cfg.batch, cfg.budget, i, gotVerdicts[i], wantVerdicts[i])
 			}
 		}
-		if cfg.budget > 0 && sys.GCStats().Runs == 0 {
+		if cfg.budget > 0 && sys.StatsSnapshot().GC.Runs == 0 {
 			t.Fatalf("workers=%d batch=%d budget=%d: budgeted run never collected — the GC path was not exercised",
 				cfg.workers, cfg.batch, cfg.budget)
 		}

@@ -1,6 +1,7 @@
 package flash_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,9 +38,9 @@ func Example() {
 	// Output: a forwards 0x10 via fwd(1)
 }
 
-// ExampleSystem_Feed shows online early detection: a drop at a cut
+// ExampleSystem_FeedContext shows online early detection: a drop at a cut
 // vertex settles the reachability check from a single device's updates.
-func ExampleSystem_Feed() {
+func ExampleSystem_FeedContext() {
 	g := topo.New()
 	g.AddNode("a", topo.RoleSwitch, -1)
 	bID := g.AddNode("b", topo.RoleSwitch, -1)
@@ -58,7 +59,7 @@ func ExampleSystem_Feed() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	results, err := sys.Feed(flash.Msg{
+	results, err := sys.FeedContext(context.Background(), flash.Msg{
 		Device: bID, Epoch: "e1",
 		Updates: []flash.Update{{Op: fib.Insert, Rule: flash.Rule{
 			ID: 1, Pri: 0, Action: flash.Drop,
@@ -86,6 +87,6 @@ func ExampleNewModelBuilder_subspaces() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(builder.NumSubspaces(), "subspaces,", builder.ECs(), "classes")
+	fmt.Println(builder.NumSubspaces(), "subspaces,", builder.StatsSnapshot().ECs, "classes")
 	// Output: 4 subspaces, 4 classes
 }

@@ -56,7 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("model: %d equivalence classes over %d subspaces\n",
-		builder.ECs(), builder.NumSubspaces())
+		builder.StatsSnapshot().ECs, builder.NumSubspaces())
 	for _, h := range []uint64{0x90, 0x10} {
 		act, err := builder.ActionAt(b, []uint64{h})
 		if err != nil {

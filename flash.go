@@ -261,7 +261,7 @@ type ModelBuilder struct {
 
 	// dispatchMu serializes Submit/Wait barriers so concurrent
 	// ApplyBlock/Flush callers cannot interleave their dispatches.
-	dispatchMu sync.Mutex
+	dispatchMu sync.Mutex //flashvet:lockrank 10
 }
 
 // mbWorker owns one subspace: its engine lives inside transform
@@ -269,7 +269,7 @@ type ModelBuilder struct {
 //
 //flashvet:allow bddref — universe is owned by transform.E, the worker's single engine
 type mbWorker struct {
-	mu        sync.Mutex
+	mu        sync.Mutex //flashvet:lockrank 20
 	cfg       Config
 	space     *hs.Space
 	universe  bdd.Ref
@@ -733,7 +733,7 @@ type System struct {
 
 	// dispatchMu serializes scheduler barriers across concurrent Feed
 	// callers (the wire server feeds from multiple connections).
-	dispatchMu sync.Mutex
+	dispatchMu sync.Mutex //flashvet:lockrank 10
 
 	poisonMu     sync.Mutex
 	poisoned     map[int]string // subspace index -> panic cause
@@ -752,7 +752,7 @@ type System struct {
 //
 //flashvet:allow bddref — universe is owned by the dispatcher's per-subspace engine
 type sysWorker struct {
-	mu       sync.Mutex
+	mu       sync.Mutex //flashvet:lockrank 20
 	idx      int
 	space    *hs.Space
 	universe bdd.Ref

@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -59,10 +60,10 @@ func TestModelBuilderBasic(t *testing.T) {
 	if a, err := b.ActionAt(0, []uint64{0x10}); err != nil || a != Forward(1) {
 		t.Fatalf("ActionAt(0, 0x10) = %v, %v", a, err)
 	}
-	if b.ECs() < 2 {
-		t.Errorf("ECs = %d", b.ECs())
+	if b.StatsSnapshot().ECs < 2 {
+		t.Errorf("ECs = %d", b.StatsSnapshot().ECs)
 	}
-	if b.Stats().Updates == 0 || b.PredicateOps() == 0 || b.MemoryProxy() == 0 {
+	if b.StatsSnapshot().Transform.Updates == 0 || b.StatsSnapshot().PredicateOps == 0 || b.StatsSnapshot().MemoryNodes == 0 {
 		t.Error("stats not accumulated")
 	}
 }
@@ -118,7 +119,7 @@ func TestSystemEarlyDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	// b drops everything: early unsatisfied from one message.
-	results, err := sys.Feed(Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}})
+	results, err := sys.FeedContext(context.Background(), Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestModelBuilderCompact(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before := b.MemoryProxy()
+	before := b.StatsSnapshot().MemoryNodes
 	// Record queries before compaction.
 	type q struct {
 		dev DeviceID
@@ -277,7 +278,7 @@ func TestModelBuilderCompact(t *testing.T) {
 	if err := b.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after := b.MemoryProxy()
+	after := b.StatsSnapshot().MemoryNodes
 	if after >= before {
 		t.Errorf("Compact did not shrink memory: %d -> %d", before, after)
 	}
@@ -330,7 +331,7 @@ func TestSystemAnycastAndCoverage(t *testing.T) {
 	}
 	// s forwards everything to m1 only: anycast satisfied once m1
 	// delivers... but m1 is a Dest marker, not a deliverer; feed m1 too.
-	results, err := sys.Feed(Msg{Device: 0, Epoch: "e1",
+	results, err := sys.FeedContext(context.Background(), Msg{Device: 0, Epoch: "e1",
 		Updates: []Update{wildcard(1, Forward(1))}})
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/bddref"
 	"repro/internal/analysis/ctxfeed"
 	"repro/internal/analysis/errwrapped"
@@ -36,7 +37,10 @@ import (
 	"repro/internal/analysis/gcroot"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockbdd"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/nodeprecated"
 	"repro/internal/analysis/obshook"
+	"repro/internal/analysis/snapleak"
 	"repro/internal/analysis/stealsafe"
 )
 
@@ -48,6 +52,10 @@ func All() []*framework.Analyzer {
 		obshook.Analyzer,
 		ctxfeed.Analyzer,
 		lockbdd.Analyzer,
+		lockorder.Analyzer,
+		snapleak.Analyzer,
+		nodeprecated.Analyzer,
+		atomicmix.Analyzer,
 		errwrapped.Analyzer,
 		stealsafe.Analyzer,
 	}
@@ -76,11 +84,17 @@ func ByName(names []string) (out []*framework.Analyzer, unknown []string) {
 	return out, unknown
 }
 
-// Finding is one reported, non-suppressed diagnostic.
+// Finding is one diagnostic. Suppressed findings (acknowledged by a
+// //flashvet:allow directive) are carried too, marked and paired with
+// the directive's justification, so machine consumers (flashvet -json)
+// can audit what the directives are hiding.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	// Justification is the allow directive's commentary when Suppressed.
+	Justification string
 }
 
 // Allow records one //flashvet:allow directive.
@@ -90,9 +104,30 @@ type Allow struct {
 	Comment   string // justification text following the analyzer list
 }
 
-// Check runs the analyzers over one loaded package, applying suppression
-// directives. It returns the surviving findings sorted by position.
+// Check runs the analyzers over one loaded package without cross-package
+// facts, returning only the non-suppressed findings sorted by position.
+// It is the compatibility form of CheckFacts for fact-free callers.
 func Check(pkg *load.Package, analyzers []*framework.Analyzer) ([]Finding, error) {
+	all, err := CheckFacts(pkg, analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// CheckFacts runs the analyzers over one loaded package with the given
+// cross-package fact set (nil disables facts): imported facts of the
+// package's dependencies are visible through the Pass, and facts the
+// analyzers export land in facts for downstream packages. It returns
+// every finding — suppressed ones included, marked — sorted by
+// position.
+func CheckFacts(pkg *load.Package, analyzers []*framework.Analyzer, facts *framework.FactSet) ([]Finding, error) {
 	sup := collectAllows(pkg)
 	var out []Finding
 	for _, a := range analyzers {
@@ -102,13 +137,17 @@ func Check(pkg *load.Package, analyzers []*framework.Analyzer) ([]Finding, error
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 		}
 		name := a.Name
 		pass.Report = func(d framework.Diagnostic) {
-			if sup.allows(name, pkg.Fset.Position(d.Pos)) {
-				return
+			pos := pkg.Fset.Position(d.Pos)
+			f := Finding{Analyzer: name, Pos: pos, Message: d.Message}
+			if just, ok := sup.allows(name, pos); ok {
+				f.Suppressed = true
+				f.Justification = just
 			}
-			out = append(out, Finding{Analyzer: name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+			out = append(out, f)
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, err
@@ -142,18 +181,48 @@ type suppression struct {
 type lineRange struct {
 	file       string
 	start, end int
+	comment    string
 }
 
-func (s *suppression) allows(analyzer string, pos token.Position) bool {
+// allows reports whether a directive suppresses analyzer findings at
+// pos, returning the directive's justification text.
+func (s *suppression) allows(analyzer string, pos token.Position) (string, bool) {
 	for _, r := range s.ranges[analyzer] {
 		if r.file == pos.Filename && pos.Line >= r.start && pos.Line <= r.end {
-			return true
+			return r.comment, true
 		}
 	}
-	return false
+	return "", false
 }
 
 const directive = "//flashvet:allow"
+
+// ParseAllowDirective parses one comment's text as a //flashvet:allow
+// directive, returning the named analyzers (the comma-separated first
+// field, empty names dropped) and the justification commentary that
+// follows. ok is false when the comment is not an allow directive or
+// names no analyzer. It is the single parser behind suppression,
+// flashvet -allows, and the FuzzAllowDirective target.
+func ParseAllowDirective(text string) (names []string, comment string, ok bool) {
+	rest, isDir := strings.CutPrefix(text, directive)
+	if !isDir || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	comment = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	return names, comment, true
+}
 
 func collectAllows(pkg *load.Package) *suppression {
 	s := &suppression{ranges: make(map[string][]lineRange)}
@@ -162,31 +231,22 @@ func collectAllows(pkg *load.Package) *suppression {
 		fileEnd := pkg.Fset.Position(f.FileEnd).Line
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, directive)
-				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				names, comment, ok := ParseAllowDirective(c.Text)
+				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				names := strings.Split(fields[0], ",")
 				pos := pkg.Fset.Position(c.Pos())
 				s.list = append(s.list, Allow{
 					Analyzers: names,
 					Pos:       pos,
-					Comment:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+					Comment:   comment,
 				})
 				start, end := enclosingDeclLines(pkg.Fset, f, c.Pos())
 				if start == 0 {
 					start, end = fileStart, fileEnd
 				}
 				for _, n := range names {
-					n = strings.TrimSpace(n)
-					if n == "" {
-						continue
-					}
-					s.ranges[n] = append(s.ranges[n], lineRange{file: pos.Filename, start: start, end: end})
+					s.ranges[n] = append(s.ranges[n], lineRange{file: pos.Filename, start: start, end: end, comment: comment})
 				}
 			}
 		}

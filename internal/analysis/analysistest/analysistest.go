@@ -42,20 +42,32 @@ func TestData() string {
 
 // Run loads each package path from testdata/src and applies the
 // analyzer, comparing diagnostics against `// want` expectations.
+//
+// One fact set is shared across all pkgPaths in the order listed, so a
+// fact exported while analyzing an earlier package (a dependency) is
+// visible at use sites in a later one — list dependencies first, as the
+// real drivers analyze in dependency order.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	loader, err := load.New(load.Config{SrcDirs: []string{filepath.Join(testdata, "src")}})
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	facts := framework.NewFactSet([]*framework.Analyzer{a})
 	for _, path := range pkgPaths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			t.Fatalf("analysistest: load %s: %v", path, err)
 		}
-		findings, err := analysis.Check(pkg, []*framework.Analyzer{a})
+		all, err := analysis.CheckFacts(pkg, []*framework.Analyzer{a}, facts)
 		if err != nil {
 			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
+		}
+		findings := all[:0]
+		for _, f := range all {
+			if !f.Suppressed {
+				findings = append(findings, f)
+			}
 		}
 		checkWants(t, pkg, findings)
 	}

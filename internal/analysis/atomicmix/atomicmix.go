@@ -1,0 +1,167 @@
+// Package atomicmix flags mixed atomic and plain access to the same
+// memory.
+//
+// A field updated through sync/atomic is part of a lock-free protocol:
+// a plain load can read a torn or stale value and a plain store can
+// lose a concurrent atomic update — and unlike a mutex bug, the race
+// detector only sees it when the interleaving actually happens under
+// -race. The analyzer exports an AtomicUseFact for every struct field
+// or package-level variable whose address is passed to a sync/atomic
+// operation, then flags every plain (non-atomic) read or write of a
+// marked object — in the declaring package or, through the fact, in any
+// importing package.
+//
+// Taking the address of a marked object is not flagged: the pointer may
+// feed another atomic call. The fix for a finding is either an atomic
+// accessor or migrating the field to the typed sync/atomic values,
+// which make mixing impossible.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// AtomicUseFact marks a variable or field as accessed through
+// sync/atomic.
+type AtomicUseFact struct{}
+
+// AFact marks AtomicUseFact as a framework fact.
+func (*AtomicUseFact) AFact() {}
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &framework.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "flag plain reads/writes of fields also accessed through sync/atomic",
+	FactTypes: []framework.Fact{(*AtomicUseFact)(nil)},
+}
+
+func init() { Analyzer.Run = run }
+
+// isAtomicFn matches the address-taking sync/atomic functions (matched
+// by package name so the analysistest corpus and the real import path
+// both hit).
+func isAtomicFn(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Name() != "atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(f.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedObj resolves the object behind &expr's operand: a struct
+// field or a package-level variable.
+func addressedObj(pass *framework.Pass, arg ast.Expr) types.Object {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	obj := framework.MutexFieldObj(pass.TypesInfo, un.X)
+	if v, ok := obj.(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Facts == nil {
+		// Keep the same-package half functional under fact-free drivers.
+		pass.Facts = framework.NewFactSet([]*framework.Analyzer{Analyzer})
+	}
+	// Phase 1: mark every object whose address reaches sync/atomic, and
+	// remember those argument spans (they are the sanctioned accesses).
+	type span struct{ start, end token.Pos }
+	var atomicSpans []span
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFn(framework.CalleeFunc(pass.TypesInfo, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if obj := addressedObj(pass, arg); obj != nil {
+					pass.ExportObjectFact(obj, &AtomicUseFact{})
+					atomicSpans = append(atomicSpans, span{start: arg.Pos(), end: arg.End()})
+				}
+			}
+			return true
+		})
+	}
+	sanctioned := func(pos token.Pos) bool {
+		for _, s := range atomicSpans {
+			if pos >= s.start && pos <= s.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase 2: flag plain accesses of marked objects.
+	marked := func(e ast.Expr) (types.Object, bool) {
+		obj := framework.MutexFieldObj(pass.TypesInfo, e)
+		if obj == nil {
+			return nil, false
+		}
+		var fact AtomicUseFact
+		return obj, pass.ImportObjectFact(obj, &fact)
+	}
+	for _, f := range pass.Files {
+		writes := make(map[ast.Node]bool)    // access exprs used as store targets
+		addressed := make(map[ast.Node]bool) // operands of & (may feed atomics elsewhere)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writes[ast.Unparen(lhs)] = true
+				}
+			case *ast.IncDecStmt:
+				writes[ast.Unparen(n.X)] = true
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					addressed[ast.Unparen(n.X)] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return true
+			}
+			// Only the outermost access expression counts: the Ident
+			// inside a SelectorExpr is the receiver, not the field.
+			obj, isMarked := marked(e)
+			if !isMarked || sanctioned(e.Pos()) || addressed[e] {
+				return true
+			}
+			if id, isIdent := e.(*ast.Ident); isIdent {
+				if _, isDef := pass.TypesInfo.Defs[id]; isDef {
+					return true // the declaration itself, not an access
+				}
+				if v, isVar := pass.TypesInfo.ObjectOf(id).(*types.Var); isVar && v.IsField() {
+					return true // composite-literal key, not an access
+				}
+			}
+			kind := "read"
+			if writes[e] {
+				kind = "write"
+			}
+			pass.Reportf(e.Pos(), "plain %s of %s, which is also accessed via sync/atomic; use atomic accessors (or a typed atomic value) for every access", kind, obj.Name())
+			return false // don't descend into the selector's receiver
+		})
+	}
+	return nil, nil
+}

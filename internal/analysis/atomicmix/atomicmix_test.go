@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicmix.Analyzer,
+		"atomicmix/a", "atomicmix/counters", "atomicmix/user")
+}

@@ -1,0 +1,60 @@
+// Single-package atomicmix cases.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	ops   int64
+	other int64
+}
+
+// bump is the sanctioned accessor.
+func (s *stats) bump() { atomic.AddInt64(&s.ops, 1) }
+
+// load is sanctioned too.
+func (s *stats) load() int64 { return atomic.LoadInt64(&s.ops) }
+
+// mixedRead reads the atomic field plainly.
+func (s *stats) mixedRead() int64 {
+	return s.ops // want `plain read of ops, which is also accessed via sync/atomic`
+}
+
+// mixedWrite stores plainly.
+func (s *stats) mixedWrite() {
+	s.ops = 0 // want `plain write of ops, which is also accessed via sync/atomic`
+}
+
+// mixedIncrement is a plain read-modify-write.
+func (s *stats) mixedIncrement() {
+	s.ops++ // want `plain write of ops, which is also accessed via sync/atomic`
+}
+
+// untouchedField is plain-only and fine.
+func (s *stats) untouchedField() int64 {
+	s.other = 1
+	return s.other
+}
+
+// addressForAtomic passes the address on; the eventual access may be
+// atomic, so this is not flagged.
+func (s *stats) addressForAtomic() *int64 { return &s.ops }
+
+// construct initializes via composite literal before sharing; not an
+// access.
+func construct() *stats { return &stats{ops: 0} }
+
+// pkgCounter is a package-level variable accessed both ways.
+var pkgCounter uint32
+
+func bumpPkg() { atomic.AddUint32(&pkgCounter, 1) }
+
+func readPkg() uint32 {
+	return pkgCounter // want `plain read of pkgCounter, which is also accessed via sync/atomic`
+}
+
+// allowedMix documents a single-threaded init-time write.
+//
+//flashvet:allow atomicmix reset runs before any goroutine starts
+func allowedMix(s *stats) {
+	s.ops = 0
+}

@@ -1,0 +1,16 @@
+// Package counters exports a field it accesses atomically; the
+// AtomicUseFact travels to importers.
+package counters
+
+import "sync/atomic"
+
+// Hits carries an exported counter field updated lock-free.
+type Hits struct {
+	N int64
+}
+
+// Bump increments atomically.
+func (h *Hits) Bump() { atomic.AddInt64(&h.N, 1) }
+
+// Get loads atomically.
+func (h *Hits) Get() int64 { return atomic.LoadInt64(&h.N) }

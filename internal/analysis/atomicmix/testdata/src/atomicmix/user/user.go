@@ -1,0 +1,30 @@
+// Cross-package atomicmix cases: counters' AtomicUseFact on Hits.N
+// arrives here through the shared fact set.
+package user
+
+import (
+	"sync/atomic"
+
+	"atomicmix/counters"
+)
+
+// plainCrossRead reads the atomically-updated field directly.
+func plainCrossRead(h *counters.Hits) int64 {
+	return h.N // want `plain read of N, which is also accessed via sync/atomic`
+}
+
+// plainCrossWrite resets it directly.
+func plainCrossWrite(h *counters.Hits) {
+	h.N = 0 // want `plain write of N, which is also accessed via sync/atomic`
+}
+
+// atomicCross keeps the protocol.
+func atomicCross(h *counters.Hits) int64 {
+	return atomic.LoadInt64(&h.N)
+}
+
+// viaAccessor keeps the protocol through the declared API.
+func viaAccessor(h *counters.Hits) int64 {
+	h.Bump()
+	return h.Get()
+}

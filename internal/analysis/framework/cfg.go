@@ -1,0 +1,469 @@
+// Control-flow graph construction for the flashvet dataflow platform.
+//
+// NewCFG lowers one function body into basic blocks connected by
+// directed edges, purely from syntax (no type information needed):
+// if/else with short-circuit && || ! expansion, for and range loops,
+// switch/type-switch (including fallthrough), select (including
+// default), labeled break/continue, goto, and defer. It mirrors the
+// shape of golang.org/x/tools/go/cfg, which the offline build cannot
+// vendor.
+//
+// Conventions analyzers rely on:
+//
+//   - A block's Nodes are the statements and condition expressions that
+//     execute in it, in source order. Compound statements contribute
+//     only their own evaluated parts (an *ast.IfStmt contributes its
+//     Init and Cond; the branches become separate blocks), so walking a
+//     block's Nodes never re-visits another block's code — except that
+//     nested *ast.FuncLit bodies are NOT expanded into the graph and
+//     appear verbatim inside the node that mentions them (analyzers
+//     that care must skip or recurse explicitly).
+//
+//   - A block whose last node is a condition expression has exactly two
+//     successors: Succs[0] is the true edge, Succs[1] the false edge.
+//     Short-circuit operators are expanded, so each condition node is
+//     an atomic (non-&&/||/!) expression.
+//
+//   - *ast.DeferStmt appears as an ordinary node at the point the defer
+//     is queued. Because a queued defer runs at every subsequent
+//     function exit, flow analyses may treat its call as executing on
+//     every path downstream of the node (the sound reading for
+//     resource-release checks, modulo panics that precede the defer).
+//
+//   - *ast.ReturnStmt ends its block with a single edge to Exit. A call
+//     to the panic builtin ends its block with no successors. Code
+//     after a terminating statement lands in a fresh unreachable block
+//     (no predecessors) so it is still visible to analyzers that want
+//     it, and invisible to ones that walk from Entry.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block of a CFG.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, dense).
+	Index int
+	// Kind names what created the block ("entry", "if.then",
+	// "for.head", "select.case", ...), for tests and debug output.
+	Kind string
+	// Nodes are the statements/expressions executed in this block, in
+	// order.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the synthetic function-exit block: every return statement
+	// and the final fall-off-the-end path edge into it.
+	Exit *Block
+}
+
+// CondBlock reports whether b ends in a two-way condition, returning
+// its (true, false) successors.
+func (b *Block) CondBlock() (t, f *Block, ok bool) {
+	if len(b.Succs) != 2 || len(b.Nodes) == 0 {
+		return nil, nil, false
+	}
+	if _, isExpr := b.Nodes[len(b.Nodes)-1].(ast.Expr); !isExpr {
+		return nil, nil, false
+	}
+	return b.Succs[0], b.Succs[1], true
+}
+
+// Cond returns the condition expression of a two-way block, or nil.
+func (b *Block) Cond() ast.Expr {
+	if _, _, ok := b.CondBlock(); !ok {
+		return nil
+	}
+	e, _ := b.Nodes[len(b.Nodes)-1].(ast.Expr)
+	return e
+}
+
+// String renders the graph compactly for tests: one line per block,
+// "i:kind -> succ,succ".
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d:%s(%d) ->", b.Index, b.Kind, len(b.Nodes))
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: make(map[string]*labelInfo)}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	b.stmt(body)
+	b.edge(b.cur, b.g.Exit)
+	// Forward gotos: targets were materialized when their labels were
+	// reached; anything still unresolved names a label that never
+	// appeared (ill-formed source) and is dropped.
+	for _, pg := range b.pendingGotos {
+		if li := b.labels[pg.label]; li != nil && li.block != nil {
+			b.edge(pg.from, li.block)
+		}
+	}
+	return b.g
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil-safe via edge(); always non-nil (unreachable blocks)
+
+	// loops/switches currently open, innermost last.
+	targets []breakTarget
+	labels  map[string]*labelInfo
+
+	pendingGotos []pendingGoto
+}
+
+type breakTarget struct {
+	label string // "" when the construct is unlabeled
+	brk   *Block // break destination (nil never)
+	cont  *Block // continue destination (nil for switch/select)
+}
+
+type labelInfo struct{ block *Block }
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// terminate ends the current path: subsequent statements build into a
+// fresh block with no predecessors.
+func (b *cfgBuilder) terminate(kind string) { b.cur = b.newBlock(kind) }
+
+func (b *cfgBuilder) stmt(s ast.Stmt) { b.stmtLabeled(s, "") }
+
+func (b *cfgBuilder) stmtLabeled(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		li := b.labels[s.Label.Name]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[s.Label.Name] = li
+		}
+		if li.block == nil {
+			li.block = b.newBlock("label." + s.Label.Name)
+		}
+		b.edge(b.cur, li.block)
+		b.cur = li.block
+		b.stmtLabeled(s.Stmt, s.Label.Name)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate("unreachable")
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate("unreachable")
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.brk)
+				break
+			}
+		}
+		b.terminate("unreachable")
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont == nil {
+				continue // switch/select: continue skips past it
+			}
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.cont)
+				break
+			}
+		}
+		b.terminate("unreachable")
+	case token.GOTO:
+		if li := b.labels[label]; li != nil && li.block != nil {
+			b.edge(b.cur, li.block)
+		} else {
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{from: b.cur, label: label})
+		}
+		b.terminate("unreachable")
+	case token.FALLTHROUGH:
+		// Handled structurally by switchBody; reaching here means a
+		// fallthrough outside a switch clause (ill-formed). Ignore.
+	}
+}
+
+// cond lowers a boolean expression into condition blocks, wiring the
+// true path to t and the false path to f, expanding short-circuit
+// operators so every evaluated sub-condition is its own node.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	b.add(e)
+	b.edge(b.cur, t) // Succs[0]: condition true
+	b.edge(b.cur, f) // Succs[1]: condition false
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	elseTarget := done
+	if s.Else != nil {
+		elseTarget = b.newBlock("if.else")
+	}
+	b.cond(s.Cond, then, elseTarget)
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, done)
+	if s.Else != nil {
+		b.cur = elseTarget
+		b.stmt(s.Else)
+		b.edge(b.cur, done)
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		contTo = post
+	}
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.cond(s.Cond, body, done)
+	} else {
+		b.edge(b.cur, body) // for {}: exits only via break/return
+	}
+	b.targets = append(b.targets, breakTarget{label: label, brk: done, cont: contTo})
+	b.cur = body
+	b.stmt(s.Body)
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.add(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s.X) // the ranged expression re-evaluates the iteration state
+	b.edge(head, body) // Succs[0]: another element
+	b.edge(head, done) // Succs[1]: exhausted
+	b.targets = append(b.targets, breakTarget{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// switchBody lowers the clause list shared by switch and type switch.
+// allowFallthrough distinguishes expression switches.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, allowFallthrough bool) {
+	head := b.cur
+	done := b.newBlock("switch.done")
+	b.targets = append(b.targets, breakTarget{label: label, brk: done})
+	var clauseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+		}
+		clauseBlocks = append(clauseBlocks, b.newBlock(kind))
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		b.edge(head, clauseBlocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, done) // no clause matched
+	}
+	for i, cc := range clauses {
+		b.cur = clauseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		stmts := cc.Body
+		fallsThrough := false
+		if allowFallthrough && len(stmts) > 0 {
+			if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:len(stmts)-1]
+			}
+		}
+		for _, st := range stmts {
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1])
+		} else {
+			b.edge(b.cur, done)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	done := b.newBlock("select.done")
+	b.targets = append(b.targets, breakTarget{label: label, brk: done})
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, done)
+	}
+	// A select without default blocks until some case fires, so head has
+	// no direct edge to done; with a default, the default IS a case.
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// isPanicCall matches a direct call to the panic builtin (syntactic:
+// the builder has no type information, so a user-defined panic function
+// shadowing the builtin is over-matched).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

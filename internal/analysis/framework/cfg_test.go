@@ -1,0 +1,430 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses a function body (the source of a complete function
+// declaration) and builds its CFG.
+func buildCFG(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return NewCFG(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// pathsToExit enumerates all acyclic Entry→Exit paths (bounded).
+func pathsToExit(g *CFG) int {
+	var count int
+	var walk func(b *Block, seen map[*Block]bool)
+	walk = func(b *Block, seen map[*Block]bool) {
+		if b == g.Exit {
+			count++
+			return
+		}
+		if seen[b] || count > 1000 {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s, seen)
+		}
+		delete(seen, b)
+	}
+	walk(g.Entry, map[*Block]bool{})
+	return count
+}
+
+// blockOf finds the reachable block containing a node whose source
+// rendering contains want.
+func blockOf(t *testing.T, g *CFG, fset *token.FileSet, want string, src string) *Block {
+	t.Helper()
+	for _, b := range g.ReachableBlocks() {
+		for _, n := range b.Nodes {
+			start := fset.Position(n.Pos()).Offset
+			end := fset.Position(n.End()).Offset
+			full := "package p\n" + src
+			if start >= 0 && end <= len(full) && strings.Contains(full[start:end], want) {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no reachable block contains %q\n%s", want, g.String())
+	return nil
+}
+
+func TestCFGIfElseShortCircuit(t *testing.T) {
+	src := `func f(a, b, c bool) int {
+	if a && (b || !c) {
+		return 1
+	}
+	return 2
+}`
+	g, fset := buildCFG(t, src)
+	// Conditions are split: a, b, c each get their own condition block.
+	for _, name := range []string{"a", "b", "c"} {
+		blk := blockOf(t, g, fset, name, src)
+		tt, ff, ok := blk.CondBlock()
+		if !ok {
+			t.Fatalf("condition %s not a two-way block: %s", name, g.String())
+		}
+		if tt == ff {
+			t.Fatalf("condition %s has identical branches", name)
+		}
+	}
+	// !c swaps the edge sense: c's true edge goes where b's false edge
+	// would fail the &&, i.e. to the else path (return 2's block).
+	cBlk := blockOf(t, g, fset, "c", src)
+	ret1 := blockOf(t, g, fset, "return 1", src)
+	cTrue, cFalse, _ := cBlk.CondBlock()
+	if cFalse != ret1 {
+		t.Errorf("!c false edge should reach 'return 1', got block %d (%s)", cFalse.Index, g.String())
+	}
+	if cTrue == ret1 {
+		t.Errorf("!c true edge must not reach 'return 1' directly")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	src := `func f(xs [][]int) int {
+outer:
+	for i := range xs {
+		for j := range xs[i] {
+			if xs[i][j] < 0 {
+				break outer
+			}
+			if xs[i][j] == 0 {
+				break
+			}
+		}
+		println(i)
+	}
+	return 0
+}`
+	g, fset := buildCFG(t, src)
+	ret := blockOf(t, g, fset, "return 0", src)
+	breakOuter := blockOf(t, g, fset, "break outer", src)
+	// break outer jumps straight past the println post-body code to the
+	// outer loop's done block, from which only return 0 is reachable.
+	if len(breakOuter.Succs) != 1 {
+		t.Fatalf("break outer should have one successor, got %d", len(breakOuter.Succs))
+	}
+	outerDone := breakOuter.Succs[0]
+	seen := map[*Block]bool{}
+	stack := []*Block{outerDone}
+	foundPrintln := false
+	foundReturn := false
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b == ret {
+			foundReturn = true
+		}
+		for _, n := range b.Nodes {
+			if call, ok := n.(*ast.ExprStmt); ok {
+				if c, ok := call.X.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "println" {
+						foundPrintln = true
+					}
+				}
+			}
+		}
+		stack = append(stack, b.Succs...)
+	}
+	if !foundReturn {
+		t.Errorf("break outer cannot reach the return:\n%s", g.String())
+	}
+	if foundPrintln {
+		t.Errorf("break outer must not flow through the outer loop body's println:\n%s", g.String())
+	}
+	// The unlabeled break exits only the inner loop: println stays
+	// reachable from it.
+	condEq := blockOf(t, g, fset, "== 0", src)
+	breakInner, _, ok := condEq.CondBlock()
+	if !ok {
+		t.Fatalf("xs[i][j] == 0 should be a condition block:\n%s", g.String())
+	}
+	seen = map[*Block]bool{}
+	stack = []*Block{breakInner}
+	foundPrintln = false
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			start := fset.Position(n.Pos()).Offset
+			end := fset.Position(n.End()).Offset
+			if strings.Contains(("package p\n" + src)[start:end], "println") {
+				foundPrintln = true
+			}
+		}
+		stack = append(stack, b.Succs...)
+	}
+	if !foundPrintln {
+		t.Errorf("unlabeled break should still reach println:\n%s", g.String())
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	src := `func f(n int) {
+	for i := 0; i < n; i++ {
+		defer println(i)
+	}
+}`
+	g, fset := buildCFG(t, src)
+	deferBlk := blockOf(t, g, fset, "defer", src)
+	if deferBlk.Kind != "for.body" {
+		t.Errorf("defer should sit in the loop body block, got %q", deferBlk.Kind)
+	}
+	if _, ok := deferBlk.Nodes[len(deferBlk.Nodes)-1].(*ast.DeferStmt); !ok {
+		t.Errorf("defer statement not recorded as a node")
+	}
+	// The loop head is a condition block: true edge to body, false to done.
+	head := blockOf(t, g, fset, "i < n", src)
+	tt, ff, ok := head.CondBlock()
+	if !ok {
+		t.Fatalf("loop head not a condition block:\n%s", g.String())
+	}
+	if tt != deferBlk {
+		t.Errorf("true edge of loop head should be the body")
+	}
+	// The false edge falls off the end to Exit.
+	if ff != g.Exit && (len(ff.Succs) != 1 || ff.Succs[0] != g.Exit) {
+		t.Errorf("false edge should reach Exit:\n%s", g.String())
+	}
+	// Back edge exists: body (via post) reaches head again.
+	if pathsToExit(g) == 0 {
+		t.Errorf("no path to exit")
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	src := `func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}`
+	g, _ := buildCFG(t, src)
+	// Entry fans out to exactly the two comm clauses; both return, so
+	// exactly two paths reach Exit and the select.done block is dead.
+	if got := len(g.Entry.Succs); got != 2 {
+		t.Fatalf("select head should have 2 successors (case + default), got %d:\n%s", got, g.String())
+	}
+	if got := pathsToExit(g); got != 2 {
+		t.Errorf("want 2 Entry→Exit paths, got %d:\n%s", got, g.String())
+	}
+
+	// Without a default, the head must NOT have an extra bypass edge.
+	src2 := `func f(a, b chan int) {
+	select {
+	case <-a:
+	case <-b:
+	}
+	println()
+}`
+	g2, _ := buildCFG(t, src2)
+	if got := len(g2.Entry.Succs); got != 2 {
+		t.Errorf("no-default select head should have exactly its 2 case edges, got %d:\n%s", got, g2.String())
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	src := `func f(x int) int {
+	if x > 0 {
+		goto done
+	}
+	x = -x
+done:
+	return x
+}`
+	g, fset := buildCFG(t, src)
+	gotoBlk := blockOf(t, g, fset, "goto done", src)
+	retBlk := blockOf(t, g, fset, "return x", src)
+	found := false
+	for _, s := range gotoBlk.Succs {
+		if s == retBlk {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("goto done should edge to the labeled block:\n%s", g.String())
+	}
+	if got := pathsToExit(g); got != 2 {
+		t.Errorf("want 2 paths (goto, fallthrough), got %d", got)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	src := `func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 0
+	}
+	return x
+}`
+	g, fset := buildCFG(t, src)
+	case1 := blockOf(t, g, fset, "x++", src)
+	case2 := blockOf(t, g, fset, "x += 2", src)
+	found := false
+	for _, s := range case1.Succs {
+		if s == case2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallthrough should edge case 1 into case 2's block:\n%s", g.String())
+	}
+	// default exists, so the dispatch block has no bypass edge: its
+	// successors are exactly the three clause blocks.
+	if got := len(g.Entry.Succs); got != 3 {
+		t.Errorf("switch head should have 3 clause edges, got %d:\n%s", got, g.String())
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	src := `func f(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}`
+	g, fset := buildCFG(t, src)
+	panicBlk := blockOf(t, g, fset, "panic", src)
+	if len(panicBlk.Succs) != 0 {
+		t.Errorf("panic block must have no successors, got %d", len(panicBlk.Succs))
+	}
+	if got := pathsToExit(g); got != 1 {
+		t.Errorf("only the non-panic path reaches Exit; got %d paths", got)
+	}
+}
+
+func TestCFGRangeMayNotExecute(t *testing.T) {
+	src := `func f(xs []int) {
+	for range xs {
+		println()
+	}
+}`
+	g, fset := buildCFG(t, src)
+	head := blockOf(t, g, fset, "xs", src)
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head needs body + done successors, got %d", len(head.Succs))
+	}
+	body, done := head.Succs[0], head.Succs[1]
+	backEdge := false
+	for _, s := range body.Succs {
+		if s == head {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Errorf("range body needs a back edge to the head:\n%s", g.String())
+	}
+	if len(done.Succs) != 1 || done.Succs[0] != g.Exit {
+		t.Errorf("range done should fall through to Exit:\n%s", g.String())
+	}
+	// The zero-iteration path is the only acyclic one.
+	if got := pathsToExit(g); got != 1 {
+		t.Errorf("want 1 acyclic path (zero iterations), got %d", got)
+	}
+}
+
+// TestCFGSolveLiveLocks exercises the worklist solver with a may-held
+// lock analysis over a diamond: a lock taken on one branch only is
+// may-held at the join.
+func TestCFGSolveLiveLocks(t *testing.T) {
+	src := `func f(cond bool) {
+	if cond {
+		lock()
+	}
+	use()
+}`
+	g, fset := buildCFG(t, src)
+	type state = map[string]bool
+	calls := func(b *Block) []string {
+		var out []string
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok {
+						out = append(out, id.Name)
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	before, _ := Solve(g, FlowSpec[state]{
+		Dir:      Forward,
+		Boundary: state{},
+		Bottom:   func() state { return state{} },
+		Join: func(a, b state) state {
+			out := state{}
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b state) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in state) state {
+			out := state{}
+			for k := range in {
+				out[k] = true
+			}
+			for _, c := range calls(b) {
+				if c == "lock" {
+					out["mu"] = true
+				}
+			}
+			return out
+		},
+	})
+	useBlk := blockOf(t, g, fset, "use()", src)
+	if !before[useBlk]["mu"] {
+		t.Errorf("lock taken on one branch must be may-held at the join:\n%s", g.String())
+	}
+	if before[g.Entry]["mu"] {
+		t.Errorf("entry state polluted")
+	}
+}

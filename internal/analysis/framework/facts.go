@@ -1,0 +1,251 @@
+// Cross-package facts for the flashvet analyzers.
+//
+// A Fact is a conclusion one analyzer reaches about a types.Object (or
+// a whole package) while analyzing the package that declares it —
+// "this function Releases its snapshot argument", "this mutex field
+// has lock rank 20", "this symbol is deprecated". Facts outlive the
+// compilation unit that produced them: the driver serializes them
+// (JSON, one flat record list) beside each analyzed package and seeds
+// the FactSet of every downstream unit with its dependencies' facts,
+// mirroring golang.org/x/tools/go/analysis facts over the go vet
+// vetx-file protocol.
+//
+// Object identity across compilation units cannot use pointer
+// equality, so facts are keyed by a stable object path within the
+// declaring package: "Name" for package-level objects, "Type.Name" for
+// methods and struct fields of package-level named types. Objects
+// without such a path (locals, fields of unnamed types) can carry
+// facts only within the unit that created them.
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is implemented by any analyzer-defined fact type. Facts must be
+// pointers to JSON-serializable structs, and each analyzer must list
+// its fact types in Analyzer.FactTypes for decoding.
+type Fact interface{ AFact() }
+
+// FactSet accumulates the facts of one analysis run: those imported
+// from dependencies and those exported while analyzing. It is keyed by
+// (analyzer, package path, object path, fact type); one fact of each
+// type per key.
+type FactSet struct {
+	// factTypes: analyzer name -> fact type name -> concrete type.
+	factTypes map[string]map[string]reflect.Type
+	facts     map[factKey]Fact
+}
+
+type factKey struct {
+	analyzer string
+	pkgPath  string
+	objPath  string // "" for package facts
+	typeName string
+}
+
+// NewFactSet creates a FactSet that can decode the fact types declared
+// by the given analyzers.
+func NewFactSet(analyzers []*Analyzer) *FactSet {
+	s := &FactSet{
+		factTypes: make(map[string]map[string]reflect.Type),
+		facts:     make(map[factKey]Fact),
+	}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if t == nil || t.Kind() != reflect.Pointer {
+				panic(fmt.Sprintf("framework: analyzer %s fact type %T is not a pointer", a.Name, f))
+			}
+			m := s.factTypes[a.Name]
+			if m == nil {
+				m = make(map[string]reflect.Type)
+				s.factTypes[a.Name] = m
+			}
+			m[t.Elem().Name()] = t
+		}
+	}
+	return s
+}
+
+func typeNameOf(f Fact) string { return reflect.TypeOf(f).Elem().Name() }
+
+// export records one fact. Unpathable objects are silently scoped to
+// this set only (they still resolve within the same run).
+func (s *FactSet) export(analyzer string, pkg *types.Package, obj types.Object, f Fact) {
+	objPath := ""
+	if obj != nil {
+		p, ok := ObjectPath(pkg, obj)
+		if !ok {
+			return
+		}
+		objPath = p
+	}
+	s.facts[factKey{analyzer: analyzer, pkgPath: pkg.Path(), objPath: objPath, typeName: typeNameOf(f)}] = f
+}
+
+// lookup copies a stored fact into dst (a pointer to the matching fact
+// struct), reporting whether one was found.
+func (s *FactSet) lookup(analyzer string, pkg *types.Package, obj types.Object, dst Fact) bool {
+	objPath := ""
+	if obj != nil {
+		p, ok := ObjectPath(pkg, obj)
+		if !ok {
+			return false
+		}
+		objPath = p
+	}
+	got, ok := s.facts[factKey{analyzer: analyzer, pkgPath: pkg.Path(), objPath: objPath, typeName: typeNameOf(dst)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// factRecord is the serialized form of one fact.
+type factRecord struct {
+	Analyzer string          `json:"analyzer"`
+	Package  string          `json:"package"`
+	Object   string          `json:"object,omitempty"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// Encode serializes every fact in the set (imported ones included, so
+// a unit's fact file transitively carries its dependencies' facts).
+func (s *FactSet) Encode() ([]byte, error) {
+	recs := make([]factRecord, 0, len(s.facts))
+	for k, f := range s.facts {
+		data, err := json.Marshal(f)
+		if err != nil {
+			return nil, fmt.Errorf("framework: encode fact %s/%s: %w", k.analyzer, k.typeName, err)
+		}
+		recs = append(recs, factRecord{
+			Analyzer: k.analyzer, Package: k.pkgPath, Object: k.objPath,
+			Type: k.typeName, Data: data,
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(recs)
+}
+
+// Decode merges serialized facts into the set. Records whose analyzer
+// or fact type is unknown to this run are skipped (a unit built by a
+// newer flashvet can carry fact kinds an older one does not know).
+func (s *FactSet) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var recs []factRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("framework: decode facts: %w", err)
+	}
+	for _, r := range recs {
+		t, ok := s.factTypes[r.Analyzer][r.Type]
+		if !ok {
+			continue
+		}
+		fv := reflect.New(t.Elem())
+		if err := json.Unmarshal(r.Data, fv.Interface()); err != nil {
+			return fmt.Errorf("framework: decode %s fact %s: %w", r.Analyzer, r.Type, err)
+		}
+		s.facts[factKey{analyzer: r.Analyzer, pkgPath: r.Package, objPath: r.Object, typeName: r.Type}] = fv.Interface().(Fact)
+	}
+	return nil
+}
+
+// Len reports the number of facts held (for tests and -debug output).
+func (s *FactSet) Len() int { return len(s.facts) }
+
+// ObjectPath computes the stable intra-package path of obj: "Name" for
+// package-level objects, "Type.Name" for methods and for struct fields
+// of package-level named types. ok is false for objects with no stable
+// path (locals, embedded-anonymous cases).
+func ObjectPath(pkg *types.Package, obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	// Method: path through its receiver's named type.
+	if f, ok := obj.(*types.Func); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := types.Unalias(t).(*types.Named); ok && n.Obj().Pkg() == obj.Pkg() {
+				return n.Obj().Name() + "." + f.Name(), true
+			}
+		}
+		return "", false
+	}
+	// Struct field: search the package's named struct types.
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		scope := obj.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					return name + "." + obj.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// LookupObjectPath resolves a path produced by ObjectPath against a
+// package (possibly a different load of it, e.g. from export data).
+func LookupObjectPath(pkg *types.Package, path string) types.Object {
+	dot := strings.IndexByte(path, '.')
+	if dot < 0 {
+		return pkg.Scope().Lookup(path)
+	}
+	tn, ok := pkg.Scope().Lookup(path[:dot]).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	name := path[dot+1:]
+	if n, ok := types.Unalias(tn.Type()).(*types.Named); ok {
+		for i := 0; i < n.NumMethods(); i++ {
+			if m := n.Method(i); m.Name() == name {
+				return m
+			}
+		}
+	}
+	if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Name() == name {
+				return f
+			}
+		}
+	}
+	return nil
+}

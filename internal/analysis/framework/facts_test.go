@@ -1,0 +1,124 @@
+package framework
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func (*testFact) AFact() {}
+
+func typecheck(t *testing.T, src string) (*types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "facts_test_src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object), Uses: make(map[*ast.Ident]types.Object)}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, info
+}
+
+const factSrc = `package p
+
+type T struct {
+	Field int
+	mu    int
+}
+
+func (t *T) Method() {}
+
+func Fn() {}
+
+var V int
+`
+
+func TestObjectPathRoundTrip(t *testing.T) {
+	pkg, _ := typecheck(t, factSrc)
+	for _, want := range []string{"Fn", "V", "T", "T.Method", "T.Field", "T.mu"} {
+		obj := LookupObjectPath(pkg, want)
+		if obj == nil {
+			t.Fatalf("LookupObjectPath(%q) = nil", want)
+		}
+		got, ok := ObjectPath(pkg, obj)
+		if !ok || got != want {
+			t.Errorf("ObjectPath(%v) = %q, %v; want %q", obj, got, ok, want)
+		}
+	}
+}
+
+func TestFactEncodeDecode(t *testing.T) {
+	pkg, _ := typecheck(t, factSrc)
+	an := &Analyzer{Name: "testan", FactTypes: []Fact{(*testFact)(nil)}}
+	fs := NewFactSet([]*Analyzer{an})
+	pass := &Pass{Analyzer: an, Pkg: pkg, Facts: fs}
+
+	fn := pkg.Scope().Lookup("Fn")
+	method := LookupObjectPath(pkg, "T.Method")
+	field := LookupObjectPath(pkg, "T.Field")
+	pass.ExportObjectFact(fn, &testFact{N: 1, S: "fn"})
+	pass.ExportObjectFact(method, &testFact{N: 2, S: "method"})
+	pass.ExportObjectFact(field, &testFact{N: 3, S: "field"})
+	pass.ExportPackageFact(&testFact{N: 4, S: "pkg"})
+
+	data, err := fs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second run (fresh FactSet, fresh load of the same package)
+	// decodes and resolves the facts by path.
+	pkg2, _ := typecheck(t, factSrc)
+	fs2 := NewFactSet([]*Analyzer{an})
+	if err := fs2.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	pass2 := &Pass{Analyzer: an, Pkg: pkg2, Facts: fs2}
+
+	var got testFact
+	if !pass2.ImportObjectFact(pkg2.Scope().Lookup("Fn"), &got) || got.N != 1 {
+		t.Errorf("Fn fact = %+v after round trip", got)
+	}
+	if !pass2.ImportObjectFact(LookupObjectPath(pkg2, "T.Method"), &got) || got.S != "method" {
+		t.Errorf("T.Method fact = %+v after round trip", got)
+	}
+	if !pass2.ImportObjectFact(LookupObjectPath(pkg2, "T.Field"), &got) || got.N != 3 {
+		t.Errorf("T.Field fact = %+v after round trip", got)
+	}
+	if !pass2.ImportPackageFact(pkg2, &got) || got.S != "pkg" {
+		t.Errorf("package fact = %+v after round trip", got)
+	}
+
+	// A fact type the run does not know is skipped, not an error.
+	unknown := []byte(`[{"analyzer":"nosuch","package":"example.com/p","type":"mystery","data":{}}]`)
+	if err := fs2.Decode(unknown); err != nil {
+		t.Errorf("unknown fact type should be skipped: %v", err)
+	}
+
+	// Facts of one analyzer are invisible to another.
+	other := &Analyzer{Name: "other", FactTypes: []Fact{(*testFact)(nil)}}
+	pass3 := &Pass{Analyzer: other, Pkg: pkg2, Facts: fs2}
+	if pass3.ImportObjectFact(pkg2.Scope().Lookup("Fn"), &got) {
+		t.Errorf("fact leaked across analyzers")
+	}
+
+	// Nil-safe without a FactSet.
+	passNil := &Pass{Analyzer: an, Pkg: pkg2}
+	passNil.ExportPackageFact(&testFact{})
+	if passNil.ImportPackageFact(pkg2, &got) {
+		t.Errorf("nil FactSet should import nothing")
+	}
+}

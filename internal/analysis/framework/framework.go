@@ -9,9 +9,12 @@
 // ever gains the real dependency, each analyzer ports by swapping the
 // import and (mechanically) the Pass field names.
 //
-// Facts, Requires-chaining and suggested fixes are intentionally absent:
-// every flashvet analyzer is package-local, which keeps the vet-tool
-// protocol trivial (no fact serialization between compilation units).
+// Since the v2 platform upgrade the framework also carries the two
+// pieces the original per-file walker lacked: an intraprocedural CFG
+// with a worklist dataflow solver (cfg.go, solve.go), and serializable
+// cross-package facts (facts.go) threaded by the drivers through the
+// go vet vetx-file protocol and the standalone loader's dependency
+// order.
 package framework
 
 import (
@@ -29,6 +32,11 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by flashvet -help.
 	Doc string
+	// FactTypes lists the fact types the analyzer exports or imports
+	// (each a nil pointer of the concrete type, e.g.
+	// []Fact{(*ReleasesFact)(nil)}). Required for the driver to decode
+	// the analyzer's serialized facts.
+	FactTypes []Fact
 	// Run applies the analyzer to one package. Diagnostics are delivered
 	// through pass.Report; the result value is unused (kept for go/analysis
 	// signature compatibility).
@@ -50,11 +58,120 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Facts is the run's shared fact set (imported dependency facts plus
+	// anything exported so far). Drivers that do not thread facts leave
+	// it nil; the accessors below are nil-safe.
+	Facts *FactSet
+
+	cfgs map[*ast.BlockStmt]*CFG
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ---- Facts API (nil-safe when the driver supplies no FactSet). ----
+
+// ExportObjectFact attaches f to obj for downstream packages. Objects
+// without a stable path (see ObjectPath) keep the fact run-local.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	p.Facts.export(p.Analyzer.Name, obj.Pkg(), obj, f)
+}
+
+// ImportObjectFact copies the fact of f's type attached to obj into f,
+// reporting whether one exists. It sees facts exported earlier in the
+// same package as well as imported ones.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.Facts.lookup(p.Analyzer.Name, obj.Pkg(), obj, f)
+}
+
+// ExportPackageFact attaches f to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.Facts == nil {
+		return
+	}
+	p.Facts.export(p.Analyzer.Name, p.Pkg, nil, f)
+}
+
+// ImportPackageFact copies pkg's package-level fact of f's type into f.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	if p.Facts == nil || pkg == nil {
+		return false
+	}
+	return p.Facts.lookup(p.Analyzer.Name, pkg, nil, f)
+}
+
+// ---- Function iteration and CFG construction. ----
+
+// FuncBody is one function or function-literal body surfaced by
+// EachFuncBody.
+type FuncBody struct {
+	// Decl is the enclosing declaration (nil for a function literal at
+	// file scope — impossible in valid Go, so in practice non-nil).
+	Decl *ast.FuncDecl
+	// Lit is non-nil when the body belongs to a function literal.
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+}
+
+// Name returns a diagnostic-friendly name for the function.
+func (fb FuncBody) Name() string {
+	if fb.Lit != nil {
+		return "func literal"
+	}
+	if fb.Decl != nil {
+		return fb.Decl.Name.Name
+	}
+	return "func"
+}
+
+// EachFuncBody invokes fn for every function declaration body and every
+// nested function literal body in the file, outermost first. Function
+// literals are surfaced as their own scope (their bodies are not part
+// of the enclosing CFG), which is the treatment every flow-sensitive
+// analyzer wants: a closure does not necessarily run under the
+// conditions holding where it is written.
+func EachFuncBody(f *ast.File, fn func(FuncBody)) {
+	var visitLits func(decl *ast.FuncDecl, n ast.Node)
+	visitLits = func(decl *ast.FuncDecl, n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok {
+				fn(FuncBody{Decl: decl, Lit: lit, Body: lit.Body})
+				visitLits(decl, lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(FuncBody{Decl: fd, Body: fd.Body})
+		visitLits(fd, fd.Body)
+	}
+}
+
+// CFG returns the (memoized) control-flow graph of body.
+func (p *Pass) CFG(body *ast.BlockStmt) *CFG {
+	if g, ok := p.cfgs[body]; ok {
+		return g
+	}
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	g := NewCFG(body)
+	p.cfgs[body] = g
+	return g
 }
 
 // Filename returns the base-less full filename containing pos.
@@ -169,4 +286,55 @@ func IsNilComparison(cond ast.Expr, op token.Token) (ast.Expr, bool) {
 func isNilIdent(e ast.Expr) bool {
 	id, ok := ast.Unparen(e).(*ast.Ident)
 	return ok && id.Name == "nil"
+}
+
+// ---- Mutex helpers shared by the lock-discipline analyzers. ----
+
+// IsSyncMutex reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func IsSyncMutex(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return NamedIn(t, "sync", "Mutex") || NamedIn(t, "sync", "RWMutex")
+}
+
+// MutexOp matches a call to Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/sync.RWMutex value, returning the lock's receiver
+// expression and the method name.
+func MutexOp(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	tv, okT := info.Types[sel.X]
+	if !okT || !IsSyncMutex(tv.Type) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// MutexFieldObj resolves a mutex receiver expression to the struct
+// field or package-level variable object that identifies the mutex
+// (e.g. s.dispatchMu -> the dispatchMu field of System), or nil when
+// the expression is not a stable named lock.
+func MutexFieldObj(info *types.Info, recv ast.Expr) types.Object {
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.ObjectOf(x.Sel)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return MutexFieldObj(info, x.X)
+		}
+	}
+	return nil
 }

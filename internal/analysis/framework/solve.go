@@ -1,0 +1,118 @@
+// A generic worklist solver over the CFG, for monotone dataflow
+// problems. Analyzers describe their lattice (bottom, join, equality)
+// and a per-block transfer function; Solve iterates to a fixed point
+// and returns the state at every block boundary.
+package framework
+
+// Direction selects forward (entry→exit) or backward (exit→entry)
+// propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// FlowSpec describes one dataflow problem with state type S. Transfer
+// must not mutate its input state; Join may return either argument
+// when one subsumes the other.
+type FlowSpec[S any] struct {
+	Dir Direction
+	// Boundary is the state at the flow entry (Entry block's in-state
+	// for Forward, Exit block's out-state for Backward).
+	Boundary S
+	// Bottom produces the identity of Join (the "no paths yet" state).
+	Bottom func() S
+	Join   func(S, S) S
+	Equal  func(S, S) bool
+	// Transfer computes the state after executing block b (in the flow
+	// direction) from the state before it.
+	Transfer func(b *Block, before S) S
+}
+
+// Solve runs the worklist algorithm to a fixed point. It returns the
+// state before and after each block in the flow direction: for Forward
+// problems before = in-state and after = out-state; for Backward
+// problems before = out-state and after = in-state.
+func Solve[S any](g *CFG, spec FlowSpec[S]) (before, after map[*Block]S) {
+	before = make(map[*Block]S, len(g.Blocks))
+	after = make(map[*Block]S, len(g.Blocks))
+	for _, b := range g.Blocks {
+		before[b] = spec.Bottom()
+		after[b] = spec.Bottom()
+	}
+	start := g.Entry
+	if spec.Dir == Backward {
+		start = g.Exit
+	}
+	before[start] = spec.Boundary
+
+	preds := func(b *Block) []*Block { return b.Preds }
+	succs := func(b *Block) []*Block { return b.Succs }
+	if spec.Dir == Backward {
+		preds, succs = succs, preds
+	}
+
+	// Seed with every block reachable from the boundary, in
+	// quasi-topological (BFS) order to keep iteration counts low.
+	var work []*Block
+	inWork := make(map[*Block]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	push(start)
+	for i := 0; i < len(work); i++ {
+		for _, s := range succs(work[i]) {
+			push(s)
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		in := spec.Bottom()
+		if b == start {
+			in = spec.Boundary
+		}
+		for _, p := range preds(b) {
+			in = spec.Join(in, after[p])
+		}
+		before[b] = in
+		out := spec.Transfer(b, in)
+		if spec.Equal(out, after[b]) {
+			continue
+		}
+		after[b] = out
+		for _, s := range succs(b) {
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return before, after
+}
+
+// ReachableBlocks returns the blocks reachable from Entry in a stable
+// (BFS) order — the iteration order report-generating passes should
+// use so diagnostics come out deterministically.
+func (g *CFG) ReachableBlocks() []*Block {
+	var out []*Block
+	seen := make(map[*Block]bool, len(g.Blocks))
+	out = append(out, g.Entry)
+	seen[g.Entry] = true
+	for i := 0; i < len(out); i++ {
+		for _, s := range out[i].Succs {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}

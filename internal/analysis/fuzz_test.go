@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzAllowDirective hammers the //flashvet:allow parser with arbitrary
+// comment text. The parser is the single gate between source comments
+// and finding suppression, so its invariants are load-bearing: a
+// non-directive comment must never suppress anything, and an accepted
+// directive must name at least one analyzer, with every name free of
+// separators and the justification a clean suffix of the input.
+func FuzzAllowDirective(f *testing.F) {
+	seeds := []string{
+		"//flashvet:allow snapleak",
+		"//flashvet:allow lockorder boot path runs single-threaded before workers start",
+		"//flashvet:allow nodeprecated,atomicmix dedicated wrapper coverage",
+		"//flashvet:allow lockbdd — init-time only, no concurrent workers yet",
+		"//flashvet:allow  ,, ",
+		"//flashvet:allow",
+		"//flashvet:allowx snapleak",
+		"// flashvet:allow snapleak",
+		"//flashvet:allow\tsnapleak\tjustification after a tab",
+		"//flashvet:allow snapleak,,lockorder",
+		"/* block comment */",
+		"//go:generate stringer",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		names, comment, ok := ParseAllowDirective(text)
+		if !ok {
+			if names != nil || comment != "" {
+				t.Fatalf("rejected input returned names=%q comment=%q", names, comment)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//flashvet:allow") {
+			t.Fatalf("accepted text without directive prefix: %q", text)
+		}
+		if len(names) == 0 {
+			t.Fatalf("accepted directive with no analyzer names: %q", text)
+		}
+		for _, n := range names {
+			if n == "" {
+				t.Fatalf("empty analyzer name from %q", text)
+			}
+			if strings.ContainsAny(n, ", \t") || strings.ContainsFunc(n, unicode.IsSpace) {
+				t.Fatalf("analyzer name %q contains separators (from %q)", n, text)
+			}
+		}
+		if comment != strings.TrimSpace(comment) {
+			t.Fatalf("justification %q not trimmed (from %q)", comment, text)
+		}
+		// The justification is commentary from the input, never invented.
+		if comment != "" && !strings.Contains(text, comment) {
+			t.Fatalf("justification %q not a substring of input %q", comment, text)
+		}
+		// Parsing is deterministic.
+		n2, c2, ok2 := ParseAllowDirective(text)
+		if !ok2 || c2 != comment || strings.Join(n2, ",") != strings.Join(names, ",") {
+			t.Fatalf("non-deterministic parse of %q", text)
+		}
+	})
+}

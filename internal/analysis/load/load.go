@@ -58,6 +58,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports are the package's direct imports (go/build's view, sorted),
+	// letting fact-aware drivers analyze dependencies first.
+	Imports []string
 }
 
 // Loader loads and memoizes packages. Not safe for concurrent use.
@@ -97,6 +100,11 @@ func New(cfg Config) (*Loader, error) {
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModulePath returns the module's import-path prefix ("" when no module
+// is configured). Drivers use it to tell module-local imports — whose
+// facts they can compute from source — from external ones.
+func (l *Loader) ModulePath() string { return l.cfg.ModulePath }
 
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)
@@ -182,6 +190,8 @@ func (l *Loader) load(path string) *entry {
 }
 
 // dirFor resolves an import path to the directory holding its sources.
+//
+//flashvet:allow nodeprecated — runtime.GOROOT is the documented fallback when the build context leaves GOROOT empty; this loader runs in-process, never from a relocated binary
 func (l *Loader) dirFor(path string) (string, error) {
 	if l.cfg.ModulePath != "" && (path == l.cfg.ModulePath || strings.HasPrefix(path, l.cfg.ModulePath+"/")) {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.cfg.ModulePath), "/")
@@ -284,13 +294,14 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		return nil, err
 	}
 	return &Package{
-		Path:  path,
-		Name:  tpkg.Name(),
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:    path,
+		Name:    tpkg.Name(),
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: bp.Imports,
 	}, nil
 }
 

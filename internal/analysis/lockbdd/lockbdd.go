@@ -11,13 +11,17 @@
 // turns a shared map guard into a system-wide stall, and invites
 // lock-order inversions against the workers.
 //
-// The check is per-function and source-ordered: after `mu.Lock()` (or
-// `mu.RLock()`) and before the matching unlock on the same lock
-// expression, any method call on a *bdd.Engine value is flagged. A
-// deferred unlock does not release — the lock is held for the rest of
-// the function, which is exactly the pattern the check exists to catch.
-// Worker-internal files (flash.go's mbWorker/sysWorker own their
-// engines and their mutexes together) are out of scope.
+// Since the v2 platform upgrade the check is flow-sensitive: a may-hold
+// forward dataflow over the framework CFG tracks which locks may be
+// held at each point, so an engine call is flagged when any path
+// reaches it with a lock held — including paths the old source-order
+// simulation could not see (a branch that skips the unlock, a loop
+// carrying the lock around). A deferred unlock does not release — the
+// lock is held for the rest of the function, which is exactly the
+// pattern the check exists to catch. Worker-internal files (flash.go's
+// mbWorker/sysWorker own their engines and their mutexes together) are
+// out of scope; the rank-based ordering between named locks is
+// lockorder's job.
 package lockbdd
 
 import (
@@ -54,21 +58,28 @@ func run(pass *framework.Pass) (any, error) {
 		if !inScope(pass, f) {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					checkBody(pass, n.Body)
-				}
-				return false
-			case *ast.FuncLit:
-				checkBody(pass, n.Body)
-				return false
-			}
-			return true
+		framework.EachFuncBody(f, func(fb framework.FuncBody) {
+			checkBody(pass, fb.Body)
 		})
 	}
 	return nil, nil
+}
+
+// engineCall reports whether call is a method call on a *bdd.Engine
+// receiver, returning the method name.
+func engineCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	fn := framework.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !framework.PointerToNamed(sig.Recv().Type(), "bdd", "Engine") {
+		return "", false
+	}
+	return fn.Name(), true
 }
 
 type eventKind int
@@ -81,103 +92,141 @@ const (
 
 type event struct {
 	kind eventKind
-	pos  int // byte offset for source ordering
 	node ast.Node
 	key  string // lock expression (lock/unlock) or method name (engine call)
 }
 
-// checkBody simulates lock state in source order within one function
-// body, without descending into nested function literals (a closure's
-// body does not necessarily execute under the enclosing lock).
-func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
-	var events []event
+// nodeEvents extracts the lock and engine-call events of one CFG node
+// in source order. Function literals are separate scopes (surfaced by
+// EachFuncBody) and skipped; a deferred unlock releases at return, not
+// here, so it produces no event, and a deferred engine call runs after
+// the body's own unlocks.
+func nodeEvents(pass *framework.Pass, n ast.Node) []event {
 	deferred := make(map[*ast.CallExpr]bool)
-	var visit func(n ast.Node) bool
-	visit = func(n ast.Node) bool {
-		switch n := n.(type) {
+	var events []event
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
 		case *ast.FuncLit:
-			return false // handled as its own scope by run
+			return false
 		case *ast.DeferStmt:
-			deferred[n.Call] = true
+			deferred[m.Call] = true
 		case *ast.CallExpr:
-			if key, name, ok := mutexOp(pass, n); ok {
+			if recv, name, ok := framework.MutexOp(pass.TypesInfo, m); ok {
+				if deferred[m] {
+					return true
+				}
+				key := types.ExprString(recv)
 				switch name {
 				case "Lock", "RLock":
-					if !deferred[n] {
-						events = append(events, event{kind: evLock, pos: int(n.Pos()), node: n, key: key})
-					}
+					events = append(events, event{kind: evLock, node: m, key: key})
 				case "Unlock", "RUnlock":
-					// A deferred unlock releases at return, not here: the
-					// lock stays held for the remainder of the function.
-					if !deferred[n] {
-						events = append(events, event{kind: evUnlock, pos: int(n.Pos()), node: n, key: key})
-					}
+					events = append(events, event{kind: evUnlock, node: m, key: key})
 				}
 				return true
 			}
-			if name, ok := engineCall(pass, n); ok && !deferred[n] {
-				events = append(events, event{kind: evEngineCall, pos: int(n.Pos()), node: n, key: name})
+			if name, ok := engineCall(pass, m); ok && !deferred[m] {
+				events = append(events, event{kind: evEngineCall, node: m, key: name})
 			}
 		}
 		return true
-	}
-	ast.Inspect(body, visit)
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].node.Pos() < events[j].node.Pos() })
+	return events
+}
 
-	held := make(map[string]int) // lock expr -> line acquired
-	for _, ev := range events {
-		switch ev.kind {
-		case evLock:
-			held[ev.key] = pass.Fset.Position(ev.node.Pos()).Line
-		case evUnlock:
-			delete(held, ev.key)
-		case evEngineCall:
-			for lock, line := range held {
-				pass.Reportf(ev.node.Pos(), "(*bdd.Engine).%s called while holding %s (locked at line %d); BDD operations are unbounded work and engines are single-owner — release the lock or hand off to the owning worker", ev.key, lock, line)
+// held is the dataflow state: lock expression -> line acquired, for
+// every lock that may be held.
+type held map[string]int
+
+func (h held) clone() held {
+	out := make(held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// checkBody runs the may-hold analysis over one function body.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	g := pass.CFG(body)
+	spec := framework.FlowSpec[held]{
+		Dir:      framework.Forward,
+		Boundary: held{},
+		Bottom:   func() held { return nil },
+		Join: func(a, b held) held {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := a.clone()
+			for k, v := range b {
+				if cur, ok := out[k]; !ok || v < cur {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b held) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *framework.Block, in held) held {
+			if in == nil {
+				return nil // unreached
+			}
+			out := in.clone()
+			for _, n := range b.Nodes {
+				for _, ev := range nodeEvents(pass, n) {
+					applyEvent(pass, out, ev, false)
+				}
+			}
+			return out
+		},
+	}
+	before, _ := framework.Solve(g, spec)
+
+	reported := make(map[ast.Node]bool)
+	for _, b := range g.ReachableBlocks() {
+		state := before[b]
+		if state == nil {
+			state = held{}
+		}
+		state = state.clone()
+		for _, n := range b.Nodes {
+			for _, ev := range nodeEvents(pass, n) {
+				if ev.kind == evEngineCall && len(state) > 0 && !reported[ev.node] {
+					reported[ev.node] = true
+					locks := make([]string, 0, len(state))
+					for lock := range state {
+						locks = append(locks, lock)
+					}
+					sort.Strings(locks)
+					for _, lock := range locks {
+						pass.Reportf(ev.node.Pos(), "(*bdd.Engine).%s called while holding %s (locked at line %d); BDD operations are unbounded work and engines are single-owner — release the lock or hand off to the owning worker", ev.key, lock, state[lock])
+					}
+				}
+				applyEvent(pass, state, ev, true)
 			}
 		}
 	}
 }
 
-// mutexOp matches calls to Lock/RLock/Unlock/RUnlock on a
-// sync.Mutex/sync.RWMutex value, returning the lock's receiver
-// expression as its identity key.
-func mutexOp(pass *framework.Pass, call *ast.CallExpr) (key, name string, ok bool) {
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
+// applyEvent threads one event through the state.
+func applyEvent(pass *framework.Pass, state held, ev event, reporting bool) {
+	switch ev.kind {
+	case evLock:
+		state[ev.key] = pass.Fset.Position(ev.node.Pos()).Line
+	case evUnlock:
+		delete(state, ev.key)
 	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	tv, okT := pass.TypesInfo.Types[sel.X]
-	if !okT || !isSyncMutex(tv.Type) {
-		return "", "", false
-	}
-	return types.ExprString(sel.X), sel.Sel.Name, true
-}
-
-func isSyncMutex(t types.Type) bool {
-	if p, ok := types.Unalias(t).(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	return framework.NamedIn(t, "sync", "Mutex") || framework.NamedIn(t, "sync", "RWMutex")
-}
-
-// engineCall matches method calls whose receiver is a *bdd.Engine.
-func engineCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
-	recv := framework.MethodReceiverExpr(call)
-	if recv == nil {
-		return "", false
-	}
-	tv, ok := pass.TypesInfo.Types[recv]
-	if !ok || !framework.PointerToNamed(tv.Type, "bdd", "Engine") {
-		return "", false
-	}
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		return sel.Sel.Name, true
-	}
-	return "", false
+	_ = reporting
 }

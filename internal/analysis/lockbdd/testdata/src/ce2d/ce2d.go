@@ -44,6 +44,43 @@ func (c *coord) noLock(a bdd.Ref) bdd.Ref {
 	return c.e.Not(a) // no lock held: ok
 }
 
+// badBranch keeps the lock on one path; may-hold flow flags the call at
+// the join (the old source-order simulation saw the unlock and moved on).
+func (c *coord) badBranch(a, b bdd.Ref, fast bool) bdd.Ref {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	}
+	r := c.e.And(a, b) // want `\(\*bdd.Engine\)\.And called while holding c\.mu`
+	if !fast {
+		c.mu.Unlock()
+	}
+	return r
+}
+
+// badLoop carries the lock around the loop back-edge.
+func (c *coord) badLoop(refs []bdd.Ref) bdd.Ref {
+	acc := refs[0]
+	for _, r := range refs[1:] {
+		c.mu.Lock()
+		acc = c.e.And(acc, r) // want `\(\*bdd.Engine\)\.And called while holding c\.mu`
+	}
+	c.mu.Unlock()
+	return acc
+}
+
+// goodBranch releases on every path before the call.
+func (c *coord) goodBranch(a, b bdd.Ref, fast bool) bdd.Ref {
+	c.mu.Lock()
+	if fast {
+		c.seq++
+		c.mu.Unlock()
+	} else {
+		c.mu.Unlock()
+	}
+	return c.e.And(a, b)
+}
+
 type rcoord struct {
 	mu sync.RWMutex
 	e  *bdd.Engine

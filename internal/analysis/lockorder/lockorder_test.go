@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// locks before c: c imports locks' LockRankFact and AcquiresFact
+	// through the shared fact set, in dependency order.
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer,
+		"lockorder/a", "lockorder/locks", "lockorder/c")
+}

@@ -1,0 +1,120 @@
+// Single-package lockorder cases over an annotated three-level
+// hierarchy.
+package a
+
+import "sync"
+
+type System struct {
+	dispatchMu sync.Mutex //flashvet:lockrank 10
+	busMu      sync.Mutex //flashvet:lockrank 30
+}
+
+type worker struct {
+	mu sync.Mutex //flashvet:lockrank 20
+}
+
+//flashvet:lockrank 15
+var globalMu sync.RWMutex
+
+//flashvet:lockrank 5
+var notALock int // want `lockrank on notALock, which is not a sync\.Mutex`
+
+// goodNesting locks in strictly increasing rank order.
+func goodNesting(s *System, w *worker) {
+	s.dispatchMu.Lock()
+	w.mu.Lock()
+	s.busMu.Lock()
+	s.busMu.Unlock()
+	w.mu.Unlock()
+	s.dispatchMu.Unlock()
+}
+
+// skipLevels is fine: ranks need not be consecutive.
+func skipLevels(s *System) {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	s.busMu.Lock()
+	defer s.busMu.Unlock()
+}
+
+// inversion acquires the dispatch lock while holding the worker lock.
+func inversion(s *System, w *worker) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s.dispatchMu.Lock() // want `acquires System\.dispatchMu \(rank 10\) while holding worker\.mu \(rank 20\)`
+	s.dispatchMu.Unlock()
+}
+
+// sameRank flags equal ranks too: equal is not strictly increasing.
+func sameRank(s *System, w *worker) {
+	globalMu.RLock()
+	defer globalMu.RUnlock()
+	globalMu2().Lock() // nothing: unranked mutexes are ignored
+	s.dispatchMu.Lock() // want `acquires System\.dispatchMu \(rank 10\) while holding globalMu \(rank 15\)`
+	s.dispatchMu.Unlock()
+}
+
+var plainMu sync.Mutex
+
+func globalMu2() *sync.Mutex { return &plainMu }
+
+// reacquire self-deadlocks.
+func reacquire(w *worker) {
+	w.mu.Lock()
+	w.mu.Lock() // want `reacquires worker\.mu \(rank 20\) already held; self-deadlock`
+	w.mu.Unlock()
+	w.mu.Unlock()
+}
+
+// sequentialSameRank is fine: the first hold ends before the second
+// begins.
+func sequentialSameRank(s *System, w *worker) {
+	w.mu.Lock()
+	w.mu.Unlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+	_ = s
+}
+
+// deferredUnlockHolds: a deferred unlock releases only at exit, so the
+// later lower-rank acquisition still violates.
+func deferredUnlockHolds(s *System, w *worker) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s.dispatchMu.Lock() // want `acquires System\.dispatchMu \(rank 10\) while holding worker\.mu \(rank 20\)`
+	s.dispatchMu.Unlock()
+}
+
+// branchMayHold: one path keeps the worker lock held; may-hold analysis
+// still flags the join.
+func branchMayHold(s *System, w *worker, keep bool) {
+	w.mu.Lock()
+	if !keep {
+		w.mu.Unlock()
+	}
+	s.dispatchMu.Lock() // want `acquires System\.dispatchMu \(rank 10\) while holding worker\.mu \(rank 20\)`
+	s.dispatchMu.Unlock()
+	if keep {
+		w.mu.Unlock()
+	}
+}
+
+// closureIsSeparate: a closure's body is its own lock scope.
+func closureIsSeparate(s *System, w *worker) func() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return func() {
+		s.dispatchMu.Lock() // runs later, not under w.mu
+		s.dispatchMu.Unlock()
+	}
+}
+
+// allowedInversion documents a deliberate exception.
+//
+//flashvet:allow lockorder boot path runs single-threaded before workers start
+func allowedInversion(s *System, w *worker) {
+	w.mu.Lock()
+	s.dispatchMu.Lock()
+	s.dispatchMu.Unlock()
+	w.mu.Unlock()
+}

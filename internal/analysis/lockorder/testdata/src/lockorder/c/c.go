@@ -1,0 +1,44 @@
+// Cross-package lockorder cases: the rank of locks.Registry.Mu and the
+// acquisitions of locks.WithRegistry were established while analyzing
+// package locks and arrive here as facts.
+package c
+
+import (
+	"sync"
+
+	"lockorder/locks"
+)
+
+type cache struct {
+	mu sync.Mutex //flashvet:lockrank 20
+}
+
+// directInversion locks the imported ranked mutex while holding a
+// higher rank.
+func directInversion(r *locks.Registry, c *cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.Mu.Lock() // want `acquires Registry\.Mu \(rank 10\) while holding cache\.mu \(rank 20\)`
+	r.Mu.Unlock()
+}
+
+// callInversion reaches the imported rank-10 lock through the callee's
+// AcquiresFact.
+func callInversion(r *locks.Registry, c *cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.WithRegistry(func() {}) // want `call to WithRegistry acquires Registry\.Mu \(rank 10\) while holding a lock of rank >= 10`
+}
+
+// goodOrder nests the imported lock first.
+func goodOrder(r *locks.Registry, c *cache) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// goodCall calls into the registry without holding anything.
+func goodCall(r *locks.Registry) {
+	r.WithRegistry(func() {})
+}

@@ -1,0 +1,19 @@
+// Package locks declares a ranked mutex and a function that acquires
+// it, exercising LockRankFact and AcquiresFact export for the
+// cross-package cases in lockorder/c.
+package locks
+
+import "sync"
+
+// Registry owns the cross-package ranked lock.
+type Registry struct {
+	Mu sync.Mutex //flashvet:lockrank 10
+}
+
+// WithRegistry runs fn under the registry lock; callers holding any
+// rank >= 10 must not call it.
+func (r *Registry) WithRegistry(fn func()) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	fn()
+}

@@ -1,0 +1,156 @@
+// Package nodeprecated keeps the module off its own deprecated API.
+//
+// The management-API PRs grew compatibility wrappers (System.Feed, the
+// legacy stats getters, AdminHandler) that exist for external callers
+// mid-migration; internal code calling them re-entrenches the old
+// surface and hides the wrappers' eventual removal cost. The analyzer
+// exports a DeprecatedFact for every symbol whose doc comment carries a
+// standard "Deprecated:" paragraph and flags every use of such a symbol
+// — same-package or, through the fact, cross-package.
+//
+// Uses inside another deprecated declaration are exempt (a deprecated
+// wrapper may call its deprecated sibling; both leave together), as are
+// the declarations themselves. Dedicated tests of the wrappers carry
+// //flashvet:allow nodeprecated directives.
+package nodeprecated
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// DeprecatedFact marks a symbol as deprecated, carrying the doc
+// comment's explanation.
+type DeprecatedFact struct {
+	Msg string `json:"msg"`
+}
+
+// AFact marks DeprecatedFact as a framework fact.
+func (*DeprecatedFact) AFact() {}
+
+// Analyzer is the nodeprecated pass.
+var Analyzer = &framework.Analyzer{
+	Name:      "nodeprecated",
+	Doc:       "flag internal uses of symbols documented as Deprecated:",
+	FactTypes: []framework.Fact{(*DeprecatedFact)(nil)},
+}
+
+func init() { Analyzer.Run = run }
+
+// deprecationOf extracts the message of a "Deprecated:" paragraph from
+// a doc comment, per the standard Go convention.
+func deprecationOf(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	lines := strings.Split(doc.Text(), "\n")
+	for i, line := range lines {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:")
+		if !ok {
+			continue
+		}
+		parts := []string{strings.TrimSpace(rest)}
+		for _, cont := range lines[i+1:] {
+			cont = strings.TrimSpace(cont)
+			if cont == "" {
+				break
+			}
+			parts = append(parts, cont)
+		}
+		return strings.TrimSpace(strings.Join(parts, " ")), true
+	}
+	return "", false
+}
+
+type span struct{ start, end token.Pos }
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Facts == nil {
+		// Keep the same-package half functional under fact-free drivers.
+		pass.Facts = framework.NewFactSet([]*framework.Analyzer{Analyzer})
+	}
+	spans := exportDeprecated(pass)
+	inDeprecated := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if pos >= s.start && pos <= s.end {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id]
+			if !ok || obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			var fact DeprecatedFact
+			if !pass.ImportObjectFact(obj, &fact) {
+				return true
+			}
+			if inDeprecated(id.Pos()) {
+				return true
+			}
+			msg := fact.Msg
+			if msg == "" {
+				msg = "see its doc comment"
+			}
+			pass.Reportf(id.Pos(), "use of deprecated %s: %s", id.Name, msg)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exportDeprecated exports a DeprecatedFact for every symbol declared
+// with a Deprecated: paragraph and returns the declarations' source
+// spans (uses inside them are exempt).
+func exportDeprecated(pass *framework.Pass) []span {
+	var spans []span
+	mark := func(id *ast.Ident, msg string, decl ast.Node) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			pass.ExportObjectFact(obj, &DeprecatedFact{Msg: msg})
+		}
+		spans = append(spans, span{start: decl.Pos(), end: decl.End()})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if msg, ok := deprecationOf(d.Doc); ok {
+					mark(d.Name, msg, d)
+				}
+			case *ast.GenDecl:
+				declMsg, declOK := deprecationOf(d.Doc)
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if msg, ok := deprecationOf(sp.Doc); ok {
+							mark(sp.Name, msg, sp)
+						} else if declOK {
+							mark(sp.Name, declMsg, d)
+						}
+					case *ast.ValueSpec:
+						msg, ok := deprecationOf(sp.Doc)
+						if !ok {
+							msg, ok = declMsg, declOK
+						}
+						if ok {
+							for _, name := range sp.Names {
+								mark(name, msg, d)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return spans
+}

@@ -1,0 +1,41 @@
+// Package dep declares deprecated and current API, exercising
+// DeprecatedFact export and the same-package checks.
+package dep
+
+// Feed is the legacy entry point.
+//
+// Deprecated: use FeedContext, which honors cancellation.
+func Feed(b []byte) error { return FeedContext(nil, b) }
+
+// FeedContext is the current entry point.
+func FeedContext(ctx any, b []byte) error { _, _ = ctx, b; return nil }
+
+// OldStats is the legacy stats bundle.
+//
+// Deprecated: use StatsSnapshot.
+type OldStats struct{ Feeds int }
+
+// Deprecated: tuning has moved to Config.
+var LegacyKnob int
+
+// StatsSnapshot is the current stats accessor.
+func StatsSnapshot() int { return 0 }
+
+// FeedAll is the deprecated batch form; a deprecated wrapper may call
+// its deprecated sibling without a finding.
+//
+// Deprecated: use FeedContext per item.
+func FeedAll(bs [][]byte) error {
+	for _, b := range bs {
+		if err := Feed(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// samePackageCaller is current code calling the legacy surface.
+func samePackageCaller(b []byte) error {
+	_ = LegacyKnob // want `use of deprecated LegacyKnob: tuning has moved to Config`
+	return Feed(b) // want `use of deprecated Feed: use FeedContext, which honors cancellation`
+}

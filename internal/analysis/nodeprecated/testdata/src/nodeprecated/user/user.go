@@ -1,0 +1,26 @@
+// Cross-package nodeprecated cases: dep's DeprecatedFacts arrive here
+// through the shared fact set.
+package user
+
+import "nodeprecated/dep"
+
+// usesLegacy calls the deprecated surface from another package.
+func usesLegacy(b []byte) error {
+	var s dep.OldStats // want `use of deprecated OldStats: use StatsSnapshot`
+	_ = s
+	return dep.Feed(b) // want `use of deprecated Feed: use FeedContext, which honors cancellation`
+}
+
+// usesCurrent is clean.
+func usesCurrent(b []byte) error {
+	_ = dep.StatsSnapshot()
+	return dep.FeedContext(nil, b)
+}
+
+// wrapperTest stands in for a dedicated compatibility-wrapper test,
+// which documents its reason for touching the legacy surface.
+//
+//flashvet:allow nodeprecated dedicated coverage of the compatibility wrapper
+func wrapperTest(b []byte) error {
+	return dep.Feed(b)
+}

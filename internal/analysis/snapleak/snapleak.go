@@ -1,0 +1,521 @@
+// Package snapleak verifies that every *flash.Snapshot obtained from a
+// call reaches Release on every control-flow path.
+//
+// A Snapshot (PR 6's consistent what-if capture) pins BDD nodes and one
+// subscription slot per subspace worker until released; a leaked
+// snapshot is not a dangling pointer but a live GC root, so the
+// mark-and-sweep collector can never reclaim the pinned predicates and
+// the engine's memory watermark ratchets upward. The leak is invisible
+// to the race detector and to the type system — exactly the class of
+// bug lostcancel catches for context.CancelFunc, rebuilt here on the
+// framework's CFG.
+//
+// An obligation is created wherever a call's result of type
+// *flash.Snapshot is bound to a local variable. It is discharged on a
+// path when the variable (or an alias-creating use of it):
+//
+//   - has Release called on it, directly or via defer (a queued defer
+//     runs at every later exit);
+//   - is returned (ownership moves to the caller);
+//   - is assigned onward, sent on a channel, or captured by a function
+//     literal (conservatively treated as an ownership transfer);
+//   - is passed to a function that releases that parameter — known
+//     either from this package or, through a cross-package ReleasesFact,
+//     from a dependency — or to a callee the analyzer cannot resolve.
+//
+// Passing the snapshot to a *resolvable* callee that is not known to
+// release it does NOT discharge the obligation: that is how a leak in
+// one package is caught even when the snapshot last touches a helper in
+// another.
+//
+// The `sn, err := f()` convention is honored: on the `err != nil`
+// branch the snapshot is nil by convention and the obligation is void,
+// so the idiomatic early error return is never flagged.
+package snapleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// ReleasesFact marks a function as releasing the *flash.Snapshot passed
+// at the listed parameter positions (0-based), making call sites in
+// downstream packages discharge the caller's obligation.
+type ReleasesFact struct {
+	Params []int `json:"params"`
+}
+
+// AFact marks ReleasesFact as a framework fact.
+func (*ReleasesFact) AFact() {}
+
+// Analyzer is the snapleak pass.
+var Analyzer = &framework.Analyzer{
+	Name:      "snapleak",
+	Doc:       "flag *flash.Snapshot values that may not reach Release on some control-flow path",
+	FactTypes: []framework.Fact{(*ReleasesFact)(nil)},
+	Run:       run,
+}
+
+func isSnapshotPtr(t types.Type) bool {
+	return framework.PointerToNamed(t, "flash", "Snapshot")
+}
+
+func run(pass *framework.Pass) (any, error) {
+	exportReleaseFacts(pass)
+	for _, f := range pass.Files {
+		framework.EachFuncBody(f, func(fb framework.FuncBody) {
+			checkBody(pass, fb.Body)
+		})
+	}
+	return nil, nil
+}
+
+// exportReleaseFacts computes, to a fixpoint, which functions of this
+// package release which snapshot-typed parameters, and exports a
+// ReleasesFact for each. The fixpoint makes intra-package transitive
+// wrappers (A passes to B, B releases) carry the fact too.
+func exportReleaseFacts(pass *framework.Pass) {
+	type fn struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+		// params: snapshot-typed parameter index -> object.
+		params map[int]types.Object
+	}
+	var fns []fn
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			params := make(map[int]types.Object)
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isSnapshotPtr(sig.Params().At(i).Type()) {
+					params[i] = sig.Params().At(i)
+				}
+			}
+			if len(params) > 0 {
+				fns = append(fns, fn{obj: obj, body: fd.Body, params: params})
+			}
+		}
+	}
+	exported := make(map[*types.Func][]int)
+	for round := 0; round <= len(fns); round++ {
+		changed := false
+		for _, f := range fns {
+			var released []int
+			for i, p := range f.params {
+				if bodyReleases(pass, f.body, p) {
+					released = append(released, i)
+				}
+			}
+			sort.Ints(released)
+			if len(released) > 0 && !equalInts(exported[f.obj], released) {
+				exported[f.obj] = released
+				pass.ExportObjectFact(f.obj, &ReleasesFact{Params: released})
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bodyReleases reports whether body (closures included: a capture that
+// releases still releases) calls Release on obj or hands obj to a
+// releasing callee.
+func bodyReleases(pass *framework.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isReleaseOf(pass, call, obj) {
+			found = true
+			return false
+		}
+		if i := argIndexOf(pass, call, obj); i >= 0 {
+			if callee := framework.CalleeFunc(pass.TypesInfo, call); callee != nil {
+				var fact ReleasesFact
+				if pass.ImportObjectFact(callee, &fact) && containsInt(fact.Params, i) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// isReleaseOf matches obj.Release().
+func isReleaseOf(pass *framework.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// argIndexOf returns the argument position where obj is passed bare, or
+// -1.
+func argIndexOf(pass *framework.Pass, call *ast.CallExpr, obj types.Object) int {
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// obligation is one snapshot-producing call bound to a local.
+type obligation struct {
+	obj    types.Object // the snapshot variable
+	errObj types.Object // the paired error variable, if `sn, err := f()`
+	call   *ast.CallExpr
+	block  *framework.Block
+	idx    int // node index of the creating statement within block
+}
+
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	g := pass.CFG(body)
+	var obls []obligation
+	for _, b := range g.ReachableBlocks() {
+		for i, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && resultHasSnapshot(pass, call) {
+					pass.Reportf(call.Pos(), "snapshot returned by %s is discarded without Release; it pins BDD nodes and a subscription slot until released", calleeName(call))
+				}
+			case *ast.AssignStmt:
+				obls = append(obls, obligationsOf(pass, n, b, i)...)
+			}
+		}
+	}
+	for _, o := range obls {
+		checkObligation(pass, g, o)
+	}
+}
+
+// resultHasSnapshot reports whether any result of the call is a
+// *flash.Snapshot.
+func resultHasSnapshot(pass *framework.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isSnapshotPtr(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isSnapshotPtr(tv.Type)
+}
+
+func calleeName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+// obligationsOf extracts snapshot obligations from one assignment whose
+// RHS is a single call.
+func obligationsOf(pass *framework.Pass, as *ast.AssignStmt, b *framework.Block, idx int) []obligation {
+	if len(as.Rhs) != 1 || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	// Result types, positionally (the blank identifier has no recorded
+	// object type, so the call's own type decides).
+	tv, okT := pass.TypesInfo.Types[call]
+	if !okT {
+		return nil
+	}
+	resType := func(i int) types.Type {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			if i < tup.Len() {
+				return tup.At(i).Type()
+			}
+			return nil
+		}
+		if i == 0 {
+			return tv.Type
+		}
+		return nil
+	}
+	var out []obligation
+	var errObj types.Object
+	// Identify the paired error variable first (conventionally last).
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && isErrorType(obj.Type()) {
+				errObj = obj
+			}
+		}
+	}
+	for i, lhs := range as.Lhs {
+		t := resType(i)
+		if t == nil || !isSnapshotPtr(t) {
+			continue
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue // assigned into a field/index: escapes immediately
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "snapshot returned by %s is discarded without Release; it pins BDD nodes and a subscription slot until released", calleeName(call))
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		out = append(out, obligation{obj: obj, errObj: errObj, call: call, block: b, idx: idx})
+	}
+	return out
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// checkObligation searches for a path from the creating statement to the
+// function exit on which the obligation is never discharged, reporting
+// one diagnostic if such a path exists.
+func checkObligation(pass *framework.Pass, g *framework.CFG, o obligation) {
+	// visited is a bitmask per block over the errValid flag, so the two
+	// path states explore a block independently but at most once each.
+	visited := make(map[*framework.Block]int)
+	var leaks func(b *framework.Block, from int, errValid bool) bool
+	leaks = func(b *framework.Block, from int, errValid bool) bool {
+		bit := 1
+		if errValid {
+			bit = 2
+		}
+		if visited[b]&bit != 0 {
+			return false
+		}
+		visited[b] |= bit
+		for i := from; i < len(b.Nodes); i++ {
+			switch discharges(pass, b.Nodes[i], o.obj) {
+			case dischargeYes:
+				return false
+			case dischargeOverwrite:
+				return false
+			}
+			// Once err is reassigned, a later `err != nil` says nothing
+			// about the snapshot.
+			if errValid && o.errObj != nil && assignsTo(pass, b.Nodes[i], o.errObj) {
+				errValid = false
+			}
+		}
+		if b == g.Exit {
+			return true
+		}
+		// Nil-check conditions void the obligation on one side: after
+		// `sn, err := f()`, err != nil implies sn == nil by convention
+		// (valid only while err still holds the creating call's error).
+		if t, f, ok := b.CondBlock(); ok {
+			if voidT, voidF, matched := nilCheckVoids(pass, b.Cond(), o, errValid); matched {
+				leak := false
+				if !voidT {
+					leak = leaks(t, 0, errValid) || leak
+				}
+				if !voidF {
+					leak = leaks(f, 0, errValid) || leak
+				}
+				return leak
+			}
+		}
+		for _, s := range b.Succs {
+			if leaks(s, 0, errValid) {
+				return true
+			}
+		}
+		return false
+	}
+	if leaks(o.block, o.idx+1, o.errObj != nil) {
+		pass.Reportf(o.call.Pos(), "snapshot returned by %s may not be released on all paths; call %s.Release (or defer it) before every return", calleeName(o.call), o.obj.Name())
+	}
+}
+
+// assignsTo reports whether node n assigns to obj.
+func assignsTo(pass *framework.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if as, ok := m.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// nilCheckVoids interprets a condition over the obligation's variables:
+// branches on which the snapshot is necessarily nil carry no obligation.
+func nilCheckVoids(pass *framework.Pass, cond ast.Expr, o obligation, errValid bool) (voidTrue, voidFalse, matched bool) {
+	check := func(op token.Token) types.Object {
+		e, ok := framework.IsNilComparison(cond, op)
+		if !ok {
+			return nil
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return pass.TypesInfo.ObjectOf(id)
+	}
+	if obj := check(token.NEQ); obj != nil {
+		if errValid && obj == o.errObj {
+			return true, false, true // err != nil: true branch has no snapshot
+		}
+		if obj == o.obj {
+			return false, true, true // sn != nil: false branch has none
+		}
+	}
+	if obj := check(token.EQL); obj != nil {
+		if errValid && obj == o.errObj {
+			return false, true, true // err == nil: false branch has no snapshot
+		}
+		if obj == o.obj {
+			return true, false, true // sn == nil: true branch has none
+		}
+	}
+	return false, false, false
+}
+
+type dischargeKind int
+
+const (
+	dischargeNo dischargeKind = iota
+	dischargeYes
+	// dischargeOverwrite: the variable is reassigned; the old obligation's
+	// tracking ends here (the new value carries its own obligation).
+	dischargeOverwrite
+)
+
+// discharges classifies one CFG node's effect on the obligation for obj.
+func discharges(pass *framework.Pass, n ast.Node, obj types.Object) dischargeKind {
+	kind := dischargeNo
+	ast.Inspect(n, func(m ast.Node) bool {
+		if kind != dischargeNo {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			if mentions(pass, m, obj) {
+				kind = dischargeYes // captured by a closure: ownership may move
+			}
+			return false
+		case *ast.ReturnStmt:
+			if mentions(pass, m, obj) {
+				kind = dischargeYes
+			}
+			return false
+		case *ast.SendStmt:
+			if mentions(pass, m.Value, obj) {
+				kind = dischargeYes
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND && mentions(pass, m.X, obj) {
+				kind = dischargeYes // address taken: may be released through the pointer
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range m.Rhs {
+				// The RHS may itself be a call receiving obj; let the
+				// CallExpr case below decide that. A bare aliasing/storing
+				// assignment discharges.
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					kind = dischargeYes
+					return false
+				}
+			}
+			for _, lhs := range m.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					kind = dischargeOverwrite
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isReleaseOf(pass, m, obj) {
+				kind = dischargeYes
+				return false
+			}
+			if i := argIndexOf(pass, m, obj); i >= 0 {
+				callee := framework.CalleeFunc(pass.TypesInfo, m)
+				if callee == nil {
+					kind = dischargeYes // function value / unresolvable: assume ownership moves
+					return false
+				}
+				var fact ReleasesFact
+				if pass.ImportObjectFact(callee, &fact) && containsInt(fact.Params, i) {
+					kind = dischargeYes
+					return false
+				}
+				// Resolvable callee not known to release: a read-only use.
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+// mentions reports whether any identifier inside n resolves to obj.
+func mentions(pass *framework.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

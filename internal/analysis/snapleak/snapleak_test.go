@@ -1,0 +1,15 @@
+package snapleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapleak"
+)
+
+func TestSnapLeak(t *testing.T) {
+	// helper before b: the shared fact set carries helper's ReleasesFacts
+	// into b's analysis, as the real drivers' dependency order does.
+	analysistest.Run(t, analysistest.TestData(), snapleak.Analyzer,
+		"snapleak/a", "snapleak/helper", "snapleak/b")
+}

@@ -1,0 +1,31 @@
+// Package flash is the analysistest stub of the real root package: the
+// analyzers match by package name, so this minimal shadow is enough.
+package flash
+
+// DeviceBlock is a stub of the what-if input block.
+type DeviceBlock struct{ Device string }
+
+// Result is a stub verdict.
+type Result struct{ OK bool }
+
+// Snapshot is the stub consistent capture; Release is what snapleak
+// tracks.
+type Snapshot struct{ released bool }
+
+// Release frees the capture.
+func (sn *Snapshot) Release() { sn.released = true }
+
+// Released reports release state.
+func (sn *Snapshot) Released() bool { return sn.released }
+
+// Apply runs a what-if against the capture.
+func (sn *Snapshot) Apply(blocks []DeviceBlock) ([]Result, error) { return nil, nil }
+
+// System is the stub verification system.
+type System struct{}
+
+// New creates a stub system.
+func New() *System { return &System{} }
+
+// Snapshot forks a consistent capture.
+func (s *System) Snapshot() (*Snapshot, error) { return &Snapshot{}, nil }

@@ -1,0 +1,139 @@
+// Single-package snapleak cases: flagged leaks and allowed shapes.
+package a
+
+import "flash"
+
+// releasedOnEveryPath is clean: early error return is void (sn is nil
+// by convention), the defer covers everything after.
+func releasedOnEveryPath(s *flash.System, blocks []flash.DeviceBlock) ([]flash.Result, error) {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	defer sn.Release()
+	return sn.Apply(blocks)
+}
+
+// leakOnError forgets the snapshot on the Apply error path; the err of
+// the creating call has been overwritten, so the second err check must
+// not void the obligation.
+func leakOnError(s *flash.System, blocks []flash.DeviceBlock) ([]flash.Result, error) {
+	sn, err := s.Snapshot() // want `snapshot returned by s\.Snapshot may not be released on all paths`
+	if err != nil {
+		return nil, err
+	}
+	res, err := sn.Apply(blocks)
+	if err != nil {
+		return nil, err // leaks sn
+	}
+	sn.Release()
+	return res, nil
+}
+
+// discarded drops the snapshot on the floor.
+func discarded(s *flash.System) {
+	s.Snapshot() // want `snapshot returned by s\.Snapshot is discarded without Release`
+}
+
+// discardedBlank binds the snapshot to the blank identifier.
+func discardedBlank(s *flash.System) error {
+	_, err := s.Snapshot() // want `snapshot returned by s\.Snapshot is discarded without Release`
+	return err
+}
+
+// leakInBranch releases in only one arm of the branch.
+func leakInBranch(s *flash.System, verbose bool) {
+	sn, err := s.Snapshot() // want `snapshot returned by s\.Snapshot may not be released on all paths`
+	if err != nil {
+		return
+	}
+	if verbose {
+		sn.Release()
+	}
+}
+
+// releaseInBothArms is clean: every arm discharges.
+func releaseInBothArms(s *flash.System, verbose bool) {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return
+	}
+	if verbose {
+		sn.Release()
+	} else {
+		sn.Release()
+	}
+}
+
+// escapesByReturn moves ownership to the caller.
+func escapesByReturn(s *flash.System) (*flash.Snapshot, error) {
+	return s.Snapshot()
+}
+
+// escapesByVarReturn moves ownership to the caller through a local.
+func escapesByVarReturn(s *flash.System) (*flash.Snapshot, error) {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return sn, nil
+}
+
+// escapesByStore parks the snapshot in a struct; the store discharges.
+type holder struct{ sn *flash.Snapshot }
+
+func escapesByStore(s *flash.System, h *holder) error {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	h.sn = sn
+	return nil
+}
+
+// escapesByClosure hands the snapshot to a closure, which may release
+// it later; conservatively clean.
+func escapesByClosure(s *flash.System) (func(), error) {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return func() { sn.Release() }, nil
+}
+
+// leakInLoop creates a snapshot per iteration and releases only outside
+// the loop body's error path.
+func leakInLoop(s *flash.System, blocks []flash.DeviceBlock) error {
+	for i := 0; i < len(blocks); i++ {
+		sn, err := s.Snapshot() // want `snapshot returned by s\.Snapshot may not be released on all paths`
+		if err != nil {
+			return err
+		}
+		if _, err := sn.Apply(blocks[i : i+1]); err != nil {
+			return err // leaks sn
+		}
+		sn.Release()
+	}
+	return nil
+}
+
+// guardedRelease releases under a non-nil guard on the snapshot itself;
+// the nil arm carries no obligation.
+func guardedRelease(s *flash.System) {
+	sn, _ := s.Snapshot()
+	if sn != nil {
+		sn.Release()
+	}
+}
+
+// allowedLeak documents an intentional hold: the snapshot is parked for
+// the process lifetime.
+//
+//flashvet:allow snapleak pinned for the lifetime of the process by design
+func allowedLeak(s *flash.System) {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return
+	}
+	_ = sn.Released()
+}

@@ -1,0 +1,56 @@
+// Cross-package snapleak cases: the ReleasesFact established while
+// analyzing snapleak/helper decides whether a hand-off discharges the
+// obligation here.
+package b
+
+import (
+	"flash"
+
+	"snapleak/helper"
+)
+
+// handedToReleaser is clean: helper.Consume carries a ReleasesFact for
+// parameter 0.
+func handedToReleaser(s *flash.System) error {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	helper.Consume(sn)
+	return nil
+}
+
+// handedToIndirectReleaser is clean through the transitive fact.
+func handedToIndirectReleaser(s *flash.System) error {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	helper.ConsumeIndirect("audit", sn)
+	return nil
+}
+
+// handedToPeeker leaks: helper.Peek is resolvable and known not to
+// release, so the hand-off does not discharge.
+func handedToPeeker(s *flash.System) error {
+	sn, err := s.Snapshot() // want `snapshot returned by s\.Snapshot may not be released on all paths`
+	if err != nil {
+		return err
+	}
+	if helper.Peek(sn) {
+		return nil
+	}
+	sn.Release()
+	return nil
+}
+
+// handedToUnknown is clean: a call through a function value cannot be
+// resolved, so ownership is assumed to move.
+func handedToUnknown(s *flash.System, sink func(*flash.Snapshot)) error {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	sink(sn)
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package helper exercises the cross-package ReleasesFact: Consume and
+// ConsumeIndirect release their snapshot parameter (the fact is
+// exported here and imported when package snapleak/b is analyzed);
+// Peek does not.
+package helper
+
+import "flash"
+
+// Consume takes ownership of sn and releases it.
+func Consume(sn *flash.Snapshot) {
+	if sn == nil {
+		return
+	}
+	sn.Release()
+}
+
+// ConsumeIndirect releases through Consume; the intra-package fixpoint
+// gives it a ReleasesFact too.
+func ConsumeIndirect(tag string, sn *flash.Snapshot) {
+	_ = tag
+	Consume(sn)
+}
+
+// Peek inspects the snapshot without releasing it.
+func Peek(sn *flash.Snapshot) bool {
+	return sn != nil && !sn.Released()
+}

@@ -93,7 +93,7 @@ func TestOptionsEquivalentToConfig(t *testing.T) {
 	for _, sys := range []*System{old, opt} {
 		var all []Result
 		for _, m := range msgs {
-			rs, err := sys.Feed(m)
+			rs, err := sys.FeedContext(context.Background(), m)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -128,7 +128,7 @@ func TestFeedContextCanceled(t *testing.T) {
 	}
 	// The canceled feed must not have been applied: the same message is
 	// still accepted afterwards (no double-send epoch violation).
-	if _, err := sys.Feed(Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}}); err != nil {
+	if _, err := sys.FeedContext(context.Background(), Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}}); err != nil {
 		t.Fatalf("feed after canceled feed: %v", err)
 	}
 }
@@ -151,7 +151,7 @@ func TestPipelineSentinels(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	err = p.Feed(Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}})
+	err = p.FeedContext(context.Background(), Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}})
 	if !errors.Is(err, ErrClosed) {
 		t.Fatalf("Feed after Close: %v, want ErrClosed", err)
 	}
@@ -184,10 +184,10 @@ func TestBadEpochSentinel(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := Msg{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Forward(2))}}
-	if _, err := sys.Feed(m); err != nil {
+	if _, err := sys.FeedContext(context.Background(), m); err != nil {
 		t.Fatal(err)
 	}
-	_, err = sys.Feed(m)
+	_, err = sys.FeedContext(context.Background(), m)
 	if !errors.Is(err, ErrBadEpoch) {
 		t.Fatalf("double send after sync: %v, want ErrBadEpoch", err)
 	}

@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -26,7 +27,7 @@ func TestPipelineDeliversResults(t *testing.T) {
 		{Device: 2, Epoch: "e1", Updates: []Update{wildcard(2, Forward(1))}},
 	}
 	for _, m := range msgs {
-		if err := p.Feed(m); err != nil {
+		if err := p.FeedContext(context.Background(), m); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -46,7 +47,7 @@ func TestPipelineDeliversResults(t *testing.T) {
 		t.Fatal("results channel should be closed")
 	}
 	// Feeding after Close errors.
-	if err := p.Feed(msgs[0]); err == nil {
+	if err := p.FeedContext(context.Background(), msgs[0]); err == nil {
 		t.Fatal("Feed after Close accepted")
 	}
 }
@@ -59,7 +60,7 @@ func TestPipelinePropagatesErrors(t *testing.T) {
 		{Device: 1, Epoch: "e1", Updates: []Update{wildcard(1, Drop)}},
 	}
 	for _, m := range bad {
-		_ = p.Feed(m)
+		_ = p.FeedContext(context.Background(), m)
 	}
 	if err := p.Close(); err == nil {
 		t.Fatal("expected error from duplicate insert")
@@ -73,7 +74,7 @@ func TestPipelineDrainsQueueOnClose(t *testing.T) {
 	// still arrive before the channel closes.
 	acts := []Action{Forward(1), Forward(2), Forward(3), Forward(DeviceID(4))}
 	for d, a := range acts {
-		if err := p.Feed(Msg{Device: DeviceID(d), Epoch: "e1",
+		if err := p.FeedContext(context.Background(), Msg{Device: DeviceID(d), Epoch: "e1",
 			Updates: []Update{wildcard(int64(d+1), a)}}); err != nil {
 			t.Fatal(err)
 		}

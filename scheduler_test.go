@@ -66,7 +66,7 @@ func TestFeedBatchMatchesSequentialFeed(t *testing.T) {
 	seqSys := schedTestSystem(t, WithWorkers(1))
 	var seqResults []string
 	for _, m := range msgs {
-		rs, err := seqSys.Feed(m)
+		rs, err := seqSys.FeedContext(context.Background(), m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func TestFeedBatchMatchesSequentialFeed(t *testing.T) {
 		if got != want {
 			t.Fatalf("workers=%d: fingerprint mismatch", workers)
 		}
-		if st := batSys.SchedulerStats(); st.Tasks == 0 {
+		if st := batSys.StatsSnapshot().Scheduler; st.Tasks == 0 {
 			t.Fatalf("workers=%d: scheduler ran no tasks", workers)
 		}
 	}
@@ -192,7 +192,7 @@ func TestSchedulerWitnessUnderPoisoning(t *testing.T) {
 	ref := schedTestSystem(t, WithWorkers(2))
 	var refResults []string
 	for _, m := range msgs {
-		rs, err := ref.Feed(m)
+		rs, err := ref.FeedContext(context.Background(), m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +221,7 @@ func TestSchedulerWitnessUnderPoisoning(t *testing.T) {
 	})
 	var gotResults []string
 	for _, m := range msgs {
-		rs, err := sys.Feed(m)
+		rs, err := sys.FeedContext(context.Background(), m)
 		if err != nil {
 			t.Fatal(err)
 		}

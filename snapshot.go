@@ -44,7 +44,7 @@ type Snapshot struct {
 	// only Release detaches the entries.
 	subs []*snapSub
 
-	mu       sync.Mutex
+	mu       sync.Mutex //flashvet:lockrank 40
 	released bool
 }
 

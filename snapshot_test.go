@@ -68,8 +68,12 @@ func resultStrings(rs []Result) []string {
 
 func TestSnapshotEmptySystem(t *testing.T) {
 	sys := reachSys(t)
-	if _, err := sys.Snapshot(); !errors.Is(err, ErrNoEpoch) {
+	sn, err := sys.Snapshot()
+	if !errors.Is(err, ErrNoEpoch) {
 		t.Fatalf("Snapshot on unfed system: err = %v, want ErrNoEpoch", err)
+	}
+	if sn != nil {
+		sn.Release()
 	}
 }
 

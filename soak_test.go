@@ -9,6 +9,7 @@ package flash
 // while a sibling subspace is quarantined.
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -133,7 +134,7 @@ func TestSoakMemoryBudgetBounded(t *testing.T) {
 			t.Errorf("subspace %d: peak %d nodes exceeds budget %d + slack %d", i, n, soakBudget, soakBudget)
 		}
 	}
-	if st := bounded.GCStats(); st.Runs == 0 || st.ReclaimedNodes == 0 {
+	if st := bounded.StatsSnapshot().GC; st.Runs == 0 || st.ReclaimedNodes == 0 {
 		t.Fatalf("bounded run never collected (stats %+v)", st)
 	}
 
@@ -174,7 +175,8 @@ func TestSoakCompactCountersMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ops1, cs1, gc1 := b.PredicateOps(), b.CacheStats(), b.GCStats()
+	st1 := b.StatsSnapshot()
+	ops1, cs1, gc1 := st1.PredicateOps, st1.Cache, st1.GC
 	if ops1 == 0 || cs1.Misses == 0 {
 		t.Fatalf("fixture produced no engine activity (ops=%d misses=%d)", ops1, cs1.Misses)
 	}
@@ -184,7 +186,8 @@ func TestSoakCompactCountersMonotone(t *testing.T) {
 	if err := b.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	ops2, cs2, gc2 := b.PredicateOps(), b.CacheStats(), b.GCStats()
+	st2 := b.StatsSnapshot()
+	ops2, cs2, gc2 := st2.PredicateOps, st2.Cache, st2.GC
 	if ops2 < ops1 {
 		t.Errorf("PredicateOps dropped across Compact: %d -> %d", ops1, ops2)
 	}
@@ -199,7 +202,7 @@ func TestSoakCompactCountersMonotone(t *testing.T) {
 	if _, err := b.ActionAt(0, []uint64{0x1234}); err != nil {
 		t.Fatal(err)
 	}
-	if ops3 := b.PredicateOps(); ops3 < ops2 {
+	if ops3 := b.StatsSnapshot().PredicateOps; ops3 < ops2 {
 		t.Errorf("PredicateOps dropped after post-Compact work: %d -> %d", ops2, ops3)
 	}
 }
@@ -232,7 +235,7 @@ func TestChaosGCUnderPoisoning(t *testing.T) {
 		results := 0
 		for _, msgs := range epochs[from:to] {
 			for _, m := range msgs {
-				rs, err := sys.Feed(m)
+				rs, err := sys.FeedContext(context.Background(), m)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -253,7 +256,7 @@ func TestChaosGCUnderPoisoning(t *testing.T) {
 	if got := sys.PoisonedSubspaces(); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("poisoned = %v, want [1]", got)
 	}
-	if st := sys.GCStats(); st.Runs == 0 {
+	if st := sys.StatsSnapshot().GC; st.Runs == 0 {
 		t.Fatalf("no GC under poisoning (stats %+v)", st)
 	}
 	// Healthy subspaces kept collecting: their live node counts must not

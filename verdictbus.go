@@ -58,7 +58,7 @@ type verdictState struct {
 // subscriber (full buffers drop, counted), so a dead or slow consumer
 // can never stall the ingest path that publishes.
 type verdictBus struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //flashvet:lockrank 30
 	seq  uint64
 	last map[verdictKey]verdictState
 	subs map[*VerdictSub]struct{}
