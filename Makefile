@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint lint-json flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random soak apicheck
+.PHONY: build test vet lint lint-json flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random ckpt-chaos soak apicheck
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,7 @@ bench:
 bench-record:
 	$(GO) run ./cmd/flashbench -exp scaling -scale small -record BENCH_flash.json
 	$(GO) run ./cmd/flashbench -exp gc -scale small -record BENCH_flash.json
+	$(GO) run ./cmd/flashbench -exp recovery -scale small -record BENCH_flash.json
 
 # Memory-management soak: sustained prefix-mutating churn through a
 # small memory budget, under the race detector. Asserts the live node
@@ -83,6 +84,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzIMTOverwrite -fuzztime=30s ./internal/imt
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzAllowDirective -fuzztime=30s ./internal/analysis
+	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/ckpt
 
 # Fault-injection suite under the race detector with the pinned seed
 # (the CI mode): chaos model equality, quarantine paths, worker
@@ -96,4 +98,12 @@ chaos:
 chaos-random:
 	FLASH_CHAOS_SEED=random $(GO) test -race -count=1 -v -run 'TestChaosModelEquality' .
 
-check: vet lint apicheck race checkstrict chaos soak
+# Crash-consistency suite under the race detector: kill-mid-epoch warm
+# restart through the serving plane (torn checkpoint + leftover temp
+# file), checkpoint/restore round trip, corrupt-skip fallback, and the
+# snapshot-release-vs-checkpoint race.
+ckpt-chaos:
+	$(GO) test -race -count=1 -run 'TestCheckpointCrashRecovery|TestCheckpointRestoreRoundTrip|TestRestoreSkipsCorruptCheckpoint|TestRestoreExhaustedFallsBackToFullReingest|TestSnapshotReleaseRacesCheckpoint' .
+	$(GO) test -race -count=1 ./internal/ckpt
+
+check: vet lint apicheck race checkstrict chaos ckpt-chaos soak

@@ -3,6 +3,7 @@ package flash
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -36,11 +37,13 @@ type adminOptionFunc func(*adminOpts)
 func (f adminOptionFunc) applyAdmin(o *adminOpts) { f(o) }
 
 type adminOpts struct {
-	reg       *obs.Registry
-	health    []func() Health
-	sys       *System
-	builder   *ModelBuilder
-	subBuffer int
+	reg        *obs.Registry
+	health     []func() Health
+	sys        *System
+	builder    *ModelBuilder
+	subBuffer  int
+	checkpoint func() (CheckpointInfo, error)
+	restoring  func() (pending, preloaded int)
 }
 
 // WithAdminMetrics attaches the observability registry served by
@@ -67,6 +70,23 @@ func WithAdminBuilder(b *ModelBuilder) AdminOption {
 	return adminOptionFunc(func(o *adminOpts) { o.builder = b })
 }
 
+// WithAdminCheckpoint mounts POST /v1/checkpoint: each request runs fn
+// (typically Server.Checkpoint or System.Checkpoint bound to the
+// configured directory) and returns the CheckpointInfo as JSON. Without
+// this option the endpoint answers 404.
+func WithAdminCheckpoint(fn func() (CheckpointInfo, error)) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) { o.checkpoint = fn })
+}
+
+// WithAdminRestoring wires warm-restart progress (typically
+// Server.RestoreProgress) into /v1/healthz: while any
+// checkpoint-restored agent stream has not yet reconnected, the probe
+// answers 503 with first line "restoring" and a progress line, so
+// load balancers hold traffic until replay has caught up.
+func WithAdminRestoring(fn func() (pending, preloaded int)) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) { o.restoring = fn })
+}
+
 // WithAdminSubscriptionBuffer bounds each SSE subscription's delivery
 // buffer (default 64 events).
 func WithAdminSubscriptionBuffer(n int) AdminOption {
@@ -87,6 +107,7 @@ func WithAdminSubscriptionBuffer(n int) AdminOption {
 //	/v1/specs          configured checks merged with current verdicts
 //	/v1/whatif         POST a what-if transaction (see api.go for shapes)
 //	/v1/subscriptions  verdict snapshot (JSON) or live push (SSE)
+//	/v1/checkpoint     POST: write a checkpoint now (WithAdminCheckpoint)
 //
 // /metrics and /healthz remain unversioned aliases for scrapers, and
 // the standard debug endpoints (/debug/vars, /debug/pprof/*) are always
@@ -96,6 +117,9 @@ func WithAdminSubscriptionBuffer(n int) AdminOption {
 // yields "ok"; any degradation yields "degraded" plus one reason per
 // line. The status code stays 200 either way — degradation means
 // reduced coverage (a quarantined subspace or device), not death.
+// The one exception is a warm restart still waiting for restored agent
+// streams to reconnect (WithAdminRestoring): that yields 503 with
+// "restoring" and a replay-progress line until the suffix catches up.
 func NewAdminHandler(opts ...AdminOption) http.Handler {
 	o := adminOpts{subBuffer: 64}
 	for _, opt := range opts {
@@ -112,6 +136,7 @@ func NewAdminHandler(opts ...AdminOption) http.Handler {
 	mux.HandleFunc("/v1/specs", h.specs)
 	mux.HandleFunc("/v1/whatif", h.whatIf)
 	mux.HandleFunc("/v1/subscriptions", h.subscriptions)
+	mux.HandleFunc("/v1/checkpoint", h.checkpoint)
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusNotFound, "not_found", "unknown endpoint "+r.URL.Path)
 	})
@@ -135,6 +160,18 @@ func AdminHandler(reg *obs.Registry, health ...func() Health) http.Handler {
 
 func (h *apiHandler) healthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// A warm restart that is still waiting for checkpoint-restored agent
+	// streams to reconnect is not ready: the model is valid but trails
+	// the network until the replay suffix arrives. Unlike degradation
+	// this is a 503 — it clears by itself and traffic should wait.
+	if h.opts.restoring != nil {
+		if pending, preloaded := h.opts.restoring(); pending > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("restoring\n"))
+			fmt.Fprintf(w, "replaying: %d/%d restored streams reconnected\n", preloaded-pending, preloaded)
+			return
+		}
+	}
 	var agg Health
 	for _, src := range h.opts.health {
 		if src != nil {
@@ -149,6 +186,38 @@ func (h *apiHandler) healthz(w http.ResponseWriter, _ *http.Request) {
 	for _, r := range agg.Reasons {
 		w.Write([]byte(r + "\n"))
 	}
+}
+
+// apiCheckpointInfo is the JSON shape of a completed checkpoint write.
+type apiCheckpointInfo struct {
+	Path      string `json:"path"`
+	Bytes     int    `json:"bytes"`
+	Subspaces int    `json:"subspaces"`
+	Streams   int    `json:"streams"`
+	TookNs    int64  `json:"took_ns"`
+}
+
+func (h *apiHandler) checkpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+		return
+	}
+	if h.opts.checkpoint == nil {
+		writeAPIError(w, http.StatusNotFound, "not_found", "checkpointing not configured (start with -checkpoint-dir)")
+		return
+	}
+	info, err := h.opts.checkpoint()
+	if err != nil {
+		writeAPIError(w, http.StatusInternalServerError, "checkpoint_failed", err.Error())
+		return
+	}
+	writeAPIJSON(w, apiCheckpointInfo{
+		Path:      info.Path,
+		Bytes:     info.Bytes,
+		Subspaces: info.Subspaces,
+		Streams:   info.Streams,
+		TookNs:    info.Took.Nanoseconds(),
+	})
 }
 
 func (h *apiHandler) metrics(w http.ResponseWriter, _ *http.Request) {

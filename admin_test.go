@@ -1,12 +1,16 @@
 package flash
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -197,4 +201,129 @@ func get(t *testing.T, url string) []byte {
 		t.Fatalf("GET %s: %v", url, err)
 	}
 	return body
+}
+
+// TestAdminCheckpointEndpoint covers POST /v1/checkpoint: method
+// gating, the unconfigured 404, the success JSON shape, and the error
+// path.
+func TestAdminCheckpointEndpoint(t *testing.T) {
+	_, _, msgs := chaosWorkload(t)
+	sys, err := NewSystem(ckptSysOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs[:len(msgs)/8] {
+		if _, err := sys.FeedContext(context.Background(), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	admin := httptest.NewServer(NewAdminHandler(
+		WithAdminSystem(sys),
+		WithAdminCheckpoint(func() (CheckpointInfo, error) { return sys.Checkpoint(dir) }),
+	))
+	defer admin.Close()
+
+	resp, err := http.Get(admin.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/checkpoint = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(admin.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Path      string `json:"path"`
+		Bytes     int64  `json:"bytes"`
+		Subspaces int    `json:"subspaces"`
+		TookNs    int64  `json:"took_ns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/checkpoint = %d", resp.StatusCode)
+	}
+	if info.Bytes <= 0 || info.Subspaces == 0 || info.Path == "" {
+		t.Fatalf("implausible checkpoint response: %+v", info)
+	}
+	if _, err := os.Stat(info.Path); err != nil {
+		t.Fatalf("reported checkpoint path missing: %v", err)
+	}
+
+	// Unconfigured daemon: the endpoint explains how to enable it.
+	bare := httptest.NewServer(NewAdminHandler(WithAdminSystem(sys)))
+	defer bare.Close()
+	resp, err = http.Post(bare.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unconfigured POST = %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "checkpoint-dir") {
+		t.Fatalf("unconfigured error does not mention the flag: %s", body)
+	}
+
+	// Error path surfaces as 500.
+	broken := httptest.NewServer(NewAdminHandler(WithAdminCheckpoint(
+		func() (CheckpointInfo, error) { return CheckpointInfo{}, errors.New("disk on fire") },
+	)))
+	defer broken.Close()
+	resp, err = http.Post(broken.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing checkpoint POST = %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestAdminHealthzRestoring: while preloaded streams are still waiting
+// for their agents, /healthz must answer 503 "restoring" with progress,
+// flipping to 200 once replay completes.
+func TestAdminHealthzRestoring(t *testing.T) {
+	var mu sync.Mutex
+	pending, preloaded := 2, 3
+	admin := httptest.NewServer(NewAdminHandler(WithAdminRestoring(func() (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		return pending, preloaded
+	})))
+	defer admin.Close()
+
+	resp, err := http.Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while restoring = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "restoring") || !strings.Contains(string(body), "1/3") {
+		t.Fatalf("restoring body lacks progress: %q", body)
+	}
+
+	mu.Lock()
+	pending = 0
+	mu.Unlock()
+	resp, err = http.Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after replay = %d, want 200: %s", resp.StatusCode, body)
+	}
 }

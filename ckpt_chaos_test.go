@@ -1,0 +1,241 @@
+package flash
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// ckptWaitFor polls a condition with a generous deadline.
+func ckptWaitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkpointUntilAcked emulates the background checkpoint ticker: it
+// keeps committing checkpoints until the agent's ack floor reaches want
+// (under durable sessions, acks only advance when a checkpoint commits).
+func checkpointUntilAcked(t *testing.T, srv *Server, dir string, ag *wire.Agent, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for ag.Acked() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("acks stuck at %d, want %d (unacked %d)", ag.Acked(), want, ag.Unacked())
+		}
+		if _, err := srv.Checkpoint(dir); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCheckpointCrashRecovery is the acceptance row for the warm-restart
+// tentpole: a serving-plane run is killed abruptly mid-epoch — with a
+// torn checkpoint and a leftover temp file emulating a crash mid-
+// checkpoint-write — restored from the latest intact checkpoint, and the
+// surviving agent replays the suffix. The final model fingerprint and
+// verdict table must equal an uninterrupted run's, the torn checkpoint
+// must be skipped with a visible counter, and nothing may panic.
+func TestCheckpointCrashRecovery(t *testing.T) {
+	_, _, msgs := chaosWorkload(t)
+	finalEpoch := msgs[len(msgs)-1].Epoch
+	newAgent := func(addr func() string, seed int64) *wire.Agent {
+		ag, err := DialAgentOptions(addr(), AgentOptions{
+			Stream:        "ckpt-agent",
+			Reconnect:     true,
+			BackoffMin:    time.Millisecond,
+			BackoffMax:    10 * time.Millisecond,
+			ResendTimeout: 200 * time.Millisecond,
+			Rand:          rand.New(rand.NewSource(seed)),
+			Dial:          func(string) (net.Conn, error) { return net.Dial("tcp", addr()) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ag
+	}
+
+	// ---- uninterrupted run (same serving plane, no crash) ----
+	cleanSys, err := NewSystem(ckptSysOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSrv := NewServer(cleanL, cleanSys, nil, WithDurableSessions(nil))
+	cleanDone := make(chan error, 1)
+	go func() { cleanDone <- cleanSrv.Serve() }()
+	cleanAddr := cleanL.Addr().String()
+	cleanAg := newAgent(func() string { return cleanAddr }, 1)
+	for _, m := range msgs {
+		if err := cleanAg.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkpointUntilAcked(t, cleanSrv, t.TempDir(), cleanAg, uint64(len(msgs)))
+	cleanFP, err := cleanSys.ModelFingerprint(finalEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanVerdicts := cleanSys.Verdicts()
+	cleanAg.Close()
+	cleanSrv.Close()
+	<-cleanDone
+
+	// ---- crash run ----
+	dir := t.TempDir()
+	sys1, err := NewSystem(ckptSysOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(l1, sys1, nil, WithDurableSessions(nil))
+	done1 := make(chan error, 1)
+	go func() { done1 <- srv1.Serve() }()
+
+	var (
+		addrMu sync.Mutex
+		addr   = l1.Addr().String()
+	)
+	currentAddr := func() string {
+		addrMu.Lock()
+		defer addrMu.Unlock()
+		return addr
+	}
+	ag := newAgent(currentAddr, 2)
+	defer ag.Close()
+
+	// Prefix up to the checkpointed cut, then extra traffic the crash
+	// will destroy server-side (consumed but never durable).
+	cut := len(msgs) * 3 / 5
+	extra := cut + len(msgs)/10
+	for _, m := range msgs[:cut] {
+		if err := ag.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkpointUntilAcked(t, srv1, dir, ag, uint64(cut))
+	for _, m := range msgs[cut:extra] {
+		if err := ag.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond) // let some post-checkpoint frames be consumed
+
+	// kill -9: tear down the process state with no farewell. The frames
+	// past the checkpoint cut are gone server-side but still unacked in
+	// the agent's replay buffer.
+	srv1.Close()
+	<-done1
+	if got := ag.Acked(); got < uint64(cut) {
+		t.Fatalf("acked %d below checkpoint cut %d", got, cut)
+	}
+
+	// Emulate dying mid-checkpoint-write on top: a leftover temp file and
+	// a torn, newest-named checkpoint (a truncated copy of the good one).
+	cands := ckpt.Candidates(dir)
+	if len(cands) == 0 {
+		t.Fatal("no checkpoints written before crash")
+	}
+	raw, err := os.ReadFile(cands[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-ffffffffffffffff.fckpt"), raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-123abc.tmp"), raw[:16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- warm restart ----
+	reg := obs.NewRegistry("flash")
+	sys2, rep, err := Restore(dir, ckptSysOpts(WithMetrics(reg))...)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if rep.SkippedCorrupt != 1 {
+		t.Fatalf("SkippedCorrupt = %d, want 1 (the torn newest checkpoint)", rep.SkippedCorrupt)
+	}
+	if n := reg.Sub("ckpt").Snapshot().Counters["bdd_ckpt_skipped_corrupt_total"]; n != 1 {
+		t.Fatalf("bdd_ckpt_skipped_corrupt_total = %d, want 1", n)
+	}
+	if next := rep.Streams["ckpt-agent"]; next != uint64(cut)+1 {
+		t.Fatalf("restored stream cursor %d, want %d", next, cut+1)
+	}
+
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(l2, sys2, nil, WithDurableSessions(rep.Streams))
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.Serve() }()
+	t.Cleanup(func() { srv2.Close(); <-done2 })
+
+	if pending, preloaded := srv2.RestoreProgress(); pending != 1 || preloaded != 1 {
+		t.Fatalf("RestoreProgress = (%d, %d) before reconnect, want (1, 1)", pending, preloaded)
+	}
+	addrMu.Lock()
+	addr = l2.Addr().String()
+	addrMu.Unlock()
+
+	// The agent reconnects and replays its unacked suffix; the restored
+	// server consumes exactly the frames past the checkpoint cut.
+	ckptWaitFor(t, "agent reconnect", func() bool {
+		pending, _ := srv2.RestoreProgress()
+		return pending == 0
+	})
+	if ag.Reconnects() == 0 {
+		t.Fatal("agent never reconnected; replay path untested")
+	}
+
+	// Rest of the workload, then drain through a final checkpoint.
+	for _, m := range msgs[extra:] {
+		if err := ag.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkpointUntilAcked(t, srv2, dir, ag, uint64(len(msgs)))
+	if q := srv2.QuarantinedDevices(); len(q) != 0 {
+		t.Fatalf("devices quarantined after restore: %v", q)
+	}
+
+	fp, err := sys2.ModelFingerprint(finalEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != cleanFP {
+		t.Fatalf("model fingerprint diverged after crash recovery:\n  clean     %s\n  recovered %s", cleanFP, fp)
+	}
+	if got := sys2.Verdicts(); !reflect.DeepEqual(got, cleanVerdicts) {
+		t.Fatalf("verdicts diverged after crash recovery:\n  clean     %v\n  recovered %v", cleanVerdicts, got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ag.WaitAcked(ctx); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+}

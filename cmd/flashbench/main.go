@@ -19,13 +19,16 @@
 //	flashbench -exp overhead          # §5.5 resource accounting
 //	flashbench -exp scaling           # work-stealing scheduler on skewed churn
 //	flashbench -exp gc                # in-engine BDD GC vs Compact rotation
+//	flashbench -exp recovery          # warm restart vs checkpoint age
 //	flashbench -exp all
 //
 // -exp scaling sweeps worker counts {1,2,4,8} over a hot-subspace
 // churn workload; -exp gc measures peak/steady-state node counts and
-// GC pauses under a memory budget. With -record FILE the measured rows
-// of either experiment are appended to a JSON benchmark-trajectory
-// file (conventionally BENCH_flash.json).
+// GC pauses under a memory budget; -exp recovery measures checkpoint
+// restore + suffix replay against full re-ingest across checkpoint
+// ages. With -record FILE the measured rows of these experiments are
+// appended to a JSON benchmark-trajectory file (conventionally
+// BENCH_flash.json).
 //
 // -scale selects workload sizing (tiny|small|medium|large).
 package main
@@ -75,6 +78,7 @@ func main() {
 		"overhead": func() { runOverhead(scale, *subspaces) },
 		"scaling":  func() { runScaling(*scaleFlag, scale, *record) },
 		"gc":       func() { runGCBench(*scaleFlag, scale, *record) },
+		"recovery": func() { runRecovery(*scaleFlag, *record) },
 	}
 	order := []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig14", "fig15", "fig18", "overhead"}

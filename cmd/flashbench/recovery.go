@@ -1,0 +1,206 @@
+package main
+
+// The recovery experiment measures the warm-restart tentpole: how long
+// a crashed verifier takes to return to the live model via checkpoint
+// restore + suffix replay, as a function of checkpoint age (how much of
+// the update stream arrived after the checkpoint), against the full
+// re-ingest a cold boot pays. Rows land in the shared benchmark
+// trajectory file with -record.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	flash "repro"
+	"repro/internal/hs"
+	"repro/internal/openr"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// recoveryEntry is one row of the trajectory: one checkpoint age.
+type recoveryEntry struct {
+	Bench          string  `json:"bench"`
+	Scale          string  `json:"scale"`
+	Messages       int     `json:"messages"`
+	AgeFrac        float64 `json:"checkpoint_age_frac"` // stream fraction after the checkpoint
+	CkptBytes      int     `json:"ckpt_bytes"`
+	RestoreNs      int64   `json:"restore_ns"`       // load + rebuild from the checkpoint
+	ReplayNs       int64   `json:"replay_ns"`        // suffix re-feed
+	RecoveryNs     int64   `json:"recovery_ns"`      // restore + replay
+	FullReingestNs int64   `json:"full_reingest_ns"` // cold-boot baseline
+	Speedup        float64 `json:"speedup_vs_reingest"`
+	Cores          int     `json:"cores"`
+	RecordedAt     string  `json:"recorded_at,omitempty"`
+}
+
+// recoveryWorkload mirrors the chaos suite's stream: an OpenR simulation
+// on Internet2 with a mid-run link failure. The scale knob stretches the
+// simulated duration.
+func recoveryWorkload(scaleFactor int) (*topo.Graph, *hs.Layout, []flash.Msg) {
+	g := topo.Internet2()
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 16})
+	space := hs.NewSpace(layout)
+	owners := make([]topo.NodeID, g.N())
+	for i := range owners {
+		owners[i] = topo.NodeID(i)
+	}
+	sim := openr.New(g, space, owners, openr.DefaultOptions())
+	// The scale knob adds fail/restore churn cycles; each cycle forces a
+	// reconvergence epoch, stretching the stream the recovery replays.
+	chic, kans := g.MustByName("chic"), g.MustByName("kans")
+	for i := 0; i < scaleFactor; i++ {
+		base := openr.Time(i) * 60_000_000
+		sim.FailLink(base+10_000, chic, kans)
+		if i+1 < scaleFactor {
+			sim.RestoreLink(base+30_000_000, chic, kans)
+		}
+	}
+	sim.Run(openr.Time(scaleFactor) * 60_000_000)
+	var msgs []flash.Msg
+	for _, m := range sim.Messages() {
+		wm, err := wire.FromFib(m.Msg.Device, string(m.Msg.Epoch), m.Msg.Updates)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: recovery workload: %v\n", err)
+			os.Exit(1)
+		}
+		msgs = append(msgs, wm)
+	}
+	return g, layout, msgs
+}
+
+func recoveryOpts(g *topo.Graph, layout *hs.Layout) []flash.Option {
+	return []flash.Option{
+		flash.WithTopo(g),
+		flash.WithLayout(layout),
+		flash.WithSubspaces(2, ""),
+		flash.WithChecks(flash.CheckSpec{Name: "loops", Kind: flash.CheckLoopFree}),
+	}
+}
+
+func recoveryFeed(sys *flash.System, msgs []flash.Msg) {
+	for _, m := range msgs {
+		if _, err := sys.FeedContext(context.Background(), m); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: recovery: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// recoveryRun measures one checkpoint age: the checkpoint is cut with
+// ageFrac of the stream still to come, the system "crashes", and
+// recovery restores + replays the suffix.
+func recoveryRun(scaleName string, g *topo.Graph, layout *hs.Layout, msgs []flash.Msg, ageFrac float64) recoveryEntry {
+	cut := int(float64(len(msgs)) * (1 - ageFrac))
+	if cut < 1 {
+		cut = 1
+	}
+	dir, err := os.MkdirTemp("", "flash-recovery-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: recovery: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	crashed, err := flash.NewSystem(recoveryOpts(g, layout)...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: recovery: %v\n", err)
+		os.Exit(1)
+	}
+	recoveryFeed(crashed, msgs[:cut])
+	info, err := crashed.Checkpoint(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: recovery: checkpoint: %v\n", err)
+		os.Exit(1)
+	}
+	recoveryFeed(crashed, msgs[cut:]) // post-checkpoint traffic the crash destroys
+
+	// ---- warm restart: restore + replay the suffix ----
+	t0 := time.Now()
+	restored, _, err := flash.Restore(dir, recoveryOpts(g, layout)...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: recovery: restore: %v\n", err)
+		os.Exit(1)
+	}
+	restoreNs := time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	recoveryFeed(restored, msgs[cut:])
+	replayNs := time.Since(t1).Nanoseconds()
+
+	// ---- cold boot: full re-ingest ----
+	cold, err := flash.NewSystem(recoveryOpts(g, layout)...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: recovery: %v\n", err)
+		os.Exit(1)
+	}
+	t2 := time.Now()
+	recoveryFeed(cold, msgs)
+	reingestNs := time.Since(t2).Nanoseconds()
+
+	e := recoveryEntry{
+		Bench:          "ckpt-recovery",
+		Scale:          scaleName,
+		Messages:       len(msgs),
+		AgeFrac:        ageFrac,
+		CkptBytes:      info.Bytes,
+		RestoreNs:      restoreNs,
+		ReplayNs:       replayNs,
+		RecoveryNs:     restoreNs + replayNs,
+		FullReingestNs: reingestNs,
+		Cores:          runtime.NumCPU(),
+	}
+	if e.RecoveryNs > 0 {
+		e.Speedup = float64(e.FullReingestNs) / float64(e.RecoveryNs)
+	}
+	return e
+}
+
+func runRecovery(scaleName string, record string) {
+	header("Recovery — warm restart vs checkpoint age")
+	factor := map[string]int{"tiny": 1, "small": 4, "medium": 8, "large": 16}[scaleName]
+	if factor == 0 {
+		factor = 1
+	}
+	g, layout, msgs := recoveryWorkload(factor)
+	fmt.Printf("workload: %d messages (openr/Internet2, link-failure churn)\n", len(msgs))
+
+	// Discarded warm-up: first run pays allocator growth.
+	recoveryRun(scaleName, g, layout, msgs, 0.25)
+
+	var entries []recoveryEntry
+	for _, age := range []float64{0.05, 0.25, 0.5, 0.75} {
+		// Best of three: single-run timings at this scale are dominated
+		// by allocator and scheduler noise.
+		e := recoveryRun(scaleName, g, layout, msgs, age)
+		for i := 0; i < 2; i++ {
+			if r := recoveryRun(scaleName, g, layout, msgs, age); r.RecoveryNs < e.RecoveryNs {
+				e = r
+			}
+		}
+		entries = append(entries, e)
+		fmt.Printf("age=%-5.2f ckpt=%-8s restore=%-10s replay=%-10s recovery=%-10s reingest=%-10s speedup=%.2fx\n",
+			e.AgeFrac, fmtBytes(uint64(e.CkptBytes)),
+			time.Duration(e.RestoreNs).Round(time.Microsecond),
+			time.Duration(e.ReplayNs).Round(time.Microsecond),
+			time.Duration(e.RecoveryNs).Round(time.Microsecond),
+			time.Duration(e.FullReingestNs).Round(time.Microsecond),
+			e.Speedup)
+	}
+
+	if record != "" {
+		now := time.Now().UTC().Format(time.RFC3339)
+		rows := make([]any, len(entries))
+		for i := range entries {
+			entries[i].RecordedAt = now
+			rows[i] = entries[i]
+		}
+		if err := appendEntries(record, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d entries to %s\n", len(entries), record)
+	}
+}

@@ -67,6 +67,10 @@ func main() {
 		agentTimeout  = flag.Duration("agent-timeout", 0, "close agent connections silent for this long (0 = never; agents heartbeat to stay alive)")
 		ackWindow     = flag.Int("ack-window", 1024, "per-agent out-of-order frame window for replay reassembly")
 		acceptBackoff = flag.Duration("accept-backoff", time.Second, "max retry backoff after temporary accept errors")
+
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-consistent checkpoints; restores from the newest usable one on boot ('' disables)")
+		ckptInterval = flag.Duration("checkpoint-interval", time.Minute, "period of the background checkpoint writer (0 = manual only, via POST /v1/checkpoint)")
+		ckptKeep     = flag.Int("checkpoint-keep", 3, "checkpoints retained per prune; older files and leftover temp files are removed")
 	)
 	var reaches reachFlags
 	flag.Var(&reaches, "reach", "reachability check name:expr:sources:dest (repeatable)")
@@ -89,7 +93,7 @@ func main() {
 	}
 	reg := obs.NewRegistry("flashd")
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	sys, err := flash.NewSystem(
+	sysOpts := []flash.Option{
 		flash.WithTopo(g),
 		flash.WithLayout(layout),
 		flash.WithSubspaces(*subspaces, ""),
@@ -99,9 +103,37 @@ func main() {
 		flash.WithChecks(checks...),
 		flash.WithMetrics(reg),
 		flash.WithLogger(logger),
+	}
+	// Warm restart: restore from the newest usable checkpoint; a missing,
+	// corrupt, or config-mismatched set of candidates degrades to a fresh
+	// system plus full re-ingest from the agents' replay buffers.
+	var (
+		sys      *flash.System
+		restored *flash.RestoreReport
 	)
-	if err != nil {
-		fatal(err)
+	if *ckptDir != "" && *replay == "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+		s, rep, rerr := flash.Restore(*ckptDir, sysOpts...)
+		if rerr == nil {
+			sys, restored = s, rep
+			fmt.Printf("flashd: warm restart from %s (%d subspaces, %d streams, %d corrupt candidates skipped) in %s\n",
+				rep.Path, rep.Subspaces, len(rep.Streams), rep.SkippedCorrupt, rep.Took.Round(time.Millisecond))
+		} else if errors.Is(rerr, flash.ErrNoCheckpoint) {
+			if rep != nil && rep.SkippedCorrupt > 0 {
+				logger.Printf("flashd: no usable checkpoint in %s (%d corrupt candidates skipped); full re-ingest", *ckptDir, rep.SkippedCorrupt)
+			}
+		} else {
+			fatal(rerr)
+		}
+	}
+	if sys == nil {
+		var err error
+		sys, err = flash.NewSystem(sysOpts...)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	// The interrupt context governs both the replay loop and the live
 	// server below.
@@ -132,14 +164,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := flash.NewServer(l, sys, func(r flash.Result) {
-		fmt.Println(r)
-	},
+	srvOpts := []flash.ServeOption{
 		flash.WithQuarantineTTL(*quarantine),
 		flash.WithAgentReadTimeout(*agentTimeout),
 		flash.WithAckWindow(*ackWindow),
 		flash.WithAcceptBackoff(*acceptBackoff),
-	)
+	}
+	if *ckptDir != "" {
+		// Durable acks tie the agents' replay buffers to the checkpoint
+		// floor; restored stream floors resume reconnecting agents from
+		// the checkpointed sequence numbers.
+		var streams map[string]uint64
+		if restored != nil {
+			streams = restored.Streams
+		}
+		srvOpts = append(srvOpts, flash.WithDurableSessions(streams))
+	}
+	srv := flash.NewServer(l, sys, func(r flash.Result) {
+		fmt.Println(r)
+	}, srvOpts...)
 	// Quarantined devices appear on /metrics (serve/quarantined and
 	// serve/quarantines_total) and reconnects under wire/reconnects;
 	// /healthz reports "degraded" while any device or subspace is
@@ -153,15 +196,50 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		adminSrv = &http.Server{Handler: flash.NewAdminHandler(
+		adminOpts := []flash.AdminOption{
 			flash.WithAdminMetrics(reg),
 			flash.WithAdminSystem(sys),
 			flash.WithAdminHealth(sys.Health, srv.Health),
-		)}
+		}
+		if *ckptDir != "" {
+			dir := *ckptDir
+			adminOpts = append(adminOpts,
+				flash.WithAdminCheckpoint(func() (flash.CheckpointInfo, error) { return srv.Checkpoint(dir) }),
+				flash.WithAdminRestoring(srv.RestoreProgress),
+			)
+		}
+		adminSrv = &http.Server{Handler: flash.NewAdminHandler(adminOpts...)}
 		fmt.Printf("flashd: admin endpoint (/v1 management API, /metrics, /healthz, /debug/pprof/) at %s\n", al.Addr())
 		go func() {
 			if err := adminSrv.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("flashd: admin: %v", err)
+			}
+		}()
+	}
+
+	// Background checkpoint writer: periodic capture-and-commit, with
+	// pruning so the directory holds a bounded history plus no leftover
+	// temp files. POST /v1/checkpoint triggers the same path on demand.
+	if *ckptDir != "" && *ckptInterval > 0 {
+		go func() {
+			t := time.NewTicker(*ckptInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					info, cerr := srv.Checkpoint(*ckptDir)
+					if cerr != nil {
+						logger.Printf("flashd: checkpoint: %v", cerr)
+						continue
+					}
+					logger.Printf("flashd: checkpoint %s (%d bytes, %d subspaces) in %s",
+						info.Path, info.Bytes, info.Subspaces, info.Took.Round(time.Millisecond))
+					if perr := flash.PruneCheckpoints(*ckptDir, *ckptKeep); perr != nil {
+						logger.Printf("flashd: checkpoint prune: %v", perr)
+					}
+				}
 			}
 		}()
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/ce2d"
+	"repro/internal/ckpt"
 	"repro/internal/wire"
 )
 
@@ -49,4 +50,13 @@ var (
 	ErrCorruptFrame  = wire.ErrCorruptFrame
 	ErrTruncated     = wire.ErrTruncated
 	ErrFrameTooLarge = wire.ErrFrameTooLarge
+
+	// Checkpoint sentinels, re-exported from the durability layer.
+	// Restore returns an error wrapping ErrNoCheckpoint when the
+	// checkpoint directory holds no usable file (none, or all corrupt /
+	// config-mismatched); the caller falls back to NewSystem plus full
+	// re-ingest. ErrCheckpointCorrupt classifies an individual file that
+	// was torn, truncated, or bit-flipped.
+	ErrNoCheckpoint      = ckpt.ErrNoCheckpoint
+	ErrCheckpointCorrupt = ckpt.ErrCorrupt
 )

@@ -1,0 +1,108 @@
+package bdd
+
+import "testing"
+
+// buildSample mints a small but nontrivial predicate set and returns the
+// engine plus some live refs.
+func buildSample(t *testing.T) (*Engine, []Ref) {
+	t.Helper()
+	e := New(8)
+	a := e.Var(0)
+	b := e.Var(3)
+	c := e.NVar(5)
+	refs := []Ref{
+		a,
+		e.And(a, b),
+		e.Or(e.And(a, c), e.Not(b)),
+		e.Xor(a, e.And(b, c)),
+	}
+	return e, refs
+}
+
+func TestExportNodesRoundTrip(t *testing.T) {
+	e, refs := buildSample(t)
+	dump := e.ExportNodes()
+	r, err := NewFromNodes(e.NumVars(), dump)
+	if err != nil {
+		t.Fatalf("NewFromNodes: %v", err)
+	}
+	if r.NumNodes() != e.NumNodes() {
+		t.Fatalf("restored %d nodes, want %d", r.NumNodes(), e.NumNodes())
+	}
+	// Canonicity: re-deriving the same predicates in the restored engine
+	// must hit the hash-consed nodes and return the identical refs.
+	a, b, c := r.Var(0), r.Var(3), r.NVar(5)
+	again := []Ref{a, r.And(a, b), r.Or(r.And(a, c), r.Not(b)), r.Xor(a, r.And(b, c))}
+	for i := range refs {
+		if refs[i] != again[i] {
+			t.Fatalf("ref %d: original %d, restored %d — canonicity broken", i, refs[i], again[i])
+		}
+		if !r.CheckRef(refs[i]) {
+			t.Fatalf("ref %d invalid in restored engine", refs[i])
+		}
+	}
+	// Restoring must not grow the node store (no new mints).
+	if r.NumNodes() != e.NumNodes() {
+		t.Fatalf("re-derivation minted nodes: %d vs %d", r.NumNodes(), e.NumNodes())
+	}
+}
+
+func TestExportNodesIsACopy(t *testing.T) {
+	e, _ := buildSample(t)
+	dump := e.ExportNodes()
+	before := append([]int32(nil), dump...)
+	e.And(e.Var(1), e.Var(2)) // grow the engine
+	for i := range dump {
+		if dump[i] != before[i] {
+			t.Fatalf("dump aliases engine storage (index %d changed)", i)
+		}
+	}
+}
+
+func TestNewFromNodesEmpty(t *testing.T) {
+	r, err := NewFromNodes(4, nil)
+	if err != nil {
+		t.Fatalf("empty dump: %v", err)
+	}
+	if r.NumNodes() != 2 {
+		t.Fatalf("empty restore has %d nodes, want 2 terminals", r.NumNodes())
+	}
+}
+
+func TestNewFromNodesRejectsHostileDumps(t *testing.T) {
+	cases := []struct {
+		name  string
+		nvars int
+		dump  []int32
+	}{
+		{"ragged length", 4, []int32{0, 0}},
+		{"bad nvars", 0, nil},
+		{"level out of range", 4, []int32{4, 0, 1}},
+		{"negative level", 4, []int32{-1, 0, 1}},
+		{"forward child", 4, []int32{0, 0, 3}},
+		{"negative child", 4, []int32{0, -2, 1}},
+		{"redundant node", 4, []int32{0, 1, 1}},
+		// node 2 = (level 1), node 3 = (level 2) pointing at node 2 is
+		// fine; node at level 2 with child at level 1 inverts the order.
+		{"child above parent", 4, []int32{1, 0, 1, 2, 0, 2}},
+		{"duplicate node", 4, []int32{3, 0, 1, 3, 0, 1}},
+	}
+	for _, tc := range cases {
+		if _, err := NewFromNodes(tc.nvars, tc.dump); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCheckRef(t *testing.T) {
+	e, _ := buildSample(t)
+	if !e.CheckRef(False) || !e.CheckRef(True) {
+		t.Fatal("terminals must be valid")
+	}
+	if e.CheckRef(-1) {
+		t.Fatal("negative ref accepted")
+	}
+	if e.CheckRef(Ref(e.NumNodes())) {
+		t.Fatal("out-of-range ref accepted")
+	}
+}

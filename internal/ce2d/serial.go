@@ -1,0 +1,185 @@
+package ce2d
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fib"
+	"repro/internal/imt"
+)
+
+// This file is the CE2D half of the checkpoint/restore subsystem: it
+// exports the dispatcher's epoch bookkeeping and queued-but-unconsumed
+// updates, and rebuilds a verifier whose detection state is identical to
+// the one that was checkpointed.
+//
+// Only the most-converged live verifier (Dispatcher.Current) is
+// serialized. Its detection state is NOT dumped structurally — class
+// refinement is fully deterministic given the same engine (hash-consed
+// refs), the same tables, and the same device synchronization order, so
+// a restore replays SynchronizeTable over the recorded order instead.
+// Other epochs' verifiers are dropped; the dispatcher rebuilds them from
+// the retained queues the next time their epoch goes active, exactly as
+// it would for a late-created verifier in live operation.
+
+// SyncOrder returns the devices in the order they synchronized with this
+// verifier. The returned slice is a copy.
+func (v *Verifier) SyncOrder() []fib.DeviceID {
+	return append([]fib.DeviceID(nil), v.syncOrder...)
+}
+
+// RestoreVerifier rebuilds a verifier from checkpointed state: a fresh
+// detection pipeline over cfg, the restored Fast IMT transformer, and
+// the recorded synchronization order. Synchronization is replayed
+// device by device against the restored tables — detection events the
+// original already reported are discarded (the serving plane restores
+// published verdicts separately).
+func RestoreVerifier(cfg Config, trans *imt.Transformer, syncOrder []fib.DeviceID) (*Verifier, error) {
+	if trans == nil {
+		return nil, fmt.Errorf("ce2d: restore: nil transformer")
+	}
+	v := NewVerifier(cfg)
+	v.transform = trans
+	seen := make(map[fib.DeviceID]bool, len(syncOrder))
+	for _, dev := range syncOrder {
+		if seen[dev] {
+			return nil, fmt.Errorf("ce2d: restore: device %d appears twice in sync order", dev)
+		}
+		seen[dev] = true
+		if _, err := v.SynchronizeTable(dev, trans.Table(dev)); err != nil {
+			return nil, fmt.Errorf("ce2d: restore: resync device %d: %w", dev, err)
+		}
+	}
+	v.events = nil
+	return v, nil
+}
+
+// TrackerState is the serializable form of the epoch tracker.
+type TrackerState struct {
+	Last     map[fib.DeviceID]Epoch
+	Active   []Epoch
+	Inactive []Epoch
+}
+
+// Export captures the tracker's happens-before bookkeeping.
+func (t *Tracker) Export() TrackerState {
+	st := TrackerState{Last: make(map[fib.DeviceID]Epoch, len(t.last))}
+	for dev, e := range t.last {
+		st.Last[dev] = e
+	}
+	for e := range t.active {
+		st.Active = append(st.Active, e)
+	}
+	for e := range t.inactive {
+		st.Inactive = append(st.Inactive, e)
+	}
+	sort.Slice(st.Active, func(i, j int) bool { return st.Active[i] < st.Active[j] })
+	sort.Slice(st.Inactive, func(i, j int) bool { return st.Inactive[i] < st.Inactive[j] })
+	return st
+}
+
+// RestoreTracker rebuilds a tracker from exported state.
+func RestoreTracker(st TrackerState) *Tracker {
+	t := NewTracker()
+	for dev, e := range st.Last {
+		t.last[dev] = e
+	}
+	for _, e := range st.Active {
+		t.active[e] = true
+	}
+	for _, e := range st.Inactive {
+		t.inactive[e] = true
+	}
+	return t
+}
+
+// DispatcherState is the serializable dispatcher state for one subspace:
+// the epoch tracker, the retained update queues (compacted — see
+// ExportState), and the consumed-prefix markers of the one serialized
+// verifier.
+type DispatcherState struct {
+	Tracker TrackerState
+	// Epoch identifies the serialized (most-converged) verifier.
+	Epoch Epoch
+	// Queues holds the per-device retained messages after compaction.
+	Queues map[fib.DeviceID][]Msg
+	// Fed maps device → consumed prefix length of the serialized
+	// verifier over the compacted queues.
+	Fed map[fib.DeviceID]int
+}
+
+// ExportState captures the dispatcher for a checkpoint. The serialized
+// verifier's consumed queue prefixes are compacted away: a device's
+// consumed prefix is replaced by one synthetic baseline message whose
+// inserts rebuild the verifier's current table for that device. This is
+// behavior-preserving for every future verifier because feedDevice
+// ignores message epoch tags during replay and only observes
+// synchronization at the end of a device's full queue — replaying
+// [baseline, suffix...] from an empty table reaches the same states as
+// replaying the original full history.
+//
+// ok is false when no verifier is live (nothing fed yet); the caller
+// then skips the subspace exactly like Snapshot does.
+func (d *Dispatcher) ExportState() (st DispatcherState, ok bool) {
+	e, v, ok := d.Current()
+	if !ok {
+		return DispatcherState{}, false
+	}
+	st = DispatcherState{
+		Tracker: d.tracker.Export(),
+		Epoch:   e,
+		Queues:  make(map[fib.DeviceID][]Msg, len(d.queues)),
+		Fed:     make(map[fib.DeviceID]int, len(d.fed[e])),
+	}
+	for dev, q := range d.queues {
+		m := d.fed[e][dev]
+		if m <= 0 {
+			st.Queues[dev] = append([]Msg(nil), q...)
+			continue
+		}
+		rules := v.Transformer().Table(dev).Rules()
+		base := Msg{Device: dev, Epoch: e, Updates: make([]fib.Update, 0, len(rules))}
+		for _, r := range rules {
+			base.Updates = append(base.Updates, fib.Update{Op: fib.Insert, Rule: r})
+		}
+		nq := make([]Msg, 0, 1+len(q)-m)
+		nq = append(nq, base)
+		nq = append(nq, q[m:]...)
+		st.Queues[dev] = nq
+		st.Fed[dev] = 1
+	}
+	return st, true
+}
+
+// RestoreDispatcher rebuilds a dispatcher around a restored verifier.
+// factory serves future epochs exactly as in NewDispatcher; v (the
+// verifier RestoreVerifier rebuilt) is installed under st.Epoch with the
+// exported consumed-prefix markers. The exported epoch must be active in
+// the exported tracker and every fed marker must lie within its queue —
+// violations indicate a corrupt checkpoint and fail the restore.
+func RestoreDispatcher(factory func(Epoch) *Verifier, st DispatcherState, v *Verifier) (*Dispatcher, error) {
+	d := NewDispatcher(factory)
+	d.tracker = RestoreTracker(st.Tracker)
+	if !d.tracker.Active(st.Epoch) {
+		return nil, fmt.Errorf("ce2d: restore: serialized epoch %s not active in tracker", st.Epoch)
+	}
+	for dev, q := range st.Queues {
+		d.queues[dev] = append([]Msg(nil), q...)
+		d.queued += len(q)
+	}
+	fed := make(map[fib.DeviceID]int, len(st.Fed))
+	for dev, n := range st.Fed {
+		if n < 0 || n > len(d.queues[dev]) {
+			return nil, fmt.Errorf("ce2d: restore: fed marker %d for device %d exceeds queue length %d", n, dev, len(d.queues[dev]))
+		}
+		fed[dev] = n
+	}
+	if v == nil {
+		return nil, fmt.Errorf("ce2d: restore: nil verifier for epoch %s", st.Epoch)
+	}
+	d.verifiers[st.Epoch] = v
+	d.fed[st.Epoch] = fed
+	d.stats.VerifiersCreated++
+	d.m.verifiersLive.Add(1)
+	return d, nil
+}

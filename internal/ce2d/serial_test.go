@@ -1,0 +1,230 @@
+package ce2d
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/reach"
+	"repro/internal/spec"
+	"repro/internal/topo"
+)
+
+// serialRig builds a dispatcher over the shared line-topology rig whose
+// factory mints verifiers on the rig's engine (the cross-engine half of
+// restore — node dumps — is owned by the flash layer; this test pins
+// the dispatcher/verifier state machine).
+func serialRig() (*rig, func(Epoch) *Verifier, Check) {
+	r := newRig()
+	check := Check{
+		Name:    "a-reaches-d",
+		Kind:    CheckReach,
+		Space:   bdd.True,
+		Expr:    spec.MustParse("a .* d"),
+		Sources: []topo.NodeID{r.a},
+		IsDest:  func(n topo.NodeID) bool { return n == r.d },
+	}
+	factory := func(Epoch) *Verifier { return r.verifier(check) }
+	return r, factory, check
+}
+
+// chainMsg is one device's full-table message: forward along the line.
+func chainMsg(r *rig, dev topo.NodeID, e Epoch, id int64) Msg {
+	next := map[topo.NodeID]fib.Action{
+		r.a: fib.Forward(r.b), r.b: fib.Forward(r.c),
+		r.c: fib.Forward(r.d), r.d: r.hostD,
+	}[dev]
+	return Msg{Device: dev, Epoch: e, Updates: insBlock(id, bdd.True, 0, next)}
+}
+
+func eventKeys(evs []TaggedEvent) []string {
+	var out []string
+	for _, ev := range evs {
+		out = append(out, string(ev.Epoch)+"/"+ev.Event.Check+"/"+ev.Event.Verdict.String()+"/"+ev.Event.Loop.String())
+	}
+	return out
+}
+
+// TestDispatcherExportRestoreEquivalence drives a dispatcher through a
+// two-epoch overlap, checkpoints it mid-epoch, restores, and asserts
+// the restored dispatcher emits the same deterministic results for the
+// same suffix of agent messages — the ce2d half of the chaos suite's
+// crash-equivalence property.
+func TestDispatcherExportRestoreEquivalence(t *testing.T) {
+	r, factory, check := serialRig()
+	d := NewDispatcher(factory)
+
+	// Epoch e1 converges fully: one satisfied result.
+	devs := []topo.NodeID{r.a, r.b, r.c, r.d}
+	var got []TaggedEvent
+	for i, dev := range devs {
+		evs, err := d.Receive(chainMsg(r, dev, "e1", int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, evs...)
+	}
+	if len(got) != 1 || got[0].Event.Verdict != reach.Satisfied {
+		t.Fatalf("e1 events = %v", eventKeys(got))
+	}
+
+	// Epoch e2 starts: a and b have re-advertised, c and d lag. The
+	// first e2 observation deactivates e1, so e2's verifier — with only
+	// a and b synchronized — becomes current mid-convergence.
+	if _, err := d.Receive(chainMsg(r, r.a, "e2", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Receive(chainMsg(r, r.b, "e2", 12)); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, ok := d.Current(); !ok || e != "e2" {
+		t.Fatalf("current epoch = %q, want e2", e)
+	}
+
+	// ---- checkpoint here, mid-epoch ----
+	st, ok := d.ExportState()
+	if !ok {
+		t.Fatal("ExportState found no live verifier")
+	}
+	if st.Epoch != "e2" {
+		t.Fatalf("serialized epoch %q, want e2", st.Epoch)
+	}
+	// Consumed prefixes must have been compacted to one baseline message.
+	for dev, n := range st.Fed {
+		if n != 1 {
+			t.Fatalf("device %d fed marker %d, want 1 (baseline)", dev, n)
+		}
+	}
+
+	v, _ := d.Verifier(st.Epoch)
+	rv, err := RestoreVerifier(Config{
+		Topo:     r.g,
+		Engine:   r.s.E,
+		Universe: bdd.True,
+		Checks:   []Check{check},
+	}, v.Transformer().Clone(), v.SyncOrder())
+	if err != nil {
+		t.Fatalf("RestoreVerifier: %v", err)
+	}
+	rd, err := RestoreDispatcher(factory, st, rv)
+	if err != nil {
+		t.Fatalf("RestoreDispatcher: %v", err)
+	}
+
+	// The restored verifier's model must match the original's.
+	if !reflect.DeepEqual(tableIDs(v), tableIDs(rv)) {
+		t.Fatalf("restored tables %v != original %v", tableIDs(rv), tableIDs(v))
+	}
+	if got, want := rv.Transformer().Model().Len(), v.Transformer().Model().Len(); got != want {
+		t.Fatalf("restored model has %d ECs, want %d", got, want)
+	}
+	if got, want := rv.SynchronizedDevices(), v.SynchronizedDevices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored synced %v, want %v", got, want)
+	}
+
+	// ---- identical suffix into both dispatchers ----
+	suffix := []Msg{chainMsg(r, r.c, "e2", 13), chainMsg(r, r.d, "e2", 14)}
+	var orig, rest []TaggedEvent
+	for _, m := range suffix {
+		evs, err := d.Receive(m)
+		if err != nil {
+			t.Fatalf("original suffix: %v", err)
+		}
+		orig = append(orig, evs...)
+	}
+	for _, m := range suffix {
+		evs, err := rd.Receive(m)
+		if err != nil {
+			t.Fatalf("restored suffix: %v", err)
+		}
+		rest = append(rest, evs...)
+	}
+	if !reflect.DeepEqual(eventKeys(orig), eventKeys(rest)) {
+		t.Fatalf("suffix events diverge:\n  original: %v\n  restored: %v", eventKeys(orig), eventKeys(rest))
+	}
+	if len(orig) == 0 {
+		t.Fatal("suffix produced no events — scenario lost its teeth")
+	}
+
+	// Both converge to the same current verifier state.
+	e1, cv1, _ := d.Current()
+	e2, cv2, _ := rd.Current()
+	if e1 != e2 {
+		t.Fatalf("current epochs diverge: %q vs %q", e1, e2)
+	}
+	if !reflect.DeepEqual(tableIDs(cv1), tableIDs(cv2)) {
+		t.Fatalf("final tables diverge: %v vs %v", tableIDs(cv1), tableIDs(cv2))
+	}
+}
+
+func tableIDs(v *Verifier) map[fib.DeviceID][]int64 {
+	out := make(map[fib.DeviceID][]int64)
+	for _, dev := range v.SynchronizedDevices() {
+		for _, rl := range v.Transformer().Table(dev).Rules() {
+			out[dev] = append(out[dev], rl.ID)
+		}
+	}
+	return out
+}
+
+func TestTrackerExportRestore(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(1, "e1")
+	tr.Observe(2, "e1")
+	tr.Observe(1, "e2")
+	st := tr.Export()
+	rt := RestoreTracker(st)
+	if !reflect.DeepEqual(rt.Export(), st) {
+		t.Fatalf("round trip diverged: %+v vs %+v", rt.Export(), st)
+	}
+	// Device 1 moving to e2 deactivated e1; both facts must survive.
+	if !rt.Active("e2") {
+		t.Fatal("restored tracker lost active epoch e2")
+	}
+	if rt.Active("e1") {
+		t.Fatal("restored tracker resurrected deactivated epoch e1")
+	}
+	if e, ok := rt.Last(2); !ok || e != "e1" {
+		t.Fatalf("restored tracker Last(2) = %q, %v", e, ok)
+	}
+}
+
+func TestRestoreDispatcherRejectsCorruptState(t *testing.T) {
+	r, factory, check := serialRig()
+	d := NewDispatcher(factory)
+	for i, dev := range []topo.NodeID{r.a, r.b, r.c, r.d} {
+		if _, err := d.Receive(chainMsg(r, dev, "e1", int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := d.ExportState()
+	v, _ := d.Verifier(st.Epoch)
+
+	t.Run("nil verifier", func(t *testing.T) {
+		if _, err := RestoreDispatcher(factory, st, nil); err == nil {
+			t.Fatal("accepted nil verifier")
+		}
+	})
+	t.Run("inactive epoch", func(t *testing.T) {
+		bad := st
+		bad.Epoch = "never-happened"
+		if _, err := RestoreDispatcher(factory, bad, v); err == nil {
+			t.Fatal("accepted epoch absent from tracker")
+		}
+	})
+	t.Run("fed beyond queue", func(t *testing.T) {
+		bad := st
+		bad.Fed = map[fib.DeviceID]int{fib.DeviceID(r.a): 99}
+		if _, err := RestoreDispatcher(factory, bad, v); err == nil {
+			t.Fatal("accepted fed marker beyond queue length")
+		}
+	})
+	t.Run("duplicate sync order", func(t *testing.T) {
+		if _, err := RestoreVerifier(Config{
+			Topo: r.g, Engine: r.s.E, Universe: bdd.True, Checks: []Check{check},
+		}, v.Transformer().Clone(), []fib.DeviceID{1, 1}); err == nil {
+			t.Fatal("accepted duplicate device in sync order")
+		}
+	})
+}

@@ -122,7 +122,12 @@ type Verifier struct {
 
 	checks []*classState
 	synced map[fib.DeviceID]bool
-	events []Event
+	// syncOrder records the devices in the order they synchronized.
+	// Detection-state refinement is order-sensitive, so a checkpoint
+	// restore must replay synchronization in exactly this order to
+	// rebuild identical per-class state (see RestoreVerifier).
+	syncOrder []fib.DeviceID
+	events    []Event
 }
 
 // NewVerifier creates a verifier for one epoch over the given subspace.
@@ -228,6 +233,7 @@ func (v *Verifier) SynchronizeTable(dev fib.DeviceID, table *fib.Table) ([]Event
 		return nil, nil
 	}
 	v.synced[dev] = true
+	v.syncOrder = append(v.syncOrder, dev)
 	// The device's behavior partition: effective predicate → action.
 	rules := table.Rules()
 	effs := table.EffectivePredicates(v.engine)

@@ -1,0 +1,636 @@
+// Package ckpt implements the crash-consistent checkpoint format of the
+// durability subsystem: a versioned container of CRC-guarded sections
+// holding everything a warm restart needs — per-subspace BDD node
+// stores, PAT stores, inverse models, forward tables, epoch bookkeeping
+// and retained update queues, published verdicts, and per-stream wire
+// sequence state.
+//
+// Crash consistency is byte-level, not fsync-ordering cleverness: a
+// checkpoint is encoded fully in memory, written to a temp file in the
+// target directory, fsynced, atomically renamed into place, and the
+// directory fsynced. A crash at any point leaves either the previous
+// checkpoint or the new one — never a half-visible file under the final
+// name. Every section carries a CRC32 so a torn or bit-flipped file is
+// detected on load (typed ErrCorrupt), logged, and skipped in favor of
+// an older candidate or a full re-ingest; a hostile file can never panic
+// the restore path (FuzzCheckpointDecode enforces this).
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+)
+
+// Format constants.
+const (
+	// magic identifies a Flash checkpoint file; the trailing byte is the
+	// container version.
+	magic = "FLCKPT\x00\x01"
+
+	// MaxSize bounds a checkpoint file (1 GiB). A declared size beyond
+	// it is treated as corruption, keeping a hostile length from driving
+	// a huge allocation.
+	MaxSize = 1 << 30
+
+	// Section types.
+	secMeta     = 1
+	secStreams  = 2
+	secVerdicts = 3
+	secSubspace = 4
+	secEnd      = 0xFFFFFFFF
+)
+
+// Typed sentinel errors. Restore degrades on ErrCorrupt/ErrBadVersion
+// (older candidate, then full re-ingest); it never propagates them as
+// fatal.
+var (
+	// ErrCorrupt reports a torn, truncated, or bit-flipped checkpoint:
+	// bad magic, a section whose CRC does not match, or a payload that
+	// does not parse.
+	ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+	// ErrBadVersion reports a checkpoint written by an incompatible
+	// format version.
+	ErrBadVersion = errors.New("ckpt: unsupported checkpoint version")
+
+	// ErrNoCheckpoint reports that a directory holds no loadable
+	// checkpoint (none at all, or all corrupt).
+	ErrNoCheckpoint = errors.New("ckpt: no usable checkpoint")
+)
+
+// Meta is the checkpoint-wide header section.
+type Meta struct {
+	// CreatedAtUnixNano timestamps the capture (also encoded in the
+	// file name, newest-first ordering).
+	CreatedAtUnixNano int64
+	// ConfigHash fingerprints the System configuration the checkpoint
+	// was captured under (layout, subspace count, check names). Restore
+	// refuses a checkpoint whose hash differs from the booting config —
+	// refs and partitions would be meaningless.
+	ConfigHash uint64
+	// Subspaces is the configured subspace count.
+	Subspaces int32
+	// NVars is the BDD variable count of every subspace engine.
+	NVars int32
+}
+
+// VerdictCell is one published (spec, subspace) verdict.
+type VerdictCell struct {
+	Spec     string
+	Subspace int32
+	Epoch    string
+	Verdict  int32
+	Loop     int32
+	Witness  []uint64
+}
+
+// VerdictState is the verdict bus: the last published verdict per cell
+// plus the bus sequence counter, so restored subscribers continue the
+// same sequence without replayed "first verdict" events.
+type VerdictState struct {
+	Seq   uint64
+	Cells []VerdictCell
+}
+
+// DevEpoch is one device's latest observed epoch tag.
+type DevEpoch struct {
+	Device int32
+	Epoch  string
+}
+
+// DevCount is one device's consumed-queue-prefix marker.
+type DevCount struct {
+	Device int32
+	Count  int32
+}
+
+// QueuedMsg is one retained (not yet globally consumed) update message.
+// Rule Match fields are BDD refs into the same subspace engine the node
+// dump rebuilds, so they survive the round trip unchanged.
+type QueuedMsg struct {
+	Epoch   string
+	Updates []fib.Update
+}
+
+// DeviceQueue is one device's retained message queue.
+type DeviceQueue struct {
+	Device int32
+	Msgs   []QueuedMsg
+}
+
+// DeviceTable is one device's forward table in the serialized verifier.
+type DeviceTable struct {
+	Device int32
+	Rules  []fib.Rule
+}
+
+// ECPair is one inverse-model equivalence class: interned action vector
+// (PAT ref) → predicate (BDD ref).
+type ECPair struct {
+	Vec  int32
+	Pred int32
+}
+
+// Subspace is one subspace's complete durable state.
+type Subspace struct {
+	Index int32
+	// Epoch tags the serialized (most-converged) verifier.
+	Epoch string
+	// BDD is the engine node dump (bdd.ExportNodes).
+	BDD []int32
+	// PAT is the verifier transformer's store dump (pat.ExportNodes).
+	PAT []int32
+	// Universe is the model's subspace predicate (a BDD ref).
+	Universe int32
+	// ECs is the inverse model.
+	ECs []ECPair
+	// Tables holds the serialized verifier's per-device forward tables.
+	Tables []DeviceTable
+	// SyncOrder lists devices in synchronization order; restore replays
+	// it to rebuild identical detection state.
+	SyncOrder []int32
+	// Tracker state: per-device latest epochs and the active/inactive
+	// epoch sets.
+	TrackerLast    []DevEpoch
+	ActiveEpochs   []string
+	InactiveEpochs []string
+	// Queues holds the compacted retained update queues; Fed the
+	// serialized verifier's consumed-prefix markers over them.
+	Queues []DeviceQueue
+	Fed    []DevCount
+}
+
+// Checkpoint is the full decoded checkpoint.
+type Checkpoint struct {
+	Meta Meta
+	// Streams maps wire stream name → next expected sequence number at
+	// capture time; the session layer resumes agents from these so only
+	// post-checkpoint updates are replayed.
+	Streams map[string]uint64
+	// Verdicts is the published-verdict state.
+	Verdicts VerdictState
+	// Subspaces holds one entry per subspace that had a live verifier
+	// (others re-ingest from their agents' replays).
+	Subspaces []Subspace
+}
+
+// ---- encoding ----
+
+// appendSection frames one section: type, length, payload, CRC32.
+func appendSection(buf []byte, typ uint32, payload []byte) []byte {
+	var w writer
+	w.buf = buf
+	w.u32(typ)
+	w.u64(uint64(len(payload)))
+	w.buf = append(w.buf, payload...)
+	w.u32(crc32.ChecksumIEEE(payload))
+	return w.buf
+}
+
+func encodeMeta(m Meta) []byte {
+	var w writer
+	w.i64(m.CreatedAtUnixNano)
+	w.u64(m.ConfigHash)
+	w.i32(m.Subspaces)
+	w.i32(m.NVars)
+	return w.buf
+}
+
+func decodeMeta(buf []byte) (Meta, error) {
+	r := reader{buf: buf}
+	m := Meta{
+		CreatedAtUnixNano: r.i64(),
+		ConfigHash:        r.u64(),
+		Subspaces:         r.i32(),
+		NVars:             r.i32(),
+	}
+	return m, r.err
+}
+
+func encodeStreams(streams map[string]uint64) []byte {
+	names := make([]string, 0, len(streams))
+	for n := range streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var w writer
+	w.u32(uint32(len(names)))
+	for _, n := range names {
+		w.str(n)
+		w.u64(streams[n])
+	}
+	return w.buf
+}
+
+func decodeStreams(buf []byte) (map[string]uint64, error) {
+	r := reader{buf: buf}
+	n := r.count(12) // name length prefix + seq
+	out := make(map[string]uint64, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.str()
+		out[name] = r.u64()
+	}
+	return out, r.err
+}
+
+func encodeVerdicts(v VerdictState) []byte {
+	var w writer
+	w.u64(v.Seq)
+	w.u32(uint32(len(v.Cells)))
+	for _, c := range v.Cells {
+		w.str(c.Spec)
+		w.i32(c.Subspace)
+		w.str(c.Epoch)
+		w.i32(c.Verdict)
+		w.i32(c.Loop)
+		w.u64s(c.Witness)
+	}
+	return w.buf
+}
+
+func decodeVerdicts(buf []byte) (VerdictState, error) {
+	r := reader{buf: buf}
+	v := VerdictState{Seq: r.u64()}
+	n := r.count(20)
+	for i := 0; i < n && r.err == nil; i++ {
+		v.Cells = append(v.Cells, VerdictCell{
+			Spec:     r.str(),
+			Subspace: r.i32(),
+			Epoch:    r.str(),
+			Verdict:  r.i32(),
+			Loop:     r.i32(),
+			Witness:  r.u64s(),
+		})
+	}
+	return v, r.err
+}
+
+func appendRule(w *writer, r fib.Rule) {
+	w.i64(r.ID)
+	w.i32(r.Pri)
+	w.i32(int32(r.Action))
+	w.i32(int32(r.Match))
+	w.u8(uint8(len(r.Desc)))
+	for _, f := range r.Desc {
+		w.str(f.Field)
+		w.u8(uint8(f.Kind))
+		w.u64(f.Value)
+		w.i32(int32(f.Len))
+		w.u64(f.Mask)
+	}
+}
+
+func readRule(r *reader) fib.Rule {
+	out := fib.Rule{
+		ID:     r.i64(),
+		Pri:    r.i32(),
+		Action: fib.Action(r.i32()),
+		Match:  bdd.Ref(r.i32()),
+	}
+	nd := int(r.u8())
+	for j := 0; j < nd && r.err == nil; j++ {
+		out.Desc = append(out.Desc, fib.FieldMatch{
+			Field: r.str(),
+			Kind:  fib.MatchKind(r.u8()),
+			Value: r.u64(),
+			Len:   int(r.i32()),
+			Mask:  r.u64(),
+		})
+	}
+	return out
+}
+
+func appendUpdates(w *writer, ups []fib.Update) {
+	w.u32(uint32(len(ups)))
+	for _, u := range ups {
+		w.u8(uint8(u.Op))
+		appendRule(w, u.Rule)
+	}
+}
+
+func readUpdates(r *reader) []fib.Update {
+	n := r.count(21) // op + fixed rule prefix
+	var out []fib.Update
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, fib.Update{Op: fib.Op(r.u8()), Rule: readRule(r)})
+	}
+	return out
+}
+
+func encodeSubspace(s Subspace) []byte {
+	var w writer
+	w.i32(s.Index)
+	w.str(s.Epoch)
+	w.i32s(s.BDD)
+	w.i32s(s.PAT)
+	w.i32(s.Universe)
+	w.u32(uint32(len(s.ECs)))
+	for _, ec := range s.ECs {
+		w.i32(ec.Vec)
+		w.i32(ec.Pred)
+	}
+	w.u32(uint32(len(s.Tables)))
+	for _, dt := range s.Tables {
+		w.i32(dt.Device)
+		w.u32(uint32(len(dt.Rules)))
+		for _, rl := range dt.Rules {
+			appendRule(&w, rl)
+		}
+	}
+	w.i32s(s.SyncOrder)
+	w.u32(uint32(len(s.TrackerLast)))
+	for _, de := range s.TrackerLast {
+		w.i32(de.Device)
+		w.str(de.Epoch)
+	}
+	w.u32(uint32(len(s.ActiveEpochs)))
+	for _, e := range s.ActiveEpochs {
+		w.str(e)
+	}
+	w.u32(uint32(len(s.InactiveEpochs)))
+	for _, e := range s.InactiveEpochs {
+		w.str(e)
+	}
+	w.u32(uint32(len(s.Queues)))
+	for _, dq := range s.Queues {
+		w.i32(dq.Device)
+		w.u32(uint32(len(dq.Msgs)))
+		for _, m := range dq.Msgs {
+			w.str(m.Epoch)
+			appendUpdates(&w, m.Updates)
+		}
+	}
+	w.u32(uint32(len(s.Fed)))
+	for _, dc := range s.Fed {
+		w.i32(dc.Device)
+		w.i32(dc.Count)
+	}
+	return w.buf
+}
+
+func decodeSubspace(buf []byte) (Subspace, error) {
+	r := reader{buf: buf}
+	s := Subspace{
+		Index:    r.i32(),
+		Epoch:    r.str(),
+		BDD:      r.i32s(),
+		PAT:      r.i32s(),
+		Universe: r.i32(),
+	}
+	nec := r.count(8)
+	for i := 0; i < nec && r.err == nil; i++ {
+		s.ECs = append(s.ECs, ECPair{Vec: r.i32(), Pred: r.i32()})
+	}
+	ntb := r.count(8)
+	for i := 0; i < ntb && r.err == nil; i++ {
+		dt := DeviceTable{Device: r.i32()}
+		nr := r.count(21)
+		for j := 0; j < nr && r.err == nil; j++ {
+			dt.Rules = append(dt.Rules, readRule(&r))
+		}
+		s.Tables = append(s.Tables, dt)
+	}
+	s.SyncOrder = r.i32s()
+	ntl := r.count(8)
+	for i := 0; i < ntl && r.err == nil; i++ {
+		s.TrackerLast = append(s.TrackerLast, DevEpoch{Device: r.i32(), Epoch: r.str()})
+	}
+	nae := r.count(4)
+	for i := 0; i < nae && r.err == nil; i++ {
+		s.ActiveEpochs = append(s.ActiveEpochs, r.str())
+	}
+	nie := r.count(4)
+	for i := 0; i < nie && r.err == nil; i++ {
+		s.InactiveEpochs = append(s.InactiveEpochs, r.str())
+	}
+	nq := r.count(8)
+	for i := 0; i < nq && r.err == nil; i++ {
+		dq := DeviceQueue{Device: r.i32()}
+		nm := r.count(8)
+		for j := 0; j < nm && r.err == nil; j++ {
+			dq.Msgs = append(dq.Msgs, QueuedMsg{Epoch: r.str(), Updates: readUpdates(&r)})
+		}
+		s.Queues = append(s.Queues, dq)
+	}
+	nf := r.count(8)
+	for i := 0; i < nf && r.err == nil; i++ {
+		s.Fed = append(s.Fed, DevCount{Device: r.i32(), Count: r.i32()})
+	}
+	if r.err != nil {
+		return Subspace{}, r.err
+	}
+	if r.off != len(buf) {
+		return Subspace{}, fmt.Errorf("ckpt: %d trailing bytes in subspace section: %w", len(buf)-r.off, ErrCorrupt)
+	}
+	return s, nil
+}
+
+// Encode serializes the checkpoint into the container format.
+func (c *Checkpoint) Encode() []byte {
+	buf := []byte(magic)
+	buf = appendSection(buf, secMeta, encodeMeta(c.Meta))
+	buf = appendSection(buf, secStreams, encodeStreams(c.Streams))
+	buf = appendSection(buf, secVerdicts, encodeVerdicts(c.Verdicts))
+	for _, s := range c.Subspaces {
+		buf = appendSection(buf, secSubspace, encodeSubspace(s))
+	}
+	buf = appendSection(buf, secEnd, nil)
+	return buf
+}
+
+// Decode parses a checkpoint container. Any structural violation — bad
+// magic, short section, CRC mismatch, unparsable payload, or a missing
+// END marker (a torn tail) — returns an error wrapping ErrCorrupt (or
+// ErrBadVersion for a recognizable container of the wrong version).
+// Decode never panics on hostile input.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) > MaxSize {
+		return nil, fmt.Errorf("ckpt: %d bytes exceeds size limit: %w", len(data), ErrCorrupt)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)-1]) != magic[:len(magic)-1] {
+		return nil, fmt.Errorf("ckpt: bad magic: %w", ErrCorrupt)
+	}
+	if data[len(magic)-1] != magic[len(magic)-1] {
+		return nil, fmt.Errorf("ckpt: container version %d: %w", data[len(magic)-1], ErrBadVersion)
+	}
+	c := &Checkpoint{}
+	var sawMeta, sawEnd bool
+	r := reader{buf: data, off: len(magic)}
+	for r.err == nil && !sawEnd {
+		typ := r.u32()
+		length := r.u64()
+		if r.err != nil {
+			break
+		}
+		if length > uint64(r.remaining()) {
+			return nil, fmt.Errorf("ckpt: section %d declares %d bytes beyond file end: %w", typ, length, ErrCorrupt)
+		}
+		payload := r.buf[r.off : r.off+int(length)]
+		r.off += int(length)
+		sum := r.u32()
+		if r.err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("ckpt: section %d CRC mismatch: %w", typ, ErrCorrupt)
+		}
+		var err error
+		switch typ {
+		case secMeta:
+			c.Meta, err = decodeMeta(payload)
+			sawMeta = true
+		case secStreams:
+			c.Streams, err = decodeStreams(payload)
+		case secVerdicts:
+			c.Verdicts, err = decodeVerdicts(payload)
+		case secSubspace:
+			var s Subspace
+			s, err = decodeSubspace(payload)
+			if err == nil {
+				c.Subspaces = append(c.Subspaces, s)
+			}
+		case secEnd:
+			sawEnd = true
+		default:
+			// Unknown section types are skipped (forward compatibility):
+			// the CRC already proved the payload intact.
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("ckpt: missing END marker (torn tail): %w", ErrCorrupt)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("ckpt: missing meta section: %w", ErrCorrupt)
+	}
+	return c, nil
+}
+
+// ---- file operations ----
+
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".fckpt"
+)
+
+// fileName derives the durable file name from the capture timestamp;
+// the fixed-width hex encoding makes lexicographic order chronological.
+func fileName(createdAtUnixNano int64) string {
+	return fmt.Sprintf("%s%016x%s", filePrefix, uint64(createdAtUnixNano), fileSuffix)
+}
+
+// Save writes the checkpoint crash-consistently into dir: encode to a
+// temp file, fsync it, atomically rename to the final name, fsync the
+// directory. It returns the final path.
+func Save(dir string, c *Checkpoint) (string, error) {
+	data := c.Encode()
+	final := filepath.Join(dir, fileName(c.Meta.CreatedAtUnixNano))
+	tmp, err := os.CreateTemp(dir, filePrefix+"*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return final, nil
+}
+
+// Load reads and decodes one checkpoint file.
+func Load(path string) (*Checkpoint, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() > MaxSize {
+		return nil, fmt.Errorf("ckpt: %s is %d bytes, exceeds size limit: %w", path, fi.Size(), ErrCorrupt)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Candidates lists the checkpoint files in dir, newest first. Temp files
+// from interrupted writes are ignored (and are what Prune cleans up).
+func Candidates(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, filePrefix) && strings.HasSuffix(n, fileSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+// Prune removes all but the newest keep checkpoints, plus any leftover
+// temp files from interrupted writes.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	var firstErr error
+	for i, p := range Candidates(dir) {
+		if i < keep {
+			continue
+		}
+		if err := os.Remove(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasPrefix(n, filePrefix) && strings.HasSuffix(n, ".tmp") {
+				os.Remove(filepath.Join(dir, n))
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,229 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+)
+
+// sampleCheckpoint exercises every section and every field at least
+// once, including empty and multi-element collections.
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Meta: Meta{CreatedAtUnixNano: 0x1122334455667788, ConfigHash: 0xdeadbeefcafef00d, Subspaces: 2, NVars: 16},
+		Streams: map[string]uint64{
+			"agent-1": 42,
+			"agent-2": 1,
+		},
+		Verdicts: VerdictState{
+			Seq: 7,
+			Cells: []VerdictCell{
+				{Spec: "loop-freedom", Subspace: 0, Epoch: "e3", Verdict: 0, Loop: 2, Witness: []uint64{3, 0}},
+				{Spec: "reach", Subspace: 1, Epoch: "e2", Verdict: 1, Loop: 0, Witness: nil},
+			},
+		},
+		Subspaces: []Subspace{
+			{
+				Index:    0,
+				Epoch:    "e3",
+				BDD:      []int32{0, 0, 1, 1, 0, 2},
+				PAT:      []int32{1, 2, 0, 0},
+				Universe: 2,
+				ECs:      []ECPair{{Vec: 0, Pred: 2}, {Vec: 1, Pred: 3}},
+				Tables: []DeviceTable{
+					{Device: 1, Rules: []fib.Rule{{
+						ID: 9, Pri: 10, Action: fib.Forward(2), Match: bdd.Ref(3),
+					}}},
+				},
+				SyncOrder:      []int32{1, 0},
+				TrackerLast:    []DevEpoch{{Device: 0, Epoch: "e3"}, {Device: 1, Epoch: "e3"}},
+				ActiveEpochs:   []string{"e3"},
+				InactiveEpochs: []string{"e1", "e2"},
+				Queues: []DeviceQueue{
+					{Device: 0, Msgs: []QueuedMsg{{Epoch: "e3", Updates: []fib.Update{
+						{Op: fib.Insert, Rule: fib.Rule{ID: 1, Pri: 5, Action: fib.Drop, Match: 2,
+							Desc: []fib.FieldMatch{{Field: "dst", Kind: fib.MatchPrefix, Value: 7, Len: 4, Mask: 0}}}},
+					}}}},
+					{Device: 1, Msgs: []QueuedMsg{{Epoch: "e3", Updates: nil}}},
+				},
+				Fed: []DevCount{{Device: 0, Count: 1}},
+			},
+			{Index: 1, Epoch: "e2"},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := sampleCheckpoint()
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Meta, c.Meta) {
+		t.Errorf("meta: got %+v want %+v", got.Meta, c.Meta)
+	}
+	if !reflect.DeepEqual(got.Streams, c.Streams) {
+		t.Errorf("streams: got %v want %v", got.Streams, c.Streams)
+	}
+	if !reflect.DeepEqual(got.Verdicts, c.Verdicts) {
+		t.Errorf("verdicts: got %+v want %+v", got.Verdicts, c.Verdicts)
+	}
+	if len(got.Subspaces) != len(c.Subspaces) {
+		t.Fatalf("got %d subspaces, want %d", len(got.Subspaces), len(c.Subspaces))
+	}
+	for i := range c.Subspaces {
+		want, have := c.Subspaces[i], got.Subspaces[i]
+		if !reflect.DeepEqual(normalizeSubspace(want), normalizeSubspace(have)) {
+			t.Errorf("subspace %d: got %+v want %+v", i, have, want)
+		}
+	}
+}
+
+// normalizeSubspace maps nil and empty slices to a comparable form (the
+// codec does not distinguish them).
+func normalizeSubspace(s Subspace) Subspace {
+	if len(s.BDD) == 0 {
+		s.BDD = nil
+	}
+	if len(s.PAT) == 0 {
+		s.PAT = nil
+	}
+	if len(s.SyncOrder) == 0 {
+		s.SyncOrder = nil
+	}
+	return s
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := sampleCheckpoint().Encode()
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] ^= 0xFF
+		if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[len(magic)-1] = 0x7F
+		if _, err := Decode(b); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("torn tail", func(t *testing.T) {
+		// Cut anywhere before the END section: either a section frame is
+		// cut short or END goes missing — both must surface ErrCorrupt.
+		for _, cut := range []int{len(magic) + 1, len(valid) / 2, len(valid) - 1} {
+			if _, err := Decode(valid[:cut]); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut at %d: err = %v, want ErrCorrupt", cut, err)
+			}
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		// Flip every byte position (or a stride of them for big files):
+		// decode must either fail with a typed error or — only when the
+		// flip hits an ignorable region — return successfully. It must
+		// never panic (the fuzz target hammers this harder).
+		for i := len(magic); i < len(valid); i++ {
+			b := append([]byte(nil), valid...)
+			b[i] ^= 0x01
+			_, err := Decode(b)
+			if err != nil && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadVersion) {
+				t.Fatalf("flip at %d: untyped error %v", i, err)
+			}
+		}
+	})
+	t.Run("oversized declared length", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		// First section header sits right after the magic: type u32, then
+		// length u64. Blow the length field up.
+		off := len(magic) + 4
+		for i := 0; i < 8; i++ {
+			b[off+i] = 0xFF
+		}
+		if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestDecodeSkipsUnknownSections(t *testing.T) {
+	c := sampleCheckpoint()
+	buf := []byte(magic)
+	buf = appendSection(buf, secMeta, encodeMeta(c.Meta))
+	buf = appendSection(buf, 0x77, []byte("future section payload"))
+	buf = appendSection(buf, secEnd, nil)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode with unknown section: %v", err)
+	}
+	if got.Meta != c.Meta {
+		t.Fatalf("meta lost around unknown section")
+	}
+}
+
+func TestSaveLoadCandidatesPrune(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 4; i++ {
+		c := sampleCheckpoint()
+		c.Meta.CreatedAtUnixNano = int64(1000 + i)
+		p, err := Save(dir, c)
+		if err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+		paths = append(paths, p)
+	}
+	// A leftover temp file and an unrelated file must not be candidates.
+	os.WriteFile(filepath.Join(dir, filePrefix+"zzz.tmp"), []byte("torn"), 0o644)
+	os.WriteFile(filepath.Join(dir, "unrelated.txt"), []byte("x"), 0o644)
+
+	cands := Candidates(dir)
+	if len(cands) != 4 {
+		t.Fatalf("Candidates = %v, want 4 entries", cands)
+	}
+	if cands[0] != paths[3] || cands[3] != paths[0] {
+		t.Fatalf("Candidates not newest-first: %v", cands)
+	}
+	c, err := Load(cands[0])
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if c.Meta.CreatedAtUnixNano != 1003 {
+		t.Fatalf("loaded wrong checkpoint: %d", c.Meta.CreatedAtUnixNano)
+	}
+
+	if err := Prune(dir, 2); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	cands = Candidates(dir)
+	if len(cands) != 2 || cands[0] != paths[3] || cands[1] != paths[2] {
+		t.Fatalf("after prune: %v", cands)
+	}
+	if _, err := os.Stat(filepath.Join(dir, filePrefix+"zzz.tmp")); !os.IsNotExist(err) {
+		t.Fatal("prune left the temp file behind")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "unrelated.txt")); err != nil {
+		t.Fatal("prune removed an unrelated file")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, fileName(123))
+	os.WriteFile(p, []byte("FLCKPT\x00\x01 torn garbage"), 0o644)
+	if _, err := Load(p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

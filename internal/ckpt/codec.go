@@ -1,0 +1,141 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// writer appends big-endian primitives to a buffer (the same cursor
+// idiom as the wire codec; duplicated because the two formats must be
+// able to evolve independently).
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *writer) str(s string) {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF] // epochs and stream names are short; never hit
+	}
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) i32s(vs []int32) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.i32(v)
+	}
+}
+
+func (w *writer) u64s(vs []uint64) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.u64(v)
+	}
+}
+
+// reader is a bounds-checked cursor over a section payload. The first
+// out-of-bounds read latches err (wrapping ErrCorrupt); subsequent reads
+// return zero values, so decode loops need only one final error check.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: section cut short reading %s at offset %d: %w", what, r.off, ErrCorrupt)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// count reads a collection length and verifies the remaining payload can
+// plausibly hold it (each element occupies at least elemSize bytes), so
+// a hostile length can never drive a huge allocation.
+func (r *reader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > r.remaining() {
+		r.fail("collection length")
+		return 0
+	}
+	return n
+}
+
+func (r *reader) i32s() []int32 {
+	n := r.count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.i32()
+	}
+	return out
+}
+
+func (r *reader) u64s() []uint64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode asserts the restore path's core promise: no
+// input — torn, bit-flipped, or adversarial — makes Decode panic, and
+// every failure is a typed sentinel the restore loop can classify. A
+// successfully decoded checkpoint must also re-encode and re-decode
+// (the container round-trips whatever it accepts).
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seeds: a fully populated valid checkpoint, truncations of it, a
+	// bit-flipped body, version/magic damage, and degenerate inputs.
+	valid := sampleCheckpoint().Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	badVersion := append([]byte(nil), valid...)
+	badVersion[len(magic)-1] = 0x02
+	f.Add(badVersion)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add([]byte("FLCKPT\x00\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted input must round-trip through our own encoder.
+		again, err := Decode(c.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted checkpoint failed: %v", err)
+		}
+		if again.Meta != c.Meta {
+			t.Fatalf("meta changed across round trip: %+v vs %+v", again.Meta, c.Meta)
+		}
+		if len(again.Subspaces) != len(c.Subspaces) {
+			t.Fatalf("subspace count changed across round trip")
+		}
+	})
+}

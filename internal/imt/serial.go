@@ -1,0 +1,58 @@
+package imt
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/fib"
+	"repro/internal/pat"
+)
+
+// RestoreTransformer rebuilds a Transformer from checkpointed state: an
+// engine and PAT store already restored from their node dumps, the
+// deserialized inverse model, and the per-device forward tables. The
+// caller owns consistency between the pieces (all refs must be valid in
+// e and store — checkpoint restore validates them section by section
+// before calling here); Validate-level semantic checks are the caller's
+// choice via Model.Validate.
+//
+// The restored transformer starts with a zero cost breakdown and no
+// metric handles, like a Clone; the caller re-instruments it.
+func RestoreTransformer(e *bdd.Engine, store *pat.Store, model *Model, tables map[fib.DeviceID]*fib.Table, tag string) (*Transformer, error) {
+	if e == nil || store == nil || model == nil {
+		return nil, fmt.Errorf("imt: restore: nil engine, store, or model")
+	}
+	if !e.CheckRef(model.Universe) {
+		return nil, fmt.Errorf("imt: restore: model universe ref %d outside restored engine", model.Universe)
+	}
+	for vec, p := range model.ECs {
+		if !store.CheckRef(vec) {
+			return nil, fmt.Errorf("imt: restore: EC vector ref %d outside restored store", vec)
+		}
+		if !e.CheckRef(p) {
+			return nil, fmt.Errorf("imt: restore: EC predicate ref %d outside restored engine", p)
+		}
+	}
+	if tables == nil {
+		tables = make(map[fib.DeviceID]*fib.Table)
+	}
+	for dev, tb := range tables {
+		for _, r := range tb.Rules() {
+			if !e.CheckRef(r.Match) {
+				return nil, fmt.Errorf("imt: restore: device %d rule %d match ref %d outside restored engine", dev, r.ID, r.Match)
+			}
+		}
+	}
+	return &Transformer{
+		E:      e,
+		Store:  store,
+		tables: tables,
+		model:  model,
+		Tag:    tag,
+	}, nil
+}
+
+// ExportTables returns the live per-device forward tables, sorted by
+// device. Checkpoint capture deep-copies them (via Clone) under the
+// owning worker's lock; this accessor itself copies nothing.
+func (t *Transformer) ExportTables() map[fib.DeviceID]*fib.Table { return t.tables }

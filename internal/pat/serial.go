@@ -1,0 +1,90 @@
+package pat
+
+import (
+	"fmt"
+
+	"repro/internal/fib"
+)
+
+// ExportNodes dumps the interned nodes (everything past the Empty
+// sentinel) as flat (key, val, left, right) quads in store order. mk
+// only ever appends nodes whose children already exist, so store order
+// is children-before-parents and the dump restores with one linear
+// pass. The returned slice is a copy.
+func (s *Store) ExportNodes() []int32 {
+	out := make([]int32, 0, 4*(len(s.nodes)-1))
+	for _, nd := range s.nodes[1:] {
+		out = append(out, int32(nd.key), int32(nd.val), int32(nd.left), int32(nd.right))
+	}
+	return out
+}
+
+// NewStoreFromNodes rebuilds a Store from an ExportNodes dump. Like the
+// BDD restore path it validates every structural invariant — checkpoint
+// files may be torn or hostile — rather than assuming them:
+//
+//   - the dump length is a whole number of quads,
+//   - children precede their parent (left/right < the node's own Ref),
+//   - treap order: left subtree keys < node key < right subtree keys,
+//   - treap heap property: children have strictly smaller prio,
+//   - no fib.None values (Set removes those keys; their presence would
+//     de-canonicalize vectors),
+//   - no duplicate (key, val, left, right) entries (hash consing would
+//     be silently broken).
+//
+// Replaying the donor store's exact node sequence keeps every pat.Ref
+// recorded elsewhere in a checkpoint valid against the rebuilt store.
+func NewStoreFromNodes(dump []int32) (*Store, error) {
+	if len(dump)%4 != 0 {
+		return nil, fmt.Errorf("pat: restore: dump length %d is not a whole number of node quads", len(dump))
+	}
+	n := len(dump) / 4
+	s := &Store{
+		nodes:  make([]node, 1, n+1),
+		unique: make(map[nodeKey]Ref, n),
+	}
+	for i := 0; i < n; i++ {
+		k := fib.DeviceID(dump[4*i])
+		v := fib.Action(dump[4*i+1])
+		l, r := Ref(dump[4*i+2]), Ref(dump[4*i+3])
+		ref := Ref(len(s.nodes))
+		if l < 0 || l >= ref || r < 0 || r >= ref {
+			return nil, fmt.Errorf("pat: restore: node %d children (%d,%d) do not precede it", ref, l, r)
+		}
+		if v == fib.None {
+			return nil, fmt.Errorf("pat: restore: node %d carries fib.None (canonical vectors omit it)", ref)
+		}
+		if l != Empty {
+			ln := s.nodes[l]
+			if ln.key >= k {
+				return nil, fmt.Errorf("pat: restore: node %d violates search order (left key %d >= %d)", ref, ln.key, k)
+			}
+			if prio(ln.key) >= prio(k) {
+				return nil, fmt.Errorf("pat: restore: node %d violates heap order on the left child", ref)
+			}
+		}
+		if r != Empty {
+			rn := s.nodes[r]
+			if rn.key <= k {
+				return nil, fmt.Errorf("pat: restore: node %d violates search order (right key %d <= %d)", ref, rn.key, k)
+			}
+			if prio(rn.key) >= prio(k) {
+				return nil, fmt.Errorf("pat: restore: node %d violates heap order on the right child", ref)
+			}
+		}
+		key := nodeKey{k, v, l, r}
+		if _, dup := s.unique[key]; dup {
+			return nil, fmt.Errorf("pat: restore: duplicate node at ref %d breaks hash consing", ref)
+		}
+		s.nodes = append(s.nodes, node{key: k, val: v, left: l, right: r})
+		s.unique[key] = ref
+	}
+	return s, nil
+}
+
+// CheckRef reports whether r references an interned tree in this store
+// (Empty or an existing node). Restore paths use it to validate refs
+// recorded in checkpoint sections.
+func (s *Store) CheckRef(r Ref) bool {
+	return r >= 0 && int(r) < len(s.nodes)
+}

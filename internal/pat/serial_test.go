@@ -1,0 +1,105 @@
+package pat
+
+import (
+	"testing"
+
+	"repro/internal/fib"
+)
+
+func buildSampleStore(t *testing.T) (*Store, []Ref) {
+	t.Helper()
+	s := NewStore()
+	v1 := s.FromMap(map[fib.DeviceID]fib.Action{1: fib.Forward(2), 3: fib.Drop})
+	v2 := s.Set(v1, 7, fib.Forward(9))
+	v3 := s.Set(v2, 1, fib.Drop)
+	v4 := s.Overwrite(v1, v3)
+	return s, []Ref{v1, v2, v3, v4}
+}
+
+func TestStoreExportRoundTrip(t *testing.T) {
+	s, refs := buildSampleStore(t)
+	dump := s.ExportNodes()
+	r, err := NewStoreFromNodes(dump)
+	if err != nil {
+		t.Fatalf("NewStoreFromNodes: %v", err)
+	}
+	if r.NumNodes() != s.NumNodes() {
+		t.Fatalf("restored %d nodes, want %d", r.NumNodes(), s.NumNodes())
+	}
+	for _, ref := range refs {
+		if !r.CheckRef(ref) {
+			t.Fatalf("ref %d invalid after restore", ref)
+		}
+		want := s.ToMap(ref)
+		got := r.ToMap(ref)
+		if len(want) != len(got) {
+			t.Fatalf("ref %d: restored map %v, want %v", ref, got, want)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("ref %d key %d: restored %v, want %v", ref, k, got[k], v)
+			}
+		}
+	}
+	// Canonicity: re-deriving a vector in the restored store returns the
+	// identical ref (insertion order may mint different transient
+	// intermediates, but the canonical final tree is hash-consed).
+	for _, ref := range refs {
+		if again := r.FromMap(s.ToMap(ref)); again != ref {
+			t.Fatalf("re-derived ref %d, want %d", again, ref)
+		}
+	}
+}
+
+func TestStoreExportIsACopy(t *testing.T) {
+	s, _ := buildSampleStore(t)
+	dump := s.ExportNodes()
+	before := append([]int32(nil), dump...)
+	s.FromMap(map[fib.DeviceID]fib.Action{11: fib.Forward(1), 12: fib.Forward(2)})
+	for i := range dump {
+		if dump[i] != before[i] {
+			t.Fatalf("dump aliases store memory (index %d changed)", i)
+		}
+	}
+}
+
+func TestNewStoreFromNodesRejectsHostileDumps(t *testing.T) {
+	s, _ := buildSampleStore(t)
+	good := s.ExportNodes()
+
+	cases := []struct {
+		name string
+		dump []int32
+	}{
+		{"ragged length", good[:len(good)-1]},
+		{"forward child", []int32{1, 1, 2, 0}},
+		{"negative child", []int32{1, 1, -1, 0}},
+		{"none value", []int32{1, int32(fib.None), 0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := NewStoreFromNodes(tc.dump); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// Duplicate node: replay a valid quad twice.
+	if len(good) >= 4 {
+		dup := append(append([]int32(nil), good[:4]...), good[:4]...)
+		if _, err := NewStoreFromNodes(dup); err == nil {
+			t.Error("duplicate node accepted")
+		}
+	}
+}
+
+func TestNewStoreFromNodesEmpty(t *testing.T) {
+	r, err := NewStoreFromNodes(nil)
+	if err != nil {
+		t.Fatalf("empty dump: %v", err)
+	}
+	if r.NumNodes() != 0 {
+		t.Fatalf("empty restore has %d nodes", r.NumNodes())
+	}
+	if !r.CheckRef(Empty) {
+		t.Fatal("Empty sentinel must be valid")
+	}
+}

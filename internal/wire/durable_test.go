@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests pin the checkpoint-integration contract of the session
+// layer: under WithDeferredAcks the server never acks past the durable
+// floor, CommitDurable advances the floor (proactively, to idle
+// connections too), and WithStreams lets a restored server resume a
+// reconnecting agent from the checkpointed sequence number — replayed
+// pre-checkpoint frames are pruned, not re-consumed.
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDeferredAcksHoldUntilCommitDurable(t *testing.T) {
+	c := &collector{}
+	srv, addr := startTestServer(t, c.handle, WithDeferredAcks())
+	cl, err := NewClient(addr, ClientOptions{Stream: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		if err := cl.Send(testMsg(1, fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "server consumption", func() bool { return len(c.epochs()) == 5 })
+
+	// All five frames are consumed, but the durable floor is 0: nothing
+	// may be acked, so the client's replay buffer must stay full.
+	time.Sleep(50 * time.Millisecond)
+	if got := cl.Acked(); got != 0 {
+		t.Fatalf("acked = %d before any checkpoint, want 0", got)
+	}
+	if got := cl.Unacked(); got != 5 {
+		t.Fatalf("unacked = %d, want 5", got)
+	}
+
+	// A checkpoint commits at the cut captured by SnapshotStreams: the
+	// floor advances and is pushed to the idle connection proactively.
+	var streams map[string]uint64
+	srv.SnapshotStreams(func(m map[string]uint64) { streams = m })
+	if streams["s1"] != 6 {
+		t.Fatalf("snapshot next = %d, want 6", streams["s1"])
+	}
+	srv.CommitDurable(streams)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.WaitAcked(ctx); err != nil {
+		t.Fatalf("acks never advanced after CommitDurable: %v", err)
+	}
+	if got := cl.Acked(); got != 5 {
+		t.Fatalf("acked = %d after commit, want 5", got)
+	}
+}
+
+// TestRestoredServerResumesStream emulates a warm restart: a deferred-ack
+// server consumes five frames, a checkpoint captures the stream cut, the
+// server dies without ever acking, and a new server preloaded with the
+// checkpointed stream state takes over. The surviving agent reconnects,
+// replays its full buffer, and the restored server must prune the
+// pre-checkpoint prefix (ack without consuming) and consume only the
+// suffix.
+func TestRestoredServerResumesStream(t *testing.T) {
+	c1 := &collector{}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(l1, c1.handle, WithDeferredAcks())
+	done1 := make(chan error, 1)
+	go func() { done1 <- srv1.Serve() }()
+
+	var (
+		addrMu sync.Mutex
+		addr   = l1.Addr().String()
+	)
+	cl, err := NewClient(addr, ClientOptions{
+		Stream:        "agent-7",
+		Reconnect:     true,
+		BackoffMin:    time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+		ResendTimeout: 100 * time.Millisecond,
+		Rand:          rand.New(rand.NewSource(7)),
+		Dial: func(string) (net.Conn, error) {
+			addrMu.Lock()
+			a := addr
+			addrMu.Unlock()
+			return net.Dial("tcp", a)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := cl.Send(testMsg(2, fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "first server consumption", func() bool { return len(c1.epochs()) == 5 })
+
+	// Checkpoint cut, then crash: the server never acked (deferred, no
+	// commit), so the client still buffers all five frames.
+	var streams map[string]uint64
+	srv1.SnapshotStreams(func(m map[string]uint64) { streams = m })
+	srv1.Close()
+	<-done1
+	if cl.Unacked() != 5 {
+		t.Fatalf("unacked = %d after crash, want 5", cl.Unacked())
+	}
+
+	// Warm restart: new server preloaded from the checkpoint.
+	c2 := &collector{}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(l2, c2.handle, WithDeferredAcks(), WithStreams(streams))
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.Serve() }()
+	t.Cleanup(func() { srv2.Close(); <-done2 })
+
+	if pending, preloaded := srv2.ResumePending(); pending != 1 || preloaded != 1 {
+		t.Fatalf("ResumePending before reconnect = (%d, %d), want (1, 1)", pending, preloaded)
+	}
+
+	addrMu.Lock()
+	addr = l2.Addr().String()
+	addrMu.Unlock()
+
+	// The agent redials (attempt > 0) and replays frames 1..5: all below
+	// the preloaded next-expected sequence, so they are acked up to the
+	// durable floor and pruned — never handed to the handler again.
+	waitFor(t, "replay pruning", func() bool { return cl.Acked() == 5 })
+	if pending, preloaded := srv2.ResumePending(); pending != 0 || preloaded != 1 {
+		t.Fatalf("ResumePending after reconnect = (%d, %d), want (0, 1)", pending, preloaded)
+	}
+	if got := c2.epochs(); len(got) != 0 {
+		t.Fatalf("restored server re-consumed pre-checkpoint frames: %v", got)
+	}
+
+	// Post-checkpoint traffic is consumed normally and held below the
+	// durable floor until the next checkpoint commits.
+	for i := 5; i < 7; i++ {
+		if err := cl.Send(testMsg(2, fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "suffix consumption", func() bool { return len(c2.epochs()) == 2 })
+	if got := c2.epochs(); got[0] != "m5" || got[1] != "m6" {
+		t.Fatalf("suffix = %v, want [m5 m6]", got)
+	}
+	if got := cl.Acked(); got != 5 {
+		t.Fatalf("acked = %d past durable floor without a checkpoint", got)
+	}
+
+	srv2.SnapshotStreams(func(m map[string]uint64) { streams = m })
+	if streams["agent-7"] != 8 {
+		t.Fatalf("second snapshot next = %d, want 8", streams["agent-7"])
+	}
+	srv2.CommitDurable(streams)
+	waitFor(t, "post-commit acks", func() bool { return cl.Acked() == 7 })
+}
+
+// TestFreshIncarnationResetsPreload: an attempt-0 hello is a brand-new
+// client whose numbering restarts, so preloaded stream state must be
+// discarded rather than silently swallowing everything it sends.
+func TestFreshIncarnationResetsPreload(t *testing.T) {
+	c := &collector{}
+	srv, addr := startTestServer(t, c.handle, WithStreams(map[string]uint64{"s2": 100}))
+	if pending, _ := srv.ResumePending(); pending != 1 {
+		t.Fatalf("pending = %d, want 1", pending)
+	}
+	cl, err := NewClient(addr, ClientOptions{Stream: "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Send(testMsg(1, "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.WaitAcked(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.epochs(); len(got) != 1 || got[0] != "fresh" {
+		t.Fatalf("consumed %v, want the fresh client's frame", got)
+	}
+	if pending, _ := srv.ResumePending(); pending != 0 {
+		t.Fatalf("pending = %d after fresh hello, want 0", pending)
+	}
+}

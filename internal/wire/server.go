@@ -31,6 +31,8 @@ type serverOpts struct {
 	corrupt          CorruptPolicy
 	subscribe        SubscribeHook
 	logf             func(string, ...any)
+	deferAcks        bool
+	preload          map[string]uint64
 }
 
 func defaultServerOpts() serverOpts {
@@ -99,12 +101,54 @@ func WithSubscriptions(h SubscribeHook) ServerOption {
 	return func(o *serverOpts) { o.subscribe = h }
 }
 
+// WithDeferredAcks makes the server ack only up to the durable floor —
+// the highest sequence captured by a committed checkpoint (advanced via
+// CommitDurable) — instead of the highest consumed sequence. With
+// checkpointing enabled this is what makes restore lossless: a client
+// prunes its replay buffer on every ack, so acking past the checkpoint
+// would let a crash strand the restored server behind frames the client
+// no longer holds. Consumed-but-not-durable frames stay buffered client
+// side and are simply re-sent on reconnect (the dedup window discards
+// them when they were already consumed).
+func WithDeferredAcks() ServerOption {
+	return func(o *serverOpts) { o.deferAcks = true }
+}
+
+// WithStreams preloads per-stream ingest state from a checkpoint: each
+// entry maps a stream name to its next expected sequence number at
+// capture time. A reconnecting agent resumes from that point — frames
+// before it were already folded into the restored model and are acked
+// (hence pruned) immediately; only the post-checkpoint suffix replays.
+func WithStreams(streams map[string]uint64) ServerOption {
+	return func(o *serverOpts) {
+		if len(streams) == 0 {
+			return
+		}
+		o.preload = make(map[string]uint64, len(streams))
+		for name, next := range streams {
+			o.preload[name] = next
+		}
+	}
+}
+
 // streamState is the server's per-stream ingest state. It survives the
 // stream's connections: a reconnecting client re-binds to it by sending
 // the same stream identity in its hello.
 type streamState struct {
 	next    uint64                 // next expected sequence
 	pending map[uint64]pendingData // out-of-order frames awaiting the gap
+	// durable is the highest sequence covered by a committed checkpoint
+	// (meaningful only under WithDeferredAcks): acks never exceed it, so
+	// clients keep every frame a post-crash restore might still need.
+	durable uint64
+	// awaiting marks preloaded streams (WithStreams) that have not yet
+	// seen a hello since restore — the replica is still waiting for this
+	// agent to reconnect (restore progress for /v1/healthz).
+	awaiting bool
+	// sw is the session writer of the stream's live connection, if any;
+	// CommitDurable uses it to push the advanced ack floor proactively
+	// so idle streams prune without waiting for traffic.
+	sw *sessionWriter
 }
 
 type pendingData struct {
@@ -190,13 +234,25 @@ func NewServer(l net.Listener, handler func(Msg) error, opts ...ServerOption) *S
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Server{
+	s := &Server{
 		l:       l,
 		handler: handler,
 		opts:    o,
 		conns:   make(map[net.Conn]struct{}),
 		streams: make(map[string]*streamState),
 	}
+	for name, next := range o.preload {
+		if next == 0 {
+			next = 1
+		}
+		s.streams[name] = &streamState{
+			next:     next,
+			pending:  make(map[uint64]pendingData),
+			durable:  next - 1,
+			awaiting: true,
+		}
+	}
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -299,12 +355,13 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			var resumed bool
-			st, resumed = s.bindStream(f.Hello)
+			st, resumed = s.bindStream(f.Hello, sw)
 			if resumed {
 				// Tell the reconnecting client where the stream stands so
 				// it can prune already-consumed frames before replaying.
 				s.sendAck(sw, st)
 			}
+			defer s.unbindWriter(st, sw)
 		case frameData:
 			if st == nil {
 				s.m.decodeErrs.Inc()
@@ -376,7 +433,7 @@ func (s *Server) connEnded(conn net.Conn, err error) {
 // fresh client incarnation whose sequence numbers restart at its First,
 // so the stale dedup state would silently discard everything it sends —
 // reset it instead.
-func (s *Server) bindStream(h helloInfo) (*streamState, bool) {
+func (s *Server) bindStream(h helloInfo, sw *sessionWriter) (*streamState, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	first := h.First
@@ -386,31 +443,125 @@ func (s *Server) bindStream(h helloInfo) (*streamState, bool) {
 	st, ok := s.streams[h.Stream]
 	switch {
 	case !ok:
-		st = &streamState{next: first, pending: make(map[uint64]pendingData)}
+		st = &streamState{next: first, pending: make(map[uint64]pendingData), durable: first - 1}
 		s.streams[h.Stream] = st
 		s.m.streamsLive.Set(int64(len(s.streams)))
 	case h.Attempt == 0:
+		// A fresh client incarnation restarts its sequence numbering, so
+		// the durable floor from the old numbering is meaningless too.
 		st.next = first
+		st.durable = first - 1
 		clear(st.pending)
 		s.m.streamResets.Inc()
 		s.logf("wire: stream %q: reset by a new client incarnation (next = %d)", h.Stream, first)
 	}
+	st.awaiting = false
+	st.sw = sw
 	if h.Attempt > 0 {
 		s.m.reconnects.Inc()
 	}
 	return st, h.Attempt > 0
 }
 
+// unbindWriter detaches a closing connection's writer from its stream
+// (unless a newer connection already took over).
+func (s *Server) unbindWriter(st *streamState, sw *sessionWriter) {
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	if st.sw == sw {
+		st.sw = nil
+	}
+	s.mu.Unlock()
+}
+
 // sendAck writes the stream's cumulative ack (highest contiguous
-// sequence consumed). Write errors are ignored: the client will learn
-// the state from a later ack, or on reconnect.
+// sequence consumed — capped at the durable floor under deferred acks).
+// Write errors are ignored: the client will learn the state from a later
+// ack, or on reconnect. Under deferred acks the same floor value may be
+// re-sent many times while consumption runs ahead of checkpoints; that
+// is deliberate — any ack frame refreshes the client's resend timer, so
+// an actively-streaming client never churns on replays.
 func (s *Server) sendAck(sw *sessionWriter, st *streamState) {
 	s.mu.Lock()
 	seq := st.next - 1
+	if s.opts.deferAcks && st.durable < seq {
+		seq = st.durable
+	}
 	s.mu.Unlock()
 	if err := sw.ack(seq); err == nil {
 		s.m.acksTx.Inc()
 	}
+}
+
+// SnapshotStreams runs capture with the per-stream next-expected
+// sequence numbers while the server's ingest lock is held: no frame can
+// be consumed between building the map and whatever state the callback
+// captures on its own locks, making the checkpoint a consistent cut of
+// stream positions and model state. The callback must not call back into
+// the server.
+func (s *Server) SnapshotStreams(capture func(streams map[string]uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]uint64, len(s.streams))
+	for name, st := range s.streams {
+		m[name] = st.next
+	}
+	capture(m)
+}
+
+// CommitDurable advances the durable-ack floor after a checkpoint
+// commits: streams maps stream name → next expected sequence at the
+// checkpoint's cut (as captured by SnapshotStreams). The new floor is
+// pushed proactively to live connections so idle streams prune their
+// replay buffers without waiting for traffic.
+func (s *Server) CommitDurable(streams map[string]uint64) {
+	type push struct {
+		sw  *sessionWriter
+		seq uint64
+	}
+	var pushes []push
+	s.mu.Lock()
+	for name, next := range streams {
+		st, ok := s.streams[name]
+		if !ok || next == 0 {
+			continue
+		}
+		if d := next - 1; d > st.durable {
+			st.durable = d
+		}
+		if st.sw != nil {
+			seq := st.next - 1
+			if s.opts.deferAcks && st.durable < seq {
+				seq = st.durable
+			}
+			pushes = append(pushes, push{st.sw, seq})
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range pushes {
+		if err := p.sw.ack(p.seq); err == nil {
+			s.m.acksTx.Inc()
+		}
+	}
+}
+
+// ResumePending reports restore progress: how many checkpoint-preloaded
+// streams are still waiting for their agent's first reconnect, out of
+// how many were preloaded. A load balancer should treat the replica as
+// warming until pending reaches zero (see the flash healthz "restoring"
+// state).
+func (s *Server) ResumePending() (pending, preloaded int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	preloaded = len(s.opts.preload)
+	for _, st := range s.streams {
+		if st.awaiting {
+			pending++
+		}
+	}
+	return pending, preloaded
 }
 
 // ingest routes one data frame through the stream's in-order, dedup

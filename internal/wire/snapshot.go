@@ -23,7 +23,13 @@ func WriteSnapshot(w io.Writer, msgs []Msg) error {
 	return nil
 }
 
-// ReadSnapshot reads frames until EOF.
+// ReadSnapshot reads frames until EOF. A snapshot whose final frame is
+// cut short (a crash mid-append, a partial copy) returns the
+// successfully decoded prefix together with an error wrapping
+// ErrTruncated: every frame before the tear is intact (framing is
+// length-prefixed, so a tear cannot corrupt earlier frames), and the
+// caller decides whether a prefix is acceptable. Other failures
+// (oversized or corrupt frames) still discard the read.
 func ReadSnapshot(r io.Reader) ([]Msg, error) {
 	dec := NewDecoder(r)
 	var out []Msg
@@ -31,6 +37,9 @@ func ReadSnapshot(r io.Reader) ([]Msg, error) {
 		m, err := dec.Decode()
 		if errors.Is(err, io.EOF) {
 			return out, nil
+		}
+		if errors.Is(err, ErrTruncated) {
+			return out, err
 		}
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -57,5 +58,43 @@ func TestReadSnapshotRejectsTruncation(t *testing.T) {
 	raw := buf.Bytes()
 	if _, err := ReadSnapshot(bytes.NewReader(raw[:len(raw)-3])); err == nil {
 		t.Error("truncated snapshot accepted")
+	}
+}
+
+// TestReadSnapshotTruncatedTailReturnsPrefix pins the crash-mid-append
+// contract: a tear inside the FINAL frame must surface the typed
+// ErrTruncated together with every intact frame before the tear, at any
+// cut position. Length-prefixed framing guarantees a tear cannot damage
+// earlier frames, so the decoded prefix is trustworthy.
+func TestReadSnapshotTruncatedTailReturnsPrefix(t *testing.T) {
+	msgs := []Msg{sampleMsg(), {Device: 3, Epoch: "e2"}, sampleMsg()}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, msgs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	intact := buf.Len()
+	if err := WriteSnapshot(&buf, msgs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Cut at every position strictly inside the final frame.
+	for cut := intact + 1; cut < len(raw); cut++ {
+		got, err := ReadSnapshot(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("cut %d: decoded %d messages, want the 2-frame prefix", cut, len(got))
+		}
+		if got[1].Device != msgs[1].Device || got[1].Epoch != msgs[1].Epoch {
+			t.Fatalf("cut %d: prefix content damaged: %+v", cut, got[1])
+		}
+	}
+
+	// A cut exactly on a frame boundary is a clean EOF: full prefix, no error.
+	got, err := ReadSnapshot(bytes.NewReader(raw[:intact]))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("boundary cut: got %d msgs, err %v", len(got), err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/fib"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -32,6 +33,8 @@ type serveOpts struct {
 	ackWindow     int
 	acceptBackoff time.Duration
 	subBuffer     int
+	durableAcks   bool
+	restored      map[string]uint64
 }
 
 func defaultServeOpts() serveOpts {
@@ -76,6 +79,24 @@ func WithSubscriptionBuffer(n int) ServeOption {
 		if n > 0 {
 			o.subBuffer = n
 		}
+	})
+}
+
+// WithDurableSessions integrates the session layer with checkpointing:
+// the server acknowledges an agent frame only once a checkpoint
+// containing it has been committed (the durable floor, advanced by each
+// Server.Checkpoint), so an agent's replay buffer always covers the
+// checkpoint-to-now suffix and a crash after the last checkpoint loses
+// nothing. restored preloads per-stream sequence floors from a
+// RestoreReport (nil when booting fresh); reconnecting agents resume
+// from those floors and replay only the post-checkpoint suffix.
+//
+// Without this option acks follow consumption and a restored server
+// relies on agents replaying from their own buffers.
+func WithDurableSessions(restored map[string]uint64) ServeOption {
+	return serveOptionFunc(func(o *serveOpts) {
+		o.durableAcks = true
+		o.restored = restored
 	})
 }
 
@@ -157,6 +178,12 @@ func NewServer(l net.Listener, sys *System, onResult func(Result), opts ...Serve
 	}
 	if o.acceptBackoff > 0 {
 		wopts = append(wopts, wire.WithAcceptBackoff(o.acceptBackoff))
+	}
+	if o.durableAcks {
+		wopts = append(wopts, wire.WithDeferredAcks())
+	}
+	if len(o.restored) > 0 {
+		wopts = append(wopts, wire.WithStreams(o.restored))
 	}
 	s.srv = wire.NewServer(l, s.handle, wopts...)
 	s.srv.Instrument(sys.Metrics().Sub("wire"))
@@ -338,6 +365,35 @@ func (s *Server) Health() Health {
 
 // Streams reports the number of agent streams with server-side state.
 func (s *Server) Streams() int { return s.srv.Streams() }
+
+// Checkpoint captures the system state AND the wire sequence cut
+// atomically (no frame can be consumed between the two), writes the
+// checkpoint crash-consistently into dir, and — once the file is
+// durable — advances the session layer's durable ack floors so agents
+// may prune everything the checkpoint covers. Ingest is blocked only
+// for the in-memory copy; encode and fsync run concurrently with live
+// feeds.
+func (s *Server) Checkpoint(dir string) (CheckpointInfo, error) {
+	var c *ckpt.Checkpoint
+	s.srv.SnapshotStreams(func(streams map[string]uint64) {
+		c = s.sys.capture(streams)
+	})
+	info, err := s.sys.writeCheckpoint(dir, c)
+	if err != nil {
+		return info, err
+	}
+	s.srv.CommitDurable(c.Streams)
+	return info, nil
+}
+
+// RestoreProgress reports session-resume progress after a warm restart:
+// preloaded is the number of streams restored from the checkpoint,
+// pending how many of them have not yet re-established a connection.
+// A fresh (non-restored) server reports 0, 0; the admin health endpoint
+// surfaces pending > 0 as a "restoring" state.
+func (s *Server) RestoreProgress() (pending, preloaded int) {
+	return s.srv.ResumePending()
+}
 
 // Serve accepts agent connections until Close. It is ServeContext with a
 // background context.
