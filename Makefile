@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint lint-json flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random ckpt-chaos soak apicheck
+.PHONY: build test vet lint lint-json flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random ckpt-chaos shard-chaos soak apicheck
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,7 @@ bench-record:
 	$(GO) run ./cmd/flashbench -exp scaling -scale small -record BENCH_flash.json
 	$(GO) run ./cmd/flashbench -exp gc -scale small -record BENCH_flash.json
 	$(GO) run ./cmd/flashbench -exp recovery -scale small -record BENCH_flash.json
+	$(GO) run ./cmd/flashbench -exp shards -scale small -record BENCH_flash.json
 
 # Memory-management soak: sustained prefix-mutating churn through a
 # small memory budget, under the race detector. Asserts the live node
@@ -83,6 +84,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPrefixParse -fuzztime=30s ./internal/hs
 	$(GO) test -fuzz=FuzzIMTOverwrite -fuzztime=30s ./internal/imt
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzShardFrameDecode -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzAllowDirective -fuzztime=30s ./internal/analysis
 	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/ckpt
 
@@ -106,4 +108,13 @@ ckpt-chaos:
 	$(GO) test -race -count=1 -run 'TestCheckpointCrashRecovery|TestCheckpointRestoreRoundTrip|TestRestoreSkipsCorruptCheckpoint|TestRestoreExhaustedFallsBackToFullReingest|TestSnapshotReleaseRacesCheckpoint' .
 	$(GO) test -race -count=1 ./internal/ckpt
 
-check: vet lint apicheck race checkstrict chaos ckpt-chaos soak
+# Distributed-sharding fault-injection suite under the race detector:
+# kill a whole shard replica and partition another mid-epoch, prove the
+# recovered coordinator's fingerprint and verdict multiset equal a
+# single-process run, plus the differential oracle across shard counts
+# and the rebalance no-loss/no-dup regression fences.
+shard-chaos:
+	$(GO) test -race -count=1 -run 'TestShardChaosModelEquality|TestShardDifferentialOracle' .
+	$(GO) test -race -count=1 ./internal/shard
+
+check: vet lint apicheck race checkstrict chaos ckpt-chaos shard-chaos soak

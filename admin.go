@@ -44,6 +44,7 @@ type adminOpts struct {
 	subBuffer  int
 	checkpoint func() (CheckpointInfo, error)
 	restoring  func() (pending, preloaded int)
+	shards     func() any
 }
 
 // WithAdminMetrics attaches the observability registry served by
@@ -87,6 +88,15 @@ func WithAdminRestoring(fn func() (pending, preloaded int)) AdminOption {
 	return adminOptionFunc(func(o *adminOpts) { o.restoring = fn })
 }
 
+// WithAdminShards mounts GET /v1/shards: each request runs fn
+// (typically the shard coordinator's Status method) and returns its
+// value as JSON. The parameter is an untyped thunk so the root package
+// never depends on the coordinator's types — flashcoord binds the two.
+// Without this option the endpoint answers 404.
+func WithAdminShards(fn func() any) AdminOption {
+	return adminOptionFunc(func(o *adminOpts) { o.shards = fn })
+}
+
 // WithAdminSubscriptionBuffer bounds each SSE subscription's delivery
 // buffer (default 64 events).
 func WithAdminSubscriptionBuffer(n int) AdminOption {
@@ -108,6 +118,7 @@ func WithAdminSubscriptionBuffer(n int) AdminOption {
 //	/v1/whatif         POST a what-if transaction (see api.go for shapes)
 //	/v1/subscriptions  verdict snapshot (JSON) or live push (SSE)
 //	/v1/checkpoint     POST: write a checkpoint now (WithAdminCheckpoint)
+//	/v1/shards         shard coordinator placement/lag status (WithAdminShards)
 //
 // /metrics and /healthz remain unversioned aliases for scrapers, and
 // the standard debug endpoints (/debug/vars, /debug/pprof/*) are always
@@ -137,6 +148,7 @@ func NewAdminHandler(opts ...AdminOption) http.Handler {
 	mux.HandleFunc("/v1/whatif", h.whatIf)
 	mux.HandleFunc("/v1/subscriptions", h.subscriptions)
 	mux.HandleFunc("/v1/checkpoint", h.checkpoint)
+	mux.HandleFunc("/v1/shards", h.shards)
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusNotFound, "not_found", "unknown endpoint "+r.URL.Path)
 	})
@@ -186,6 +198,21 @@ func (h *apiHandler) healthz(w http.ResponseWriter, _ *http.Request) {
 	for _, r := range agg.Reasons {
 		w.Write([]byte(r + "\n"))
 	}
+}
+
+// shards serves GET /v1/shards: the coordinator's placement status
+// (shard → owned subspaces, health, log lag, rebalance count) from the
+// thunk mounted by WithAdminShards.
+func (h *apiHandler) shards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	if h.opts.shards == nil {
+		writeAPIError(w, http.StatusNotFound, "not_found", "no shard coordinator mounted on this admin handler")
+		return
+	}
+	writeAPIJSON(w, h.opts.shards())
 }
 
 // apiCheckpointInfo is the JSON shape of a completed checkpoint write.

@@ -327,3 +327,64 @@ func TestAdminHealthzRestoring(t *testing.T) {
 		t.Fatalf("healthz after replay = %d, want 200: %s", resp.StatusCode, body)
 	}
 }
+
+// TestAdminShardsEndpoint: /v1/shards serves the mounted coordinator
+// status thunk as JSON and 404s when nothing is mounted.
+func TestAdminShardsEndpoint(t *testing.T) {
+	status := map[string]any{
+		"subspaces": 4,
+		"log_len":   17,
+		"shards": []map[string]any{
+			{"id": 0, "subspaces": []int{0, 1}, "healthy": true, "lag": 0},
+			{"id": 1, "subspaces": []int{2, 3}, "healthy": false, "lag": 5},
+		},
+	}
+	admin := httptest.NewServer(NewAdminHandler(WithAdminShards(func() any { return status })))
+	defer admin.Close()
+
+	resp, err := http.Get(admin.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/shards = %d: %s", resp.StatusCode, body)
+	}
+	var got struct {
+		Subspaces int `json:"subspaces"`
+		LogLen    int `json:"log_len"`
+		Shards    []struct {
+			ID      int  `json:"id"`
+			Healthy bool `json:"healthy"`
+			Lag     int  `json:"lag"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decoding /v1/shards: %v: %s", err, body)
+	}
+	if got.Subspaces != 4 || got.LogLen != 17 || len(got.Shards) != 2 ||
+		got.Shards[1].Lag != 5 || got.Shards[1].Healthy {
+		t.Fatalf("unexpected /v1/shards payload: %s", body)
+	}
+
+	resp, err = http.Post(admin.URL+"/v1/shards", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/shards = %d, want 405", resp.StatusCode)
+	}
+
+	bare := httptest.NewServer(NewAdminHandler())
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/shards without coordinator = %d, want 404", resp.StatusCode)
+	}
+}

@@ -123,8 +123,12 @@ func (s *System) capture(streams map[string]uint64) *ckpt.Checkpoint {
 		Meta: ckpt.Meta{
 			CreatedAtUnixNano: time.Now().UnixNano(),
 			ConfigHash:        configHash(s.cfg),
-			Subspaces:         int32(len(s.workers)),
-			NVars:             int32(s.cfg.Layout.TotalBits()),
+			// The global partition count, not the instantiated worker
+			// count: a subset-of-subspaces checkpoint (WithSubspaceSet)
+			// stays restorable into any other subset of the same
+			// partition, which is how shard rebalance transfers state.
+			Subspaces: int32(s.cfg.numSubspaces()),
+			NVars:     int32(s.cfg.Layout.TotalBits()),
 		},
 		Streams:  streams,
 		Verdicts: s.bus.exportState(),
@@ -363,18 +367,21 @@ func logfTo(l *log.Logger, format string, args ...any) {
 // use; any inconsistency fails the restore (the caller then tries an
 // older candidate).
 func newSystemFromCheckpoint(cfg Config, c *ckpt.Checkpoint) (*System, error) {
-	probe := hs.NewSpace(cfg.Layout)
-	preds := cfg.subspacePreds(probe)
-	if int(c.Meta.Subspaces) != len(preds) {
-		return nil, fmt.Errorf("flash: restore: checkpoint has %d subspaces, config wants %d", c.Meta.Subspaces, len(preds))
+	nglobal := cfg.numSubspaces()
+	if int(c.Meta.Subspaces) != nglobal {
+		return nil, fmt.Errorf("flash: restore: checkpoint has %d subspaces, config wants %d", c.Meta.Subspaces, nglobal)
 	}
 	if int(c.Meta.NVars) != cfg.Layout.TotalBits() {
 		return nil, fmt.Errorf("flash: restore: checkpoint has %d BDD variables, layout wants %d", c.Meta.NVars, cfg.Layout.TotalBits())
 	}
+	set, err := cfg.subspaceSet(nglobal)
+	if err != nil {
+		return nil, err
+	}
 	byIdx := make(map[int]ckpt.Subspace, len(c.Subspaces))
 	for _, sub := range c.Subspaces {
 		i := int(sub.Index)
-		if i < 0 || i >= len(preds) {
+		if i < 0 || i >= nglobal {
 			return nil, fmt.Errorf("flash: restore: subspace index %d out of range", i)
 		}
 		if _, dup := byIdx[i]; dup {
@@ -387,7 +394,11 @@ func newSystemFromCheckpoint(cfg Config, c *ckpt.Checkpoint) (*System, error) {
 	s.bus = newVerdictBus(cfg.Metrics)
 	s.bus.importState(c.Verdicts)
 	s.workerPanics = cfg.Metrics.Sub("ce2d").Counter("worker_panics")
-	for i := range preds {
+	// Checkpoint sections outside the configured subspace set are simply
+	// not instantiated: a full-set checkpoint restores cleanly into a
+	// shard replica owning any subset (and vice versa, with the missing
+	// subspaces starting fresh).
+	for _, i := range set {
 		sub, restored := byIdx[i]
 		var space *hs.Space
 		if restored {

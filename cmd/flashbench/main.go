@@ -20,13 +20,17 @@
 //	flashbench -exp scaling           # work-stealing scheduler on skewed churn
 //	flashbench -exp gc                # in-engine BDD GC vs Compact rotation
 //	flashbench -exp recovery          # warm restart vs checkpoint age
+//	flashbench -exp shards            # sharded verification vs shard count
 //	flashbench -exp all
 //
 // -exp scaling sweeps worker counts {1,2,4,8} over a hot-subspace
 // churn workload; -exp gc measures peak/steady-state node counts and
 // GC pauses under a memory budget; -exp recovery measures checkpoint
 // restore + suffix replay against full re-ingest across checkpoint
-// ages. With -record FILE the measured rows of these experiments are
+// ages; -exp shards replays a skewed-churn epoch stream through the
+// shard coordinator with N ∈ {1,2,4} in-process replicas and reports
+// throughput and per-epoch verify latency. With -record FILE the
+// measured rows of these experiments are
 // appended to a JSON benchmark-trajectory file (conventionally
 // BENCH_flash.json).
 //
@@ -79,6 +83,7 @@ func main() {
 		"scaling":  func() { runScaling(*scaleFlag, scale, *record) },
 		"gc":       func() { runGCBench(*scaleFlag, scale, *record) },
 		"recovery": func() { runRecovery(*scaleFlag, *record) },
+		"shards":   func() { runShards(*scaleFlag, scale, *record) },
 	}
 	order := []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig14", "fig15", "fig18", "overhead"}

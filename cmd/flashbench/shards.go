@@ -1,0 +1,195 @@
+package main
+
+// The shards experiment measures sharded verification throughput and
+// epoch verify latency as the subspace set is partitioned across N
+// in-process verifier replicas behind a shard coordinator. It is the
+// single-machine proxy for the paper's scale-out deployment: the same
+// coordinator drives flashd replicas over the wire in production, so
+// the routing/aggregation overhead measured here rides on top of
+// whatever the network adds. Results are printed as a table and, with
+// -record, appended to the JSON benchmark trajectory file.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	flash "repro"
+	"repro/internal/exps"
+	"repro/internal/fib"
+	"repro/internal/shard"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// shardsEntry is one row of the benchmark trajectory: one shard count
+// over the fixed skewed-churn epoch stream.
+type shardsEntry struct {
+	Bench         string  `json:"bench"`
+	Scale         string  `json:"scale"`
+	Shards        int     `json:"shards"`
+	Subspaces     int     `json:"subspaces"`
+	Updates       int     `json:"updates"`
+	Epochs        int     `json:"epochs"`
+	VerifyP50Ns   int64   `json:"verify_p50_ns"`
+	VerifyP95Ns   int64   `json:"verify_p95_ns"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+	Cores         int     `json:"cores"`
+	RecordedAt    string  `json:"recorded_at,omitempty"`
+}
+
+const (
+	shardsSubspaces = 8
+	shardsPerEpoch  = 24
+	shardsChurn     = 3
+	shardsHotFrac   = 0.9
+	shardsSeed      = 0x5a4d
+)
+
+// shardsStream groups the churn sequence into CE2D epochs: at most one
+// message per device per epoch, shardsPerEpoch updates each.
+func shardsStream(seq []workload.DevUpdate) [][]flash.Msg {
+	var epochs [][]flash.Msg
+	for start, e := 0, 1; start < len(seq); e++ {
+		end := start + shardsPerEpoch
+		if end > len(seq) {
+			end = len(seq)
+		}
+		byDev := make(map[fib.DeviceID][]fib.Update)
+		var order []fib.DeviceID
+		for _, du := range seq[start:end] {
+			if _, ok := byDev[du.Dev]; !ok {
+				order = append(order, du.Dev)
+			}
+			byDev[du.Dev] = append(byDev[du.Dev], du.Update)
+		}
+		var msgs []flash.Msg
+		for _, dev := range order {
+			m, err := wire.FromFib(dev, fmt.Sprintf("e%d", e), byDev[dev])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flashbench: shards: %v\n", err)
+				os.Exit(1)
+			}
+			msgs = append(msgs, m)
+		}
+		epochs = append(epochs, msgs)
+		start = end
+	}
+	return epochs
+}
+
+// shardsRun replays the epoch stream through a coordinator with n
+// shards and returns the measured row. Verify latency is the time from
+// an epoch's first feed to the coordinator being fully drained — what
+// an operator waits for an epoch-consistent answer.
+func shardsRun(scaleName string, scale exps.Scale, n int) shardsEntry {
+	// Fresh workload (and BDD engines) per run, as in the scaling
+	// experiment: cache warmth must not leak between rows.
+	w := exps.Build(exps.LNetAPSP, scale)
+	seq := w.SkewedChurn(shardsChurn, shardsSubspaces, shardsHotFrac, shardsSeed)
+	epochs := shardsStream(seq)
+
+	coord, err := shard.New(shard.Config{
+		Subspaces: shardsSubspaces,
+		Field:     "dst",
+		FieldBits: w.Layout.FieldBits("dst"),
+		Sets:      shard.Partition(shardsSubspaces, n),
+		Factory: shard.LocalFactory(
+			flash.WithTopo(w.Topo),
+			flash.WithLayout(w.Layout),
+			flash.WithSubspaces(shardsSubspaces, ""),
+			flash.WithChecks(flash.CheckSpec{Name: "loops", Kind: flash.CheckLoopFree}),
+		),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: shards: %v\n", err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+
+	ctx := context.Background()
+	var samples []int64 // verify latency per epoch
+	start := time.Now()
+	for _, msgs := range epochs {
+		t0 := time.Now()
+		for _, m := range msgs {
+			if _, err := coord.FeedContext(ctx, m); err != nil {
+				fmt.Fprintf(os.Stderr, "flashbench: shards: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := coord.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: shards: %v\n", err)
+			os.Exit(1)
+		}
+		samples = append(samples, time.Since(t0).Nanoseconds())
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	quant := func(q float64) int64 {
+		if len(samples) == 0 {
+			return 0
+		}
+		return samples[int(q*float64(len(samples)-1))]
+	}
+	return shardsEntry{
+		Bench:         "sharded-verify",
+		Scale:         scaleName,
+		Shards:        n,
+		Subspaces:     shardsSubspaces,
+		Updates:       len(seq),
+		Epochs:        len(epochs),
+		VerifyP50Ns:   quant(0.50),
+		VerifyP95Ns:   quant(0.95),
+		UpdatesPerSec: float64(len(seq)) / elapsed.Seconds(),
+		Cores:         runtime.NumCPU(),
+	}
+}
+
+func runShards(scaleName string, scale exps.Scale, record string) {
+	header("Shards — coordinator throughput vs shard count")
+	cores := runtime.NumCPU()
+	fmt.Printf("cores=%d subspaces=%d epoch-size=%d hot-fraction=%.1f\n",
+		cores, shardsSubspaces, shardsPerEpoch, shardsHotFrac)
+
+	// Discarded warm-up run (allocator growth; see the scaling
+	// experiment for the rationale).
+	shardsRun(scaleName, scale, 1)
+
+	var entries []shardsEntry
+	var base float64
+	for _, n := range []int{1, 2, 4} {
+		e := shardsRun(scaleName, scale, n)
+		if n == 1 {
+			base = e.UpdatesPerSec
+		}
+		if base > 0 {
+			e.SpeedupVs1 = e.UpdatesPerSec / base
+		}
+		entries = append(entries, e)
+		fmt.Printf("shards=%-3d verify-p50=%-10s verify-p95=%-10s upd/s=%-10.0f speedup=%.2fx\n",
+			e.Shards,
+			time.Duration(e.VerifyP50Ns),
+			time.Duration(e.VerifyP95Ns),
+			e.UpdatesPerSec, e.SpeedupVs1)
+	}
+
+	if record != "" {
+		now := time.Now().UTC().Format(time.RFC3339)
+		rows := make([]any, len(entries))
+		for i := range entries {
+			entries[i].RecordedAt = now
+			rows[i] = entries[i]
+		}
+		if err := appendEntries(record, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: shards: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d entries to %s\n", len(entries), record)
+	}
+}

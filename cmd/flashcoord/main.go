@@ -1,0 +1,326 @@
+// Command flashcoord runs a sharded Flash verification deployment: a
+// coordinator that partitions the subspace set across N verifier
+// replicas, routes the agents' epoch-tagged update stream to the
+// owning shards, aggregates per-shard verdicts and fingerprints into
+// one epoch-consistent answer, and rebalances a shard when its replica
+// dies. Device agents connect to -listen exactly as they would to a
+// single flashd.
+//
+// Two placement modes:
+//
+//	-shards N            N in-process shard replicas (one subset System
+//	                     each) — sharded verification in one process.
+//	-shard set=addr      one shard per flag, owning the comma-separated
+//	                     global subspace indices, served by the flashd
+//	                     replica at addr (started with the matching
+//	                     -subspaces and -subspace-set). Repeatable.
+//
+// Example — two in-process shards over four subspaces on Internet2:
+//
+//	flashcoord -listen :7001 -topo internet2 -layout dst:16 \
+//	    -subspaces 4 -shards 2 -loops
+//
+// The same split across two flashd replicas:
+//
+//	flashd -listen :7101 -subspaces 4 -subspace-set 0,1 -loops
+//	flashd -listen :7102 -subspaces 4 -subspace-set 2,3 -loops
+//	flashcoord -listen :7001 -subspaces 4 -loops \
+//	    -shard 0,1=127.0.0.1:7101 -shard 2,3=127.0.0.1:7102
+//
+// GET /v1/shards on the admin endpoint reports placement, health, log
+// lag and rebalance counts per shard.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	flash "repro"
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+type reachFlags []flash.CheckSpec
+
+func (r *reachFlags) String() string { return fmt.Sprintf("%d checks", len(*r)) }
+
+func (r *reachFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("want name:expr:src1,src2:dest, got %q", v)
+	}
+	*r = append(*r, flash.CheckSpec{
+		Name:    parts[0],
+		Kind:    flash.CheckReach,
+		Expr:    parts[1],
+		Sources: strings.Split(parts[2], ","),
+		Dest:    parts[3],
+	})
+	return nil
+}
+
+// shardFlag is one -shard set=addr placement.
+type shardFlag struct {
+	set  []int
+	addr string
+}
+
+type shardFlags []shardFlag
+
+func (s *shardFlags) String() string { return fmt.Sprintf("%d shards", len(*s)) }
+
+func (s *shardFlags) Set(v string) error {
+	eq := strings.IndexByte(v, '=')
+	if eq < 0 {
+		return fmt.Errorf("want subspaces=addr (e.g. 0,1=host:7001), got %q", v)
+	}
+	set, err := parseIntSet(v[:eq])
+	if err != nil {
+		return fmt.Errorf("-shard %q: %v", v, err)
+	}
+	addr := v[eq+1:]
+	if addr == "" {
+		return fmt.Errorf("-shard %q: empty replica address", v)
+	}
+	*s = append(*s, shardFlag{set: set, addr: addr})
+	return nil
+}
+
+func parseIntSet(spec string) ([]int, error) {
+	var set []int
+	for _, part := range strings.Split(spec, ",") {
+		i, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, i)
+	}
+	return set, nil
+}
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7001", "address to accept agent connections on")
+		admin      = flag.String("admin", ":7072", "admin HTTP address for /v1/shards, /metrics, /healthz ('' disables)")
+		topoSpec   = flag.String("topo", "internet2", "topology (internet2|stanford|airtel|fabric:p,t,a,s)")
+		layoutSpec = flag.String("layout", "dst:16", "header layout (name:bits,...)")
+		loops      = flag.Bool("loops", true, "verify loop freedom")
+		subspaces  = flag.Int("subspaces", 4, "global subspace partition count (power of two)")
+		nshards    = flag.Int("shards", 0, "in-process shard replica count (ignored when -shard flags are given)")
+		workers    = flag.Int("workers", 0, "scheduler workers per in-process replica (0 = GOMAXPROCS)")
+		batchN     = flag.Int("batch", 1, "max native updates coalesced into one Fast IMT pass")
+		memBudget  = flag.Int("memory-budget", 0, "max live BDD nodes per subspace worker before automatic GC")
+		replay     = flag.String("replay", "", "one-shot mode: verify a snapshot file through the shards and exit")
+		ckptDir    = flag.String("checkpoint-dir", "", "per-shard checkpoint directory for in-process shards ('' disables)")
+		healthSec  = flag.Duration("health-interval", 5*time.Second, "period of the proactive shard health probe (0 = reactive only)")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "per-shard drain deadline before a replica is declared dead")
+	)
+	var reaches reachFlags
+	flag.Var(&reaches, "reach", "reachability check name:expr:sources:dest (repeatable)")
+	var remotes shardFlags
+	flag.Var(&remotes, "shard", "remote shard placement subspaces=addr (repeatable; e.g. 0,1=host:7001)")
+	flag.Parse()
+
+	g, err := cli.ParseTopo(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	layout, err := cli.ParseLayout(*layoutSpec)
+	if err != nil {
+		fatal(err)
+	}
+	checks := []flash.CheckSpec(reaches)
+	if *loops {
+		checks = append(checks, flash.CheckSpec{Name: "loop-freedom", Kind: flash.CheckLoopFree})
+	}
+	if len(checks) == 0 {
+		fatal(fmt.Errorf("flashcoord: no checks configured"))
+	}
+
+	reg := obs.NewRegistry("flashcoord")
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	cfg := shard.Config{
+		Subspaces:    *subspaces,
+		Field:        "dst",
+		FieldBits:    layout.FieldBits("dst"),
+		OnResult:     func(r flash.Result) { fmt.Println(r) },
+		DrainTimeout: *drainTO,
+		Metrics:      reg,
+		Logger:       logger,
+	}
+	mode := ""
+	switch {
+	case len(remotes) > 0:
+		mode = fmt.Sprintf("%d flashd replicas", len(remotes))
+		for _, r := range remotes {
+			cfg.Sets = append(cfg.Sets, r.set)
+		}
+		addrs := remotes
+		cfg.Factory = shard.RemoteFactory(func(a shard.Assignment) (shard.RemoteTarget, error) {
+			// Initial and replacement placements both dial the shard's
+			// configured replica: operators restart a dead flashd in
+			// place, and the coordinator's replay rebuilds its state.
+			return shard.RemoteTarget{Addr: addrs[a.Shard].addr}, nil
+		}, wire.ClientOptions{
+			Stream:     "flashcoord",
+			Reconnect:  true,
+			BackoffMin: 50 * time.Millisecond,
+			BackoffMax: 2 * time.Second,
+			Heartbeat:  5 * time.Second,
+			Logf:       logger.Printf,
+		})
+	default:
+		n := *nshards
+		if n < 1 {
+			n = 1
+		}
+		mode = fmt.Sprintf("%d in-process replicas", n)
+		cfg.Sets = shard.Partition(*subspaces, n)
+		cfg.Factory = shard.LocalFactory(
+			flash.WithTopo(g),
+			flash.WithLayout(layout),
+			flash.WithSubspaces(*subspaces, ""),
+			flash.WithWorkers(*workers),
+			flash.WithBatch(*batchN),
+			flash.WithMemoryBudget(*memBudget),
+			flash.WithChecks(checks...),
+			flash.WithLogger(logger),
+		)
+	}
+
+	coord, err := shard.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *replay != "" {
+		msgs, err := wire.LoadSnapshot(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		for _, m := range msgs {
+			if _, err := coord.FeedContext(ctx, m); err != nil {
+				fatal(err)
+			}
+		}
+		if err := coord.Drain(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flashcoord: one-shot verification of %d device FIBs across %s in %s\n",
+			len(msgs), mode, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := wire.NewServer(l, func(m wire.Msg) error {
+		_, err := coord.FeedContext(ctx, m)
+		return err
+	}, wire.WithServerLog(logger.Printf))
+	srv.Instrument(reg.Sub("wire"))
+	fmt.Printf("flashcoord: verifying %d checks on %q (%d nodes, %d subspaces, %s) at %s\n",
+		len(checks), *topoSpec, g.N(), *subspaces, mode, l.Addr())
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal(err)
+		}
+		adminOpts := []flash.AdminOption{
+			flash.WithAdminMetrics(reg),
+			flash.WithAdminShards(func() any { return coord.Status() }),
+			flash.WithAdminHealth(func() flash.Health {
+				var h flash.Health
+				for _, s := range coord.Status().Shards {
+					if !s.Healthy {
+						h.Degraded = true
+						h.Reasons = append(h.Reasons, fmt.Sprintf("shard %d replica unhealthy (lag %d)", s.ID, s.Lag))
+					}
+				}
+				return h
+			}),
+		}
+		if *ckptDir != "" {
+			dir := *ckptDir
+			adminOpts = append(adminOpts, flash.WithAdminCheckpoint(func() (flash.CheckpointInfo, error) {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return flash.CheckpointInfo{}, err
+				}
+				start := time.Now()
+				if err := coord.Checkpoint(dir); err != nil {
+					return flash.CheckpointInfo{}, err
+				}
+				return flash.CheckpointInfo{Path: dir, Subspaces: *subspaces, Took: time.Since(start)}, nil
+			}))
+		}
+		adminSrv = &http.Server{Handler: flash.NewAdminHandler(adminOpts...)}
+		fmt.Printf("flashcoord: admin endpoint (/v1/shards, /metrics, /healthz) at %s\n", al.Addr())
+		go func() {
+			if err := adminSrv.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("flashcoord: admin: %v", err)
+			}
+		}()
+	}
+
+	// Proactive health probe: a replica that died silently (no inbound
+	// traffic to trip on) is detected and rebalanced on this timer.
+	if *healthSec > 0 {
+		go func() {
+			t := time.NewTicker(*healthSec)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := coord.CheckHealth(ctx); err != nil {
+						logger.Printf("flashcoord: health: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	go func() {
+		<-ctx.Done()
+		l.Close()
+		srv.Close()
+	}()
+	err = srv.Serve()
+	if ctx.Err() != nil {
+		fmt.Println("flashcoord: shutting down")
+		err = nil
+	}
+	if adminSrv != nil {
+		adminSrv.Shutdown(context.Background())
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

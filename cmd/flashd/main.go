@@ -58,6 +58,7 @@ func main() {
 		layoutSpec = flag.String("layout", "dst:16", "header layout (name:bits,...)")
 		loops      = flag.Bool("loops", true, "verify loop freedom")
 		subspaces  = flag.Int("subspaces", 1, "subspace partition count (power of two)")
+		subsetSpec = flag.String("subspace-set", "", "comma-separated global subspace indices this replica owns ('' = all; shard replicas under flashcoord set this)")
 		workers    = flag.Int("workers", 0, "work-stealing scheduler workers (0 = GOMAXPROCS, clamped to subspaces)")
 		batchN     = flag.Int("batch", 1, "max native updates coalesced into one Fast IMT pass (1 disables batching)")
 		memBudget  = flag.Int("memory-budget", 0, "max live BDD nodes per subspace worker before automatic GC (0 = unbounded)")
@@ -103,6 +104,17 @@ func main() {
 		flash.WithChecks(checks...),
 		flash.WithMetrics(reg),
 		flash.WithLogger(logger),
+	}
+	if *subsetSpec != "" {
+		var set []int
+		for _, part := range strings.Split(*subsetSpec, ",") {
+			var i int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &i); err != nil {
+				fatal(fmt.Errorf("flashd: -subspace-set %q: %v", *subsetSpec, err))
+			}
+			set = append(set, i)
+		}
+		sysOpts = append(sysOpts, flash.WithSubspaceSet(set...))
 	}
 	// Warm restart: restore from the newest usable checkpoint; a missing,
 	// corrupt, or config-mismatched set of candidates degrades to a fresh

@@ -177,6 +177,15 @@ type Config struct {
 	Subspaces int
 	// SubspaceField is the field partitioned (default "dst").
 	SubspaceField string
+	// SubspaceSet restricts a System to the listed global subspace
+	// indices (out of Subspaces): only those workers are instantiated,
+	// and Result.Subspace, fingerprints, and checkpoints keep the global
+	// numbering, so disjoint sets running in separate processes compose
+	// into exactly the answer one full-set System would give. Empty (the
+	// default) instantiates every subspace. The shard coordinator
+	// (internal/shard) uses this to split one verification problem
+	// across replicas; ModelBuilder ignores it.
+	SubspaceSet []int
 	// Checks are the requirements verified by a System (ignored by
 	// ModelBuilder).
 	Checks []CheckSpec
@@ -245,6 +254,42 @@ func (c *Config) subspacePreds(s *hs.Space) []bdd.Ref {
 		out[i] = s.Prefix(field, uint64(i)<<uint(width-bits), bits)
 	}
 	return out
+}
+
+// subspaceSet resolves the global subspace indices a System
+// instantiates: the validated, sorted, deduplicated SubspaceSet when
+// non-empty, else all of [0, n).
+func (c *Config) subspaceSet(n int) ([]int, error) {
+	if len(c.SubspaceSet) == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	seen := make(map[int]bool, len(c.SubspaceSet))
+	out := make([]int, 0, len(c.SubspaceSet))
+	for _, i := range c.SubspaceSet {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("flash: subspace set index %d out of range [0,%d)", i, n)
+		}
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// numSubspaces is the global partition count (1 when partitioning is
+// disabled) — the denominator SubspaceSet indices refer to.
+func (c *Config) numSubspaces() int {
+	if c.Subspaces <= 1 {
+		return 1
+	}
+	return c.Subspaces
 }
 
 // ---- ModelBuilder: offline / bootstrap model construction ----
@@ -759,9 +804,9 @@ type sysWorker struct {
 	// checks is the worker-owned compiled check set; the verifier
 	// factory reads it (not a captured snapshot) so verifiers created
 	// after a GC see the remapped Spaces.
-	checks    []ce2d.Check
-	budget    int // cfg.MemoryBudget; <= 0 disables automatic GC
-	disp      *ce2d.Dispatcher
+	checks []ce2d.Check
+	budget int // cfg.MemoryBudget; <= 0 disables automatic GC
+	disp   *ce2d.Dispatcher
 	// snaps pins live Snapshot captures: each holds a cloned transformer
 	// whose refs must survive GC until the snapshot is released.
 	snaps     []*snapSub
@@ -824,9 +869,11 @@ func NewSystem(opts ...Option) (*System, error) {
 	s := &System{cfg: cfg, poisoned: make(map[int]string)}
 	s.bus = newVerdictBus(cfg.Metrics)
 	s.workerPanics = cfg.Metrics.Sub("ce2d").Counter("worker_panics")
-	probe := hs.NewSpace(cfg.Layout)
-	preds := cfg.subspacePreds(probe)
-	for i := range preds {
+	set, err := cfg.subspaceSet(cfg.numSubspaces())
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range set {
 		space := hs.NewSpace(cfg.Layout)
 		universe := cfg.subspacePreds(space)[i]
 		checks, err := compileChecks(cfg, space)
@@ -1005,7 +1052,10 @@ func (s *System) FeedBatch(ctx context.Context, msgs []Msg) ([]Result, error) {
 	errs := make([]error, len(s.workers))
 	live := 0
 	for i, w := range s.workers {
-		if s.isPoisoned(i) {
+		// Poisoning is keyed by the global subspace index (w.idx), which
+		// equals the slice position only for full-set systems; the result
+		// and error slots stay slice-positional.
+		if s.isPoisoned(w.idx) {
 			continue
 		}
 		live++
@@ -1013,13 +1063,13 @@ func (s *System) FeedBatch(ctx context.Context, msgs []Msg) ([]Result, error) {
 		s.pool.Submit(i, func() {
 			defer func() {
 				if r := recover(); r != nil {
-					s.poison(i, fmt.Sprint(r))
+					s.poison(w.idx, fmt.Sprint(r))
 					results[i], errs[i] = nil, nil
 				}
 			}()
 			var hook func(Msg)
 			if s.feedHook != nil {
-				hook = func(m Msg) { s.feedHook(i, m) }
+				hook = func(m Msg) { s.feedHook(w.idx, m) }
 			}
 			results[i], errs[i] = w.feedAll(ctx, msgs, hook)
 		})
@@ -1110,6 +1160,62 @@ func (s *System) Health() Health {
 // the chaos tests use this to prove at-least-once replay with dedup
 // leaves the model untouched by duplicates.
 func (s *System) ModelFingerprint(epoch string) (string, error) {
+	parts, err := s.SubspaceFingerprints(epoch)
+	if err != nil {
+		return "", err
+	}
+	return ComposeFingerprints(parts), nil
+}
+
+// SubspaceFingerprints returns the per-subspace digest of the epoch's
+// EC model, keyed by global subspace index; subspaces with no verifier
+// for the epoch are absent. The shard coordinator merges the maps of
+// disjoint replicas and composes them (ComposeFingerprints) into the
+// fingerprint a single full-set System would report.
+func (s *System) SubspaceFingerprints(epoch string) (map[int]string, error) {
+	out := make(map[int]string)
+	for _, w := range s.workers {
+		w.mu.Lock()
+		d, ok := w.fingerprintLocked(epoch)
+		w.mu.Unlock()
+		if ok {
+			out[w.idx] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("flash: no verifier for epoch %q in any subspace", epoch)
+	}
+	return out, nil
+}
+
+// ComposeFingerprints folds per-subspace digests (as returned by
+// SubspaceFingerprints, possibly merged across shards) into one model
+// fingerprint, deterministically: digests are absorbed in ascending
+// global subspace index order.
+func ComposeFingerprints(parts map[int]string) string {
+	idxs := make([]int, 0, len(parts))
+	for i := range parts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	h := sha256.New()
+	var b [8]byte
+	for _, i := range idxs {
+		binary.BigEndian.PutUint64(b[:], uint64(i))
+		h.Write(b[:])
+		h.Write([]byte(parts[i]))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fingerprintLocked digests this subspace's EC model for the epoch:
+// the EC count and every device table's rules (identity, priority,
+// action and symbolic descriptor). Callers hold w.mu.
+func (w *sysWorker) fingerprintLocked(epoch string) (string, bool) {
+	v, ok := w.disp.Verifier(ce2d.Epoch(epoch))
+	if !ok {
+		return "", false
+	}
 	h := sha256.New()
 	num := func(v uint64) {
 		var b [8]byte
@@ -1120,42 +1226,39 @@ func (s *System) ModelFingerprint(epoch string) (string, error) {
 		num(uint64(len(v)))
 		h.Write([]byte(v))
 	}
-	found := false
-	for _, w := range s.workers {
-		w.mu.Lock()
-		v, ok := w.disp.Verifier(ce2d.Epoch(epoch))
-		if !ok {
-			w.mu.Unlock()
-			continue
-		}
-		found = true
-		tr := v.Transformer()
-		num(uint64(w.idx))
-		num(uint64(tr.Model().Len()))
-		devs := tr.Devices()
-		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
-		for _, dev := range devs {
-			num(uint64(dev))
-			for _, r := range tr.Table(dev).Rules() {
-				num(uint64(r.ID))
-				num(uint64(r.Pri))
-				num(uint64(r.Action))
-				num(uint64(len(r.Desc)))
-				for _, f := range r.Desc {
-					str(f.Field)
-					num(uint64(f.Kind))
-					num(f.Value)
-					num(uint64(f.Len))
-					num(f.Mask)
-				}
+	tr := v.Transformer()
+	num(uint64(w.idx))
+	num(uint64(tr.Model().Len()))
+	devs := tr.Devices()
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	for _, dev := range devs {
+		num(uint64(dev))
+		for _, r := range tr.Table(dev).Rules() {
+			num(uint64(r.ID))
+			num(uint64(r.Pri))
+			num(uint64(r.Action))
+			num(uint64(len(r.Desc)))
+			for _, f := range r.Desc {
+				str(f.Field)
+				num(uint64(f.Kind))
+				num(f.Value)
+				num(uint64(f.Len))
+				num(f.Mask)
 			}
 		}
-		w.mu.Unlock()
 	}
-	if !found {
-		return "", fmt.Errorf("flash: no verifier for epoch %q in any subspace", epoch)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// SubspaceIndices returns the global subspace indices this System
+// instantiates, ascending — all of [0, Subspaces) unless the system
+// was built with WithSubspaceSet.
+func (s *System) SubspaceIndices() []int {
+	out := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.idx
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return out
 }
 
 // feedAll applies a batch of messages in order under one lock

@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	flash "repro"
+)
+
+// errClosed reports a Feed on a backend whose placement was torn down.
+var errClosed = errors.New("shard: backend closed")
+
+// LocalFactory realizes shard placements as in-process subset Systems:
+// each assignment gets a System built from the caller's full
+// single-process options narrowed with WithSubspaceSet(a.Set). When the
+// assignment carries a checkpoint directory the factory boots from it
+// (flash.Restore) and reports Restored, so the coordinator replays only
+// the post-checkpoint log suffix.
+func LocalFactory(opts ...flash.Option) Factory {
+	return func(a Assignment) (Backend, error) {
+		sysOpts := make([]flash.Option, 0, len(opts)+1)
+		sysOpts = append(sysOpts, opts...)
+		sysOpts = append(sysOpts, flash.WithSubspaceSet(a.Set...))
+		if a.CheckpointDir != "" {
+			if sys, _, err := flash.Restore(a.CheckpointDir, sysOpts...); err == nil {
+				return &localBackend{sys: sys, restored: true}, nil
+			}
+			// An unreadable or incompatible checkpoint falls back to a
+			// cold boot + full replay — slower, never wrong.
+		}
+		sys, err := flash.NewSystem(sysOpts...)
+		if err != nil {
+			return nil, err
+		}
+		return &localBackend{sys: sys}, nil
+	}
+}
+
+// localBackend drives one in-process subset System. Verification is
+// synchronous, so Feed returns the results and Drain is a no-op.
+type localBackend struct {
+	sys      *flash.System
+	restored bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (b *localBackend) Feed(ctx context.Context, msgs []flash.Msg) ([]flash.Result, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return nil, errClosed
+	}
+	return b.sys.FeedBatch(ctx, msgs)
+}
+
+func (b *localBackend) Drain(ctx context.Context) error { return ctx.Err() }
+
+func (b *localBackend) Fingerprints(ctx context.Context, epoch string) (map[int]string, error) {
+	return b.sys.SubspaceFingerprints(epoch)
+}
+
+func (b *localBackend) Healthy() bool {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	return !closed && !b.sys.Health().Degraded
+}
+
+func (b *localBackend) Restored() bool { return b.restored }
+
+func (b *localBackend) Checkpoint(dir string) (flash.CheckpointInfo, error) {
+	return b.sys.Checkpoint(dir)
+}
+
+// System exposes the wrapped System (flashcoord's in-process mode
+// surfaces per-shard stats through it).
+func (b *localBackend) System() *flash.System { return b.sys }
+
+func (b *localBackend) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return nil
+}

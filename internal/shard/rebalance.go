@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	flash "repro"
+)
+
+// replayChunk bounds how many logged messages one replay Feed carries:
+// large enough to amortize per-call overhead, small enough to keep a
+// remote backend's session window happy.
+const replayChunk = 64
+
+// rebalanceLocked replaces sh's backend with a fresh placement and
+// catches it up to the coordinator log. State machine:
+//
+//	DEAD → PLACED:    Factory(assignment with CheckpointDir)
+//	PLACED → REPLAY:  floor = ckptLog when the new replica restored
+//	                  from the shard checkpoint, else 0; suppression is
+//	                  armed with the count of already-delivered results
+//	                  the replay will regenerate (delivered − ckptRes,
+//	                  or all delivered for a from-scratch replay)
+//	REPLAY → OWNED:   log[floor:] re-fed in chunks; sh.fed advances
+//
+// Replayed results are deterministic, so suppression keeps upstream
+// delivery exactly-once; un-delivered results (lost with the dead
+// replica) surface during replay and pass through. Caller holds c.mu.
+func (c *Coordinator) rebalanceLocked(ctx context.Context, sh *shard, cause error) error {
+	sh.backend.Close() // best-effort; the replica may already be gone
+	sh.rebalances++
+	c.m.rebalances.Inc()
+	c.logf("shard: rebalancing shard %d (placement %d): %v", sh.id, sh.rebalances, cause)
+
+	// Bump the placement generation first: any result still racing in
+	// from the dead placement's read loop is now dropped, so the
+	// delivered count is frozen before suppression is computed.
+	sh.resMu.Lock()
+	sh.placement = sh.rebalances
+	sh.resMu.Unlock()
+
+	b, err := c.cfg.Factory(Assignment{
+		Shard:         sh.id,
+		Set:           sh.set,
+		Rebalance:     sh.rebalances,
+		CheckpointDir: sh.ckptDir,
+		OnResult:      c.resultSink(sh, sh.rebalances),
+	})
+	if err != nil {
+		return fmt.Errorf("shard: replacing shard %d: %w", sh.id, err)
+	}
+	sh.backend = b
+
+	// Arm suppression before the first replay Feed: the replay will
+	// deterministically regenerate every result the shard has already
+	// delivered upstream (all of them for a cold boot, the
+	// post-checkpoint ones when the placement restored).
+	floor := 0
+	sh.resMu.Lock()
+	if b.Restored() && sh.ckptDir != "" {
+		floor = sh.ckptLog
+		sh.suppress = sh.results - sh.ckptRes
+	} else {
+		sh.suppress = sh.results
+	}
+	if sh.suppress < 0 {
+		sh.suppress = 0
+	}
+	sh.resMu.Unlock()
+
+	target := len(c.log)
+	sh.fed = floor
+	for lo := floor; lo < target; lo += replayChunk {
+		hi := lo + replayChunk
+		if hi > target {
+			hi = target
+		}
+		batch := make([]flash.Msg, 0, hi-lo)
+		for _, m := range c.log[lo:hi] {
+			batch = append(batch, c.routeFor(sh, m))
+		}
+		res, err := b.Feed(ctx, batch)
+		if err != nil {
+			return fmt.Errorf("shard: shard %d replay [%d,%d): %w", sh.id, lo, hi, err)
+		}
+		for _, r := range res {
+			c.deliver(sh, -1, r)
+		}
+		sh.fed = hi
+		sh.setLag(target - hi)
+	}
+	sh.setLag(0)
+	c.logf("shard: shard %d caught up (replayed %d of %d messages, restored=%v)",
+		sh.id, target-floor, target, b.Restored())
+	return nil
+}

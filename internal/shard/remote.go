@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+
+	flash "repro"
+	"repro/internal/wire"
+)
+
+// RemoteTarget names one replica endpoint for a shard placement.
+type RemoteTarget struct {
+	Addr string
+	// Dial overrides the transport for this placement (tests inject
+	// faulty or partitioned connections here). Nil keeps the factory's
+	// base dialer.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// RemoteFactory realizes shard placements as wire sessions to flashd
+// replicas. pick chooses the replica endpoint for each assignment —
+// typically round-robining a replica pool and steering rebalanced
+// shards away from the replica that just died. base supplies client
+// knobs (reconnect/backoff/heartbeat); the factory overrides the
+// per-placement fields: Stream gets a placement-unique suffix (a fresh
+// replica must not collide with the dead placement's dedup state),
+// OnResult/ResultSubspaces carry the assignment's result subscription.
+//
+// Drain maps to WaitAcked: the server pushes each result before the
+// ack of the data frame that produced it, so an acked log prefix
+// implies every one of its results has reached the coordinator.
+func RemoteFactory(pick func(a Assignment) (RemoteTarget, error), base wire.ClientOptions) Factory {
+	return func(a Assignment) (Backend, error) {
+		t, err := pick(a)
+		if err != nil {
+			return nil, fmt.Errorf("shard: no replica for shard %d: %w", a.Shard, err)
+		}
+		opts := base
+		if opts.Stream == "" {
+			opts.Stream = "shard"
+		}
+		opts.Stream += "-s" + strconv.Itoa(a.Shard) + "-r" + strconv.Itoa(a.Rebalance)
+		if t.Dial != nil {
+			opts.Dial = t.Dial
+		}
+		opts.ResultSubspaces = append([]int(nil), a.Set...)
+		if a.OnResult != nil {
+			onResult := a.OnResult
+			opts.OnResult = func(ev wire.ResultEvent) { onResult(flash.ResultFromWire(ev)) }
+		}
+		c, err := wire.NewClient(t.Addr, opts)
+		if err != nil {
+			return nil, fmt.Errorf("shard: dialing replica %s for shard %d: %w", t.Addr, a.Shard, err)
+		}
+		return &remoteBackend{c: c}, nil
+	}
+}
+
+// remoteBackend drives one flashd-style replica over a wire session.
+// Verification is remote and asynchronous: Feed buffers with
+// at-least-once delivery, results arrive through the client's result
+// subscription, and Drain barriers on WaitAcked.
+type remoteBackend struct {
+	c *wire.Client
+}
+
+func (b *remoteBackend) Feed(ctx context.Context, msgs []flash.Msg) ([]flash.Result, error) {
+	for _, m := range msgs {
+		if err := b.c.Send(m); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func (b *remoteBackend) Drain(ctx context.Context) error { return b.c.WaitAcked(ctx) }
+
+func (b *remoteBackend) Fingerprints(ctx context.Context, epoch string) (map[int]string, error) {
+	return b.c.Fingerprint(ctx, epoch)
+}
+
+func (b *remoteBackend) Healthy() bool { return b.c.Err() == nil }
+
+// Restored is always false for remote placements: a replacement
+// replica starts cold and the coordinator replays the full log (the
+// replica may checkpoint on its own schedule, but the coordinator
+// cannot verify that state matches its log, so it assumes nothing).
+func (b *remoteBackend) Restored() bool { return false }
+
+func (b *remoteBackend) Close() error { return b.c.Close() }

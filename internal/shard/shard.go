@@ -1,0 +1,598 @@
+// Package shard scales Flash verification past one process: a
+// Coordinator partitions the tagged subspace set across N verifier
+// replicas (in-process Systems or flashd replicas behind the wire
+// session protocol), routes the epoch-tagged update stream to the
+// owning shards, and aggregates per-shard verdicts and EC-model
+// fingerprints into the one epoch-consistent answer a single-process
+// run would give.
+//
+// The correctness argument is compositional. A replica is a System
+// built WithSubspaceSet: it instantiates only its owned subspaces but
+// keeps the global subspace numbering, and a subspace worker applies
+// an update only after intersecting it with the subspace universe — so
+// delivering every message envelope to every shard, with updates
+// filtered to those that can intersect the shard's universes, yields
+// per-subspace models and verdict streams identical to a full-set run.
+// Verdict multisets aggregate by union (subspace sets are disjoint and
+// covering), and per-subspace model digests merge into the exact
+// fingerprint flash.ComposeFingerprints gives a single process.
+//
+// Fault tolerance reuses the session layer's at-least-once contract:
+// the coordinator retains the ordered log of accepted messages, and
+// when a replica's health degrades (drain deadline exceeded, failed
+// client, degraded health report) its subspace set is reassigned to a
+// replacement backend — restored from the shard's latest checkpoint
+// plus a replay of the post-checkpoint log suffix when one exists,
+// else by a full log replay. Replayed results are deterministic, so
+// the coordinator suppresses the prefix it already delivered and the
+// upstream result stream stays exactly-once.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	flash "repro"
+	"repro/internal/obs"
+)
+
+// Backend is one shard replica: the subset-System surface the
+// coordinator drives. Implementations: Local (an in-process System)
+// and Remote (a wire client to a flashd-style replica).
+type Backend interface {
+	// Feed delivers a batch of epoch-tagged messages in log order. A
+	// local backend verifies synchronously and returns the results; a
+	// remote backend buffers them with at-least-once delivery and
+	// returns nil results (they arrive via the assignment's OnResult).
+	Feed(ctx context.Context, msgs []flash.Msg) ([]flash.Result, error)
+	// Drain blocks until every accepted message has been verified and
+	// its results delivered (WaitAcked for remote backends).
+	Drain(ctx context.Context) error
+	// Fingerprints returns the shard's per-subspace EC-model digests
+	// for the epoch (global subspace index → digest).
+	Fingerprints(ctx context.Context, epoch string) (map[int]string, error)
+	// Healthy reports whether the replica is fit to keep its shard.
+	Healthy() bool
+	// Restored reports whether this backend booted from the shard's
+	// checkpoint directory (the coordinator then replays only the
+	// post-checkpoint suffix).
+	Restored() bool
+	Close() error
+}
+
+// Checkpointer is implemented by backends that can capture their
+// shard's state crash-consistently (Local does; a Remote replica
+// checkpoints on its own schedule).
+type Checkpointer interface {
+	Checkpoint(dir string) (flash.CheckpointInfo, error)
+}
+
+// Assignment names one shard placement the Factory must realize.
+type Assignment struct {
+	// Shard is the shard's stable identity (index into Config.Sets).
+	Shard int
+	// Set is the owned global subspace set, sorted ascending.
+	Set []int
+	// Rebalance counts prior placements of this shard (0 = initial).
+	Rebalance int
+	// CheckpointDir is the shard's checkpoint directory ("" when the
+	// coordinator has never checkpointed this shard); a factory may
+	// restore from it and report Restored() accordingly.
+	CheckpointDir string
+	// OnResult must receive every result the replica produces (remote
+	// backends wire it into their client's result subscription; local
+	// backends may ignore it — the coordinator forwards returned
+	// results itself).
+	OnResult func(flash.Result)
+}
+
+// Factory realizes a shard placement. It is called once per shard at
+// startup and again on every rebalance.
+type Factory func(a Assignment) (Backend, error)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Subspaces is the global partition count (must match the replicas'
+	// WithSubspaces; ≥ 1).
+	Subspaces int
+	// Field and FieldBits describe the partitioned header field (the
+	// WithSubspaces field and its layout width) for update routing.
+	// FieldBits 0 disables prefix routing: every update goes to every
+	// shard (still correct, never minimal).
+	Field     string
+	FieldBits int
+	// Sets are the per-shard owned subspace sets; they must be
+	// disjoint and cover [0, Subspaces). Use Partition for an even
+	// contiguous split.
+	Sets [][]int
+	// Factory realizes shard placements (see Local/Remote helpers).
+	Factory Factory
+	// OnResult receives every aggregated result exactly once. It may be
+	// called from backend goroutines concurrently with Feed; it must be
+	// safe for that.
+	OnResult func(flash.Result)
+	// DrainTimeout bounds how long Drain waits per shard before the
+	// replica is declared dead and its shard rebalanced (default 30s).
+	DrainTimeout time.Duration
+	// MaxRebalances bounds per-shard replacement attempts within one
+	// coordinator operation (default 3).
+	MaxRebalances int
+	// Metrics optionally publishes shard/rebalance counters and
+	// per-shard lag gauges under the registry's "shard" sub-registry.
+	Metrics *obs.Registry
+	// Logger receives operational messages (rebalances). Nil silences.
+	Logger *log.Logger
+}
+
+// Partition splits n subspaces into k contiguous, near-even shard
+// sets: the canonical placement for Config.Sets.
+func Partition(n, k int) [][]int {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	sets := make([][]int, k)
+	for i := 0; i < n; i++ {
+		s := i * k / n
+		sets[s] = append(sets[s], i)
+	}
+	return sets
+}
+
+// shard is one shard's live placement state. Fields under c.mu except
+// the result-path fields under resMu (remote results arrive on client
+// read loops concurrently with Feed).
+type shard struct {
+	id      int
+	set     []int
+	owned   map[int]bool
+	backend Backend
+
+	fed        int // prefix of the coordinator log delivered
+	rebalances int
+	ckptDir    string
+	ckptLog    int // log index covered by the latest checkpoint
+	ckptRes    int // results delivered when that checkpoint was taken
+
+	resMu     sync.Mutex
+	placement int // current placement generation; stale sinks are dropped
+	results   int // results delivered upstream
+	suppress  int // replayed results still to swallow after a rebalance
+
+	lag *obs.Gauge
+}
+
+type metrics struct {
+	rebalances *obs.Counter
+	routed     *obs.Counter // updates delivered to shards
+	filtered   *obs.Counter // updates pruned by prefix routing
+	results    *obs.Counter // results aggregated upstream
+}
+
+// Coordinator partitions verification across shard replicas behind a
+// System-shaped API: FeedContext routes, Drain barriers, and
+// ModelFingerprint aggregates the per-shard digests.
+type Coordinator struct {
+	cfg Config
+
+	mu     sync.Mutex
+	shards []*shard
+	log    []flash.Msg // every accepted message, in order (replay source)
+	closed bool
+
+	m metrics
+}
+
+// New builds a Coordinator and realizes every shard's initial
+// placement through the factory.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Subspaces < 1 {
+		cfg.Subspaces = 1
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("shard: config needs a Factory")
+	}
+	if len(cfg.Sets) == 0 {
+		cfg.Sets = Partition(cfg.Subspaces, 1)
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.MaxRebalances <= 0 {
+		cfg.MaxRebalances = 3
+	}
+	if err := validateSets(cfg.Subspaces, cfg.Sets); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg}
+	if reg := cfg.Metrics; reg != nil {
+		sreg := reg.Sub("shard")
+		c.m = metrics{
+			rebalances: sreg.Counter("rebalances_total"),
+			routed:     sreg.Counter("routed_updates_total"),
+			filtered:   sreg.Counter("filtered_updates_total"),
+			results:    sreg.Counter("results_total"),
+		}
+	}
+	for id, set := range cfg.Sets {
+		sh := &shard{id: id, set: append([]int(nil), set...)}
+		sort.Ints(sh.set)
+		sh.owned = make(map[int]bool, len(sh.set))
+		for _, i := range sh.set {
+			sh.owned[i] = true
+		}
+		if reg := cfg.Metrics; reg != nil {
+			sreg := reg.Sub("shard").Sub("shard" + strconv.Itoa(id))
+			sh.lag = sreg.Gauge("lag")
+			shp := sh
+			sreg.Func("rebalances", func() int64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return int64(shp.rebalances)
+			})
+		}
+		b, err := cfg.Factory(Assignment{
+			Shard: id, Set: sh.set, OnResult: c.resultSink(sh, 0),
+		})
+		if err != nil {
+			for _, prev := range c.shards {
+				prev.backend.Close()
+			}
+			return nil, fmt.Errorf("shard: placing shard %d: %w", id, err)
+		}
+		sh.backend = b
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+// validateSets checks that the shard sets are a disjoint cover of the
+// global subspace range.
+func validateSets(n int, sets [][]int) error {
+	seen := make(map[int]int, n)
+	for id, set := range sets {
+		if len(set) == 0 {
+			return fmt.Errorf("shard: shard %d owns no subspaces", id)
+		}
+		for _, i := range set {
+			if i < 0 || i >= n {
+				return fmt.Errorf("shard: shard %d: subspace %d out of range [0,%d)", id, i, n)
+			}
+			if prev, dup := seen[i]; dup {
+				return fmt.Errorf("shard: subspace %d owned by both shard %d and shard %d", i, prev, id)
+			}
+			seen[i] = id
+		}
+	}
+	if len(seen) != n {
+		return fmt.Errorf("shard: sets cover %d of %d subspaces", len(seen), n)
+	}
+	return nil
+}
+
+// deliver is the exactly-once upstream delivery path for one shard:
+// replayed results regenerate deterministically after a rebalance, so
+// the first suppress of them are swallowed, and a result racing in
+// from a placement that has already been replaced (a read loop
+// dispatching its last frame as the coordinator rebalances) is dropped
+// by generation. placement < 0 means "the current placement" — the
+// synchronous Feed path, which runs under c.mu and cannot be stale.
+// Reports whether the result was genuinely new (delivered upstream).
+func (c *Coordinator) deliver(sh *shard, placement int, r flash.Result) bool {
+	sh.resMu.Lock()
+	if placement >= 0 && placement != sh.placement {
+		sh.resMu.Unlock()
+		return false
+	}
+	if sh.suppress > 0 {
+		sh.suppress--
+		sh.resMu.Unlock()
+		return false
+	}
+	sh.results++
+	sh.resMu.Unlock()
+	c.m.results.Inc()
+	if c.cfg.OnResult != nil {
+		c.cfg.OnResult(r)
+	}
+	return true
+}
+
+// resultSink adapts deliver into the Assignment.OnResult shape a
+// backend pushes asynchronous results through, bound to the placement
+// generation it was created for.
+func (c *Coordinator) resultSink(sh *shard, placement int) func(flash.Result) {
+	return func(r flash.Result) { c.deliver(sh, placement, r) }
+}
+
+// FeedContext accepts one epoch-tagged message, appends it to the
+// durable log, and routes it to every shard — the full update list to
+// shards owning a touched subspace, the bare envelope (which still
+// drives CE2D epoch tracking) elsewhere. Results produced synchronously
+// (local backends) are returned; every result, synchronous or pushed,
+// reaches Config.OnResult exactly once. A shard whose backend fails is
+// rebalanced and caught up before FeedContext returns.
+func (c *Coordinator) FeedContext(ctx context.Context, m flash.Msg) ([]flash.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("shard: coordinator closed")
+	}
+	c.log = append(c.log, m)
+
+	type delivery struct {
+		res []flash.Result
+		err error
+	}
+	out := make([]delivery, len(c.shards))
+	var wg sync.WaitGroup
+	for si, sh := range c.shards {
+		si, sh := si, sh
+		routed := c.routeFor(sh, m)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sh.backend.Feed(ctx, []flash.Msg{routed})
+			out[si] = delivery{res, err}
+		}()
+	}
+	wg.Wait()
+
+	var merged []flash.Result
+	for si, sh := range c.shards {
+		if err := out[si].err; err != nil {
+			if rerr := c.rebalanceLocked(ctx, sh, err); rerr != nil {
+				return merged, rerr
+			}
+			continue // the replay caught the shard up through this message
+		}
+		sh.fed = len(c.log)
+		sh.setLag(0)
+		for _, r := range out[si].res {
+			if c.deliver(sh, -1, r) {
+				merged = append(merged, r)
+			}
+		}
+	}
+	// Shard order above is ascending-lowest-subspace by construction,
+	// matching the (message, subspace) merge order of a full-set System
+	// for contiguous partitions; sort to make it so for any partition.
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Subspace < merged[j].Subspace })
+	return merged, nil
+}
+
+// Drain blocks until every shard has verified everything it was fed
+// and delivered the results. A shard that cannot drain within
+// DrainTimeout is declared dead, rebalanced, and drained again.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drainLocked(ctx)
+}
+
+func (c *Coordinator) drainLocked(ctx context.Context) error {
+	for _, sh := range c.shards {
+		if err := c.drainShardLocked(ctx, sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) drainShardLocked(ctx context.Context, sh *shard) error {
+	for attempt := 0; ; attempt++ {
+		dctx, cancel := context.WithTimeout(ctx, c.cfg.DrainTimeout)
+		err := sh.backend.Drain(dctx)
+		cancel()
+		if err == nil && sh.backend.Healthy() {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("shard: shard %d replica reports unhealthy", sh.id)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= c.cfg.MaxRebalances {
+			return fmt.Errorf("shard: shard %d: giving up after %d rebalances: %w", sh.id, attempt, err)
+		}
+		if rerr := c.rebalanceLocked(ctx, sh, err); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// ModelFingerprint aggregates the shards' per-subspace digests for the
+// epoch into the fingerprint a single-process run would report. It
+// drains first, so the digest reflects every accepted message — the
+// epoch-consistent cut.
+func (c *Coordinator) ModelFingerprint(ctx context.Context, epoch string) (string, error) {
+	parts, err := c.SubspaceFingerprints(ctx, epoch)
+	if err != nil {
+		return "", err
+	}
+	return flash.ComposeFingerprints(parts), nil
+}
+
+// SubspaceFingerprints drains every shard and merges their per-subspace
+// digest maps (disjoint by construction).
+func (c *Coordinator) SubspaceFingerprints(ctx context.Context, epoch string) (map[int]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	merged := make(map[int]string)
+	for _, sh := range c.shards {
+		if err := c.drainShardLocked(ctx, sh); err != nil {
+			return nil, err
+		}
+		parts, err := sh.backend.Fingerprints(ctx, epoch)
+		if err != nil {
+			// One retry through a rebalance: the replica may have died
+			// after draining.
+			if rerr := c.rebalanceLocked(ctx, sh, err); rerr != nil {
+				return nil, rerr
+			}
+			if parts, err = sh.backend.Fingerprints(ctx, epoch); err != nil {
+				return nil, fmt.Errorf("shard: shard %d fingerprints: %w", sh.id, err)
+			}
+		}
+		for i, d := range parts {
+			if !sh.owned[i] {
+				return nil, fmt.Errorf("shard: shard %d reported digest for foreign subspace %d", sh.id, i)
+			}
+			merged[i] = d
+		}
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("shard: no verifier for epoch %q in any shard", epoch)
+	}
+	return merged, nil
+}
+
+// CheckHealth probes every shard and rebalances the unhealthy ones —
+// the coordinator's proactive reassignment path (flashcoord runs it on
+// a timer; Feed/Drain failures trigger the same reassignment
+// reactively).
+func (c *Coordinator) CheckHealth(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sh := range c.shards {
+		if sh.backend.Healthy() {
+			continue
+		}
+		err := fmt.Errorf("shard: shard %d replica reports unhealthy", sh.id)
+		if rerr := c.rebalanceLocked(ctx, sh, err); rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// Checkpoint captures every checkpoint-capable shard's state into
+// dir/shard<i>, atomically with the log cut: no message can interleave
+// between a shard's capture and the recorded replay floor, so a later
+// rebalance restores the checkpoint and replays exactly the
+// post-checkpoint suffix.
+func (c *Coordinator) Checkpoint(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sh := range c.shards {
+		ck, ok := sh.backend.(Checkpointer)
+		if !ok {
+			continue
+		}
+		shardDir := shardDir(dir, sh.id)
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			return fmt.Errorf("shard: checkpointing shard %d: %w", sh.id, err)
+		}
+		if _, err := ck.Checkpoint(shardDir); err != nil {
+			return fmt.Errorf("shard: checkpointing shard %d: %w", sh.id, err)
+		}
+		sh.ckptDir = shardDir
+		sh.ckptLog = sh.fed
+		sh.resMu.Lock()
+		sh.ckptRes = sh.results
+		sh.resMu.Unlock()
+	}
+	return nil
+}
+
+func shardDir(dir string, id int) string {
+	return dir + "/shard" + strconv.Itoa(id)
+}
+
+// Rebalance forcibly reassigns one shard to a fresh replica (the
+// manual/operational entry point; tests use it to model kill -9).
+func (c *Coordinator) Rebalance(ctx context.Context, id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.shards) {
+		return fmt.Errorf("shard: no shard %d", id)
+	}
+	return c.rebalanceLocked(ctx, c.shards[id], fmt.Errorf("operator-requested rebalance"))
+}
+
+// Status is the /v1/shards view of the coordinator.
+type Status struct {
+	Subspaces int           `json:"subspaces"`
+	LogLen    int           `json:"log_len"`
+	Shards    []ShardStatus `json:"shards"`
+}
+
+// ShardStatus describes one shard placement.
+type ShardStatus struct {
+	ID         int   `json:"id"`
+	Subspaces  []int `json:"subspaces"`
+	Healthy    bool  `json:"healthy"`
+	Fed        int   `json:"fed"`
+	Lag        int   `json:"lag"`
+	Results    int   `json:"results"`
+	Rebalances int   `json:"rebalances"`
+	Restored   bool  `json:"restored"`
+}
+
+// Status reports the coordinator's placement and progress state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{Subspaces: c.cfg.Subspaces, LogLen: len(c.log)}
+	for _, sh := range c.shards {
+		sh.resMu.Lock()
+		res := sh.results
+		sh.resMu.Unlock()
+		st.Shards = append(st.Shards, ShardStatus{
+			ID:         sh.id,
+			Subspaces:  append([]int(nil), sh.set...),
+			Healthy:    sh.backend.Healthy(),
+			Fed:        sh.fed,
+			Lag:        len(c.log) - sh.fed,
+			Results:    res,
+			Rebalances: sh.rebalances,
+			Restored:   sh.backend.Restored(),
+		})
+	}
+	return st
+}
+
+// LogLen reports how many messages the coordinator has accepted.
+func (c *Coordinator) LogLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.log)
+}
+
+// Close tears every shard backend down.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	for _, sh := range c.shards {
+		if err := sh.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (sh *shard) setLag(n int) {
+	if sh.lag != nil {
+		sh.lag.Set(int64(n))
+	}
+}

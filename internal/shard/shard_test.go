@@ -1,0 +1,515 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	flash "repro"
+	"repro/internal/fib"
+	"repro/internal/obs"
+	"repro/internal/topo"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+const testSubspaces = 4
+
+// tinyFabric is a test-sized 3-tier Clos.
+var tinyFabric = topo.FabricParams{Pods: 2, TorsPerPod: 2, AggsPerPod: 2, SpinePlanes: 2, SpinePer: 1}
+
+// testWorkload builds the seeded workload and its CE2D epoch stream:
+// consecutive updates grouped into epochs, at most one message per
+// device per epoch.
+func testWorkload(seed int64) (*workload.Workload, [][]flash.Msg, string) {
+	w := workload.TraceAPSP("shard", topo.Internet2())
+	seq := w.SkewedChurn(3, testSubspaces, 0.9, seed)
+	epochs := epochStream(seq, 24)
+	return w, epochs, fmt.Sprintf("e%d", len(epochs))
+}
+
+func epochStream(seq []workload.DevUpdate, perEpoch int) [][]flash.Msg {
+	var epochs [][]flash.Msg
+	for start, e := 0, 1; start < len(seq); e++ {
+		end := start + perEpoch
+		if end > len(seq) {
+			end = len(seq)
+		}
+		byDev := make(map[fib.DeviceID][]fib.Update)
+		var order []fib.DeviceID
+		for _, du := range seq[start:end] {
+			if _, ok := byDev[du.Dev]; !ok {
+				order = append(order, du.Dev)
+			}
+			byDev[du.Dev] = append(byDev[du.Dev], du.Update)
+		}
+		var msgs []flash.Msg
+		for _, dev := range order {
+			m, err := wire.FromFib(dev, fmt.Sprintf("e%d", e), byDev[dev])
+			if err != nil {
+				panic(err)
+			}
+			msgs = append(msgs, m)
+		}
+		epochs = append(epochs, msgs)
+		start = end
+	}
+	return epochs
+}
+
+func sysOpts(w *workload.Workload) []flash.Option {
+	return []flash.Option{
+		flash.WithTopo(w.Topo),
+		flash.WithLayout(w.Layout),
+		flash.WithSubspaces(testSubspaces, ""),
+		flash.WithChecks(flash.CheckSpec{Name: "loops", Kind: flash.CheckLoopFree}),
+	}
+}
+
+// singleRun replays the stream through one full-set System: the oracle
+// every sharded configuration must match.
+func singleRun(t *testing.T, w *workload.Workload, epochs [][]flash.Msg, last string) ([]string, string) {
+	t.Helper()
+	sys, err := flash.NewSystem(sysOpts(w)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdicts []string
+	for _, msgs := range epochs {
+		for _, m := range msgs {
+			rs, err := sys.FeedContext(context.Background(), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rs {
+				verdicts = append(verdicts, r.String())
+			}
+		}
+	}
+	sort.Strings(verdicts)
+	fp, err := sys.ModelFingerprint(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return verdicts, fp
+}
+
+// collector accumulates coordinator results concurrently.
+type collector struct {
+	mu sync.Mutex
+	vs []string
+}
+
+func (c *collector) add(r flash.Result) {
+	c.mu.Lock()
+	c.vs = append(c.vs, r.String())
+	c.mu.Unlock()
+}
+
+func (c *collector) sorted() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.vs...)
+	sort.Strings(out)
+	return out
+}
+
+func coordConfig(w *workload.Workload, sets [][]int, col *collector) Config {
+	return Config{
+		Subspaces: testSubspaces,
+		Field:     "dst",
+		FieldBits: w.Layout.FieldBits("dst"),
+		Sets:      sets,
+		Factory:   LocalFactory(sysOpts(w)...),
+		OnResult:  col.add,
+	}
+}
+
+func feedAll(t *testing.T, c *Coordinator, epochs [][]flash.Msg) {
+	t.Helper()
+	for _, msgs := range epochs {
+		for _, m := range msgs {
+			if _, err := c.FeedContext(context.Background(), m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func diffVerdicts(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d verdicts, oracle has %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: verdict multiset diverges at %d:\n  got:  %s\n  want: %s",
+				label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCoordinatorEquality: for every shard count, the coordinator's
+// aggregated verdict multiset and composed fingerprint equal the
+// single-process run.
+func TestCoordinatorEquality(t *testing.T) {
+	const seed = 0x5a4d1
+	w, epochs, last := testWorkload(seed)
+	wantV, wantFP := singleRun(t, w, epochs, last)
+	if len(wantV) == 0 {
+		t.Fatal("oracle run produced no verdicts")
+	}
+	for _, k := range []int{1, 2, 4} {
+		col := &collector{}
+		c, err := New(coordConfig(w, Partition(testSubspaces, k), col))
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedAll(t, c, epochs)
+		if err := c.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		fp, err := c.ModelFingerprint(context.Background(), last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != wantFP {
+			t.Fatalf("k=%d: composed fingerprint diverges from single-process run", k)
+		}
+		diffVerdicts(t, fmt.Sprintf("k=%d", k), col.sorted(), wantV)
+		c.Close()
+	}
+}
+
+// TestPartitionPropertyEquality is the quick-check satellite: ANY
+// disjoint cover of the subspace set — random assignment, random shard
+// count — must give verdict-multiset and fingerprint equality with the
+// unsharded run, across every workload generator family.
+func TestPartitionPropertyEquality(t *testing.T) {
+	gens := []struct {
+		name string
+		w    *workload.Workload
+	}{
+		{"trace-apsp", workload.TraceAPSP("shard-prop", topo.Internet2())},
+		{"lnet-apsp", workload.LNetAPSP(tinyFabric)},
+		{"lnet-ecmp", workload.LNetECMP(tinyFabric)},
+		{"lnet-smr", workload.LNetSMR(tinyFabric)},
+	}
+	rng := rand.New(rand.NewSource(0x9a57))
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			seq := g.w.SkewedChurn(2, testSubspaces, 0.8, rng.Int63())
+			epochs := epochStream(seq, 24)
+			last := fmt.Sprintf("e%d", len(epochs))
+			wantV, wantFP := singleRun(t, g.w, epochs, last)
+			for trial := 0; trial < 3; trial++ {
+				k := 1 + rng.Intn(testSubspaces)
+				// Random disjoint cover: assign each subspace to a
+				// uniform shard, dropping empty shards.
+				buckets := make([][]int, k)
+				for i := 0; i < testSubspaces; i++ {
+					s := rng.Intn(k)
+					buckets[s] = append(buckets[s], i)
+				}
+				var sets [][]int
+				for _, b := range buckets {
+					if len(b) > 0 {
+						sets = append(sets, b)
+					}
+				}
+				label := fmt.Sprintf("trial %d sets %v", trial, sets)
+				col := &collector{}
+				c, err := New(coordConfig(g.w, sets, col))
+				if err != nil {
+					t.Fatal(err)
+				}
+				feedAll(t, c, epochs)
+				fp, err := c.ModelFingerprint(context.Background(), last)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if fp != wantFP {
+					t.Fatalf("%s: composed fingerprint diverges", label)
+				}
+				diffVerdicts(t, label, col.sorted(), wantV)
+				c.Close()
+			}
+		})
+	}
+}
+
+// witnessFactory wraps a factory and records, per placement, the
+// envelope sequence ("device/epoch") each backend was fed — the
+// sequence witness for loss/duplication analysis across handoffs.
+type witnessFactory struct {
+	inner Factory
+
+	mu     sync.Mutex
+	feeds  map[string][]string // placement key → envelope sequence
+	placed []string            // placement keys in creation order
+}
+
+func newWitnessFactory(inner Factory) *witnessFactory {
+	return &witnessFactory{inner: inner, feeds: make(map[string][]string)}
+}
+
+func (wf *witnessFactory) factory() Factory {
+	return func(a Assignment) (Backend, error) {
+		b, err := wf.inner(a)
+		if err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("s%d-r%d", a.Shard, a.Rebalance)
+		wf.mu.Lock()
+		wf.placed = append(wf.placed, key)
+		wf.mu.Unlock()
+		return &witnessBackend{Backend: b, wf: wf, key: key}, nil
+	}
+}
+
+func (wf *witnessFactory) sequence(key string) []string {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	return append([]string(nil), wf.feeds[key]...)
+}
+
+type witnessBackend struct {
+	Backend
+	wf  *witnessFactory
+	key string
+}
+
+// Checkpoint forwards so the wrapper doesn't hide the inner backend's
+// Checkpointer capability from the coordinator.
+func (wb *witnessBackend) Checkpoint(dir string) (flash.CheckpointInfo, error) {
+	ck, ok := wb.Backend.(Checkpointer)
+	if !ok {
+		return flash.CheckpointInfo{}, fmt.Errorf("backend does not checkpoint")
+	}
+	return ck.Checkpoint(dir)
+}
+
+func (wb *witnessBackend) Feed(ctx context.Context, msgs []flash.Msg) ([]flash.Result, error) {
+	wb.wf.mu.Lock()
+	for _, m := range msgs {
+		wb.wf.feeds[wb.key] = append(wb.wf.feeds[wb.key], fmt.Sprintf("%d/%s", m.Device, m.Epoch))
+	}
+	wb.wf.mu.Unlock()
+	return wb.Backend.Feed(ctx, msgs)
+}
+
+// TestRebalanceNoLossNoDup: a forced handoff mid-stream loses no
+// updates and applies none twice. The witness proves the replacement
+// placement was fed exactly the log prefix in order; the verdict
+// multiset and fingerprint prove exactly-once upstream delivery.
+func TestRebalanceNoLossNoDup(t *testing.T) {
+	const seed = 0x4eba1
+	w, epochs, last := testWorkload(seed)
+	wantV, wantFP := singleRun(t, w, epochs, last)
+
+	col := &collector{}
+	cfg := coordConfig(w, Partition(testSubspaces, 2), col)
+	wf := newWitnessFactory(cfg.Factory)
+	cfg.Factory = wf.factory()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	half := len(epochs) / 2
+	feedAll(t, c, epochs[:half])
+	// Handoff: shard 1's replica "dies" and is replaced mid-stream.
+	if err := c.Rebalance(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, c, epochs[half:])
+
+	fp, err := c.ModelFingerprint(context.Background(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != wantFP {
+		t.Fatal("fingerprint diverges after mid-stream handoff")
+	}
+	diffVerdicts(t, "handoff", col.sorted(), wantV)
+
+	// Sequence witness: the replacement placement saw every logged
+	// envelope exactly once, in log order (replay prefix + live tail).
+	want := wf.sequence("s1-r0") // original placement saw the full prefix
+	wantLen := len(want)
+	got := wf.sequence("s1-r1")
+	if len(got) <= wantLen {
+		t.Fatalf("replacement placement saw %d envelopes, want > %d (replay + tail)", len(got), wantLen)
+	}
+	for i, env := range want {
+		if got[i] != env {
+			t.Fatalf("replay sequence diverges at %d: got %s want %s", i, got[i], env)
+		}
+	}
+	// No duplicates: CE2D allows at most one message per device per
+	// epoch, so every envelope must appear exactly once.
+	seen := map[string]int{}
+	for _, env := range got {
+		if seen[env]++; seen[env] > 1 {
+			t.Fatalf("envelope %s fed twice to the replacement placement", env)
+		}
+	}
+	st := c.Status()
+	if st.Shards[1].Rebalances != 1 {
+		t.Fatalf("shard 1 rebalances = %d, want 1", st.Shards[1].Rebalances)
+	}
+}
+
+// TestRebalanceRacingCheckpoint: a handoff immediately after a
+// checkpoint commit restores from the checkpoint and replays exactly
+// the post-checkpoint suffix — no update is lost to the gap between
+// the capture and the log cut, and none is applied twice.
+func TestRebalanceRacingCheckpoint(t *testing.T) {
+	const seed = 0xc4b7
+	w, epochs, last := testWorkload(seed)
+	wantV, wantFP := singleRun(t, w, epochs, last)
+
+	dir, err := os.MkdirTemp("", "shardckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	col := &collector{}
+	cfg := coordConfig(w, Partition(testSubspaces, 2), col)
+	wf := newWitnessFactory(cfg.Factory)
+	cfg.Factory = wf.factory()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	third := len(epochs) / 3
+	feedAll(t, c, epochs[:third])
+	preCkpt := c.LogLen()
+	if err := c.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, c, epochs[third:2*third])
+	// The race: kill shard 0 right after more traffic followed the
+	// checkpoint commit. The replacement must boot from the checkpoint
+	// and replay only log[preCkpt:].
+	if err := c.Rebalance(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, c, epochs[2*third:])
+
+	fp, err := c.ModelFingerprint(context.Background(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != wantFP {
+		t.Fatal("fingerprint diverges after checkpoint-racing handoff")
+	}
+	diffVerdicts(t, "ckpt-handoff", col.sorted(), wantV)
+
+	st := c.Status()
+	if !st.Shards[0].Restored {
+		t.Fatal("replacement placement did not restore from the shard checkpoint")
+	}
+	// Witness: replay started at the checkpoint floor, not at zero.
+	replayed := wf.sequence("s0-r1")
+	full := wf.sequence("s0-r0")
+	wantReplay := len(full) - preCkpt
+	if wantReplay < 0 {
+		t.Fatalf("bad harness: placement saw %d < checkpoint floor %d", len(full), preCkpt)
+	}
+	liveTail := c.LogLen() - len(full)
+	if len(replayed) != wantReplay+liveTail {
+		t.Fatalf("replacement fed %d envelopes, want %d (suffix replay %d + live tail %d)",
+			len(replayed), wantReplay+liveTail, wantReplay, liveTail)
+	}
+}
+
+// TestValidateSets rejects overlapping, empty, and non-covering shard
+// sets.
+func TestValidateSets(t *testing.T) {
+	cases := []struct {
+		sets [][]int
+		ok   bool
+	}{
+		{[][]int{{0, 1}, {2, 3}}, true},
+		{[][]int{{0, 1, 2, 3}}, true},
+		{[][]int{{0}, {1}, {2}, {3}}, true},
+		{[][]int{{0, 1}, {1, 2, 3}}, false}, // overlap
+		{[][]int{{0, 1}, {2}}, false},       // gap
+		{[][]int{{0, 1, 2, 3}, {}}, false},  // empty shard
+		{[][]int{{0, 1, 2}, {3, 4}}, false}, // out of range
+	}
+	for i, tc := range cases {
+		err := validateSets(4, tc.sets)
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d %v: err=%v, want ok=%v", i, tc.sets, err, tc.ok)
+		}
+	}
+}
+
+// TestSubspaceRange pins the prefix→subspace-range arithmetic.
+func TestSubspaceRange(t *testing.T) {
+	c := &Coordinator{cfg: Config{Subspaces: 4, Field: "dst", FieldBits: 8}}
+	mk := func(value uint64, plen int) flash.Update {
+		return flash.Update{Rule: flash.Rule{Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: value, Len: plen}}}}
+	}
+	cases := []struct {
+		u      flash.Update
+		lo, hi int
+		ok     bool
+	}{
+		{mk(0x00, 2), 0, 0, true}, // 00xxxxxx → subspace 0
+		{mk(0xC0, 2), 3, 3, true}, // 11xxxxxx → subspace 3
+		{mk(0xFF, 8), 3, 3, true}, // full-length prefix
+		{mk(0x80, 1), 2, 3, true}, // 1xxxxxxx spans upper half
+		{mk(0x00, 0), 0, 3, true}, // default route spans all
+		{flash.Update{Rule: flash.Rule{Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchTernary, Value: 1, Mask: 1}}}}, 0, 0, false},
+		{flash.Update{Rule: flash.Rule{Desc: fib.MatchDesc{{Field: "src", Kind: fib.MatchPrefix, Value: 0, Len: 2}}}}, 0, 0, false},
+	}
+	for i, tc := range cases {
+		lo, hi, ok := c.subspaceRange(tc.u)
+		if ok != tc.ok || (ok && (lo != tc.lo || hi != tc.hi)) {
+			t.Errorf("case %d: got [%d,%d] ok=%v, want [%d,%d] ok=%v", i, lo, hi, ok, tc.lo, tc.hi, tc.ok)
+		}
+	}
+}
+
+// TestMetrics: the shard registry exposes rebalance and routing
+// counters.
+func TestMetrics(t *testing.T) {
+	const seed = 0x0b5
+	w, epochs, _ := testWorkload(seed)
+	reg := obs.NewRegistry("coord")
+	col := &collector{}
+	cfg := coordConfig(w, Partition(testSubspaces, 2), col)
+	cfg.Metrics = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feedAll(t, c, epochs[:2])
+	if err := c.Rebalance(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rebalances_total", "routed_updates_total"} {
+		if !strings.Contains(string(js), want) {
+			t.Fatalf("metrics snapshot missing %q: %s", want, js)
+		}
+	}
+}

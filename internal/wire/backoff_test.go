@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestJitterPerAttempt pins the reconnect backoff jitter contract:
+// each attempt derives its own jitter fraction from (client seed,
+// attempt counter) — deterministic for a pinned seed, distinct across
+// attempts, uniform-bounded, and independent across clients. This is
+// the regression fence for the lock-step retry-storm bug class where
+// every attempt (or every client) reuses one jitter draw.
+func TestJitterPerAttempt(t *testing.T) {
+	const seed = 0x5eed
+	// Deterministic: same (seed, attempt) → same fraction.
+	for attempt := uint64(0); attempt < 8; attempt++ {
+		a := jitterFor(seed, attempt)
+		b := jitterFor(seed, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("attempt %d: jitter %v outside [0,1)", attempt, a)
+		}
+	}
+	// Distinct per attempt: consecutive attempts must not repeat the
+	// draw (the storm failure mode).
+	seen := map[float64]uint64{}
+	for attempt := uint64(0); attempt < 64; attempt++ {
+		u := jitterFor(seed, attempt)
+		if prev, dup := seen[u]; dup {
+			t.Fatalf("attempts %d and %d drew identical jitter %v", prev, attempt, u)
+		}
+		seen[u] = attempt
+	}
+	// Distinct per client: two clients with different seeds must not
+	// trace the same jitter sequence.
+	same := 0
+	for attempt := uint64(0); attempt < 64; attempt++ {
+		if jitterFor(seed, attempt) == jitterFor(seed+1, attempt) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 attempts drew identical jitter across different client seeds", same)
+	}
+	// Roughly uniform: the mean of many draws sits near 0.5.
+	var sum float64
+	const n = 4096
+	for attempt := uint64(0); attempt < n; attempt++ {
+		sum += jitterFor(seed, attempt)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("jitter mean %v far from 0.5 — not uniform", mean)
+	}
+}
+
+// TestBackoffJitterBounds pins the backoff envelope: exponential growth
+// capped at BackoffMax, with each delay inside [1-j, 1+j] of its base,
+// and the sequence deterministic for a pinned client seed.
+func TestBackoffJitterBounds(t *testing.T) {
+	c := &Client{
+		opts: ClientOptions{
+			BackoffMin: 50 * time.Millisecond,
+			BackoffMax: 5 * time.Second,
+			Jitter:     0.2,
+		},
+		jitterSeed: 0xabc,
+	}
+	var first []time.Duration
+	for fails := 0; fails < 10; fails++ {
+		c.attempt = uint32(fails + 1)
+		d := c.backoff(fails)
+		base := c.opts.BackoffMin << uint(fails)
+		if base > c.opts.BackoffMax || base <= 0 {
+			base = c.opts.BackoffMax
+		}
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if d < lo || d > hi {
+			t.Fatalf("fails=%d: backoff %v outside jitter envelope [%v, %v]", fails, d, lo, hi)
+		}
+		first = append(first, d)
+	}
+	// Pinned seed → pinned sequence.
+	for fails := 0; fails < 10; fails++ {
+		c.attempt = uint32(fails + 1)
+		if d := c.backoff(fails); d != first[fails] {
+			t.Fatalf("fails=%d: backoff not deterministic for pinned seed: %v vs %v", fails, d, first[fails])
+		}
+	}
+	// Same fails count on a later attempt draws different jitter (the
+	// per-attempt property at the backoff level).
+	c.attempt = 1
+	a := c.backoff(3)
+	c.attempt = 2
+	b := c.backoff(3)
+	if a == b {
+		t.Fatalf("same fails, different attempts drew identical backoff %v", a)
+	}
+}

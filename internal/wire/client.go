@@ -68,6 +68,19 @@ type ClientOptions struct {
 	// private source seeded from the clock.
 	Rand *rand.Rand
 
+	// OnResult, when set, subscribes the connection to the server's
+	// result stream (re-established on every reconnect) and is called
+	// synchronously from the read loop for each pushed result, before
+	// any later frame — in particular before the ack of the data frame
+	// that triggered it, so after WaitAcked returns every result of the
+	// acked sends has been delivered. The callback must not call back
+	// into the Client.
+	OnResult func(ResultEvent)
+
+	// ResultSubspaces filters the OnResult subscription to these global
+	// subspace indices (nil = all). Ignored without OnResult.
+	ResultSubspaces []int
+
 	// Metrics optionally publishes client counters (sends, acked,
 	// reconnects, replays, heartbeats) under the given registry.
 	Metrics *obs.Registry
@@ -117,11 +130,18 @@ type Client struct {
 	dialing  bool
 	lastSend time.Time
 	lastAck  time.Time // last ack progress (resend-timeout clock)
-	rng      *rand.Rand
+	// jitterSeed is the stable per-client seed backoff jitter is derived
+	// from: each attempt hashes (seed, attempt) so the jitter sequence
+	// is distinct per attempt no matter how dial episodes start or how
+	// many clients share a Rand source.
+	jitterSeed uint64
 
 	subs     []string          // active subscriptions, re-sent on reconnect
 	verdicts chan VerdictEvent // lazily created by Verdicts/first push
 	vdrops   atomic.Uint64     // pushes dropped because verdicts was full
+
+	fpSeq     uint64                           // fingerprint request IDs
+	fpWaiters map[uint64]chan FingerprintReply // in-flight fingerprint requests
 
 	maintDone chan struct{}
 	m         cmetrics
@@ -167,9 +187,10 @@ func NewClient(addr string, opts ClientOptions) (*Client, error) {
 	}
 	c := &Client{addr: addr, opts: opts}
 	c.cond = sync.NewCond(&c.mu)
-	c.rng = opts.Rand
-	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	if opts.Rand != nil {
+		c.jitterSeed = opts.Rand.Uint64()
+	} else {
+		c.jitterSeed = uint64(time.Now().UnixNano()) ^ clientSerial.Add(1)<<32
 	}
 	if reg := opts.Metrics; reg != nil {
 		c.m = cmetrics{
@@ -208,6 +229,15 @@ func NewClient(addr string, opts ClientOptions) (*Client, error) {
 // Stream returns the client's stream identity.
 func (c *Client) Stream() string { return c.opts.Stream }
 
+// Err reports the client's terminal failure, if any: non-nil once the
+// client has been closed or has abandoned reconnection. A nil result
+// means the client is still live (possibly mid-reconnect).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
 // install binds a fresh connection: sends hello, replays the unacked
 // buffer, and starts the ack reader. Caller holds c.mu.
 func (c *Client) install(conn net.Conn) error {
@@ -236,6 +266,11 @@ func (c *Client) install(conn net.Conn) error {
 	// the same way the unacked buffer is replayed.
 	for _, spec := range c.subs {
 		if err := sw.subscribe(spec); err != nil {
+			return err
+		}
+	}
+	if c.opts.OnResult != nil {
+		if err := sw.resultSub(c.opts.ResultSubspaces); err != nil {
 			return err
 		}
 	}
@@ -331,6 +366,7 @@ func (c *Client) connFailedLocked(err error) error {
 		c.sw = nil
 		c.gen++
 	}
+	c.failFpWaitersLocked(fmt.Sprintf("wire: connection lost: %v", err))
 	if !c.opts.Reconnect {
 		c.failed = fmt.Errorf("wire: client: %v: %w", err, ErrClientClosed)
 		c.cond.Broadcast()
@@ -400,20 +436,38 @@ func (c *Client) redial() {
 }
 
 // backoff computes the delay before reconnect attempt number fails
-// (0-based), exponential with jitter. Caller holds c.mu (for rng).
+// (0-based), exponential with per-attempt jitter. The jitter fraction
+// is derived by hashing the stable per-client seed with the global
+// attempt counter, never from shared RNG state: every attempt of every
+// dial episode lands on its own point of [1-j, 1+j], so a fleet of
+// clients (or one client redialing repeatedly) cannot fall into
+// lock-step retry storms the way a reseeded-per-dial RNG allowed.
+// Caller holds c.mu (for attempt).
 func (c *Client) backoff(fails int) time.Duration {
 	d := c.opts.BackoffMin << uint(fails)
 	if d > c.opts.BackoffMax || d <= 0 {
 		d = c.opts.BackoffMax
 	}
 	if j := c.opts.Jitter; j > 0 {
-		f := 1 + j*(2*c.rng.Float64()-1) // uniform in [1-j, 1+j]
+		u := jitterFor(c.jitterSeed, uint64(c.attempt)) // uniform in [0, 1)
+		f := 1 + j*(2*u-1)                              // uniform in [1-j, 1+j)
 		d = time.Duration(float64(d) * f)
 	}
 	if d < 0 {
 		d = c.opts.BackoffMin
 	}
 	return d
+}
+
+// jitterFor maps (seed, attempt) to a uniform fraction in [0, 1) with a
+// splitmix64 finalizer — deterministic for tests that pin the seed,
+// distinct across attempts by construction.
+func jitterFor(seed, attempt uint64) float64 {
+	x := seed + attempt*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // readLoop consumes acks and heartbeat echoes for one connection
@@ -459,8 +513,89 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 			default:
 				c.vdrops.Add(1)
 			}
+		case frameResult:
+			if h := c.opts.OnResult; h != nil {
+				// The callback runs outside the lock (it may be slow and
+				// must not deadlock against client accessors) but still
+				// synchronously in frame order: the next frame — in
+				// particular the ack that follows this result — is not
+				// read until it returns.
+				c.mu.Unlock()
+				h(f.Result)
+				c.mu.Lock()
+				if c.closed || gen != c.gen {
+					c.mu.Unlock()
+					return
+				}
+			}
+		case frameFpResp:
+			if ch, ok := c.fpWaiters[f.Fp.ID]; ok {
+				delete(c.fpWaiters, f.Fp.ID)
+				ch <- f.Fp
+			}
 		}
 		c.mu.Unlock()
+	}
+}
+
+// Fingerprint requests the server's per-subspace model digests for the
+// epoch (global subspace index → digest), blocking until the response
+// arrives, the context is done, or the connection drops (an in-flight
+// request does not survive a reconnect — callers retry; the model it
+// would have described may have changed anyway). A server-side failure
+// (e.g. no verifier for the epoch) is returned as an error with the
+// server's message.
+func (c *Client) Fingerprint(ctx context.Context, epoch string) (map[int]string, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.failed != nil {
+		err := c.failed
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.conn == nil {
+		c.mu.Unlock()
+		return nil, errors.New("wire: fingerprint: not connected")
+	}
+	c.fpSeq++
+	id := c.fpSeq
+	ch := make(chan FingerprintReply, 1)
+	if c.fpWaiters == nil {
+		c.fpWaiters = make(map[uint64]chan FingerprintReply)
+	}
+	c.fpWaiters[id] = ch
+	sw := c.sw
+	c.mu.Unlock()
+	if err := sw.fpReq(id, epoch); err != nil {
+		c.mu.Lock()
+		delete(c.fpWaiters, id)
+		c.connFailedLocked(err)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case rep := <-ch:
+		if rep.Err != "" {
+			return nil, fmt.Errorf("wire: fingerprint: %s", rep.Err)
+		}
+		return rep.Parts, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.fpWaiters, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// failFpWaitersLocked aborts every in-flight fingerprint request (the
+// connection they were sent on is gone). Caller holds c.mu.
+func (c *Client) failFpWaitersLocked(cause string) {
+	for id, ch := range c.fpWaiters {
+		delete(c.fpWaiters, id)
+		ch <- FingerprintReply{ID: id, Err: cause}
 	}
 }
 
@@ -575,6 +710,7 @@ func (c *Client) Close() error {
 		c.sw = nil
 	}
 	c.gen++
+	c.failFpWaitersLocked("wire: client closed")
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	if c.maintDone != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +31,8 @@ type serverOpts struct {
 	acceptBackoffMax time.Duration
 	corrupt          CorruptPolicy
 	subscribe        SubscribeHook
+	results          ResultsHook
+	fingerprint      FingerprintHook
 	logf             func(string, ...any)
 	deferAcks        bool
 	preload          map[string]uint64
@@ -99,6 +102,35 @@ type SubscribeHook func(spec string, push func(VerdictEvent) error) (cancel func
 // one, subscribe frames are ignored (logged, connection kept).
 func WithSubscriptions(h SubscribeHook) ServerOption {
 	return func(o *serverOpts) { o.subscribe = h }
+}
+
+// ResultsHook connects a result-sub frame to the application's result
+// stream, mirroring SubscribeHook: it is called once per result-sub
+// frame with the requested subspace filter (empty = all) and a push
+// function that writes a result frame to the subscribing connection.
+// Pushes made from inside the server's data-frame handler are written
+// before that frame's ack, so a client that has drained its acks has
+// observed every result its sends triggered. The returned cancel runs
+// when the connection closes; an error rejects the subscription.
+type ResultsHook func(subspaces []int, push func(ResultEvent) error) (cancel func(), err error)
+
+// WithResults installs the hook serving result-sub frames. Without one,
+// result-sub frames are ignored (logged, connection kept).
+func WithResults(h ResultsHook) ServerOption {
+	return func(o *serverOpts) { o.results = h }
+}
+
+// FingerprintHook answers fingerprint requests: it returns the
+// application's per-subspace model digests for the epoch (global
+// subspace index → digest). An error is relayed to the requester
+// verbatim in the response frame.
+type FingerprintHook func(epoch string) (map[int]string, error)
+
+// WithFingerprints installs the hook answering fingerprint request
+// frames. Without one, requests are answered with an error response
+// (the connection is kept).
+func WithFingerprints(h FingerprintHook) ServerOption {
+	return func(o *serverOpts) { o.fingerprint = h }
 }
 
 // WithDeferredAcks makes the server ack only up to the durable floor —
@@ -197,6 +229,9 @@ type smetrics struct {
 	streamsLive   *obs.Gauge   // streams with server-side state
 	subsTotal     *obs.Counter // subscribe frames accepted
 	verdictsTx    *obs.Counter // verdict frames pushed
+	resultSubs    *obs.Counter // result-sub frames accepted
+	resultsTx     *obs.Counter // result frames pushed
+	fpRequests    *obs.Counter // fingerprint requests answered
 }
 
 // Instrument attaches the server to an observability registry; call it
@@ -224,6 +259,9 @@ func (s *Server) Instrument(r *obs.Registry) {
 		streamsLive:   r.Gauge("streams"),
 		subsTotal:     r.Counter("subscriptions_total"),
 		verdictsTx:    r.Counter("verdicts_tx"),
+		resultSubs:    r.Counter("result_subscriptions_total"),
+		resultsTx:     r.Counter("results_tx"),
+		fpRequests:    r.Counter("fingerprint_requests_total"),
 	}
 }
 
@@ -403,6 +441,45 @@ func (s *Server) serveConn(conn net.Conn) {
 				cancels = append(cancels, cancel)
 			}
 			s.m.subsTotal.Inc()
+		case frameResultSub:
+			if s.opts.results == nil {
+				s.logf("wire: %s: result subscription ignored (no hook)", conn.RemoteAddr())
+				continue
+			}
+			push := func(ev ResultEvent) error {
+				err := sw.result(ev)
+				if err == nil {
+					s.m.resultsTx.Inc()
+				}
+				return err
+			}
+			cancel, err := s.opts.results(f.SubSet, push)
+			if err != nil {
+				s.logf("wire: %s: result subscription rejected: %v", conn.RemoteAddr(), err)
+				continue
+			}
+			if cancel != nil {
+				cancels = append(cancels, cancel)
+			}
+			s.m.resultSubs.Inc()
+		case frameFpReq:
+			rep := FingerprintReply{ID: f.Fp.ID}
+			if s.opts.fingerprint == nil {
+				rep.Err = "wire: no fingerprint hook"
+			} else if parts, err := s.opts.fingerprint(f.FpEpoch); err != nil {
+				rep.Err = err.Error()
+			} else {
+				rep.Parts = parts
+			}
+			order := make([]int, 0, len(rep.Parts))
+			for i := range rep.Parts {
+				order = append(order, i)
+			}
+			sort.Ints(order)
+			if err := sw.fpResp(rep, order); err != nil {
+				return
+			}
+			s.m.fpRequests.Inc()
 		}
 	}
 }

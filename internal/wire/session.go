@@ -45,6 +45,10 @@ const (
 	frameHeartbeat byte = 0x04
 	frameSubscribe byte = 0x05 // client → server: watch a spec (subscribe.go)
 	frameVerdict   byte = 0x06 // server → client: verdict change push (subscribe.go)
+	frameResultSub byte = 0x07 // client → server: stream results (shard.go)
+	frameResult    byte = 0x08 // server → client: result push (shard.go)
+	frameFpReq     byte = 0x09 // client → server: fingerprint request (shard.go)
+	frameFpResp    byte = 0x0A // server → client: fingerprint response (shard.go)
 )
 
 // helloInfo is the decoded content of a hello frame.
@@ -76,6 +80,13 @@ type sessionFrame struct {
 	// Spec and Event carry subscription frames (subscribe.go).
 	Spec  string
 	Event VerdictEvent
+	// SubSet, Result, and Fp carry shard routing/aggregation frames
+	// (shard.go).
+	SubSet []int
+	Result ResultEvent
+	Fp     FingerprintReply
+	// FpEpoch is a fingerprint request's epoch (the request reuses Fp.ID).
+	FpEpoch string
 }
 
 // appendHello encodes a hello frame body.
@@ -166,6 +177,61 @@ func parseSessionFrame(body []byte) (sessionFrame, error) {
 		}
 		if r.err != nil {
 			return sessionFrame{}, fmt.Errorf("wire: verdict frame: %w", r.err)
+		}
+	case frameResultSub:
+		r := msgReader{buf: rest}
+		if n := int(r.u16()); n > 0 && r.err == nil {
+			f.SubSet = make([]int, 0, min(n, 4096))
+			for i := 0; i < n && r.err == nil; i++ {
+				f.SubSet = append(f.SubSet, int(r.u32()))
+			}
+		}
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: result-sub frame: %w", r.err)
+		}
+	case frameResult:
+		r := msgReader{buf: rest}
+		f.Result.Subspace = int(r.u32())
+		f.Result.Epoch = r.str()
+		f.Result.Check = r.str()
+		f.Result.Verdict = r.u8()
+		f.Result.Loop = r.u8()
+		if n := int(r.u8()); n > 0 && r.err == nil {
+			f.Result.Witness = make([]uint64, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				f.Result.Witness = append(f.Result.Witness, r.u64())
+			}
+		}
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: result frame: %w", r.err)
+		}
+	case frameFpReq:
+		r := msgReader{buf: rest}
+		f.Fp.ID = r.u64()
+		f.FpEpoch = r.str()
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: fingerprint request: %w", r.err)
+		}
+	case frameFpResp:
+		r := msgReader{buf: rest}
+		f.Fp.ID = r.u64()
+		f.Fp.Err = r.str()
+		if n := int(r.u32()); n > 0 && r.err == nil {
+			f.Fp.Parts = make(map[int]string, min(n, 4096))
+			for i := 0; i < n && r.err == nil; i++ {
+				idx := int(r.u32())
+				d := r.str()
+				if r.err != nil {
+					break
+				}
+				if _, dup := f.Fp.Parts[idx]; dup {
+					return sessionFrame{}, fmt.Errorf("wire: fingerprint response: duplicate subspace %d: %w", idx, ErrCorruptFrame)
+				}
+				f.Fp.Parts[idx] = d
+			}
+		}
+		if r.err != nil {
+			return sessionFrame{}, fmt.Errorf("wire: fingerprint response: %w", r.err)
 		}
 	default:
 		return sessionFrame{}, fmt.Errorf("wire: unknown frame type 0x%02x: %w", f.Type, ErrCorruptFrame)
@@ -263,6 +329,50 @@ func (sw *sessionWriter) verdict(ev VerdictEvent) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	body, err := appendVerdict(sw.buf[:0], ev)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
+}
+
+func (sw *sessionWriter) resultSub(subspaces []int) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendResultSub(sw.buf[:0], subspaces)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
+}
+
+func (sw *sessionWriter) result(ev ResultEvent) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendResult(sw.buf[:0], ev)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
+}
+
+func (sw *sessionWriter) fpReq(id uint64, epoch string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendFpReq(sw.buf[:0], id, epoch)
+	if err != nil {
+		return err
+	}
+	sw.buf = body
+	return sw.write(body)
+}
+
+func (sw *sessionWriter) fpResp(rep FingerprintReply, order []int) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	body, err := appendFpResp(sw.buf[:0], rep, order)
 	if err != nil {
 		return err
 	}

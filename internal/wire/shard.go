@@ -1,0 +1,118 @@
+package wire
+
+import "fmt"
+
+// Shard routing/aggregation frames extend session protocol v2 for the
+// distributed coordinator (internal/shard): a coordinator connects to a
+// shard replica with the same Client it uses for agent traffic, streams
+// the replica's share of the update stream as ordinary data frames, and
+// uses these four frames to pull the replica's half of the answer back:
+//
+//   - a result-sub frame subscribes the connection to the replica's
+//     live result stream (every deterministic early-detection result,
+//     not just verdict flips), optionally filtered to a subspace set;
+//   - result frames push those results back, riding the same ordered
+//     connection as acks — a result caused by data frame seq=n is
+//     always written before n's ack, so a client that has WaitAcked
+//     has also observed every result its sends triggered;
+//   - a fingerprint request/response pair fetches the replica's
+//     per-subspace EC-model digests for one epoch, which the
+//     coordinator merges across disjoint replicas into the fingerprint
+//     a single-process run would report.
+//
+// Frame bodies (after the u32 length prefix):
+//
+//	result-sub [0x07][u16 n][n × u32 subspace]
+//	result     [0x08][u32 subspace][u16-len epoch][u16-len check]
+//	           [u8 verdict][u8 loop][u8 n][n × u64 witness]
+//	fp-req     [0x09][u64 id][u16-len epoch]
+//	fp-resp    [0x0A][u64 id][u16-len err][u32 n]
+//	           [n × (u32 subspace, u16-len digest)]
+//
+// Verdict/loop codes are the flash package's Verdict and LoopResult
+// values carried as opaque u8, exactly as in verdict frames.
+
+// ResultEvent is one pushed early-detection result on the wire: the
+// flash Result fields the coordinator needs to rebuild the verdict
+// multiset (witness included so aggregated results stay printable).
+type ResultEvent struct {
+	Subspace int
+	Epoch    string
+	Check    string
+	Verdict  uint8
+	Loop     uint8
+	Witness  []uint64
+}
+
+// FingerprintReply is a decoded fingerprint response. Err carries a
+// server-side failure verbatim (empty on success); Parts maps global
+// subspace index → per-subspace digest.
+type FingerprintReply struct {
+	ID    uint64
+	Err   string
+	Parts map[int]string
+}
+
+// appendResultSub encodes a result-sub frame body. An empty set
+// subscribes to every subspace.
+func appendResultSub(buf []byte, subspaces []int) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameResultSub)}
+	if len(subspaces) > 0xFFFF {
+		return nil, fmt.Errorf("wire: result subscription with %d subspaces", len(subspaces))
+	}
+	w.u16(uint16(len(subspaces)))
+	for _, i := range subspaces {
+		w.u32(uint32(i))
+	}
+	return w.buf, nil
+}
+
+// appendResult encodes a result frame body.
+func appendResult(buf []byte, ev ResultEvent) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameResult)}
+	w.u32(uint32(ev.Subspace))
+	if err := w.str(ev.Epoch); err != nil {
+		return nil, err
+	}
+	if err := w.str(ev.Check); err != nil {
+		return nil, err
+	}
+	w.u8(ev.Verdict)
+	w.u8(ev.Loop)
+	if len(ev.Witness) > 0xFF {
+		return nil, fmt.Errorf("wire: witness with %d fields", len(ev.Witness))
+	}
+	w.u8(uint8(len(ev.Witness)))
+	for _, v := range ev.Witness {
+		w.u64(v)
+	}
+	return w.buf, nil
+}
+
+// appendFpReq encodes a fingerprint request body.
+func appendFpReq(buf []byte, id uint64, epoch string) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameFpReq)}
+	w.u64(id)
+	if err := w.str(epoch); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// appendFpResp encodes a fingerprint response body. Entries are written
+// in ascending subspace order so the frame bytes are deterministic.
+func appendFpResp(buf []byte, rep FingerprintReply, order []int) ([]byte, error) {
+	w := msgWriter{buf: append(buf, frameFpResp)}
+	w.u64(rep.ID)
+	if err := w.str(rep.Err); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(order)))
+	for _, i := range order {
+		w.u32(uint32(i))
+		if err := w.str(rep.Parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return w.buf, nil
+}

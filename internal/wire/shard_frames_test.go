@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestResultSubFrameRoundTrip(t *testing.T) {
+	for _, subs := range [][]int{nil, {0}, {0, 1, 2, 3}, {7, 11}} {
+		buf, err := appendResultSub(nil, subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parseSessionFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != frameResultSub {
+			t.Fatalf("round trip of result-sub %v: type %#x", subs, f.Type)
+		}
+		if len(subs) == 0 && len(f.SubSet) != 0 {
+			t.Fatalf("round trip of empty result-sub: %v", f.SubSet)
+		}
+		if len(subs) > 0 && !reflect.DeepEqual(f.SubSet, subs) {
+			t.Fatalf("round trip of result-sub %v: %v", subs, f.SubSet)
+		}
+	}
+}
+
+func TestResultFrameRoundTrip(t *testing.T) {
+	events := []ResultEvent{
+		{Subspace: 0, Epoch: "e1", Check: "loops", Verdict: 1},
+		{Subspace: 3, Epoch: "e42", Check: "a-to-d", Loop: 2, Witness: []uint64{0x80, 0xfffe}},
+		{Subspace: 1 << 20, Epoch: "", Check: "", Verdict: 2, Loop: 1},
+	}
+	for _, ev := range events {
+		buf, err := appendResult(nil, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parseSessionFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.Result
+		if f.Type != frameResult || got.Subspace != ev.Subspace || got.Epoch != ev.Epoch ||
+			got.Check != ev.Check || got.Verdict != ev.Verdict || got.Loop != ev.Loop ||
+			!reflect.DeepEqual(got.Witness, ev.Witness) && len(ev.Witness) > 0 {
+			t.Fatalf("round trip of result %+v: %+v", ev, got)
+		}
+	}
+}
+
+func TestFingerprintFramesRoundTrip(t *testing.T) {
+	buf, err := appendFpReq(nil, 7, "e9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := parseSessionFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != frameFpReq || f.Fp.ID != 7 || f.FpEpoch != "e9" {
+		t.Fatalf("round trip of fp-req: %+v", f)
+	}
+
+	rep := FingerprintReply{ID: 9, Parts: map[int]string{0: "aa", 2: "bb"}}
+	buf, err = appendFpResp(nil, rep, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = parseSessionFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != frameFpResp || f.Fp.ID != 9 || f.Fp.Err != "" ||
+		!reflect.DeepEqual(f.Fp.Parts, rep.Parts) {
+		t.Fatalf("round trip of fp-resp: %+v", f.Fp)
+	}
+
+	rep = FingerprintReply{ID: 1, Err: "no verifier"}
+	buf, err = appendFpResp(nil, rep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = parseSessionFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Fp.Err != "no verifier" || len(f.Fp.Parts) != 0 {
+		t.Fatalf("round trip of fp-resp error: %+v", f.Fp)
+	}
+}
+
+// FuzzShardFrameDecode feeds arbitrary bytes to the session frame
+// parser with emphasis on the shard-routing frames (result-sub, result,
+// fp-req, fp-resp). Malformed input must never panic, and every failure
+// must surface as a typed error. Parsed values must be bounded by what
+// the frame could actually carry (no length-prefix amplification).
+func FuzzShardFrameDecode(f *testing.F) {
+	// Seed with a valid encoding of each shard frame, truncations, and
+	// corrupt variants (see testdata/fuzz/FuzzShardFrameDecode).
+	seed := func(buf []byte, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		if len(buf) > 2 {
+			f.Add(buf[:len(buf)-2])
+			f.Add(buf[:1+len(buf)/2])
+		}
+	}
+	seed(appendResultSub(nil, []int{0, 1, 2, 3}))
+	seed(appendResult(nil, ResultEvent{Subspace: 2, Epoch: "e3", Check: "loops",
+		Verdict: 1, Loop: 2, Witness: []uint64{0xdead, 0xbeef}}))
+	seed(appendFpReq(nil, 42, "e7"))
+	seed(appendFpResp(nil, FingerprintReply{ID: 42, Parts: map[int]string{0: "d0", 3: "d3"}}, []int{0, 3}))
+	seed(appendFpResp(nil, FingerprintReply{ID: 1, Err: "boom"}, nil))
+	// Huge declared counts with a tiny body: preallocation must stay
+	// bounded and the parse must fail typed, not OOM.
+	f.Add([]byte{frameResultSub, 0xFF, 0xFF})
+	f.Add([]byte{frameFpResp, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := parseSessionFrame(data)
+		if err != nil {
+			checkTyped(t, err)
+			return
+		}
+		// Bound checks: slice lengths can never exceed what the body
+		// had room to encode.
+		if len(fr.SubSet) > len(data) || len(fr.Result.Witness) > len(data) || len(fr.Fp.Parts) > len(data) {
+			t.Fatalf("parsed lengths exceed input size %d: %+v", len(data), fr)
+		}
+	})
+}

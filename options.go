@@ -61,6 +61,18 @@ func WithSubspaces(n int, field string) Option {
 	})
 }
 
+// WithSubspaceSet restricts a System to the given global subspace
+// indices out of the WithSubspaces partition: only those workers are
+// instantiated, with Result.Subspace, fingerprints, and checkpoints
+// keeping the global numbering so disjoint subsets compose into the
+// full-set answer (see Config.SubspaceSet). Empty restores the default
+// of instantiating every subspace. ModelBuilder ignores the set.
+func WithSubspaceSet(indices ...int) Option {
+	return optionFunc(func(c *Config) {
+		c.SubspaceSet = append([]int(nil), indices...)
+	})
+}
+
 // WithChecks appends verification requirements (System only).
 func WithChecks(checks ...CheckSpec) Option {
 	return optionFunc(func(c *Config) { c.Checks = append(c.Checks, checks...) })

@@ -119,6 +119,10 @@ type Server struct {
 	mu         sync.Mutex
 	baseCtx    context.Context // set by ServeContext; nil before Serve
 	quarantine map[DeviceID]quarantineEntry
+	// resultSubs are live wire result-stream subscriptions (shard
+	// coordinators); handle pushes every result to each before the
+	// frame that caused it is acked.
+	resultSubs map[*resultSub]struct{}
 
 	results         *obs.Counter
 	feedErrors      *obs.Counter
@@ -142,7 +146,11 @@ func NewServer(l net.Listener, sys *System, onResult func(Result), opts ...Serve
 	for _, opt := range opts {
 		opt.applyServe(&o)
 	}
-	s := &Server{sys: sys, opts: o, OnResult: onResult, quarantine: make(map[DeviceID]quarantineEntry)}
+	s := &Server{
+		sys: sys, opts: o, OnResult: onResult,
+		quarantine: make(map[DeviceID]quarantineEntry),
+		resultSubs: make(map[*resultSub]struct{}),
+	}
 	if reg := sys.Metrics(); reg != nil {
 		sreg := reg.Sub("serve")
 		s.results = sreg.Counter("results")
@@ -163,6 +171,8 @@ func NewServer(l net.Listener, sys *System, onResult func(Result), opts ...Serve
 			return true
 		}),
 		wire.WithSubscriptions(s.subscribeHook),
+		wire.WithResults(s.resultsHook),
+		wire.WithFingerprints(sys.SubspaceFingerprints),
 	}
 	if log := sys.Logger(); log != nil {
 		wopts = append(wopts, wire.WithServerLog(log.Printf))
@@ -224,7 +234,97 @@ func (s *Server) handle(m wire.Msg) error {
 			s.OnResult(r)
 		}
 	}
+	s.pushResults(results)
 	return nil
+}
+
+// resultSub is one wire result-stream subscription: push writes a
+// result frame to the subscribing connection; filter (when non-nil)
+// restricts delivery to a subspace set.
+type resultSub struct {
+	push   func(wire.ResultEvent) error
+	filter map[int]bool
+}
+
+// resultsHook serves wire result-sub frames: the subscription delivers
+// every subsequent result synchronously from the ingest path, so a
+// coordinator that has drained its acks has seen every result its
+// frames triggered. Unlike verdict subscriptions there is no buffer —
+// ordering is the point — so a slow subscriber back-pressures ingest
+// on its own connection's writer.
+func (s *Server) resultsHook(subspaces []int, push func(wire.ResultEvent) error) (func(), error) {
+	sub := &resultSub{push: push}
+	if len(subspaces) > 0 {
+		sub.filter = make(map[int]bool, len(subspaces))
+		for _, i := range subspaces {
+			sub.filter[i] = true
+		}
+	}
+	s.mu.Lock()
+	s.resultSubs[sub] = struct{}{}
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		delete(s.resultSubs, sub)
+		s.mu.Unlock()
+	}
+	return cancel, nil
+}
+
+// pushResults fans freshly-merged results out to the wire result
+// subscribers. A push error means that subscriber's connection is gone;
+// it is dropped (its cancel will also run on connection teardown).
+func (s *Server) pushResults(results []Result) {
+	if len(results) == 0 {
+		return
+	}
+	s.mu.Lock()
+	subs := make([]*resultSub, 0, len(s.resultSubs))
+	for sub := range s.resultSubs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	for _, r := range results {
+		ev := resultToWire(r)
+		for _, sub := range subs {
+			if sub.filter != nil && !sub.filter[r.Subspace] {
+				continue
+			}
+			if sub.push(ev) != nil {
+				s.mu.Lock()
+				delete(s.resultSubs, sub)
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// resultToWire converts a flash result to its wire push form.
+func resultToWire(r Result) wire.ResultEvent {
+	return wire.ResultEvent{
+		Subspace: r.Subspace,
+		Epoch:    r.Epoch,
+		Check:    r.Check,
+		Verdict:  uint8(r.Verdict),
+		Loop:     uint8(r.Loop),
+		Witness:  r.Witness,
+	}
+}
+
+// ResultFromWire decodes a wire-pushed result event back into the
+// library's typed form (the inverse of the server's result push).
+func ResultFromWire(ev wire.ResultEvent) Result {
+	return Result{
+		Subspace: ev.Subspace,
+		Epoch:    ev.Epoch,
+		Check:    ev.Check,
+		Verdict:  Verdict(ev.Verdict),
+		Loop:     LoopResult(ev.Loop),
+		Witness:  ev.Witness,
+	}
 }
 
 // feedCtx returns the server's root feed context: the ServeContext

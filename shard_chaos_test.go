@@ -1,0 +1,354 @@
+package flash_test
+
+// Shard-chaos acceptance tier: a 4-shard coordinator drives four
+// flashd-style replicas over the wire session protocol while whole
+// shards fail mid-epoch — one replica is killed outright (kill -9:
+// listener and connections torn down, state discarded), another is
+// partitioned away until its client abandons reconnection, and a third
+// runs behind a fault-injected transport (loss, duplication, reorder,
+// truncation, mid-frame disconnect) for the whole run. After recovery
+// and rebalancing, the aggregated EC-model fingerprint and the verdict
+// multiset must equal an uninterrupted single-process run.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	flash "repro"
+	"repro/internal/faulty"
+	"repro/internal/hs"
+	"repro/internal/openr"
+	"repro/internal/shard"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+const shardChaosSubspaces = 4
+
+// shardChaosSeed mirrors the chaos tier's seed resolution: pinned by
+// default, overridden by FLASH_CHAOS_SEED (an integer or "random").
+func shardChaosSeed(t *testing.T) int64 {
+	t.Helper()
+	switch v := os.Getenv("FLASH_CHAOS_SEED"); v {
+	case "":
+		return 3
+	case "random":
+		seed := time.Now().UnixNano()
+		t.Logf("shard-chaos: randomized seed %d (reproduce with FLASH_CHAOS_SEED=%d)", seed, seed)
+		return seed
+	default:
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("FLASH_CHAOS_SEED=%q: %v", v, err)
+		}
+		t.Logf("shard-chaos: seed %d from FLASH_CHAOS_SEED", seed)
+		return seed
+	}
+}
+
+// shardChaosWorkload is the OpenR control-plane simulation on Internet2
+// with a mid-run link failure — the same deterministic stream the
+// single-shard chaos tier replays.
+func shardChaosWorkload(t *testing.T) (*topo.Graph, *hs.Layout, []flash.Msg) {
+	t.Helper()
+	g := topo.Internet2()
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 16})
+	space := hs.NewSpace(layout)
+	owners := make([]topo.NodeID, g.N())
+	for i := range owners {
+		owners[i] = topo.NodeID(i)
+	}
+	sim := openr.New(g, space, owners, openr.DefaultOptions())
+	sim.FailLink(10_000, g.MustByName("chic"), g.MustByName("kans"))
+	sim.Run(60_000_000)
+	var msgs []flash.Msg
+	for _, m := range sim.Messages() {
+		wm, err := wire.FromFib(m.Msg.Device, string(m.Msg.Epoch), m.Msg.Updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, wm)
+	}
+	if len(msgs) == 0 {
+		t.Fatal("empty shard-chaos workload")
+	}
+	return g, layout, msgs
+}
+
+func shardChaosOpts(g *topo.Graph, layout *hs.Layout) []flash.Option {
+	return []flash.Option{
+		flash.WithTopo(g),
+		flash.WithLayout(layout),
+		flash.WithSubspaces(shardChaosSubspaces, ""),
+		flash.WithChecks(flash.CheckSpec{Name: "loops", Kind: flash.CheckLoopFree}),
+	}
+}
+
+// normalizeResult strips the witness header: equivalence classes are
+// enumerated in map order, so witness choice varies run to run while
+// the verdict multiset is the invariant.
+func normalizeResult(r flash.Result) string {
+	verdict := r.Verdict.String()
+	if r.Loop != flash.LoopUnknown {
+		verdict = r.Loop.String()
+	}
+	return fmt.Sprintf("[%s] check %q subspace %d: %s", r.Epoch, r.Check, r.Subspace, verdict)
+}
+
+// shardChaosOracle is the uninterrupted single-process run.
+func shardChaosOracle(t *testing.T, g *topo.Graph, layout *hs.Layout, msgs []flash.Msg) ([]string, string) {
+	t.Helper()
+	sys, err := flash.NewSystem(shardChaosOpts(g, layout)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []string
+	for _, m := range msgs {
+		rs, err := sys.FeedContext(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			results = append(results, normalizeResult(r))
+		}
+	}
+	fp, err := sys.ModelFingerprint(msgs[len(msgs)-1].Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(results)
+	return results, fp
+}
+
+// chaosReplica is one flashd-style verifier process: a subset System
+// behind a wire server.
+type chaosReplica struct {
+	l    net.Listener
+	srv  *flash.Server
+	addr string
+	done chan error
+}
+
+func startChaosReplica(t *testing.T, g *topo.Graph, layout *hs.Layout, set []int) *chaosReplica {
+	t.Helper()
+	opts := append(shardChaosOpts(g, layout), flash.WithSubspaceSet(set...))
+	sys, err := flash.NewSystem(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &chaosReplica{l: l, addr: l.Addr().String(), done: make(chan error, 1)}
+	r.srv = flash.NewServer(l, sys, nil)
+	go func() { r.done <- r.srv.Serve() }()
+	return r
+}
+
+// kill models kill -9: the listener and every connection die abruptly
+// and the replica's state is gone. No graceful drain.
+func (r *chaosReplica) kill() {
+	r.srv.Close()
+	r.l.Close()
+}
+
+// TestShardChaosModelEquality is the shard-chaos acceptance test (see
+// the package comment for the fault script).
+func TestShardChaosModelEquality(t *testing.T) {
+	seed := shardChaosSeed(t)
+	g, layout, msgs := shardChaosWorkload(t)
+	wantV, wantFP := shardChaosOracle(t, g, layout, msgs)
+	if len(wantV) == 0 {
+		t.Fatal("oracle run produced no verdicts")
+	}
+	lastEpoch := msgs[len(msgs)-1].Epoch
+
+	// Initial replica per shard, plus fresh replicas minted on every
+	// rebalance (a replacement must never reuse a replica that already
+	// holds partial state under a dead placement's stream identity).
+	sets := shard.Partition(shardChaosSubspaces, 4)
+	var (
+		replicaMu sync.Mutex
+		replicas  []*chaosReplica
+		initial   [4]*chaosReplica
+	)
+	for i, set := range sets {
+		r := startChaosReplica(t, g, layout, set)
+		initial[i] = r
+		replicas = append(replicas, r)
+	}
+	defer func() {
+		replicaMu.Lock()
+		defer replicaMu.Unlock()
+		for _, r := range replicas {
+			r.kill()
+		}
+	}()
+
+	// Shard 2's transport can be partitioned: while the flag is up,
+	// dials fail and live connections are severed.
+	var partitioned atomic.Bool
+	var partMu sync.Mutex
+	var partConns []net.Conn
+	partitionDial := func(addr string) (net.Conn, error) {
+		if partitioned.Load() {
+			return nil, fmt.Errorf("shard-chaos: network partition")
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		partMu.Lock()
+		partConns = append(partConns, conn)
+		partMu.Unlock()
+		return conn, nil
+	}
+
+	// Shard 3's transport injects byte- and frame-level faults for the
+	// whole run; the session layer must ride them out without the
+	// coordinator ever noticing.
+	inj := faulty.New(faulty.Config{
+		Seed:       seed,
+		Drop:       0.12,
+		Dup:        0.12,
+		Reorder:    0.10,
+		Delay:      0.05,
+		MaxDelay:   2 * time.Millisecond,
+		Truncate:   0.06,
+		Disconnect: 0.04,
+		MaxFaults:  80,
+	})
+	faultyDial := func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return inj.WrapConn(conn), nil
+	}
+
+	pick := func(a shard.Assignment) (shard.RemoteTarget, error) {
+		if a.Rebalance == 0 {
+			tgt := shard.RemoteTarget{Addr: initial[a.Shard].addr}
+			switch a.Shard {
+			case 2:
+				tgt.Dial = partitionDial
+			case 3:
+				tgt.Dial = faultyDial
+			}
+			return tgt, nil
+		}
+		r := startChaosReplica(t, g, layout, a.Set)
+		replicaMu.Lock()
+		replicas = append(replicas, r)
+		replicaMu.Unlock()
+		return shard.RemoteTarget{Addr: r.addr}, nil
+	}
+
+	var (
+		resMu   sync.Mutex
+		results []string
+	)
+	c, err := shard.New(shard.Config{
+		Subspaces: shardChaosSubspaces,
+		Field:     "dst",
+		FieldBits: layout.FieldBits("dst"),
+		Sets:      sets,
+		Factory: shard.RemoteFactory(pick, wire.ClientOptions{
+			Stream:        "shard-chaos",
+			Reconnect:     true,
+			BackoffMin:    time.Millisecond,
+			BackoffMax:    10 * time.Millisecond,
+			MaxAttempts:   5,
+			ResendTimeout: 200 * time.Millisecond,
+			Rand:          rand.New(rand.NewSource(seed)),
+		}),
+		OnResult: func(r flash.Result) {
+			resMu.Lock()
+			results = append(results, normalizeResult(r))
+			resMu.Unlock()
+		},
+		DrainTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	third := len(msgs) / 3
+	feed := func(ms []flash.Msg) {
+		t.Helper()
+		for _, m := range ms {
+			if _, err := c.FeedContext(context.Background(), m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	feed(msgs[:third])
+	// kill -9 shard 1's replica mid-epoch.
+	initial[1].kill()
+	feed(msgs[third : 2*third])
+	// Partition shard 2 away from its replica.
+	partitioned.Store(true)
+	partMu.Lock()
+	for _, conn := range partConns {
+		conn.Close()
+	}
+	partMu.Unlock()
+	feed(msgs[2*third:])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v (status %+v)", err, c.Status())
+	}
+	fp, err := c.ModelFingerprint(ctx, lastEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != wantFP {
+		t.Fatalf("sharded EC fingerprint diverges from single-process run (status %+v)", c.Status())
+	}
+
+	resMu.Lock()
+	got := append([]string(nil), results...)
+	resMu.Unlock()
+	sort.Strings(got)
+	if len(got) != len(wantV) {
+		t.Fatalf("%d verdicts, single-process run has %d (status %+v)", len(got), len(wantV), c.Status())
+	}
+	for i := range wantV {
+		if got[i] != wantV[i] {
+			t.Fatalf("verdict multiset diverges at %d:\n  got:  %s\n  want: %s", i, got[i], wantV[i])
+		}
+	}
+
+	// Coverage gate: the fault script must actually have fired — the
+	// killed and partitioned shards rebalanced, the fault-injected one
+	// survived in place.
+	st := c.Status()
+	if st.Shards[1].Rebalances == 0 {
+		t.Fatal("killed shard 1 never rebalanced — the kill did not bite")
+	}
+	if st.Shards[2].Rebalances == 0 {
+		t.Fatal("partitioned shard 2 never rebalanced — the partition did not bite")
+	}
+	if fs := inj.Stats(); fs.Total() == 0 {
+		t.Fatal("fault injector idle — shard 3 transport faults did not fire")
+	}
+	for _, s := range st.Shards {
+		if !s.Healthy {
+			t.Fatalf("shard %d unhealthy after recovery (status %+v)", s.ID, st)
+		}
+	}
+}

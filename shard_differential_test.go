@@ -1,0 +1,139 @@
+package flash_test
+
+// Shard rows of the differential-oracle matrix: the verdict multiset
+// and final model fingerprint of a sharded coordinator at N ∈ {1,2,4}
+// must be identical to the per-update reference configuration (the
+// APKeep*-style ablation that anchors TestDifferentialVerdictOracle).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	flash "repro"
+	"repro/internal/fib"
+	"repro/internal/shard"
+	"repro/internal/topo"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+const shardDiffSubspaces = 4
+
+// shardDiffStream groups a flat update sequence into CE2D epoch
+// messages: at most one message per device per epoch.
+func shardDiffStream(t *testing.T, seq []workload.DevUpdate, perEpoch int) []flash.Msg {
+	t.Helper()
+	var msgs []flash.Msg
+	for start, e := 0, 1; start < len(seq); e++ {
+		end := start + perEpoch
+		if end > len(seq) {
+			end = len(seq)
+		}
+		byDev := make(map[fib.DeviceID][]fib.Update)
+		var order []fib.DeviceID
+		for _, du := range seq[start:end] {
+			if _, ok := byDev[du.Dev]; !ok {
+				order = append(order, du.Dev)
+			}
+			byDev[du.Dev] = append(byDev[du.Dev], du.Update)
+		}
+		for _, dev := range order {
+			m, err := wire.FromFib(dev, fmt.Sprintf("e%d", e), byDev[dev])
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgs = append(msgs, m)
+		}
+		start = end
+	}
+	return msgs
+}
+
+func TestShardDifferentialOracle(t *testing.T) {
+	const seed = 0xd1ff4
+	w := workload.TraceAPSP("shard-diff", topo.Internet2())
+	msgs := shardDiffStream(t, w.SkewedChurn(3, shardDiffSubspaces, 0.9, seed), 24)
+	lastEpoch := msgs[len(msgs)-1].Epoch
+	baseOpts := []flash.Option{
+		flash.WithTopo(w.Topo),
+		flash.WithLayout(w.Layout),
+		flash.WithSubspaces(shardDiffSubspaces, ""),
+		flash.WithChecks(flash.CheckSpec{Name: "loops", Kind: flash.CheckLoopFree}),
+	}
+
+	// Reference: per-update processing, sequential feed — the ablation
+	// the whole differential matrix is anchored to.
+	ref, err := flash.NewSystem(append(append([]flash.Option{}, baseOpts...),
+		flash.WithPerUpdate(true), flash.WithWorkers(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantV []string
+	for _, m := range msgs {
+		rs, err := ref.FeedContext(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			wantV = append(wantV, r.String())
+		}
+	}
+	sort.Strings(wantV)
+	if len(wantV) == 0 {
+		t.Fatal("reference run produced no verdicts")
+	}
+	wantFP, err := ref.ModelFingerprint(lastEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		var (
+			mu  sync.Mutex
+			got []string
+		)
+		c, err := shard.New(shard.Config{
+			Subspaces: shardDiffSubspaces,
+			Field:     "dst",
+			FieldBits: w.Layout.FieldBits("dst"),
+			Sets:      shard.Partition(shardDiffSubspaces, n),
+			Factory:   shard.LocalFactory(baseOpts...),
+			OnResult: func(r flash.Result) {
+				mu.Lock()
+				got = append(got, r.String())
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if _, err := c.FeedContext(context.Background(), m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fp, err := c.ModelFingerprint(context.Background(), lastEpoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != wantFP {
+			t.Fatalf("shards=%d: model fingerprint diverges from per-update reference", n)
+		}
+		mu.Lock()
+		sort.Strings(got)
+		mu.Unlock()
+		if len(got) != len(wantV) {
+			t.Fatalf("shards=%d: %d verdicts, reference has %d", n, len(got), len(wantV))
+		}
+		for i := range wantV {
+			if got[i] != wantV[i] {
+				t.Fatalf("shards=%d: verdict multiset diverges at %d:\n  got:  %s\n  want: %s",
+					n, i, got[i], wantV[i])
+			}
+		}
+		c.Close()
+	}
+}
