@@ -5,7 +5,7 @@
 GO ?= go
 FLASHVET ?= bin/flashvet
 
-.PHONY: build test vet lint lint-json flashvet race race-hot checkstrict bench bench-record check fuzz chaos chaos-random ckpt-chaos shard-chaos soak apicheck
+.PHONY: build test vet lint lint-json flashvet race race-hot pred-race checkstrict bench bench-record check fuzz chaos chaos-random ckpt-chaos shard-chaos soak apicheck
 
 build:
 	$(GO) build ./...
@@ -33,20 +33,33 @@ lint: flashvet
 lint-json: flashvet
 	$(FLASHVET) -json
 
-# Full suite under the race detector.
+# Full suite under the race detector. The explicit -timeout headroom is
+# for slow single-core hosts: the root package's differential matrix
+# (predicate modes × budgets × generators) runs close to the default
+# 10m there.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Full suite with the runtime invariant layer armed: every applied
 # update block re-proves the EC partition, PAT/FIB agreement, and
 # per-device epoch monotonicity — under the race detector.
 checkstrict:
-	$(GO) test -tags flashcheck -race ./...
+	$(GO) test -tags flashcheck -race -timeout 30m ./...
 
 # The concurrency-heavy paths only (System fan-out, pipeline, dispatcher,
 # wire server, metrics): quick race pass during development.
 race-hot:
 	$(GO) test -race . ./internal/ce2d ./internal/wire ./internal/obs
+
+# The hybrid predicate engine's trust anchors under the race detector:
+# parallel ITE canonicity on the sharded unique table, the
+# SetCacheLimit-vs-ITE race, the atom engine's algebra and concurrent
+# ops, and the differential oracle across predicate modes — including
+# the mid-stream atom→BDD cutover.
+pred-race:
+	$(GO) test -race -count=1 -run 'TestParallelITECanonicity|TestSetCacheLimitRacesWithITE|TestCacheLimitEvicts|TestCounterReadsRaceWithMutation' ./internal/bdd
+	$(GO) test -race -count=1 ./internal/atoms
+	$(GO) test -race -count=1 -run 'TestDifferential' .
 
 # One benchmark per table/figure; BenchmarkIMT* guards the Fast IMT
 # hot path against regressions (metrics disabled).
@@ -117,4 +130,4 @@ shard-chaos:
 	$(GO) test -race -count=1 -run 'TestShardChaosModelEquality|TestShardDifferentialOracle' .
 	$(GO) test -race -count=1 ./internal/shard
 
-check: vet lint apicheck race checkstrict chaos ckpt-chaos shard-chaos soak
+check: vet lint apicheck race checkstrict pred-race chaos ckpt-chaos shard-chaos soak

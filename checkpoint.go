@@ -17,6 +17,7 @@ import (
 	"repro/internal/imt"
 	"repro/internal/obs"
 	"repro/internal/pat"
+	"repro/internal/pred"
 	"repro/internal/sched"
 )
 
@@ -155,6 +156,12 @@ func (w *sysWorker) captureLocked() (ckpt.Subspace, bool) {
 	st, ok := w.disp.ExportState()
 	if !ok {
 		return ckpt.Subspace{}, false
+	}
+	// The container format serializes BDD node dumps; an atom-backed
+	// subspace converts first. Restore always comes back in BDD mode —
+	// the cutover is one-way, and a checkpoint is past the guard.
+	if w.am != nil {
+		w.cutoverLocked()
 	}
 	v, _ := w.disp.Verifier(st.Epoch)
 	trans := v.Transformer()
@@ -411,17 +418,19 @@ func newSystemFromCheckpoint(cfg Config, c *ckpt.Checkpoint) (*System, error) {
 			space = hs.NewSpace(cfg.Layout)
 		}
 		universe := cfg.subspacePreds(space)[i]
-		checks, err := compileChecks(cfg, space)
+		checks, _, err := compileChecks(cfg, func(d MatchDesc) (bdd.Ref, bool) { return space.Compile(d), true })
 		if err != nil {
 			return nil, err
 		}
-		w := &sysWorker{idx: i, space: space, universe: universe, checks: checks, budget: cfg.MemoryBudget}
+		// Restored subspaces always come back in BDD mode: the checkpoint
+		// holds a BDD node dump (capture converts atom subspaces first).
+		w := &sysWorker{cfg: cfg, idx: i, space: space, eng: space.E, universe: universe, checks: checks, budget: cfg.MemoryBudget}
 		sreg := cfg.Metrics.Sub("ce2d").Sub("subspace" + strconv.Itoa(i))
 		ireg := sreg.Sub("imt")
 		factory := func(ce2d.Epoch) *ce2d.Verifier {
 			v := ce2d.NewVerifier(ce2d.Config{
 				Topo:     cfg.Topo,
-				Engine:   w.space.E,
+				Engine:   w.eng,
 				Universe: w.universe,
 				Checks:   w.checks,
 				Succ:     cfg.Succ,
@@ -443,7 +452,7 @@ func newSystemFromCheckpoint(cfg Config, c *ckpt.Checkpoint) (*System, error) {
 			w.feedNs = sreg.Histogram("feed_ns")
 			w.gcPauseNs = sreg.Histogram("bdd_gc_pause_ns")
 			instrumentWorkerEngine(sreg, &w.mu,
-				func() (*hs.Space, *pat.Store) { return w.space, nil },
+				func() (pred.Engine, *pat.Store) { return w.eng, nil },
 				func() engineCounterBase { return engineCounterBase{} })
 		}
 		s.workers = append(s.workers, w)

@@ -62,6 +62,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "work-stealing scheduler workers (0 = GOMAXPROCS, clamped to subspaces)")
 		batchN     = flag.Int("batch", 1, "max native updates coalesced into one Fast IMT pass (1 disables batching)")
 		memBudget  = flag.Int("memory-budget", 0, "max live BDD nodes per subspace worker before automatic GC (0 = unbounded)")
+		predMode   = flag.String("predicate-mode", "bdd", "predicate representation (bdd|hybrid); hybrid starts each subspace on interval atoms and converts to BDD on the first non-prefix rule")
 		replay     = flag.String("replay", "", "one-shot mode: verify a snapshot file and exit")
 
 		quarantine    = flag.Duration("quarantine", time.Minute, "how long a faulty device stays quarantined (0 = until restart)")
@@ -92,6 +93,10 @@ func main() {
 	if len(checks) == 0 {
 		fatal(fmt.Errorf("flashd: no checks configured"))
 	}
+	mode, err := flash.ParsePredicateMode(*predMode)
+	if err != nil {
+		fatal(fmt.Errorf("flashd: %v", err))
+	}
 	reg := obs.NewRegistry("flashd")
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	sysOpts := []flash.Option{
@@ -101,6 +106,7 @@ func main() {
 		flash.WithWorkers(*workers),
 		flash.WithBatch(*batchN),
 		flash.WithMemoryBudget(*memBudget),
+		flash.WithPredicateMode(mode),
 		flash.WithChecks(checks...),
 		flash.WithMetrics(reg),
 		flash.WithLogger(logger),

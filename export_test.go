@@ -9,24 +9,26 @@ package flash
 // applies).
 func (s *System) SetFeedHook(f func(subspace int, m Msg)) { s.feedHook = f }
 
-// WorkerNodeCounts reports each subspace worker's live BDD node count,
-// for the soak tests' bounded-memory assertions.
+// WorkerNodeCounts reports each subspace worker's live predicate node
+// count (BDD nodes or atom interval sets, whichever representation is
+// live), for the soak tests' bounded-memory assertions.
 func (b *ModelBuilder) WorkerNodeCounts() []int {
 	out := make([]int, len(b.workers))
 	for i, w := range b.workers {
 		w.mu.Lock()
-		out[i] = w.space.E.NumNodes()
+		out[i] = w.eng.NumNodes()
 		w.mu.Unlock()
 	}
 	return out
 }
 
-// WorkerNodeCounts reports each subspace worker's live BDD node count.
+// WorkerNodeCounts reports each subspace worker's live predicate node
+// count.
 func (s *System) WorkerNodeCounts() []int {
 	out := make([]int, len(s.workers))
 	for i, w := range s.workers {
 		w.mu.Lock()
-		out[i] = w.space.E.NumNodes()
+		out[i] = w.eng.NumNodes()
 		w.mu.Unlock()
 	}
 	return out

@@ -33,6 +33,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -41,13 +42,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/atoms"
 	"repro/internal/bdd"
 	"repro/internal/ce2d"
+	"repro/internal/deltanet"
 	"repro/internal/fib"
 	"repro/internal/hs"
 	"repro/internal/imt"
 	"repro/internal/obs"
 	"repro/internal/pat"
+	"repro/internal/pred"
 	"repro/internal/reach"
 	"repro/internal/sched"
 	"repro/internal/spec"
@@ -99,6 +103,50 @@ const (
 // Forward returns the action "forward to device d". Devices beyond the
 // topology's node count denote delivery (hosts / external ports).
 func Forward(d DeviceID) Action { return fib.Forward(d) }
+
+// PredicateMode selects the per-subspace predicate representation
+// strategy (see Config.PredicateMode).
+type PredicateMode uint8
+
+const (
+	// PredicateBDD runs every subspace on its own BDD engine — the
+	// default, and the only representation before the hybrid engine.
+	PredicateBDD PredicateMode = iota
+	// PredicateHybrid starts each subspace on a Delta-net-style atom
+	// engine (sorted disjoint interval sets over the header line) while
+	// every installed rule is a pure prefix interval, and converts the
+	// subspace's whole state to a BDD engine — one way, never back — on
+	// the first rule the atom representation cannot hold profitably
+	// (ternary or range matches, multi-field constraints, interval
+	// explosions). Prefix-only workloads stay in the atom regime where
+	// interval merges beat BDD node walks (Delta-net, NSDI'17; the
+	// paper's §5.1 observation); anything richer transparently lands on
+	// the BDD path with identical verdicts.
+	PredicateHybrid
+)
+
+// String returns the flag-friendly name ("bdd", "hybrid").
+func (m PredicateMode) String() string {
+	switch m {
+	case PredicateBDD:
+		return "bdd"
+	case PredicateHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("PredicateMode(%d)", uint8(m))
+}
+
+// ParsePredicateMode parses a flag value produced by
+// PredicateMode.String.
+func ParsePredicateMode(s string) (PredicateMode, error) {
+	switch s {
+	case "bdd", "":
+		return PredicateBDD, nil
+	case "hybrid":
+		return PredicateHybrid, nil
+	}
+	return PredicateBDD, fmt.Errorf("flash: unknown predicate mode %q (want bdd or hybrid)", s)
+}
 
 // CheckKind selects what a CheckSpec verifies.
 type CheckKind uint8
@@ -192,6 +240,13 @@ type Config struct {
 	// PerUpdate forces per-update processing (the APKeep-style special
 	// case; used by the ablation benchmarks).
 	PerUpdate bool
+	// PredicateMode selects the predicate representation. PredicateBDD
+	// (the default) runs every subspace on a BDD engine; PredicateHybrid
+	// starts each subspace on the Delta-net atom engine and cuts it over
+	// to a BDD — one way — on the first rule atoms cannot hold. The
+	// choice never changes models or verdicts, only which engine computes
+	// them; the differential suite pins that equivalence.
+	PredicateMode PredicateMode
 	// Workers bounds the number of scheduler workers executing subspace
 	// tasks. Subspaces are scheduled by work stealing: each subspace is a
 	// serialized "home" whose pending blocks one worker drains at a time,
@@ -256,6 +311,103 @@ func (c *Config) subspacePreds(s *hs.Space) []bdd.Ref {
 	return out
 }
 
+// subspaceDesc is the symbolic form of subspace i's universe predicate:
+// nil (match-all) when partitioning is off, else the same prefix
+// constraint subspacePreds compiles on a BDD space — which is what lets
+// an atom-mode worker mint its universe without any BDD engine.
+func (c *Config) subspaceDesc(i int) fib.MatchDesc {
+	n := c.Subspaces
+	if n <= 1 {
+		return nil
+	}
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	field := c.SubspaceField
+	if field == "" {
+		field = "dst"
+	}
+	width := c.Layout.FieldBits(field)
+	return fib.MatchDesc{{Field: field, Kind: fib.MatchPrefix, Value: uint64(i) << uint(width-bits), Len: bits}}
+}
+
+// atomIntervalBound caps how many disjoint intervals one compiled
+// predicate may hold before the atom representation is judged
+// unprofitable: the linear merges that make atoms fast on prefix
+// workloads degrade past a few thousand intervals per set, while a BDD
+// holds the same predicate in logarithmic depth. Exceeding the bound is
+// a cutover trigger, not an error.
+const atomIntervalBound = 1024
+
+// atomCompile compiles a match descriptor on the atom engine,
+// reporting ok=false when the descriptor leaves the atom regime: a
+// non-prefix kind, a multi-field constraint, an interval explosion, or
+// a compile past atomIntervalBound. A malformed descriptor panics like
+// hs.Space.Compile would, keeping the two paths' failure behavior
+// aligned.
+func atomCompile(am *atoms.Engine, lay *hs.Layout, desc fib.MatchDesc) (bdd.Ref, bool) {
+	if len(desc) > 1 {
+		return bdd.False, false
+	}
+	for _, f := range desc {
+		if f.Kind != fib.MatchPrefix {
+			return bdd.False, false
+		}
+	}
+	r, err := am.Compile(lay, desc)
+	if err != nil {
+		if errors.Is(err, deltanet.ErrIntervalExplosion) {
+			return bdd.False, false
+		}
+		panic(fmt.Sprintf("flash: bad match descriptor %v: %v", desc, err))
+	}
+	if len(am.Intervals(r)) > atomIntervalBound {
+		return bdd.False, false
+	}
+	return r, true
+}
+
+// newAtomSubspace tries to start subspace idx on the atom engine:
+// possible when the header line fits the 63-bit atom universe and the
+// subspace predicate itself is a pure prefix interval set.
+func newAtomSubspace(cfg Config, idx int) (*atoms.Engine, bdd.Ref, bool) {
+	if cfg.Layout.TotalBits() > atoms.MaxVars {
+		return nil, bdd.False, false
+	}
+	am := atoms.New(cfg.Layout.TotalBits())
+	uni, ok := atomCompile(am, cfg.Layout, cfg.subspaceDesc(idx))
+	if !ok {
+		return nil, bdd.False, false
+	}
+	return am, uni, true
+}
+
+// atomConvert rebuilds every live atom ref on a fresh BDD space and
+// returns the conversion Remap — the cutover's core. Yielded refs map
+// to their BDD equivalents (an OR of prefix cubes per interval);
+// everything un-yielded is dead, so a held-but-not-enumerated Ref
+// panics in Apply exactly as it would after a GC pass. Terminals map to
+// terminals because both engines pin False=0, True=1.
+func atomConvert(am *atoms.Engine, space *hs.Space, roots func(func(bdd.Ref))) bdd.Remap {
+	remap := make(bdd.Remap, am.NumRefs())
+	for i := range remap {
+		remap[i] = -1
+	}
+	remap[bdd.False], remap[bdd.True] = bdd.False, bdd.True
+	roots(func(r bdd.Ref) {
+		if remap[r] >= 0 {
+			return
+		}
+		nr := bdd.False
+		for _, iv := range am.Intervals(r) {
+			nr = space.E.Or(nr, space.LineRange(iv.Lo, iv.Hi))
+		}
+		remap[r] = nr
+	})
+	return remap
+}
+
 // subspaceSet resolves the global subspace indices a System
 // instantiates: the validated, sorted, deduplicated SubspaceSet when
 // non-empty, else all of [0, n).
@@ -309,22 +461,31 @@ type ModelBuilder struct {
 	dispatchMu sync.Mutex //flashvet:lockrank 10
 }
 
-// mbWorker owns one subspace: its engine lives inside transform
-// (imt.Transformer.E), and universe is a ref minted by that engine.
+// mbWorker owns one subspace: its active engine is eng (the BDD engine
+// behind space, or the atom engine am while the subspace runs in the
+// hybrid atom regime), and universe is a ref minted by that engine.
 //
-//flashvet:allow bddref — universe is owned by transform.E, the worker's single engine
+//flashvet:allow bddref — universe is owned by eng, the worker's single engine
 type mbWorker struct {
-	mu        sync.Mutex //flashvet:lockrank 20
-	cfg       Config
+	mu  sync.Mutex //flashvet:lockrank 20
+	cfg Config
+	idx int // global subspace index
+	// eng is the active predicate engine. Exactly one of space/am backs
+	// it: space.E in BDD mode (am nil), am in atom mode (space nil).
+	eng       pred.Engine
 	space     *hs.Space
+	am        *atoms.Engine
 	universe  bdd.Ref
 	transform *imt.Transformer
 	batch     *imt.Batcher  // nil unless cfg.Batch > 1
 	metrics   *obs.Registry // nil when uninstrumented
+	// cutovers counts one-way atom→BDD conversions (0 or 1).
+	cutovers int
 
 	// base carries the monotone counters of engines this worker has
-	// rotated away (Compact discards the engine, not its history), so
-	// PredicateOps/CacheStats/GC totals never move backwards.
+	// rotated away (Compact and the hybrid cutover discard the engine,
+	// not its history), so PredicateOps/CacheStats/GC totals never move
+	// backwards.
 	base engineCounterBase
 	// compactFloor remembers the node count a Compact rotation reached
 	// while still above the budget. While the floor exceeds the budget a
@@ -343,7 +504,7 @@ type engineCounterBase struct {
 }
 
 // absorb folds a to-be-discarded engine's counters into the base.
-func (b *engineCounterBase) absorb(e *bdd.Engine) {
+func (b *engineCounterBase) absorb(e pred.Engine) {
 	b.ops += e.Ops()
 	h, m := e.CacheStats()
 	b.cacheHits += h
@@ -359,7 +520,9 @@ func (b *engineCounterBase) absorb(e *bdd.Engine) {
 // worker's GC root set.
 func (w *mbWorker) Roots(yield func(bdd.Ref)) {
 	yield(w.universe)
-	w.space.Roots(yield)
+	if w.space != nil {
+		w.space.Roots(yield)
+	}
 	w.transform.Roots(yield)
 	if w.batch != nil {
 		w.batch.Roots(yield)
@@ -370,15 +533,53 @@ func (w *mbWorker) Roots(yield func(bdd.Ref)) {
 // rewrites all held refs through the remap. Callers hold w.mu.
 func (w *mbWorker) gcLocked() bdd.GCStats {
 	start := time.Now()
-	remap, st := w.space.E.GC(w.Roots)
+	remap, st := w.eng.GC(w.Roots)
 	w.universe = remap.Apply(w.universe)
-	w.space.RemapRefs(remap)
+	if w.space != nil {
+		w.space.RemapRefs(remap)
+	}
 	w.transform.RemapRefs(remap)
 	if w.batch != nil {
 		w.batch.RemapRefs(remap)
 	}
 	w.gcPauseNs.Observe(time.Since(start))
 	return st
+}
+
+// compileLocked compiles a rule match on the active engine,
+// intersected with the subspace universe. In atom mode a descriptor
+// the atom representation cannot hold triggers the one-way cutover to
+// BDD first, then compiles there. Callers hold w.mu.
+func (w *mbWorker) compileLocked(desc fib.MatchDesc) bdd.Ref {
+	if w.am != nil {
+		if r, ok := atomCompile(w.am, w.cfg.Layout, desc); ok {
+			return w.am.And(r, w.universe)
+		}
+		w.cutoverLocked()
+	}
+	return w.space.E.And(w.space.Compile(desc), w.universe)
+}
+
+// cutoverLocked converts the subspace's whole atom state to a fresh
+// BDD engine — the hybrid guard's one-way exit. Every live atom ref
+// (the Roots set) is rebuilt as an OR of prefix cubes, held refs are
+// rewritten through the conversion remap, the Fast IMT transformer is
+// rebound, and counter history survives via base exactly as it does
+// across a Compact rotation. Callers hold w.mu.
+func (w *mbWorker) cutoverLocked() {
+	space := hs.NewSpace(w.cfg.Layout)
+	remap := atomConvert(w.am, space, w.Roots)
+	w.base.absorb(w.am)
+	w.universe = remap.Apply(w.universe)
+	w.transform.RemapRefs(remap)
+	w.transform.E = space.E
+	if w.batch != nil {
+		w.batch.RemapRefs(remap)
+	}
+	w.space = space
+	w.eng = space.E
+	w.am = nil
+	w.cutovers++
 }
 
 // maybeReclaimLocked enforces the memory budget after applied work:
@@ -388,11 +589,17 @@ func (w *mbWorker) gcLocked() bdd.GCStats {
 // fit the budget. Callers hold w.mu.
 func (w *mbWorker) maybeReclaimLocked() error {
 	budget := w.cfg.MemoryBudget
-	if budget <= 0 || w.space.E.NumNodes() <= budget {
+	if budget <= 0 || w.eng.NumNodes() <= budget {
 		return nil
 	}
 	w.gcLocked()
-	if w.space.E.NumNodes() <= budget {
+	if w.am != nil {
+		// Atom GC is already complete reclamation: the engine holds
+		// exactly the live interval sets afterwards, and there is no
+		// shared structure a rotation could deduplicate further.
+		return nil
+	}
+	if w.eng.NumNodes() <= budget {
 		w.compactFloor = 0
 		return nil
 	}
@@ -402,7 +609,7 @@ func (w *mbWorker) maybeReclaimLocked() error {
 	if err := w.compactLocked(); err != nil {
 		return err
 	}
-	if n := w.space.E.NumNodes(); n > budget {
+	if n := w.eng.NumNodes(); n > budget {
 		w.compactFloor = n
 	} else {
 		w.compactFloor = 0
@@ -419,17 +626,20 @@ func (w *mbWorker) maybeReclaimLocked() error {
 func NewModelBuilder(opts ...Option) *ModelBuilder {
 	cfg := buildConfig(opts)
 	b := &ModelBuilder{cfg: cfg}
-	probe := hs.NewSpace(cfg.Layout)
-	preds := cfg.subspacePreds(probe)
-	for i := range preds {
-		space := hs.NewSpace(cfg.Layout)
-		universe := cfg.subspacePreds(space)[i]
-		w := &mbWorker{
-			cfg:       cfg,
-			space:     space,
-			universe:  universe,
-			transform: imt.NewTransformer(space.E, pat.NewStore(), universe),
+	for i := 0; i < cfg.numSubspaces(); i++ {
+		w := &mbWorker{cfg: cfg, idx: i}
+		if cfg.PredicateMode == PredicateHybrid {
+			if am, uni, ok := newAtomSubspace(cfg, i); ok {
+				w.am, w.eng, w.universe = am, am, uni
+			}
 		}
+		if w.am == nil {
+			space := hs.NewSpace(cfg.Layout)
+			w.space = space
+			w.eng = space.E
+			w.universe = cfg.subspacePreds(space)[i]
+		}
+		w.transform = imt.NewTransformer(w.eng, pat.NewStore(), w.universe)
 		w.transform.PerUpdate = cfg.PerUpdate
 		w.transform.Tag = "mb/subspace" + strconv.Itoa(i)
 		if cfg.Batch > 1 {
@@ -443,7 +653,7 @@ func NewModelBuilder(opts ...Option) *ModelBuilder {
 				w.batch.Instrument(reg)
 			}
 			instrumentWorkerEngine(reg, &w.mu,
-				func() (*hs.Space, *pat.Store) { return w.space, w.transform.Store },
+				func() (pred.Engine, *pat.Store) { return w.eng, w.transform.Store },
 				func() engineCounterBase { return w.base })
 		}
 		b.workers = append(b.workers, w)
@@ -462,35 +672,35 @@ func NewModelBuilder(opts ...Option) *ModelBuilder {
 // base supplies the rotated-away counter history so every counter-like
 // gauge stays monotone across rotations (bdd_nodes alone is an honest
 // gauge of live nodes — the GC sawtooth is its signal).
-func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (*hs.Space, *pat.Store), base func() engineCounterBase) {
-	sample := func(f func(*hs.Space, *pat.Store, engineCounterBase) int64) func() int64 {
+func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (pred.Engine, *pat.Store), base func() engineCounterBase) {
+	sample := func(f func(pred.Engine, *pat.Store, engineCounterBase) int64) func() int64 {
 		return func() int64 {
 			mu.Lock()
 			defer mu.Unlock()
-			s, ps := state()
-			return f(s, ps, base())
+			e, ps := state()
+			return f(e, ps, base())
 		}
 	}
-	reg.Func("bdd_nodes", sample(func(s *hs.Space, _ *pat.Store, _ engineCounterBase) int64 { return int64(s.E.NumNodes()) }))
-	reg.Func("bdd_ops", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 { return int64(b.ops + s.E.Ops()) }))
-	reg.Func("bdd_cache_hits", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
-		h, _ := s.E.CacheStats()
+	reg.Func("bdd_nodes", sample(func(e pred.Engine, _ *pat.Store, _ engineCounterBase) int64 { return int64(e.NumNodes()) }))
+	reg.Func("bdd_ops", sample(func(e pred.Engine, _ *pat.Store, b engineCounterBase) int64 { return int64(b.ops + e.Ops()) }))
+	reg.Func("bdd_cache_hits", sample(func(e pred.Engine, _ *pat.Store, b engineCounterBase) int64 {
+		h, _ := e.CacheStats()
 		return int64(b.cacheHits + h)
 	}))
-	reg.Func("bdd_cache_misses", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
-		_, m := s.E.CacheStats()
+	reg.Func("bdd_cache_misses", sample(func(e pred.Engine, _ *pat.Store, b engineCounterBase) int64 {
+		_, m := e.CacheStats()
 		return int64(b.cacheMisses + m)
 	}))
-	reg.Func("bdd_cache_evictions", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
-		return int64(b.cacheEvictions + s.E.CacheEvictions())
+	reg.Func("bdd_cache_evictions", sample(func(e pred.Engine, _ *pat.Store, b engineCounterBase) int64 {
+		return int64(b.cacheEvictions + e.CacheEvictions())
 	}))
-	reg.Func("bdd_gc_runs", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
-		return int64(b.gcRuns + s.E.GCRuns())
+	reg.Func("bdd_gc_runs", sample(func(e pred.Engine, _ *pat.Store, b engineCounterBase) int64 {
+		return int64(b.gcRuns + e.GCRuns())
 	}))
-	reg.Func("bdd_gc_reclaimed_nodes", sample(func(s *hs.Space, _ *pat.Store, b engineCounterBase) int64 {
-		return int64(b.gcReclaimed + s.E.ReclaimedNodes())
+	reg.Func("bdd_gc_reclaimed_nodes", sample(func(e pred.Engine, _ *pat.Store, b engineCounterBase) int64 {
+		return int64(b.gcReclaimed + e.ReclaimedNodes())
 	}))
-	reg.Func("pat_nodes", sample(func(_ *hs.Space, ps *pat.Store, _ engineCounterBase) int64 {
+	reg.Func("pat_nodes", sample(func(_ pred.Engine, ps *pat.Store, _ engineCounterBase) int64 {
 		if ps == nil {
 			return 0
 		}
@@ -500,6 +710,38 @@ func instrumentWorkerEngine(reg *obs.Registry, mu *sync.Mutex, state func() (*hs
 
 // NumSubspaces reports the number of parallel subspace workers.
 func (b *ModelBuilder) NumSubspaces() int { return len(b.workers) }
+
+// PredicateModes reports each subspace worker's live predicate
+// representation, "atoms" or "bdd", indexed by worker position. Under
+// PredicateBDD every entry is "bdd"; under PredicateHybrid an entry
+// flips from "atoms" to "bdd" permanently when the subspace's cutover
+// guard fires (see WithPredicateMode).
+func (b *ModelBuilder) PredicateModes() []string {
+	out := make([]string, len(b.workers))
+	for i, w := range b.workers {
+		w.mu.Lock()
+		if w.am != nil {
+			out[i] = "atoms"
+		} else {
+			out[i] = "bdd"
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// PredicateCutovers reports the total number of atom-to-BDD cutovers
+// that have fired across subspace workers. Each subspace converts at
+// most once, so the count is bounded by the subspace count.
+func (b *ModelBuilder) PredicateCutovers() int {
+	total := 0
+	for _, w := range b.workers {
+		w.mu.Lock()
+		total += w.cutovers
+		w.mu.Unlock()
+	}
+	return total
+}
 
 // ApplyBlock feeds one batch of per-device symbolic update blocks to all
 // subspace workers via the work-stealing scheduler. Every rule must
@@ -586,25 +828,37 @@ func (w *mbWorker) apply(blocks []DeviceBlock) (err error) {
 			err = fmt.Errorf("flash: subspace worker panic: %v", r)
 		}
 	}()
-	compiled := make([]fib.Block, 0, len(blocks))
-	for _, db := range blocks {
-		fb := fib.Block{Device: db.Device}
-		for _, u := range db.Updates {
-			match := w.space.E.And(w.space.Compile(u.Rule.Desc), w.universe)
-			if match == bdd.False {
-				continue
+	compileAll := func() []fib.Block {
+		compiled := make([]fib.Block, 0, len(blocks))
+		for _, db := range blocks {
+			fb := fib.Block{Device: db.Device}
+			for _, u := range db.Updates {
+				match := w.compileLocked(u.Rule.Desc)
+				if match == bdd.False {
+					continue
+				}
+				fb.Updates = append(fb.Updates, fib.Update{
+					Op: u.Op,
+					Rule: fib.Rule{
+						ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
+						Match: match, Desc: u.Rule.Desc,
+					},
+				})
 			}
-			fb.Updates = append(fb.Updates, fib.Update{
-				Op: u.Op,
-				Rule: fib.Rule{
-					ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
-					Match: match, Desc: u.Rule.Desc,
-				},
-			})
+			if len(fb.Updates) > 0 {
+				compiled = append(compiled, fb)
+			}
 		}
-		if len(fb.Updates) > 0 {
-			compiled = append(compiled, fb)
-		}
+		return compiled
+	}
+	// A cutover firing mid-batch invalidates the matches compiled before
+	// it in this very loop: they are atom refs held only in locals here,
+	// invisible to the conversion remap. Recompile the whole batch on the
+	// post-cutover engine — the cutover is one-way, so at most once.
+	before := w.cutovers
+	compiled := compileAll()
+	if w.cutovers != before {
+		compiled = compileAll()
 	}
 	if w.batch != nil {
 		err = w.batch.Add(compiled)
@@ -673,20 +927,20 @@ func (w *mbWorker) compact() (err error) {
 
 // compactLocked rotates the worker onto a fresh engine, folding the old
 // engine's counters into the base first so exported totals never drop.
-// Callers hold w.mu.
+// An atom-mode worker runs a GC pass instead: atoms hold exactly the
+// live interval sets after collection, so a rotation has nothing left
+// to deduplicate. Callers hold w.mu.
 func (w *mbWorker) compactLocked() error {
+	if w.am != nil {
+		w.gcLocked()
+		return nil
+	}
 	cfg := w.cfg
 	space := hs.NewSpace(cfg.Layout)
 	var universe bdd.Ref = bdd.True
 	if cfg.Subspaces > 1 {
 		// Recompute this worker's subspace predicate on the new engine.
-		preds := cfg.subspacePreds(space)
-		for i, p := range cfg.subspacePreds(w.space) {
-			if p == w.universe {
-				universe = preds[i]
-				break
-			}
-		}
+		universe = cfg.subspacePreds(space)[w.idx]
 	}
 	tr := imt.NewTransformer(space.E, pat.NewStore(), universe)
 	tr.PerUpdate = cfg.PerUpdate
@@ -715,8 +969,9 @@ func (w *mbWorker) compactLocked() error {
 	}
 	// The rotation is committed: fold the outgoing engine's counters
 	// into the base so exported totals stay monotone.
-	w.base.absorb(w.space.E)
+	w.base.absorb(w.eng)
 	w.space = space
+	w.eng = space.E
 	w.universe = universe
 	w.transform = tr
 	if w.batch != nil {
@@ -739,12 +994,12 @@ func (b *ModelBuilder) ActionAt(dev DeviceID, header []uint64) (Action, error) {
 	}
 	for _, w := range b.workers {
 		w.mu.Lock()
-		asg := w.space.Assignment(header)
-		if !w.space.E.Eval(w.universe, asg) {
+		asg := b.cfg.Layout.Assignment(header)
+		if !w.eng.Eval(w.universe, asg) {
 			w.mu.Unlock()
 			continue
 		}
-		vec, ok := w.transform.Model().Lookup(w.space.E, asg)
+		vec, ok := w.transform.Model().Lookup(w.eng, asg)
 		if !ok {
 			w.mu.Unlock()
 			return None, fmt.Errorf("flash: header %v not covered", header)
@@ -792,15 +1047,23 @@ type System struct {
 	feedHook func(subspace int, m Msg)
 }
 
-// sysWorker owns one subspace: universe is minted by the engine inside
-// disp's verifier factory, the worker's single engine.
+// sysWorker owns one subspace: universe is minted by eng, the worker's
+// single active engine (space.E in BDD mode, am in the hybrid atom
+// regime), which the dispatcher's verifier factory also reads.
 //
-//flashvet:allow bddref — universe is owned by the dispatcher's per-subspace engine
+//flashvet:allow bddref — universe is owned by eng, the worker's single engine
 type sysWorker struct {
-	mu       sync.Mutex //flashvet:lockrank 20
-	idx      int
+	mu  sync.Mutex //flashvet:lockrank 20
+	cfg Config
+	idx int
+	// eng is the active predicate engine; exactly one of space/am backs
+	// it (see mbWorker).
+	eng      pred.Engine
 	space    *hs.Space
+	am       *atoms.Engine
 	universe bdd.Ref
+	// cutovers counts one-way atom→BDD conversions (0 or 1).
+	cutovers int
 	// checks is the worker-owned compiled check set; the verifier
 	// factory reads it (not a captured snapshot) so verifiers created
 	// after a GC see the remapped Spaces.
@@ -820,7 +1083,9 @@ type sysWorker struct {
 // per-epoch verifier. It is the worker's GC root set.
 func (w *sysWorker) Roots(yield func(bdd.Ref)) {
 	yield(w.universe)
-	w.space.Roots(yield)
+	if w.space != nil {
+		w.space.Roots(yield)
+	}
 	for i := range w.checks {
 		yield(w.checks[i].Space)
 	}
@@ -834,9 +1099,11 @@ func (w *sysWorker) Roots(yield func(bdd.Ref)) {
 // rewrites all held refs. Callers hold w.mu.
 func (w *sysWorker) gcLocked() bdd.GCStats {
 	start := time.Now()
-	remap, st := w.space.E.GC(w.Roots)
+	remap, st := w.eng.GC(w.Roots)
 	w.universe = remap.Apply(w.universe)
-	w.space.RemapRefs(remap)
+	if w.space != nil {
+		w.space.RemapRefs(remap)
+	}
 	for i := range w.checks {
 		w.checks[i].Space = remap.Apply(w.checks[i].Space)
 	}
@@ -848,6 +1115,44 @@ func (w *sysWorker) gcLocked() bdd.GCStats {
 	return st
 }
 
+// compileLocked compiles a rule match on the active engine,
+// intersected with the subspace universe, cutting the subspace over to
+// BDD first when atoms cannot hold the descriptor. Callers hold w.mu.
+func (w *sysWorker) compileLocked(desc fib.MatchDesc) bdd.Ref {
+	if w.am != nil {
+		if r, ok := atomCompile(w.am, w.cfg.Layout, desc); ok {
+			return w.am.And(r, w.universe)
+		}
+		w.cutoverLocked()
+	}
+	return w.space.E.And(w.space.Compile(desc), w.universe)
+}
+
+// cutoverLocked converts the subspace's whole atom state — universe,
+// compiled check spaces, queued dispatcher messages, every live
+// per-epoch verifier, and any pinned snapshot captures — to a fresh
+// BDD engine, one way. A what-if transaction can trigger it exactly
+// like a live feed (both funnel through compileLocked). Callers hold
+// w.mu.
+func (w *sysWorker) cutoverLocked() {
+	space := hs.NewSpace(w.cfg.Layout)
+	remap := atomConvert(w.am, space, w.Roots)
+	w.universe = remap.Apply(w.universe)
+	for i := range w.checks {
+		w.checks[i].Space = remap.Apply(w.checks[i].Space)
+	}
+	for _, ss := range w.snaps {
+		ss.trans.RemapRefs(remap)
+		ss.trans.E = space.E
+	}
+	w.disp.RemapRefs(remap)
+	w.disp.Rebind(space.E)
+	w.space = space
+	w.eng = space.E
+	w.am = nil
+	w.cutovers++
+}
+
 // maybeGCLocked runs a collection when the engine exceeds the memory
 // budget. The online path has no Compact fallback: per-epoch verifiers
 // cannot be rebuilt from descriptors mid-epoch, so when the live
@@ -855,7 +1160,7 @@ func (w *sysWorker) gcLocked() bdd.GCStats {
 // its live size (the budget is a watermark, not a hard cap). Callers
 // hold w.mu.
 func (w *sysWorker) maybeGCLocked() {
-	if w.budget > 0 && w.space.E.NumNodes() > w.budget {
+	if w.budget > 0 && w.eng.NumNodes() > w.budget {
 		w.gcLocked()
 	}
 }
@@ -874,13 +1179,36 @@ func NewSystem(opts ...Option) (*System, error) {
 		return nil, err
 	}
 	for _, i := range set {
-		space := hs.NewSpace(cfg.Layout)
-		universe := cfg.subspacePreds(space)[i]
-		checks, err := compileChecks(cfg, space)
-		if err != nil {
-			return nil, err
+		w := &sysWorker{cfg: cfg, idx: i, budget: cfg.MemoryBudget}
+		if cfg.PredicateMode == PredicateHybrid {
+			if am, uni, ok := newAtomSubspace(cfg, i); ok {
+				checks, compiled, err := compileChecks(cfg, func(d MatchDesc) (bdd.Ref, bool) {
+					return atomCompile(am, cfg.Layout, d)
+				})
+				if err != nil {
+					return nil, err
+				}
+				// A check space atoms cannot hold (a ternary ACL scope,
+				// say) makes this subspace start on BDD directly rather
+				// than cut over on its first message.
+				if compiled {
+					w.am, w.eng, w.universe, w.checks = am, am, uni, checks
+				}
+			}
 		}
-		w := &sysWorker{idx: i, space: space, universe: universe, checks: checks, budget: cfg.MemoryBudget}
+		if w.am == nil {
+			space := hs.NewSpace(cfg.Layout)
+			checks, _, err := compileChecks(cfg, func(d MatchDesc) (bdd.Ref, bool) {
+				return space.Compile(d), true
+			})
+			if err != nil {
+				return nil, err
+			}
+			w.space = space
+			w.eng = space.E
+			w.universe = cfg.subspacePreds(space)[i]
+			w.checks = checks
+		}
 		// Per-subspace observability: the dispatcher publishes CE2D
 		// progress under ce2d/subspace<i>, and every per-epoch verifier's
 		// Fast IMT transformer shares the nested imt sub-registry, so
@@ -894,7 +1222,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		w.disp = ce2d.NewDispatcher(func(ce2d.Epoch) *ce2d.Verifier {
 			v := ce2d.NewVerifier(ce2d.Config{
 				Topo:     cfg.Topo,
-				Engine:   w.space.E,
+				Engine:   w.eng,
 				Universe: w.universe,
 				Checks:   w.checks,
 				Succ:     cfg.Succ,
@@ -908,7 +1236,7 @@ func NewSystem(opts ...Option) (*System, error) {
 			w.feedNs = sreg.Histogram("feed_ns")
 			w.gcPauseNs = sreg.Histogram("bdd_gc_pause_ns")
 			instrumentWorkerEngine(sreg, &w.mu,
-				func() (*hs.Space, *pat.Store) { return w.space, nil },
+				func() (pred.Engine, *pat.Store) { return w.eng, nil },
 				func() engineCounterBase { return engineCounterBase{} })
 		}
 		s.workers = append(s.workers, w)
@@ -931,10 +1259,53 @@ func (s *System) Metrics() *obs.Registry { return s.cfg.Metrics }
 // Logger returns the configured logger (nil when silenced).
 func (s *System) Logger() *log.Logger { return s.cfg.Logger }
 
-func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
+// PredicateModes reports each subspace worker's live predicate
+// representation, "atoms" or "bdd", indexed by worker position (see
+// SubspaceIndices for the global subspace index each position owns).
+// Under PredicateBDD every entry is "bdd"; under PredicateHybrid an
+// entry flips from "atoms" to "bdd" permanently when the subspace's
+// cutover guard fires (see WithPredicateMode).
+func (s *System) PredicateModes() []string {
+	out := make([]string, len(s.workers))
+	for i, w := range s.workers {
+		w.mu.Lock()
+		if w.am != nil {
+			out[i] = "atoms"
+		} else {
+			out[i] = "bdd"
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// PredicateCutovers reports the total number of atom-to-BDD cutovers
+// that have fired across subspace workers. Each subspace converts at
+// most once, so the count is bounded by the subspace count.
+func (s *System) PredicateCutovers() int {
+	total := 0
+	for _, w := range s.workers {
+		w.mu.Lock()
+		total += w.cutovers
+		w.mu.Unlock()
+	}
+	return total
+}
+
+// compileChecks builds the worker-owned check set, compiling each check
+// scope through the supplied predicate compiler. compile reports
+// ok=false when the scope cannot live on the chosen representation (the
+// atom path's pure-prefix guard); compileChecks then stops and returns
+// compiled=false so the caller can fall back to the BDD path. The BDD
+// compiler never fails.
+func compileChecks(cfg Config, compile func(MatchDesc) (bdd.Ref, bool)) ([]ce2d.Check, bool, error) {
 	var out []ce2d.Check
 	for _, cs := range cfg.Checks {
-		c := ce2d.Check{Name: cs.Name, Space: space.Compile(cs.Space)}
+		sp, ok := compile(cs.Space)
+		if !ok {
+			return nil, false, nil
+		}
+		c := ce2d.Check{Name: cs.Name, Space: sp}
 		switch cs.Kind {
 		case CheckReach, CheckAnycast, CheckMulticast, CheckCoverage:
 			switch cs.Kind {
@@ -949,30 +1320,30 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 			}
 			expr, err := spec.Parse(cs.Expr)
 			if err != nil {
-				return nil, fmt.Errorf("flash: check %q: %w", cs.Name, err)
+				return nil, false, fmt.Errorf("flash: check %q: %w", cs.Name, err)
 			}
 			c.Expr = expr
 			for _, name := range cs.Sources {
 				id, ok := cfg.Topo.ByName(name)
 				if !ok {
-					return nil, fmt.Errorf("flash: check %q: unknown source %q: %w", cs.Name, name, ErrUnknownDevice)
+					return nil, false, fmt.Errorf("flash: check %q: unknown source %q: %w", cs.Name, name, ErrUnknownDevice)
 				}
 				c.Sources = append(c.Sources, id)
 			}
 			for _, name := range cs.Dests {
 				id, ok := cfg.Topo.ByName(name)
 				if !ok {
-					return nil, fmt.Errorf("flash: check %q: unknown dest %q: %w", cs.Name, name, ErrUnknownDevice)
+					return nil, false, fmt.Errorf("flash: check %q: unknown dest %q: %w", cs.Name, name, ErrUnknownDevice)
 				}
 				c.Dests = append(c.Dests, id)
 			}
 			if (cs.Kind == CheckAnycast || cs.Kind == CheckMulticast) && len(c.Dests) == 0 {
-				return nil, fmt.Errorf("flash: check %q: %v needs Dests", cs.Name, cs.Kind)
+				return nil, false, fmt.Errorf("flash: check %q: %v needs Dests", cs.Name, cs.Kind)
 			}
 			if cs.Dest != "" {
 				dst, ok := cfg.Topo.ByName(cs.Dest)
 				if !ok {
-					return nil, fmt.Errorf("flash: check %q: unknown dest %q: %w", cs.Name, cs.Dest, ErrUnknownDevice)
+					return nil, false, fmt.Errorf("flash: check %q: unknown dest %q: %w", cs.Name, cs.Dest, ErrUnknownDevice)
 				}
 				c.IsDest = func(n topo.NodeID) bool { return n == dst }
 			} else {
@@ -985,18 +1356,18 @@ func compileChecks(cfg Config, space *hs.Space) ([]ce2d.Check, error) {
 				for _, name := range cs.ExitNodes {
 					id, ok := cfg.Topo.ByName(name)
 					if !ok {
-						return nil, fmt.Errorf("flash: check %q: unknown exit node %q: %w", cs.Name, name, ErrUnknownDevice)
+						return nil, false, fmt.Errorf("flash: check %q: unknown exit node %q: %w", cs.Name, name, ErrUnknownDevice)
 					}
 					exits[id] = true
 				}
 				c.CanExit = func(n topo.NodeID) bool { return exits[n] }
 			}
 		default:
-			return nil, fmt.Errorf("flash: check %q: unknown kind %d", cs.Name, cs.Kind)
+			return nil, false, fmt.Errorf("flash: check %q: unknown kind %d", cs.Name, cs.Kind)
 		}
 		out = append(out, c)
 	}
-	return out, nil
+	return out, true, nil
 }
 
 // Feed delivers one epoch-tagged agent message to every subspace worker
@@ -1297,19 +1668,30 @@ func (w *sysWorker) feedOne(m Msg) ([]Result, error) {
 	if w.feedNs != nil {
 		start = time.Now()
 	}
-	var ups []fib.Update
-	for _, u := range m.Updates {
-		match := w.space.E.And(w.space.Compile(u.Rule.Desc), w.universe)
-		if match == bdd.False {
-			continue
+	compileAll := func() []fib.Update {
+		var ups []fib.Update
+		for _, u := range m.Updates {
+			match := w.compileLocked(u.Rule.Desc)
+			if match == bdd.False {
+				continue
+			}
+			ups = append(ups, fib.Update{
+				Op: u.Op,
+				Rule: fib.Rule{
+					ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
+					Match: match, Desc: u.Rule.Desc,
+				},
+			})
 		}
-		ups = append(ups, fib.Update{
-			Op: u.Op,
-			Rule: fib.Rule{
-				ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
-				Match: match, Desc: u.Rule.Desc,
-			},
-		})
+		return ups
+	}
+	// Matches compiled before a mid-message cutover are stale atom refs
+	// held only in this loop's locals; recompile the whole message on the
+	// post-cutover engine (one-way guard, so at most one restart).
+	before := w.cutovers
+	ups := compileAll()
+	if w.cutovers != before {
+		ups = compileAll()
 	}
 	evs, err := w.disp.Receive(ce2d.Msg{Device: m.Device, Epoch: ce2d.Epoch(m.Epoch), Updates: ups})
 	if err != nil {
@@ -1324,8 +1706,8 @@ func (w *sysWorker) feedOne(m Msg) ([]Result, error) {
 			Verdict:  te.Event.Verdict,
 			Loop:     te.Event.Loop,
 		}
-		if asg := w.space.E.AnySat(te.Event.Class); asg != nil {
-			r.Witness = headerFromAssignment(w.space, asg)
+		if asg := w.eng.AnySat(te.Event.Class); asg != nil {
+			r.Witness = headerFromAssignment(w.cfg.Layout, asg)
 		}
 		out = append(out, r)
 	}
@@ -1335,12 +1717,12 @@ func (w *sysWorker) feedOne(m Msg) ([]Result, error) {
 	return out, nil
 }
 
-// headerFromAssignment reconstructs per-field values from a BDD
-// assignment.
-func headerFromAssignment(s *hs.Space, asg []bool) []uint64 {
-	out := make([]uint64, len(s.Layout.Fields()))
+// headerFromAssignment reconstructs per-field values from an engine
+// assignment (both representations use variable i = line bit i).
+func headerFromAssignment(lay *hs.Layout, asg []bool) []uint64 {
+	out := make([]uint64, len(lay.Fields()))
 	bit := 0
-	for fi, f := range s.Layout.Fields() {
+	for fi, f := range lay.Fields() {
 		var v uint64
 		for b := 0; b < f.Bits; b++ {
 			v <<= 1

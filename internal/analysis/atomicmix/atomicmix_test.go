@@ -9,5 +9,6 @@ import (
 
 func TestAtomicMix(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), atomicmix.Analyzer,
-		"atomicmix/a", "atomicmix/counters", "atomicmix/user")
+		"atomicmix/a", "atomicmix/counters", "atomicmix/user",
+		"atomicmix/cachelimit")
 }

@@ -23,7 +23,12 @@
 //     express; the directive documents it where it is intentional
 //     (e.g. fib.Rule's Match, owned by the enclosing table's engine).
 //
-// The bdd package itself is exempt: it manipulates raw Refs by design.
+// The bdd and atoms packages are exempt: they are the engines and
+// manipulate raw Refs by design. Since the hybrid predicate engine
+// landed, "engine" means any of *bdd.Engine, *atoms.Engine, or the
+// pred.Engine interface they both satisfy — an interface-typed field
+// or receiver counts for both the flow check and the co-located-field
+// check.
 package bddref
 
 import (
@@ -41,7 +46,7 @@ var Analyzer = &framework.Analyzer{
 }
 
 func run(pass *framework.Pass) (any, error) {
-	if pass.Pkg.Name() == "bdd" {
+	if pass.Pkg.Name() == "bdd" || pass.Pkg.Name() == "atoms" {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -63,8 +68,16 @@ func run(pass *framework.Pass) (any, error) {
 	return nil, nil
 }
 
-func isRef(t types.Type) bool    { return framework.NamedIn(t, "bdd", "Ref") }
-func isEngine(t types.Type) bool { return framework.PointerToNamed(t, "bdd", "Engine") }
+func isRef(t types.Type) bool { return framework.NamedIn(t, "bdd", "Ref") }
+
+// isEngine recognizes every predicate-engine shape: the concrete BDD
+// and atom engines, plus the pred.Engine interface the hybrid layer
+// threads through signatures.
+func isEngine(t types.Type) bool {
+	return framework.PointerToNamed(t, "bdd", "Engine") ||
+		framework.PointerToNamed(t, "atoms", "Engine") ||
+		framework.NamedIn(t, "pred", "Engine")
+}
 
 // engineKey identifies an engine receiver expression syntactically: the
 // printed selector path plus the root identifier's object.
@@ -168,7 +181,7 @@ func checkStruct(pass *framework.Pass, name string, st *ast.StructType) {
 		if len(field.Names) > 0 {
 			fname = field.Names[0].Name
 		}
-		pass.Reportf(field.Pos(), "struct %s stores bdd.Ref field %s without a co-located *bdd.Engine field; document the owning engine with //flashvet:allow bddref", name, fname)
+		pass.Reportf(field.Pos(), "struct %s stores bdd.Ref field %s without a co-located engine field (*bdd.Engine, *atoms.Engine, or pred.Engine); document the owning engine with //flashvet:allow bddref", name, fname)
 	}
 }
 

@@ -8,5 +8,5 @@ import (
 )
 
 func TestBDDRef(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), bddref.Analyzer, "bddref/a")
+	analysistest.Run(t, analysistest.TestData(), bddref.Analyzer, "bddref/a", "bddref/hybrid")
 }

@@ -37,7 +37,7 @@ type owned struct {
 }
 
 type orphan struct {
-	P bdd.Ref // want `struct orphan stores bdd.Ref field P without a co-located \*bdd.Engine field`
+	P bdd.Ref // want `struct orphan stores bdd.Ref field P without a co-located engine field`
 }
 
 //flashvet:allow bddref — refs owned by the enclosing table's engine

@@ -1,0 +1,38 @@
+// Package hybrid exercises bddref over the pred.Engine interface: the
+// hybrid predicate layer threads engines through interface-typed
+// fields and parameters, and both halves of the check must keep
+// working there — interface engines count for the co-located-field
+// rule, and Refs still must not flow between two interface engines.
+package hybrid
+
+import (
+	"bdd"
+	"pred"
+)
+
+// transformer mirrors imt.Transformer after the hybrid cutover: the
+// Ref fields are owned by the interface-typed engine beside them.
+type transformer struct {
+	E     pred.Engine
+	Match bdd.Ref
+	Outs  []bdd.Ref // co-located pred.Engine field: ok
+}
+
+type orphaned struct {
+	R bdd.Ref // want `struct orphaned stores bdd.Ref field R without a co-located engine field`
+}
+
+func interfaceFlow(e1, e2 pred.Engine, a, b bdd.Ref) {
+	r := e1.And(a, b)
+	_ = e1.Or(r, a)            // same interface engine: ok
+	_ = e2.Not(r)              // want `bdd.Ref r was produced by engine e1 but is used with engine e2`
+	_ = e2.Or(e1.And(a, b), a) // want `bdd.Ref from engine e1 passed directly to engine e2`
+}
+
+// mixedFlow crosses a concrete engine with an interface one — the
+// cutover bug class: an atom-era Ref reaching the fresh BDD engine.
+func mixedFlow(t *transformer, a, b bdd.Ref) {
+	e := bdd.New(8)
+	r := t.E.And(a, b)
+	_ = e.Not(r) // want `bdd.Ref r was produced by engine t.E but is used with engine e`
+}

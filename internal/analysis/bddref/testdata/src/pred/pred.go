@@ -1,0 +1,12 @@
+// Package pred is a minimal stub of repro/internal/pred for analyzer
+// tests: the engine interface both representations satisfy.
+package pred
+
+import "bdd"
+
+// Engine is the stub predicate-engine interface.
+type Engine interface {
+	And(a, b bdd.Ref) bdd.Ref
+	Or(a, b bdd.Ref) bdd.Ref
+	Not(a bdd.Ref) bdd.Ref
+}

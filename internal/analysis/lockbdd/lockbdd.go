@@ -36,7 +36,7 @@ import (
 // Analyzer is the lockbdd pass.
 var Analyzer = &framework.Analyzer{
 	Name: "lockbdd",
-	Doc:  "flag *bdd.Engine method calls made while holding a sync mutex in ce2d/pipeline coordination code",
+	Doc:  "flag predicate-engine method calls (*bdd.Engine, *atoms.Engine, pred.Engine) made while holding a sync mutex in ce2d/pipeline coordination code",
 	Run:  run,
 }
 
@@ -65,8 +65,13 @@ func run(pass *framework.Pass) (any, error) {
 	return nil, nil
 }
 
-// engineCall reports whether call is a method call on a *bdd.Engine
-// receiver, returning the method name.
+// engineCall reports whether call is a method call on a predicate
+// engine — the concrete *bdd.Engine or *atoms.Engine, or the
+// pred.Engine interface the hybrid layer threads through coordination
+// code — returning the method name. Interface dispatch must count:
+// since the hybrid predicate engine landed, ce2d holds its engine as
+// pred.Engine, and an unbounded BDD operation under a bookkeeping lock
+// is exactly as bad when it goes through an interface.
 func engineCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
 	fn := framework.CalleeFunc(pass.TypesInfo, call)
 	if fn == nil {
@@ -76,10 +81,14 @@ func engineCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
 	if !ok || sig.Recv() == nil {
 		return "", false
 	}
-	if !framework.PointerToNamed(sig.Recv().Type(), "bdd", "Engine") {
+	recv := sig.Recv().Type()
+	if !framework.PointerToNamed(recv, "bdd", "Engine") &&
+		!framework.PointerToNamed(recv, "atoms", "Engine") &&
+		!framework.NamedIn(recv, "pred", "Engine") {
 		return "", false
 	}
-	return fn.Name(), true
+	qual := func(p *types.Package) string { return p.Name() }
+	return "(" + types.TypeString(recv, qual) + ")." + fn.Name(), true
 }
 
 type eventKind int
@@ -211,7 +220,7 @@ func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
 					}
 					sort.Strings(locks)
 					for _, lock := range locks {
-						pass.Reportf(ev.node.Pos(), "(*bdd.Engine).%s called while holding %s (locked at line %d); BDD operations are unbounded work and engines are single-owner — release the lock or hand off to the owning worker", ev.key, lock, state[lock])
+						pass.Reportf(ev.node.Pos(), "%s called while holding %s (locked at line %d); predicate operations are unbounded work and engines are single-owner — release the lock or hand off to the owning worker", ev.key, lock, state[lock])
 					}
 				}
 				applyEvent(pass, state, ev, true)

@@ -1,0 +1,36 @@
+// Interface-dispatch lockbdd cases: since the hybrid predicate engine,
+// coordination code holds its engine as pred.Engine, and an unbounded
+// predicate operation under a bookkeeping lock is just as much of a
+// stall when it goes through the interface.
+package ce2d
+
+import (
+	"sync"
+
+	"bdd"
+	"pred"
+)
+
+type hybridCoord struct {
+	mu  sync.Mutex
+	seq int
+	e   pred.Engine
+}
+
+func (c *hybridCoord) bad(a, b bdd.Ref) bdd.Ref {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.And(a, b) // want `\(pred\.Engine\)\.And called while holding c\.mu`
+}
+
+func (c *hybridCoord) good(a, b bdd.Ref) bdd.Ref {
+	c.mu.Lock()
+	n := c.seq
+	c.mu.Unlock()
+	_ = n
+	return c.e.And(a, b) // after unlock: ok
+}
+
+func (c *hybridCoord) noLock(a bdd.Ref) bdd.Ref {
+	return c.e.Not(a) // no lock held: ok
+}

@@ -3,27 +3,41 @@
 //
 // The paper's reference implementation uses the JDD library; Go has no
 // mature BDD library, so this package provides one from scratch. It is a
-// classic slice-backed ROBDD with a unique table (hash consing) and an
-// ITE-based apply with a computed cache. Because nodes are hash-consed,
-// two predicates are logically equivalent if and only if their Refs are
-// equal, which the inverse-model code relies on for O(1) predicate
-// comparison (Reduce II in the paper aggregates overwrites by predicate).
+// chunked-arena ROBDD with a sharded unique table (hash consing) and an
+// ITE-based apply with a sharded computed cache. Because nodes are
+// hash-consed, two predicates are logically equivalent if and only if
+// their Refs are equal, which the inverse-model code relies on for O(1)
+// predicate comparison (Reduce II in the paper aggregates overwrites by
+// predicate).
 //
 // The engine counts "predicate operations" exactly as §3.3 of the paper
 // defines them: one conjunction (∧), disjunction (∨) or negation (¬)
 // invocation counts as one operation regardless of internal node visits.
 // This makes the "# Predicate Operations" column of Table 3 reproducible.
 //
-// Engines are not safe for concurrent use; Flash gives each subspace
-// verifier its own Engine, mirroring the paper's per-verifier JDD instance.
-// The activity counters (Ops, CacheStats, CacheEvictions) are the one
-// exception: they are atomics, so observability samplers and admin
-// handlers may read them lock-free while the owning worker mutates the
-// engine.
+// # Concurrency
+//
+// Node-creating operations (And, Or, Not, Diff, Xor, Implies, Overlaps,
+// Cube, Var, Exists, ...) and read-only walks (Eval, AnySat, SatCount,
+// NumNodes, CheckRef) are safe for concurrent use by multiple
+// goroutines: the unique table and the ITE computed cache are sharded
+// behind per-shard mutexes, node storage is a copy-on-grow chunk
+// directory whose published chunks are immutable in location (reads are
+// lock-free), and SetCacheLimit/eviction operate per shard so a
+// concurrent resize can never tear the cache out from under a running
+// ITE. This is what lets the work-stealing scheduler run parallel ITE
+// against one subspace engine without convoying on a single lock.
+//
+// Structural operations — GC, ExportNodes, ClearCache applied at a
+// quiescent point, and restore — still require exclusive access: they
+// rewrite Refs or assume no mutation is in flight. Flash serializes them
+// behind the owning worker's mutex, exactly where the old
+// single-owner contract was enforced.
 package bdd
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -70,6 +84,58 @@ func nodeKey(level int32, lo, hi Ref) uniqueKey {
 	return uniqueKey{level: level, lo: lo, hi: hi}
 }
 
+// Sharding and arena geometry. 64 shards keeps lock contention off the
+// profile at any worker count this project runs (the scheduler caps
+// workers at GOMAXPROCS), and 8192-node chunks (96 KB) amortize the
+// directory indirection while keeping growth increments small.
+const (
+	shardBits = 6
+	nShards   = 1 << shardBits
+
+	chunkBits = 13
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// chunk is one fixed-size block of the node arena. Once a chunk is
+// published in the directory it is never moved or freed until a
+// structural operation (GC, restore) replaces the whole directory, so a
+// lock-free reader holding any Ref published to it can dereference
+// without synchronization beyond the publication that handed it the Ref.
+type chunk [chunkSize]node
+
+// uniqueShard is one bucket of the hash-sharded unique table. mk
+// serializes same-shard node creation through the shard mutex; creation
+// in distinct shards proceeds in parallel.
+type uniqueShard struct {
+	mu sync.Mutex
+	m  map[uniqueKey]Ref
+	_  [24]byte // pad to its own cache line neighborhood
+}
+
+// cacheShard is one bucket of the sharded ITE computed cache. Eviction
+// is per shard, so a cap resize never stalls (or races) every in-flight
+// ITE at once.
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]Ref
+	_  [24]byte
+}
+
+func shardOfUnique(k uniqueKey) uint32 {
+	h := uint64(uint32(k.level))*0x9E3779B97F4A7C15 ^
+		uint64(uint32(k.lo))*0xBF58476D1CE4E5B9 ^
+		uint64(uint32(k.hi))*0x94D049BB133111EB
+	return uint32(h>>32) & (nShards - 1)
+}
+
+func shardOfCache(k cacheKey) uint32 {
+	h := uint64(uint32(k.f))*0x9E3779B97F4A7C15 ^
+		uint64(uint32(k.g))*0xBF58476D1CE4E5B9 ^
+		uint64(uint32(k.h))*0x94D049BB133111EB
+	return uint32(h>>32) & (nShards - 1)
+}
+
 // DefaultCacheLimit bounds the ITE computed cache of a new Engine, in
 // entries. One entry is ~28 bytes of map payload, so the default caps a
 // single engine's cache around 30 MB; engines are per subspace worker,
@@ -81,15 +147,18 @@ const DefaultCacheLimit = 1 << 20
 // variables. Variable i is tested before variable j whenever i < j.
 type Engine struct {
 	nvars      int
-	nodes      []node
-	unique     map[uniqueKey]Ref
-	cache      map[cacheKey]Ref
-	cacheLimit int           // max computed-cache entries; <= 0 means unbounded
-	ops        atomic.Uint64 // user-level predicate operations (∧, ∨, ¬)
+	nnodes     atomic.Int64             // allocated node count (next free arena slot)
+	chunks     atomic.Pointer[[]*chunk] // copy-on-grow chunk directory
+	growMu     sync.Mutex               // serializes directory growth
+	unique     [nShards]uniqueShard     // hash-sharded unique table
+	cache      [nShards]cacheShard      // hash-sharded ITE computed cache
+	cacheLimit atomic.Int64             // max computed-cache entries; <= 0 means unbounded
+
+	ops atomic.Uint64 // user-level predicate operations (∧, ∨, ¬)
 
 	cacheHits      atomic.Uint64 // ITE computed-cache hits
 	cacheMisses    atomic.Uint64 // ITE computed-cache misses (recursive computations)
-	cacheEvictions atomic.Uint64 // computed-cache resets forced by the size cap
+	cacheEvictions atomic.Uint64 // computed-cache shard resets forced by the size cap
 	gcRuns         atomic.Uint64 // completed GC passes
 	gcReclaimed    atomic.Uint64 // nodes swept across all GC passes
 }
@@ -100,26 +169,78 @@ func New(nvars int) *Engine {
 	if nvars <= 0 || nvars > 1<<15-1 {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", nvars))
 	}
-	e := &Engine{
-		nvars:      nvars,
-		nodes:      make([]node, 2, 1024),
-		unique:     make(map[uniqueKey]Ref, 1024),
-		cache:      make(map[cacheKey]Ref, 1024),
-		cacheLimit: DefaultCacheLimit,
-	}
+	e := &Engine{nvars: nvars}
+	e.cacheLimit.Store(DefaultCacheLimit)
+	dir := []*chunk{new(chunk)}
+	e.chunks.Store(&dir)
 	// Terminals occupy slots 0 and 1 with a sentinel level below all
 	// variables so cofactor logic never descends into them.
-	e.nodes[False] = node{level: int32(nvars), lo: False, hi: False}
-	e.nodes[True] = node{level: int32(nvars), lo: True, hi: True}
+	dir[0][False] = node{level: int32(nvars), lo: False, hi: False}
+	dir[0][True] = node{level: int32(nvars), lo: True, hi: True}
+	e.nnodes.Store(2)
+	for i := range e.unique {
+		e.unique[i].m = make(map[uniqueKey]Ref, 16)
+	}
+	for i := range e.cache {
+		e.cache[i].m = make(map[cacheKey]Ref, 16)
+	}
 	return e
+}
+
+// node returns the arena entry for r. Lock-free: any code path that can
+// legitimately hold r observed it through a synchronization point that
+// happens-after the node (and its whole subgraph) was written.
+func (e *Engine) node(r Ref) node {
+	dir := *e.chunks.Load()
+	return dir[r>>chunkBits][r&chunkMask]
+}
+
+// setNode overwrites arena slot i. Structural-only (GC compaction,
+// restore); callers hold exclusive access.
+func (e *Engine) setNode(i Ref, nd node) {
+	dir := *e.chunks.Load()
+	dir[i>>chunkBits][i&chunkMask] = nd
+}
+
+// ensure grows the chunk directory to cover arena index idx. The
+// directory is copy-on-grow: readers loaded an older (shorter) directory
+// only ever dereference chunks that directory already contains, because
+// a Ref into a newer chunk can only reach them through a synchronization
+// point that happens-after the grow.
+func (e *Engine) ensure(idx int64) {
+	ci := int(idx >> chunkBits)
+	if ci < len(*e.chunks.Load()) {
+		return
+	}
+	e.growMu.Lock()
+	defer e.growMu.Unlock()
+	dir := *e.chunks.Load()
+	for ci >= len(dir) {
+		nd := make([]*chunk, len(dir)+1)
+		copy(nd, dir)
+		nd[len(dir)] = new(chunk)
+		e.chunks.Store(&nd)
+		dir = nd
+	}
+}
+
+// alloc claims the next arena slot and writes nd into it. The write is
+// published to other goroutines by the caller's shard-mutex release.
+func (e *Engine) alloc(nd node) Ref {
+	idx := e.nnodes.Add(1) - 1
+	e.ensure(idx)
+	dir := *e.chunks.Load()
+	dir[idx>>chunkBits][idx&chunkMask] = nd
+	return Ref(idx)
 }
 
 // NumVars reports the number of Boolean variables in the engine's universe.
 func (e *Engine) NumVars() int { return e.nvars }
 
 // NumNodes reports the number of live decision nodes, including terminals.
-// It is the engine's memory-footprint proxy used by the benchmarks.
-func (e *Engine) NumNodes() int { return len(e.nodes) }
+// It is the engine's memory-footprint proxy used by the benchmarks. Safe
+// for concurrent use.
+func (e *Engine) NumNodes() int { return int(e.nnodes.Load()) }
 
 // Ops reports the cumulative number of user-level predicate operations
 // (conjunction, disjunction, negation) performed so far, as counted in
@@ -131,52 +252,89 @@ func (e *Engine) Ops() uint64 { return e.ops.Load() }
 func (e *Engine) ResetOps() { e.ops.Store(0) }
 
 // CacheStats reports the ITE computed-cache hit and miss totals since
-// the engine was created. Unlike the structural Engine methods, it is
-// safe to call concurrently with engine mutation: the counters are
-// atomics, so admin handlers and observability samplers read them
-// without taking the owning worker's lock.
+// the engine was created. Safe for concurrent use.
 func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.cacheHits.Load(), e.cacheMisses.Load()
 }
 
-// CacheEvictions reports how many times the computed cache was dropped
-// because it reached the size cap. Safe for concurrent use.
+// CacheEvictions reports how many times a computed-cache shard was
+// dropped because it reached its share of the size cap. Safe for
+// concurrent use.
 func (e *Engine) CacheEvictions() uint64 { return e.cacheEvictions.Load() }
 
 // CacheLimit reports the computed-cache entry cap (<= 0 = unbounded).
-// Owner-only, like all structural methods.
-func (e *Engine) CacheLimit() int { return e.cacheLimit }
+// Safe for concurrent use.
+func (e *Engine) CacheLimit() int { return int(e.cacheLimit.Load()) }
 
-// SetCacheLimit caps the ITE computed cache at n entries; when an
-// insertion would exceed the cap the whole cache is dropped (the
-// cheapest possible eviction — correctness is unaffected because the
-// cache is a pure memo table, and hash-consed nodes stay alive). n <= 0
-// removes the bound. Owner-only.
+// perShardLimit splits the global cache cap across shards. Every shard
+// keeps at least one entry, so a tiny cap still caches something; the
+// consequence is that the total may exceed caps smaller than the shard
+// count (bounded by max(limit, nShards)).
+func perShardLimit(limit int64) int {
+	per := int(limit) / nShards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// SetCacheLimit caps the ITE computed cache at n entries, enforced as
+// n/nShards per shard (minimum one): when an insertion would exceed a
+// shard's share that shard is dropped (the cheapest possible eviction —
+// correctness is unaffected because the cache is a pure memo table, and
+// hash-consed nodes stay alive). n <= 0 removes the bound.
+//
+// Safe to call concurrently with running ITE operations: the limit is an
+// atomic and each shard evicts under its own mutex, so a concurrent
+// resize can never tear the map an in-flight ITE is reading.
 func (e *Engine) SetCacheLimit(n int) {
-	e.cacheLimit = n
-	if n > 0 && len(e.cache) >= n {
-		e.evictCache()
+	e.cacheLimit.Store(int64(n))
+	if n <= 0 {
+		return
+	}
+	per := perShardLimit(int64(n))
+	for i := range e.cache {
+		cs := &e.cache[i]
+		cs.mu.Lock()
+		if len(cs.m) >= per {
+			cs.m = make(map[cacheKey]Ref, 16)
+			e.cacheEvictions.Add(1)
+		}
+		cs.mu.Unlock()
 	}
 }
 
-// evictCache drops the computed table and counts the eviction.
-func (e *Engine) evictCache() {
-	e.cache = make(map[cacheKey]Ref, 1024)
-	e.cacheEvictions.Add(1)
+// cacheLen sums the live computed-cache entries across shards (tests and
+// introspection only).
+func (e *Engine) cacheLen() int {
+	total := 0
+	for i := range e.cache {
+		cs := &e.cache[i]
+		cs.mu.Lock()
+		total += len(cs.m)
+		cs.mu.Unlock()
+	}
+	return total
 }
 
 // mk returns the canonical node (level, lo, hi), creating it if needed.
+// Safe for concurrent use: creation serializes per unique-table shard,
+// and the arena write is published by the shard-mutex release before any
+// other goroutine can observe the Ref.
 func (e *Engine) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
 	key := nodeKey(level, lo, hi)
-	if r, ok := e.unique[key]; ok {
+	s := &e.unique[shardOfUnique(key)]
+	s.mu.Lock()
+	if r, ok := s.m[key]; ok {
+		s.mu.Unlock()
 		return r
 	}
-	r := Ref(len(e.nodes))
-	e.nodes = append(e.nodes, node{level: level, lo: lo, hi: hi})
-	e.unique[key] = r
+	r := e.alloc(node{level: level, lo: lo, hi: hi})
+	s.m[key] = r
+	s.mu.Unlock()
 	return r
 }
 
@@ -210,12 +368,16 @@ func (e *Engine) ite(f, g, h Ref) Ref {
 		return f
 	}
 	key := cacheKey{f, g, h}
-	if r, ok := e.cache[key]; ok {
+	cs := &e.cache[shardOfCache(key)]
+	cs.mu.Lock()
+	r, ok := cs.m[key]
+	cs.mu.Unlock()
+	if ok {
 		e.cacheHits.Add(1)
 		return r
 	}
 	e.cacheMisses.Add(1)
-	nf, ng, nh := e.nodes[f], e.nodes[g], e.nodes[h]
+	nf, ng, nh := e.node(f), e.node(g), e.node(h)
 	top := nf.level
 	if ng.level < top {
 		top = ng.level
@@ -228,14 +390,18 @@ func (e *Engine) ite(f, g, h Ref) Ref {
 	h0, h1 := cofactor(nh, h, top)
 	lo := e.ite(f0, g0, h0)
 	hi := e.ite(f1, g1, h1)
-	r := e.mk(top, lo, hi)
-	if e.cacheLimit > 0 && len(e.cache) >= e.cacheLimit {
-		// Dropping mid-computation is safe: outer recursion levels
-		// recompute their subresults at worst, and node identity is
-		// preserved by the unique table.
-		e.evictCache()
+	r = e.mk(top, lo, hi)
+	limit := e.cacheLimit.Load()
+	cs.mu.Lock()
+	if limit > 0 && len(cs.m) >= perShardLimit(limit) {
+		// Dropping one shard mid-computation is safe: outer recursion
+		// levels recompute their subresults at worst, and node identity
+		// is preserved by the unique table.
+		cs.m = make(map[cacheKey]Ref, 16)
+		e.cacheEvictions.Add(1)
 	}
-	e.cache[key] = r
+	cs.m[key] = r
+	cs.mu.Unlock()
 	return r
 }
 
@@ -348,7 +514,7 @@ func (e *Engine) Cube(vars []int, bits uint64) Ref {
 // the value of variable i). Used by tests to cross-check algebra.
 func (e *Engine) Eval(r Ref, assignment []bool) bool {
 	for r != True && r != False {
-		n := e.nodes[r]
+		n := e.node(r)
 		if assignment[n.level] {
 			r = n.hi
 		} else {
@@ -367,7 +533,7 @@ func (e *Engine) SatCount(r Ref) float64 {
 		if r == False {
 			return 0
 		}
-		n := e.nodes[r]
+		n := e.node(r)
 		var sub float64
 		if r == True {
 			sub = 1
@@ -398,7 +564,7 @@ func (e *Engine) AnySat(r Ref) []bool {
 	}
 	a := make([]bool, e.nvars)
 	for r != True {
-		n := e.nodes[r]
+		n := e.node(r)
 		if n.lo != False {
 			r = n.lo
 		} else {
@@ -437,7 +603,7 @@ func (e *Engine) Exists(r Ref, vars []int) Ref {
 		if v, ok := memo[r]; ok {
 			return v
 		}
-		n := e.nodes[r]
+		n := e.node(r)
 		// Skip quantifier variables above this node's level.
 		for vi < len(vars) && int32(vars[vi]) < n.level {
 			vi++
@@ -461,7 +627,51 @@ func (e *Engine) Exists(r Ref, vars []int) Ref {
 
 // ClearCache drops the computed-table cache (but keeps all nodes alive).
 // Long-running verifiers call this between large update blocks to bound
-// memory without invalidating outstanding Refs.
+// memory without invalidating outstanding Refs. Safe for concurrent use
+// (each shard is dropped under its own mutex), though callers usually
+// invoke it at quiescent points.
 func (e *Engine) ClearCache() {
-	e.cache = make(map[cacheKey]Ref, 1024)
+	for i := range e.cache {
+		cs := &e.cache[i]
+		cs.mu.Lock()
+		cs.m = make(map[cacheKey]Ref, 16)
+		cs.mu.Unlock()
+	}
+}
+
+// dropCacheLocked resets every cache shard without counting evictions.
+// Structural-only (GC, restore); callers hold exclusive access.
+func (e *Engine) dropCacheLocked() {
+	for i := range e.cache {
+		e.cache[i].m = make(map[cacheKey]Ref, 16)
+	}
+}
+
+// resetUnique replaces the unique table with empty shards sized for n
+// survivors. Structural-only; callers hold exclusive access.
+func (e *Engine) resetUnique(n int) {
+	per := n/nShards + 1
+	for i := range e.unique {
+		e.unique[i].m = make(map[uniqueKey]Ref, per)
+	}
+}
+
+// uniqueInsert interns (key → r) without locking. Structural-only.
+func (e *Engine) uniqueInsert(key uniqueKey, r Ref) {
+	e.unique[shardOfUnique(key)].m[key] = r
+}
+
+// uniqueLookup reads the unique table without locking. Structural-only.
+func (e *Engine) uniqueLookup(key uniqueKey) (Ref, bool) {
+	r, ok := e.unique[shardOfUnique(key)].m[key]
+	return r, ok
+}
+
+// uniqueLen counts interned nonterminal nodes. Structural-only.
+func (e *Engine) uniqueLen() int {
+	total := 0
+	for i := range e.unique {
+		total += len(e.unique[i].m)
+	}
+	return total
 }

@@ -7,15 +7,26 @@ package bdd
 // per-subspace verifier grows monotonically under churn. GC restores
 // that property for this engine: the caller enumerates the Refs it
 // still holds (the root set), the engine marks everything reachable
-// from them, sweeps the rest, compacts the node slice in place, and
-// returns a dense old→new remap the caller applies to every held Ref.
+// from them, sweeps the rest, compacts the survivors into a fresh
+// level-ordered arena, and returns a dense old→new remap the caller
+// applies to every held Ref.
 //
-// Marking exploits the construction invariant that mk appends a node
+// Marking exploits the construction invariant that mk allocates a node
 // only after both children exist, so children always sit at smaller
-// slice indices than their parents: setting the root bits and making
-// one descending pass over the node slice closes the live set, and one
-// ascending pass compacts it with children relocated before any parent
-// needs their new positions. Both passes are O(nodes) with no stack.
+// arena indices than their parents (this holds under concurrent
+// allocation too: a parent's children are visible to its creator before
+// the parent's slot is claimed, and slot indices are monotonic): setting
+// the root bits and making one descending pass over the arena closes
+// the live set.
+//
+// Compaction lays survivors out in descending level order (deepest
+// variables first, terminals at their sentinel level in slots 0 and 1).
+// Because a child always tests a strictly deeper variable than its
+// parent, descending-level order preserves children-before-parents —
+// ExportNodes dumps restore with the same one-pass validation — while
+// giving post-GC traversals level locality: every ITE cofactor step
+// walks toward higher levels, i.e. strictly earlier (already touched)
+// arena chunks.
 
 import "fmt"
 
@@ -55,14 +66,15 @@ type GCStats struct {
 
 // GC runs a mark-and-sweep collection. roots must yield every Ref the
 // caller still holds; anything not reachable from a yielded Ref (or a
-// terminal) is swept. The node slice is compacted in place, the unique
-// table is rebuilt over the survivors, and the computed cache is
-// dropped (it memoizes pre-GC Refs). All outstanding Refs are
-// invalidated: the caller must rewrite each one through the returned
-// Remap before touching the engine again. Owner-only, like all
-// structural methods.
+// terminal) is swept. Survivors are compacted into a fresh arena in
+// descending level order, the unique table is rebuilt over them, and
+// the computed cache is dropped (it memoizes pre-GC Refs). All
+// outstanding Refs are invalidated: the caller must rewrite each one
+// through the returned Remap before touching the engine again.
+// Exclusive-access only: no concurrent engine use of any kind may be in
+// flight (Flash serializes GC behind the owning worker's mutex).
 func (e *Engine) GC(roots func(yield func(Ref))) (Remap, GCStats) {
-	n := len(e.nodes)
+	n := int(e.nnodes.Load())
 	live := make([]bool, n)
 	live[False], live[True] = true, true
 	roots(func(r Ref) {
@@ -71,39 +83,71 @@ func (e *Engine) GC(roots func(yield func(Ref))) (Remap, GCStats) {
 		}
 		live[r] = true
 	})
-	// Children precede parents in the slice, so one descending pass
+	// Children precede parents in the arena, so one descending pass
 	// propagates liveness to the full reachable set.
 	for i := n - 1; i >= 2; i-- {
 		if live[i] {
-			nd := e.nodes[i]
+			nd := e.node(Ref(i))
 			live[nd.lo] = true
 			live[nd.hi] = true
 		}
 	}
-	// Ascending sweep: a survivor's children were already relocated, so
-	// remap[lo] and remap[hi] are final by the time the parent moves.
-	remap := make(Remap, n)
+	// Assign post-GC positions: bucket survivors by level and hand out
+	// contiguous index ranges in descending level order (deepest level
+	// right after the terminals). Within a level, survivors keep their
+	// relative arena order, so the pass is deterministic for a given
+	// (state, roots) pair.
+	counts := make([]int, e.nvars)
+	for i := 2; i < n; i++ {
+		if live[i] {
+			counts[e.node(Ref(i)).level]++
+		}
+	}
+	cursor := make([]Ref, e.nvars)
 	next := Ref(2)
+	for lvl := e.nvars - 1; lvl >= 0; lvl-- {
+		cursor[lvl] = next
+		next += Ref(counts[lvl])
+	}
+	remap := make(Remap, n)
 	remap[False], remap[True] = False, True
 	for i := 2; i < n; i++ {
 		if !live[i] {
 			remap[i] = deadRef
 			continue
 		}
-		nd := e.nodes[i]
+		lvl := e.node(Ref(i)).level
+		remap[i] = cursor[lvl]
+		cursor[lvl]++
+	}
+	// Materialize the compacted arena. A fresh chunk directory (rather
+	// than in-place moves) is required because level-ordering can move a
+	// node in either direction.
+	nchunks := (int(next) + chunkSize - 1) / chunkSize
+	dir := make([]*chunk, nchunks)
+	for i := range dir {
+		dir[i] = new(chunk)
+	}
+	dir[0][False] = node{level: int32(e.nvars), lo: False, hi: False}
+	dir[0][True] = node{level: int32(e.nvars), lo: True, hi: True}
+	for i := 2; i < n; i++ {
+		if !live[i] {
+			continue
+		}
+		nd := e.node(Ref(i))
 		nd.lo = remap[nd.lo]
 		nd.hi = remap[nd.hi]
-		e.nodes[next] = nd
-		remap[i] = next
-		next++
+		ni := remap[i]
+		dir[ni>>chunkBits][ni&chunkMask] = nd
 	}
-	e.nodes = e.nodes[:next]
-	e.unique = make(map[uniqueKey]Ref, next)
+	e.chunks.Store(&dir)
+	e.nnodes.Store(int64(next))
+	e.resetUnique(int(next))
 	for i := Ref(2); i < next; i++ {
-		nd := e.nodes[i]
-		e.unique[nodeKey(nd.level, nd.lo, nd.hi)] = i
+		nd := e.node(i)
+		e.uniqueInsert(nodeKey(nd.level, nd.lo, nd.hi), i)
 	}
-	e.cache = make(map[cacheKey]Ref, 1024)
+	e.dropCacheLocked()
 	st := GCStats{Before: n, After: int(next), Reclaimed: n - int(next)}
 	e.gcRuns.Add(1)
 	e.gcReclaimed.Add(uint64(st.Reclaimed))

@@ -10,28 +10,29 @@ import "fmt"
 // equality by Ref comparison (which the whole verifier relies on) is no
 // longer sound.
 //
-// The walk is O(nodes) and allocation-free; the flashcheck layer calls
-// it after each applied update block.
+// The walk is O(nodes); the flashcheck layer calls it after each applied
+// update block. Exclusive-access only, like all structural methods.
 func (e *Engine) CheckInvariants() error {
-	for i := 2; i < len(e.nodes); i++ {
-		n := e.nodes[i]
-		if n.level < 0 || int(n.level) >= e.nvars {
-			return fmt.Errorf("bdd: node %d tests out-of-range variable %d (nvars=%d)", i, n.level, e.nvars)
+	n := int(e.nnodes.Load())
+	for i := 2; i < n; i++ {
+		nd := e.node(Ref(i))
+		if nd.level < 0 || int(nd.level) >= e.nvars {
+			return fmt.Errorf("bdd: node %d tests out-of-range variable %d (nvars=%d)", i, nd.level, e.nvars)
 		}
-		if n.lo == n.hi {
-			return fmt.Errorf("bdd: node %d is redundant (lo == hi == %d); reduction broken", i, n.lo)
+		if nd.lo == nd.hi {
+			return fmt.Errorf("bdd: node %d is redundant (lo == hi == %d); reduction broken", i, nd.lo)
 		}
-		for _, c := range [2]Ref{n.lo, n.hi} {
-			if c < 0 || int(c) >= len(e.nodes) {
+		for _, c := range [2]Ref{nd.lo, nd.hi} {
+			if c < 0 || int(c) >= n {
 				return fmt.Errorf("bdd: node %d has out-of-range child %d", i, c)
 			}
-			if c >= 2 && e.nodes[c].level <= n.level {
-				return fmt.Errorf("bdd: node %d (level %d) has child %d at level %d; variable order violated", i, n.level, c, e.nodes[c].level)
+			if c >= 2 && e.node(c).level <= nd.level {
+				return fmt.Errorf("bdd: node %d (level %d) has child %d at level %d; variable order violated", i, nd.level, c, e.node(c).level)
 			}
 		}
 	}
-	if len(e.unique) != len(e.nodes)-2 {
-		return fmt.Errorf("bdd: unique table holds %d entries for %d nonterminal nodes; hash consing broken", len(e.unique), len(e.nodes)-2)
+	if got := e.uniqueLen(); got != n-2 {
+		return fmt.Errorf("bdd: unique table holds %d entries for %d nonterminal nodes; hash consing broken", got, n-2)
 	}
 	return nil
 }

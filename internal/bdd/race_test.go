@@ -1,6 +1,7 @@
 package bdd
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -79,8 +80,10 @@ func TestCacheLimitEvicts(t *testing.T) {
 	if capped.CacheEvictions() == 0 {
 		t.Fatal("capped engine never evicted; cap not enforced")
 	}
-	if len(capped.cache) > 8 {
-		t.Fatalf("cache holds %d entries, cap is 8", len(capped.cache))
+	// The cap is enforced per shard (minimum one entry each), so the
+	// total is bounded by max(limit, nShards).
+	if got, bound := capped.cacheLen(), nShards; got > bound {
+		t.Fatalf("cache holds %d entries, per-shard cap bounds it at %d", got, bound)
 	}
 	// Exhaustive agreement over all 2^16 assignments.
 	asg := make([]bool, 16)
@@ -100,7 +103,7 @@ func TestSetCacheLimitTrimsExisting(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		r = e.Or(r, e.And(e.Var(i), e.Not(e.Var((i+3)%16))))
 	}
-	if len(e.cache) == 0 {
+	if e.cacheLen() == 0 {
 		t.Fatal("test needs a warm cache")
 	}
 	e.SetCacheLimit(1)
@@ -109,5 +112,105 @@ func TestSetCacheLimitTrimsExisting(t *testing.T) {
 	}
 	if got := e.CacheLimit(); got != 1 {
 		t.Fatalf("CacheLimit = %d, want 1", got)
+	}
+}
+
+// TestParallelITECanonicity pins the sharded engine's core promise:
+// node-creating operations from many goroutines against ONE engine
+// preserve hash-consing canonicity. Each goroutine builds the same
+// family of predicates; because "equal Refs ⇔ equivalent predicates",
+// every goroutine must get bit-identical Refs for the same formula, and
+// the engine's invariants must hold afterwards. Run under -race this is
+// also the memory-safety proof for the lock-free arena reads.
+func TestParallelITECanonicity(t *testing.T) {
+	const (
+		goroutines = 8
+		formulas   = 64
+	)
+	e := New(32)
+	results := make([][]Ref, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]Ref, formulas)
+			for i := 0; i < formulas; i++ {
+				// A mildly nontrivial DAG per formula: prefix-style cubes
+				// OR'd together, then XOR'd with a shifted variant.
+				a := False
+				for j := 0; j < 8; j++ {
+					cube := True
+					for b := 0; b < 8; b++ {
+						v := e.Var((i + b) % 32)
+						if (j>>uint(b%3))&1 == 1 {
+							cube = e.And(cube, v)
+						} else {
+							cube = e.And(cube, e.Not(v))
+						}
+					}
+					a = e.Or(a, cube)
+				}
+				out[i] = e.Xor(a, e.Var((i*7)%32))
+			}
+			results[g] = out
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d formula %d got ref %d, goroutine 0 got %d; canonicity broken under parallel ITE",
+					g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after parallel construction: %v", err)
+	}
+}
+
+// TestSetCacheLimitRacesWithITE pins the satellite fix for the
+// SetCacheLimit/evictCache vs concurrent ite interaction: resizing (and
+// thereby evicting) the computed cache while other goroutines run ITE
+// must be memory-safe and must not corrupt results. Before the cache
+// was sharded with per-shard eviction this was a plain map data race.
+func TestSetCacheLimitRacesWithITE(t *testing.T) {
+	e := New(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := True
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := e.Var((i + g*5) % 32)
+				r = e.Or(e.And(r, v), e.Not(r))
+			}
+		}()
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		switch i % 3 {
+		case 0:
+			e.SetCacheLimit(64)
+		case 1:
+			e.SetCacheLimit(0)
+		default:
+			e.SetCacheLimit(DefaultCacheLimit)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after concurrent cache resizing: %v", err)
 	}
 }

@@ -4,13 +4,15 @@ import "fmt"
 
 // ExportNodes dumps the decision nodes (everything past the two
 // terminals) as flat (level, lo, hi) triples in store order. Because mk
-// only ever appends nodes whose children already exist, store order is
+// only ever allocates nodes whose children already exist, store order is
 // children-before-parents, so the dump restores with one linear pass.
 // The returned slice is a copy — a later GC compaction cannot mutate it.
-// Owner-only, like all structural methods.
+// Exclusive-access only, like all structural methods.
 func (e *Engine) ExportNodes() []int32 {
-	out := make([]int32, 0, 3*(len(e.nodes)-2))
-	for _, nd := range e.nodes[2:] {
+	n := int(e.nnodes.Load())
+	out := make([]int32, 0, 3*(n-2))
+	for i := 2; i < n; i++ {
+		nd := e.node(Ref(i))
 		out = append(out, nd.level, int32(nd.lo), int32(nd.hi))
 	}
 	return out
@@ -42,15 +44,9 @@ func NewFromNodes(nvars int, dump []int32) (*Engine, error) {
 	}
 	e := New(nvars)
 	n := len(dump) / 3
-	if n > 0 {
-		e.nodes = make([]node, 2, n+2)
-		e.nodes[False] = node{level: int32(nvars), lo: False, hi: False}
-		e.nodes[True] = node{level: int32(nvars), lo: True, hi: True}
-		e.unique = make(map[uniqueKey]Ref, n)
-	}
 	for i := 0; i < n; i++ {
 		level, lo, hi := dump[3*i], Ref(dump[3*i+1]), Ref(dump[3*i+2])
-		r := Ref(len(e.nodes))
+		r := Ref(i + 2)
 		if level < 0 || level >= int32(nvars) {
 			return nil, fmt.Errorf("bdd: restore: node %d has level %d outside [0,%d)", r, level, nvars)
 		}
@@ -60,15 +56,17 @@ func NewFromNodes(nvars int, dump []int32) (*Engine, error) {
 		if lo == hi {
 			return nil, fmt.Errorf("bdd: restore: node %d is redundant (lo == hi == %d)", r, lo)
 		}
-		if e.nodes[lo].level <= level || e.nodes[hi].level <= level {
+		if e.node(lo).level <= level || e.node(hi).level <= level {
 			return nil, fmt.Errorf("bdd: restore: node %d at level %d has a child at an equal or smaller level", r, level)
 		}
 		key := nodeKey(level, lo, hi)
-		if _, dup := e.unique[key]; dup {
+		if _, dup := e.uniqueLookup(key); dup {
 			return nil, fmt.Errorf("bdd: restore: duplicate node (%d,%d,%d) at ref %d breaks hash consing", level, lo, hi, r)
 		}
-		e.nodes = append(e.nodes, node{level: level, lo: lo, hi: hi})
-		e.unique[key] = r
+		if got := e.alloc(node{level: level, lo: lo, hi: hi}); got != r {
+			return nil, fmt.Errorf("bdd: restore: allocation drift (got ref %d, want %d)", got, r)
+		}
+		e.uniqueInsert(key, r)
 	}
 	return e, nil
 }
@@ -77,5 +75,5 @@ func NewFromNodes(nvars int, dump []int32) (*Engine, error) {
 // or an existing decision node). Restore paths use it to validate refs
 // recorded in checkpoint sections against the rebuilt node store.
 func (e *Engine) CheckRef(r Ref) bool {
-	return r >= 0 && int(r) < len(e.nodes)
+	return r >= 0 && int64(r) < e.nnodes.Load()
 }

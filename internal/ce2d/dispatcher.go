@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fib"
 	"repro/internal/obs"
+	"repro/internal/pred"
 )
 
 // ErrBadEpoch reports an epoch-ordering violation: a device kept sending
@@ -155,6 +156,16 @@ func (d *Dispatcher) EachVerifier(f func(Epoch, *Verifier)) {
 	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
 	for _, e := range epochs {
 		f(e, d.verifiers[e])
+	}
+}
+
+// Rebind points every live verifier at a different predicate engine
+// (see Verifier.Rebind). Queued message refs are rewritten separately
+// through Dispatcher.RemapRefs; the two calls together complete a
+// hybrid cutover for the dispatcher's state.
+func (d *Dispatcher) Rebind(e pred.Engine) {
+	for _, v := range d.verifiers {
+		v.Rebind(e)
 	}
 }
 

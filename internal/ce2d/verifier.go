@@ -8,6 +8,7 @@ import (
 	"repro/internal/fib"
 	"repro/internal/imt"
 	"repro/internal/pat"
+	"repro/internal/pred"
 	"repro/internal/reach"
 	"repro/internal/spec"
 	"repro/internal/topo"
@@ -65,7 +66,7 @@ type Event struct {
 //flashvet:allow gcroot — Universe is enumerated by the owning Verifier's Roots (cfg.Universe)
 type Config struct {
 	Topo   *topo.Graph
-	Engine *bdd.Engine
+	Engine pred.Engine
 	// Universe restricts the verifier to a subspace (bdd.True for all).
 	Universe bdd.Ref
 	Checks   []Check
@@ -115,7 +116,7 @@ type classState struct {
 // tagged with this verifier's epoch.
 type Verifier struct {
 	cfg       Config
-	engine    *bdd.Engine
+	engine    pred.Engine
 	store     *pat.Store
 	transform *imt.Transformer
 	actionMap func(fib.Action) reach.SyncState
@@ -128,6 +129,17 @@ type Verifier struct {
 	// rebuild identical per-class state (see RestoreVerifier).
 	syncOrder []fib.DeviceID
 	events    []Event
+}
+
+// Rebind points the verifier (and its Fast IMT transformer) at a
+// different predicate engine. Hybrid cutover calls it after every held
+// Ref has been rewritten through the conversion remap (RemapRefs): the
+// refs are positions in the new engine, so the verifier must stop
+// consulting the old one. Caller holds the owning worker's mutex.
+func (v *Verifier) Rebind(e pred.Engine) {
+	v.engine = e
+	v.cfg.Engine = e
+	v.transform.E = e
 }
 
 // NewVerifier creates a verifier for one epoch over the given subspace.

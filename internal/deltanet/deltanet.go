@@ -20,6 +20,7 @@
 package deltanet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,15 @@ import (
 type Interval struct {
 	Lo, Hi uint64
 }
+
+// ErrIntervalExplosion reports that a match descriptor is valid but
+// expands past the interval budget on the concatenated header line — the
+// representational weakness of interval atoms on ternary and multi-field
+// rules. It is a sentinel (test with errors.Is) so callers that pick a
+// predicate representation per rule — the hybrid engine's cutover guard —
+// can distinguish "this rule is non-interval, switch to BDD" from a real
+// malformed-match error, which must still fail the update.
+var ErrIntervalExplosion = errors.New("deltanet: interval explosion")
 
 // IntervalsFor converts a symbolic match descriptor into the set of
 // intervals it covers on the concatenated header line of the layout.
@@ -70,7 +80,7 @@ func IntervalsFor(layout *hs.Layout, d fib.MatchDesc) ([]Interval, error) {
 					continue
 				}
 				if span := iv.Hi - iv.Lo + 1; uint64(len(next))+span > maxIntervals {
-					return nil, fmt.Errorf("deltanet: rule expands past %d intervals", maxIntervals)
+					return nil, fmt.Errorf("deltanet: rule expands past %d intervals: %w", maxIntervals, ErrIntervalExplosion)
 				}
 				for v := iv.Lo; v <= iv.Hi; v++ {
 					next = append(next, Interval{v<<uint(w) + r.Lo, v<<uint(w) + r.Hi})
@@ -138,7 +148,7 @@ func fieldRuns(f fib.FieldMatch, width int, present bool) ([]Interval, error) {
 			}
 		}
 		if len(freeBits) > 24 {
-			return nil, fmt.Errorf("ternary expansion of 2^%d intervals is too large", len(freeBits))
+			return nil, fmt.Errorf("ternary expansion of 2^%d intervals is too large: %w", len(freeBits), ErrIntervalExplosion)
 		}
 		n := 1 << uint(len(freeBits))
 		runs := make([]Interval, 0, n)

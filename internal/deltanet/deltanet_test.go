@@ -1,6 +1,7 @@
 package deltanet
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -47,6 +48,51 @@ func TestIntervalsForSuffixExplodes(t *testing.T) {
 		if iv.Hi-iv.Lo != 1 || iv.Lo&0b11 != 0b01 {
 			t.Fatalf("bad suffix interval %v", iv)
 		}
+	}
+}
+
+// TestIntervalsForExplosionCapTyped pins the previously untested
+// maxIntervals (1<<22) cap path and its error identity: a rule whose
+// multi-field expansion crosses the cap must fail with
+// ErrIntervalExplosion so the hybrid cutover guard can tell "non-interval
+// rule, switch representation" apart from a malformed match. The trigger
+// is cheap — a wide leading wildcard field times a constrained trailing
+// field explodes one interval per leading value, and the cap fires
+// before any per-value allocation happens.
+func TestIntervalsForExplosionCapTyped(t *testing.T) {
+	layWide := hs.NewLayout(hs.Field{Name: "a", Bits: 24}, hs.Field{Name: "b", Bits: 8})
+	_, err := IntervalsFor(layWide, fib.MatchDesc{
+		{Field: "b", Kind: fib.MatchPrefix, Value: 0x80, Len: 1},
+	})
+	if err == nil {
+		t.Fatal("2^24 interval expansion must exceed the 1<<22 cap")
+	}
+	if !errors.Is(err, ErrIntervalExplosion) {
+		t.Fatalf("cap error = %v, want errors.Is(err, ErrIntervalExplosion)", err)
+	}
+
+	// The ternary free-bits cap reports the same sentinel: both paths
+	// mean "valid rule, wrong representation".
+	layT := hs.NewLayout(hs.Field{Name: "dst", Bits: 32})
+	// Mask pins only bit 0: the 31 wildcard bits above it are all "free"
+	// run-doubling positions, past the 24-bit cap.
+	_, err = IntervalsFor(layT, fib.MatchDesc{
+		{Field: "dst", Kind: fib.MatchTernary, Value: 1, Mask: 1},
+	})
+	if err == nil {
+		t.Fatal("2^31 ternary expansion must exceed the free-bits cap")
+	}
+	if !errors.Is(err, ErrIntervalExplosion) {
+		t.Fatalf("ternary cap error = %v, want errors.Is(err, ErrIntervalExplosion)", err)
+	}
+
+	// A genuinely malformed match is NOT an explosion: the guard must be
+	// able to reject it instead of silently switching representation.
+	_, err = IntervalsFor(lay8, fib.MatchDesc{
+		{Field: "dst", Kind: fib.MatchPrefix, Value: 0, Len: 99},
+	})
+	if err == nil || errors.Is(err, ErrIntervalExplosion) {
+		t.Fatalf("malformed prefix error = %v, must be non-nil and not ErrIntervalExplosion", err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/bdd"
+	"repro/internal/pred"
 )
 
 // DeviceID identifies a device (router or switch) in the network, indexing
@@ -160,7 +161,7 @@ func (t *Table) Delete(pri int32, id int64) bool {
 // contains the header predicate point given as a satisfying assignment.
 // It is the forward model's behavior function b_i(h) and is used by tests
 // to cross-check the inverse model.
-func (t *Table) Lookup(e *bdd.Engine, assignment []bool) Action {
+func (t *Table) Lookup(e pred.Engine, assignment []bool) Action {
 	for _, r := range t.rules {
 		if e.Eval(r.Match, assignment) {
 			return r.Action
@@ -173,7 +174,7 @@ func (t *Table) Lookup(e *bdd.Engine, assignment []bool) Action {
 // effective predicate e_ik of every rule: match ∧ ¬(∨ of higher-priority
 // matches) (Equation 1 of the paper). Used by the natural transformation
 // and by tests; Fast IMT computes these incrementally instead.
-func (t *Table) EffectivePredicates(e *bdd.Engine) []bdd.Ref {
+func (t *Table) EffectivePredicates(e pred.Engine) []bdd.Ref {
 	out := make([]bdd.Ref, len(t.rules))
 	higher := bdd.False
 	for i, r := range t.rules {
@@ -186,7 +187,7 @@ func (t *Table) EffectivePredicates(e *bdd.Engine) []bdd.Ref {
 // Validate checks the well-behaved-table invariants (Definition 4): the
 // table is sorted, rule (Pri, ID) pairs are unique, and no two rules of
 // equal priority with overlapping matches disagree on the action.
-func (t *Table) Validate(e *bdd.Engine) error {
+func (t *Table) Validate(e pred.Engine) error {
 	for i := 1; i < len(t.rules); i++ {
 		if !t.rules[i-1].Less(t.rules[i]) {
 			return fmt.Errorf("fib: table not strictly sorted at index %d", i)

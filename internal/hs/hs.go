@@ -210,6 +210,45 @@ func (s *Space) Range(field string, lo, hi uint64) bdd.Ref {
 	return r
 }
 
+// LineRange compiles the half-open interval [lo, hi) on the concatenated
+// header line (fields in layout order, earlier fields in higher-order
+// bits — the encoding deltanet.IntervalsFor and the atom engine use)
+// into a predicate: a disjunction of at most 2W line-level prefix cubes.
+// The hybrid cutover uses it to recompile each interval of a live atom
+// predicate into BDD form. An empty interval (hi <= lo) yields False.
+func (s *Space) LineRange(lo, hi uint64) bdd.Ref {
+	if hi <= lo {
+		return bdd.False
+	}
+	w := s.Layout.TotalBits()
+	if max := maxValue(w); hi-1 > max {
+		panic(fmt.Sprintf("hs: line interval [%d,%d) outside the %d-bit line", lo, hi, w))
+	}
+	r := bdd.False
+	for _, c := range rangeCubes(lo, hi-1, w) {
+		r = s.E.Or(r, s.linePrefix(c.top, c.plen))
+	}
+	return r
+}
+
+// linePrefix builds the cube matching the top plen bits of the line
+// against the low plen bits of top. Variable i is exactly line bit i
+// (most significant first), so the cube spans variables [0, plen).
+func (s *Space) linePrefix(top uint64, plen int) bdd.Ref {
+	if plen == 0 {
+		return bdd.True
+	}
+	vars := make([]int, plen)
+	var bits uint64
+	for i := 0; i < plen; i++ {
+		vars[i] = i
+		if top&(1<<uint(plen-1-i)) != 0 {
+			bits |= 1 << uint(i)
+		}
+	}
+	return s.E.Cube(vars, bits)
+}
+
 func maxValue(bits int) uint64 {
 	if bits == 64 {
 		return ^uint64(0)
@@ -266,6 +305,26 @@ func (s *Space) Assignment(h Header) []bool {
 		for b := 0; b < f.Bits; b++ { // b = msb-first index
 			if h[fi]&(1<<uint(f.Bits-1-b)) != 0 {
 				a[s.bitVar(fi, b)] = true
+			}
+		}
+	}
+	return a
+}
+
+// Assignment converts a header to a line-bit assignment without a Space:
+// the slice has exactly TotalBits entries, variable i = line bit i (most
+// significant first). Atom-mode subspaces, which have no hs.Space, use
+// this for point queries and witness extraction; it agrees bit-for-bit
+// with Space.Assignment on the layout's variables.
+func (l *Layout) Assignment(h Header) []bool {
+	if len(h) != len(l.fields) {
+		panic("hs: header has wrong number of fields")
+	}
+	a := make([]bool, l.total)
+	for fi, f := range l.fields {
+		for b := 0; b < f.Bits; b++ { // b = msb-first index
+			if h[fi]&(1<<uint(f.Bits-1-b)) != 0 {
+				a[l.offsets[fi]+b] = true
 			}
 		}
 	}

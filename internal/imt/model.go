@@ -28,6 +28,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/fib"
 	"repro/internal/pat"
+	"repro/internal/pred"
 )
 
 // Model is the inverse model M = {(p_j, ®y_j)}: a partition of the header
@@ -59,7 +60,7 @@ func (m *Model) Len() int { return len(m.ECs) }
 // described by the BDD assignment. It is the behavior function b_M(h)
 // restricted to the model's universe; ok is false if the header lies
 // outside the universe.
-func (m *Model) Lookup(e *bdd.Engine, assignment []bool) (pat.Ref, bool) {
+func (m *Model) Lookup(e pred.Engine, assignment []bool) (pat.Ref, bool) {
 	for vec, p := range m.ECs {
 		if e.Eval(p, assignment) {
 			return vec, true
@@ -71,7 +72,7 @@ func (m *Model) Lookup(e *bdd.Engine, assignment []bool) (pat.Ref, bool) {
 // Validate checks the inverse-model invariants of Definition 6:
 // predicates pairwise disjoint, their union equal to the universe, and no
 // class empty. Vector uniqueness is structural (map keys).
-func (m *Model) Validate(e *bdd.Engine) error {
+func (m *Model) Validate(e pred.Engine) error {
 	union := bdd.False
 	preds := make([]bdd.Ref, 0, len(m.ECs))
 	for vec, p := range m.ECs {
@@ -114,7 +115,7 @@ type Overwrite struct {
 // product of §3.2 / Definition 9). Overwrites must be conflict-free: any
 // two with intersecting predicates must not write different actions at the
 // same device. Fast IMT's pipeline guarantees this by construction.
-func (m *Model) Apply(e *bdd.Engine, ps *pat.Store, ows []Overwrite) {
+func (m *Model) Apply(e pred.Engine, ps *pat.Store, ows []Overwrite) {
 	for _, w := range ows {
 		if w.Pred == bdd.False || (w.Delta == pat.Empty && len(w.Clear) == 0) {
 			continue
@@ -123,7 +124,7 @@ func (m *Model) Apply(e *bdd.Engine, ps *pat.Store, ows []Overwrite) {
 	}
 }
 
-func (m *Model) applyOne(e *bdd.Engine, ps *pat.Store, w Overwrite) {
+func (m *Model) applyOne(e pred.Engine, ps *pat.Store, w Overwrite) {
 	//flashvet:allow gcroot — transient intermediates within one applyOne call; dead before any collection can run
 	type move struct {
 		vec   pat.Ref

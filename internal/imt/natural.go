@@ -4,6 +4,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/fib"
 	"repro/internal/pat"
+	"repro/internal/pred"
 )
 
 // NaturalTransform computes the inverse model of a set of forwarding
@@ -15,7 +16,7 @@ import (
 // It is O(N·T) predicate operations and exists as the independently-coded
 // correctness oracle for Fast IMT (Theorem 1 says the two must agree), and
 // as the "global AP" special case the paper generalizes.
-func NaturalTransform(e *bdd.Engine, store *pat.Store, universe bdd.Ref, tables map[fib.DeviceID]*fib.Table) *Model {
+func NaturalTransform(e pred.Engine, store *pat.Store, universe bdd.Ref, tables map[fib.DeviceID]*fib.Table) *Model {
 	m := NewModel(universe)
 	for dev, tb := range tables {
 		rules := tb.Rules()

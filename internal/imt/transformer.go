@@ -9,6 +9,7 @@ import (
 	"repro/internal/fib"
 	"repro/internal/obs"
 	"repro/internal/pat"
+	"repro/internal/pred"
 )
 
 // Stats accumulates the Transformer's cost breakdown, matching the three
@@ -38,7 +39,7 @@ func (s Stats) Total() time.Duration { return s.MapTime + s.ReduceTime + s.Apply
 // lower-priority rules that now match it, so a deletion with no
 // lower-priority coverage would leave the freed space's action stale.
 type Transformer struct {
-	E     *bdd.Engine
+	E     pred.Engine
 	Store *pat.Store
 
 	tables map[fib.DeviceID]*fib.Table
@@ -99,7 +100,7 @@ func (t *Transformer) Instrument(r *obs.Registry) {
 
 // NewTransformer creates a Transformer over the given engine with an
 // inverse model covering universe (bdd.True for unpartitioned operation).
-func NewTransformer(e *bdd.Engine, store *pat.Store, universe bdd.Ref) *Transformer {
+func NewTransformer(e pred.Engine, store *pat.Store, universe bdd.Ref) *Transformer {
 	return &Transformer{
 		E:      e,
 		Store:  store,

@@ -25,6 +25,7 @@ import (
 	"repro/internal/hs"
 	"repro/internal/imt"
 	"repro/internal/pat"
+	"repro/internal/pred"
 )
 
 // Rule is one header-rewrite rule on a device: headers matching Match
@@ -141,7 +142,7 @@ func (s *Set) Validate(m *imt.Model) []Violation {
 	return out
 }
 
-func countIntersecting(e *bdd.Engine, m *imt.Model, p bdd.Ref) int {
+func countIntersecting(e pred.Engine, m *imt.Model, p bdd.Ref) int {
 	n := 0
 	for _, pred := range m.ECs {
 		if e.Overlaps(pred, p) {

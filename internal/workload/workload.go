@@ -265,6 +265,49 @@ func LNetSMR(p topo.FabricParams) *Workload {
 	return w
 }
 
+// WidePrefixFIB generates a prefix-only workload at full IPv4 header
+// width: each device's FIB holds rulesPerDevice random destination
+// prefixes between /8 and /28 on a 32-bit dst field, forwarding to a
+// random neighbor, under a default drop. This is the regime of the
+// paper's representation comparison (§5.1): every rule is a pure prefix
+// interval — one atom operation — while a BDD Boolean operation on the
+// same predicate walks up to 32 node levels. The 16-bit settings above
+// understate that gap; this workload restores it. Deterministic in seed.
+func WidePrefixFIB(g *topo.Graph, rulesPerDevice int, seed int64) *Workload {
+	layout := hs.NewLayout(hs.Field{Name: "dst", Bits: 32})
+	w := &Workload{
+		Name: "wide-prefix-fib", Topo: g, Layout: layout, Space: hs.NewSpace(layout),
+		Prefixes: make(map[topo.NodeID]fib.FieldMatch),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const width = 32
+	w.Blocks = make([]fib.Block, g.N())
+	for d := range w.Blocks {
+		dev := topo.NodeID(d)
+		w.Blocks[d].Device = fib.DeviceID(d)
+		id := int64(0)
+		add := func(r fib.Rule) {
+			id++
+			r.ID = id
+			w.Blocks[d].Updates = append(w.Blocks[d].Updates, fib.Update{Op: fib.Insert, Rule: r})
+		}
+		add(fib.Rule{Match: bdd.True, Pri: 0, Action: fib.Drop,
+			Desc: fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Len: 0}}})
+		nbrs := g.Neighbors(dev)
+		if len(nbrs) == 0 {
+			continue
+		}
+		for i := 0; i < rulesPerDevice; i++ {
+			plen := 8 + rng.Intn(21) // /8 .. /28
+			val := rng.Uint64() & (1<<width - 1) >> uint(width-plen) << uint(width-plen)
+			desc := fib.MatchDesc{{Field: "dst", Kind: fib.MatchPrefix, Value: val, Len: plen}}
+			add(fib.Rule{Match: w.Space.Compile(desc), Pri: int32(plen),
+				Action: fib.Forward(nbrs[rng.Intn(len(nbrs))]), Desc: desc})
+		}
+	}
+	return w
+}
+
 // DevUpdate is one element of a flattened update sequence.
 type DevUpdate struct {
 	Dev    fib.DeviceID

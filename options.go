@@ -84,6 +84,20 @@ func WithPerUpdate(on bool) Option {
 	return optionFunc(func(c *Config) { c.PerUpdate = on })
 }
 
+// WithPredicateMode selects the predicate representation strategy (see
+// Config.PredicateMode). PredicateBDD (the default) compiles every
+// match into the sharded BDD engine. PredicateHybrid starts each
+// subspace on Delta-net-style interval atoms — asymptotically cheaper
+// while every installed rule is a pure prefix interval on the layout's
+// first field — and converts the subspace to BDD, one way, the moment
+// a rule arrives that atoms cannot represent (ternary match,
+// multi-field match, or an interval-count explosion). Verdicts and
+// model fingerprints are identical in both modes; only the cost model
+// differs.
+func WithPredicateMode(m PredicateMode) Option {
+	return optionFunc(func(c *Config) { c.PredicateMode = m })
+}
+
 // WithSuccessors restricts the potential-path successor sets used by
 // reachability checks (see Config.Succ).
 func WithSuccessors(succ func(DeviceID) []DeviceID) Option {

@@ -207,27 +207,43 @@ func (ss *snapSub) whatIf(cfg Config, blocks []DeviceBlock) (results []Result, e
 
 	// Compile the hypothetical updates against this subspace; a block
 	// whose rules all miss the universe does not touch it.
-	compiled := make([]fib.Block, 0, len(blocks))
+	var compiled []fib.Block
 	touched := make(map[fib.DeviceID]bool)
-	for _, db := range blocks {
-		fb := fib.Block{Device: db.Device}
-		for _, u := range db.Updates {
-			match := w.space.E.And(w.space.Compile(u.Rule.Desc), w.universe)
-			if match == bdd.False {
-				continue // same skip the live feed path applies
+	compileAll := func() []fib.Block {
+		out := make([]fib.Block, 0, len(blocks))
+		clear(touched)
+		for _, db := range blocks {
+			fb := fib.Block{Device: db.Device}
+			for _, u := range db.Updates {
+				// Same compile (and hybrid cutover guard) as the live feed
+				// path: a hypothetical ternary rule converts the subspace to
+				// BDD exactly as feeding it live would.
+				match := w.compileLocked(u.Rule.Desc)
+				if match == bdd.False {
+					continue // same skip the live feed path applies
+				}
+				fb.Updates = append(fb.Updates, fib.Update{
+					Op: u.Op,
+					Rule: fib.Rule{
+						ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
+						Match: match, Desc: u.Rule.Desc,
+					},
+				})
 			}
-			fb.Updates = append(fb.Updates, fib.Update{
-				Op: u.Op,
-				Rule: fib.Rule{
-					ID: u.Rule.ID, Pri: u.Rule.Pri, Action: u.Rule.Action,
-					Match: match, Desc: u.Rule.Desc,
-				},
-			})
+			if len(fb.Updates) > 0 {
+				out = append(out, fb)
+				touched[db.Device] = true
+			}
 		}
-		if len(fb.Updates) > 0 {
-			compiled = append(compiled, fb)
-			touched[db.Device] = true
-		}
+		return out
+	}
+	// A mid-transaction cutover invalidates matches compiled earlier in
+	// the loop (stale atom refs in locals); recompile everything on the
+	// post-cutover engine — the guard is one-way, so at most one restart.
+	before := w.cutovers
+	compiled = compileAll()
+	if w.cutovers != before {
+		compiled = compileAll()
 	}
 	if len(compiled) == 0 {
 		return nil, nil // subspace unaffected
@@ -243,7 +259,7 @@ func (ss *snapSub) whatIf(cfg Config, blocks []DeviceBlock) (results []Result, e
 	// is one-shot per device, so each what-if gets a fresh verifier.
 	v := ce2d.NewVerifier(ce2d.Config{
 		Topo:     cfg.Topo,
-		Engine:   w.space.E,
+		Engine:   w.eng,
 		Universe: w.universe,
 		Checks:   w.checks,
 		Succ:     cfg.Succ,
@@ -271,8 +287,8 @@ func (ss *snapSub) whatIf(cfg Config, blocks []DeviceBlock) (results []Result, e
 				Verdict:  ev.Verdict,
 				Loop:     ev.Loop,
 			}
-			if asg := w.space.E.AnySat(ev.Class); asg != nil {
-				r.Witness = headerFromAssignment(w.space, asg)
+			if asg := w.eng.AnySat(ev.Class); asg != nil {
+				r.Witness = headerFromAssignment(w.cfg.Layout, asg)
 			}
 			results = append(results, r)
 		}

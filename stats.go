@@ -119,7 +119,7 @@ func (b *ModelBuilder) StatsSnapshot() StatsSnapshot {
 	out.Scheduler = SchedulerStats{Tasks: st.Tasks, Steals: st.Steals, Dispatches: st.Dispatches, Workers: b.pool.Workers()}
 	for _, w := range b.workers {
 		w.mu.Lock()
-		e := w.space.E // Compact rotates the engine under w.mu
+		e := w.eng // Compact and hybrid cutover rotate the engine under w.mu
 		base := w.base
 		out.Transform.add(w.transform.Stats())
 		out.ECs += w.transform.Model().Len()
@@ -148,7 +148,7 @@ func (s *System) StatsSnapshot() StatsSnapshot {
 	out.Scheduler = SchedulerStats{Tasks: st.Tasks, Steals: st.Steals, Dispatches: st.Dispatches, Workers: s.pool.Workers()}
 	for _, w := range s.workers {
 		w.mu.Lock()
-		e := w.space.E
+		e := w.eng
 		w.disp.EachVerifier(func(_ ce2d.Epoch, v *ce2d.Verifier) {
 			tr := v.Transformer()
 			out.Transform.add(tr.Stats())
